@@ -1,0 +1,110 @@
+// Scaling: runtime of the joint analyses as the specification grows.
+// SRG induction is linear in the dataflow size; EDF schedulability is
+// O(n log n) per host in the number of jobs; refinement checking is linear
+// in |kappa|. These benchmarks back the "incremental analysis" motivation:
+// full re-analysis cost grows with the system, local refinement checks
+// do not.
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "reliability/analysis.h"
+#include "sched/schedulability.h"
+#include "spec/spec_graph.h"
+
+namespace {
+
+using namespace lrt;
+
+struct ChainSystem {
+  std::unique_ptr<spec::Specification> spec;
+  std::unique_ptr<arch::Architecture> arch;
+  std::unique_ptr<impl::Implementation> impl;
+};
+
+/// `n` parallel two-task pipelines across three hosts.
+ChainSystem pipelines(int n) {
+  ChainSystem system;
+  spec::SpecificationConfig config;
+  config.name = "pipelines";
+  impl::ImplementationConfig impl_config;
+  arch::ArchitectureConfig arch_config;
+  arch_config.hosts = {{"h1", 0.999}, {"h2", 0.999}, {"h3", 0.999}};
+  arch_config.default_wcet = 1;
+  arch_config.default_wctt = 1;
+  const std::int64_t period = 8 * n;  // room for all jobs per host
+
+  for (int i = 0; i < n; ++i) {
+    const std::string suffix = std::to_string(i);
+    config.communicators.push_back({"in" + suffix, spec::ValueType::kReal,
+                                    spec::Value::real(0.0), period, 0.5});
+    config.communicators.push_back({"mid" + suffix, spec::ValueType::kReal,
+                                    spec::Value::real(0.0), period / 2, 0.5});
+    config.communicators.push_back({"out" + suffix, spec::ValueType::kReal,
+                                    spec::Value::real(0.0), period, 0.5});
+    spec::SpecificationConfig::TaskConfig front;
+    front.name = "front" + suffix;
+    front.inputs = {{"in" + suffix, 0}};
+    front.outputs = {{"mid" + suffix, 1}};
+    spec::SpecificationConfig::TaskConfig back;
+    back.name = "back" + suffix;
+    back.inputs = {{"mid" + suffix, 1}};
+    back.outputs = {{"out" + suffix, 1}};
+    config.tasks.push_back(std::move(front));
+    config.tasks.push_back(std::move(back));
+    impl_config.task_mappings.push_back(
+        {"front" + suffix, {i % 2 == 0 ? "h1" : "h2"}});
+    impl_config.task_mappings.push_back({"back" + suffix, {"h3"}});
+    arch_config.sensors.push_back({"sens" + suffix, 0.999});
+    impl_config.sensor_bindings.push_back({"in" + suffix, "sens" + suffix});
+  }
+  system.spec = std::make_unique<spec::Specification>(
+      std::move(spec::Specification::Build(std::move(config))).value());
+  system.arch = std::make_unique<arch::Architecture>(
+      std::move(arch::Architecture::Build(std::move(arch_config))).value());
+  system.impl = std::make_unique<impl::Implementation>(
+      std::move(impl::Implementation::Build(*system.spec, *system.arch,
+                                            std::move(impl_config)))
+          .value());
+  return system;
+}
+
+void print_table() {
+  bench::header("Scaling", "analysis cost vs specification size");
+  std::printf("benchmarks below: reliability / schedulability / graph "
+              "analysis on n parallel pipelines (2n tasks, 3n "
+              "communicators).\n");
+}
+
+void BM_ReliabilityAnalysis(benchmark::State& state) {
+  auto system = pipelines(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto report = reliability::analyze(*system.impl);
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ReliabilityAnalysis)->Arg(10)->Arg(100)->Arg(500)->Complexity();
+
+void BM_Schedulability(benchmark::State& state) {
+  auto system = pipelines(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto report = sched::analyze_schedulability(*system.impl);
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Schedulability)->Arg(10)->Arg(100)->Arg(500)->Complexity();
+
+void BM_GraphConstruction(benchmark::State& state) {
+  auto system = pipelines(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    spec::SpecificationGraph graph(*system.spec);
+    benchmark::DoNotOptimize(graph.is_memory_free());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_GraphConstruction)->Arg(10)->Arg(100)->Arg(500)->Complexity();
+
+}  // namespace
+
+LRT_BENCH_MAIN(print_table)

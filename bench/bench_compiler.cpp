@@ -1,0 +1,107 @@
+// Compiler throughput: lexing, parsing, and full compilation of generated
+// HTL programs of growing size, plus E-code generation.
+#include <string>
+
+#include "bench/bench_util.h"
+#include "ecode/program.h"
+#include "htl/compiler.h"
+#include "htl/lexer.h"
+#include "htl/parser.h"
+
+namespace {
+
+using namespace lrt;
+
+/// Generates a syntactically valid program with n independent task chains,
+/// architecture, and mapping.
+std::string generate_source(int n) {
+  std::string src = "program generated {\n";
+  const std::string period = std::to_string(16 * n);
+  for (int i = 0; i < n; ++i) {
+    const std::string s = std::to_string(i);
+    src += "  communicator in" + s + " : real period " + period +
+           " init 0.0 lrc 0.5;\n";
+    src += "  communicator out" + s + " : real period " +
+           std::to_string(8 * n) + " init 0.0 lrc 0.9;\n";
+  }
+  src += "  module m {\n";
+  for (int i = 0; i < n; ++i) {
+    const std::string s = std::to_string(i);
+    src += "    task task" + s + " input (in" + s + "[0]) output (out" + s +
+           "[1]) model series;\n";
+  }
+  src += "    mode main period " + period + " {\n";
+  for (int i = 0; i < n; ++i) {
+    src += "      invoke task" + std::to_string(i) + ";\n";
+  }
+  src += "    }\n    start main;\n  }\n";
+  src += "  architecture {\n    host h1 reliability 0.999;\n"
+         "    host h2 reliability 0.999;\n"
+         "    metrics default wcet 2 wctt 1;\n";
+  for (int i = 0; i < n; ++i) {
+    src += "    sensor sens" + std::to_string(i) + " reliability 0.99;\n";
+  }
+  src += "  }\n  mapping {\n";
+  for (int i = 0; i < n; ++i) {
+    const std::string s = std::to_string(i);
+    src += "    map task" + s + " to h" + (i % 2 == 0 ? "1" : "2") + ";\n";
+    src += "    bind in" + s + " to sens" + s + ";\n";
+  }
+  src += "  }\n}\n";
+  return src;
+}
+
+void print_table() {
+  bench::header("Compiler", "HTL frontend + E-code generation throughput");
+  const std::string src = generate_source(64);
+  std::printf("generated benchmark program: %zu bytes, 64 tasks\n",
+              src.size());
+  const auto system = htl::compile(src);
+  std::printf("compiles: %s\n",
+              system.ok() ? "yes" : system.status().to_string().c_str());
+}
+
+void BM_Lex(benchmark::State& state) {
+  const std::string src = generate_source(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto tokens = htl::lex(src);
+    benchmark::DoNotOptimize(tokens);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(src.size()));
+}
+BENCHMARK(BM_Lex)->Arg(16)->Arg(128);
+
+void BM_Parse(benchmark::State& state) {
+  const std::string src = generate_source(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto program = htl::parse(src);
+    benchmark::DoNotOptimize(program);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(src.size()));
+}
+BENCHMARK(BM_Parse)->Arg(16)->Arg(128);
+
+void BM_CompileFull(benchmark::State& state) {
+  const std::string src = generate_source(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto system = htl::compile(src);
+    benchmark::DoNotOptimize(system);
+  }
+}
+BENCHMARK(BM_CompileFull)->Arg(16)->Arg(128);
+
+void BM_GenerateEcode(benchmark::State& state) {
+  const std::string src = generate_source(static_cast<int>(state.range(0)));
+  const auto system = htl::compile(src);
+  for (auto _ : state) {
+    auto program = ecode::generate_ecode(*system->implementation, 0);
+    benchmark::DoNotOptimize(program);
+  }
+}
+BENCHMARK(BM_GenerateEcode)->Arg(16)->Arg(128);
+
+}  // namespace
+
+LRT_BENCH_MAIN(print_table)

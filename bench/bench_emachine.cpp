@@ -1,0 +1,109 @@
+// E-machine vs direct runtime: instruction dispatch rate and the voting
+// overhead of replication. The paper's code-generation change ("the output
+// of each task is sent to all other hosts. Each host then performs a
+// voting routine") costs broadcast + vote work per replica; this bench
+// measures it as a function of the replication factor.
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "ecode/emachine.h"
+#include "plant/three_tank_system.h"
+#include "sim/runtime.h"
+
+namespace {
+
+using namespace lrt;
+
+struct ReplSystem {
+  std::unique_ptr<spec::Specification> spec;
+  std::unique_ptr<arch::Architecture> arch;
+  std::unique_ptr<impl::Implementation> impl;
+};
+
+/// One sensor->task->out chain replicated on r of 4 hosts.
+ReplSystem replicated(int r) {
+  ReplSystem system;
+  spec::SpecificationConfig config;
+  config.name = "repl";
+  config.communicators = {{"in", spec::ValueType::kReal,
+                           spec::Value::real(0.0), 10, 0.5},
+                          {"out", spec::ValueType::kReal,
+                           spec::Value::real(0.0), 10, 0.5}};
+  spec::SpecificationConfig::TaskConfig task;
+  task.name = "t";
+  task.inputs = {{"in", 0}};
+  task.outputs = {{"out", 1}};
+  config.tasks = {task};
+  system.spec = std::make_unique<spec::Specification>(
+      std::move(spec::Specification::Build(std::move(config))).value());
+
+  arch::ArchitectureConfig arch_config;
+  std::vector<std::string> hosts;
+  for (int h = 0; h < 4; ++h) {
+    arch_config.hosts.push_back({"h" + std::to_string(h), 0.99});
+    if (h < r) hosts.push_back("h" + std::to_string(h));
+  }
+  arch_config.sensors = {{"s", 0.99}};
+  system.arch = std::make_unique<arch::Architecture>(
+      std::move(arch::Architecture::Build(std::move(arch_config))).value());
+  impl::ImplementationConfig impl_config;
+  impl_config.task_mappings = {{"t", hosts}};
+  impl_config.sensor_bindings = {{"in", "s"}};
+  system.impl = std::make_unique<impl::Implementation>(
+      std::move(impl::Implementation::Build(*system.spec, *system.arch,
+                                            std::move(impl_config)))
+          .value());
+  return system;
+}
+
+void print_table() {
+  bench::header("Runtime", "E-machine dispatch rate and voting overhead");
+  std::printf("BM_VotingOverhead/r measures periods/second with the task "
+              "replicated on r of 4 hosts;\nthe slowdown from r=1 to r=4 "
+              "is the voting + broadcast cost of space redundancy.\n");
+}
+
+void BM_VotingOverhead(benchmark::State& state) {
+  auto system = replicated(static_cast<int>(state.range(0)));
+  sim::NullEnvironment env;
+  for (auto _ : state) {
+    sim::SimulationOptions options;
+    options.periods = 2000;
+    auto result = ecode::run_emachine(*system.impl, env, options);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_VotingOverhead)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_EMachine3TS(benchmark::State& state) {
+  auto system = plant::make_three_tank_system({});
+  sim::NullEnvironment env;
+  for (auto _ : state) {
+    sim::SimulationOptions options;
+    options.periods = 2000;
+    options.actuator_comms = {"u1", "u2"};
+    auto result = ecode::run_emachine(*system->implementation, env, options);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_EMachine3TS);
+
+void BM_DirectRuntime3TS(benchmark::State& state) {
+  auto system = plant::make_three_tank_system({});
+  sim::NullEnvironment env;
+  for (auto _ : state) {
+    sim::SimulationOptions options;
+    options.periods = 2000;
+    options.actuator_comms = {"u1", "u2"};
+    auto result = sim::simulate(*system->implementation, env, options);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_DirectRuntime3TS);
+
+}  // namespace
+
+LRT_BENCH_MAIN(print_table)

@@ -1,0 +1,105 @@
+// Ablation: the three input failure models (paper Section 2). For a task
+// with k inputs of equal SRG p on a host of reliability q, the output SRG
+// is q*p^k (series), q*(1-(1-p)^k) (parallel), or q (independent). The
+// table sweeps k and p; the crossover structure explains when sensor
+// replication (paper scenario 2) pays off.
+//
+// Benchmarks: SRG computation cost vs fan-in.
+#include <cmath>
+
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "reliability/analysis.h"
+#include "spec/specification.h"
+
+namespace {
+
+using namespace lrt;
+
+struct FanInSystem {
+  std::unique_ptr<spec::Specification> spec;
+  std::unique_ptr<arch::Architecture> arch;
+  std::unique_ptr<impl::Implementation> impl;
+};
+
+FanInSystem fan_in(int k, double sensor_rel, spec::FailureModel model,
+                   double host_rel = 0.99) {
+  FanInSystem system;
+  spec::SpecificationConfig config;
+  config.name = "fanin";
+  spec::SpecificationConfig::TaskConfig task;
+  task.name = "t";
+  for (int i = 0; i < k; ++i) {
+    const std::string name = "in" + std::to_string(i);
+    config.communicators.push_back({name, spec::ValueType::kReal,
+                                    spec::Value::real(0.0), 10, 0.5});
+    task.inputs.emplace_back(name, 0);
+  }
+  config.communicators.push_back({"out", spec::ValueType::kReal,
+                                  spec::Value::real(0.0), 10, 0.5});
+  task.outputs = {{"out", 1}};
+  task.model = model;
+  config.tasks = {task};
+  system.spec = std::make_unique<spec::Specification>(
+      std::move(spec::Specification::Build(std::move(config))).value());
+
+  arch::ArchitectureConfig arch_config;
+  arch_config.hosts = {{"h", host_rel}};
+  impl::ImplementationConfig impl_config;
+  impl_config.task_mappings = {{"t", {"h"}}};
+  for (int i = 0; i < k; ++i) {
+    const std::string name = "in" + std::to_string(i);
+    arch_config.sensors.push_back({"sens" + std::to_string(i), sensor_rel});
+    impl_config.sensor_bindings.push_back(
+        {name, "sens" + std::to_string(i)});
+  }
+  system.arch = std::make_unique<arch::Architecture>(
+      std::move(arch::Architecture::Build(std::move(arch_config))).value());
+  system.impl = std::make_unique<impl::Implementation>(
+      std::move(impl::Implementation::Build(*system.spec, *system.arch,
+                                            std::move(impl_config)))
+          .value());
+  return system;
+}
+
+double out_srg(const FanInSystem& system) {
+  const auto srgs = reliability::compute_srgs(*system.impl);
+  return (*srgs)[static_cast<std::size_t>(
+      *system.spec->find_communicator("out"))];
+}
+
+void print_table() {
+  bench::header("Ablation", "output SRG by failure model and fan-in "
+                            "(host 0.99)");
+  std::printf("%-8s %-8s %-12s %-12s %-12s %-14s\n", "k", "p", "series",
+              "parallel", "independent", "closed form");
+  for (const double p : {0.8, 0.95, 0.99}) {
+    for (const int k : {1, 2, 4, 8}) {
+      const double series = out_srg(fan_in(k, p, spec::FailureModel::kSeries));
+      const double parallel =
+          out_srg(fan_in(k, p, spec::FailureModel::kParallel));
+      const double independent =
+          out_srg(fan_in(k, p, spec::FailureModel::kIndependent));
+      std::printf("%-8d %-8.2f %-12.6f %-12.6f %-12.6f q*p^k=%.6f\n", k, p,
+                  series, parallel, independent,
+                  0.99 * std::pow(p, k));
+    }
+  }
+  std::printf("\nshape: series decays with k, parallel grows toward q, "
+              "independent ignores inputs — the rules of Section 3.\n");
+}
+
+void BM_SrgVsFanIn(benchmark::State& state) {
+  auto system = fan_in(static_cast<int>(state.range(0)), 0.95,
+                       spec::FailureModel::kParallel);
+  for (auto _ : state) {
+    auto srgs = reliability::compute_srgs(*system.impl);
+    benchmark::DoNotOptimize(srgs);
+  }
+}
+BENCHMARK(BM_SrgVsFanIn)->Arg(2)->Arg(16)->Arg(64);
+
+}  // namespace
+
+LRT_BENCH_MAIN(print_table)

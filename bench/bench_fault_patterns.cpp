@@ -1,0 +1,75 @@
+// Baseline comparison: the paper argues for LRCs (probabilistic, long-run)
+// instead of the failure-pattern/priority view of Pinello et al. This
+// bench runs both analyses on the 3TS scenarios and places them side by
+// side: the combinatorial fault-tolerance degree of each control
+// communicator and its probabilistic SRG slack against LRC 0.98. The two
+// orders agree on *which* repair helps, but only the LRC view quantifies
+// how close 0.970299 is to 0.98 — the paper's core argument.
+//
+// Benchmarks: pattern enumeration cost vs bound k.
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "plant/three_tank_system.h"
+#include "reliability/analysis.h"
+#include "reliability/fault_patterns.h"
+
+namespace {
+
+using namespace lrt;
+
+void print_table() {
+  bench::header("Baseline", "failure patterns (Pinello-style) vs LRC slack "
+                            "on the 3TS (LRC(u) = 0.98)");
+  std::printf("%-28s %-20s %-20s %-12s\n", "variant", "u1 tolerance degree",
+              "u1 SRG", "meets 0.98");
+  for (const auto& [variant, name] :
+       {std::pair{plant::ThreeTankVariant::kBaseline, "baseline"},
+        std::pair{plant::ThreeTankVariant::kReplicatedTasks, "scenario 1"},
+        std::pair{plant::ThreeTankVariant::kReplicatedSensors,
+                  "scenario 2"}}) {
+    plant::ThreeTankScenario scenario;
+    scenario.variant = variant;
+    scenario.lrc_controls = 0.98;
+    auto system = plant::make_three_tank_system(scenario);
+    const auto patterns =
+        reliability::analyze_fault_patterns(*system->implementation, 2);
+    const auto srgs = reliability::compute_srgs(*system->implementation);
+    const auto u1 = *system->specification->find_communicator("u1");
+    int degree = -1;
+    std::string cut;
+    for (const auto& verdict : patterns->verdicts) {
+      if (verdict.name == "u1") {
+        degree = verdict.tolerance_degree;
+        cut = verdict.minimal_cut.to_string(*system->architecture);
+      }
+    }
+    const double srg = (*srgs)[static_cast<std::size_t>(u1)];
+    std::printf("%-28s %-3d (cut %-12s) %-20.8f %-12s\n", name, degree,
+                cut.c_str(), srg, srg >= 0.98 ? "yes" : "no");
+  }
+  std::printf(
+      "\nreading: the pattern view says 'scenario 1 survives one host "
+      "failure'; the LRC view additionally\nquantifies the long-run "
+      "guarantee (0.98000199 vs the 0.98 requirement) — including sensor "
+      "noise the\npattern view cannot see. Both repairs keep degree 0 "
+      "against sensor+pipeline failures (h3, sensors\nremain single points "
+      "for l1) while meeting the LRC, which is exactly the paper's "
+      "separation:\nrequirements are probabilistic, not structural.\n");
+}
+
+void BM_PatternEnumeration(benchmark::State& state) {
+  plant::ThreeTankScenario scenario;
+  scenario.variant = plant::ThreeTankVariant::kReplicatedTasks;
+  auto system = plant::make_three_tank_system(scenario);
+  for (auto _ : state) {
+    auto report = reliability::analyze_fault_patterns(
+        *system->implementation, static_cast<int>(state.range(0)));
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_PatternEnumeration)->Arg(1)->Arg(2)->Arg(3)->Arg(5);
+
+}  // namespace
+
+LRT_BENCH_MAIN(print_table)

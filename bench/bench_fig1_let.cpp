@@ -1,0 +1,76 @@
+// E1 (paper Fig. 1): communicators c1..c4 with periods 2, 3, 4, 2 and a
+// task t reading the second instances of c1, c2 and updating the third and
+// sixth instances of c3, c4. The paper states LET(t) = [3, 8].
+//
+// Reproduces the derived timing quantities and benchmarks specification
+// construction + graph analysis.
+#include "bench/bench_util.h"
+#include "sched/schedulability.h"
+#include "spec/spec_graph.h"
+#include "spec/specification.h"
+
+namespace {
+
+using namespace lrt;
+
+spec::SpecificationConfig fig1_config() {
+  spec::SpecificationConfig config;
+  config.name = "fig1";
+  const auto comm = [](const char* name, spec::Time period) {
+    return spec::Communicator{name, spec::ValueType::kReal,
+                              spec::Value::real(0.0), period, 0.9};
+  };
+  config.communicators = {comm("c1", 2), comm("c2", 3), comm("c3", 4),
+                          comm("c4", 2)};
+  spec::SpecificationConfig::TaskConfig task;
+  task.name = "t";
+  task.inputs = {{"c1", 1}, {"c2", 1}};
+  task.outputs = {{"c3", 2}, {"c4", 5}};
+  config.tasks = {task};
+  return config;
+}
+
+void print_table() {
+  bench::header("E1 / Fig. 1", "communicators, task LET, derived timing");
+  const auto spec = spec::Specification::Build(fig1_config());
+  const auto t = *spec->find_task("t");
+  std::printf("%-28s %-10s %-10s\n", "quantity", "paper", "measured");
+  std::printf("%-28s %-10s %lld\n", "read time of t", "3",
+              static_cast<long long>(spec->read_time(t)));
+  std::printf("%-28s %-10s %lld\n", "write time of t", "8",
+              static_cast<long long>(spec->write_time(t)));
+  std::printf("%-28s %-10s [%lld, %lld]\n", "LET of t", "[3, 8]",
+              static_cast<long long>(spec->read_time(t)),
+              static_cast<long long>(spec->write_time(t)));
+  std::printf("%-28s %-10s %lld\n", "lcm of periods", "12",
+              static_cast<long long>(spec->base_lcm()));
+  std::printf("%-28s %-10s %lld\n", "specification period pi_S", "12",
+              static_cast<long long>(spec->hyperperiod()));
+  const spec::SpecificationGraph graph(*spec);
+  std::printf("%-28s %-10s %s\n", "memory-free", "yes",
+              graph.is_memory_free() ? "yes" : "no");
+  std::printf("%-28s %-10s %zu vertices / %zu edges\n",
+              "specification graph G_S", "-", graph.vertices().size(),
+              graph.edge_count());
+}
+
+void BM_BuildFig1Spec(benchmark::State& state) {
+  for (auto _ : state) {
+    auto spec = spec::Specification::Build(fig1_config());
+    benchmark::DoNotOptimize(spec);
+  }
+}
+BENCHMARK(BM_BuildFig1Spec);
+
+void BM_Fig1GraphAnalysis(benchmark::State& state) {
+  const auto spec = spec::Specification::Build(fig1_config());
+  for (auto _ : state) {
+    spec::SpecificationGraph graph(*spec);
+    benchmark::DoNotOptimize(graph.is_memory_free());
+  }
+}
+BENCHMARK(BM_Fig1GraphAnalysis);
+
+}  // namespace
+
+LRT_BENCH_MAIN(print_table)

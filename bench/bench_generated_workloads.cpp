@@ -1,0 +1,104 @@
+// Macro-benchmark over generated workloads: the full pipeline (generate ->
+// analyze -> simulate) across dataflow shapes. The table quantifies, at
+// population scale, the finding from tests/property_test.cpp: on
+// tree-structured dataflow the SRG rules are exact; on general DAGs shared
+// dependencies bias them — series-dominated communicators get conservative
+// estimates, parallel junctions optimistic ones.
+#include <cmath>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "gen/workload.h"
+#include "reliability/analysis.h"
+#include "sim/runtime.h"
+
+namespace {
+
+using namespace lrt;
+
+struct ErrorStats {
+  double mean_abs = 0.0;
+  double mean_signed = 0.0;  // empirical - analytic
+  double worst = 0.0;
+  int comms = 0;
+};
+
+ErrorStats population_error(bool tree, std::uint64_t seed, int systems) {
+  gen::WorkloadOptions options;
+  options.tree_structured = tree;
+  Xoshiro256 rng(seed);
+  ErrorStats stats;
+  sim::NullEnvironment env;
+  for (int k = 0; k < systems; ++k) {
+    const auto workload = gen::random_workload(rng, options);
+    if (!workload.ok()) continue;
+    const auto srgs = reliability::compute_srgs(*workload->implementation);
+    sim::SimulationOptions sim_options;
+    sim_options.periods = 40'000;
+    sim_options.faults.seed = seed * 131 + static_cast<std::uint64_t>(k);
+    const auto run =
+        sim::simulate(*workload->implementation, env, sim_options);
+    if (!run.ok()) continue;
+    for (std::size_t c = 0; c < srgs->size(); ++c) {
+      const auto& comm_stats = run->comm_stats[c];
+      if (comm_stats.updates == 0) continue;
+      const double err = comm_stats.update_rate() - (*srgs)[c];
+      stats.mean_abs += std::fabs(err);
+      stats.mean_signed += err;
+      stats.worst = std::max(stats.worst, std::fabs(err));
+      ++stats.comms;
+    }
+  }
+  if (stats.comms > 0) {
+    stats.mean_abs /= stats.comms;
+    stats.mean_signed /= stats.comms;
+  }
+  return stats;
+}
+
+void print_table() {
+  bench::header("Population", "SRG rules vs empirical rates over generated "
+                              "workloads (20 systems each, 40k periods)");
+  std::printf("%-12s %-10s %-14s %-14s %-14s\n", "shape", "comms",
+              "mean |error|", "mean signed", "worst |error|");
+  const ErrorStats tree = population_error(true, 101, 20);
+  std::printf("%-12s %-10d %-14.5f %-14.5f %-14.5f\n", "tree", tree.comms,
+              tree.mean_abs, tree.mean_signed, tree.worst);
+  const ErrorStats dag = population_error(false, 101, 20);
+  std::printf("%-12s %-10d %-14.5f %-14.5f %-14.5f\n", "general DAG",
+              dag.comms, dag.mean_abs, dag.mean_signed, dag.worst);
+  std::printf("\nshape: tree errors are pure Monte-Carlo noise; DAG errors "
+              "include the shared-dependency bias (see EXPERIMENTS.md, "
+              "'A finding').\n");
+}
+
+void BM_GenerateWorkload(benchmark::State& state) {
+  gen::WorkloadOptions options;
+  options.min_layers = options.max_layers = static_cast<int>(state.range(0));
+  options.min_tasks_per_layer = options.max_tasks_per_layer = 3;
+  Xoshiro256 rng(7);
+  for (auto _ : state) {
+    auto workload = gen::random_workload(rng, options);
+    benchmark::DoNotOptimize(workload);
+  }
+}
+BENCHMARK(BM_GenerateWorkload)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_GenerateAnalyzeSimulate(benchmark::State& state) {
+  Xoshiro256 rng(11);
+  sim::NullEnvironment env;
+  for (auto _ : state) {
+    auto workload = gen::random_workload(rng);
+    auto report = reliability::analyze(*workload->implementation);
+    sim::SimulationOptions options;
+    options.periods = state.range(0);
+    auto run = sim::simulate(*workload->implementation, env, options);
+    benchmark::DoNotOptimize(report);
+    benchmark::DoNotOptimize(run);
+  }
+}
+BENCHMARK(BM_GenerateAnalyzeSimulate)->Arg(100)->Arg(1000);
+
+}  // namespace
+
+LRT_BENCH_MAIN(print_table)

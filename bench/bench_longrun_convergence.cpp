@@ -1,0 +1,65 @@
+// E6 (paper Prop. 1): the strong-law-of-large-numbers argument. The
+// probability-1 claim "limavg of the reliability-abstract trace >= mu_c"
+// is backed by the empirical limit average converging to the analytical
+// SRG as the trace grows. This bench sweeps trace lengths on the 3TS
+// system and reports |empirical - analytic| per decade for u1.
+//
+// Benchmarks: raw simulation throughput at two period counts.
+#include <cmath>
+
+#include "bench/bench_util.h"
+#include "plant/three_tank_system.h"
+#include "reliability/analysis.h"
+#include "sim/runtime.h"
+
+namespace {
+
+using namespace lrt;
+
+void print_table() {
+  bench::header("E6 / Prop. 1",
+                "SLLN: empirical limavg -> analytical SRG (3TS, comm u1)");
+
+  auto system = plant::make_three_tank_system({});
+  const auto srgs = reliability::compute_srgs(*system->implementation);
+  const auto u1 = *system->specification->find_communicator("u1");
+  const double analytic = (*srgs)[static_cast<std::size_t>(u1)];
+  std::printf("analytical SRG lambda_u1 = %.8f\n\n", analytic);
+  std::printf("%-12s %-14s %-14s %-12s\n", "periods", "empirical",
+              "|error|", "1/sqrt(n)");
+
+  sim::NullEnvironment env;
+  for (const std::int64_t periods :
+       {100LL, 1'000LL, 10'000LL, 100'000LL, 1'000'000LL}) {
+    sim::SimulationOptions options;
+    options.periods = periods;
+    options.actuator_comms = {"u1", "u2"};
+    options.faults.seed = 6;
+    const auto result = sim::simulate(*system->implementation, env, options);
+    const double empirical = result->find("u1")->limit_average;
+    std::printf("%-12lld %-14.6f %-14.6f %-12.6f\n",
+                static_cast<long long>(periods), empirical,
+                std::fabs(empirical - analytic),
+                1.0 / std::sqrt(static_cast<double>(periods)));
+  }
+  std::printf("\nexpected shape: the error column shrinks roughly like "
+              "1/sqrt(n) (SLLN / CLT rate).\n");
+}
+
+void BM_SimulationThroughput(benchmark::State& state) {
+  auto system = plant::make_three_tank_system({});
+  sim::NullEnvironment env;
+  for (auto _ : state) {
+    sim::SimulationOptions options;
+    options.periods = state.range(0);
+    options.actuator_comms = {"u1", "u2"};
+    auto result = sim::simulate(*system->implementation, env, options);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulationThroughput)->Arg(1'000)->Arg(10'000);
+
+}  // namespace
+
+LRT_BENCH_MAIN(print_table)

@@ -1,0 +1,115 @@
+// Ablation: incremental analysis via refinement. The paper argues the
+// joint schedulability/reliability analysis can be reduced "significantly"
+// by progressing through refinement steps, because refinement constraints
+// are local. This bench quantifies the claim: full joint re-analysis vs
+// a refinement check, across system sizes.
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "refine/refinement.h"
+#include "reliability/analysis.h"
+#include "sched/schedulability.h"
+
+namespace {
+
+using namespace lrt;
+
+struct Sys {
+  std::unique_ptr<spec::Specification> spec;
+  std::unique_ptr<arch::Architecture> arch;
+  std::unique_ptr<impl::Implementation> impl;
+};
+
+/// n independent sensor->task->output triples; `concrete` shrinks WCET and
+/// LRC (a legal refinement of the abstract variant).
+Sys wide_system(int n, bool concrete) {
+  Sys sys;
+  spec::SpecificationConfig config;
+  config.name = concrete ? "concrete" : "abstract";
+  impl::ImplementationConfig impl_config;
+  arch::ArchitectureConfig arch_config;
+  arch_config.hosts = {{"h1", 0.999}, {"h2", 0.999}};
+  arch_config.default_wcet = concrete ? 2 : 4;
+  arch_config.default_wctt = 1;
+  const std::int64_t period = 16 * n;
+  for (int i = 0; i < n; ++i) {
+    const std::string suffix = std::to_string(i);
+    config.communicators.push_back({"in" + suffix, spec::ValueType::kReal,
+                                    spec::Value::real(0.0), period, 0.5});
+    config.communicators.push_back({"out" + suffix, spec::ValueType::kReal,
+                                    spec::Value::real(0.0), period / 2,
+                                    concrete ? 0.9 : 0.95});
+    spec::SpecificationConfig::TaskConfig task;
+    task.name = "task" + suffix;
+    task.inputs = {{"in" + suffix, 0}};
+    task.outputs = {{"out" + suffix, 1}};
+    config.tasks.push_back(std::move(task));
+    impl_config.task_mappings.push_back(
+        {"task" + suffix, {i % 2 == 0 ? "h1" : "h2"}});
+    arch_config.sensors.push_back({"sens" + suffix, 0.999});
+    impl_config.sensor_bindings.push_back({"in" + suffix, "sens" + suffix});
+  }
+  sys.spec = std::make_unique<spec::Specification>(
+      std::move(spec::Specification::Build(std::move(config))).value());
+  sys.arch = std::make_unique<arch::Architecture>(
+      std::move(arch::Architecture::Build(std::move(arch_config))).value());
+  sys.impl = std::make_unique<impl::Implementation>(
+      std::move(impl::Implementation::Build(*sys.spec, *sys.arch,
+                                            std::move(impl_config)))
+          .value());
+  return sys;
+}
+
+refine::RefinementMap identity_kappa(int n) {
+  refine::RefinementMap kappa;
+  for (int i = 0; i < n; ++i) {
+    kappa.task_map.emplace_back("task" + std::to_string(i),
+                                "task" + std::to_string(i));
+  }
+  return kappa;
+}
+
+void print_table() {
+  bench::header("Ablation", "incremental (refinement) vs full re-analysis");
+  std::printf("benchmarks below compare, for n tasks:\n"
+              "  BM_FullJointAnalysis  — reliability + schedulability from "
+              "scratch\n"
+              "  BM_RefinementCheck    — the local constraint check that "
+              "replaces it after a refinement step\n");
+  // Sanity: the concrete system refines the abstract one.
+  const Sys abstract_sys = wide_system(32, false);
+  const Sys concrete_sys = wide_system(32, true);
+  const auto check = refine::check_refinement(
+      *concrete_sys.impl, *abstract_sys.impl, identity_kappa(32));
+  std::printf("\nsanity (n=32): refinement %s\n",
+              check->refines ? "holds" : check->summary().c_str());
+}
+
+void BM_FullJointAnalysis(benchmark::State& state) {
+  const Sys sys = wide_system(static_cast<int>(state.range(0)), true);
+  for (auto _ : state) {
+    auto rel = reliability::analyze(*sys.impl);
+    auto sched = sched::analyze_schedulability(*sys.impl);
+    benchmark::DoNotOptimize(rel);
+    benchmark::DoNotOptimize(sched);
+  }
+}
+BENCHMARK(BM_FullJointAnalysis)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_RefinementCheck(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Sys abstract_sys = wide_system(n, false);
+  const Sys concrete_sys = wide_system(n, true);
+  const refine::RefinementMap kappa = identity_kappa(n);
+  for (auto _ : state) {
+    auto report =
+        refine::check_refinement(*concrete_sys.impl, *abstract_sys.impl,
+                                 kappa);
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_RefinementCheck)->Arg(8)->Arg(64)->Arg(256);
+
+}  // namespace
+
+LRT_BENCH_MAIN(print_table)

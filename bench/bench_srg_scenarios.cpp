@@ -1,0 +1,114 @@
+// E2-E4 (paper Section 4): the 3TS SRG computations.
+//   E2 baseline:   lambda_l = 0.9801, lambda_u = 0.970299 (paper, exact)
+//   E3 scenario 1: t1, t2 replicated on {h1, h2}; lambda_t = 0.9999,
+//                  lambda_u = 0.98000199
+//   E4 scenario 2: sensors replicated (model-2 read tasks);
+//                  lambda_l = 0.989901, lambda_u = 0.98000199
+// The published scan of the paper drops several digits; EXPERIMENTS.md
+// documents the reconstruction (LRC 0.97 holds for the baseline, 0.98
+// requires a repair scenario; both repairs land on the same lambda_u).
+//
+// Benchmarks: SRG induction and full reliability analysis on the 3TS model.
+#include "bench/bench_util.h"
+#include "plant/three_tank_system.h"
+#include "reliability/analysis.h"
+
+namespace {
+
+using namespace lrt;
+
+double srg_of(const impl::Implementation& impl, const char* name) {
+  const auto srgs = reliability::compute_srgs(impl);
+  const auto comm = impl.specification().find_communicator(name);
+  return (*srgs)[static_cast<std::size_t>(*comm)];
+}
+
+void print_table() {
+  bench::header("E2-E4 / Section 4", "3TS SRGs: baseline and repair scenarios");
+
+  plant::ThreeTankScenario base_scenario;
+  auto base = plant::make_three_tank_system(base_scenario);
+
+  plant::ThreeTankScenario s1;
+  s1.variant = plant::ThreeTankVariant::kReplicatedTasks;
+  auto sys1 = plant::make_three_tank_system(s1);
+
+  plant::ThreeTankScenario s2;
+  s2.variant = plant::ThreeTankVariant::kReplicatedSensors;
+  auto sys2 = plant::make_three_tank_system(s2);
+
+  std::printf("%-34s %-14s %-14s\n", "quantity", "paper", "measured");
+  std::printf("%-34s %-14s %.8f\n", "E2 lambda_s1 (sensor)", "0.99",
+              srg_of(*base->implementation, "s1"));
+  std::printf("%-34s %-14s %.8f\n", "E2 lambda_l1 (baseline)", "0.9801",
+              srg_of(*base->implementation, "l1"));
+  std::printf("%-34s %-14s %.8f\n", "E2 lambda_u1 (baseline)", "0.970299",
+              srg_of(*base->implementation, "u1"));
+  std::printf("%-34s %-14s %.8f\n", "E3 lambda_t1 (replicated)", "0.9999",
+              reliability::task_reliability(
+                  *sys1->implementation,
+                  *sys1->specification->find_task("t1")));
+  std::printf("%-34s %-14s %.8f\n", "E3 lambda_u1 (scenario 1)",
+              "0.98000199", srg_of(*sys1->implementation, "u1"));
+  std::printf("%-34s %-14s %.8f\n", "E4 lambda_l1 (scenario 2)", "0.989901",
+              srg_of(*sys2->implementation, "l1"));
+  std::printf("%-34s %-14s %.8f\n", "E4 lambda_u1 (scenario 2)",
+              "0.98000199", srg_of(*sys2->implementation, "u1"));
+
+  std::printf("\nLRC verdicts (paper: baseline fails the raised "
+              "requirement; both scenarios meet it):\n");
+  for (const double lrc : {0.97, 0.98}) {
+    plant::ThreeTankScenario sb;
+    sb.lrc_controls = lrc;
+    auto b = plant::make_three_tank_system(sb);
+    plant::ThreeTankScenario sr1 = sb;
+    sr1.variant = plant::ThreeTankVariant::kReplicatedTasks;
+    auto r1 = plant::make_three_tank_system(sr1);
+    plant::ThreeTankScenario sr2 = sb;
+    sr2.variant = plant::ThreeTankVariant::kReplicatedSensors;
+    auto r2 = plant::make_three_tank_system(sr2);
+    std::printf("  LRC(u) = %.2f: baseline %-12s scenario1 %-12s "
+                "scenario2 %s\n",
+                lrc,
+                reliability::analyze(*b->implementation)->reliable
+                    ? "RELIABLE"
+                    : "VIOLATED",
+                reliability::analyze(*r1->implementation)->reliable
+                    ? "RELIABLE"
+                    : "VIOLATED",
+                reliability::analyze(*r2->implementation)->reliable
+                    ? "RELIABLE"
+                    : "VIOLATED");
+  }
+}
+
+void BM_ComputeSrgs3TS(benchmark::State& state) {
+  auto system = plant::make_three_tank_system({});
+  for (auto _ : state) {
+    auto srgs = reliability::compute_srgs(*system->implementation);
+    benchmark::DoNotOptimize(srgs);
+  }
+}
+BENCHMARK(BM_ComputeSrgs3TS);
+
+void BM_FullReliabilityAnalysis3TS(benchmark::State& state) {
+  auto system = plant::make_three_tank_system({});
+  for (auto _ : state) {
+    auto report = reliability::analyze(*system->implementation);
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_FullReliabilityAnalysis3TS);
+
+void BM_SrgFixpoint3TS(benchmark::State& state) {
+  auto system = plant::make_three_tank_system({});
+  for (auto _ : state) {
+    auto srgs = reliability::compute_srgs_fixpoint(*system->implementation);
+    benchmark::DoNotOptimize(srgs);
+  }
+}
+BENCHMARK(BM_SrgFixpoint3TS);
+
+}  // namespace
+
+LRT_BENCH_MAIN(print_table)

@@ -1,0 +1,75 @@
+// Ablation: replication synthesis — greedy vs exhaustive branch-and-bound.
+// The table compares cost (total replicas) and search effort on the 3TS
+// task set across LRC targets; the benchmarks time both strategies.
+#include "bench/bench_util.h"
+#include "plant/three_tank_system.h"
+#include "synth/synthesis.h"
+
+namespace {
+
+using namespace lrt;
+
+void print_table() {
+  bench::header("Ablation", "replication synthesis: greedy vs exhaustive "
+                            "(3TS task set)");
+  std::printf("%-10s %-22s %-22s\n", "LRC(u)", "greedy (cost/evals)",
+              "exhaustive (cost/evals)");
+  for (const double lrc : {0.95, 0.97, 0.98, 0.9899}) {
+    plant::ThreeTankScenario scenario;
+    scenario.lrc_controls = lrc;
+    auto system = plant::make_three_tank_system(scenario);
+    std::string cells[2];
+    int index = 0;
+    for (const auto strategy :
+         {synth::SynthesisOptions::Strategy::kGreedy,
+          synth::SynthesisOptions::Strategy::kExhaustive}) {
+      synth::SynthesisOptions options;
+      options.strategy = strategy;
+      const auto result = synth::synthesize(
+          *system->specification, *system->architecture,
+          {{"s1", "sensor1"}, {"s2", "sensor2"}}, options);
+      cells[index++] =
+          result.ok() ? std::to_string(result->replication_count) + " / " +
+                            std::to_string(result->candidates_evaluated)
+                      : std::string("unsat");
+    }
+    std::printf("%-10.4f %-22s %-22s\n", lrc, cells[0].c_str(),
+                cells[1].c_str());
+  }
+  std::printf("\nshape: greedy finds the same minimal cost with orders of "
+              "magnitude fewer candidate evaluations.\n");
+}
+
+void BM_SynthesizeGreedy(benchmark::State& state) {
+  plant::ThreeTankScenario scenario;
+  scenario.lrc_controls = 0.98;
+  auto system = plant::make_three_tank_system(scenario);
+  for (auto _ : state) {
+    synth::SynthesisOptions options;
+    options.strategy = synth::SynthesisOptions::Strategy::kGreedy;
+    auto result = synth::synthesize(
+        *system->specification, *system->architecture,
+        {{"s1", "sensor1"}, {"s2", "sensor2"}}, options);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_SynthesizeGreedy);
+
+void BM_SynthesizeExhaustive(benchmark::State& state) {
+  plant::ThreeTankScenario scenario;
+  scenario.lrc_controls = 0.98;
+  auto system = plant::make_three_tank_system(scenario);
+  for (auto _ : state) {
+    synth::SynthesisOptions options;
+    options.strategy = synth::SynthesisOptions::Strategy::kExhaustive;
+    auto result = synth::synthesize(
+        *system->specification, *system->architecture,
+        {{"s1", "sensor1"}, {"s2", "sensor2"}}, options);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_SynthesizeExhaustive);
+
+}  // namespace
+
+LRT_BENCH_MAIN(print_table)

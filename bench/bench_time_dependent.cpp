@@ -1,0 +1,130 @@
+// E8 (paper Section 3, "General implementation"): two tasks t1, t2 with
+// LRC 0.9 on their outputs; hosts h1 (0.95) and h2 (0.85). Mapping t2 to
+// h2 violates c2's LRC and mapping t1 to h2 violates c1's — but a
+// time-dependent implementation that alternates the two mappings across
+// iterations achieves limavg 0.9 for both and is reliable.
+//
+// The empirical row simulates the alternating mapping directly: the
+// runtime switches the replication mapping every iteration
+// (sim::simulate_time_dependent).
+//
+// Benchmarks: the time-dependent analysis over growing phase counts.
+#include <array>
+
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "reliability/analysis.h"
+#include "sim/runtime.h"
+
+namespace {
+
+using namespace lrt;
+
+struct Fixture {
+  std::unique_ptr<spec::Specification> spec;
+  std::unique_ptr<arch::Architecture> arch;
+  std::unique_ptr<impl::Implementation> phase_a;
+  std::unique_ptr<impl::Implementation> phase_b;
+};
+
+Fixture make_fixture() {
+  Fixture f;
+  spec::SpecificationConfig spec_config;
+  spec_config.name = "alternating";
+  spec_config.communicators = {
+      {"s", spec::ValueType::kReal, spec::Value::real(0.0), 10, 0.5},
+      {"c1", spec::ValueType::kReal, spec::Value::real(0.0), 10, 0.9},
+      {"c2", spec::ValueType::kReal, spec::Value::real(0.0), 10, 0.9}};
+  spec::SpecificationConfig::TaskConfig t1;
+  t1.name = "t1";
+  t1.inputs = {{"s", 0}};
+  t1.outputs = {{"c1", 1}};
+  spec::SpecificationConfig::TaskConfig t2;
+  t2.name = "t2";
+  t2.inputs = {{"s", 0}};
+  t2.outputs = {{"c2", 1}};
+  spec_config.tasks = {t1, t2};
+  f.spec = std::make_unique<spec::Specification>(
+      std::move(spec::Specification::Build(std::move(spec_config))).value());
+
+  arch::ArchitectureConfig arch_config;
+  arch_config.hosts = {{"h1", 0.95}, {"h2", 0.85}};
+  arch_config.sensors = {{"s", 1.0}};
+  f.arch = std::make_unique<arch::Architecture>(
+      std::move(arch::Architecture::Build(std::move(arch_config))).value());
+
+  impl::ImplementationConfig a;
+  a.task_mappings = {{"t1", {"h1"}}, {"t2", {"h2"}}};
+  a.sensor_bindings = {{"s", "s"}};
+  impl::ImplementationConfig b;
+  b.task_mappings = {{"t1", {"h2"}}, {"t2", {"h1"}}};
+  b.sensor_bindings = {{"s", "s"}};
+  f.phase_a = std::make_unique<impl::Implementation>(
+      std::move(impl::Implementation::Build(*f.spec, *f.arch, std::move(a)))
+          .value());
+  f.phase_b = std::make_unique<impl::Implementation>(
+      std::move(impl::Implementation::Build(*f.spec, *f.arch, std::move(b)))
+          .value());
+  return f;
+}
+
+void print_table() {
+  bench::header("E8 / Section 3",
+                "time-dependent implementation: alternating t1,t2 between "
+                "h1 (0.95) and h2 (0.85), LRC 0.9");
+
+  const Fixture f = make_fixture();
+  const auto report_a = reliability::analyze(*f.phase_a);
+  const auto report_b = reliability::analyze(*f.phase_b);
+  const std::array<impl::Implementation, 2> phases = {*f.phase_a, *f.phase_b};
+  const auto alternating = reliability::analyze_time_dependent(phases);
+
+  sim::NullEnvironment env;
+  sim::SimulationOptions options;
+  options.periods = 400'000;
+  options.faults.seed = 8;
+  const std::array<impl::Implementation, 2> sim_phases = {*f.phase_a,
+                                                          *f.phase_b};
+  const auto sim_alt = sim::simulate_time_dependent(sim_phases, env, options);
+
+  std::printf("%-28s %-12s %-12s %-10s\n", "implementation",
+              "lambda_c1", "lambda_c2", "verdict");
+  const auto row = [](const char* name,
+                      const reliability::ReliabilityReport& report) {
+    double c1 = 0, c2 = 0;
+    for (const auto& verdict : report.verdicts) {
+      if (verdict.name == "c1") c1 = verdict.srg;
+      if (verdict.name == "c2") c2 = verdict.srg;
+    }
+    std::printf("%-28s %-12.4f %-12.4f %-10s\n", name, c1, c2,
+                report.reliable ? "RELIABLE" : "VIOLATED");
+  };
+  row("static A (t1>h1, t2>h2)", *report_a);
+  row("static B (t1>h2, t2>h1)", *report_b);
+  row("alternating A/B", *alternating);
+
+  std::printf("%-28s %-12.4f %-12.4f (empirical, 400k periods)\n",
+              "alternating A/B (simulated)",
+              sim_alt->find("c1")->limit_average,
+              sim_alt->find("c2")->limit_average);
+  std::printf("\npaper: neither static mapping is reliable; the "
+              "time-dependent implementation is (limavg = 0.9 >= 0.9).\n");
+}
+
+void BM_TimeDependentAnalysis(benchmark::State& state) {
+  const Fixture f = make_fixture();
+  std::vector<impl::Implementation> phases;
+  for (int i = 0; i < state.range(0); ++i) {
+    phases.push_back(i % 2 == 0 ? *f.phase_a : *f.phase_b);
+  }
+  for (auto _ : state) {
+    auto report = reliability::analyze_time_dependent(phases);
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_TimeDependentAnalysis)->Arg(2)->Arg(16)->Arg(128);
+
+}  // namespace
+
+LRT_BENCH_MAIN(print_table)

@@ -1,0 +1,33 @@
+// Shared helpers for the experiment/benchmark binaries. Each binary prints
+// its paper-vs-measured reproduction table first (the content of
+// EXPERIMENTS.md), then runs its google-benchmark kernels.
+#ifndef LRT_BENCH_BENCH_UTIL_H_
+#define LRT_BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+namespace lrt::bench {
+
+inline void header(const char* experiment, const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", experiment, title);
+  std::printf("================================================================\n");
+}
+
+/// Standard main: print the table, then run benchmarks.
+#define LRT_BENCH_MAIN(print_table_fn)                       \
+  int main(int argc, char** argv) {                          \
+    print_table_fn();                                        \
+    ::benchmark::Initialize(&argc, argv);                    \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) \
+      return 1;                                              \
+    ::benchmark::RunSpecifiedBenchmarks();                   \
+    ::benchmark::Shutdown();                                 \
+    return 0;                                                \
+  }
+
+}  // namespace lrt::bench
+
+#endif  // LRT_BENCH_BENCH_UTIL_H_

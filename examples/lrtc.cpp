@@ -1,0 +1,227 @@
+// lrtc — the command-line HTL compiler & analyzer.
+//
+//   lrtc <file.htl> [--ecode] [--timeline] [--simulate N] [--rbd COMM]
+//        [--patterns K] [--json] [--refines PARENT.htl]
+//
+// Compiles the program, runs the joint schedulability/reliability
+// analysis, and optionally disassembles the generated per-host E-code,
+// renders the synthesized schedule, simulates N specification periods
+// with fault injection, prints the reliability block diagram of a
+// communicator, or runs the failure-pattern analysis up to K simultaneous
+// component failures.
+//
+// Example:  ./build/examples/lrtc examples/htl/cruise.htl --timeline --ecode
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "ecode/emachine.h"
+#include "ecode/program.h"
+#include "htl/compiler.h"
+#include "refine/refinement.h"
+#include "reliability/analysis.h"
+#include "reliability/fault_patterns.h"
+#include "reliability/rbd.h"
+#include "sched/schedulability.h"
+#include "sched/timeline.h"
+#include "sim/runtime.h"
+
+using namespace lrt;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: lrtc <file.htl> [--ecode] [--timeline] "
+               "[--simulate N] [--rbd COMM] [--patterns K] [--json]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const char* path = argv[1];
+  bool want_ecode = false;
+  bool want_timeline = false;
+  bool want_json = false;
+  long simulate_periods = 0;
+  int pattern_bound = 0;
+  const char* rbd_comm = nullptr;
+  const char* parent_path = nullptr;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--ecode") == 0) {
+      want_ecode = true;
+    } else if (std::strcmp(argv[i], "--timeline") == 0) {
+      want_timeline = true;
+    } else if (std::strcmp(argv[i], "--simulate") == 0 && i + 1 < argc) {
+      simulate_periods = std::atol(argv[++i]);
+    } else if (std::strcmp(argv[i], "--rbd") == 0 && i + 1 < argc) {
+      rbd_comm = argv[++i];
+    } else if (std::strcmp(argv[i], "--patterns") == 0 && i + 1 < argc) {
+      pattern_bound = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      want_json = true;
+    } else if (std::strcmp(argv[i], "--refines") == 0 && i + 1 < argc) {
+      parent_path = argv[++i];
+    } else {
+      return usage();
+    }
+  }
+
+  std::ifstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "lrtc: cannot open '%s'\n", path);
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+
+  const auto system = htl::compile(buffer.str());
+  if (!system.ok()) {
+    std::fprintf(stderr, "lrtc: %s\n", system.status().to_string().c_str());
+    return 1;
+  }
+  if (!want_json) {
+    std::printf("program '%s': %zu communicators, %zu tasks, period %lld\n",
+                system->ast.name.c_str(),
+                system->specification->communicators().size(),
+                system->specification->tasks().size(),
+                static_cast<long long>(
+                    system->specification->hyperperiod()));
+  }
+
+  if (system->implementation == nullptr) {
+    std::printf("(no architecture/mapping blocks — specification checked, "
+                "no implementation to analyze)\n");
+    return 0;
+  }
+  const impl::Implementation& impl = *system->implementation;
+
+  const auto reliability = reliability::analyze(impl);
+  if (!reliability.ok()) {
+    std::fprintf(stderr, "lrtc: %s\n",
+                 reliability.status().to_string().c_str());
+    return 1;
+  }
+  if (want_json) {
+    // Machine-readable mode: one combined document, nothing else.
+    const auto sched_report = sched::analyze_schedulability(impl);
+    if (!sched_report.ok()) {
+      std::fprintf(stderr, "lrtc: %s\n",
+                   sched_report.status().to_string().c_str());
+      return 1;
+    }
+    std::printf("{\"program\":\"%s\",\"reliability\":%s,"
+                "\"schedulability\":%s}\n",
+                system->ast.name.c_str(),
+                reliability::to_json(*reliability).c_str(),
+                sched::to_json(*sched_report, impl).c_str());
+    return 0;
+  }
+  std::printf("\n%s", reliability->summary().c_str());
+
+  const auto schedulability = sched::analyze_schedulability(impl);
+  if (!schedulability.ok()) {
+    std::fprintf(stderr, "lrtc: %s\n",
+                 schedulability.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("%s", schedulability->summary().c_str());
+  std::printf("\n=> implementation is %s\n",
+              reliability->reliable && schedulability->schedulable
+                  ? "VALID"
+                  : "NOT VALID");
+
+  if (want_timeline) {
+    std::printf("\n%s",
+                sched::render_timeline(*schedulability, impl).c_str());
+  }
+  if (want_ecode) {
+    for (arch::HostId h = 0;
+         h < static_cast<arch::HostId>(
+                 system->architecture->hosts().size());
+         ++h) {
+      const auto program = ecode::generate_ecode(impl, h);
+      if (program.ok()) {
+        std::printf("\n%s",
+                    program->disassemble(*system->specification).c_str());
+      }
+    }
+  }
+  if (rbd_comm != nullptr) {
+    const auto comm = system->specification->find_communicator(rbd_comm);
+    if (!comm.has_value()) {
+      std::fprintf(stderr, "lrtc: unknown communicator '%s'\n", rbd_comm);
+      return 1;
+    }
+    const auto diagram = reliability::build_srg_rbd(impl, *comm);
+    if (diagram.ok()) {
+      std::printf("\nRBD(%s) = %s\n     reliability = %.8f\n", rbd_comm,
+                  diagram->rbd.to_string(diagram->root).c_str(),
+                  diagram->rbd.reliability(diagram->root));
+    }
+  }
+  if (parent_path != nullptr) {
+    std::ifstream parent_file(parent_path);
+    if (!parent_file) {
+      std::fprintf(stderr, "lrtc: cannot open '%s'\n", parent_path);
+      return 1;
+    }
+    std::ostringstream parent_buffer;
+    parent_buffer << parent_file.rdbuf();
+    const auto parent = htl::compile(parent_buffer.str());
+    if (!parent.ok() || parent->implementation == nullptr) {
+      std::fprintf(stderr, "lrtc: parent program: %s\n",
+                   parent.ok() ? "no architecture/mapping blocks"
+                               : parent.status().to_string().c_str());
+      return 1;
+    }
+    const auto kappa = htl::refinement_map(system->ast);
+    if (!kappa.ok()) {
+      std::fprintf(stderr, "lrtc: %s\n", kappa.status().to_string().c_str());
+      return 1;
+    }
+    const auto check = refine::check_refinement(
+        impl, *parent->implementation, *kappa);
+    if (!check.ok()) {
+      std::fprintf(stderr, "lrtc: %s\n", check.status().to_string().c_str());
+      return 1;
+    }
+    std::printf("\nrefinement of '%s': %s\n", parent->ast.name.c_str(),
+                check->summary().c_str());
+    if (check->refines) {
+      std::printf("=> by Prop. 2, validity of the parent transfers to this "
+                  "program.\n");
+    }
+  }
+  if (pattern_bound > 0) {
+    const auto patterns =
+        reliability::analyze_fault_patterns(impl, pattern_bound);
+    if (patterns.ok()) {
+      std::printf("\n%s",
+                  patterns->summary(*system->architecture).c_str());
+    }
+  }
+  if (simulate_periods > 0) {
+    sim::NullEnvironment env;
+    sim::SimulationOptions options;
+    options.periods = simulate_periods;
+    const auto result = ecode::run_emachine(impl, env, options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "lrtc: %s\n", result.status().to_string().c_str());
+      return 1;
+    }
+    std::printf("\nE-machine, %ld periods with fault injection:\n",
+                simulate_periods);
+    for (const auto& stats : result->comm_stats) {
+      std::printf("  %-12s empirical limavg = %.6f  (updates: %lld/%lld)\n",
+                  stats.name.c_str(), stats.limit_average,
+                  static_cast<long long>(stats.reliable_updates),
+                  static_cast<long long>(stats.updates));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Replication-mapping synthesis: sweep the LRC demanded of the 3TS control
+// communicators and watch the synthesizer buy exactly as much space
+// redundancy as each requirement needs — automating the by-hand repair
+// the paper performs in Section 4.
+//
+// Build & run:  ./build/examples/synthesis_explorer
+#include <cstdio>
+
+#include "plant/three_tank_system.h"
+#include "reliability/analysis.h"
+#include "synth/synthesis.h"
+
+using namespace lrt;
+
+int main() {
+  std::printf("=== replication synthesis on the 3TS task set ===\n\n");
+  std::printf("%-8s %-14s %-12s %-10s %-30s\n", "LRC", "strategy",
+              "replicas", "explored", "verdict / achieved lambda_u1");
+
+  for (const double lrc : {0.95, 0.97, 0.98, 0.9899, 0.99}) {
+    plant::ThreeTankScenario scenario;
+    scenario.lrc_controls = lrc;
+    auto system = plant::make_three_tank_system(scenario);
+    if (!system.ok()) continue;
+
+    for (const auto strategy : {synth::SynthesisOptions::Strategy::kGreedy,
+                                synth::SynthesisOptions::Strategy::kExhaustive}) {
+      synth::SynthesisOptions options;
+      options.strategy = strategy;
+      const auto result = synth::synthesize(
+          *system->specification, *system->architecture,
+          {{"s1", "sensor1"}, {"s2", "sensor2"}}, options);
+      const char* name =
+          strategy == synth::SynthesisOptions::Strategy::kGreedy
+              ? "greedy"
+              : "exhaustive";
+      if (!result.ok()) {
+        std::printf("%-8.4f %-14s %-12s %-10s %s\n", lrc, name, "-", "-",
+                    result.status().to_string().c_str());
+        continue;
+      }
+      auto impl = impl::Implementation::Build(
+          *system->specification, *system->architecture, result->config);
+      const auto srgs = reliability::compute_srgs(*impl);
+      const auto u1 = *system->specification->find_communicator("u1");
+      std::printf("%-8.4f %-14s %-12zu %-10lld lambda_u1 = %.8f\n", lrc,
+                  name, result->replication_count,
+                  static_cast<long long>(result->candidates_evaluated),
+                  (*srgs)[static_cast<std::size_t>(u1)]);
+    }
+  }
+
+  std::printf("\nNotes:\n"
+              " * LRC <= 0.970299 is met with 6 replicas (one per task) — "
+              "the paper's baseline.\n"
+              " * LRC 0.98 forces replication of the u-support (the paper's "
+              "scenario 1 found by hand).\n"
+              " * Past what full replication of every supporting task can "
+              "deliver, synthesis reports UNSATISFIABLE.\n");
+  return 0;
+}

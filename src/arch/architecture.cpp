@@ -1,0 +1,116 @@
+#include "arch/architecture.h"
+
+#include "support/math_util.h"
+#include "support/strings.h"
+
+namespace lrt::arch {
+
+Result<Architecture> Architecture::Build(ArchitectureConfig config) {
+  Architecture arch;
+  arch.name_ = std::move(config.name);
+  arch.default_wcet_ = config.default_wcet;
+  arch.default_wctt_ = config.default_wctt;
+
+  for (auto& host : config.hosts) {
+    if (!is_identifier(host.name)) {
+      return InvalidArgumentError("host name '" + host.name +
+                                  "' is not a valid identifier");
+    }
+    if (!is_reliability(host.reliability)) {
+      return InvalidArgumentError("host '" + host.name +
+                                  "' reliability outside (0,1]: " +
+                                  format_double(host.reliability));
+    }
+    const auto id = static_cast<HostId>(arch.hosts_.size());
+    if (!arch.host_index_.emplace(host.name, id).second) {
+      return AlreadyExistsError("duplicate host '" + host.name + "'");
+    }
+    arch.hosts_.push_back(std::move(host));
+  }
+  if (arch.hosts_.empty()) {
+    return InvalidArgumentError("architecture '" + arch.name_ +
+                                "' declares no hosts");
+  }
+
+  for (auto& sensor : config.sensors) {
+    if (!is_identifier(sensor.name)) {
+      return InvalidArgumentError("sensor name '" + sensor.name +
+                                  "' is not a valid identifier");
+    }
+    if (!is_reliability(sensor.reliability)) {
+      return InvalidArgumentError("sensor '" + sensor.name +
+                                  "' reliability outside (0,1]: " +
+                                  format_double(sensor.reliability));
+    }
+    const auto id = static_cast<SensorId>(arch.sensors_.size());
+    if (!arch.sensor_index_.emplace(sensor.name, id).second) {
+      return AlreadyExistsError("duplicate sensor '" + sensor.name + "'");
+    }
+    arch.sensors_.push_back(std::move(sensor));
+  }
+
+  for (const auto& entry : config.metrics) {
+    const auto host_it = arch.host_index_.find(entry.host);
+    if (host_it == arch.host_index_.end()) {
+      return NotFoundError("metric entry for task '" + entry.task +
+                           "' references unknown host '" + entry.host + "'");
+    }
+    if (entry.wcet <= 0 || entry.wctt <= 0) {
+      return InvalidArgumentError("metric entry for task '" + entry.task +
+                                  "' on host '" + entry.host +
+                                  "' must have positive WCET and WCTT");
+    }
+    auto& row = arch.metrics_[entry.task];
+    if (row.empty()) {
+      row.assign(arch.hosts_.size(), {-1, -1});
+    }
+    auto& cell = row[static_cast<std::size_t>(host_it->second)];
+    if (cell.first != -1) {
+      return AlreadyExistsError("duplicate metric entry for task '" +
+                                entry.task + "' on host '" + entry.host +
+                                "'");
+    }
+    cell = {entry.wcet, entry.wctt};
+  }
+
+  return arch;
+}
+
+std::optional<HostId> Architecture::find_host(std::string_view name) const {
+  const auto it = host_index_.find(std::string(name));
+  if (it == host_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<SensorId> Architecture::find_sensor(
+    std::string_view name) const {
+  const auto it = sensor_index_.find(std::string(name));
+  if (it == sensor_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+Result<Time> Architecture::metric(std::string_view task, HostId id,
+                                  bool want_wcet) const {
+  const auto it = metrics_.find(std::string(task));
+  if (it != metrics_.end()) {
+    const auto& cell = it->second[static_cast<std::size_t>(id)];
+    const Time value = want_wcet ? cell.first : cell.second;
+    if (value != -1) return value;
+  }
+  const std::optional<Time>& fallback =
+      want_wcet ? default_wcet_ : default_wctt_;
+  if (fallback.has_value()) return *fallback;
+  return NotFoundError(std::string("no ") + (want_wcet ? "WCET" : "WCTT") +
+                       " for task '" + std::string(task) + "' on host '" +
+                       host(id).name + "' and no default configured");
+}
+
+Result<Time> Architecture::wcet(std::string_view task, HostId id) const {
+  return metric(task, id, /*want_wcet=*/true);
+}
+
+Result<Time> Architecture::wctt(std::string_view task, HostId id) const {
+  return metric(task, id, /*want_wcet=*/false);
+}
+
+}  // namespace lrt::arch

@@ -1,0 +1,112 @@
+// The architecture A = (hset, sset, C_S) of paper Section 2: fail-silent
+// hosts and sensors on a reliable atomic broadcast network, with host and
+// sensor reliability maps (hrel, srel) and per-(task, host) WCET/WCTT maps.
+//
+// Reliabilities here are *singular* (per-invocation) guarantees: hrel(h) is
+// the probability that host h does not fail during one task invocation.
+#ifndef LRT_ARCH_ARCHITECTURE_H_
+#define LRT_ARCH_ARCHITECTURE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "spec/declarations.h"
+#include "support/status.h"
+
+namespace lrt::arch {
+
+using HostId = std::int32_t;
+using SensorId = std::int32_t;
+using spec::Time;
+
+/// A fail-silent host: if it fails it produces no (garbage) output.
+struct Host {
+  std::string name;
+  /// hrel(h) in (0, 1]: probability a task invocation on this host
+  /// completes (the host does not fail during the invocation).
+  double reliability = 1.0;
+};
+
+/// A sensor updating an input communicator.
+struct Sensor {
+  std::string name;
+  /// srel(s) in (0, 1].
+  double reliability = 1.0;
+};
+
+/// Builder-side description. WCET/WCTT entries are keyed by task and host
+/// *name* so an architecture can be declared before (or independently of)
+/// the specification it will serve.
+struct ArchitectureConfig {
+  std::string name = "arch";
+  std::vector<Host> hosts;
+  std::vector<Sensor> sensors;
+
+  struct MetricEntry {
+    std::string task;
+    std::string host;
+    Time wcet = 1;  ///< worst-case execution time, ticks
+    Time wctt = 1;  ///< worst-case (broadcast) transmission time, ticks
+  };
+  std::vector<MetricEntry> metrics;
+
+  /// Fallback used for any (task, host) pair without an explicit entry;
+  /// disable by setting to nullopt, making missing entries an error at
+  /// lookup validation time.
+  std::optional<Time> default_wcet = 1;
+  std::optional<Time> default_wctt = 1;
+};
+
+/// An immutable, validated architecture.
+class Architecture {
+ public:
+  static Result<Architecture> Build(ArchitectureConfig config);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<Host>& hosts() const { return hosts_; }
+  [[nodiscard]] const std::vector<Sensor>& sensors() const {
+    return sensors_;
+  }
+
+  [[nodiscard]] const Host& host(HostId id) const {
+    return hosts_[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] const Sensor& sensor(SensorId id) const {
+    return sensors_[static_cast<std::size_t>(id)];
+  }
+
+  [[nodiscard]] std::optional<HostId> find_host(std::string_view name) const;
+  [[nodiscard]] std::optional<SensorId> find_sensor(
+      std::string_view name) const;
+
+  /// wemap(t, h): worst-case execution time of task `task` on host `id`.
+  /// Falls back to the config default; errors when neither exists.
+  [[nodiscard]] Result<Time> wcet(std::string_view task, HostId id) const;
+  /// wtmap(t, h): worst-case broadcast transmission time.
+  [[nodiscard]] Result<Time> wctt(std::string_view task, HostId id) const;
+
+ private:
+  Architecture() = default;
+
+  [[nodiscard]] Result<Time> metric(std::string_view task, HostId id,
+                                    bool want_wcet) const;
+
+  std::string name_;
+  std::vector<Host> hosts_;
+  std::vector<Sensor> sensors_;
+  std::unordered_map<std::string, HostId> host_index_;
+  std::unordered_map<std::string, SensorId> sensor_index_;
+  /// (task name) -> per-host (wcet, wctt); -1 marks "no explicit entry".
+  std::unordered_map<std::string, std::vector<std::pair<Time, Time>>>
+      metrics_;
+  std::optional<Time> default_wcet_;
+  std::optional<Time> default_wctt_;
+};
+
+}  // namespace lrt::arch
+
+#endif  // LRT_ARCH_ARCHITECTURE_H_

@@ -1,0 +1,31 @@
+// The E-machine: a virtual machine executing generated E-code on every
+// host of an implementation, against a shared environment and atomic
+// broadcast network. This is the "runtime infrastructure" half of the
+// paper's prototype.
+//
+// Unlike sim::simulate — which interprets the specification directly — the
+// E-machine runs only what the code generator emitted, so agreement between
+// the two (tests/ecode_test.cpp) validates that the generated code encodes
+// the LET/voting semantics correctly, the same way the paper validated its
+// runtime on the 3TS rig.
+#ifndef LRT_ECODE_EMACHINE_H_
+#define LRT_ECODE_EMACHINE_H_
+
+#include "ecode/program.h"
+#include "sim/environment.h"
+#include "sim/runtime.h"
+#include "support/status.h"
+
+namespace lrt::ecode {
+
+/// Generates E-code for every host and executes it for
+/// `options.periods` specification periods. Produces the same result type
+/// as sim::simulate; faults, broadcast reliability, value recording, and
+/// actuator bindings are honored identically.
+[[nodiscard]] Result<sim::SimulationResult> run_emachine(
+    const impl::Implementation& impl, sim::Environment& env,
+    const sim::SimulationOptions& options, arch::HostId io_host = 0);
+
+}  // namespace lrt::ecode
+
+#endif  // LRT_ECODE_EMACHINE_H_

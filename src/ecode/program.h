@@ -1,0 +1,85 @@
+// E-code: the target of the HTL compiler (paper Section 4, "Implementation
+// in HTL"; the E-machine model comes from Giotto/HTL).
+//
+// The generated code for one host is a set of *reaction blocks*, one per
+// active instant of the specification period. A block is a straight-line
+// sequence of driver calls and task releases, terminated by future() —
+// which (re)arms the machine for the next block — and halt:
+//
+//   call sensor(c)    update the local replication of input communicator c
+//                     from the (shared) physical sensor
+//   call vote(c)      run the voting routine over the replica outputs
+//                     received for c and commit the result locally
+//   call actuate(c)   push the committed value of c to its actuator
+//                     (emitted only on the designated I/O host)
+//   call latch(t, j)  copy the local value of t's j-th input communicator
+//                     into t's input port
+//   release(t)        hand the local replication of t to the scheduler;
+//                     outputs are broadcast for their write instants
+//   future(dt, addr)  trigger block at addr after dt ticks
+//   halt              end of reaction
+//
+// The order inside a block enforces the paper's update-then-read rule:
+// votes and sensor updates first, then actuation, then latching, then
+// releases.
+#ifndef LRT_ECODE_PROGRAM_H_
+#define LRT_ECODE_PROGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "impl/implementation.h"
+
+namespace lrt::ecode {
+
+enum class Opcode : std::uint8_t {
+  kCallSensor,   ///< arg0 = communicator
+  kCallVote,     ///< arg0 = communicator, arg1 = first due instant
+  kCallActuate,  ///< arg0 = communicator
+  kCallLatch,    ///< arg0 = task, arg1 = input index
+  kRelease,      ///< arg0 = task
+  kFuture,       ///< arg0 = delta ticks, arg1 = target address
+  kHalt,
+};
+
+std::string_view to_string(Opcode op);
+
+struct Instruction {
+  Opcode op = Opcode::kHalt;
+  std::int32_t arg0 = 0;
+  std::int32_t arg1 = 0;
+
+  friend bool operator==(const Instruction&, const Instruction&) = default;
+};
+
+/// The E-code program of one host.
+struct EcodeProgram {
+  arch::HostId host = -1;
+  spec::Time period = 0;  ///< specification period pi_S
+  std::vector<Instruction> code;
+  /// Entry addresses: (relative tick, address into code), ascending by
+  /// tick; the machine starts at blocks.front() at absolute time 0.
+  std::vector<std::pair<spec::Time, int>> blocks;
+
+  /// Human-readable listing (names resolved against the specification).
+  [[nodiscard]] std::string disassemble(
+      const spec::Specification& spec) const;
+};
+
+/// Options for code generation.
+struct CodegenOptions {
+  /// Host that owns the actuator drivers (call actuate instructions).
+  arch::HostId io_host = 0;
+  /// Actuator communicators by name; empty = infer output communicators.
+  std::vector<std::string> actuator_comms;
+};
+
+/// Generates the E-code program of `host` for an implementation.
+[[nodiscard]] Result<EcodeProgram> generate_ecode(
+    const impl::Implementation& impl, arch::HostId host,
+    const CodegenOptions& options = {});
+
+}  // namespace lrt::ecode
+
+#endif  // LRT_ECODE_PROGRAM_H_

@@ -1,0 +1,175 @@
+#include "gen/workload.h"
+
+#include <string>
+#include <vector>
+
+namespace lrt::gen {
+namespace {
+
+using spec::Value;
+
+int draw_between(Xoshiro256& rng, int lo, int hi) {
+  if (hi <= lo) return lo;
+  return lo + static_cast<int>(
+                  rng.next_below(static_cast<std::uint64_t>(hi - lo + 1)));
+}
+
+}  // namespace
+
+Result<Workload> random_workload(Xoshiro256& rng,
+                                 const WorkloadOptions& options) {
+  if (options.min_layers < 1 || options.min_tasks_per_layer < 1 ||
+      options.min_fan_in < 1 || options.min_sensors < 1 ||
+      options.min_hosts < 1) {
+    return InvalidArgumentError("workload options must be >= 1");
+  }
+
+  Workload workload;
+  spec::SpecificationConfig config;
+  config.name = "generated";
+
+  std::vector<std::vector<std::string>> layers;   // comm names per layer
+  std::vector<std::pair<std::string, int>> unconsumed;  // tree mode pool
+  int extra_sensors = 0;
+
+  const int sensors = draw_between(rng, options.min_sensors,
+                                   options.max_sensors);
+  layers.emplace_back();
+  const auto add_sensor_comm = [&](const std::string& name) {
+    config.communicators.push_back(
+        {name, spec::ValueType::kReal, Value::real(0.0), options.period,
+         rng.uniform(options.min_lrc, options.max_lrc)});
+  };
+  for (int i = 0; i < sensors; ++i) {
+    const std::string name = "s" + std::to_string(i);
+    add_sensor_comm(name);
+    layers[0].push_back(name);
+    unconsumed.emplace_back(name, 0);
+  }
+
+  const int task_layers = draw_between(rng, options.min_layers,
+                                       options.max_layers);
+  int task_counter = 0;
+  for (int layer = 1; layer <= task_layers; ++layer) {
+    layers.emplace_back();
+    const int tasks = draw_between(rng, options.min_tasks_per_layer,
+                                   options.max_tasks_per_layer);
+    for (int i = 0; i < tasks; ++i) {
+      const std::string out =
+          "c" + std::to_string(layer) + "_" + std::to_string(i);
+      config.communicators.push_back(
+          {out, spec::ValueType::kReal, Value::real(0.0), options.period,
+           rng.uniform(options.min_lrc, options.max_lrc)});
+      spec::SpecificationConfig::TaskConfig task;
+      task.name = "t" + std::to_string(task_counter++);
+      const int fan_in = draw_between(rng, options.min_fan_in,
+                                      options.max_fan_in);
+      for (int j = 0; j < fan_in; ++j) {
+        if (options.tree_structured) {
+          std::vector<std::size_t> eligible;
+          for (std::size_t k = 0; k < unconsumed.size(); ++k) {
+            if (unconsumed[k].second < layer) eligible.push_back(k);
+          }
+          if (eligible.empty()) {
+            const std::string name = "sx" + std::to_string(extra_sensors++);
+            add_sensor_comm(name);
+            task.inputs.emplace_back(name, 0);
+          } else {
+            const std::size_t pick = eligible[rng.next_below(eligible.size())];
+            task.inputs.emplace_back(
+                unconsumed[pick].first,
+                static_cast<std::int64_t>(unconsumed[pick].second));
+            unconsumed.erase(unconsumed.begin() +
+                             static_cast<std::ptrdiff_t>(pick));
+          }
+        } else {
+          const auto src_layer = static_cast<std::size_t>(
+              rng.next_below(static_cast<std::uint64_t>(layer)));
+          const auto& pool = layers[src_layer];
+          task.inputs.emplace_back(pool[rng.next_below(pool.size())],
+                                   static_cast<std::int64_t>(src_layer));
+        }
+      }
+      task.outputs.emplace_back(out, layer);
+      const std::uint64_t model = rng.next_below(3);
+      task.model = model == 0   ? spec::FailureModel::kSeries
+                   : model == 1 ? spec::FailureModel::kParallel
+                                : spec::FailureModel::kIndependent;
+      if (options.with_functions) {
+        const double coef = rng.uniform(0.5, 2.0);
+        const double bias = rng.uniform(-1.0, 1.0);
+        task.function = [coef, bias](std::span<const Value> inputs) {
+          double sum = bias;
+          for (const Value& value : inputs) sum += coef * value.as_real();
+          return std::vector<Value>{Value::real(sum)};
+        };
+      }
+      config.tasks.push_back(std::move(task));
+      layers[static_cast<std::size_t>(layer)].push_back(out);
+      unconsumed.emplace_back(out, layer);
+    }
+  }
+
+  const int hosts = draw_between(rng, options.min_hosts, options.max_hosts);
+  for (int h = 0; h < hosts; ++h) {
+    workload.architecture_config.hosts.push_back(
+        {"h" + std::to_string(h),
+         rng.uniform(options.min_host_reliability,
+                     options.max_host_reliability)});
+  }
+  workload.architecture_config.default_wcet = options.wcet;
+  workload.architecture_config.default_wctt = options.wctt;
+
+  LRT_ASSIGN_OR_RETURN(spec::Specification built_spec,
+                       spec::Specification::Build(std::move(config)));
+  workload.specification =
+      std::make_unique<spec::Specification>(std::move(built_spec));
+
+  for (const auto& task : workload.specification->tasks()) {
+    std::vector<std::string> chosen;
+    for (int h = 0; h < hosts; ++h) {
+      if (rng.bernoulli(options.replication_density)) {
+        chosen.push_back("h" + std::to_string(h));
+      }
+    }
+    if (chosen.empty()) {
+      chosen.push_back(
+          "h" + std::to_string(
+                    rng.next_below(static_cast<std::uint64_t>(hosts))));
+    }
+    workload.implementation_config.task_mappings.push_back(
+        {task.name, std::move(chosen)});
+  }
+  for (spec::CommId c = 0;
+       c < static_cast<spec::CommId>(
+               workload.specification->communicators().size());
+       ++c) {
+    if (workload.specification->is_input_communicator(c) &&
+        !workload.specification->readers_of(c).empty()) {
+      const std::string& name =
+          workload.specification->communicator(c).name;
+      workload.architecture_config.sensors.push_back(
+          {"sens_" + name,
+           rng.uniform(options.min_sensor_reliability,
+                       options.max_sensor_reliability)});
+      workload.implementation_config.sensor_bindings.push_back(
+          {name, "sens_" + name});
+    }
+  }
+
+  LRT_ASSIGN_OR_RETURN(
+      arch::Architecture built_arch,
+      arch::Architecture::Build(workload.architecture_config));
+  workload.architecture =
+      std::make_unique<arch::Architecture>(std::move(built_arch));
+  LRT_ASSIGN_OR_RETURN(
+      impl::Implementation built_impl,
+      impl::Implementation::Build(*workload.specification,
+                                  *workload.architecture,
+                                  workload.implementation_config));
+  workload.implementation =
+      std::make_unique<impl::Implementation>(std::move(built_impl));
+  return workload;
+}
+
+}  // namespace lrt::gen

@@ -1,0 +1,78 @@
+// Random workload generation: layered LET dataflows with configurable
+// shape, failure-model mix, architectures, and replication mappings. Used
+// by the property-test suites and the scaling/ablation benches; seeded, so
+// every generated system is reproducible.
+#ifndef LRT_GEN_WORKLOAD_H_
+#define LRT_GEN_WORKLOAD_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "impl/implementation.h"
+#include "support/rng.h"
+#include "support/status.h"
+
+namespace lrt::gen {
+
+struct WorkloadOptions {
+  /// Layers of tasks (depth of the dataflow).
+  int min_layers = 1;
+  int max_layers = 4;
+  /// Tasks per layer.
+  int min_tasks_per_layer = 1;
+  int max_tasks_per_layer = 3;
+  /// Inputs per task.
+  int min_fan_in = 1;
+  int max_fan_in = 3;
+  /// Sensor communicators seeding layer 0.
+  int min_sensors = 1;
+  int max_sensors = 3;
+  /// Hosts in the architecture.
+  int min_hosts = 1;
+  int max_hosts = 3;
+  /// Component reliability ranges.
+  double min_host_reliability = 0.7;
+  double max_host_reliability = 0.999;
+  double min_sensor_reliability = 0.7;
+  double max_sensor_reliability = 0.999;
+  /// LRC range for generated communicators (kept loose by default so the
+  /// single-host mapping is reliable; tighten to exercise synthesis).
+  double min_lrc = 0.2;
+  double max_lrc = 0.5;
+  /// Probability that a task is mapped to any given host (at least one is
+  /// always chosen).
+  double replication_density = 0.4;
+  /// Tree-structured dataflow: every communicator feeds at most one task
+  /// input, making the paper's SRG rules exact (no shared-dependency
+  /// correlation).
+  bool tree_structured = false;
+  /// Attach arithmetic task functions (for value-trace comparisons).
+  bool with_functions = false;
+  /// Base period of every communicator (ticks).
+  spec::Time period = 10;
+  /// WCET/WCTT defaults for the architecture.
+  spec::Time wcet = 1;
+  spec::Time wctt = 1;
+};
+
+/// A generated system; heap storage keeps back-references stable. The
+/// configs are retained so callers can derive variants (e.g. boosted
+/// reliabilities or alternative mappings).
+struct Workload {
+  std::unique_ptr<spec::Specification> specification;
+  std::unique_ptr<arch::Architecture> architecture;
+  std::unique_ptr<impl::Implementation> implementation;
+  arch::ArchitectureConfig architecture_config;
+  impl::ImplementationConfig implementation_config;
+};
+
+/// Draws one workload. The generated specification is acyclic (layered)
+/// and race-free by construction; the implementation maps every task and
+/// binds every read sensor communicator.
+[[nodiscard]] Result<Workload> random_workload(Xoshiro256& rng,
+                                               const WorkloadOptions& options
+                                               = {});
+
+}  // namespace lrt::gen
+
+#endif  // LRT_GEN_WORKLOAD_H_

@@ -1,0 +1,168 @@
+// Abstract syntax for the HTL subset.
+//
+// The paper's prototype extends the Hierarchical Timing Language compiler
+// with logical reliability constraints; this frontend implements a faithful
+// subset of HTL (EMSOFT'06) plus the reliability extension:
+//
+//   program      := 'program' IDENT ('refines' IDENT)? '{' item* '}'
+//   item         := communicator | module | architecture | mapping
+//                 | refinedecl
+//   communicator := 'communicator' IDENT ':' type 'period' INT
+//                   'init' literal 'lrc' NUMBER ';'
+//   type         := 'real' | 'int' | 'bool'
+//   module       := 'module' IDENT '{' (taskdecl | modedecl | startdecl)* '}'
+//   taskdecl     := 'task' IDENT 'input' portlist 'output' portlist
+//                   ('model' ('series'|'parallel'|'independent'))?
+//                   ('defaults' '(' literal (',' literal)* ')')? ';'
+//   portlist     := '(' port (',' port)* ')'
+//   port         := IDENT '[' INT ']'          -- communicator[instance]
+//   modedecl     := 'mode' IDENT 'period' INT '{' (invoke | switchdecl)* '}'
+//   invoke       := 'invoke' IDENT ';'
+//   switchdecl   := 'switch' '(' IDENT ')' 'to' IDENT ';'
+//   startdecl    := 'start' IDENT ';'
+//   architecture := 'architecture' '{' (hostdecl | sensordecl
+//                 | metricdecl)* '}'
+//   hostdecl     := 'host' IDENT 'reliability' NUMBER ';'
+//   sensordecl   := 'sensor' IDENT 'reliability' NUMBER ';'
+//   metricdecl   := 'metrics' 'default' 'wcet' INT 'wctt' INT ';'
+//                 | 'metrics' 'task' IDENT 'on' IDENT 'wcet' INT
+//                   'wctt' INT ';'
+//   mapping      := 'mapping' '{' (mapdecl | binddecl)* '}'
+//   mapdecl      := 'map' IDENT 'to' IDENT (',' IDENT)*
+//                   ('retries' INT)? ('checkpoints' INT
+//                   ('overhead' INT)?)? ';'
+//   binddecl     := 'bind' IDENT 'to' IDENT ';'
+//   refinedecl   := 'refine' 'task' IDENT 'to' IDENT ';'
+//
+// Keywords are contextual identifiers ('program', 'task', ...), so they
+// remain usable as names where unambiguous.
+#ifndef LRT_HTL_AST_H_
+#define LRT_HTL_AST_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "spec/declarations.h"
+#include "spec/value.h"
+
+namespace lrt::htl {
+
+struct PortAst {
+  std::string communicator;
+  std::int64_t instance = 0;
+  int line = 0;
+};
+
+struct CommunicatorAst {
+  std::string name;
+  spec::ValueType type = spec::ValueType::kReal;
+  spec::Value init;
+  std::int64_t period = 0;
+  double lrc = 1.0;
+  int line = 0;
+};
+
+struct TaskAst {
+  std::string name;
+  std::vector<PortAst> inputs;
+  std::vector<PortAst> outputs;
+  spec::FailureModel model = spec::FailureModel::kSeries;
+  std::vector<spec::Value> defaults;
+  int line = 0;
+};
+
+struct SwitchAst {
+  std::string condition;  ///< a bool communicator
+  std::string target;     ///< a mode in the same module
+  int line = 0;
+};
+
+struct ModeAst {
+  std::string name;
+  std::int64_t period = 0;
+  std::vector<std::string> invokes;  ///< task names declared in the module
+  std::vector<SwitchAst> switches;
+  int line = 0;
+};
+
+struct ModuleAst {
+  std::string name;
+  std::vector<TaskAst> tasks;
+  std::vector<ModeAst> modes;
+  std::string start_mode;
+  int line = 0;
+};
+
+struct HostAst {
+  std::string name;
+  double reliability = 1.0;
+  int line = 0;
+};
+
+struct SensorAst {
+  std::string name;
+  double reliability = 1.0;
+  int line = 0;
+};
+
+struct MetricAst {
+  /// Empty task/host => the default entry.
+  std::string task;
+  std::string host;
+  std::int64_t wcet = 1;
+  std::int64_t wctt = 1;
+  int line = 0;
+};
+
+struct ArchitectureAst {
+  std::vector<HostAst> hosts;
+  std::vector<SensorAst> sensors;
+  std::vector<MetricAst> metrics;
+  int line = 0;
+};
+
+struct MapAst {
+  std::string task;
+  std::vector<std::string> hosts;
+  /// Re-execution attempts after a failure (time redundancy extension).
+  int retries = 0;
+  /// Checkpoints per invocation (shrinks per-retry recovery).
+  int checkpoints = 0;
+  std::int64_t checkpoint_overhead = 0;
+  int line = 0;
+};
+
+struct BindAst {
+  std::string communicator;
+  std::string sensor;
+  int line = 0;
+};
+
+struct MappingAst {
+  std::vector<MapAst> maps;
+  std::vector<BindAst> binds;
+  int line = 0;
+};
+
+struct RefineAst {
+  std::string local_task;   ///< task in this (refining) program
+  std::string parent_task;  ///< task in the refined program
+  int line = 0;
+};
+
+struct ProgramAst {
+  std::string name;
+  /// Name of the program this one refines, if any.
+  std::optional<std::string> refines;
+  std::vector<CommunicatorAst> communicators;
+  std::vector<ModuleAst> modules;
+  std::optional<ArchitectureAst> architecture;
+  std::optional<MappingAst> mapping;
+  std::vector<RefineAst> refinements;
+};
+
+}  // namespace lrt::htl
+
+#endif  // LRT_HTL_AST_H_

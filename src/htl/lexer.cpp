@@ -1,0 +1,185 @@
+#include "htl/lexer.h"
+
+#include <cctype>
+
+namespace lrt::htl {
+
+std::string_view to_string(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdentifier: return "identifier";
+    case TokenKind::kInteger: return "integer";
+    case TokenKind::kFloat: return "float";
+    case TokenKind::kLBrace: return "'{'";
+    case TokenKind::kRBrace: return "'}'";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kLBracket: return "'['";
+    case TokenKind::kRBracket: return "']'";
+    case TokenKind::kColon: return "':'";
+    case TokenKind::kSemicolon: return "';'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kEndOfFile: return "end of file";
+  }
+  return "?";
+}
+
+std::string Token::location() const {
+  return "line " + std::to_string(line) + ":" + std::to_string(column);
+}
+
+namespace {
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source) : source_(source) {}
+
+  Result<std::vector<Token>> run() {
+    std::vector<Token> tokens;
+    while (true) {
+      LRT_RETURN_IF_ERROR(skip_trivia());
+      Token token;
+      token.line = line_;
+      token.column = column_;
+      if (at_end()) {
+        token.kind = TokenKind::kEndOfFile;
+        tokens.push_back(std::move(token));
+        return tokens;
+      }
+      const char c = peek();
+      if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+        token.kind = TokenKind::kIdentifier;
+        while (!at_end() &&
+               (std::isalnum(static_cast<unsigned char>(peek())) != 0 ||
+                peek() == '_')) {
+          token.text += advance();
+        }
+      } else if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+                 ((c == '-' || c == '+') && next_is_digit())) {
+        LRT_RETURN_IF_ERROR(lex_number(token));
+      } else {
+        switch (c) {
+          case '{': token.kind = TokenKind::kLBrace; break;
+          case '}': token.kind = TokenKind::kRBrace; break;
+          case '(': token.kind = TokenKind::kLParen; break;
+          case ')': token.kind = TokenKind::kRParen; break;
+          case '[': token.kind = TokenKind::kLBracket; break;
+          case ']': token.kind = TokenKind::kRBracket; break;
+          case ':': token.kind = TokenKind::kColon; break;
+          case ';': token.kind = TokenKind::kSemicolon; break;
+          case ',': token.kind = TokenKind::kComma; break;
+          default:
+            return ParseError(token.location() +
+                              ": unexpected character '" +
+                              std::string(1, c) + "'");
+        }
+        token.text = advance();
+      }
+      tokens.push_back(std::move(token));
+    }
+  }
+
+ private:
+  [[nodiscard]] bool at_end() const { return pos_ >= source_.size(); }
+  [[nodiscard]] char peek() const { return source_[pos_]; }
+  [[nodiscard]] bool next_is_digit() const {
+    return pos_ + 1 < source_.size() &&
+           std::isdigit(static_cast<unsigned char>(source_[pos_ + 1])) != 0;
+  }
+
+  char advance() {
+    const char c = source_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  Status skip_trivia() {
+    while (!at_end()) {
+      const char c = peek();
+      if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        advance();
+      } else if (c == '/' && pos_ + 1 < source_.size()) {
+        if (source_[pos_ + 1] == '/') {
+          while (!at_end() && peek() != '\n') advance();
+        } else if (source_[pos_ + 1] == '*') {
+          const int start_line = line_;
+          advance();
+          advance();
+          bool closed = false;
+          while (!at_end()) {
+            if (peek() == '*' && pos_ + 1 < source_.size() &&
+                source_[pos_ + 1] == '/') {
+              advance();
+              advance();
+              closed = true;
+              break;
+            }
+            advance();
+          }
+          if (!closed) {
+            return ParseError("line " + std::to_string(start_line) +
+                              ": unterminated block comment");
+          }
+        } else {
+          return Status::Ok();  // a bare '/' is a stray character
+        }
+      } else {
+        return Status::Ok();
+      }
+    }
+    return Status::Ok();
+  }
+
+  Status lex_number(Token& token) {
+    token.kind = TokenKind::kInteger;
+    if (peek() == '-' || peek() == '+') token.text += advance();
+    while (!at_end() &&
+           std::isdigit(static_cast<unsigned char>(peek())) != 0) {
+      token.text += advance();
+    }
+    if (!at_end() && peek() == '.') {
+      token.kind = TokenKind::kFloat;
+      token.text += advance();
+      if (at_end() || std::isdigit(static_cast<unsigned char>(peek())) == 0) {
+        return ParseError(token.location() +
+                          ": digits required after decimal point");
+      }
+      while (!at_end() &&
+             std::isdigit(static_cast<unsigned char>(peek())) != 0) {
+        token.text += advance();
+      }
+    }
+    if (!at_end() && (peek() == 'e' || peek() == 'E')) {
+      token.kind = TokenKind::kFloat;
+      token.text += advance();
+      if (!at_end() && (peek() == '-' || peek() == '+')) {
+        token.text += advance();
+      }
+      if (at_end() || std::isdigit(static_cast<unsigned char>(peek())) == 0) {
+        return ParseError(token.location() + ": malformed exponent");
+      }
+      while (!at_end() &&
+             std::isdigit(static_cast<unsigned char>(peek())) != 0) {
+        token.text += advance();
+      }
+    }
+    return Status::Ok();
+  }
+
+  std::string_view source_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+}  // namespace
+
+Result<std::vector<Token>> lex(std::string_view source) {
+  return Lexer(source).run();
+}
+
+}  // namespace lrt::htl

@@ -1,0 +1,48 @@
+// Lexer for the HTL subset (see src/htl/ast.h for the grammar).
+#ifndef LRT_HTL_LEXER_H_
+#define LRT_HTL_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/status.h"
+
+namespace lrt::htl {
+
+enum class TokenKind {
+  kIdentifier,
+  kInteger,
+  kFloat,
+  kLBrace,    // {
+  kRBrace,    // }
+  kLParen,    // (
+  kRParen,    // )
+  kLBracket,  // [
+  kRBracket,  // ]
+  kColon,     // :
+  kSemicolon, // ;
+  kComma,     // ,
+  kEndOfFile,
+};
+
+std::string_view to_string(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEndOfFile;
+  std::string text;      ///< identifier spelling or number literal
+  int line = 0;          ///< 1-based
+  int column = 0;        ///< 1-based
+
+  /// "line L:C" prefix for diagnostics.
+  [[nodiscard]] std::string location() const;
+};
+
+/// Tokenizes `source`. Supports //-line and /* block */ comments. The final
+/// token is always kEndOfFile. Fails with kParseError on stray characters
+/// or unterminated comments, reporting line:column.
+[[nodiscard]] Result<std::vector<Token>> lex(std::string_view source);
+
+}  // namespace lrt::htl
+
+#endif  // LRT_HTL_LEXER_H_

@@ -1,0 +1,421 @@
+#include "htl/mode_runtime.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+#include "htl/parser.h"
+#include "reliability/analysis.h"
+#include "sched/schedulability.h"
+#include "sim/voting.h"
+#include "support/math_util.h"
+#include "support/rng.h"
+
+namespace lrt::htl {
+namespace {
+
+using spec::CommId;
+using spec::TaskId;
+using spec::Time;
+using spec::Value;
+
+/// Canonical key of a mode selection: "m1=a,m2=b" in module order.
+std::string selection_key(const ProgramAst& program,
+                          const std::map<std::string, std::string>& modes) {
+  std::string key;
+  for (const ModuleAst& module : program.modules) {
+    if (!key.empty()) key += ",";
+    key += module.name + "=" + modes.at(module.name);
+  }
+  return key;
+}
+
+/// The mode-switching interpreter. Unlike sim::simulate it keeps a single
+/// (consensus) copy of every communicator — the per-host replication
+/// fidelity is already covered by the lower-level runtimes — and re-binds
+/// the task set whenever a switch fires.
+class ModeRuntime {
+ public:
+  ModeRuntime(const ProgramAst& program, std::string_view source,
+              const FunctionRegistry& functions,
+              sim::Environment& env, const sim::SimulationOptions& options)
+      : program_(program),
+        source_(source),
+        functions_(functions),
+        env_(env),
+        options_(options),
+        rng_(options.faults.seed) {}
+
+  Result<ModeSwitchingResult> run() {
+    // Start modes per module.
+    for (const ModuleAst& module : program_.modules) {
+      current_mode_[module.name] = module.start_mode.empty()
+                                       ? module.modes.front().name
+                                       : module.start_mode;
+    }
+    LRT_ASSIGN_OR_RETURN(const CompiledSystem* system, active_system());
+
+    const spec::Specification& spec0 = *system->specification;
+    const std::size_t num_comms = spec0.communicators().size();
+    hyperperiod_ = spec0.hyperperiod();
+    values_.reserve(num_comms);
+    for (const auto& comm : spec0.communicators()) {
+      values_.push_back(comm.init);
+    }
+    accumulators_.assign(num_comms, {});
+    update_accums_.assign(num_comms, {});
+    record_values_.assign(num_comms, false);
+    for (const std::string& name : options_.record_values_for) {
+      const auto comm = spec0.find_communicator(name);
+      if (!comm.has_value()) {
+        return NotFoundError("record_values_for references unknown "
+                             "communicator '" + name + "'");
+      }
+      record_values_[static_cast<std::size_t>(*comm)] = true;
+      result_.simulation.value_traces.emplace(name, std::vector<Value>{});
+    }
+    is_actuator_.assign(num_comms, false);
+    for (const std::string& name : options_.actuator_comms) {
+      const auto comm = spec0.find_communicator(name);
+      if (!comm.has_value()) {
+        return NotFoundError("actuator_comms references unknown "
+                             "communicator '" + name + "'");
+      }
+      is_actuator_[static_cast<std::size_t>(*comm)] = true;
+    }
+
+    std::vector<Time> periods;
+    for (const auto& comm : spec0.communicators()) {
+      periods.push_back(comm.period);
+    }
+    const Time step = gcd_all(periods);
+
+    host_up_.assign(system->architecture->hosts().size(), true);
+    host_events_ = options_.faults.host_events;
+    std::stable_sort(host_events_.begin(), host_events_.end(),
+                     [](const sim::FaultPlan::HostEvent& a,
+                        const sim::FaultPlan::HostEvent& b) {
+                       return a.time < b.time;
+                     });
+
+    const Time duration = hyperperiod_ * options_.periods;
+    for (Time now = 0; now < duration; now += step) {
+      while (next_host_event_ < host_events_.size() &&
+             host_events_[next_host_event_].time <= now) {
+        const auto& event = host_events_[next_host_event_++];
+        if (event.host < 0 ||
+            event.host >= static_cast<arch::HostId>(host_up_.size())) {
+          return OutOfRangeError("host event references host " +
+                                 std::to_string(event.host));
+        }
+        host_up_[static_cast<std::size_t>(event.host)] = event.up;
+      }
+
+      commit_writes(now);
+      if (now % hyperperiod_ == 0) {
+        LRT_RETURN_IF_ERROR(evaluate_switches(now));
+        LRT_ASSIGN_OR_RETURN(system, active_system());
+        ++result_.mode_occupancy[selection_key(program_, current_mode_)];
+        latched_.assign(system->specification->tasks().size(), {});
+        for (TaskId t = 0;
+             t < static_cast<TaskId>(system->specification->tasks().size());
+             ++t) {
+          latched_[static_cast<std::size_t>(t)].assign(
+              system->specification->task(t).inputs.size(), Value::bottom());
+        }
+      }
+      update_sensors(*system, now);
+      record_and_actuate(*system, now);
+      latch(*system, now);
+      execute(*system, now);
+      env_.advance(now, step);
+    }
+
+    result_.simulation.periods = options_.periods;
+    result_.simulation.ticks = duration;
+    result_.simulation.comm_stats.resize(num_comms);
+    for (std::size_t c = 0; c < num_comms; ++c) {
+      sim::CommStats& stats = result_.simulation.comm_stats[c];
+      stats.name = spec0.communicators()[c].name;
+      stats.samples = accumulators_[c].samples();
+      stats.reliable_samples = accumulators_[c].reliable();
+      stats.limit_average = accumulators_[c].average();
+      stats.updates = update_accums_[c].samples();
+      stats.reliable_updates = update_accums_[c].reliable();
+    }
+    return std::move(result_);
+  }
+
+ private:
+  /// Compiles (and caches) the system for the current mode selection.
+  Result<const CompiledSystem*> active_system() {
+    const std::string key = selection_key(program_, current_mode_);
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second.get();
+    ModeSelection selection;
+    selection.mode_by_module = current_mode_;
+    LRT_ASSIGN_OR_RETURN(CompiledSystem compiled,
+                         compile(source_, functions_, selection));
+    if (compiled.implementation == nullptr) {
+      return FailedPreconditionError(
+          "mode-switching execution needs architecture and mapping blocks");
+    }
+    // All selections must agree on the communicator list (guaranteed by
+    // flatten order) so ids remain stable across switches.
+    if (!values_.empty() &&
+        compiled.specification->communicators().size() != values_.size()) {
+      return InternalError("mode selections disagree on communicators");
+    }
+    auto owned = std::make_unique<CompiledSystem>(std::move(compiled));
+    const CompiledSystem* raw = owned.get();
+    cache_.emplace(key, std::move(owned));
+    return raw;
+  }
+
+  /// First firing switch (reliable `true` condition) per module.
+  Status evaluate_switches(Time now) {
+    if (now == 0) return Status::Ok();  // no boundary before the first period
+    bool switched = false;
+    for (const ModuleAst& module : program_.modules) {
+      const auto mode_it = std::find_if(
+          module.modes.begin(), module.modes.end(),
+          [this, &module](const ModeAst& m) {
+            return m.name == current_mode_.at(module.name);
+          });
+      assert(mode_it != module.modes.end());
+      for (const SwitchAst& sw : mode_it->switches) {
+        const auto comm = std::find_if(
+            program_.communicators.begin(), program_.communicators.end(),
+            [&sw](const CommunicatorAst& c) {
+              return c.name == sw.condition;
+            });
+        const auto index = static_cast<std::size_t>(
+            comm - program_.communicators.begin());
+        const Value& value = values_[index];
+        if (!value.is_bottom() && value.as_bool()) {
+          if (current_mode_[module.name] != sw.target) {
+            current_mode_[module.name] = sw.target;
+            switched = true;
+          }
+          break;
+        }
+      }
+    }
+    if (switched) ++result_.switches_taken;
+    return Status::Ok();
+  }
+
+  void commit_writes(Time now) {
+    const auto due = scheduled_commits_.find(now);
+    if (due == scheduled_commits_.end()) return;
+    const auto arrived_it = pending_.find(now);
+    static const std::vector<std::pair<CommId, Value>> kNone;
+    const auto& arrived =
+        arrived_it == pending_.end() ? kNone : arrived_it->second;
+    for (const CommId c : due->second) {
+      std::vector<Value> candidates;
+      for (const auto& [comm, value] : arrived) {
+        if (comm == c) candidates.push_back(value);
+      }
+      const Value winner = sim::vote(candidates, options_.voting_policy,
+                                     &result_.simulation.vote_divergences);
+      values_[static_cast<std::size_t>(c)] = winner;
+      ++result_.simulation.committed_updates;
+      update_accums_[static_cast<std::size_t>(c)].record(!winner.is_bottom());
+    }
+    scheduled_commits_.erase(due);
+    pending_.erase(now);
+  }
+
+  void update_sensors(const CompiledSystem& system, Time now) {
+    const spec::Specification& spec = *system.specification;
+    for (CommId c = 0; c < static_cast<CommId>(values_.size()); ++c) {
+      if (now % spec.communicator(c).period != 0) continue;
+      if (!spec.is_input_communicator(c) || spec.readers_of(c).empty()) {
+        continue;
+      }
+      const arch::Sensor& sensor = system.architecture->sensor(
+          system.implementation->sensor_for(c));
+      const bool failed = options_.faults.inject_sensor_faults &&
+                          rng_.bernoulli(1.0 - sensor.reliability);
+      values_[static_cast<std::size_t>(c)] =
+          failed ? Value::bottom()
+                 : env_.read_sensor(spec.communicator(c).name, now);
+      update_accums_[static_cast<std::size_t>(c)].record(!failed);
+    }
+  }
+
+  void record_and_actuate(const CompiledSystem& system, Time now) {
+    const spec::Specification& spec = *system.specification;
+    for (CommId c = 0; c < static_cast<CommId>(values_.size()); ++c) {
+      if (now % spec.communicator(c).period != 0) continue;
+      const Value& value = values_[static_cast<std::size_t>(c)];
+      accumulators_[static_cast<std::size_t>(c)].record(!value.is_bottom());
+      if (record_values_[static_cast<std::size_t>(c)]) {
+        result_.simulation.value_traces[spec.communicator(c).name].push_back(
+            value);
+      }
+      if (is_actuator_[static_cast<std::size_t>(c)]) {
+        env_.write_actuator(spec.communicator(c).name, now, value);
+      }
+    }
+  }
+
+  void latch(const CompiledSystem& system, Time now) {
+    const spec::Specification& spec = *system.specification;
+    const Time rel = now % hyperperiod_;
+    for (TaskId t = 0; t < static_cast<TaskId>(spec.tasks().size()); ++t) {
+      const spec::Task& task = spec.task(t);
+      for (std::size_t j = 0; j < task.inputs.size(); ++j) {
+        const spec::PortRef& port = task.inputs[j];
+        if (spec.communicator(port.comm).period * port.instance != rel) {
+          continue;
+        }
+        latched_[static_cast<std::size_t>(t)][j] =
+            values_[static_cast<std::size_t>(port.comm)];
+      }
+    }
+  }
+
+  void execute(const CompiledSystem& system, Time now) {
+    const spec::Specification& spec = *system.specification;
+    const impl::Implementation& impl = *system.implementation;
+    const Time rel = now % hyperperiod_;
+    const Time period_start = now - rel;
+    for (TaskId t = 0; t < static_cast<TaskId>(spec.tasks().size()); ++t) {
+      if (spec.read_time(t) != rel) continue;
+      const spec::Task& task = spec.task(t);
+      // Register the expected commits: the update is due whether or not
+      // any replication survives.
+      for (const spec::PortRef& port : task.outputs) {
+        scheduled_commits_[period_start +
+                           spec.communicator(port.comm).period *
+                               port.instance]
+            .insert(port.comm);
+      }
+
+      for (const arch::HostId h : impl.hosts_for(t)) {
+        ++result_.simulation.invocations;
+        if (!host_up_[static_cast<std::size_t>(h)]) {
+          ++result_.simulation.invocation_failures;
+          continue;
+        }
+        std::vector<Value> inputs = latched_[static_cast<std::size_t>(t)];
+        std::size_t unreliable = 0;
+        for (std::size_t j = 0; j < inputs.size(); ++j) {
+          if (!inputs[j].is_bottom()) continue;
+          ++unreliable;
+          if (task.model != spec::FailureModel::kSeries) {
+            inputs[j] = task.defaults[j];
+          }
+        }
+        const bool inputs_bad =
+            (task.model == spec::FailureModel::kSeries && unreliable > 0) ||
+            (task.model == spec::FailureModel::kParallel &&
+             unreliable == inputs.size());
+        bool failed = inputs_bad;
+        if (!failed && options_.faults.inject_invocation_faults) {
+          const double hrel =
+              system.architecture->host(h).reliability;
+          failed = true;
+          for (int attempt = 0; failed && attempt <= impl.reexecutions(t);
+               ++attempt) {
+            failed = rng_.bernoulli(1.0 - hrel);
+          }
+        }
+        if (failed) {
+          ++result_.simulation.invocation_failures;
+          continue;
+        }
+        std::vector<Value> outputs;
+        if (task.function) {
+          outputs = task.function(inputs);
+        } else {
+          for (const spec::PortRef& port : task.outputs) {
+            outputs.push_back(
+                spec::zero_value(spec.communicator(port.comm).type));
+          }
+        }
+        if (options_.broadcast_reliability < 1.0 &&
+            !rng_.bernoulli(options_.broadcast_reliability)) {
+          ++result_.simulation.invocation_failures;
+          continue;
+        }
+        for (std::size_t k = 0; k < task.outputs.size(); ++k) {
+          const spec::PortRef& port = task.outputs[k];
+          pending_[period_start +
+                   spec.communicator(port.comm).period * port.instance]
+              .emplace_back(port.comm, outputs[k]);
+        }
+      }
+    }
+  }
+
+  const ProgramAst& program_;
+  std::string_view source_;
+  const FunctionRegistry& functions_;
+  sim::Environment& env_;
+  const sim::SimulationOptions& options_;
+  Xoshiro256 rng_;
+
+  std::map<std::string, std::string> current_mode_;  // module -> mode
+  std::map<std::string, std::unique_ptr<CompiledSystem>> cache_;
+
+  Time hyperperiod_ = 1;
+  std::vector<Value> values_;               // consensus copy per comm
+  std::vector<std::vector<Value>> latched_;  // per active-spec task
+  std::vector<bool> host_up_;
+  std::vector<sim::FaultPlan::HostEvent> host_events_;
+  std::size_t next_host_event_ = 0;
+  std::map<Time, std::vector<std::pair<CommId, Value>>> pending_;
+  std::map<Time, std::set<CommId>> scheduled_commits_;
+
+  ModeSwitchingResult result_;
+  std::vector<sim::ReliabilityAccumulator> accumulators_;
+  std::vector<sim::ReliabilityAccumulator> update_accums_;
+  std::vector<bool> record_values_;
+  std::vector<bool> is_actuator_;
+};
+
+}  // namespace
+
+Result<ModeSwitchingResult> simulate_with_switching(
+    std::string_view source, const FunctionRegistry& functions,
+    sim::Environment& env, const sim::SimulationOptions& options) {
+  if (options.periods <= 0) {
+    return InvalidArgumentError("simulation needs a positive period count");
+  }
+  if (options.model_execution_time) {
+    return InvalidArgumentError(
+        "mode-switching execution does not support timed execution yet");
+  }
+  LRT_ASSIGN_OR_RETURN(const ProgramAst program, parse(source));
+  ModeRuntime runtime(program, source, functions, env, options);
+  return runtime.run();
+}
+
+Result<std::vector<std::pair<std::string, bool>>> analyze_all_selections(
+    std::string_view source) {
+  LRT_ASSIGN_OR_RETURN(const ProgramAst program, parse(source));
+  LRT_ASSIGN_OR_RETURN(const std::vector<ModeSelection> selections,
+                       enumerate_mode_selections(program));
+  std::vector<std::pair<std::string, bool>> verdicts;
+  for (const ModeSelection& selection : selections) {
+    LRT_ASSIGN_OR_RETURN(const CompiledSystem system,
+                         compile(source, {}, selection));
+    if (system.implementation == nullptr) {
+      return FailedPreconditionError(
+          "analyze_all_selections needs architecture and mapping blocks");
+    }
+    LRT_ASSIGN_OR_RETURN(const reliability::ReliabilityReport rel,
+                         reliability::analyze(*system.implementation));
+    LRT_ASSIGN_OR_RETURN(const sched::SchedulabilityReport sched,
+                         sched::analyze_schedulability(
+                             *system.implementation));
+    verdicts.emplace_back(selection_key(program, selection.mode_by_module),
+                          rel.reliable && sched.schedulable);
+  }
+  return verdicts;
+}
+
+}  // namespace lrt::htl

@@ -1,0 +1,57 @@
+// Mode-switching execution of HTL programs (paper Section 4: "In the
+// example, there are mode switches between tasks, but the switch is always
+// to tasks with identical reliability constraints, and the reliability
+// analysis of Section 3 applies").
+//
+// Semantics implemented: each module is a mode automaton. At every period
+// boundary the active mode's switch declarations are evaluated in order
+// against the committed communicator values (a switch fires when its bool
+// condition communicator holds a reliable `true`); the first firing switch
+// selects the module's next mode. The period then executes the task set of
+// the current mode selection under the LET/voting semantics of
+// sim::simulate, with communicator values persisting across switches.
+//
+// Per-mode-selection systems are compiled lazily and cached; the analysis
+// obligation — every selection individually reliable and schedulable — is
+// the per-mode analysis the paper appeals to, available via
+// `analyze_all_selections`.
+#ifndef LRT_HTL_MODE_RUNTIME_H_
+#define LRT_HTL_MODE_RUNTIME_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "htl/compiler.h"
+#include "sim/environment.h"
+#include "sim/runtime.h"
+
+namespace lrt::htl {
+
+struct ModeSwitchingResult {
+  /// Reliability statistics per communicator (as sim::SimulationResult).
+  sim::SimulationResult simulation;
+  /// Periods spent in each mode selection, keyed by
+  /// "module1=modeA,module2=modeB" (modules in declaration order).
+  std::map<std::string, std::int64_t> mode_occupancy;
+  /// Number of period boundaries at which some module changed mode.
+  std::int64_t switches_taken = 0;
+};
+
+/// Executes `source` for options.periods specification periods, switching
+/// modes per the program's switch declarations. Fails on compile errors in
+/// any reachable mode selection, or when a switch condition communicator
+/// is not bool.
+[[nodiscard]] Result<ModeSwitchingResult> simulate_with_switching(
+    std::string_view source, const FunctionRegistry& functions,
+    sim::Environment& env, const sim::SimulationOptions& options);
+
+/// Verdict of the per-mode analysis over every mode selection of the
+/// program: first = selection key, second = reliable && schedulable.
+[[nodiscard]] Result<std::vector<std::pair<std::string, bool>>>
+analyze_all_selections(std::string_view source);
+
+}  // namespace lrt::htl
+
+#endif  // LRT_HTL_MODE_RUNTIME_H_

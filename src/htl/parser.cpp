@@ -1,0 +1,448 @@
+#include "htl/parser.h"
+
+#include <charconv>
+
+#include "htl/lexer.h"
+
+namespace lrt::htl {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<ProgramAst> run() {
+    ProgramAst program;
+    LRT_RETURN_IF_ERROR(expect_keyword("program"));
+    LRT_ASSIGN_OR_RETURN(program.name, expect_identifier("program name"));
+    if (at_keyword("refines")) {
+      advance();
+      LRT_ASSIGN_OR_RETURN(auto parent, expect_identifier("parent program"));
+      program.refines = std::move(parent);
+    }
+    LRT_RETURN_IF_ERROR(expect(TokenKind::kLBrace));
+    while (!at(TokenKind::kRBrace)) {
+      if (at_keyword("communicator")) {
+        LRT_ASSIGN_OR_RETURN(auto comm, parse_communicator());
+        program.communicators.push_back(std::move(comm));
+      } else if (at_keyword("module")) {
+        LRT_ASSIGN_OR_RETURN(auto module, parse_module());
+        program.modules.push_back(std::move(module));
+      } else if (at_keyword("architecture")) {
+        if (program.architecture.has_value()) {
+          return error("duplicate architecture block");
+        }
+        LRT_ASSIGN_OR_RETURN(auto architecture, parse_architecture());
+        program.architecture = std::move(architecture);
+      } else if (at_keyword("mapping")) {
+        if (program.mapping.has_value()) {
+          return error("duplicate mapping block");
+        }
+        LRT_ASSIGN_OR_RETURN(auto mapping, parse_mapping());
+        program.mapping = std::move(mapping);
+      } else if (at_keyword("refine")) {
+        LRT_ASSIGN_OR_RETURN(auto refinement, parse_refine());
+        program.refinements.push_back(std::move(refinement));
+      } else {
+        return error("expected a declaration (communicator, module, "
+                     "architecture, mapping, or refine)");
+      }
+    }
+    LRT_RETURN_IF_ERROR(expect(TokenKind::kRBrace));
+    LRT_RETURN_IF_ERROR(expect(TokenKind::kEndOfFile));
+    return program;
+  }
+
+ private:
+  // --- token plumbing ---
+  [[nodiscard]] const Token& peek() const { return tokens_[pos_]; }
+  [[nodiscard]] bool at(TokenKind kind) const { return peek().kind == kind; }
+  [[nodiscard]] bool at_keyword(std::string_view word) const {
+    return peek().kind == TokenKind::kIdentifier && peek().text == word;
+  }
+  const Token& advance() { return tokens_[pos_++]; }
+
+  Status error(const std::string& message) const {
+    return ParseError(peek().location() + ": " + message + " (found " +
+                      std::string(to_string(peek().kind)) +
+                      (peek().text.empty() ? "" : " '" + peek().text + "'") +
+                      ")");
+  }
+
+  Status expect(TokenKind kind) {
+    if (!at(kind)) {
+      return error("expected " + std::string(to_string(kind)));
+    }
+    advance();
+    return Status::Ok();
+  }
+
+  Status expect_keyword(std::string_view word) {
+    if (!at_keyword(word)) {
+      return error("expected '" + std::string(word) + "'");
+    }
+    advance();
+    return Status::Ok();
+  }
+
+  Result<std::string> expect_identifier(std::string_view what) {
+    if (!at(TokenKind::kIdentifier)) {
+      return error("expected " + std::string(what));
+    }
+    return advance().text;
+  }
+
+  Result<std::int64_t> expect_integer(std::string_view what) {
+    if (!at(TokenKind::kInteger)) {
+      return error("expected integer " + std::string(what));
+    }
+    const Token& token = advance();
+    std::int64_t value = 0;
+    const auto [ptr, ec] = std::from_chars(
+        token.text.data(), token.text.data() + token.text.size(), value);
+    if (ec != std::errc() || ptr != token.text.data() + token.text.size()) {
+      return ParseError(token.location() + ": integer '" + token.text +
+                        "' out of range");
+    }
+    return value;
+  }
+
+  Result<double> expect_number(std::string_view what) {
+    if (!at(TokenKind::kInteger) && !at(TokenKind::kFloat)) {
+      return error("expected number " + std::string(what));
+    }
+    const Token& token = advance();
+    return std::stod(token.text);
+  }
+
+  /// Literal of a declared type: real accepts any number, int needs an
+  /// integer token, bool needs true/false.
+  Result<spec::Value> expect_literal(spec::ValueType type) {
+    switch (type) {
+      case spec::ValueType::kReal: {
+        LRT_ASSIGN_OR_RETURN(const double value, expect_number("literal"));
+        return spec::Value::real(value);
+      }
+      case spec::ValueType::kInt: {
+        LRT_ASSIGN_OR_RETURN(const std::int64_t value,
+                             expect_integer("literal"));
+        return spec::Value::integer(value);
+      }
+      case spec::ValueType::kBool: {
+        if (at_keyword("true")) {
+          advance();
+          return spec::Value::boolean(true);
+        }
+        if (at_keyword("false")) {
+          advance();
+          return spec::Value::boolean(false);
+        }
+        return error("expected 'true' or 'false'");
+      }
+    }
+    return error("unknown literal type");
+  }
+
+  // --- grammar productions ---
+
+  Result<CommunicatorAst> parse_communicator() {
+    CommunicatorAst comm;
+    comm.line = peek().line;
+    LRT_RETURN_IF_ERROR(expect_keyword("communicator"));
+    LRT_ASSIGN_OR_RETURN(comm.name, expect_identifier("communicator name"));
+    LRT_RETURN_IF_ERROR(expect(TokenKind::kColon));
+    if (at_keyword("real")) {
+      comm.type = spec::ValueType::kReal;
+    } else if (at_keyword("int")) {
+      comm.type = spec::ValueType::kInt;
+    } else if (at_keyword("bool")) {
+      comm.type = spec::ValueType::kBool;
+    } else {
+      return error("expected type ('real', 'int', or 'bool')");
+    }
+    advance();
+    LRT_RETURN_IF_ERROR(expect_keyword("period"));
+    LRT_ASSIGN_OR_RETURN(comm.period, expect_integer("period"));
+    LRT_RETURN_IF_ERROR(expect_keyword("init"));
+    LRT_ASSIGN_OR_RETURN(comm.init, expect_literal(comm.type));
+    LRT_RETURN_IF_ERROR(expect_keyword("lrc"));
+    LRT_ASSIGN_OR_RETURN(comm.lrc, expect_number("LRC"));
+    LRT_RETURN_IF_ERROR(expect(TokenKind::kSemicolon));
+    return comm;
+  }
+
+  Result<std::vector<PortAst>> parse_port_list() {
+    std::vector<PortAst> ports;
+    LRT_RETURN_IF_ERROR(expect(TokenKind::kLParen));
+    while (true) {
+      PortAst port;
+      port.line = peek().line;
+      LRT_ASSIGN_OR_RETURN(port.communicator,
+                           expect_identifier("communicator in port"));
+      LRT_RETURN_IF_ERROR(expect(TokenKind::kLBracket));
+      LRT_ASSIGN_OR_RETURN(port.instance, expect_integer("instance"));
+      LRT_RETURN_IF_ERROR(expect(TokenKind::kRBracket));
+      ports.push_back(std::move(port));
+      if (at(TokenKind::kComma)) {
+        advance();
+        continue;
+      }
+      break;
+    }
+    LRT_RETURN_IF_ERROR(expect(TokenKind::kRParen));
+    return ports;
+  }
+
+  Result<TaskAst> parse_task() {
+    TaskAst task;
+    task.line = peek().line;
+    LRT_RETURN_IF_ERROR(expect_keyword("task"));
+    LRT_ASSIGN_OR_RETURN(task.name, expect_identifier("task name"));
+    LRT_RETURN_IF_ERROR(expect_keyword("input"));
+    LRT_ASSIGN_OR_RETURN(task.inputs, parse_port_list());
+    LRT_RETURN_IF_ERROR(expect_keyword("output"));
+    LRT_ASSIGN_OR_RETURN(task.outputs, parse_port_list());
+    if (at_keyword("model")) {
+      advance();
+      if (at_keyword("series")) {
+        task.model = spec::FailureModel::kSeries;
+      } else if (at_keyword("parallel")) {
+        task.model = spec::FailureModel::kParallel;
+      } else if (at_keyword("independent")) {
+        task.model = spec::FailureModel::kIndependent;
+      } else {
+        return error(
+            "expected 'series', 'parallel', or 'independent' after 'model'");
+      }
+      advance();
+    }
+    if (at_keyword("defaults")) {
+      advance();
+      LRT_RETURN_IF_ERROR(expect(TokenKind::kLParen));
+      while (true) {
+        // Defaults are parsed as reals/ints/bools liberally; the compiler
+        // re-checks conformance against the communicator types.
+        if (at_keyword("true") || at_keyword("false")) {
+          task.defaults.push_back(spec::Value::boolean(at_keyword("true")));
+          advance();
+        } else if (at(TokenKind::kFloat)) {
+          task.defaults.push_back(spec::Value::real(std::stod(advance().text)));
+        } else if (at(TokenKind::kInteger)) {
+          LRT_ASSIGN_OR_RETURN(const std::int64_t value,
+                               expect_integer("default"));
+          task.defaults.push_back(spec::Value::integer(value));
+        } else {
+          return error("expected a default literal");
+        }
+        if (at(TokenKind::kComma)) {
+          advance();
+          continue;
+        }
+        break;
+      }
+      LRT_RETURN_IF_ERROR(expect(TokenKind::kRParen));
+    }
+    LRT_RETURN_IF_ERROR(expect(TokenKind::kSemicolon));
+    return task;
+  }
+
+  Result<ModeAst> parse_mode() {
+    ModeAst mode;
+    mode.line = peek().line;
+    LRT_RETURN_IF_ERROR(expect_keyword("mode"));
+    LRT_ASSIGN_OR_RETURN(mode.name, expect_identifier("mode name"));
+    LRT_RETURN_IF_ERROR(expect_keyword("period"));
+    LRT_ASSIGN_OR_RETURN(mode.period, expect_integer("mode period"));
+    LRT_RETURN_IF_ERROR(expect(TokenKind::kLBrace));
+    while (!at(TokenKind::kRBrace)) {
+      if (at_keyword("invoke")) {
+        advance();
+        LRT_ASSIGN_OR_RETURN(auto task, expect_identifier("task to invoke"));
+        mode.invokes.push_back(std::move(task));
+        LRT_RETURN_IF_ERROR(expect(TokenKind::kSemicolon));
+      } else if (at_keyword("switch")) {
+        SwitchAst switch_ast;
+        switch_ast.line = peek().line;
+        advance();
+        LRT_RETURN_IF_ERROR(expect(TokenKind::kLParen));
+        LRT_ASSIGN_OR_RETURN(switch_ast.condition,
+                             expect_identifier("switch condition"));
+        LRT_RETURN_IF_ERROR(expect(TokenKind::kRParen));
+        LRT_RETURN_IF_ERROR(expect_keyword("to"));
+        LRT_ASSIGN_OR_RETURN(switch_ast.target,
+                             expect_identifier("target mode"));
+        LRT_RETURN_IF_ERROR(expect(TokenKind::kSemicolon));
+        mode.switches.push_back(std::move(switch_ast));
+      } else {
+        return error("expected 'invoke' or 'switch' in mode body");
+      }
+    }
+    LRT_RETURN_IF_ERROR(expect(TokenKind::kRBrace));
+    return mode;
+  }
+
+  Result<ModuleAst> parse_module() {
+    ModuleAst module;
+    module.line = peek().line;
+    LRT_RETURN_IF_ERROR(expect_keyword("module"));
+    LRT_ASSIGN_OR_RETURN(module.name, expect_identifier("module name"));
+    LRT_RETURN_IF_ERROR(expect(TokenKind::kLBrace));
+    while (!at(TokenKind::kRBrace)) {
+      if (at_keyword("task")) {
+        LRT_ASSIGN_OR_RETURN(auto task, parse_task());
+        module.tasks.push_back(std::move(task));
+      } else if (at_keyword("mode")) {
+        LRT_ASSIGN_OR_RETURN(auto mode, parse_mode());
+        module.modes.push_back(std::move(mode));
+      } else if (at_keyword("start")) {
+        advance();
+        if (!module.start_mode.empty()) {
+          return error("duplicate start declaration");
+        }
+        LRT_ASSIGN_OR_RETURN(module.start_mode,
+                             expect_identifier("start mode"));
+        LRT_RETURN_IF_ERROR(expect(TokenKind::kSemicolon));
+      } else {
+        return error("expected 'task', 'mode', or 'start' in module body");
+      }
+    }
+    LRT_RETURN_IF_ERROR(expect(TokenKind::kRBrace));
+    return module;
+  }
+
+  Result<ArchitectureAst> parse_architecture() {
+    ArchitectureAst architecture;
+    architecture.line = peek().line;
+    LRT_RETURN_IF_ERROR(expect_keyword("architecture"));
+    LRT_RETURN_IF_ERROR(expect(TokenKind::kLBrace));
+    while (!at(TokenKind::kRBrace)) {
+      if (at_keyword("host")) {
+        HostAst host;
+        host.line = peek().line;
+        advance();
+        LRT_ASSIGN_OR_RETURN(host.name, expect_identifier("host name"));
+        LRT_RETURN_IF_ERROR(expect_keyword("reliability"));
+        LRT_ASSIGN_OR_RETURN(host.reliability,
+                             expect_number("host reliability"));
+        LRT_RETURN_IF_ERROR(expect(TokenKind::kSemicolon));
+        architecture.hosts.push_back(std::move(host));
+      } else if (at_keyword("sensor")) {
+        SensorAst sensor;
+        sensor.line = peek().line;
+        advance();
+        LRT_ASSIGN_OR_RETURN(sensor.name, expect_identifier("sensor name"));
+        LRT_RETURN_IF_ERROR(expect_keyword("reliability"));
+        LRT_ASSIGN_OR_RETURN(sensor.reliability,
+                             expect_number("sensor reliability"));
+        LRT_RETURN_IF_ERROR(expect(TokenKind::kSemicolon));
+        architecture.sensors.push_back(std::move(sensor));
+      } else if (at_keyword("metrics")) {
+        MetricAst metric;
+        metric.line = peek().line;
+        advance();
+        if (at_keyword("default")) {
+          advance();
+        } else {
+          LRT_RETURN_IF_ERROR(expect_keyword("task"));
+          LRT_ASSIGN_OR_RETURN(metric.task, expect_identifier("task name"));
+          LRT_RETURN_IF_ERROR(expect_keyword("on"));
+          LRT_ASSIGN_OR_RETURN(metric.host, expect_identifier("host name"));
+        }
+        LRT_RETURN_IF_ERROR(expect_keyword("wcet"));
+        LRT_ASSIGN_OR_RETURN(metric.wcet, expect_integer("WCET"));
+        LRT_RETURN_IF_ERROR(expect_keyword("wctt"));
+        LRT_ASSIGN_OR_RETURN(metric.wctt, expect_integer("WCTT"));
+        LRT_RETURN_IF_ERROR(expect(TokenKind::kSemicolon));
+        architecture.metrics.push_back(std::move(metric));
+      } else {
+        return error("expected 'host', 'sensor', or 'metrics'");
+      }
+    }
+    LRT_RETURN_IF_ERROR(expect(TokenKind::kRBrace));
+    return architecture;
+  }
+
+  Result<MappingAst> parse_mapping() {
+    MappingAst mapping;
+    mapping.line = peek().line;
+    LRT_RETURN_IF_ERROR(expect_keyword("mapping"));
+    LRT_RETURN_IF_ERROR(expect(TokenKind::kLBrace));
+    while (!at(TokenKind::kRBrace)) {
+      if (at_keyword("map")) {
+        MapAst map;
+        map.line = peek().line;
+        advance();
+        LRT_ASSIGN_OR_RETURN(map.task, expect_identifier("task name"));
+        LRT_RETURN_IF_ERROR(expect_keyword("to"));
+        while (true) {
+          LRT_ASSIGN_OR_RETURN(auto host, expect_identifier("host name"));
+          map.hosts.push_back(std::move(host));
+          if (at(TokenKind::kComma)) {
+            advance();
+            continue;
+          }
+          break;
+        }
+        if (at_keyword("retries")) {
+          advance();
+          LRT_ASSIGN_OR_RETURN(const std::int64_t retries,
+                               expect_integer("retry count"));
+          map.retries = static_cast<int>(retries);
+        }
+        if (at_keyword("checkpoints")) {
+          advance();
+          LRT_ASSIGN_OR_RETURN(const std::int64_t checkpoints,
+                               expect_integer("checkpoint count"));
+          map.checkpoints = static_cast<int>(checkpoints);
+          if (at_keyword("overhead")) {
+            advance();
+            LRT_ASSIGN_OR_RETURN(map.checkpoint_overhead,
+                                 expect_integer("checkpoint overhead"));
+          }
+        }
+        LRT_RETURN_IF_ERROR(expect(TokenKind::kSemicolon));
+        mapping.maps.push_back(std::move(map));
+      } else if (at_keyword("bind")) {
+        BindAst bind;
+        bind.line = peek().line;
+        advance();
+        LRT_ASSIGN_OR_RETURN(bind.communicator,
+                             expect_identifier("communicator name"));
+        LRT_RETURN_IF_ERROR(expect_keyword("to"));
+        LRT_ASSIGN_OR_RETURN(bind.sensor, expect_identifier("sensor name"));
+        LRT_RETURN_IF_ERROR(expect(TokenKind::kSemicolon));
+        mapping.binds.push_back(std::move(bind));
+      } else {
+        return error("expected 'map' or 'bind'");
+      }
+    }
+    LRT_RETURN_IF_ERROR(expect(TokenKind::kRBrace));
+    return mapping;
+  }
+
+  Result<RefineAst> parse_refine() {
+    RefineAst refinement;
+    refinement.line = peek().line;
+    LRT_RETURN_IF_ERROR(expect_keyword("refine"));
+    LRT_RETURN_IF_ERROR(expect_keyword("task"));
+    LRT_ASSIGN_OR_RETURN(refinement.local_task,
+                         expect_identifier("local task"));
+    LRT_RETURN_IF_ERROR(expect_keyword("to"));
+    LRT_ASSIGN_OR_RETURN(refinement.parent_task,
+                         expect_identifier("parent task"));
+    LRT_RETURN_IF_ERROR(expect(TokenKind::kSemicolon));
+    return refinement;
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ProgramAst> parse(std::string_view source) {
+  LRT_ASSIGN_OR_RETURN(std::vector<Token> tokens, lex(source));
+  return Parser(std::move(tokens)).run();
+}
+
+}  // namespace lrt::htl

@@ -1,0 +1,17 @@
+// Recursive-descent parser for the HTL subset grammar (src/htl/ast.h).
+#ifndef LRT_HTL_PARSER_H_
+#define LRT_HTL_PARSER_H_
+
+#include <string_view>
+
+#include "htl/ast.h"
+#include "support/status.h"
+
+namespace lrt::htl {
+
+/// Lexes and parses one program. Diagnostics carry line:column positions.
+[[nodiscard]] Result<ProgramAst> parse(std::string_view source);
+
+}  // namespace lrt::htl
+
+#endif  // LRT_HTL_PARSER_H_

@@ -1,0 +1,132 @@
+#include "htl/printer.h"
+
+#include "support/strings.h"
+
+namespace lrt::htl {
+namespace {
+
+std::string literal(const spec::Value& value, spec::ValueType type) {
+  if (type == spec::ValueType::kReal) {
+    // Guarantee the token re-lexes as a float.
+    const std::string text = format_double(value.as_real());
+    return text.find_first_of(".eE") == std::string::npos ? text + ".0"
+                                                          : text;
+  }
+  return value.to_string();
+}
+
+std::string default_literal(const spec::Value& value) {
+  if (value.is_real()) return literal(value, spec::ValueType::kReal);
+  return value.to_string();
+}
+
+std::string ports(const std::vector<PortAst>& list) {
+  std::string out = "(";
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += list[i].communicator + "[" + std::to_string(list[i].instance) +
+           "]";
+  }
+  return out + ")";
+}
+
+}  // namespace
+
+std::string to_source(const ProgramAst& program) {
+  std::string out = "program " + program.name;
+  if (program.refines.has_value()) out += " refines " + *program.refines;
+  out += " {\n";
+
+  for (const CommunicatorAst& comm : program.communicators) {
+    out += "  communicator " + comm.name + " : " +
+           std::string(spec::to_string(comm.type)) + " period " +
+           std::to_string(comm.period) + " init " +
+           literal(comm.init, comm.type) + " lrc " + format_double(comm.lrc) +
+           ";\n";
+  }
+
+  for (const ModuleAst& module : program.modules) {
+    out += "  module " + module.name + " {\n";
+    for (const TaskAst& task : module.tasks) {
+      out += "    task " + task.name + " input " + ports(task.inputs) +
+             " output " + ports(task.outputs) + " model " +
+             std::string(spec::to_string(task.model));
+      if (!task.defaults.empty()) {
+        out += " defaults (";
+        for (std::size_t i = 0; i < task.defaults.size(); ++i) {
+          if (i > 0) out += ", ";
+          out += default_literal(task.defaults[i]);
+        }
+        out += ")";
+      }
+      out += ";\n";
+    }
+    for (const ModeAst& mode : module.modes) {
+      out += "    mode " + mode.name + " period " +
+             std::to_string(mode.period) + " {\n";
+      for (const std::string& task : mode.invokes) {
+        out += "      invoke " + task + ";\n";
+      }
+      for (const SwitchAst& sw : mode.switches) {
+        out += "      switch (" + sw.condition + ") to " + sw.target + ";\n";
+      }
+      out += "    }\n";
+    }
+    if (!module.start_mode.empty()) {
+      out += "    start " + module.start_mode + ";\n";
+    }
+    out += "  }\n";
+  }
+
+  if (program.architecture.has_value()) {
+    const ArchitectureAst& arch = *program.architecture;
+    out += "  architecture {\n";
+    for (const HostAst& host : arch.hosts) {
+      out += "    host " + host.name + " reliability " +
+             format_double(host.reliability) + ";\n";
+    }
+    for (const SensorAst& sensor : arch.sensors) {
+      out += "    sensor " + sensor.name + " reliability " +
+             format_double(sensor.reliability) + ";\n";
+    }
+    for (const MetricAst& metric : arch.metrics) {
+      out += "    metrics ";
+      if (metric.task.empty()) {
+        out += "default";
+      } else {
+        out += "task " + metric.task + " on " + metric.host;
+      }
+      out += " wcet " + std::to_string(metric.wcet) + " wctt " +
+             std::to_string(metric.wctt) + ";\n";
+    }
+    out += "  }\n";
+  }
+
+  if (program.mapping.has_value()) {
+    out += "  mapping {\n";
+    for (const MapAst& map : program.mapping->maps) {
+      out += "    map " + map.task + " to " + join(map.hosts, ", ");
+      if (map.retries > 0) out += " retries " + std::to_string(map.retries);
+      if (map.checkpoints > 0) {
+        out += " checkpoints " + std::to_string(map.checkpoints);
+        if (map.checkpoint_overhead > 0) {
+          out += " overhead " + std::to_string(map.checkpoint_overhead);
+        }
+      }
+      out += ";\n";
+    }
+    for (const BindAst& bind : program.mapping->binds) {
+      out += "    bind " + bind.communicator + " to " + bind.sensor + ";\n";
+    }
+    out += "  }\n";
+  }
+
+  for (const RefineAst& refinement : program.refinements) {
+    out += "  refine task " + refinement.local_task + " to " +
+           refinement.parent_task + ";\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace lrt::htl

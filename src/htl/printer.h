@@ -1,0 +1,17 @@
+// Pretty-printer: ProgramAst back to HTL source. parse(print(ast)) is the
+// identity on the AST (round-trip property, tested in htl_printer_test).
+#ifndef LRT_HTL_PRINTER_H_
+#define LRT_HTL_PRINTER_H_
+
+#include <string>
+
+#include "htl/ast.h"
+
+namespace lrt::htl {
+
+/// Canonical source text for a program AST.
+[[nodiscard]] std::string to_source(const ProgramAst& program);
+
+}  // namespace lrt::htl
+
+#endif  // LRT_HTL_PRINTER_H_

@@ -1,0 +1,139 @@
+#include "impl/implementation.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lrt::impl {
+
+Result<Implementation> Implementation::Build(const spec::Specification& spec,
+                                             const arch::Architecture& arch,
+                                             ImplementationConfig config) {
+  Implementation impl;
+  impl.name_ = std::move(config.name);
+  impl.spec_ = &spec;
+  impl.arch_ = &arch;
+  impl.task_hosts_.assign(spec.tasks().size(), {});
+  impl.reexecutions_.assign(spec.tasks().size(), 0);
+  impl.checkpoints_.assign(spec.tasks().size(), 0);
+  impl.checkpoint_overheads_.assign(spec.tasks().size(), 0);
+  impl.sensor_bindings_.assign(spec.communicators().size(), -1);
+
+  for (const auto& mapping : config.task_mappings) {
+    const auto task = spec.find_task(mapping.task);
+    if (!task.has_value()) {
+      return NotFoundError("mapping references unknown task '" +
+                           mapping.task + "'");
+    }
+    auto& hosts = impl.task_hosts_[static_cast<std::size_t>(*task)];
+    if (!hosts.empty()) {
+      return AlreadyExistsError("task '" + mapping.task + "' mapped twice");
+    }
+    if (mapping.hosts.empty()) {
+      return InvalidArgumentError("task '" + mapping.task +
+                                  "' mapped to an empty host set");
+    }
+    if (mapping.reexecutions < 0) {
+      return InvalidArgumentError("task '" + mapping.task +
+                                  "' has a negative re-execution count");
+    }
+    if (mapping.checkpoints < 0 || mapping.checkpoint_overhead < 0) {
+      return InvalidArgumentError("task '" + mapping.task +
+                                  "' has negative checkpoint settings");
+    }
+    if (mapping.checkpoints > 0 && mapping.reexecutions == 0) {
+      return InvalidArgumentError(
+          "task '" + mapping.task +
+          "' declares checkpoints without re-executions (checkpointing "
+          "only shortens recovery)");
+    }
+    impl.reexecutions_[static_cast<std::size_t>(*task)] =
+        mapping.reexecutions;
+    impl.checkpoints_[static_cast<std::size_t>(*task)] = mapping.checkpoints;
+    impl.checkpoint_overheads_[static_cast<std::size_t>(*task)] =
+        mapping.checkpoint_overhead;
+    for (const std::string& host_name : mapping.hosts) {
+      const auto host = arch.find_host(host_name);
+      if (!host.has_value()) {
+        return NotFoundError("task '" + mapping.task +
+                             "' mapped to unknown host '" + host_name + "'");
+      }
+      hosts.push_back(*host);
+    }
+    std::sort(hosts.begin(), hosts.end());
+    if (std::adjacent_find(hosts.begin(), hosts.end()) != hosts.end()) {
+      return InvalidArgumentError("task '" + mapping.task +
+                                  "' mapped to a host more than once");
+    }
+  }
+
+  for (spec::TaskId t = 0; t < static_cast<spec::TaskId>(spec.tasks().size());
+       ++t) {
+    if (impl.task_hosts_[static_cast<std::size_t>(t)].empty()) {
+      return InvalidArgumentError("task '" + spec.task(t).name +
+                                  "' is not mapped to any host");
+    }
+  }
+
+  for (const auto& binding : config.sensor_bindings) {
+    const auto comm = spec.find_communicator(binding.communicator);
+    if (!comm.has_value()) {
+      return NotFoundError("sensor binding references unknown communicator '" +
+                           binding.communicator + "'");
+    }
+    if (!spec.is_input_communicator(*comm)) {
+      return InvalidArgumentError(
+          "communicator '" + binding.communicator +
+          "' is written by task '" +
+          spec.task(*spec.writer_of(*comm)).name +
+          "' and cannot also be updated by a sensor");
+    }
+    const auto sensor = arch.find_sensor(binding.sensor);
+    if (!sensor.has_value()) {
+      return NotFoundError("sensor binding references unknown sensor '" +
+                           binding.sensor + "'");
+    }
+    auto& slot = impl.sensor_bindings_[static_cast<std::size_t>(*comm)];
+    if (slot != -1) {
+      return AlreadyExistsError("communicator '" + binding.communicator +
+                                "' bound to two sensors");
+    }
+    slot = *sensor;
+  }
+
+  for (spec::CommId c = 0;
+       c < static_cast<spec::CommId>(spec.communicators().size()); ++c) {
+    if (spec.is_input_communicator(c) && spec.readers_of(c).size() > 0 &&
+        impl.sensor_bindings_[static_cast<std::size_t>(c)] == -1) {
+      return InvalidArgumentError("input communicator '" +
+                                  spec.communicator(c).name +
+                                  "' has no sensor binding");
+    }
+  }
+
+  return impl;
+}
+
+spec::Time Implementation::reserved_demand(spec::TaskId id,
+                                           spec::Time wcet) const {
+  const auto ts = static_cast<std::size_t>(id);
+  const int k = checkpoints_[ts];
+  const int retries = reexecutions_[ts];
+  const spec::Time overhead = checkpoint_overheads_[ts];
+  // Segment length: ceil(wcet / (k + 1)).
+  const spec::Time segment = (wcet + k) / (k + 1);
+  return wcet + k * overhead + retries * (segment + (k > 0 ? overhead : 0));
+}
+
+SensorId Implementation::sensor_for(spec::CommId id) const {
+  const SensorId sensor = sensor_bindings_[static_cast<std::size_t>(id)];
+  assert(sensor != -1 && "sensor_for() on a communicator with no binding");
+  return sensor;
+}
+
+std::size_t Implementation::replication_count() const {
+  std::size_t count = 0;
+  for (const auto& hosts : task_hosts_) count += hosts.size();
+  return count;
+}
+
+}  // namespace lrt::impl

@@ -1,0 +1,128 @@
+// The implementation I : tset -> 2^hset \ {} of paper Section 2: the
+// replication mapping of tasks to hosts, plus the binding of input
+// communicators to the sensors that update them.
+//
+// Replication semantics (paper): if task t maps to multiple hosts, each
+// host runs a local copy (t, h); every communicator is replicated on every
+// host; completed replications broadcast their outputs and each host votes
+// before committing the communicator update.
+#ifndef LRT_IMPL_IMPLEMENTATION_H_
+#define LRT_IMPL_IMPLEMENTATION_H_
+
+#include <string>
+#include <vector>
+
+#include "arch/architecture.h"
+#include "spec/specification.h"
+#include "support/status.h"
+
+namespace lrt::impl {
+
+using arch::HostId;
+using arch::SensorId;
+
+/// Builder-side description of an implementation, by name.
+struct ImplementationConfig {
+  std::string name = "impl";
+
+  struct TaskMapping {
+    std::string task;
+    std::vector<std::string> hosts;  ///< nonempty; duplicates rejected
+    /// Time redundancy (extension; cf. Izosimov et al., the paper's
+    /// related work): number of re-execution attempts after a failed
+    /// invocation on the same host, within the task's LET. 0 = the
+    /// paper's model. Raises the per-host invocation reliability to
+    /// 1 - (1 - hrel)^(1 + reexecutions) and multiplies the WCET demand
+    /// by (1 + reexecutions).
+    int reexecutions = 0;
+    /// Checkpointing (extension; Izosimov et al. [10]): the task saves
+    /// `checkpoints` intermediate states, so a re-execution repeats only
+    /// the current segment (ceil(wcet / (checkpoints + 1)) ticks) instead
+    /// of the whole task. Reliability is unchanged; the *reserved* WCET
+    /// demand shrinks to
+    ///   wcet + checkpoints * checkpoint_overhead
+    ///        + reexecutions * (segment + checkpoint_overhead).
+    /// Only meaningful with reexecutions > 0.
+    int checkpoints = 0;
+    /// Ticks to save one checkpoint.
+    spec::Time checkpoint_overhead = 0;
+  };
+  std::vector<TaskMapping> task_mappings;
+
+  struct SensorBinding {
+    std::string communicator;  ///< must be an input communicator
+    std::string sensor;
+  };
+  std::vector<SensorBinding> sensor_bindings;
+};
+
+/// An immutable, validated implementation for a (specification,
+/// architecture) pair. The referenced Specification and Architecture must
+/// outlive the Implementation.
+class Implementation {
+ public:
+  /// Validates:
+  ///  * every specification task is mapped to a nonempty, duplicate-free
+  ///    set of existing hosts;
+  ///  * every input communicator is bound to exactly one existing sensor;
+  ///  * no non-input communicator carries a sensor binding.
+  static Result<Implementation> Build(const spec::Specification& spec,
+                                      const arch::Architecture& arch,
+                                      ImplementationConfig config);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const spec::Specification& specification() const {
+    return *spec_;
+  }
+  [[nodiscard]] const arch::Architecture& architecture() const {
+    return *arch_;
+  }
+
+  /// I(t): hosts executing replications of task `id`, in ascending order.
+  [[nodiscard]] const std::vector<HostId>& hosts_for(spec::TaskId id) const {
+    return task_hosts_[static_cast<std::size_t>(id)];
+  }
+
+  /// Re-execution attempts after a failure, per replication of task `id`.
+  [[nodiscard]] int reexecutions(spec::TaskId id) const {
+    return reexecutions_[static_cast<std::size_t>(id)];
+  }
+
+  /// Checkpoints saved per invocation of task `id`.
+  [[nodiscard]] int checkpoints(spec::TaskId id) const {
+    return checkpoints_[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] spec::Time checkpoint_overhead(spec::TaskId id) const {
+    return checkpoint_overheads_[static_cast<std::size_t>(id)];
+  }
+
+  /// The WCET demand one invocation of task `id` must reserve, given a
+  /// base WCET: full execution, checkpoint saves, and worst-case recovery
+  /// of one segment per re-execution attempt.
+  [[nodiscard]] spec::Time reserved_demand(spec::TaskId id,
+                                           spec::Time wcet) const;
+
+  /// The sensor updating input communicator `id`.
+  /// Precondition: spec.is_input_communicator(id).
+  [[nodiscard]] SensorId sensor_for(spec::CommId id) const;
+
+  /// Total number of task replications (sum over tasks of |I(t)|) — the
+  /// paper's space-redundancy cost measure used by the synthesizer.
+  [[nodiscard]] std::size_t replication_count() const;
+
+ private:
+  Implementation() = default;
+
+  std::string name_;
+  const spec::Specification* spec_ = nullptr;
+  const arch::Architecture* arch_ = nullptr;
+  std::vector<std::vector<HostId>> task_hosts_;   // by TaskId
+  std::vector<int> reexecutions_;                 // by TaskId
+  std::vector<int> checkpoints_;                  // by TaskId
+  std::vector<spec::Time> checkpoint_overheads_;  // by TaskId
+  std::vector<SensorId> sensor_bindings_;         // by CommId; -1 = none
+};
+
+}  // namespace lrt::impl
+
+#endif  // LRT_IMPL_IMPLEMENTATION_H_

@@ -1,0 +1,40 @@
+// Minimal fixed-step ODE integration used by the plant models.
+#ifndef LRT_PLANT_ODE_H_
+#define LRT_PLANT_ODE_H_
+
+#include <array>
+#include <cstddef>
+
+namespace lrt::plant {
+
+/// Classic fourth-order Runge-Kutta step for dx/dt = f(x).
+///
+/// `Deriv` is callable as f(const std::array<double, N>&) ->
+/// std::array<double, N>. Returns the state after one step of size `dt`.
+template <std::size_t N, typename Deriv>
+std::array<double, N> rk4_step(const std::array<double, N>& state,
+                               const Deriv& deriv, double dt) {
+  const std::array<double, N> k1 = deriv(state);
+
+  std::array<double, N> mid;
+  for (std::size_t i = 0; i < N; ++i) mid[i] = state[i] + 0.5 * dt * k1[i];
+  const std::array<double, N> k2 = deriv(mid);
+
+  for (std::size_t i = 0; i < N; ++i) mid[i] = state[i] + 0.5 * dt * k2[i];
+  const std::array<double, N> k3 = deriv(mid);
+
+  std::array<double, N> end;
+  for (std::size_t i = 0; i < N; ++i) end[i] = state[i] + dt * k3[i];
+  const std::array<double, N> k4 = deriv(end);
+
+  std::array<double, N> next;
+  for (std::size_t i = 0; i < N; ++i) {
+    next[i] =
+        state[i] + dt / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+  }
+  return next;
+}
+
+}  // namespace lrt::plant
+
+#endif  // LRT_PLANT_ODE_H_

@@ -1,0 +1,101 @@
+#include "plant/three_tank.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "plant/ode.h"
+
+namespace lrt::plant {
+namespace {
+
+/// Signed Torricelli flow through an orifice between two columns:
+/// q = coeff * sign(dh) * sqrt(2 g |dh|).
+double orifice_flow(double coeff, double gravity, double head_difference) {
+  const double magnitude =
+      coeff * std::sqrt(2.0 * gravity * std::fabs(head_difference));
+  return head_difference >= 0.0 ? magnitude : -magnitude;
+}
+
+}  // namespace
+
+ThreeTankPlant::ThreeTankPlant(ThreeTankParams params) : params_(params) {}
+
+void ThreeTankPlant::set_pump(int pump, double command) {
+  assert(pump == 1 || pump == 2);
+  pumps_[static_cast<std::size_t>(pump - 1)] = std::clamp(command, 0.0, 1.0);
+}
+
+void ThreeTankPlant::set_perturbation(int tank, double opening) {
+  assert(tank >= 1 && tank <= 3);
+  perturbations_[static_cast<std::size_t>(tank - 1)] =
+      std::clamp(opening, 0.0, 1.0);
+}
+
+std::array<double, 3> ThreeTankPlant::derivatives(
+    const std::array<double, 3>& levels) const {
+  const double g = params_.gravity;
+  // Flows from tank1/tank2 into tank3.
+  const double q13 =
+      orifice_flow(params_.connect_coeff, g, levels[0] - levels[2]);
+  const double q23 =
+      orifice_flow(params_.connect_coeff, g, levels[1] - levels[2]);
+  // Evacuation taps: the base drain plus the perturbation opening.
+  const auto drain = [&](int i) {
+    const double coeff =
+        params_.drain_coeff * (1.0 + perturbations_[static_cast<std::size_t>(i)]);
+    return coeff * std::sqrt(2.0 * g * std::max(0.0, levels[static_cast<std::size_t>(i)]));
+  };
+  const double q_in1 = params_.pump_max_flow * pumps_[0];
+  const double q_in2 = params_.pump_max_flow * pumps_[1];
+
+  return {
+      (q_in1 - q13 - drain(0)) / params_.tank_area,
+      (q_in2 - q23 - drain(1)) / params_.tank_area,
+      (q13 + q23 - drain(2)) / params_.tank_area,
+  };
+}
+
+void ThreeTankPlant::step(double dt) {
+  assert(dt > 0.0);
+  // Sub-step for stability: the plant time constants are tens of seconds,
+  // so 0.1 s RK4 steps are comfortably accurate.
+  const int substeps = std::max(1, static_cast<int>(std::ceil(dt / 0.1)));
+  const double h = dt / substeps;
+  for (int k = 0; k < substeps; ++k) {
+    levels_ = rk4_step<3>(
+        levels_,
+        [this](const std::array<double, 3>& state) {
+          return derivatives(state);
+        },
+        h);
+    for (double& level : levels_) {
+      level = std::clamp(level, 0.0, params_.max_level);
+    }
+  }
+}
+
+double ThreeTankPlant::level(int tank) const {
+  assert(tank >= 1 && tank <= 3);
+  return levels_[static_cast<std::size_t>(tank - 1)];
+}
+
+double ThreeTankPlant::pump(int pump) const {
+  assert(pump == 1 || pump == 2);
+  return pumps_[static_cast<std::size_t>(pump - 1)];
+}
+
+double PiController::update(double measured, double dt) {
+  const double error = setpoint_ - measured;
+  const double unclamped = kp_ * error + ki_ * (integral_ + error * dt);
+  const double output = std::clamp(unclamped, out_min_, out_max_);
+  // Anti-windup: only integrate while not saturating.
+  if (unclamped == output) integral_ += error * dt;
+  return output;
+}
+
+double PiController::proportional(double measured) const {
+  return std::clamp(kp_ * (setpoint_ - measured), out_min_, out_max_);
+}
+
+}  // namespace lrt::plant

@@ -1,0 +1,86 @@
+// The three-tank system (3TS) of paper Section 4.
+//
+// "The system consists of three tanks tank1, tank2, and tank3, each with an
+// evacuation tap. Tank tank3 is connected to both tank1 and tank2. Two
+// pumps, pump1 and pump2, feed water into the tanks tank1 and tank2,
+// respectively. The controller maintains the level of water in tanks tank1
+// and tank2 in the presence and absence of perturbations."
+//
+// The paper's physical rig is replaced by a Torricelli-flow ODE model with
+// parameters in the range of the Amira DTS200 laboratory plant; see
+// DESIGN.md ("Substitutions") for why this preserves the experiment.
+#ifndef LRT_PLANT_THREE_TANK_H_
+#define LRT_PLANT_THREE_TANK_H_
+
+#include <array>
+
+namespace lrt::plant {
+
+struct ThreeTankParams {
+  double tank_area = 0.0154;        ///< m^2, cross section of each tank
+  double connect_coeff = 5.0e-5;    ///< m^2.5/s flow coefficient tank<->tank3
+  double drain_coeff = 3.0e-5;      ///< m^2.5/s evacuation tap coefficient
+  double pump_max_flow = 2.5e-4;    ///< m^3/s at command 1.0
+  double gravity = 9.81;            ///< m/s^2
+  double max_level = 0.62;          ///< m, tank height (clamping)
+};
+
+/// Continuous-time plant. Pump commands in [0, 1]; perturbations model
+/// additional open evacuation taps (fraction in [0, 1]).
+class ThreeTankPlant {
+ public:
+  explicit ThreeTankPlant(ThreeTankParams params = {});
+
+  /// pump is 1 or 2; command is clamped to [0, 1].
+  void set_pump(int pump, double command);
+  /// tank is 1, 2 or 3; extra drain opening clamped to [0, 1].
+  void set_perturbation(int tank, double opening);
+
+  /// Advances the plant by `dt` seconds (internally sub-stepped RK4).
+  void step(double dt);
+
+  /// tank is 1, 2 or 3. Level in meters, within [0, max_level].
+  [[nodiscard]] double level(int tank) const;
+  [[nodiscard]] double pump(int pump) const;
+
+ private:
+  [[nodiscard]] std::array<double, 3> derivatives(
+      const std::array<double, 3>& levels) const;
+
+  ThreeTankParams params_;
+  std::array<double, 3> levels_{0.0, 0.0, 0.0};
+  std::array<double, 2> pumps_{0.0, 0.0};
+  std::array<double, 3> perturbations_{0.0, 0.0, 0.0};
+};
+
+/// Proportional-integral controller with output clamping and integrator
+/// anti-windup (integration halts while the output saturates).
+class PiController {
+ public:
+  PiController(double kp, double ki, double setpoint, double out_min,
+               double out_max)
+      : kp_(kp), ki_(ki), setpoint_(setpoint), out_min_(out_min),
+        out_max_(out_max) {}
+
+  /// One control update given a level measurement and the elapsed time.
+  double update(double measured, double dt);
+
+  /// Stateless evaluation used by replicated tasks: proportional command
+  /// for a measurement (no integrator), so replicas stay deterministic.
+  [[nodiscard]] double proportional(double measured) const;
+
+  void set_setpoint(double setpoint) { setpoint_ = setpoint; }
+  [[nodiscard]] double setpoint() const { return setpoint_; }
+
+ private:
+  double kp_;
+  double ki_;
+  double setpoint_;
+  double out_min_;
+  double out_max_;
+  double integral_ = 0.0;
+};
+
+}  // namespace lrt::plant
+
+#endif  // LRT_PLANT_THREE_TANK_H_

@@ -1,0 +1,254 @@
+#include "plant/three_tank_system.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lrt::plant {
+namespace {
+
+using spec::FailureModel;
+using spec::Value;
+
+/// Control law of tasks t1/t2: clamped proportional command from the level.
+Value control_law(double setpoint, const Value& level) {
+  const double command =
+      std::clamp(kThreeTankGain * (setpoint - level.as_real()), 0.0, 1.0);
+  return Value::real(command);
+}
+
+/// Perturbation estimate of estimate1/estimate2: nominal drain outflow for
+/// the measured level (Torricelli), in m^3/s.
+Value estimate_law(const ThreeTankParams& params, const Value& level) {
+  return Value::real(params.drain_coeff *
+                     std::sqrt(2.0 * params.gravity *
+                               std::max(0.0, level.as_real())));
+}
+
+}  // namespace
+
+Result<ThreeTankSystem> make_three_tank_system(
+    const ThreeTankScenario& scenario) {
+  const bool replicated_sensors =
+      scenario.variant == ThreeTankVariant::kReplicatedSensors;
+  const ThreeTankParams params;  // shared by the estimate tasks' law
+
+  // --- specification -------------------------------------------------
+  spec::SpecificationConfig spec_config;
+  spec_config.name = "three_tank_system";
+
+  const auto sensor_comm = [&](const std::string& name) {
+    spec_config.communicators.push_back({name, spec::ValueType::kReal,
+                                         Value::real(0.0), 500,
+                                         scenario.lrc_sensors});
+  };
+  if (replicated_sensors) {
+    sensor_comm("s1a");
+    sensor_comm("s1b");
+    sensor_comm("s2a");
+    sensor_comm("s2b");
+  } else {
+    sensor_comm("s1");
+    sensor_comm("s2");
+  }
+  for (const std::string name : {"l1", "l2"}) {
+    spec_config.communicators.push_back({name, spec::ValueType::kReal,
+                                         Value::real(0.0), 100,
+                                         scenario.lrc_levels});
+  }
+  for (const std::string name : {"u1", "u2"}) {
+    spec_config.communicators.push_back({name, spec::ValueType::kReal,
+                                         Value::real(0.0), 100,
+                                         scenario.lrc_controls});
+  }
+  for (const std::string name : {"r1", "r2"}) {
+    spec_config.communicators.push_back({name, spec::ValueType::kReal,
+                                         Value::real(0.0), 500,
+                                         scenario.lrc_perturbations});
+  }
+
+  const auto add_read_task = [&](int tank) {
+    const std::string suffix = std::to_string(tank);
+    spec::SpecificationConfig::TaskConfig task;
+    task.name = "read" + suffix;
+    if (replicated_sensors) {
+      task.inputs = {{"s" + suffix + "a", 0}, {"s" + suffix + "b", 0}};
+    } else {
+      task.inputs = {{"s" + suffix, 0}};
+    }
+    task.outputs = {{"l" + suffix, 1}};
+    task.model = FailureModel::kParallel;  // paper: read tasks use model 2
+    task.function = [](std::span<const Value> inputs) {
+      // Level from the (first reliable) raw sensor value; the runtime has
+      // already substituted defaults per model 2, and replicated sensors
+      // deliver identical values, so inputs[0] is the measurement.
+      return std::vector<Value>{inputs[0]};
+    };
+    spec_config.tasks.push_back(std::move(task));
+  };
+  const auto add_control_task = [&](int tank, double setpoint) {
+    const std::string suffix = std::to_string(tank);
+    spec::SpecificationConfig::TaskConfig task;
+    task.name = "t" + suffix;
+    task.inputs = {{"l" + suffix, 1}};
+    task.outputs = {{"u" + suffix, 3}};
+    task.model = FailureModel::kSeries;  // paper: all other tasks model 1
+    task.function = [setpoint](std::span<const Value> inputs) {
+      return std::vector<Value>{control_law(setpoint, inputs[0])};
+    };
+    spec_config.tasks.push_back(std::move(task));
+  };
+  const auto add_estimate_task = [&](int tank) {
+    const std::string suffix = std::to_string(tank);
+    spec::SpecificationConfig::TaskConfig task;
+    task.name = "estimate" + suffix;
+    task.inputs = {{"l" + suffix, 1}, {"u" + suffix, 0}};
+    task.outputs = {{"r" + suffix, 1}};
+    task.model = FailureModel::kSeries;
+    task.function = [params](std::span<const Value> inputs) {
+      return std::vector<Value>{estimate_law(params, inputs[0])};
+    };
+    spec_config.tasks.push_back(std::move(task));
+  };
+
+  // Setpoints match the example experiments: 0.40 m and 0.30 m.
+  add_read_task(1);
+  add_read_task(2);
+  add_control_task(1, 0.40);
+  add_control_task(2, 0.30);
+  add_estimate_task(1);
+  add_estimate_task(2);
+
+  auto spec_result = spec::Specification::Build(std::move(spec_config));
+  if (!spec_result.ok()) return spec_result.status();
+
+  // --- architecture ---------------------------------------------------
+  arch::ArchitectureConfig arch_config;
+  arch_config.name = "three_tank_arch";
+  for (const std::string name : {"h1", "h2", "h3"}) {
+    arch_config.hosts.push_back({name, scenario.host_reliability});
+  }
+  if (replicated_sensors) {
+    for (const std::string name :
+         {"sensor1a", "sensor1b", "sensor2a", "sensor2b"}) {
+      arch_config.sensors.push_back({name, scenario.sensor_reliability});
+    }
+  } else {
+    for (const std::string name : {"sensor1", "sensor2"}) {
+      arch_config.sensors.push_back({name, scenario.sensor_reliability});
+    }
+  }
+  arch_config.default_wcet = scenario.wcet;
+  arch_config.default_wctt = scenario.wctt;
+
+  auto arch_result = arch::Architecture::Build(std::move(arch_config));
+  if (!arch_result.ok()) return arch_result.status();
+
+  // --- implementation ---------------------------------------------------
+  impl::ImplementationConfig impl_config;
+  impl_config.name = "three_tank_impl";
+  const bool replicate_tasks =
+      scenario.variant == ThreeTankVariant::kReplicatedTasks;
+  impl_config.task_mappings.push_back(
+      {"t1", replicate_tasks ? std::vector<std::string>{"h1", "h2"}
+                             : std::vector<std::string>{"h1"}});
+  impl_config.task_mappings.push_back(
+      {"t2", replicate_tasks ? std::vector<std::string>{"h1", "h2"}
+                             : std::vector<std::string>{"h2"}});
+  for (const std::string task :
+       {"read1", "read2", "estimate1", "estimate2"}) {
+    impl_config.task_mappings.push_back({task, {"h3"}});
+  }
+  if (replicated_sensors) {
+    impl_config.sensor_bindings = {{"s1a", "sensor1a"},
+                                   {"s1b", "sensor1b"},
+                                   {"s2a", "sensor2a"},
+                                   {"s2b", "sensor2b"}};
+  } else {
+    impl_config.sensor_bindings = {{"s1", "sensor1"}, {"s2", "sensor2"}};
+  }
+
+  ThreeTankSystem system;
+  system.specification = std::make_unique<spec::Specification>(
+      std::move(spec_result).value());
+  system.architecture =
+      std::make_unique<arch::Architecture>(std::move(arch_result).value());
+  auto impl_result = impl::Implementation::Build(
+      *system.specification, *system.architecture, std::move(impl_config));
+  if (!impl_result.ok()) return impl_result.status();
+  system.implementation =
+      std::make_unique<impl::Implementation>(std::move(impl_result).value());
+  return system;
+}
+
+ThreeTankEnvironment::ThreeTankEnvironment(ThreeTankParams params,
+                                           double setpoint1, double setpoint2,
+                                           double tick_seconds,
+                                           double warmup_seconds)
+    : plant_(params),
+      setpoint1_(setpoint1),
+      setpoint2_(setpoint2),
+      tick_seconds_(tick_seconds),
+      warmup_seconds_(warmup_seconds) {}
+
+spec::Value ThreeTankEnvironment::read_sensor(std::string_view comm,
+                                              spec::Time) {
+  // "s1", "s1a", "s1b" all measure tank 1; likewise for tank 2. The paper's
+  // replicated sensors observe the same physical quantity.
+  if (comm.size() >= 2 && comm[0] == 's') {
+    const int tank = comm[1] - '0';
+    return spec::Value::real(plant_.level(tank));
+  }
+  return spec::Value::real(0.0);
+}
+
+void ThreeTankEnvironment::write_actuator(std::string_view comm, spec::Time,
+                                          const spec::Value& value) {
+  // An unreliable command update leaves the pump at its previous setting —
+  // the standard hold-last-value actuator behaviour.
+  if (value.is_bottom()) return;
+  if (comm == "u1") plant_.set_pump(1, value.as_real());
+  if (comm == "u2") plant_.set_pump(2, value.as_real());
+  // r1/r2 are diagnostic outputs with no physical actuator.
+}
+
+void ThreeTankEnvironment::add_perturbation_event(double at_seconds, int tank,
+                                                  double opening) {
+  perturbations_.push_back({at_seconds, tank, opening});
+  std::sort(perturbations_.begin(), perturbations_.end(),
+            [](const PerturbationEvent& a, const PerturbationEvent& b) {
+              return a.at_seconds < b.at_seconds;
+            });
+}
+
+void ThreeTankEnvironment::advance(spec::Time, spec::Time dt) {
+  while (next_perturbation_ < perturbations_.size() &&
+         perturbations_[next_perturbation_].at_seconds <= elapsed_) {
+    const PerturbationEvent& event = perturbations_[next_perturbation_++];
+    plant_.set_perturbation(event.tank, event.opening);
+  }
+  const double seconds = static_cast<double>(dt) * tick_seconds_;
+  plant_.step(seconds);
+  elapsed_ += seconds;
+  if (elapsed_ < warmup_seconds_) return;
+  const double err1 = plant_.level(1) - setpoint1_;
+  const double err2 = plant_.level(2) - setpoint2_;
+  sum_sq1_ += err1 * err1;
+  sum_sq2_ += err2 * err2;
+  max_err1_ = std::max(max_err1_, std::fabs(err1));
+  max_err2_ = std::max(max_err2_, std::fabs(err2));
+  ++samples_;
+}
+
+ControlMetrics ThreeTankEnvironment::metrics() const {
+  ControlMetrics metrics;
+  metrics.samples = samples_;
+  if (samples_ > 0) {
+    metrics.rms_error1 = std::sqrt(sum_sq1_ / static_cast<double>(samples_));
+    metrics.rms_error2 = std::sqrt(sum_sq2_ / static_cast<double>(samples_));
+  }
+  metrics.max_error1 = max_err1_;
+  metrics.max_error2 = max_err2_;
+  return metrics;
+}
+
+}  // namespace lrt::plant

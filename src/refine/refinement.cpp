@@ -1,0 +1,186 @@
+#include "refine/refinement.h"
+
+#include <algorithm>
+#include <set>
+
+#include "support/strings.h"
+
+namespace lrt::refine {
+namespace {
+
+using spec::CommId;
+using spec::TaskId;
+
+/// Names of the communicators in icset_t, as a set for containment checks.
+std::set<std::string> icset_names(const spec::Specification& spec,
+                                  TaskId task) {
+  std::set<std::string> names;
+  for (const CommId c : spec.input_comm_set(task)) {
+    names.insert(spec.communicator(c).name);
+  }
+  return names;
+}
+
+}  // namespace
+
+Result<RefinementReport> check_refinement(const impl::Implementation& refining,
+                                          const impl::Implementation& refined,
+                                          const RefinementMap& kappa) {
+  const spec::Specification& sprime = refining.specification();
+  const spec::Specification& s = refined.specification();
+  const arch::Architecture& aprime = refining.architecture();
+  const arch::Architecture& a = refined.architecture();
+
+  RefinementReport report;
+  const auto violate = [&report](std::string constraint, std::string detail) {
+    report.violations.push_back(
+        {std::move(constraint), std::move(detail)});
+  };
+
+  // --- kappa shape: total on tset', one-to-one into tset ---
+  std::vector<TaskId> image(sprime.tasks().size(), -1);  // t' -> kappa(t')
+  std::set<TaskId> used;
+  for (const auto& [from, to] : kappa.task_map) {
+    const auto tprime = sprime.find_task(from);
+    if (!tprime.has_value()) {
+      return NotFoundError("kappa maps unknown refining task '" + from + "'");
+    }
+    const auto t = s.find_task(to);
+    if (!t.has_value()) {
+      return NotFoundError("kappa targets unknown refined task '" + to + "'");
+    }
+    if (image[static_cast<std::size_t>(*tprime)] != -1) {
+      violate("kappa", "task '" + from + "' mapped twice");
+      continue;
+    }
+    image[static_cast<std::size_t>(*tprime)] = *t;
+    if (!used.insert(*t).second) {
+      violate("kappa", "two refining tasks map to refined task '" + to + "'");
+    }
+  }
+  for (TaskId tprime = 0; tprime < static_cast<TaskId>(sprime.tasks().size());
+       ++tprime) {
+    if (image[static_cast<std::size_t>(tprime)] == -1) {
+      violate("kappa", "refining task '" + sprime.task(tprime).name +
+                           "' has no kappa image (kappa must be total)");
+    }
+  }
+
+  // --- (a) identical host sets (by name and reliability) ---
+  if (a.hosts().size() != aprime.hosts().size()) {
+    violate("a", "architectures declare different numbers of hosts");
+  } else {
+    for (const arch::Host& host : a.hosts()) {
+      const auto other = aprime.find_host(host.name);
+      if (!other.has_value()) {
+        violate("a", "host '" + host.name +
+                         "' missing from the refining architecture");
+      } else if (aprime.host(*other).reliability != host.reliability) {
+        violate("a", "host '" + host.name +
+                         "' changes reliability across the refinement");
+      }
+    }
+  }
+
+  // --- per-task local constraints ---
+  for (TaskId tprime = 0; tprime < static_cast<TaskId>(sprime.tasks().size());
+       ++tprime) {
+    const TaskId t = image[static_cast<std::size_t>(tprime)];
+    if (t == -1) continue;
+    const spec::Task& task_prime = sprime.task(tprime);
+    const spec::Task& task = s.task(t);
+    const std::string pair_label =
+        "'" + task_prime.name + "' -> '" + task.name + "'";
+
+    // (b1) same replication set.
+    if (refining.hosts_for(tprime) != refined.hosts_for(t)) {
+      violate("b1", pair_label + ": I'(t') differs from I(kappa(t'))");
+    }
+
+    // (b2) WCET/WCTT do not grow.
+    for (const arch::HostId h : refining.hosts_for(tprime)) {
+      const auto wcet_prime = aprime.wcet(task_prime.name, h);
+      const auto wcet = a.wcet(task.name, h);
+      if (wcet_prime.ok() && wcet.ok() && *wcet_prime > *wcet) {
+        violate("b2", pair_label + ": WCET grows on host " +
+                          std::to_string(h) + " (" +
+                          std::to_string(*wcet_prime) + " > " +
+                          std::to_string(*wcet) + ")");
+      }
+      const auto wctt_prime = aprime.wctt(task_prime.name, h);
+      const auto wctt = a.wctt(task.name, h);
+      if (wctt_prime.ok() && wctt.ok() && *wctt_prime > *wctt) {
+        violate("b2", pair_label + ": WCTT grows on host " +
+                          std::to_string(h));
+      }
+    }
+
+    // (b3) LET containment.
+    if (sprime.read_time(tprime) > s.read_time(t)) {
+      violate("b3", pair_label + ": refining read time " +
+                        std::to_string(sprime.read_time(tprime)) +
+                        " is later than refined read time " +
+                        std::to_string(s.read_time(t)));
+    }
+    if (sprime.write_time(tprime) < s.write_time(t)) {
+      violate("b3", pair_label + ": refining write time " +
+                        std::to_string(sprime.write_time(tprime)) +
+                        " is earlier than refined write time " +
+                        std::to_string(s.write_time(t)));
+    }
+
+    // (b4) output LRCs bounded by the refined task's largest output LRC.
+    double max_lrc = 0.0;
+    for (const spec::PortRef& port : task.outputs) {
+      max_lrc = std::max(max_lrc, s.communicator(port.comm).lrc);
+    }
+    for (const spec::PortRef& port : task_prime.outputs) {
+      const spec::Communicator& comm = sprime.communicator(port.comm);
+      if (comm.lrc > max_lrc) {
+        violate("b4", pair_label + ": output '" + comm.name + "' LRC " +
+                          format_double(comm.lrc) +
+                          " exceeds the refined task's maximum output LRC " +
+                          format_double(max_lrc));
+      }
+    }
+
+    // (b5) identical input failure model.
+    if (task_prime.model != task.model) {
+      violate("b5", pair_label + ": failure model changes from " +
+                        std::string(to_string(task.model)) + " to " +
+                        std::string(to_string(task_prime.model)));
+    }
+
+    // (b6) input-set containment per failure model.
+    const std::set<std::string> ins_prime = icset_names(sprime, tprime);
+    const std::set<std::string> ins = icset_names(s, t);
+    if (task_prime.model == spec::FailureModel::kSeries &&
+        !std::includes(ins.begin(), ins.end(), ins_prime.begin(),
+                       ins_prime.end())) {
+      violate("b6", pair_label +
+                        ": series model requires icset(t') to be a subset "
+                        "of icset(kappa(t'))");
+    }
+    if (task_prime.model == spec::FailureModel::kParallel &&
+        !std::includes(ins_prime.begin(), ins_prime.end(), ins.begin(),
+                       ins.end())) {
+      violate("b6", pair_label +
+                        ": parallel model requires icset(t') to be a "
+                        "superset of icset(kappa(t'))");
+    }
+  }
+
+  report.refines = report.violations.empty();
+  return report;
+}
+
+std::string RefinementReport::summary() const {
+  if (refines) return "REFINES";
+  std::string out = "DOES NOT REFINE\n";
+  for (const ConstraintViolation& violation : violations) {
+    out += "  (" + violation.constraint + ") " + violation.detail + "\n";
+  }
+  return out;
+}
+
+}  // namespace lrt::refine

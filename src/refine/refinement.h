@@ -1,0 +1,59 @@
+// Design by refinement (paper Section 3).
+//
+// A system (S', A', I') refines (S, A, I) under a total, one-to-one task
+// map kappa : tset' -> tset, written (S', A', I') <=_kappa (S, A, I), iff
+//   (a)  hset' = hset, and for every task t' in tset':
+//   (b1) I'(t') = I(kappa(t'))
+//   (b2) wemap'(t', h) <= wemap(kappa(t'), h) and
+//        wtmap'(t', h) <= wtmap(kappa(t'), h) for all h in I'(t')
+//   (b3) the LET of t' contains the LET of kappa(t'):
+//        read_t' <= read_kappa(t') and write_t' >= write_kappa(t')
+//   (b4) every output communicator of t' has an LRC not exceeding the
+//        largest LRC among kappa(t')'s output communicators
+//   (b5) model_t' = model_kappa(t')
+//   (b6) model 1: icset(t') subseteq icset(kappa(t'));
+//        model 2: icset(t') supseteq icset(kappa(t'))
+//        (communicators matched by name across the two specifications)
+//
+// All checks are local to (t', kappa(t')), which is what makes the analysis
+// incremental: Lemma 1 (schedulability transfers), Lemma 2 (reliability
+// transfers), and Prop. 2 (validity transfers) then hold by construction.
+// The relation is reflexive, anti-symmetric and transitive.
+#ifndef LRT_REFINE_REFINEMENT_H_
+#define LRT_REFINE_REFINEMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "impl/implementation.h"
+#include "support/status.h"
+
+namespace lrt::refine {
+
+/// The task map kappa, by name: refining task -> refined task.
+struct RefinementMap {
+  std::vector<std::pair<std::string, std::string>> task_map;
+};
+
+/// One violated refinement constraint, for diagnostics.
+struct ConstraintViolation {
+  /// "a", "b1", ..., "b6", or "kappa" for map-shape problems.
+  std::string constraint;
+  std::string detail;
+};
+
+struct RefinementReport {
+  bool refines = false;
+  std::vector<ConstraintViolation> violations;
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Checks (refining) <=_kappa (refined). Fails only on malformed input
+/// (unknown task names); constraint violations are reported, not errors.
+[[nodiscard]] Result<RefinementReport> check_refinement(
+    const impl::Implementation& refining, const impl::Implementation& refined,
+    const RefinementMap& kappa);
+
+}  // namespace lrt::refine
+
+#endif  // LRT_REFINE_REFINEMENT_H_

@@ -1,0 +1,76 @@
+// Failure-pattern analysis: the baseline the paper positions itself
+// against (Section 1, related work: "Reliability requirements can also be
+// specified by assigning priorities to faults and tasks. Each failure
+// pattern (a combination of faulty processors and channels) ... a
+// synthesis procedure determines the replication of tasks ...", Pinello
+// et al. [13]. "Our approach differs because LRCs are used instead of
+// priorities.")
+//
+// A failure pattern is a set of permanently failed hosts and sensors.
+// Under a pattern, a communicator stays *live* iff it keeps receiving
+// reliable updates: an input communicator is live iff its sensor survives;
+// a task-written communicator is live iff some replication host survives
+// and the task's input failure model is satisfiable from live inputs
+// (series: all live; parallel: at least one; independent: any).
+//
+// The analysis enumerates patterns by cardinality and reports, per
+// communicator, its *fault-tolerance degree*: the largest k such that
+// every pattern with at most k failed components leaves the communicator
+// live — the combinatorial counterpart of the paper's probabilistic LRC.
+// bench_fault_patterns compares the two views on the 3TS scenarios.
+#ifndef LRT_RELIABILITY_FAULT_PATTERNS_H_
+#define LRT_RELIABILITY_FAULT_PATTERNS_H_
+
+#include <string>
+#include <vector>
+
+#include "impl/implementation.h"
+#include "support/status.h"
+
+namespace lrt::reliability {
+
+/// A set of permanently failed components.
+struct FaultPattern {
+  std::vector<arch::HostId> hosts;
+  std::vector<arch::SensorId> sensors;
+
+  [[nodiscard]] std::size_t size() const {
+    return hosts.size() + sensors.size();
+  }
+  /// "{h1, sensor2}" using architecture names.
+  [[nodiscard]] std::string to_string(const arch::Architecture& arch) const;
+};
+
+/// True iff communicator `comm` keeps receiving reliable updates under
+/// `pattern`. Requires a cycle-safe specification.
+[[nodiscard]] Result<bool> live_under_pattern(const impl::Implementation& impl,
+                                              spec::CommId comm,
+                                              const FaultPattern& pattern);
+
+struct PatternVerdict {
+  spec::CommId comm = -1;
+  std::string name;
+  /// Largest k with "live under every pattern of size <= k". Saturates at
+  /// the analysis bound: degree == max_failures means "at least".
+  int tolerance_degree = 0;
+  /// A smallest pattern that kills the communicator (empty when none was
+  /// found within the bound).
+  FaultPattern minimal_cut;
+};
+
+struct FaultPatternReport {
+  int max_failures = 0;
+  std::int64_t patterns_checked = 0;
+  std::vector<PatternVerdict> verdicts;
+  [[nodiscard]] std::string summary(const arch::Architecture& arch) const;
+};
+
+/// Exhaustive enumeration of all failure patterns of size <= max_failures
+/// over the implementation's hosts and bound sensors. Exponential in
+/// max_failures; intended for the small architectures of this domain.
+[[nodiscard]] Result<FaultPatternReport> analyze_fault_patterns(
+    const impl::Implementation& impl, int max_failures);
+
+}  // namespace lrt::reliability
+
+#endif  // LRT_RELIABILITY_FAULT_PATTERNS_H_

@@ -1,0 +1,83 @@
+// Reliability block diagrams (paper Section 1: "Our approach is closest
+// to that of RBDs [Kececioglu], where systems are modeled as networks with
+// AND/OR junctions: an OR junction works reliably when any of its inputs
+// is reliable, and an AND junction requires that all inputs be reliable").
+//
+// This module provides the RBD algebra (components, series/AND,
+// parallel/OR, and k-of-n junctions over independent components) and a
+// bridge that materializes the RBD corresponding to the paper's SRG
+// computation for a communicator. Evaluating that RBD reproduces
+// compute_srgs() exactly — the structural justification for the SRG rules.
+//
+// Independence caveat (inherited from the paper's rules): when two inputs
+// of a junction share an ancestor (a diamond in the dataflow), the SRG
+// rules — and therefore the generated RBD — treat them as independent.
+#ifndef LRT_RELIABILITY_RBD_H_
+#define LRT_RELIABILITY_RBD_H_
+
+#include <string>
+#include <vector>
+
+#include "impl/implementation.h"
+#include "support/status.h"
+
+namespace lrt::reliability {
+
+/// A reliability block diagram over independent components. Nodes are
+/// created through the builder methods and referenced by id; the diagram
+/// is immutable once built and evaluation is memoized.
+class Rbd {
+ public:
+  using NodeId = int;
+
+  /// A leaf component with the given reliability in [0, 1].
+  NodeId component(double reliability, std::string label = "");
+
+  /// AND junction: reliable iff every child is reliable.
+  NodeId series(std::vector<NodeId> children);
+
+  /// OR junction: reliable iff at least one child is reliable.
+  NodeId parallel(std::vector<NodeId> children);
+
+  /// Reliable iff at least k of the children are reliable (children
+  /// independent but not necessarily identical; O(n^2) dynamic program).
+  /// k == 1 coincides with parallel, k == n with series.
+  NodeId k_of_n(int k, std::vector<NodeId> children);
+
+  /// Probability the (sub)system rooted at `node` is reliable.
+  [[nodiscard]] double reliability(NodeId node) const;
+
+  /// "AND(h1=0.99, OR(s1=0.9, s2=0.9))" — for diagnostics and docs.
+  [[nodiscard]] std::string to_string(NodeId node) const;
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+
+ private:
+  enum class Kind { kComponent, kSeries, kParallel, kKofN };
+  struct Node {
+    Kind kind = Kind::kComponent;
+    double reliability = 1.0;  ///< kComponent only
+    int k = 0;                 ///< kKofN only
+    std::vector<NodeId> children;
+    std::string label;
+  };
+  NodeId add(Node node);
+
+  std::vector<Node> nodes_;
+};
+
+/// The RBD of communicator `comm`'s SRG under `impl`: task replication
+/// sets become OR junctions of host components, series/parallel input
+/// failure models become AND / AND-over-OR junctions, sensors become
+/// components. Returns the diagram and its root. Fails on specifications
+/// that are not cycle-safe.
+struct SrgRbd {
+  Rbd rbd;
+  Rbd::NodeId root = -1;
+};
+[[nodiscard]] Result<SrgRbd> build_srg_rbd(const impl::Implementation& impl,
+                                           spec::CommId comm);
+
+}  // namespace lrt::reliability
+
+#endif  // LRT_RELIABILITY_RBD_H_

@@ -1,0 +1,312 @@
+#include "sched/schedulability.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <set>
+
+#include "support/json.h"
+#include "support/strings.h"
+
+namespace lrt::sched {
+namespace {
+
+/// Preemptive EDF simulation of one host's jobs over one period.
+/// Jobs are mutated (remaining time) locally.
+HostSchedule simulate_edf(const impl::Implementation& impl, HostId host,
+                          std::vector<JobWindow> jobs) {
+  HostSchedule schedule;
+  schedule.host = host;
+  schedule.feasible = true;
+
+  const spec::Specification& spec = impl.specification();
+  std::vector<Time> remaining;
+  remaining.reserve(jobs.size());
+  for (const JobWindow& job : jobs) {
+    remaining.push_back(job.wcet);
+    if (job.deadline - job.release < job.wcet) {
+      schedule.feasible = false;
+      schedule.diagnostic =
+          "task '" + spec.task(job.task).name + "' on host '" +
+          impl.architecture().host(host).name + "': WCET " +
+          std::to_string(job.wcet) + " exceeds LET window [" +
+          std::to_string(job.release) + ", " + std::to_string(job.deadline) +
+          ")";
+      return schedule;
+    }
+  }
+
+  std::sort(jobs.begin(), jobs.end(),
+            [](const JobWindow& a, const JobWindow& b) {
+              return a.release < b.release;
+            });
+  // Re-sync `remaining` with the sorted order.
+  for (std::size_t i = 0; i < jobs.size(); ++i) remaining[i] = jobs[i].wcet;
+
+  Time now = 0;
+  std::size_t released = 0;
+  std::set<std::pair<Time, std::size_t>> ready;  // (deadline, job index)
+  std::size_t done = 0;
+
+  while (done < jobs.size()) {
+    while (released < jobs.size() && jobs[released].release <= now) {
+      ready.emplace(jobs[released].deadline, released);
+      ++released;
+    }
+    if (ready.empty()) {
+      // Idle until the next release.
+      now = jobs[released].release;
+      continue;
+    }
+    const auto [deadline, index] = *ready.begin();
+    // Run the earliest-deadline job until it finishes or a new release can
+    // preempt it.
+    const Time next_release = released < jobs.size()
+                                  ? jobs[released].release
+                                  : std::numeric_limits<Time>::max();
+    const Time run = std::min(remaining[index], next_release - now);
+    const Time end = now + run;
+
+    // Coalesce with the previous slice when the same task continues.
+    if (!schedule.slices.empty() &&
+        schedule.slices.back().task == jobs[index].task &&
+        schedule.slices.back().end == now) {
+      schedule.slices.back().end = end;
+    } else {
+      schedule.slices.push_back({jobs[index].task, now, end});
+    }
+
+    remaining[index] -= run;
+    now = end;
+    if (remaining[index] == 0) {
+      ready.erase(ready.begin());
+      ++done;
+      if (now > deadline) {
+        schedule.feasible = false;
+        schedule.diagnostic =
+            "task '" + spec.task(jobs[index].task).name + "' on host '" +
+            impl.architecture().host(host).name + "' misses deadline " +
+            std::to_string(deadline) + " (completes at " +
+            std::to_string(now) + ")";
+        return schedule;
+      }
+    } else if (now > deadline) {
+      schedule.feasible = false;
+      schedule.diagnostic =
+          "task '" + spec.task(jobs[index].task).name + "' on host '" +
+          impl.architecture().host(host).name + "' cannot meet deadline " +
+          std::to_string(deadline);
+      return schedule;
+    }
+  }
+  return schedule;
+}
+
+}  // namespace
+
+Result<SchedulabilityReport> analyze_schedulability(
+    const impl::Implementation& impl) {
+  const spec::Specification& spec = impl.specification();
+  const arch::Architecture& arch = impl.architecture();
+
+  SchedulabilityReport report;
+  Time bus_demand = 0;
+
+  for (TaskId t = 0; t < static_cast<TaskId>(spec.tasks().size()); ++t) {
+    const spec::Task& task = spec.task(t);
+    for (const HostId h : impl.hosts_for(t)) {
+      LRT_ASSIGN_OR_RETURN(const Time wcet, arch.wcet(task.name, h));
+      LRT_ASSIGN_OR_RETURN(const Time wctt, arch.wctt(task.name, h));
+      JobWindow job;
+      job.task = t;
+      job.host = h;
+      job.release = spec.read_time(t);
+      job.deadline = spec.write_time(t) - wctt;
+      // Time redundancy reserves recovery budget for every re-execution;
+      // checkpointing shrinks the per-retry segment (Izosimov et al.).
+      job.wcet = impl.reserved_demand(t, wcet);
+      job.wctt = wctt;
+      report.jobs.push_back(job);
+      bus_demand += wctt;
+    }
+  }
+
+  report.bus_utilization = static_cast<double>(bus_demand) /
+                           static_cast<double>(spec.hyperperiod());
+  report.bus_feasible = bus_demand <= spec.hyperperiod();
+
+  report.schedulable = report.bus_feasible;
+  for (HostId h = 0; h < static_cast<HostId>(arch.hosts().size()); ++h) {
+    std::vector<JobWindow> host_jobs;
+    std::copy_if(report.jobs.begin(), report.jobs.end(),
+                 std::back_inserter(host_jobs),
+                 [h](const JobWindow& job) { return job.host == h; });
+    HostSchedule schedule = simulate_edf(impl, h, std::move(host_jobs));
+    report.schedulable = report.schedulable && schedule.feasible;
+    report.host_schedules.push_back(std::move(schedule));
+  }
+  return report;
+}
+
+bool demand_bound_feasible(const std::vector<JobWindow>& jobs) {
+  // Group by host; the criterion is per processor.
+  std::set<HostId> hosts;
+  for (const JobWindow& job : jobs) hosts.insert(job.host);
+
+  for (const HostId h : hosts) {
+    std::vector<const JobWindow*> host_jobs;
+    for (const JobWindow& job : jobs) {
+      if (job.host == h) host_jobs.push_back(&job);
+    }
+    for (const JobWindow* a_job : host_jobs) {
+      for (const JobWindow* b_job : host_jobs) {
+        const Time a = a_job->release;
+        const Time b = b_job->deadline;
+        if (a >= b) continue;
+        Time demand = 0;
+        for (const JobWindow* job : host_jobs) {
+          if (job->release >= a && job->deadline <= b) demand += job->wcet;
+        }
+        if (demand > b - a) return false;
+      }
+    }
+  }
+  return true;
+}
+
+Result<BusSchedule> analyze_bus_schedule(const impl::Implementation& impl,
+                                         const SchedulabilityReport& report) {
+  const spec::Specification& spec = impl.specification();
+
+  // Broadcast job per (task, host): ready when the replication completes
+  // on its host, due at the task's write time.
+  struct BusJob {
+    TaskId task = -1;
+    HostId host = -1;
+    Time ready = 0;
+    Time deadline = 0;
+    Time duration = 0;
+  };
+  std::vector<BusJob> jobs;
+  for (const HostSchedule& host : report.host_schedules) {
+    if (!host.feasible) {
+      return FailedPreconditionError(
+          "bus scheduling needs feasible host schedules (host " +
+          std::to_string(host.host) + ": " + host.diagnostic + ")");
+    }
+    std::map<TaskId, Time> completion;
+    for (const ScheduleSlice& slice : host.slices) {
+      completion[slice.task] = std::max(completion[slice.task], slice.end);
+    }
+    for (const auto& [task, end] : completion) {
+      LRT_ASSIGN_OR_RETURN(const Time wctt,
+                           impl.architecture().wctt(spec.task(task).name,
+                                                    host.host));
+      jobs.push_back({task, host.host, end, spec.write_time(task), wctt});
+    }
+  }
+
+  // Non-preemptive EDF over the bus: at each decision point transmit the
+  // ready job with the earliest deadline.
+  std::sort(jobs.begin(), jobs.end(), [](const BusJob& a, const BusJob& b) {
+    return a.ready < b.ready;
+  });
+  BusSchedule schedule;
+  schedule.feasible = true;
+  std::vector<bool> done(jobs.size(), false);
+  std::size_t remaining = jobs.size();
+  Time now = 0;
+  while (remaining > 0) {
+    // Earliest-deadline ready job; if none ready, jump to the next ready.
+    std::size_t best = jobs.size();
+    Time next_ready = std::numeric_limits<Time>::max();
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      if (done[j]) continue;
+      if (jobs[j].ready <= now) {
+        if (best == jobs.size() || jobs[j].deadline < jobs[best].deadline) {
+          best = j;
+        }
+      } else {
+        next_ready = std::min(next_ready, jobs[j].ready);
+      }
+    }
+    if (best == jobs.size()) {
+      now = next_ready;
+      continue;
+    }
+    const BusJob& job = jobs[best];
+    const Time end = now + job.duration;
+    schedule.slices.push_back({job.task, job.host, now, end});
+    if (end > job.deadline) {
+      schedule.feasible = false;
+      schedule.diagnostic =
+          "broadcast of task '" + spec.task(job.task).name + "' from host " +
+          std::to_string(job.host) + " misses write time " +
+          std::to_string(job.deadline) + " (transmitted by " +
+          std::to_string(end) + ")";
+      return schedule;
+    }
+    now = end;
+    done[best] = true;
+    --remaining;
+  }
+  return schedule;
+}
+
+std::string to_json(const SchedulabilityReport& report,
+                    const impl::Implementation& impl) {
+  const spec::Specification& spec = impl.specification();
+  JsonWriter json;
+  json.begin_object();
+  json.key("schedulable");
+  json.value(report.schedulable);
+  json.key("bus_utilization");
+  json.value(report.bus_utilization);
+  json.key("bus_feasible");
+  json.value(report.bus_feasible);
+  json.key("hosts");
+  json.begin_array();
+  for (const HostSchedule& host : report.host_schedules) {
+    json.begin_object();
+    json.key("host");
+    json.value(impl.architecture().host(host.host).name);
+    json.key("feasible");
+    json.value(host.feasible);
+    if (!host.feasible) {
+      json.key("diagnostic");
+      json.value(host.diagnostic);
+    }
+    json.key("slices");
+    json.begin_array();
+    for (const ScheduleSlice& slice : host.slices) {
+      json.begin_object();
+      json.key("task");
+      json.value(spec.task(slice.task).name);
+      json.key("start");
+      json.value(slice.start);
+      json.key("end");
+      json.value(slice.end);
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return std::move(json).str();
+}
+
+std::string SchedulabilityReport::summary() const {
+  std::string out = schedulable ? "SCHEDULABLE" : "NOT SCHEDULABLE";
+  out += " (bus utilization " + format_double(bus_utilization) + ")\n";
+  for (const HostSchedule& host : host_schedules) {
+    out += "  host " + std::to_string(host.host) + ": " +
+           (host.feasible ? "feasible, " +
+                                std::to_string(host.slices.size()) + " slices"
+                          : host.diagnostic) +
+           "\n";
+  }
+  return out;
+}
+
+}  // namespace lrt::sched

@@ -1,0 +1,62 @@
+#include "sched/timeline.h"
+
+#include <algorithm>
+#include <set>
+
+namespace lrt::sched {
+namespace {
+
+char task_letter(int index) {
+  if (index < 26) return static_cast<char>('A' + index);
+  if (index < 52) return static_cast<char>('a' + index - 26);
+  return '#';
+}
+
+}  // namespace
+
+std::string render_timeline(const SchedulabilityReport& report,
+                            const impl::Implementation& impl, int width) {
+  const spec::Specification& spec = impl.specification();
+  const arch::Architecture& arch = impl.architecture();
+  const Time period = spec.hyperperiod();
+  width = std::max(10, width);
+
+  std::string out = "period: " + std::to_string(period) + " ticks, 1 column ~ " +
+                    std::to_string(std::max<Time>(
+                        1, period / static_cast<Time>(width))) +
+                    " tick(s)\n";
+
+  // Column of a time instant (clamped to [0, width]).
+  const auto column = [&](Time t) {
+    return static_cast<std::size_t>(
+        std::min<Time>(width, t * static_cast<Time>(width) / period));
+  };
+
+  std::set<TaskId> used;
+  for (const HostSchedule& host : report.host_schedules) {
+    std::string row(static_cast<std::size_t>(width), '.');
+    for (const ScheduleSlice& slice : host.slices) {
+      used.insert(slice.task);
+      const std::size_t begin = column(slice.start);
+      // Every slice paints at least one column so short tasks stay visible.
+      const std::size_t end = std::max(begin + 1, column(slice.end));
+      for (std::size_t i = begin; i < end && i < row.size(); ++i) {
+        row[i] = task_letter(slice.task);
+      }
+    }
+    out += arch.host(host.host).name + " |" + row + "|";
+    if (!host.feasible) out += "  INFEASIBLE: " + host.diagnostic;
+    out += "\n";
+  }
+
+  out += "legend:";
+  for (const TaskId task : used) {
+    out += " ";
+    out += task_letter(task);
+    out += "=" + spec.task(task).name;
+  }
+  out += "\n";
+  return out;
+}
+
+}  // namespace lrt::sched

@@ -1,0 +1,26 @@
+// ASCII rendering of synthesized schedules — one Gantt row per host over
+// the specification period, for examples, CLI output, and debugging.
+#ifndef LRT_SCHED_TIMELINE_H_
+#define LRT_SCHED_TIMELINE_H_
+
+#include <string>
+
+#include "sched/schedulability.h"
+
+namespace lrt::sched {
+
+/// Renders `report` as a per-host timeline, e.g.
+///
+///   period: 20 ticks, 1 column = 2 ticks
+///   h1 |AAAAA.BB..|  A=filter B=control
+///   h2 |.....BB...|
+///
+/// Each task is assigned a letter (A, B, ..., then a-z); '.' is idle.
+/// `width` is the number of columns the period is scaled to.
+[[nodiscard]] std::string render_timeline(const SchedulabilityReport& report,
+                                          const impl::Implementation& impl,
+                                          int width = 60);
+
+}  // namespace lrt::sched
+
+#endif  // LRT_SCHED_TIMELINE_H_

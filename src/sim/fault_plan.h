@@ -1,0 +1,40 @@
+// Fault injection configuration for the distributed runtime.
+//
+// Two fault sources, mirroring the paper's model:
+//  * stochastic per-invocation failures — a task invocation on host h fails
+//    (the fail-silent host produces no output for it) with probability
+//    1 - hrel(h), and a sensor update fails with probability 1 - srel(s);
+//  * scripted availability events — "unplugging one of the two hosts from
+//    the network" (paper Section 4) is a HostEvent{time, host, up=false}.
+#ifndef LRT_SIM_FAULT_PLAN_H_
+#define LRT_SIM_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/architecture.h"
+#include "spec/declarations.h"
+
+namespace lrt::sim {
+
+struct FaultPlan {
+  /// Draw Bernoulli(1 - hrel(h)) per task invocation per replication.
+  bool inject_invocation_faults = true;
+  /// Draw Bernoulli(1 - srel(s)) per sensor update.
+  bool inject_sensor_faults = true;
+
+  /// Scripted host kill/restore, applied at the start of the given tick.
+  struct HostEvent {
+    spec::Time time = 0;
+    arch::HostId host = -1;
+    bool up = false;  ///< false = unplug (fail-silent), true = restore
+  };
+  std::vector<HostEvent> host_events;
+
+  /// RNG seed; every run with the same seed is bit-identical.
+  std::uint64_t seed = 0x1eda2008;
+};
+
+}  // namespace lrt::sim
+
+#endif  // LRT_SIM_FAULT_PLAN_H_

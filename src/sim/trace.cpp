@@ -1,0 +1,39 @@
+#include "sim/trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lrt::sim {
+
+ConfidenceInterval wilson_interval(std::int64_t successes,
+                                   std::int64_t trials, double z) {
+  if (trials <= 0) return {0.0, 1.0};
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double margin =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  return {std::max(0.0, center - margin), std::min(1.0, center + margin)};
+}
+
+std::vector<int> reliability_abstraction(
+    std::span<const spec::Value> values) {
+  std::vector<int> abstract;
+  abstract.reserve(values.size());
+  for (const spec::Value& value : values) {
+    abstract.push_back(value.is_bottom() ? 0 : 1);
+  }
+  return abstract;
+}
+
+double limit_average(std::span<const int> abstract_trace) {
+  if (abstract_trace.empty()) return 1.0;
+  std::int64_t sum = 0;
+  for (const int z : abstract_trace) sum += z;
+  return static_cast<double>(sum) /
+         static_cast<double>(abstract_trace.size());
+}
+
+}  // namespace lrt::sim

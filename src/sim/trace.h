@@ -1,0 +1,90 @@
+// Implementation traces and the reliability-based abstraction (paper
+// Section 2, "Semantics" / "Reliability").
+//
+// A trace is a sequence (X_i) of communicator values at every time instant;
+// the abstraction rho maps it to a 0/1 trace (Z_j), Z_j(c) = 1 iff the
+// value of c at its j-th access instant is reliable (non-bottom); and
+// limavg is the long-run average of the Z_j. The simulator samples Z
+// directly (storing full value traces only on request) and this header
+// provides the literal paper operators for tests and post-processing.
+#ifndef LRT_SIM_TRACE_H_
+#define LRT_SIM_TRACE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "spec/specification.h"
+
+namespace lrt::sim {
+
+/// rho for a single communicator: value trace -> 0/1 abstract trace.
+[[nodiscard]] std::vector<int> reliability_abstraction(
+    std::span<const spec::Value> values);
+
+/// limavg of a finite prefix of an abstract trace: (1/n) * sum Z_j.
+/// Returns 1.0 for an empty trace (vacuously reliable).
+[[nodiscard]] double limit_average(std::span<const int> abstract_trace);
+
+/// Online accumulator for one communicator's abstract trace.
+class ReliabilityAccumulator {
+ public:
+  void record(bool reliable) {
+    ++samples_;
+    if (reliable) ++reliable_;
+  }
+  [[nodiscard]] std::int64_t samples() const { return samples_; }
+  [[nodiscard]] std::int64_t reliable() const { return reliable_; }
+  [[nodiscard]] double average() const {
+    return samples_ == 0 ? 1.0
+                         : static_cast<double>(reliable_) /
+                               static_cast<double>(samples_);
+  }
+
+ private:
+  std::int64_t samples_ = 0;
+  std::int64_t reliable_ = 0;
+};
+
+/// A two-sided confidence interval on a Bernoulli rate.
+struct ConfidenceInterval {
+  double low = 0.0;
+  double high = 1.0;
+  [[nodiscard]] bool contains(double p) const { return low <= p && p <= high; }
+};
+
+/// Wilson score interval for `successes` out of `trials`, at the z-score
+/// `z` (default 2.576 ~ 99%). Well-behaved near 0/1 and for small n,
+/// unlike the normal approximation. Returns [0, 1] for zero trials.
+[[nodiscard]] ConfidenceInterval wilson_interval(std::int64_t successes,
+                                                 std::int64_t trials,
+                                                 double z = 2.576);
+
+/// Per-communicator simulation statistics.
+struct CommStats {
+  std::string name;
+  /// Access-instant samples (every pi_c ticks): the paper's Z_j.
+  std::int64_t samples = 0;
+  std::int64_t reliable_samples = 0;
+  /// Empirical limavg of the abstract trace.
+  double limit_average = 1.0;
+  /// Update events only (commits by sensor or task vote) — excludes
+  /// persisted instants; the natural empirical estimate of the SRG.
+  std::int64_t updates = 0;
+  std::int64_t reliable_updates = 0;
+  [[nodiscard]] double update_rate() const {
+    return updates == 0 ? 1.0
+                        : static_cast<double>(reliable_updates) /
+                              static_cast<double>(updates);
+  }
+  /// Wilson interval on the per-update reliability.
+  [[nodiscard]] ConfidenceInterval update_rate_interval(
+      double z = 2.576) const {
+    return wilson_interval(reliable_updates, updates, z);
+  }
+};
+
+}  // namespace lrt::sim
+
+#endif  // LRT_SIM_TRACE_H_

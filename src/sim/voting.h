@@ -1,0 +1,40 @@
+// The voting routine run by every host over the replica outputs received
+// for a communicator update (paper Section 4: "Each host then performs a
+// voting routine on the received data to determine, if possible, the
+// correct value").
+//
+// Under the paper's assumptions (functionally correct tasks, identical
+// inputs via atomic broadcast) every non-bottom candidate is identical, so
+// "any non-bottom value" is the canonical policy. Majority voting is
+// provided as an extension: it coincides with the canonical policy under
+// the paper's assumptions (tested) and additionally masks a minority of
+// corrupted replicas if fail-silence were violated.
+#ifndef LRT_SIM_VOTING_H_
+#define LRT_SIM_VOTING_H_
+
+#include <cstdint>
+#include <span>
+
+#include "spec/value.h"
+
+namespace lrt::sim {
+
+enum class VotingPolicy {
+  /// Paper semantics: the first non-bottom candidate wins.
+  kAnyNonBottom,
+  /// The most frequent non-bottom candidate wins (ties: first seen).
+  kMajority,
+};
+
+/// Resolves one communicator update from replica candidates. Returns
+/// bottom when no candidate is non-bottom. If `divergences` is non-null it
+/// is incremented once per update in which two distinct non-bottom
+/// candidates were observed (a violation of the paper's determinism
+/// assumption).
+[[nodiscard]] spec::Value vote(std::span<const spec::Value> candidates,
+                               VotingPolicy policy,
+                               std::int64_t* divergences = nullptr);
+
+}  // namespace lrt::sim
+
+#endif  // LRT_SIM_VOTING_H_

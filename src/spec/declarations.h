@@ -1,0 +1,84 @@
+// Declaration-level types of the specification model (paper Section 2).
+//
+// A specification S = (tset, cset) consists of communicator declarations
+// (c, type_c, init_c, pi_c, mu_c) and task declarations
+// (t, ins_t, outs_t, fn_t, model_t, def_t). These structs are the exact
+// counterparts; Specification (specification.h) resolves and validates them.
+#ifndef LRT_SPEC_DECLARATIONS_H_
+#define LRT_SPEC_DECLARATIONS_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "spec/value.h"
+
+namespace lrt::spec {
+
+/// Index of a communicator within its Specification.
+using CommId = std::int32_t;
+/// Index of a task within its Specification.
+using TaskId = std::int32_t;
+
+/// Time in ticks. A tick is the harmonic base of all communicator periods
+/// ("time instants ... denote the harmonic fraction of all communicator
+/// periods"); in the 3TS example one tick is one millisecond.
+using Time = std::int64_t;
+
+/// The paper's input failure models (model_t in {1, 2, 3}).
+enum class FailureModel : int {
+  /// Model 1: if any input is unreliable, the task invocation fails.
+  kSeries = 1,
+  /// Model 2: unreliable inputs are replaced by defaults; the invocation
+  /// fails only when *all* inputs are unreliable.
+  kParallel = 2,
+  /// Model 3: every unreliable input is replaced by its default; the
+  /// invocation executes even if all inputs are unreliable.
+  kIndependent = 3,
+};
+
+std::string_view to_string(FailureModel model);
+
+/// A communicator instance reference (c, i): communicator `comm` at the
+/// time instant `instance * period(comm)` within a specification period.
+struct PortRef {
+  CommId comm = -1;
+  std::int64_t instance = 0;
+
+  friend bool operator==(const PortRef&, const PortRef&) = default;
+  friend auto operator<=>(const PortRef&, const PortRef&) = default;
+};
+
+/// Communicator declaration (c, type_c, init_c, pi_c, mu_c).
+struct Communicator {
+  std::string name;
+  ValueType type = ValueType::kReal;
+  Value init;          ///< value of instance 0 (must conform to `type`)
+  Time period = 1;     ///< accessibility period pi_c > 0, in ticks
+  double lrc = 1.0;    ///< logical reliability constraint mu_c in (0, 1]
+};
+
+/// The function computed by a task: outputs from (failure-model-processed)
+/// inputs. Inputs arrive in declaration order and are never bottom — the
+/// runtime applies the failure model before invoking the function. The
+/// result must have exactly outs_t entries, conforming to the declared
+/// output communicator types.
+using TaskFunction =
+    std::function<std::vector<Value>(std::span<const Value>)>;
+
+/// Task declaration (t, ins_t, outs_t, fn_t, model_t, def_t).
+struct Task {
+  std::string name;
+  std::vector<PortRef> inputs;    ///< ins_t, nonempty
+  std::vector<PortRef> outputs;   ///< outs_t, nonempty
+  TaskFunction function;          ///< fn_t (may be empty for analysis-only specs)
+  FailureModel model = FailureModel::kSeries;
+  /// def_t: default values aligned with `inputs`; consulted by models 2/3.
+  std::vector<Value> defaults;
+};
+
+}  // namespace lrt::spec
+
+#endif  // LRT_SPEC_DECLARATIONS_H_

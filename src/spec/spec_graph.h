@@ -1,0 +1,112 @@
+// The specification graph G_S of paper Section 3 and the derived
+// dataflow-cycle analyses.
+//
+// Two levels are provided:
+//  * the *instance-level* graph, with one vertex per communicator instance
+//    (c, i), i in {0..pi_S/pi_c}, and per task — exactly the paper's V_S /
+//    E_S (persistence edges are stored between consecutive instances, which
+//    preserves reachability with linearly many edges);
+//  * the *dependency digraph* over communicators and tasks (one vertex per
+//    communicator, one per task), which has a cycle iff the instance-level
+//    graph has a communicator cycle. All cycle analyses run here.
+//
+// A specification is *memory-free* iff it has no communicator cycle
+// (Prop. 1's precondition). A specification with cycles is *cycle-safe* iff
+// every communicator cycle contains at least one task with the independent
+// input failure model — the paper's fix for specifications with memory.
+#ifndef LRT_SPEC_SPEC_GRAPH_H_
+#define LRT_SPEC_SPEC_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "spec/specification.h"
+#include "support/status.h"
+
+namespace lrt::spec {
+
+/// Vertex of the instance-level specification graph.
+struct SpecVertex {
+  enum class Kind { kCommInstance, kTask };
+  Kind kind = Kind::kTask;
+  /// For kCommInstance: the (c, i) pair. For kTask: comm == -1.
+  PortRef port;
+  /// For kTask: the task. For kCommInstance: -1.
+  TaskId task = -1;
+};
+
+class SpecificationGraph {
+ public:
+  /// Builds both graph levels. `spec` must outlive the graph.
+  explicit SpecificationGraph(const Specification& spec);
+
+  // --- instance level (paper V_S, E_S) ---
+  [[nodiscard]] const std::vector<SpecVertex>& vertices() const {
+    return vertices_;
+  }
+  /// Adjacency by vertex index into vertices().
+  [[nodiscard]] const std::vector<std::vector<int>>& edges() const {
+    return edges_;
+  }
+  [[nodiscard]] std::size_t edge_count() const;
+
+  /// Index of vertex (c, i) in vertices(). Precondition: in range.
+  [[nodiscard]] int comm_instance_vertex(CommId comm,
+                                         std::int64_t instance) const;
+  /// Index of the task vertex.
+  [[nodiscard]] int task_vertex(TaskId task) const;
+
+  // --- cycle analyses (dependency-digraph level) ---
+
+  /// True iff the specification has no communicator cycle.
+  [[nodiscard]] bool is_memory_free() const { return cycles_.empty(); }
+
+  /// True iff every communicator cycle contains a task with
+  /// FailureModel::kIndependent. Memory-free specifications are trivially
+  /// cycle-safe.
+  [[nodiscard]] bool is_cycle_safe() const { return cycle_safe_; }
+
+  /// The communicators involved in cycles, one entry per nontrivial
+  /// strongly connected component of the dependency digraph.
+  [[nodiscard]] const std::vector<std::vector<CommId>>& cycles() const {
+    return cycles_;
+  }
+
+  /// Communicators in an order such that every communicator appears after
+  /// all communicators its SRG depends on, where model-3 tasks cut the
+  /// dependency on their inputs. Fails (kFailedPrecondition) iff the
+  /// specification is not cycle-safe — exactly when the paper's SRG
+  /// induction is ill-founded.
+  [[nodiscard]] Result<std::vector<CommId>> reliability_order() const;
+
+  /// Human-readable multi-line description of the cycle structure,
+  /// for diagnostics.
+  [[nodiscard]] std::string describe_cycles() const;
+
+  /// Graphviz rendering of the instance-level graph: communicator
+  /// instances as ellipses "c@i", tasks as boxes; pipe into `dot -Tsvg`.
+  [[nodiscard]] std::string to_dot() const;
+
+ private:
+  void build_instance_graph();
+  void build_dependency_graph();
+  void run_cycle_analysis();
+
+  const Specification& spec_;
+
+  // Instance level.
+  std::vector<SpecVertex> vertices_;
+  std::vector<std::vector<int>> edges_;
+  std::vector<int> comm_vertex_base_;  // per comm, index of (c, 0)
+  std::vector<int> task_vertex_base_;  // per task
+
+  // Dependency level: node ids are comms [0, C) then tasks [C, C+T).
+  std::vector<std::vector<int>> dep_edges_;       // full
+  std::vector<std::vector<int>> dep_edges_cut_;   // model-3 inputs removed
+  std::vector<std::vector<CommId>> cycles_;
+  bool cycle_safe_ = true;
+};
+
+}  // namespace lrt::spec
+
+#endif  // LRT_SPEC_SPEC_GRAPH_H_

@@ -1,0 +1,245 @@
+#include "spec/specification.h"
+
+#include <algorithm>
+#include <set>
+
+#include "support/math_util.h"
+#include "support/strings.h"
+
+namespace lrt::spec {
+
+std::string_view to_string(FailureModel model) {
+  switch (model) {
+    case FailureModel::kSeries: return "series";
+    case FailureModel::kParallel: return "parallel";
+    case FailureModel::kIndependent: return "independent";
+  }
+  return "?";
+}
+
+namespace {
+
+Status validate_communicator(const Communicator& comm) {
+  if (!is_identifier(comm.name)) {
+    return InvalidArgumentError("communicator name '" + comm.name +
+                                "' is not a valid identifier");
+  }
+  if (comm.period <= 0) {
+    return InvalidArgumentError("communicator '" + comm.name +
+                                "' has non-positive period " +
+                                std::to_string(comm.period));
+  }
+  if (!(comm.lrc > 0.0 && comm.lrc <= 1.0)) {
+    return InvalidArgumentError("communicator '" + comm.name +
+                                "' has LRC outside (0,1]: " +
+                                format_double(comm.lrc));
+  }
+  if (!comm.init.conforms_to(comm.type)) {
+    return InvalidArgumentError("communicator '" + comm.name +
+                                "' init value " + comm.init.to_string() +
+                                " does not conform to type " +
+                                std::string(to_string(comm.type)));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<Specification> Specification::Build(SpecificationConfig config) {
+  Specification spec;
+  spec.name_ = std::move(config.name);
+
+  // --- communicators ---
+  for (auto& comm : config.communicators) {
+    LRT_RETURN_IF_ERROR(validate_communicator(comm));
+    const auto id = static_cast<CommId>(spec.communicators_.size());
+    if (!spec.comm_index_.emplace(comm.name, id).second) {
+      return AlreadyExistsError("duplicate communicator '" + comm.name + "'");
+    }
+    spec.communicators_.push_back(std::move(comm));
+  }
+  if (spec.communicators_.empty()) {
+    return InvalidArgumentError("specification '" + spec.name_ +
+                                "' declares no communicators");
+  }
+
+  std::vector<Time> periods;
+  periods.reserve(spec.communicators_.size());
+  for (const auto& comm : spec.communicators_) periods.push_back(comm.period);
+  spec.base_lcm_ = lcm_all(periods);
+
+  const auto resolve = [&spec](const std::string& task_name,
+                               const std::pair<std::string, std::int64_t>& ref,
+                               bool is_output) -> Result<PortRef> {
+    const auto it = spec.comm_index_.find(ref.first);
+    if (it == spec.comm_index_.end()) {
+      return NotFoundError("task '" + task_name +
+                           "' references unknown communicator '" + ref.first +
+                           "'");
+    }
+    if (ref.second < 0 || (is_output && ref.second == 0)) {
+      return OutOfRangeError("task '" + task_name + "' " +
+                             (is_output ? "writes" : "reads") +
+                             " communicator '" + ref.first +
+                             "' at invalid instance " +
+                             std::to_string(ref.second));
+    }
+    return PortRef{it->second, ref.second};
+  };
+
+  // --- tasks ---
+  spec.writers_.assign(spec.communicators_.size(), std::nullopt);
+  spec.readers_.assign(spec.communicators_.size(), {});
+
+  for (auto& task_config : config.tasks) {
+    if (!is_identifier(task_config.name)) {
+      return InvalidArgumentError("task name '" + task_config.name +
+                                  "' is not a valid identifier");
+    }
+    const auto id = static_cast<TaskId>(spec.tasks_.size());
+    if (!spec.task_index_.emplace(task_config.name, id).second) {
+      return AlreadyExistsError("duplicate task '" + task_config.name + "'");
+    }
+
+    Task task;
+    task.name = task_config.name;
+    task.function = std::move(task_config.function);
+    task.model = task_config.model;
+
+    // Rule (1): all tasks read from and write to some communicator.
+    if (task_config.inputs.empty()) {
+      return InvalidArgumentError("task '" + task.name +
+                                  "' reads no communicator (rule 1)");
+    }
+    if (task_config.outputs.empty()) {
+      return InvalidArgumentError("task '" + task.name +
+                                  "' writes no communicator (rule 1)");
+    }
+
+    for (const auto& ref : task_config.inputs) {
+      LRT_ASSIGN_OR_RETURN(const PortRef port,
+                           resolve(task.name, ref, /*is_output=*/false));
+      task.inputs.push_back(port);
+    }
+    for (const auto& ref : task_config.outputs) {
+      LRT_ASSIGN_OR_RETURN(const PortRef port,
+                           resolve(task.name, ref, /*is_output=*/true));
+      task.outputs.push_back(port);
+    }
+
+    // Defaults: one per input, conforming; empty list means "zero of type".
+    if (task_config.defaults.empty()) {
+      task.defaults.reserve(task.inputs.size());
+      for (const PortRef& port : task.inputs) {
+        task.defaults.push_back(
+            zero_value(spec.communicator(port.comm).type));
+      }
+    } else if (task_config.defaults.size() == task.inputs.size()) {
+      task.defaults = std::move(task_config.defaults);
+      for (std::size_t j = 0; j < task.defaults.size(); ++j) {
+        const ValueType type = spec.communicator(task.inputs[j].comm).type;
+        if (task.defaults[j].is_bottom() ||
+            !task.defaults[j].conforms_to(type)) {
+          return InvalidArgumentError(
+              "task '" + task.name + "' default #" + std::to_string(j) +
+              " must be a non-bottom value of type " +
+              std::string(to_string(type)));
+        }
+      }
+    } else {
+      return InvalidArgumentError(
+          "task '" + task.name + "' declares " +
+          std::to_string(task_config.defaults.size()) + " defaults for " +
+          std::to_string(task.inputs.size()) + " inputs");
+    }
+
+    // Rule (4): no output instance written multiple times; and rule (3)
+    // half: within this task, count writes per communicator are fine as
+    // long as instances differ.
+    std::set<PortRef> seen_outputs;
+    for (const PortRef& port : task.outputs) {
+      if (!seen_outputs.insert(port).second) {
+        return InvalidArgumentError(
+            "task '" + task.name + "' writes communicator '" +
+            spec.communicator(port.comm).name + "' instance " +
+            std::to_string(port.instance) + " multiple times (rule 4)");
+      }
+    }
+
+    // Rule (3): no two tasks write to the same communicator.
+    std::set<CommId> written;
+    for (const PortRef& port : task.outputs) written.insert(port.comm);
+    for (const CommId comm : written) {
+      auto& writer = spec.writers_[static_cast<std::size_t>(comm)];
+      if (writer.has_value() && *writer != id) {
+        return InvalidArgumentError(
+            "communicator '" + spec.communicator(comm).name +
+            "' is written by both task '" +
+            spec.task(*writer).name + "' and task '" + task.name +
+            "' (rule 3)");
+      }
+      writer = id;
+    }
+
+    // Timing: read_t = max over inputs, write_t = min over outputs.
+    Time read_time = 0;
+    for (const PortRef& port : task.inputs) {
+      read_time = std::max(
+          read_time, spec.communicator(port.comm).period * port.instance);
+    }
+    Time write_time = INT64_MAX;
+    for (const PortRef& port : task.outputs) {
+      write_time = std::min(
+          write_time, spec.communicator(port.comm).period * port.instance);
+    }
+    // Rule (2): strictly positive logical execution time.
+    if (!(read_time < write_time)) {
+      return InvalidArgumentError(
+          "task '" + task.name + "' has read time " +
+          std::to_string(read_time) + " not earlier than write time " +
+          std::to_string(write_time) + " (rule 2)");
+    }
+
+    // icset_t and reader registration (distinct comms, first-use order).
+    std::vector<CommId> icset;
+    for (const PortRef& port : task.inputs) {
+      if (std::find(icset.begin(), icset.end(), port.comm) == icset.end()) {
+        icset.push_back(port.comm);
+        spec.readers_[static_cast<std::size_t>(port.comm)].push_back(id);
+      }
+    }
+
+    spec.read_times_.push_back(read_time);
+    spec.write_times_.push_back(write_time);
+    spec.input_comm_sets_.push_back(std::move(icset));
+    spec.tasks_.push_back(std::move(task));
+  }
+
+  // pi_S = lcm(cset) * ceil(max_t write_t / lcm(cset)); when there are no
+  // tasks the specification period is one lcm round.
+  Time max_write = 0;
+  for (const Time w : spec.write_times_) max_write = std::max(max_write, w);
+  const Time rounds = std::max<Time>(1, ceil_div(max_write, spec.base_lcm_));
+  spec.hyperperiod_ = spec.base_lcm_ * rounds;
+
+  return spec;
+}
+
+std::optional<CommId> Specification::find_communicator(
+    std::string_view name) const {
+  const auto it = comm_index_.find(std::string(name));
+  if (it == comm_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<TaskId> Specification::find_task(std::string_view name) const {
+  const auto it = task_index_.find(std::string(name));
+  if (it == task_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<TaskId> Specification::writer_of(CommId id) const {
+  return writers_[static_cast<std::size_t>(id)];
+}
+
+}  // namespace lrt::spec

@@ -1,0 +1,140 @@
+// The specification S = (tset, cset): validated registry of communicators
+// and tasks, with the derived timing quantities of paper Section 2
+// (read/write times, the specification period pi_S) and classification of
+// communicators (input / output / internal).
+#ifndef LRT_SPEC_SPECIFICATION_H_
+#define LRT_SPEC_SPECIFICATION_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "spec/declarations.h"
+#include "support/status.h"
+
+namespace lrt::spec {
+
+/// Builder-side description of a specification. Names are resolved and the
+/// paper's well-formedness rules are enforced by Specification::Build.
+struct SpecificationConfig {
+  std::string name = "spec";
+  std::vector<Communicator> communicators;
+
+  /// Task declaration with communicator references by name (resolved at
+  /// Build time so configs can be written in any order).
+  struct TaskConfig {
+    std::string name;
+    std::vector<std::pair<std::string, std::int64_t>> inputs;   ///< (comm, i)
+    std::vector<std::pair<std::string, std::int64_t>> outputs;  ///< (comm, i)
+    TaskFunction function;
+    FailureModel model = FailureModel::kSeries;
+    std::vector<Value> defaults;  ///< empty => zero_value per input type
+  };
+  std::vector<TaskConfig> tasks;
+};
+
+/// An immutable, validated specification.
+///
+/// Build() enforces (paper Section 2):
+///   (1) every task reads some communicator and writes some communicator;
+///   (2) every task's read time is strictly earlier than its write time;
+///   (3) no two tasks write to the same communicator;
+///   (4) no task writes a communicator instance multiple times;
+/// plus basic sanity: unique identifier names, positive periods,
+/// LRC in (0,1], init/default values conforming to declared types, and
+/// nonnegative instance numbers (outputs strictly positive).
+class Specification {
+ public:
+  /// Validates `config` and derives timing quantities.
+  static Result<Specification> Build(SpecificationConfig config);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  [[nodiscard]] const std::vector<Communicator>& communicators() const {
+    return communicators_;
+  }
+  [[nodiscard]] const std::vector<Task>& tasks() const { return tasks_; }
+
+  [[nodiscard]] const Communicator& communicator(CommId id) const {
+    return communicators_[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] const Task& task(TaskId id) const {
+    return tasks_[static_cast<std::size_t>(id)];
+  }
+
+  [[nodiscard]] std::optional<CommId> find_communicator(
+      std::string_view name) const;
+  [[nodiscard]] std::optional<TaskId> find_task(std::string_view name) const;
+
+  /// Least common multiple of all communicator periods (lcm(cset)).
+  [[nodiscard]] Time base_lcm() const { return base_lcm_; }
+
+  /// The specification period pi_S = lcm(cset) * ceil(max_t write_t / lcm):
+  /// all tasks repeat with this periodicity.
+  [[nodiscard]] Time hyperperiod() const { return hyperperiod_; }
+
+  /// read_t = max_j (pi_c * i) over inputs (c, i): the latest read instant.
+  [[nodiscard]] Time read_time(TaskId id) const {
+    return read_times_[static_cast<std::size_t>(id)];
+  }
+  /// write_t = min_k (pi_c * i) over outputs (c, i): the earliest write
+  /// instant. The logical execution time of the task is
+  /// [read_time, write_time).
+  [[nodiscard]] Time write_time(TaskId id) const {
+    return write_times_[static_cast<std::size_t>(id)];
+  }
+
+  /// The unique task writing communicator `id` (rule 3), if any. A
+  /// communicator with no writer is an *input* communicator updated by a
+  /// sensor.
+  [[nodiscard]] std::optional<TaskId> writer_of(CommId id) const;
+
+  /// Tasks reading communicator `id` (possibly empty).
+  [[nodiscard]] const std::vector<TaskId>& readers_of(CommId id) const {
+    return readers_[static_cast<std::size_t>(id)];
+  }
+
+  /// True iff no task writes `id` (to be driven by a sensor).
+  [[nodiscard]] bool is_input_communicator(CommId id) const {
+    return !writer_of(id).has_value();
+  }
+  /// True iff no task reads `id` (to be consumed by an actuator).
+  [[nodiscard]] bool is_output_communicator(CommId id) const {
+    return readers_of(id).empty();
+  }
+
+  /// icset_t: the distinct communicators read by task `id`, in first-use
+  /// order. (Instance numbers are irrelevant for reliability.)
+  [[nodiscard]] const std::vector<CommId>& input_comm_set(TaskId id) const {
+    return input_comm_sets_[static_cast<std::size_t>(id)];
+  }
+
+  /// Number of instances of communicator `id` per specification period:
+  /// hyperperiod / period. The instance grid is {0, 1, ..., count}, where
+  /// instance `count` of one period coincides with instance 0 of the next.
+  [[nodiscard]] std::int64_t instances_per_period(CommId id) const {
+    return hyperperiod_ / communicator(id).period;
+  }
+
+ private:
+  Specification() = default;
+
+  std::string name_;
+  std::vector<Communicator> communicators_;
+  std::vector<Task> tasks_;
+  std::unordered_map<std::string, CommId> comm_index_;
+  std::unordered_map<std::string, TaskId> task_index_;
+  std::vector<Time> read_times_;
+  std::vector<Time> write_times_;
+  std::vector<std::optional<TaskId>> writers_;
+  std::vector<std::vector<TaskId>> readers_;
+  std::vector<std::vector<CommId>> input_comm_sets_;
+  Time base_lcm_ = 1;
+  Time hyperperiod_ = 1;
+};
+
+}  // namespace lrt::spec
+
+#endif  // LRT_SPEC_SPECIFICATION_H_

@@ -1,0 +1,46 @@
+#include "spec/value.h"
+
+#include "support/strings.h"
+
+namespace lrt::spec {
+
+std::string_view to_string(ValueType type) {
+  switch (type) {
+    case ValueType::kReal: return "real";
+    case ValueType::kInt: return "int";
+    case ValueType::kBool: return "bool";
+  }
+  return "?";
+}
+
+bool Value::conforms_to(ValueType type) const {
+  if (is_bottom()) return true;
+  switch (type) {
+    case ValueType::kReal: return is_real();
+    case ValueType::kInt: return is_int();
+    case ValueType::kBool: return is_bool();
+  }
+  return false;
+}
+
+std::string Value::to_string() const {
+  if (is_bottom()) return "\xE2\x8A\xA5";  // UTF-8 for the bottom symbol
+  if (is_real()) return format_double(as_real());
+  if (is_int()) return std::to_string(as_int());
+  return as_bool() ? "true" : "false";
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& value) {
+  return os << value.to_string();
+}
+
+Value zero_value(ValueType type) {
+  switch (type) {
+    case ValueType::kReal: return Value::real(0.0);
+    case ValueType::kInt: return Value::integer(0);
+    case ValueType::kBool: return Value::boolean(false);
+  }
+  return Value::bottom();
+}
+
+}  // namespace lrt::spec

@@ -1,0 +1,96 @@
+// Communicator values.
+//
+// The paper: "The data type includes a special symbol (bottom) to represent
+// unreliable communicator values; a non-bottom value indicates that the
+// communicator has a reliable value." Value models exactly that: a typed
+// payload or the distinguished unreliable symbol.
+#ifndef LRT_SPEC_VALUE_H_
+#define LRT_SPEC_VALUE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <variant>
+
+// GCC 12's -Wmaybe-uninitialized fires a well-known false positive when a
+// default-constructed std::variant (our bottom value) is copied in
+// optimized code; silence it for this header only.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+namespace lrt::spec {
+
+/// Declared type of a communicator.
+enum class ValueType { kReal, kInt, kBool };
+
+std::string_view to_string(ValueType type);
+
+/// A communicator value: either bottom (unreliable) or a typed payload.
+class Value {
+ public:
+  /// Default-constructed values are bottom, matching the paper's semantics
+  /// for a missed update.
+  Value() = default;
+
+  static Value bottom() { return Value(); }
+  static Value real(double v) { return Value(Payload(v)); }
+  static Value integer(std::int64_t v) { return Value(Payload(v)); }
+  static Value boolean(bool v) { return Value(Payload(v)); }
+
+  [[nodiscard]] bool is_bottom() const {
+    return std::holds_alternative<Bottom>(payload_);
+  }
+
+  /// True iff the value is bottom or its payload matches `type`. Bottom
+  /// inhabits every communicator type.
+  [[nodiscard]] bool conforms_to(ValueType type) const;
+
+  /// Payload accessors. Precondition: the value holds that alternative.
+  [[nodiscard]] double as_real() const { return std::get<double>(payload_); }
+  [[nodiscard]] std::int64_t as_int() const {
+    return std::get<std::int64_t>(payload_);
+  }
+  [[nodiscard]] bool as_bool() const { return std::get<bool>(payload_); }
+
+  [[nodiscard]] bool is_real() const {
+    return std::holds_alternative<double>(payload_);
+  }
+  [[nodiscard]] bool is_int() const {
+    return std::holds_alternative<std::int64_t>(payload_);
+  }
+  [[nodiscard]] bool is_bool() const {
+    return std::holds_alternative<bool>(payload_);
+  }
+
+  /// "⊥", "3.5", "42", "true".
+  [[nodiscard]] std::string to_string() const;
+
+  /// Structural equality; bottom equals only bottom.
+  friend bool operator==(const Value&, const Value&) = default;
+
+ private:
+  struct Bottom {
+    friend bool operator==(const Bottom&, const Bottom&) = default;
+  };
+  using Payload = std::variant<Bottom, double, std::int64_t, bool>;
+
+  explicit Value(Payload payload) : payload_(std::move(payload)) {}
+
+  Payload payload_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& value);
+
+/// A neutral non-bottom value of the given type (0.0 / 0 / false); used by
+/// generators and as a fallback default.
+Value zero_value(ValueType type);
+
+}  // namespace lrt::spec
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+#endif  // LRT_SPEC_VALUE_H_

@@ -1,0 +1,115 @@
+#include "support/json.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "support/strings.h"
+
+namespace lrt {
+
+void JsonWriter::comma_if_needed() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!has_elements_.empty()) {
+    if (has_elements_.back()) out_ += ',';
+    has_elements_.back() = true;
+  }
+}
+
+void JsonWriter::begin_object() {
+  comma_if_needed();
+  out_ += '{';
+  has_elements_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  assert(!has_elements_.empty());
+  has_elements_.pop_back();
+  out_ += '}';
+}
+
+void JsonWriter::begin_array() {
+  comma_if_needed();
+  out_ += '[';
+  has_elements_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  assert(!has_elements_.empty());
+  has_elements_.pop_back();
+  out_ += ']';
+}
+
+void JsonWriter::key(std::string_view name) {
+  assert(!after_key_ && "key() must be followed by a value");
+  if (!has_elements_.empty()) {
+    if (has_elements_.back()) out_ += ',';
+    has_elements_.back() = true;
+  }
+  out_ += '"';
+  write_escaped(name);
+  out_ += "\":";
+  after_key_ = true;
+}
+
+void JsonWriter::value(std::string_view text) {
+  comma_if_needed();
+  out_ += '"';
+  write_escaped(text);
+  out_ += '"';
+}
+
+void JsonWriter::value(double number) {
+  comma_if_needed();
+  if (std::isfinite(number)) {
+    out_ += format_double(number);
+  } else {
+    out_ += "null";  // JSON has no Inf/NaN
+  }
+}
+
+void JsonWriter::value(std::int64_t number) {
+  comma_if_needed();
+  out_ += std::to_string(number);
+}
+
+void JsonWriter::value(bool flag) {
+  comma_if_needed();
+  out_ += flag ? "true" : "false";
+}
+
+void JsonWriter::null() {
+  comma_if_needed();
+  out_ += "null";
+}
+
+std::string JsonWriter::str() && {
+  assert(has_elements_.empty() && "unclosed container");
+  assert(!after_key_ && "dangling key");
+  return std::move(out_);
+}
+
+void JsonWriter::write_escaped(std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"': out_ += "\\\""; break;
+      case '\\': out_ += "\\\\"; break;
+      case '\n': out_ += "\\n"; break;
+      case '\r': out_ += "\\r"; break;
+      case '\t': out_ += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                        static_cast<unsigned>(c));
+          out_ += buffer;
+        } else {
+          out_ += c;
+        }
+    }
+  }
+}
+
+}  // namespace lrt

@@ -1,0 +1,60 @@
+// A minimal JSON writer for exporting analysis reports to tooling.
+// Streaming, allocation-light, and strict about structure (asserts on
+// misuse in debug builds); values are escaped per RFC 8259.
+#ifndef LRT_SUPPORT_JSON_H_
+#define LRT_SUPPORT_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lrt {
+
+/// Usage:
+///   JsonWriter json;
+///   json.begin_object();
+///   json.key("name"); json.value("u1");
+///   json.key("srg");  json.value(0.97);
+///   json.key("hosts");
+///   json.begin_array(); json.value(1); json.value(2); json.end_array();
+///   json.end_object();
+///   std::string text = std::move(json).str();
+class JsonWriter {
+ public:
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Emits an object key; must be followed by exactly one value or
+  /// container.
+  void key(std::string_view name);
+
+  void value(std::string_view text);
+  void value(const char* text) { value(std::string_view(text)); }
+  void value(double number);
+  void value(std::int64_t number);
+  void value(int number) { value(static_cast<std::int64_t>(number)); }
+  void value(std::size_t number) {
+    value(static_cast<std::int64_t>(number));
+  }
+  void value(bool flag);
+  void null();
+
+  /// The document; the writer is spent afterwards.
+  [[nodiscard]] std::string str() &&;
+
+ private:
+  void comma_if_needed();
+  void write_escaped(std::string_view text);
+
+  std::string out_;
+  /// One entry per open container: true iff it already has an element.
+  std::vector<bool> has_elements_;
+  bool after_key_ = false;
+};
+
+}  // namespace lrt
+
+#endif  // LRT_SUPPORT_JSON_H_

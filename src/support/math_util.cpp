@@ -1,0 +1,68 @@
+#include "support/math_util.h"
+
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace lrt {
+
+bool approx_equal(double a, double b, double tol) {
+  return std::fabs(a - b) <= tol;
+}
+
+bool approx_ge(double a, double b, double tol) {
+  return a >= b - tol;
+}
+
+std::int64_t lcm_all(std::span<const std::int64_t> values) {
+  std::int64_t acc = 1;
+  for (const std::int64_t v : values) {
+    assert(v > 0 && "lcm_all requires positive values");
+    const std::int64_t g = std::gcd(acc, v);
+    assert(acc <= INT64_MAX / (v / g) && "lcm overflow");
+    acc = acc / g * v;
+  }
+  return acc;
+}
+
+std::int64_t gcd_all(std::span<const std::int64_t> values) {
+  std::int64_t acc = 0;
+  for (const std::int64_t v : values) {
+    assert(v > 0 && "gcd_all requires positive values");
+    acc = std::gcd(acc, v);
+  }
+  return acc;
+}
+
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  assert(b > 0 && "ceil_div requires positive divisor");
+  return a / b + (a % b > 0 ? 1 : 0);
+}
+
+bool is_probability(double p) {
+  return std::isfinite(p) && p >= 0.0 && p <= 1.0;
+}
+
+bool is_reliability(double p) {
+  return std::isfinite(p) && p > 0.0 && p <= 1.0;
+}
+
+double parallel_or(std::span<const double> probabilities) {
+  double none = 1.0;
+  for (const double p : probabilities) {
+    assert(is_probability(p));
+    none *= 1.0 - p;
+  }
+  return 1.0 - none;
+}
+
+double series_and(std::span<const double> probabilities) {
+  double all = 1.0;
+  for (const double p : probabilities) {
+    assert(is_probability(p));
+    all *= p;
+  }
+  return all;
+}
+
+}  // namespace lrt

@@ -1,0 +1,50 @@
+// Small numeric helpers shared by the timing and reliability analyses.
+#ifndef LRT_SUPPORT_MATH_UTIL_H_
+#define LRT_SUPPORT_MATH_UTIL_H_
+
+#include <cstdint>
+#include <span>
+
+namespace lrt {
+
+/// Tolerance for comparing analytically computed probabilities. SRGs are
+/// products of at most a few hundred doubles, so 1e-12 absolute error is a
+/// generous bound on accumulated rounding.
+inline constexpr double kProbabilityTolerance = 1e-9;
+
+/// True iff |a - b| <= tol.
+[[nodiscard]] bool approx_equal(double a, double b,
+                                double tol = kProbabilityTolerance);
+
+/// a >= b up to tolerance (used for "lambda_c >= mu_c" checks so that an
+/// exactly tight requirement is not rejected by rounding).
+[[nodiscard]] bool approx_ge(double a, double b,
+                             double tol = kProbabilityTolerance);
+
+/// lcm over a span of positive integers. Returns 1 for an empty span.
+/// Asserts on overflow in debug builds.
+[[nodiscard]] std::int64_t lcm_all(std::span<const std::int64_t> values);
+
+/// gcd over a span of positive integers. Returns 0 for an empty span.
+[[nodiscard]] std::int64_t gcd_all(std::span<const std::int64_t> values);
+
+/// ceil(a / b) for positive b.
+[[nodiscard]] std::int64_t ceil_div(std::int64_t a, std::int64_t b);
+
+/// True iff p is a valid probability in [0, 1].
+[[nodiscard]] bool is_probability(double p);
+
+/// True iff p is a valid *reliability* in the paper's sense: (0, 1].
+[[nodiscard]] bool is_reliability(double p);
+
+/// 1 - prod(1 - p_i): probability that at least one of independent events
+/// with probabilities p_i occurs. This is the paper's parallel composition,
+/// used both for replicated tasks and the model-2 input rule.
+[[nodiscard]] double parallel_or(std::span<const double> probabilities);
+
+/// prod(p_i): probability that all independent events occur (series rule).
+[[nodiscard]] double series_and(std::span<const double> probabilities);
+
+}  // namespace lrt
+
+#endif  // LRT_SUPPORT_MATH_UTIL_H_

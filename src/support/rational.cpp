@@ -1,0 +1,92 @@
+#include "support/rational.h"
+
+#include <cassert>
+#include <numeric>
+
+namespace lrt {
+namespace {
+
+// Normalizes (num, den) to den > 0 and coprime components.
+void normalize(std::int64_t& num, std::int64_t& den) {
+  assert(den != 0 && "rational with zero denominator");
+  if (den < 0) {
+    num = -num;
+    den = -den;
+  }
+  const std::int64_t g = std::gcd(num, den);
+  if (g > 1) {
+    num /= g;
+    den /= g;
+  }
+}
+
+}  // namespace
+
+Rational::Rational(std::int64_t num, std::int64_t den) : num_(num), den_(den) {
+  normalize(num_, den_);
+}
+
+std::int64_t Rational::to_integer() const {
+  assert(is_integer() && "to_integer() on non-integer rational");
+  return num_;
+}
+
+Rational& Rational::operator+=(const Rational& rhs) {
+  // Use gcd of denominators to keep intermediates small.
+  const std::int64_t g = std::gcd(den_, rhs.den_);
+  const std::int64_t scale = rhs.den_ / g;
+  num_ = num_ * scale + rhs.num_ * (den_ / g);
+  den_ = den_ * scale;
+  normalize(num_, den_);
+  return *this;
+}
+
+Rational& Rational::operator-=(const Rational& rhs) {
+  return *this += -rhs;
+}
+
+Rational& Rational::operator*=(const Rational& rhs) {
+  // Cross-reduce before multiplying to delay overflow.
+  const std::int64_t g1 = std::gcd(num_, rhs.den_);
+  const std::int64_t g2 = std::gcd(rhs.num_, den_);
+  num_ = (num_ / g1) * (rhs.num_ / g2);
+  den_ = (den_ / g2) * (rhs.den_ / g1);
+  normalize(num_, den_);
+  return *this;
+}
+
+Rational& Rational::operator/=(const Rational& rhs) {
+  assert(rhs.num_ != 0 && "division by zero rational");
+  return *this *= Rational(rhs.den_, rhs.num_);
+}
+
+std::strong_ordering operator<=>(const Rational& a, const Rational& b) {
+  // a.num/a.den <=> b.num/b.den, denominators positive.
+  // Compare via the difference's numerator with gcd reduction.
+  const std::int64_t g = std::gcd(a.den_, b.den_);
+  const std::int64_t lhs = a.num_ * (b.den_ / g);
+  const std::int64_t rhs = b.num_ * (a.den_ / g);
+  return lhs <=> rhs;
+}
+
+std::string Rational::to_string() const {
+  if (is_integer()) return std::to_string(num_);
+  return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& r) {
+  return os << r.to_string();
+}
+
+std::int64_t floor(const Rational& r) {
+  const std::int64_t q = r.num() / r.den();
+  // Integer division truncates toward zero; adjust for negatives.
+  return (r.num() % r.den() != 0 && r.num() < 0) ? q - 1 : q;
+}
+
+std::int64_t ceil(const Rational& r) {
+  const std::int64_t q = r.num() / r.den();
+  return (r.num() % r.den() != 0 && r.num() > 0) ? q + 1 : q;
+}
+
+}  // namespace lrt

@@ -1,0 +1,72 @@
+// Exact rational arithmetic over int64.
+//
+// The paper's timing model ("time instants ... denote the harmonic fraction
+// of all communicator periods") requires exact period/LET computations;
+// Rational backs those so that e.g. lcm/gcd reasoning over communicator
+// periods never suffers floating-point drift.
+#ifndef LRT_SUPPORT_RATIONAL_H_
+#define LRT_SUPPORT_RATIONAL_H_
+
+#include <compare>
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace lrt {
+
+/// A normalized rational number p/q with q > 0 and gcd(|p|, q) == 1.
+///
+/// Overflow behaviour: operations assert in debug builds; the magnitudes
+/// arising from communicator periods (bounded hyperperiods) stay far below
+/// 2^63 in practice.
+class Rational {
+ public:
+  constexpr Rational() = default;
+  // Intentionally implicit so integer literals work in arithmetic.
+  constexpr Rational(std::int64_t value) : num_(value) {}  // NOLINT
+  Rational(std::int64_t num, std::int64_t den);
+
+  [[nodiscard]] constexpr std::int64_t num() const { return num_; }
+  [[nodiscard]] constexpr std::int64_t den() const { return den_; }
+
+  [[nodiscard]] bool is_integer() const { return den_ == 1; }
+  /// Precondition: is_integer().
+  [[nodiscard]] std::int64_t to_integer() const;
+  [[nodiscard]] double to_double() const {
+    return static_cast<double>(num_) / static_cast<double>(den_);
+  }
+
+  Rational& operator+=(const Rational& rhs);
+  Rational& operator-=(const Rational& rhs);
+  Rational& operator*=(const Rational& rhs);
+  /// Precondition: rhs != 0.
+  Rational& operator/=(const Rational& rhs);
+
+  friend Rational operator+(Rational a, const Rational& b) { return a += b; }
+  friend Rational operator-(Rational a, const Rational& b) { return a -= b; }
+  friend Rational operator*(Rational a, const Rational& b) { return a *= b; }
+  friend Rational operator/(Rational a, const Rational& b) { return a /= b; }
+  friend Rational operator-(const Rational& a) { return {-a.num_, a.den_}; }
+
+  friend bool operator==(const Rational&, const Rational&) = default;
+  friend std::strong_ordering operator<=>(const Rational& a,
+                                          const Rational& b);
+
+  /// "p" for integers, "p/q" otherwise.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::int64_t num_ = 0;
+  std::int64_t den_ = 1;
+};
+
+std::ostream& operator<<(std::ostream& os, const Rational& r);
+
+/// Largest integer <= r.
+std::int64_t floor(const Rational& r);
+/// Smallest integer >= r.
+std::int64_t ceil(const Rational& r);
+
+}  // namespace lrt
+
+#endif  // LRT_SUPPORT_RATIONAL_H_

@@ -1,0 +1,67 @@
+// Deterministic random number generation for the fault-injection simulator.
+//
+// Every stochastic element in lrt (host failures, workload generators)
+// draws from an explicitly seeded generator so that every experiment in
+// EXPERIMENTS.md is exactly reproducible.
+#ifndef LRT_SUPPORT_RNG_H_
+#define LRT_SUPPORT_RNG_H_
+
+#include <cstdint>
+
+namespace lrt {
+
+/// SplitMix64: used to expand a user seed into the xoshiro state.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna) — fast, high-quality, 2^256-1 period.
+///
+/// Satisfies the UniformRandomBitGenerator requirements, so it composes
+/// with <random> distributions where convenient.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+
+  result_type operator()() { return next(); }
+  std::uint64_t next();
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli trial: true with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Uniform integer in [0, bound) via Lemire's multiply-shift rejection.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Creates an independent stream for a child component (e.g. one per
+  /// simulated host) so adding components never perturbs others' draws.
+  Xoshiro256 split();
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace lrt
+
+#endif  // LRT_SUPPORT_RNG_H_

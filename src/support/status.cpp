@@ -1,0 +1,57 @@
+#include "support/status.h"
+
+namespace lrt {
+
+std::string_view to_string(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
+    case StatusCode::kUnsatisfiable: return "UNSATISFIABLE";
+    case StatusCode::kParseError: return "PARSE_ERROR";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::to_string() const {
+  if (ok()) return "OK";
+  std::string out(lrt::to_string(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.to_string();
+}
+
+Status InvalidArgumentError(std::string message) {
+  return {StatusCode::kInvalidArgument, std::move(message)};
+}
+Status NotFoundError(std::string message) {
+  return {StatusCode::kNotFound, std::move(message)};
+}
+Status AlreadyExistsError(std::string message) {
+  return {StatusCode::kAlreadyExists, std::move(message)};
+}
+Status FailedPreconditionError(std::string message) {
+  return {StatusCode::kFailedPrecondition, std::move(message)};
+}
+Status OutOfRangeError(std::string message) {
+  return {StatusCode::kOutOfRange, std::move(message)};
+}
+Status UnsatisfiableError(std::string message) {
+  return {StatusCode::kUnsatisfiable, std::move(message)};
+}
+Status ParseError(std::string message) {
+  return {StatusCode::kParseError, std::move(message)};
+}
+Status InternalError(std::string message) {
+  return {StatusCode::kInternal, std::move(message)};
+}
+
+}  // namespace lrt

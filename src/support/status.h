@@ -1,0 +1,153 @@
+// Error-handling primitives used across all lrt libraries.
+//
+// Library boundaries never throw: fallible operations return Status (when
+// there is no payload) or Result<T> (when there is). This mirrors the
+// "constructors that can fail become factory functions" rule in DESIGN.md.
+#ifndef LRT_SUPPORT_STATUS_H_
+#define LRT_SUPPORT_STATUS_H_
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace lrt {
+
+/// Machine-readable classification of an error.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,     ///< caller passed data violating a documented precondition
+  kNotFound,            ///< a named entity (task, communicator, host...) is absent
+  kAlreadyExists,       ///< duplicate declaration of a named entity
+  kFailedPrecondition,  ///< object state does not allow the operation
+  kOutOfRange,          ///< index/instance outside its valid interval
+  kUnsatisfiable,       ///< an analysis proved the requirement cannot be met
+  kParseError,          ///< HTL frontend: malformed source text
+  kInternal,            ///< invariant violation inside lrt itself
+};
+
+/// Human-readable name of a StatusCode ("kOk" -> "OK", ...).
+std::string_view to_string(StatusCode code);
+
+/// Outcome of a fallible operation: a code plus a human-readable message.
+///
+/// An engaged (ok) Status is cheap to copy; error statuses carry a message
+/// describing *which* entity failed *which* check, suitable for surfacing to
+/// a user of the compiler or analysis CLI.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    assert(code != StatusCode::kOk && "use Status() / Ok() for success");
+  }
+
+  static Status Ok() { return Status(); }
+
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  /// "OK" or "<code>: <message>".
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;  // messages are informational only
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+// Convenience factories, mirroring the StatusCode enumerators.
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status OutOfRangeError(std::string message);
+Status UnsatisfiableError(std::string message);
+Status ParseError(std::string message);
+Status InternalError(std::string message);
+
+/// Either a value of type T or an error Status. Analogous to
+/// std::expected<T, Status> (which libstdc++ 12 does not yet ship).
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit: allows `return value;` and `return status;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result from Status requires an error status");
+  }
+
+  [[nodiscard]] bool ok() const { return value_.has_value(); }
+  [[nodiscard]] const Status& status() const { return status_; }
+
+  // value() on an errored Result aborts with the error message in every
+  // build mode — a loud failure beats undefined behaviour in release.
+  [[nodiscard]] const T& value() const& {
+    check_ok();
+    return *value_;
+  }
+  [[nodiscard]] T& value() & {
+    check_ok();
+    return *value_;
+  }
+  [[nodiscard]] T&& value() && {
+    check_ok();
+    return std::move(*value_);
+  }
+
+  [[nodiscard]] const T& operator*() const& { return value(); }
+  [[nodiscard]] T& operator*() & { return value(); }
+  [[nodiscard]] const T* operator->() const { return &value(); }
+  [[nodiscard]] T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` when errored.
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  void check_ok() const {
+    if (ok()) return;
+    std::fprintf(stderr, "fatal: Result::value() on error: %s\n",
+                 status_.to_string().c_str());
+    std::abort();
+  }
+
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// Propagates an error status out of the enclosing function.
+#define LRT_RETURN_IF_ERROR(expr)                   \
+  do {                                              \
+    ::lrt::Status lrt_status_ = (expr);             \
+    if (!lrt_status_.ok()) return lrt_status_;      \
+  } while (false)
+
+/// Assigns the value of a Result<T> expression or propagates its error.
+#define LRT_ASSIGN_OR_RETURN(lhs, expr)             \
+  LRT_ASSIGN_OR_RETURN_IMPL_(                       \
+      LRT_STATUS_CONCAT_(lrt_result_, __LINE__), lhs, expr)
+
+#define LRT_STATUS_CONCAT_INNER_(a, b) a##b
+#define LRT_STATUS_CONCAT_(a, b) LRT_STATUS_CONCAT_INNER_(a, b)
+#define LRT_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr)  \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+}  // namespace lrt
+
+#endif  // LRT_SUPPORT_STATUS_H_

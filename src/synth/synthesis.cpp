@@ -1,0 +1,303 @@
+#include "synth/synthesis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "reliability/analysis.h"
+#include "sched/schedulability.h"
+#include "spec/spec_graph.h"
+
+namespace lrt::synth {
+namespace {
+
+using arch::HostId;
+using spec::CommId;
+using spec::TaskId;
+
+/// Shared search state: builds candidate Implementations and evaluates
+/// validity (reliability + optional schedulability).
+class Evaluator {
+ public:
+  Evaluator(const spec::Specification& spec, const arch::Architecture& arch,
+            std::vector<impl::ImplementationConfig::SensorBinding> bindings,
+            const SynthesisOptions& options)
+      : spec_(spec), arch_(arch), bindings_(std::move(bindings)),
+        options_(options) {}
+
+  /// Builds the ImplementationConfig for an assignment (host set per task).
+  [[nodiscard]] impl::ImplementationConfig to_config(
+      const std::vector<std::vector<HostId>>& assignment) const {
+    impl::ImplementationConfig config;
+    config.name = "synthesized";
+    for (TaskId t = 0; t < static_cast<TaskId>(spec_.tasks().size()); ++t) {
+      impl::ImplementationConfig::TaskMapping mapping;
+      mapping.task = spec_.task(t).name;
+      for (const HostId h : assignment[static_cast<std::size_t>(t)]) {
+        mapping.hosts.push_back(arch_.host(h).name);
+      }
+      config.task_mappings.push_back(std::move(mapping));
+    }
+    config.sensor_bindings = bindings_;
+    return config;
+  }
+
+  /// Evaluates an assignment; true iff the mapping is valid.
+  [[nodiscard]] Result<bool> valid(
+      const std::vector<std::vector<HostId>>& assignment) {
+    ++candidates_;
+    auto impl_result =
+        impl::Implementation::Build(spec_, arch_, to_config(assignment));
+    if (!impl_result.ok()) return impl_result.status();
+    LRT_ASSIGN_OR_RETURN(const reliability::ReliabilityReport report,
+                         reliability::analyze(*impl_result));
+    if (!report.reliable) return false;
+    if (options_.require_schedulable) {
+      LRT_ASSIGN_OR_RETURN(const sched::SchedulabilityReport sched_report,
+                           sched::analyze_schedulability(*impl_result));
+      if (!sched_report.schedulable) return false;
+    }
+    return true;
+  }
+
+  /// Reliability report for an assignment (used by the greedy repair loop).
+  [[nodiscard]] Result<reliability::ReliabilityReport> report(
+      const std::vector<std::vector<HostId>>& assignment) {
+    auto impl_result =
+        impl::Implementation::Build(spec_, arch_, to_config(assignment));
+    if (!impl_result.ok()) return impl_result.status();
+    return reliability::analyze(*impl_result);
+  }
+
+  [[nodiscard]] std::int64_t candidates() const { return candidates_; }
+
+  const spec::Specification& spec() const { return spec_; }
+  const arch::Architecture& arch() const { return arch_; }
+
+ private:
+  const spec::Specification& spec_;
+  const arch::Architecture& arch_;
+  std::vector<impl::ImplementationConfig::SensorBinding> bindings_;
+  const SynthesisOptions& options_;
+  std::int64_t candidates_ = 0;
+};
+
+/// All nonempty host subsets, grouped and ordered by cardinality, each
+/// cardinality class ordered by descending combined reliability.
+std::vector<std::vector<HostId>> candidate_subsets(
+    const arch::Architecture& arch, int max_size) {
+  const int hosts = static_cast<int>(arch.hosts().size());
+  std::vector<std::vector<HostId>> subsets;
+  for (unsigned mask = 1; mask < (1u << hosts); ++mask) {
+    std::vector<HostId> subset;
+    for (int h = 0; h < hosts; ++h) {
+      if ((mask >> h) & 1u) subset.push_back(h);
+    }
+    if (static_cast<int>(subset.size()) <= max_size) {
+      subsets.push_back(std::move(subset));
+    }
+  }
+  std::sort(subsets.begin(), subsets.end(),
+            [&arch](const std::vector<HostId>& a,
+                    const std::vector<HostId>& b) {
+              if (a.size() != b.size()) return a.size() < b.size();
+              const auto rel = [&arch](const std::vector<HostId>& s) {
+                double fail = 1.0;
+                for (const HostId h : s) fail *= 1.0 - arch.host(h).reliability;
+                return 1.0 - fail;
+              };
+              return rel(a) > rel(b);
+            });
+  return subsets;
+}
+
+Result<SynthesisResult> exhaustive(Evaluator& evaluator,
+                                   const SynthesisOptions& options) {
+  const auto num_tasks =
+      static_cast<TaskId>(evaluator.spec().tasks().size());
+  const std::vector<std::vector<HostId>> subsets = candidate_subsets(
+      evaluator.arch(), options.max_replication_per_task);
+
+  std::vector<std::vector<HostId>> assignment(
+      static_cast<std::size_t>(num_tasks));
+  std::vector<std::vector<HostId>> best;
+  std::size_t best_cost = SIZE_MAX;
+  Status failure = Status::Ok();
+
+  // Depth-first over tasks; prune when the partial cost plus one replica
+  // per remaining task cannot beat the incumbent.
+  const std::function<Status(TaskId, std::size_t)> descend =
+      [&](TaskId t, std::size_t cost) -> Status {
+    if (cost + static_cast<std::size_t>(num_tasks - t) >= best_cost) {
+      return Status::Ok();  // bound
+    }
+    if (t == num_tasks) {
+      LRT_ASSIGN_OR_RETURN(const bool ok, evaluator.valid(assignment));
+      if (ok) {
+        best = assignment;
+        best_cost = cost;
+      }
+      return Status::Ok();
+    }
+    for (const std::vector<HostId>& subset : subsets) {
+      assignment[static_cast<std::size_t>(t)] = subset;
+      LRT_RETURN_IF_ERROR(descend(t + 1, cost + subset.size()));
+    }
+    return Status::Ok();
+  };
+  LRT_RETURN_IF_ERROR(descend(0, 0));
+
+  if (best_cost == SIZE_MAX) {
+    return UnsatisfiableError(
+        "no replication mapping satisfies every LRC (and schedulability) "
+        "within the configured bounds");
+  }
+  SynthesisResult result;
+  result.config = evaluator.to_config(best);
+  result.replication_count = best_cost;
+  result.candidates_evaluated = evaluator.candidates();
+  return result;
+}
+
+Result<SynthesisResult> greedy(Evaluator& evaluator,
+                               const SynthesisOptions& options) {
+  const spec::Specification& spec = evaluator.spec();
+  const arch::Architecture& arch = evaluator.arch();
+  const auto num_tasks = static_cast<TaskId>(spec.tasks().size());
+  const auto num_hosts = static_cast<HostId>(arch.hosts().size());
+
+  // Start: every task on the single most reliable host.
+  HostId best_host = 0;
+  for (HostId h = 1; h < num_hosts; ++h) {
+    if (arch.host(h).reliability > arch.host(best_host).reliability) {
+      best_host = h;
+    }
+  }
+  std::vector<std::vector<HostId>> assignment(
+      static_cast<std::size_t>(num_tasks), std::vector<HostId>{best_host});
+
+  // Support set of a communicator: the tasks whose reliability its SRG
+  // depends on (writer, then transitively the writers of its inputs,
+  // stopping at independent-model tasks).
+  const auto support = [&spec](CommId comm) {
+    std::vector<TaskId> tasks;
+    std::set<CommId> visited;
+    std::vector<CommId> stack = {comm};
+    while (!stack.empty()) {
+      const CommId c = stack.back();
+      stack.pop_back();
+      if (!visited.insert(c).second) continue;
+      const auto writer = spec.writer_of(c);
+      if (!writer.has_value()) continue;
+      tasks.push_back(*writer);
+      if (spec.task(*writer).model != spec::FailureModel::kIndependent) {
+        for (const CommId in : spec.input_comm_set(*writer)) {
+          stack.push_back(in);
+        }
+      }
+    }
+    return tasks;
+  };
+
+  const std::size_t max_total =
+      static_cast<std::size_t>(num_tasks) *
+      std::min<std::size_t>(static_cast<std::size_t>(num_hosts),
+                            static_cast<std::size_t>(
+                                options.max_replication_per_task));
+  while (true) {
+    LRT_ASSIGN_OR_RETURN(const bool ok, evaluator.valid(assignment));
+    if (ok) break;
+
+    LRT_ASSIGN_OR_RETURN(const reliability::ReliabilityReport report,
+                         evaluator.report(assignment));
+    const auto violations = report.violations();
+    if (violations.empty()) {
+      // Reliable but unschedulable: replication only adds load, so greedy
+      // cannot repair it.
+      return UnsatisfiableError(
+          "greedy synthesis: mapping is reliable but not schedulable; "
+          "no repair move available");
+    }
+    // Most-violated communicator first.
+    const auto worst = std::min_element(
+        violations.begin(), violations.end(),
+        [](const reliability::CommunicatorVerdict& a,
+           const reliability::CommunicatorVerdict& b) {
+          return a.slack < b.slack;
+        });
+
+    // Best move: add the most reliable unused host to the support task
+    // with the lowest current task reliability.
+    TaskId move_task = -1;
+    HostId move_host = -1;
+    double move_score = -1.0;
+    for (const TaskId t : support(worst->comm)) {
+      auto& hosts = assignment[static_cast<std::size_t>(t)];
+      if (static_cast<int>(hosts.size()) >=
+          options.max_replication_per_task) {
+        continue;
+      }
+      for (HostId h = 0; h < num_hosts; ++h) {
+        if (std::find(hosts.begin(), hosts.end(), h) != hosts.end()) continue;
+        // Marginal gain on lambda_t of adding h to t.
+        double fail = 1.0;
+        for (const HostId existing : hosts) {
+          fail *= 1.0 - arch.host(existing).reliability;
+        }
+        const double gain = fail * arch.host(h).reliability;
+        if (gain > move_score) {
+          move_score = gain;
+          move_task = t;
+          move_host = h;
+        }
+      }
+    }
+    if (move_task == -1) {
+      return UnsatisfiableError(
+          "greedy synthesis: LRC of '" + worst->name +
+          "' unmet and every supporting task is fully replicated");
+    }
+    auto& hosts = assignment[static_cast<std::size_t>(move_task)];
+    hosts.push_back(move_host);
+    std::sort(hosts.begin(), hosts.end());
+
+    std::size_t total = 0;
+    for (const auto& set : assignment) total += set.size();
+    if (total > max_total) {
+      return InternalError("greedy synthesis failed to terminate");
+    }
+  }
+
+  SynthesisResult result;
+  result.config = evaluator.to_config(assignment);
+  for (const auto& set : assignment) result.replication_count += set.size();
+  result.candidates_evaluated = evaluator.candidates();
+  return result;
+}
+
+}  // namespace
+
+Result<SynthesisResult> synthesize(
+    const spec::Specification& spec, const arch::Architecture& arch,
+    std::vector<impl::ImplementationConfig::SensorBinding> sensor_bindings,
+    const SynthesisOptions& options) {
+  const spec::SpecificationGraph graph(spec);
+  if (!graph.is_cycle_safe()) {
+    return FailedPreconditionError(
+        "synthesis requires a cycle-safe specification:\n" +
+        graph.describe_cycles());
+  }
+  if (options.max_replication_per_task < 1) {
+    return InvalidArgumentError("max_replication_per_task must be >= 1");
+  }
+  Evaluator evaluator(spec, arch, std::move(sensor_bindings), options);
+  switch (options.strategy) {
+    case SynthesisOptions::Strategy::kExhaustive:
+      return exhaustive(evaluator, options);
+    case SynthesisOptions::Strategy::kGreedy:
+      return greedy(evaluator, options);
+  }
+  return InternalError("unknown synthesis strategy");
+}
+
+}  // namespace lrt::synth

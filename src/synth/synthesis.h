@@ -1,0 +1,60 @@
+// Automatic replication-mapping synthesis.
+//
+// The paper derives its Section-4 mappings by hand ("the tasks t1 and t2
+// are mapped to both hosts h1 and h2"); this module automates the step: it
+// searches for an implementation I : tset -> 2^hset whose SRGs satisfy
+// every LRC (Prop. 1) and which is schedulable, minimizing the total number
+// of task replications (the space-redundancy cost).
+//
+// Two strategies:
+//  * kExhaustive — branch-and-bound over per-task host subsets; returns a
+//    provably minimal-cost valid mapping or kUnsatisfiable. Exponential in
+//    |tset| * 2^|hset|; intended for small systems and as the optimality
+//    oracle for the greedy strategy's benchmark.
+//  * kGreedy — start every task on its most reliable feasible host, then
+//    repeatedly add the best replica to a task supporting the most-violated
+//    communicator until all LRCs hold. Fast and, on series-dominated
+//    dataflows, usually optimal (bench_synthesis quantifies the gap).
+#ifndef LRT_SYNTH_SYNTHESIS_H_
+#define LRT_SYNTH_SYNTHESIS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "impl/implementation.h"
+#include "support/status.h"
+
+namespace lrt::synth {
+
+struct SynthesisOptions {
+  enum class Strategy { kExhaustive, kGreedy };
+  Strategy strategy = Strategy::kGreedy;
+  /// Also require sched::analyze_schedulability to pass.
+  bool require_schedulable = true;
+  /// Upper bound on |I(t)| per task.
+  int max_replication_per_task = 1 << 20;
+};
+
+struct SynthesisResult {
+  /// The synthesized mapping, ready for Implementation::Build.
+  impl::ImplementationConfig config;
+  /// Total replications of the winner.
+  std::size_t replication_count = 0;
+  /// Candidate mappings evaluated (search effort).
+  std::int64_t candidates_evaluated = 0;
+};
+
+/// Synthesizes a valid implementation. `sensor_bindings` fixes the sensor
+/// for each input communicator (sensing hardware is not a degree of
+/// freedom here). Returns kUnsatisfiable when no mapping within the
+/// options' bounds meets all LRCs (e.g. the LRC exceeds what full
+/// replication can deliver), and kFailedPrecondition for specifications
+/// whose SRGs are undefined (unsafe cycles).
+[[nodiscard]] Result<SynthesisResult> synthesize(
+    const spec::Specification& spec, const arch::Architecture& arch,
+    std::vector<impl::ImplementationConfig::SensorBinding> sensor_bindings,
+    const SynthesisOptions& options = {});
+
+}  // namespace lrt::synth
+
+#endif  // LRT_SYNTH_SYNTHESIS_H_

@@ -1,0 +1,113 @@
+// Unit tests for src/arch: architecture validation and WCET/WCTT lookup.
+#include <gtest/gtest.h>
+
+#include "arch/architecture.h"
+
+namespace lrt::arch {
+namespace {
+
+ArchitectureConfig basic_config() {
+  ArchitectureConfig config;
+  config.hosts = {{"h1", 0.99}, {"h2", 0.95}};
+  config.sensors = {{"s1", 0.9}};
+  return config;
+}
+
+TEST(Architecture, BuildsAndLooksUp) {
+  const auto arch = Architecture::Build(basic_config());
+  ASSERT_TRUE(arch.ok());
+  EXPECT_EQ(arch->hosts().size(), 2u);
+  EXPECT_EQ(arch->sensors().size(), 1u);
+  ASSERT_TRUE(arch->find_host("h2").has_value());
+  EXPECT_DOUBLE_EQ(arch->host(*arch->find_host("h2")).reliability, 0.95);
+  ASSERT_TRUE(arch->find_sensor("s1").has_value());
+  EXPECT_FALSE(arch->find_host("nope").has_value());
+  EXPECT_FALSE(arch->find_sensor("nope").has_value());
+}
+
+TEST(Architecture, RejectsNoHosts) {
+  ArchitectureConfig config;
+  EXPECT_EQ(Architecture::Build(std::move(config)).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(Architecture, RejectsBadReliability) {
+  ArchitectureConfig config = basic_config();
+  config.hosts.push_back({"bad", 0.0});
+  EXPECT_FALSE(Architecture::Build(std::move(config)).ok());
+
+  ArchitectureConfig config2 = basic_config();
+  config2.sensors.push_back({"bad", 1.5});
+  EXPECT_FALSE(Architecture::Build(std::move(config2)).ok());
+}
+
+TEST(Architecture, RejectsDuplicates) {
+  ArchitectureConfig config = basic_config();
+  config.hosts.push_back({"h1", 0.5});
+  EXPECT_EQ(Architecture::Build(std::move(config)).status().code(),
+            StatusCode::kAlreadyExists);
+
+  ArchitectureConfig config2 = basic_config();
+  config2.sensors.push_back({"s1", 0.5});
+  EXPECT_EQ(Architecture::Build(std::move(config2)).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(Architecture, RejectsInvalidNames) {
+  ArchitectureConfig config;
+  config.hosts = {{"bad name", 0.9}};
+  EXPECT_FALSE(Architecture::Build(std::move(config)).ok());
+}
+
+TEST(Architecture, ExplicitMetricsOverrideDefaults) {
+  ArchitectureConfig config = basic_config();
+  config.default_wcet = 7;
+  config.default_wctt = 3;
+  config.metrics = {{"t", "h1", 20, 4}};
+  const auto arch = Architecture::Build(std::move(config));
+  ASSERT_TRUE(arch.ok());
+  const HostId h1 = *arch->find_host("h1");
+  const HostId h2 = *arch->find_host("h2");
+  EXPECT_EQ(*arch->wcet("t", h1), 20);
+  EXPECT_EQ(*arch->wctt("t", h1), 4);
+  EXPECT_EQ(*arch->wcet("t", h2), 7);   // falls back to default
+  EXPECT_EQ(*arch->wcet("other", h1), 7);
+  EXPECT_EQ(*arch->wctt("other", h2), 3);
+}
+
+TEST(Architecture, MissingMetricWithoutDefaultIsError) {
+  ArchitectureConfig config = basic_config();
+  config.default_wcet = std::nullopt;
+  config.default_wctt = std::nullopt;
+  config.metrics = {{"t", "h1", 20, 4}};
+  const auto arch = Architecture::Build(std::move(config));
+  ASSERT_TRUE(arch.ok());
+  EXPECT_TRUE(arch->wcet("t", *arch->find_host("h1")).ok());
+  EXPECT_EQ(arch->wcet("t", *arch->find_host("h2")).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(arch->wcet("unknown", *arch->find_host("h1")).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(Architecture, RejectsMetricForUnknownHost) {
+  ArchitectureConfig config = basic_config();
+  config.metrics = {{"t", "ghost", 10, 1}};
+  EXPECT_EQ(Architecture::Build(std::move(config)).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(Architecture, RejectsNonPositiveMetric) {
+  ArchitectureConfig config = basic_config();
+  config.metrics = {{"t", "h1", 0, 1}};
+  EXPECT_FALSE(Architecture::Build(std::move(config)).ok());
+}
+
+TEST(Architecture, RejectsDuplicateMetricEntry) {
+  ArchitectureConfig config = basic_config();
+  config.metrics = {{"t", "h1", 10, 1}, {"t", "h1", 12, 2}};
+  EXPECT_EQ(Architecture::Build(std::move(config)).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+}  // namespace
+}  // namespace lrt::arch

@@ -1,0 +1,113 @@
+// Tests for the broadcast-bus schedule synthesis.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "plant/three_tank_system.h"
+#include "sched/schedulability.h"
+#include "tests/test_util.h"
+
+namespace lrt::sched {
+namespace {
+
+TEST(BusSchedule, ThreeTankBusFits) {
+  auto system = plant::make_three_tank_system({});
+  const auto report = analyze_schedulability(*system->implementation);
+  ASSERT_TRUE(report.ok());
+  ASSERT_TRUE(report->schedulable);
+  const auto bus = analyze_bus_schedule(*system->implementation, *report);
+  ASSERT_TRUE(bus.ok()) << bus.status();
+  EXPECT_TRUE(bus->feasible) << bus->diagnostic;
+  // One broadcast per replication.
+  EXPECT_EQ(bus->slices.size(), system->implementation->replication_count());
+  // Slices are chronological and non-overlapping.
+  for (std::size_t i = 1; i < bus->slices.size(); ++i) {
+    EXPECT_GE(bus->slices[i].start, bus->slices[i - 1].end);
+  }
+  // Every broadcast starts after its task's completion and ends by the
+  // write time.
+  std::vector<spec::Time> completion(
+      system->specification->tasks().size() *
+          system->architecture->hosts().size(),
+      0);
+  for (const HostSchedule& host : report->host_schedules) {
+    for (const ScheduleSlice& slice : host.slices) {
+      auto& cell = completion[static_cast<std::size_t>(slice.task) *
+                                  system->architecture->hosts().size() +
+                              static_cast<std::size_t>(host.host)];
+      cell = std::max(cell, slice.end);
+    }
+  }
+  for (const BusSlice& slice : bus->slices) {
+    EXPECT_GE(slice.start,
+              completion[static_cast<std::size_t>(slice.task) *
+                             system->architecture->hosts().size() +
+                         static_cast<std::size_t>(slice.host)]);
+    EXPECT_LE(slice.end,
+              system->specification->write_time(slice.task));
+  }
+}
+
+/// Many replications with long WCTTs on a narrow window saturate the bus.
+TEST(BusSchedule, SaturatedBusReportsInfeasible) {
+  test::System system;
+  spec::SpecificationConfig config;
+  config.communicators = {test::comm("in", 10)};
+  for (int i = 0; i < 3; ++i) {
+    config.communicators.push_back(test::comm("o" + std::to_string(i), 10));
+    config.tasks.push_back(test::task("t" + std::to_string(i), {{"in", 0}},
+                                      {{"o" + std::to_string(i), 1}}));
+  }
+  system.spec = std::make_unique<spec::Specification>(
+      test::build_spec(std::move(config)));
+  arch::ArchitectureConfig arch_config;
+  arch_config.hosts = {{"h1", 0.9}, {"h2", 0.9}, {"h3", 0.9}};
+  arch_config.sensors = {{"s", 0.9}};
+  arch_config.default_wcet = 1;
+  arch_config.default_wctt = 4;  // 3 broadcasts x 4 > 10 - 1
+  system.arch = std::make_unique<arch::Architecture>(
+      std::move(arch::Architecture::Build(std::move(arch_config))).value());
+  impl::ImplementationConfig impl_config;
+  impl_config.task_mappings = {
+      {"t0", {"h1"}}, {"t1", {"h2"}}, {"t2", {"h3"}}};
+  impl_config.sensor_bindings = {{"in", "s"}};
+  system.impl = std::make_unique<impl::Implementation>(
+      std::move(impl::Implementation::Build(*system.spec, *system.arch,
+                                            std::move(impl_config)))
+          .value());
+
+  const auto report = analyze_schedulability(*system.impl);
+  ASSERT_TRUE(report.ok());
+  // Hosts are fine (wcet 1), the bus is not: deadline shrink makes the
+  // per-host check optimistic about shared bus contention...
+  const auto bus = analyze_bus_schedule(*system.impl, *report);
+  ASSERT_TRUE(bus.ok());
+  EXPECT_FALSE(bus->feasible);
+  EXPECT_NE(bus->diagnostic.find("misses write time"), std::string::npos);
+}
+
+TEST(BusSchedule, RequiresFeasibleHostSchedules) {
+  test::System system = test::single_host_system(test::chain_spec_config(1));
+  arch::ArchitectureConfig arch_config;
+  arch_config.hosts = {{"h0", 0.9}};
+  arch_config.sensors = {{"sens_c0", 0.9}};
+  arch_config.default_wcet = 100;  // infeasible
+  arch_config.default_wctt = 1;
+  system.arch = std::make_unique<arch::Architecture>(
+      std::move(arch::Architecture::Build(std::move(arch_config))).value());
+  impl::ImplementationConfig impl_config;
+  impl_config.task_mappings = {{"task1", {"h0"}}};
+  impl_config.sensor_bindings = {{"c0", "sens_c0"}};
+  system.impl = std::make_unique<impl::Implementation>(
+      std::move(impl::Implementation::Build(*system.spec, *system.arch,
+                                            std::move(impl_config)))
+          .value());
+  const auto report = analyze_schedulability(*system.impl);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->schedulable);
+  EXPECT_EQ(analyze_bus_schedule(*system.impl, *report).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace lrt::sched

@@ -1,0 +1,104 @@
+// Tests for the workload generator: structural guarantees (acyclic,
+// race-free, fully mapped), option handling, determinism, and tree mode.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gen/workload.h"
+#include "reliability/analysis.h"
+#include "sched/schedulability.h"
+#include "spec/spec_graph.h"
+
+namespace lrt::gen {
+namespace {
+
+TEST(Workload, GeneratedSystemsAreWellFormed) {
+  Xoshiro256 rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto workload = random_workload(rng);
+    ASSERT_TRUE(workload.ok()) << workload.status();
+    const spec::SpecificationGraph graph(*workload->specification);
+    EXPECT_TRUE(graph.is_memory_free());
+    // Analyzable out of the box.
+    EXPECT_TRUE(reliability::analyze(*workload->implementation).ok());
+    EXPECT_TRUE(
+        sched::analyze_schedulability(*workload->implementation).ok());
+  }
+}
+
+TEST(Workload, DeterministicForSeed) {
+  Xoshiro256 rng_a(77);
+  Xoshiro256 rng_b(77);
+  const auto a = random_workload(rng_a);
+  const auto b = random_workload(rng_b);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->specification->tasks().size(),
+            b->specification->tasks().size());
+  ASSERT_EQ(a->specification->communicators().size(),
+            b->specification->communicators().size());
+  const auto srg_a = reliability::compute_srgs(*a->implementation);
+  const auto srg_b = reliability::compute_srgs(*b->implementation);
+  for (std::size_t c = 0; c < srg_a->size(); ++c) {
+    EXPECT_DOUBLE_EQ((*srg_a)[c], (*srg_b)[c]);
+  }
+}
+
+TEST(Workload, RespectsSizeBounds) {
+  WorkloadOptions options;
+  options.min_layers = options.max_layers = 3;
+  options.min_tasks_per_layer = options.max_tasks_per_layer = 2;
+  options.min_hosts = options.max_hosts = 4;
+  Xoshiro256 rng(5);
+  const auto workload = random_workload(rng, options);
+  ASSERT_TRUE(workload.ok());
+  EXPECT_EQ(workload->specification->tasks().size(), 6u);
+  EXPECT_EQ(workload->architecture->hosts().size(), 4u);
+}
+
+TEST(Workload, TreeModeConsumesEachCommunicatorOnce) {
+  WorkloadOptions options;
+  options.tree_structured = true;
+  options.max_layers = 4;
+  options.max_fan_in = 3;
+  Xoshiro256 rng(9);
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto workload = random_workload(rng, options);
+    ASSERT_TRUE(workload.ok());
+    std::set<spec::CommId> consumed;
+    for (const auto& task : workload->specification->tasks()) {
+      for (const auto& port : task.inputs) {
+        EXPECT_TRUE(consumed.insert(port.comm).second)
+            << "communicator consumed twice in tree mode (trial " << trial
+            << ")";
+      }
+    }
+  }
+}
+
+TEST(Workload, FunctionsAttachWhenRequested) {
+  WorkloadOptions options;
+  options.with_functions = true;
+  Xoshiro256 rng(3);
+  const auto workload = random_workload(rng, options);
+  ASSERT_TRUE(workload.ok());
+  for (const auto& task : workload->specification->tasks()) {
+    EXPECT_TRUE(static_cast<bool>(task.function)) << task.name;
+  }
+  Xoshiro256 rng2(3);
+  const auto plain = random_workload(rng2);
+  for (const auto& task : plain.value().specification->tasks()) {
+    EXPECT_FALSE(static_cast<bool>(task.function)) << task.name;
+  }
+}
+
+TEST(Workload, RejectsDegenerateOptions) {
+  WorkloadOptions options;
+  options.min_hosts = 0;
+  Xoshiro256 rng(1);
+  EXPECT_EQ(random_workload(rng, options).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace lrt::gen

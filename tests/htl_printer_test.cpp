@@ -1,0 +1,194 @@
+// Tests for the HTL pretty-printer (round-trip property) and mode
+// enumeration.
+#include <gtest/gtest.h>
+
+#include "htl/compiler.h"
+#include "htl/parser.h"
+#include "htl/printer.h"
+
+namespace lrt::htl {
+namespace {
+
+constexpr std::string_view kRich = R"(
+program rich refines parent {
+  communicator a : real period 10 init 1.5 lrc 0.9;
+  communicator b : int period 20 init -3 lrc 0.5;
+  communicator go : bool period 20 init true lrc 1.0;
+  communicator out : real period 20 init 0.0 lrc 0.8;
+  module m1 {
+    task t1 input (a[0], b[0]) output (out[1])
+      model parallel defaults (2.5, 7);
+    mode fast period 20 { invoke t1; switch (go) to slow; }
+    mode slow period 20 { switch (go) to fast; }
+    start fast;
+  }
+  architecture {
+    host h1 reliability 0.99;
+    sensor s1 reliability 0.95;
+    metrics default wcet 3 wctt 1;
+    metrics task t1 on h1 wcet 5 wctt 2;
+  }
+  mapping {
+    map t1 to h1 retries 2;
+    bind a to s1;
+    bind b to s1;
+  }
+  refine task t1 to t_abs;
+}
+)";
+
+/// Structural equality of the pieces the printer must preserve.
+void expect_equivalent(const ProgramAst& x, const ProgramAst& y) {
+  EXPECT_EQ(x.name, y.name);
+  EXPECT_EQ(x.refines, y.refines);
+  ASSERT_EQ(x.communicators.size(), y.communicators.size());
+  for (std::size_t i = 0; i < x.communicators.size(); ++i) {
+    EXPECT_EQ(x.communicators[i].name, y.communicators[i].name);
+    EXPECT_EQ(x.communicators[i].type, y.communicators[i].type);
+    EXPECT_EQ(x.communicators[i].init, y.communicators[i].init);
+    EXPECT_EQ(x.communicators[i].period, y.communicators[i].period);
+    EXPECT_DOUBLE_EQ(x.communicators[i].lrc, y.communicators[i].lrc);
+  }
+  ASSERT_EQ(x.modules.size(), y.modules.size());
+  for (std::size_t m = 0; m < x.modules.size(); ++m) {
+    const ModuleAst& mx = x.modules[m];
+    const ModuleAst& my = y.modules[m];
+    EXPECT_EQ(mx.name, my.name);
+    EXPECT_EQ(mx.start_mode, my.start_mode);
+    ASSERT_EQ(mx.tasks.size(), my.tasks.size());
+    for (std::size_t t = 0; t < mx.tasks.size(); ++t) {
+      EXPECT_EQ(mx.tasks[t].name, my.tasks[t].name);
+      EXPECT_EQ(mx.tasks[t].model, my.tasks[t].model);
+      EXPECT_EQ(mx.tasks[t].defaults, my.tasks[t].defaults);
+      ASSERT_EQ(mx.tasks[t].inputs.size(), my.tasks[t].inputs.size());
+      for (std::size_t j = 0; j < mx.tasks[t].inputs.size(); ++j) {
+        EXPECT_EQ(mx.tasks[t].inputs[j].communicator,
+                  my.tasks[t].inputs[j].communicator);
+        EXPECT_EQ(mx.tasks[t].inputs[j].instance,
+                  my.tasks[t].inputs[j].instance);
+      }
+    }
+    ASSERT_EQ(mx.modes.size(), my.modes.size());
+    for (std::size_t k = 0; k < mx.modes.size(); ++k) {
+      EXPECT_EQ(mx.modes[k].name, my.modes[k].name);
+      EXPECT_EQ(mx.modes[k].period, my.modes[k].period);
+      EXPECT_EQ(mx.modes[k].invokes, my.modes[k].invokes);
+      ASSERT_EQ(mx.modes[k].switches.size(), my.modes[k].switches.size());
+      for (std::size_t s = 0; s < mx.modes[k].switches.size(); ++s) {
+        EXPECT_EQ(mx.modes[k].switches[s].condition,
+                  my.modes[k].switches[s].condition);
+        EXPECT_EQ(mx.modes[k].switches[s].target,
+                  my.modes[k].switches[s].target);
+      }
+    }
+  }
+  EXPECT_EQ(x.architecture.has_value(), y.architecture.has_value());
+  if (x.architecture && y.architecture) {
+    EXPECT_EQ(x.architecture->hosts.size(), y.architecture->hosts.size());
+    EXPECT_EQ(x.architecture->sensors.size(),
+              y.architecture->sensors.size());
+    EXPECT_EQ(x.architecture->metrics.size(),
+              y.architecture->metrics.size());
+  }
+  EXPECT_EQ(x.mapping.has_value(), y.mapping.has_value());
+  if (x.mapping && y.mapping) {
+    ASSERT_EQ(x.mapping->maps.size(), y.mapping->maps.size());
+    for (std::size_t i = 0; i < x.mapping->maps.size(); ++i) {
+      EXPECT_EQ(x.mapping->maps[i].hosts, y.mapping->maps[i].hosts);
+      EXPECT_EQ(x.mapping->maps[i].retries, y.mapping->maps[i].retries);
+    }
+  }
+  ASSERT_EQ(x.refinements.size(), y.refinements.size());
+  for (std::size_t i = 0; i < x.refinements.size(); ++i) {
+    EXPECT_EQ(x.refinements[i].local_task, y.refinements[i].local_task);
+    EXPECT_EQ(x.refinements[i].parent_task, y.refinements[i].parent_task);
+  }
+}
+
+TEST(Printer, RoundTripPreservesAst) {
+  const auto original = parse(kRich);
+  ASSERT_TRUE(original.ok()) << original.status();
+  const std::string printed = to_source(*original);
+  const auto reparsed = parse(printed);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status() << "\n" << printed;
+  expect_equivalent(*original, *reparsed);
+}
+
+TEST(Printer, PrintedSourceIsIdempotent) {
+  const auto original = parse(kRich);
+  ASSERT_TRUE(original.ok());
+  const std::string once = to_source(*original);
+  const auto reparsed = parse(once);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(once, to_source(*reparsed));
+}
+
+TEST(Printer, RealInitAlwaysRelexesAsFloat) {
+  // init 2.0 prints as "2.0", not "2" (which would lex as an int literal
+  // and fail the real-typed literal check).
+  const auto program = parse(R"(
+    program p { communicator c : real period 5 init 2.0 lrc 1.0; }
+  )");
+  ASSERT_TRUE(program.ok());
+  const std::string printed = to_source(*program);
+  EXPECT_NE(printed.find("init 2.0"), std::string::npos) << printed;
+  EXPECT_TRUE(parse(printed).ok());
+}
+
+// --- mode enumeration ---
+
+TEST(ModeEnumeration, ProductOfModuleModes) {
+  const auto program = parse(R"(
+    program p {
+      communicator x : real period 10 init 0.0 lrc 0.5;
+      communicator y : real period 10 init 0.0 lrc 0.5;
+      communicator z : real period 10 init 0.0 lrc 0.5;
+      module m1 {
+        task t1 input (x[0]) output (y[1]);
+        mode a period 10 { invoke t1; }
+        mode b period 10 { }
+        start a;
+      }
+      module m2 {
+        task t2 input (x[0]) output (z[1]);
+        mode c period 10 { invoke t2; }
+        mode d period 10 { }
+        mode e period 10 { }
+        start c;
+      }
+    }
+  )");
+  ASSERT_TRUE(program.ok());
+  const auto selections = enumerate_mode_selections(*program);
+  ASSERT_TRUE(selections.ok());
+  EXPECT_EQ(selections->size(), 2u * 3u);
+  // Every selection names both modules.
+  for (const ModeSelection& selection : *selections) {
+    EXPECT_EQ(selection.mode_by_module.size(), 2u);
+    EXPECT_TRUE(selection.mode_by_module.count("m1"));
+    EXPECT_TRUE(selection.mode_by_module.count("m2"));
+  }
+  // All selections compile (empty modes are fine: no tasks invoked).
+  for (const ModeSelection& selection : *selections) {
+    EXPECT_TRUE(compile(to_source(*program), {}, selection).ok());
+  }
+}
+
+TEST(ModeEnumeration, RespectsLimit) {
+  const auto program = parse(R"(
+    program p {
+      communicator x : real period 10 init 0.0 lrc 0.5;
+      module m1 {
+        mode a period 10 { } mode b period 10 { } mode c period 10 { }
+        start a;
+      }
+    }
+  )");
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(enumerate_mode_selections(*program, 2).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(enumerate_mode_selections(*program, 3).ok());
+}
+
+}  // namespace
+}  // namespace lrt::htl

@@ -1,0 +1,449 @@
+// Unit tests for src/htl: lexer, parser, semantic checks, flattening, the
+// architecture/mapping blocks, mode selection, and refinement declarations.
+#include <gtest/gtest.h>
+
+#include "htl/compiler.h"
+#include "htl/lexer.h"
+#include "htl/parser.h"
+#include "reliability/analysis.h"
+
+namespace lrt::htl {
+namespace {
+
+// --- lexer ---
+
+TEST(Lexer, TokenizesAllKinds) {
+  const auto tokens = lex("prog { c1[2] : 3.5 , ; ( ) -7 1e3 }");
+  ASSERT_TRUE(tokens.ok());
+  std::vector<TokenKind> kinds;
+  for (const Token& token : *tokens) kinds.push_back(token.kind);
+  EXPECT_EQ(kinds,
+            (std::vector<TokenKind>{
+                TokenKind::kIdentifier, TokenKind::kLBrace,
+                TokenKind::kIdentifier, TokenKind::kLBracket,
+                TokenKind::kInteger, TokenKind::kRBracket, TokenKind::kColon,
+                TokenKind::kFloat, TokenKind::kComma, TokenKind::kSemicolon,
+                TokenKind::kLParen, TokenKind::kRParen, TokenKind::kInteger,
+                TokenKind::kFloat, TokenKind::kRBrace,
+                TokenKind::kEndOfFile}));
+  EXPECT_EQ((*tokens)[12].text, "-7");
+}
+
+TEST(Lexer, SkipsComments) {
+  const auto tokens = lex("a // line comment\n/* block\ncomment */ b");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 3u);
+  EXPECT_EQ((*tokens)[0].text, "a");
+  EXPECT_EQ((*tokens)[1].text, "b");
+  EXPECT_EQ((*tokens)[1].line, 3);
+}
+
+TEST(Lexer, ReportsPosition) {
+  const auto tokens = lex("ab\n  cd");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[1].line, 2);
+  EXPECT_EQ((*tokens)[1].column, 3);
+}
+
+TEST(Lexer, RejectsStrayCharacters) {
+  EXPECT_EQ(lex("a $ b").status().code(), StatusCode::kParseError);
+  EXPECT_EQ(lex("/* unterminated").status().code(), StatusCode::kParseError);
+  EXPECT_EQ(lex("1.").status().code(), StatusCode::kParseError);
+  EXPECT_EQ(lex("1e").status().code(), StatusCode::kParseError);
+}
+
+// --- parser ---
+
+constexpr std::string_view kMinimalProgram = R"(
+program mini {
+  communicator in : real period 10 init 0.0 lrc 0.5;
+  communicator out : real period 10 init 0.0 lrc 0.5;
+  module m {
+    task t input (in[0]) output (out[1]) model series;
+    mode main period 10 { invoke t; }
+    start main;
+  }
+}
+)";
+
+TEST(Parser, ParsesMinimalProgram) {
+  const auto program = parse(kMinimalProgram);
+  ASSERT_TRUE(program.ok()) << program.status();
+  EXPECT_EQ(program->name, "mini");
+  ASSERT_EQ(program->communicators.size(), 2u);
+  EXPECT_EQ(program->communicators[0].name, "in");
+  EXPECT_EQ(program->communicators[0].period, 10);
+  ASSERT_EQ(program->modules.size(), 1u);
+  const ModuleAst& module = program->modules[0];
+  ASSERT_EQ(module.tasks.size(), 1u);
+  EXPECT_EQ(module.tasks[0].inputs[0].communicator, "in");
+  EXPECT_EQ(module.tasks[0].outputs[0].instance, 1);
+  EXPECT_EQ(module.start_mode, "main");
+  EXPECT_FALSE(program->refines.has_value());
+}
+
+TEST(Parser, ParsesTypesAndLiterals) {
+  const auto program = parse(R"(
+    program p {
+      communicator a : int period 5 init -3 lrc 0.9;
+      communicator b : bool period 5 init true lrc 1.0;
+      communicator c : real period 5 init 2.5 lrc 0.25;
+    }
+  )");
+  ASSERT_TRUE(program.ok()) << program.status();
+  EXPECT_EQ(program->communicators[0].init, spec::Value::integer(-3));
+  EXPECT_EQ(program->communicators[1].init, spec::Value::boolean(true));
+  EXPECT_EQ(program->communicators[2].init, spec::Value::real(2.5));
+}
+
+TEST(Parser, ParsesModelsDefaultsAndSwitches) {
+  const auto program = parse(R"(
+    program p {
+      communicator go : bool period 10 init false lrc 1.0;
+      communicator x : real period 10 init 0.0 lrc 0.5;
+      communicator y : real period 10 init 0.0 lrc 0.5;
+      module m {
+        task t input (x[0], go[0]) output (y[1])
+          model parallel defaults (1.5, false);
+        mode a period 10 { invoke t; switch (go) to b; }
+        mode b period 10 { switch (go) to a; }
+        start a;
+      }
+    }
+  )");
+  ASSERT_TRUE(program.ok()) << program.status();
+  const TaskAst& t = program->modules[0].tasks[0];
+  EXPECT_EQ(t.model, spec::FailureModel::kParallel);
+  ASSERT_EQ(t.defaults.size(), 2u);
+  EXPECT_EQ(t.defaults[0], spec::Value::real(1.5));
+  EXPECT_EQ(t.defaults[1], spec::Value::boolean(false));
+  ASSERT_EQ(program->modules[0].modes.size(), 2u);
+  EXPECT_EQ(program->modules[0].modes[0].switches[0].target, "b");
+}
+
+TEST(Parser, ParsesArchitectureAndMapping) {
+  const auto program = parse(R"(
+    program p {
+      communicator in : real period 10 init 0.0 lrc 0.5;
+      communicator out : real period 10 init 0.0 lrc 0.5;
+      module m {
+        task t input (in[0]) output (out[1]);
+        mode main period 10 { invoke t; }
+        start main;
+      }
+      architecture {
+        host h1 reliability 0.99;
+        host h2 reliability 0.95;
+        sensor s reliability 0.9;
+        metrics default wcet 3 wctt 1;
+        metrics task t on h1 wcet 5 wctt 2;
+      }
+      mapping {
+        map t to h1, h2;
+        bind in to s;
+      }
+    }
+  )");
+  ASSERT_TRUE(program.ok()) << program.status();
+  ASSERT_TRUE(program->architecture.has_value());
+  EXPECT_EQ(program->architecture->hosts.size(), 2u);
+  EXPECT_EQ(program->architecture->metrics.size(), 2u);
+  EXPECT_TRUE(program->architecture->metrics[0].task.empty());
+  ASSERT_TRUE(program->mapping.has_value());
+  EXPECT_EQ(program->mapping->maps[0].hosts.size(), 2u);
+  EXPECT_EQ(program->mapping->binds[0].sensor, "s");
+}
+
+TEST(Parser, ParsesRetriesInMapping) {
+  const auto program = parse(R"(
+    program p {
+      communicator in : real period 10 init 0.0 lrc 0.5;
+      communicator out : real period 10 init 0.0 lrc 0.5;
+      module m {
+        task t input (in[0]) output (out[1]);
+        mode main period 10 { invoke t; }
+        start main;
+      }
+      architecture {
+        host h1 reliability 0.9;
+        sensor s reliability 0.9;
+        metrics default wcet 1 wctt 1;
+      }
+      mapping { map t to h1 retries 2; bind in to s; }
+    }
+  )");
+  ASSERT_TRUE(program.ok()) << program.status();
+  EXPECT_EQ(program->mapping->maps[0].retries, 2);
+
+  // The compiled implementation carries the retry count, so the analytic
+  // task reliability is 1 - 0.1^3.
+  const auto system = compile(R"(
+    program p {
+      communicator in : real period 10 init 0.0 lrc 0.5;
+      communicator out : real period 10 init 0.0 lrc 0.5;
+      module m {
+        task t input (in[0]) output (out[1]);
+        mode main period 10 { invoke t; }
+        start main;
+      }
+      architecture {
+        host h1 reliability 0.9;
+        sensor s reliability 0.9;
+        metrics default wcet 1 wctt 1;
+      }
+      mapping { map t to h1 retries 2; bind in to s; }
+    }
+  )");
+  ASSERT_TRUE(system.ok());
+  EXPECT_EQ(system->implementation->reexecutions(0), 2);
+  EXPECT_NEAR(reliability::task_reliability(*system->implementation, 0),
+              1.0 - 0.001, 1e-12);
+}
+
+TEST(Parser, ParsesCheckpointsInMapping) {
+  const auto system = compile(R"(
+    program p {
+      communicator in : real period 100 init 0.0 lrc 0.5;
+      communicator out : real period 100 init 0.0 lrc 0.5;
+      module m {
+        task t input (in[0]) output (out[1]);
+        mode main period 100 { invoke t; }
+        start main;
+      }
+      architecture {
+        host h1 reliability 0.9;
+        sensor s reliability 0.9;
+        metrics default wcet 12 wctt 1;
+      }
+      mapping { map t to h1 retries 2 checkpoints 2 overhead 1; bind in to s; }
+    }
+  )");
+  ASSERT_TRUE(system.ok()) << system.status();
+  EXPECT_EQ(system->implementation->checkpoints(0), 2);
+  EXPECT_EQ(system->implementation->checkpoint_overhead(0), 1);
+  // 12 + 2*1 + 2*(4 + 1) = 24.
+  EXPECT_EQ(system->implementation->reserved_demand(0, 12), 24);
+}
+
+TEST(Parser, DiagnosticsCarryLocation) {
+  const auto result = parse("program p {\n  bogus\n}");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(Parser, RejectsMalformedConstructs) {
+  EXPECT_FALSE(parse("module m {}").ok());                 // no 'program'
+  EXPECT_FALSE(parse("program p { communicator c; }").ok());
+  EXPECT_FALSE(parse("program p { } trailing").ok());
+  EXPECT_FALSE(
+      parse("program p { mapping {} mapping {} }").ok());  // duplicate
+}
+
+// --- compiler / flattening ---
+
+TEST(Compiler, FlattensMinimalProgram) {
+  const auto system = compile(kMinimalProgram);
+  ASSERT_TRUE(system.ok()) << system.status();
+  const spec::Specification& spec = *system->specification;
+  EXPECT_EQ(spec.name(), "mini");
+  EXPECT_EQ(spec.tasks().size(), 1u);
+  EXPECT_EQ(spec.hyperperiod(), 10);
+  EXPECT_EQ(system->architecture, nullptr);
+  EXPECT_EQ(system->implementation, nullptr);
+}
+
+TEST(Compiler, BindsFunctionsFromRegistry) {
+  FunctionRegistry registry;
+  registry["t"] = [](std::span<const spec::Value>) {
+    return std::vector<spec::Value>{spec::Value::real(7.0)};
+  };
+  const auto system = compile(kMinimalProgram, registry);
+  ASSERT_TRUE(system.ok());
+  const spec::Task& t = system->specification->task(0);
+  ASSERT_TRUE(static_cast<bool>(t.function));
+  EXPECT_EQ(t.function({})[0], spec::Value::real(7.0));
+}
+
+TEST(Compiler, FullPipelineYieldsAnalyzableImplementation) {
+  const auto system = compile(R"(
+    program full {
+      communicator in : real period 10 init 0.0 lrc 0.9;
+      communicator out : real period 10 init 0.0 lrc 0.9;
+      module m {
+        task t input (in[0]) output (out[1]);
+        mode main period 10 { invoke t; }
+        start main;
+      }
+      architecture {
+        host h1 reliability 0.99;
+        sensor s reliability 0.95;
+        metrics default wcet 3 wctt 1;
+      }
+      mapping { map t to h1; bind in to s; }
+    }
+  )");
+  ASSERT_TRUE(system.ok()) << system.status();
+  ASSERT_NE(system->implementation, nullptr);
+  const auto report = reliability::analyze(*system->implementation);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->reliable);  // 0.99 * 0.95 = 0.9405 >= 0.9
+}
+
+TEST(Compiler, ModeSelectionPicksAlternateMode) {
+  constexpr std::string_view source = R"(
+    program modes {
+      communicator go : bool period 20 init false lrc 1.0;
+      communicator x : real period 20 init 0.0 lrc 0.5;
+      communicator slow : real period 20 init 0.0 lrc 0.5;
+      communicator fast : real period 20 init 0.0 lrc 0.5;
+      module m {
+        task t_slow input (x[0]) output (slow[1]);
+        task t_fast input (x[0]) output (fast[1]);
+        mode normal period 20 { invoke t_slow; switch (go) to boost; }
+        mode boost period 20 { invoke t_fast; switch (go) to normal; }
+        start normal;
+      }
+    }
+  )";
+  const auto normal = compile(source);
+  ASSERT_TRUE(normal.ok()) << normal.status();
+  EXPECT_TRUE(normal->specification->find_task("t_slow").has_value());
+  EXPECT_FALSE(normal->specification->find_task("t_fast").has_value());
+
+  ModeSelection selection;
+  selection.mode_by_module["m"] = "boost";
+  const auto boost = compile(source, {}, selection);
+  ASSERT_TRUE(boost.ok()) << boost.status();
+  EXPECT_TRUE(boost->specification->find_task("t_fast").has_value());
+  EXPECT_FALSE(boost->specification->find_task("t_slow").has_value());
+}
+
+TEST(Compiler, SemanticChecks) {
+  // Switch on a non-bool communicator.
+  EXPECT_EQ(compile(R"(
+    program p {
+      communicator x : real period 10 init 0.0 lrc 0.5;
+      communicator y : real period 10 init 0.0 lrc 0.5;
+      module m {
+        task t input (x[0]) output (y[1]);
+        mode a period 10 { invoke t; switch (x) to a; }
+        start a;
+      }
+    }
+  )").status().code(), StatusCode::kParseError);
+
+  // Invoking an unknown task.
+  EXPECT_EQ(compile(R"(
+    program p {
+      communicator x : real period 10 init 0.0 lrc 0.5;
+      module m { mode a period 10 { invoke ghost; } start a; }
+    }
+  )").status().code(), StatusCode::kParseError);
+
+  // Switch to an unknown mode.
+  EXPECT_EQ(compile(R"(
+    program p {
+      communicator go : bool period 10 init false lrc 1.0;
+      communicator y : real period 10 init 0.0 lrc 0.5;
+      module m {
+        task t input (go[0]) output (y[1]);
+        mode a period 10 { invoke t; switch (go) to ghost; }
+        start a;
+      }
+    }
+  )").status().code(), StatusCode::kParseError);
+
+  // Mode period mismatch with derived specification period.
+  EXPECT_EQ(compile(R"(
+    program p {
+      communicator x : real period 10 init 0.0 lrc 0.5;
+      communicator y : real period 10 init 0.0 lrc 0.5;
+      module m {
+        task t input (x[0]) output (y[1]);
+        mode a period 30 { invoke t; }
+        start a;
+      }
+    }
+  )").status().code(), StatusCode::kParseError);
+
+  // Two modules with different selected mode periods.
+  EXPECT_EQ(compile(R"(
+    program p {
+      communicator x : real period 10 init 0.0 lrc 0.5;
+      communicator y : real period 10 init 0.0 lrc 0.5;
+      communicator z : real period 20 init 0.0 lrc 0.5;
+      module m1 {
+        task t1 input (x[0]) output (y[1]);
+        mode a period 10 { invoke t1; } start a;
+      }
+      module m2 {
+        task t2 input (x[0]) output (z[1]);
+        mode b period 20 { invoke t2; } start b;
+      }
+    }
+  )").status().code(), StatusCode::kParseError);
+
+  // Mapping without an architecture block.
+  EXPECT_EQ(compile(R"(
+    program p {
+      communicator x : real period 10 init 0.0 lrc 0.5;
+      communicator y : real period 10 init 0.0 lrc 0.5;
+      module m {
+        task t input (x[0]) output (y[1]);
+        mode a period 10 { invoke t; } start a;
+      }
+      mapping { map t to h1; }
+    }
+  )").status().code(), StatusCode::kParseError);
+}
+
+// --- refinement declarations ---
+
+TEST(Compiler, RefinementMapExtraction) {
+  const auto program = parse(R"(
+    program child refines parent {
+      communicator x : real period 10 init 0.0 lrc 0.5;
+      communicator y : real period 10 init 0.0 lrc 0.5;
+      module m {
+        task t_impl input (x[0]) output (y[1]);
+        mode a period 10 { invoke t_impl; } start a;
+      }
+      refine task t_impl to t_abstract;
+    }
+  )");
+  ASSERT_TRUE(program.ok()) << program.status();
+  EXPECT_EQ(program->refines, "parent");
+  const auto map = refinement_map(*program);
+  ASSERT_TRUE(map.ok());
+  ASSERT_EQ(map->task_map.size(), 1u);
+  EXPECT_EQ(map->task_map[0].first, "t_impl");
+  EXPECT_EQ(map->task_map[0].second, "t_abstract");
+}
+
+TEST(Compiler, RefinementMapRequiresParent) {
+  const auto program = parse(kMinimalProgram);
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(refinement_map(*program).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(Compiler, DuplicateRefineDeclarationRejected) {
+  const auto program = parse(R"(
+    program child refines parent {
+      communicator x : real period 10 init 0.0 lrc 0.5;
+      communicator y : real period 10 init 0.0 lrc 0.5;
+      module m {
+        task t input (x[0]) output (y[1]);
+        mode a period 10 { invoke t; } start a;
+      }
+      refine task t to a1;
+      refine task t to a2;
+    }
+  )");
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(refinement_map(*program).status().code(),
+            StatusCode::kParseError);
+}
+
+}  // namespace
+}  // namespace lrt::htl

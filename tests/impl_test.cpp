@@ -1,0 +1,161 @@
+// Unit tests for src/impl: replication-mapping validation and sensor
+// bindings.
+#include <gtest/gtest.h>
+
+#include "impl/implementation.h"
+#include "tests/test_util.h"
+
+namespace lrt::impl {
+namespace {
+
+using test::comm;
+using test::task;
+
+struct Fixture {
+  spec::Specification spec;
+  arch::Architecture arch;
+};
+
+Fixture make_fixture() {
+  spec::SpecificationConfig spec_config;
+  spec_config.communicators = {comm("in", 10), comm("mid", 10),
+                               comm("out", 10)};
+  spec_config.tasks = {task("t1", {{"in", 0}}, {{"mid", 1}}),
+                       task("t2", {{"mid", 1}}, {{"out", 2}})};
+
+  arch::ArchitectureConfig arch_config;
+  arch_config.hosts = {{"h1", 0.99}, {"h2", 0.95}};
+  arch_config.sensors = {{"s", 0.9}};
+
+  auto arch_result = arch::Architecture::Build(std::move(arch_config));
+  EXPECT_TRUE(arch_result.ok());
+  return {test::build_spec(std::move(spec_config)),
+          std::move(arch_result).value()};
+}
+
+ImplementationConfig valid_config() {
+  ImplementationConfig config;
+  config.task_mappings = {{"t1", {"h1"}}, {"t2", {"h1", "h2"}}};
+  config.sensor_bindings = {{"in", "s"}};
+  return config;
+}
+
+TEST(Implementation, BuildsValidMapping) {
+  const Fixture f = make_fixture();
+  const auto impl = Implementation::Build(f.spec, f.arch, valid_config());
+  ASSERT_TRUE(impl.ok());
+  EXPECT_EQ(impl->hosts_for(*f.spec.find_task("t1")).size(), 1u);
+  EXPECT_EQ(impl->hosts_for(*f.spec.find_task("t2")).size(), 2u);
+  EXPECT_EQ(impl->replication_count(), 3u);
+  const spec::CommId in = *f.spec.find_communicator("in");
+  EXPECT_EQ(impl->sensor_for(in), *f.arch.find_sensor("s"));
+}
+
+TEST(Implementation, RejectsUnmappedTask) {
+  const Fixture f = make_fixture();
+  ImplementationConfig config;
+  config.task_mappings = {{"t1", {"h1"}}};
+  config.sensor_bindings = {{"in", "s"}};
+  EXPECT_EQ(Implementation::Build(f.spec, f.arch, std::move(config))
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(Implementation, RejectsUnknownTaskOrHost) {
+  const Fixture f = make_fixture();
+  ImplementationConfig config = valid_config();
+  config.task_mappings.push_back({"ghost", {"h1"}});
+  EXPECT_EQ(Implementation::Build(f.spec, f.arch, std::move(config))
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+
+  ImplementationConfig config2 = valid_config();
+  config2.task_mappings[0].hosts = {"ghost"};
+  EXPECT_EQ(Implementation::Build(f.spec, f.arch, std::move(config2))
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST(Implementation, RejectsEmptyHostSet) {
+  const Fixture f = make_fixture();
+  ImplementationConfig config = valid_config();
+  config.task_mappings[0].hosts = {};
+  EXPECT_EQ(Implementation::Build(f.spec, f.arch, std::move(config))
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(Implementation, RejectsDuplicateHostInSet) {
+  const Fixture f = make_fixture();
+  ImplementationConfig config = valid_config();
+  config.task_mappings[1].hosts = {"h1", "h1"};
+  EXPECT_FALSE(Implementation::Build(f.spec, f.arch, std::move(config)).ok());
+}
+
+TEST(Implementation, RejectsDoubleMapping) {
+  const Fixture f = make_fixture();
+  ImplementationConfig config = valid_config();
+  config.task_mappings.push_back({"t1", {"h2"}});
+  EXPECT_EQ(Implementation::Build(f.spec, f.arch, std::move(config))
+                .status()
+                .code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(Implementation, RejectsMissingSensorBinding) {
+  const Fixture f = make_fixture();
+  ImplementationConfig config;
+  config.task_mappings = {{"t1", {"h1"}}, {"t2", {"h2"}}};
+  EXPECT_EQ(Implementation::Build(f.spec, f.arch, std::move(config))
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(Implementation, RejectsSensorOnWrittenCommunicator) {
+  const Fixture f = make_fixture();
+  ImplementationConfig config = valid_config();
+  config.sensor_bindings.push_back({"mid", "s"});
+  EXPECT_EQ(Implementation::Build(f.spec, f.arch, std::move(config))
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(Implementation, RejectsUnknownSensor) {
+  const Fixture f = make_fixture();
+  ImplementationConfig config = valid_config();
+  config.sensor_bindings = {{"in", "ghost"}};
+  EXPECT_EQ(Implementation::Build(f.spec, f.arch, std::move(config))
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST(Implementation, RejectsDoubleSensorBinding) {
+  const Fixture f = make_fixture();
+  ImplementationConfig config = valid_config();
+  config.sensor_bindings.push_back({"in", "s"});
+  EXPECT_EQ(Implementation::Build(f.spec, f.arch, std::move(config))
+                .status()
+                .code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(Implementation, HostsAreSortedAndDeduplicated) {
+  const Fixture f = make_fixture();
+  ImplementationConfig config = valid_config();
+  config.task_mappings[1].hosts = {"h2", "h1"};
+  const auto impl = Implementation::Build(f.spec, f.arch, std::move(config));
+  ASSERT_TRUE(impl.ok());
+  const auto& hosts = impl->hosts_for(*f.spec.find_task("t2"));
+  ASSERT_EQ(hosts.size(), 2u);
+  EXPECT_LT(hosts[0], hosts[1]);
+}
+
+}  // namespace
+}  // namespace lrt::impl

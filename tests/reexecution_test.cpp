@@ -1,0 +1,239 @@
+// Tests for the time-redundancy extension (re-execution): analytic task
+// reliability, schedulability demand inflation, runtime semantics, and
+// agreement between analysis and simulation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "ecode/emachine.h"
+#include "reliability/analysis.h"
+#include "sched/schedulability.h"
+#include "sim/runtime.h"
+#include "tests/test_util.h"
+
+namespace lrt {
+namespace {
+
+/// One task on one host with the given re-execution count and WCET.
+test::System retry_system(int reexecutions, double host_rel,
+                          spec::Time wcet = 2, spec::Time period = 10) {
+  test::System system;
+  system.spec = std::make_unique<spec::Specification>(
+      test::build_spec(test::chain_spec_config(1, period)));
+  arch::ArchitectureConfig arch_config;
+  arch_config.hosts = {{"h0", host_rel}};
+  arch_config.sensors = {{"s", 1.0}};
+  arch_config.default_wcet = wcet;
+  arch_config.default_wctt = 1;
+  system.arch = std::make_unique<arch::Architecture>(
+      std::move(arch::Architecture::Build(std::move(arch_config))).value());
+  impl::ImplementationConfig impl_config;
+  impl_config.task_mappings = {{"task1", {"h0"}, reexecutions}};
+  impl_config.sensor_bindings = {{"c0", "s"}};
+  system.impl = std::make_unique<impl::Implementation>(
+      std::move(impl::Implementation::Build(*system.spec, *system.arch,
+                                            std::move(impl_config)))
+          .value());
+  return system;
+}
+
+TEST(Reexecution, RejectsNegativeCount) {
+  auto system = test::single_host_system(test::chain_spec_config(1));
+  impl::ImplementationConfig config;
+  config.task_mappings = {{"task1", {"h0"}, -1}};
+  config.sensor_bindings = {{"c0", "sens_c0"}};
+  EXPECT_EQ(impl::Implementation::Build(*system.spec, *system.arch,
+                                        std::move(config))
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(Reexecution, TaskReliabilityClosedForm) {
+  for (const int k : {0, 1, 2, 5}) {
+    auto system = retry_system(k, 0.8);
+    // 1 - 0.2^(k+1).
+    EXPECT_NEAR(reliability::task_reliability(*system.impl, 0),
+                1.0 - std::pow(0.2, k + 1), 1e-12)
+        << "k=" << k;
+  }
+}
+
+TEST(Reexecution, OneRetryMatchesTwoWayReplication) {
+  // Time redundancy k=1 on one 0.8 host == space redundancy on two 0.8
+  // hosts: both give 0.96 (the paper's introductory replication number).
+  auto time_red = retry_system(1, 0.8);
+  EXPECT_NEAR(reliability::task_reliability(*time_red.impl, 0), 0.96,
+              1e-12);
+}
+
+TEST(Reexecution, InflatesScheduleDemand) {
+  // wcet 2, window [0, 10 - 1): k=3 => demand 8 fits; k=4 => 10 > 9.
+  auto fits = retry_system(3, 0.9, /*wcet=*/2);
+  const auto ok = sched::analyze_schedulability(*fits.impl);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(ok->schedulable);
+  EXPECT_EQ(ok->jobs[0].wcet, 8);
+
+  auto overloaded = retry_system(4, 0.9, /*wcet=*/2);
+  const auto bad = sched::analyze_schedulability(*overloaded.impl);
+  ASSERT_TRUE(bad.ok());
+  EXPECT_FALSE(bad->schedulable);
+}
+
+TEST(Reexecution, RuntimeMatchesAnalyticRate) {
+  auto system = retry_system(2, 0.7);
+  const auto srgs = reliability::compute_srgs(*system.impl);
+  ASSERT_TRUE(srgs.ok());
+  const double analytic =
+      (*srgs)[static_cast<std::size_t>(*system.spec->find_communicator("c1"))];
+  EXPECT_NEAR(analytic, 1.0 - std::pow(0.3, 3), 1e-12);
+
+  sim::NullEnvironment env;
+  sim::SimulationOptions options;
+  options.periods = 200'000;
+  options.faults.seed = 41;
+  const auto direct = sim::simulate(*system.impl, env, options);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_NEAR(direct->find("c1")->update_rate(), analytic, 0.005);
+
+  const auto machine = ecode::run_emachine(*system.impl, env, options);
+  ASSERT_TRUE(machine.ok());
+  EXPECT_NEAR(machine->find("c1")->update_rate(), analytic, 0.005);
+}
+
+TEST(Reexecution, RetriesDoNotHelpDownedHost) {
+  // Re-execution masks transient faults, not a dead host.
+  auto system = retry_system(5, 1.0);
+  sim::NullEnvironment env;
+  sim::SimulationOptions options;
+  options.periods = 100;
+  options.faults.host_events = {{0, 0, false}};
+  const auto result = sim::simulate(*system.impl, env, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->find("c1")->update_rate(), 0.0);
+}
+
+TEST(Checkpointing, ShrinksReservedDemand) {
+  // wcet 12, 2 retries: without checkpoints reserve 36; with 2 checkpoints
+  // (overhead 1) the segment is 4, so reserve 12 + 2*1 + 2*(4+1) = 24.
+  auto plain = retry_system(2, 0.9, /*wcet=*/12, /*period=*/100);
+  EXPECT_EQ(plain.impl->reserved_demand(0, 12), 36);
+
+  auto system = test::single_host_system(test::chain_spec_config(1, 100));
+  arch::ArchitectureConfig arch_config;
+  arch_config.hosts = {{"h0", 0.9}};
+  arch_config.sensors = {{"s", 1.0}};
+  arch_config.default_wcet = 12;
+  arch_config.default_wctt = 1;
+  system.arch = std::make_unique<arch::Architecture>(
+      std::move(arch::Architecture::Build(std::move(arch_config))).value());
+  impl::ImplementationConfig impl_config;
+  impl::ImplementationConfig::TaskMapping mapping;
+  mapping.task = "task1";
+  mapping.hosts = {"h0"};
+  mapping.reexecutions = 2;
+  mapping.checkpoints = 2;
+  mapping.checkpoint_overhead = 1;
+  impl_config.task_mappings = {mapping};
+  impl_config.sensor_bindings = {{"c0", "s"}};
+  system.impl = std::make_unique<impl::Implementation>(
+      std::move(impl::Implementation::Build(*system.spec, *system.arch,
+                                            std::move(impl_config)))
+          .value());
+  EXPECT_EQ(system.impl->reserved_demand(0, 12), 24);
+  const auto report = sched::analyze_schedulability(*system.impl);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->jobs[0].wcet, 24);
+  // Reliability is untouched by checkpointing (same retry count).
+  EXPECT_NEAR(reliability::task_reliability(*system.impl, 0),
+              1.0 - 0.001, 1e-12);
+}
+
+TEST(Checkpointing, MakesOtherwiseInfeasibleRetriesSchedulable) {
+  // Window ~ period 20 - wctt 1 = 19; wcet 8 with 2 retries reserves 24:
+  // infeasible. Three checkpoints (segment 2, overhead 0) reserve
+  // 8 + 2*2 = 12: feasible. Same reliability either way.
+  const auto build = [](int checkpoints) {
+    auto system = test::single_host_system(test::chain_spec_config(1, 20));
+    arch::ArchitectureConfig arch_config;
+    arch_config.hosts = {{"h0", 0.8}};
+    arch_config.sensors = {{"s", 1.0}};
+    arch_config.default_wcet = 8;
+    arch_config.default_wctt = 1;
+    system.arch = std::make_unique<arch::Architecture>(
+        std::move(arch::Architecture::Build(std::move(arch_config))).value());
+    impl::ImplementationConfig impl_config;
+    impl::ImplementationConfig::TaskMapping mapping;
+    mapping.task = "task1";
+    mapping.hosts = {"h0"};
+    mapping.reexecutions = 2;
+    mapping.checkpoints = checkpoints;
+    impl_config.task_mappings = {mapping};
+    impl_config.sensor_bindings = {{"c0", "s"}};
+    system.impl = std::make_unique<impl::Implementation>(
+        std::move(impl::Implementation::Build(*system.spec, *system.arch,
+                                              std::move(impl_config)))
+            .value());
+    return system;
+  };
+  auto plain = build(0);
+  EXPECT_FALSE(sched::analyze_schedulability(*plain.impl)->schedulable);
+  auto checkpointed = build(3);
+  EXPECT_TRUE(sched::analyze_schedulability(*checkpointed.impl)->schedulable);
+  EXPECT_DOUBLE_EQ(reliability::task_reliability(*plain.impl, 0),
+                   reliability::task_reliability(*checkpointed.impl, 0));
+
+  // The timed runtime honours the shrunken recovery budget: no misses.
+  sim::NullEnvironment env;
+  sim::SimulationOptions options;
+  options.periods = 20'000;
+  options.faults.seed = 53;
+  options.model_execution_time = true;
+  const auto run = sim::simulate(*checkpointed.impl, env, options);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->deadline_misses, 0);
+  EXPECT_NEAR(run->find("c1")->update_rate(), 1.0 - 0.2 * 0.2 * 0.2, 0.01);
+}
+
+TEST(Checkpointing, RejectsCheckpointsWithoutRetries) {
+  auto system = test::single_host_system(test::chain_spec_config(1));
+  impl::ImplementationConfig config;
+  impl::ImplementationConfig::TaskMapping mapping;
+  mapping.task = "task1";
+  mapping.hosts = {"h0"};
+  mapping.checkpoints = 2;  // no reexecutions
+  config.task_mappings = {mapping};
+  config.sensor_bindings = {{"c0", "sens_c0"}};
+  EXPECT_EQ(impl::Implementation::Build(*system.spec, *system.arch,
+                                        std::move(config))
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(Reexecution, CombinesWithReplication) {
+  // Two hosts at 0.8, one retry each: per host 0.96, combined
+  // 1 - 0.04^2 = 0.9984.
+  test::System system;
+  system.spec = std::make_unique<spec::Specification>(
+      test::build_spec(test::chain_spec_config(1)));
+  arch::ArchitectureConfig arch_config;
+  arch_config.hosts = {{"h1", 0.8}, {"h2", 0.8}};
+  arch_config.sensors = {{"s", 1.0}};
+  system.arch = std::make_unique<arch::Architecture>(
+      std::move(arch::Architecture::Build(std::move(arch_config))).value());
+  impl::ImplementationConfig impl_config;
+  impl_config.task_mappings = {{"task1", {"h1", "h2"}, 1}};
+  impl_config.sensor_bindings = {{"c0", "s"}};
+  system.impl = std::make_unique<impl::Implementation>(
+      std::move(impl::Implementation::Build(*system.spec, *system.arch,
+                                            std::move(impl_config)))
+          .value());
+  EXPECT_NEAR(reliability::task_reliability(*system.impl, 0), 0.9984,
+              1e-12);
+}
+
+}  // namespace
+}  // namespace lrt

@@ -1,0 +1,299 @@
+// Unit tests for src/refine: the kappa-map shape checks, every refinement
+// constraint (a), (b1)-(b6), and the Prop. 2 transfer of validity on a
+// concrete refinement chain.
+#include <gtest/gtest.h>
+
+#include "refine/refinement.h"
+#include "reliability/analysis.h"
+#include "sched/schedulability.h"
+#include "tests/test_util.h"
+
+namespace lrt::refine {
+namespace {
+
+using test::comm;
+using test::task;
+
+/// Builds a small system: sensor comm "in" -> task "<tname>" -> comm "out".
+/// Knobs cover everything the refinement constraints look at.
+struct Knobs {
+  std::string task_name = "t";
+  std::int64_t in_instance = 0;   // read time = 10 * in_instance
+  std::int64_t out_instance = 4;  // write time = 10 * out_instance
+  double out_lrc = 0.8;
+  spec::FailureModel model = spec::FailureModel::kSeries;
+  std::vector<std::string> hosts = {"h1"};
+  spec::Time wcet = 5;
+  spec::Time wctt = 2;
+  double host1_rel = 0.99;
+  bool extra_input = false;  // add a second sensor comm "in2"
+};
+
+test::System build(const Knobs& knobs) {
+  test::System system;
+  spec::SpecificationConfig config;
+  config.communicators = {comm("in", 10, 0.85),
+                          comm("out", 10, knobs.out_lrc)};
+  if (knobs.extra_input) config.communicators.push_back(comm("in2", 10, 0.85));
+  std::vector<std::pair<std::string, std::int64_t>> inputs = {
+      {"in", knobs.in_instance}};
+  if (knobs.extra_input) inputs.push_back({"in2", knobs.in_instance});
+  config.tasks = {task(knobs.task_name, inputs, {{"out", knobs.out_instance}},
+                       knobs.model)};
+  system.spec = std::make_unique<spec::Specification>(
+      test::build_spec(std::move(config)));
+
+  arch::ArchitectureConfig arch_config;
+  arch_config.hosts = {{"h1", knobs.host1_rel}, {"h2", 0.9}};
+  arch_config.sensors = {{"s", 0.9}, {"s2", 0.9}};
+  arch_config.default_wcet = knobs.wcet;
+  arch_config.default_wctt = knobs.wctt;
+  system.arch = std::make_unique<arch::Architecture>(
+      std::move(arch::Architecture::Build(std::move(arch_config))).value());
+
+  impl::ImplementationConfig impl_config;
+  impl_config.task_mappings = {{knobs.task_name, knobs.hosts}};
+  impl_config.sensor_bindings = {{"in", "s"}};
+  if (knobs.extra_input) impl_config.sensor_bindings.push_back({"in2", "s2"});
+  system.impl = std::make_unique<impl::Implementation>(
+      std::move(impl::Implementation::Build(*system.spec, *system.arch,
+                                            std::move(impl_config)))
+          .value());
+  return system;
+}
+
+RefinementMap kappa_t_to_t(const std::string& from = "t",
+                           const std::string& to = "t") {
+  return {{{from, to}}};
+}
+
+TEST(Refinement, IdenticalSystemRefinesItself) {
+  const auto a = build({});
+  const auto b = build({});
+  const auto report = check_refinement(*a.impl, *b.impl, kappa_t_to_t());
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->refines) << report->summary();
+}
+
+TEST(Refinement, KappaMustBeTotal) {
+  const auto a = build({});
+  const auto b = build({});
+  const auto report = check_refinement(*a.impl, *b.impl, RefinementMap{});
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->refines);
+  EXPECT_EQ(report->violations[0].constraint, "kappa");
+}
+
+TEST(Refinement, KappaUnknownNamesAreErrors) {
+  const auto a = build({});
+  const auto b = build({});
+  EXPECT_EQ(check_refinement(*a.impl, *b.impl, kappa_t_to_t("ghost", "t"))
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(check_refinement(*a.impl, *b.impl, kappa_t_to_t("t", "ghost"))
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST(Refinement, ConstraintA_HostSetsMustMatch) {
+  const auto a = build({});
+  Knobs other;
+  other.host1_rel = 0.5;  // same names, different reliability
+  const auto b = build(other);
+  const auto report = check_refinement(*a.impl, *b.impl, kappa_t_to_t());
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->refines);
+  EXPECT_EQ(report->violations[0].constraint, "a");
+}
+
+TEST(Refinement, ConstraintB1_SameReplicationSet) {
+  Knobs refining;
+  refining.hosts = {"h1", "h2"};
+  const auto a = build(refining);
+  const auto b = build({});
+  const auto report = check_refinement(*a.impl, *b.impl, kappa_t_to_t());
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->refines);
+  EXPECT_EQ(report->violations[0].constraint, "b1");
+}
+
+TEST(Refinement, ConstraintB2_WcetMustNotGrow) {
+  Knobs refining;
+  refining.wcet = 9;
+  const auto a = build(refining);
+  const auto b = build({});  // wcet 5
+  const auto report = check_refinement(*a.impl, *b.impl, kappa_t_to_t());
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->refines);
+  EXPECT_EQ(report->violations[0].constraint, "b2");
+  // The other direction (shrinking WCET) is allowed.
+  const auto reverse = check_refinement(*b.impl, *a.impl, kappa_t_to_t());
+  EXPECT_TRUE(reverse->refines) << reverse->summary();
+}
+
+TEST(Refinement, ConstraintB3_LetMustContainRefinedLet) {
+  // Refining LET [10, 40) does not contain refined LET [0, 40).
+  Knobs refining;
+  refining.in_instance = 1;
+  const auto a = build(refining);
+  const auto b = build({});
+  const auto report = check_refinement(*a.impl, *b.impl, kappa_t_to_t());
+  EXPECT_FALSE(report->refines);
+  EXPECT_EQ(report->violations[0].constraint, "b3");
+
+  // Refining LET [0, 30) vs refined [0, 40): write too early.
+  Knobs early;
+  early.out_instance = 3;
+  const auto c = build(early);
+  const auto report2 = check_refinement(*c.impl, *b.impl, kappa_t_to_t());
+  EXPECT_FALSE(report2->refines);
+  EXPECT_EQ(report2->violations[0].constraint, "b3");
+
+  // A wider refining LET is fine: refined [10, 30) inside refining [0, 40).
+  Knobs narrow;
+  narrow.in_instance = 1;
+  narrow.out_instance = 3;
+  const auto d = build(narrow);
+  const auto report3 = check_refinement(*b.impl, *d.impl, kappa_t_to_t());
+  EXPECT_TRUE(report3->refines) << report3->summary();
+}
+
+TEST(Refinement, ConstraintB4_OutputLrcBounded) {
+  Knobs refining;
+  refining.out_lrc = 0.95;  // exceeds the refined task's 0.8
+  const auto a = build(refining);
+  const auto b = build({});
+  const auto report = check_refinement(*a.impl, *b.impl, kappa_t_to_t());
+  EXPECT_FALSE(report->refines);
+  EXPECT_EQ(report->violations[0].constraint, "b4");
+  // Lower LRC refines fine ("writes ... with less logical reliability").
+  const auto reverse = check_refinement(*b.impl, *a.impl, kappa_t_to_t());
+  EXPECT_TRUE(reverse->refines) << reverse->summary();
+}
+
+TEST(Refinement, ConstraintB5_SameFailureModel) {
+  Knobs refining;
+  refining.model = spec::FailureModel::kParallel;
+  const auto a = build(refining);
+  const auto b = build({});
+  const auto report = check_refinement(*a.impl, *b.impl, kappa_t_to_t());
+  EXPECT_FALSE(report->refines);
+  // b5 must be among the violations (b6 may also fire for model 2).
+  bool found_b5 = false;
+  for (const auto& violation : report->violations) {
+    if (violation.constraint == "b5") found_b5 = true;
+  }
+  EXPECT_TRUE(found_b5) << report->summary();
+}
+
+TEST(Refinement, ConstraintB6_SeriesRequiresInputSubset) {
+  // Series refining task reads MORE communicators than the refined: bad.
+  Knobs refining;
+  refining.extra_input = true;
+  const auto a = build(refining);
+  const auto b = build({});
+  const auto report = check_refinement(*a.impl, *b.impl, kappa_t_to_t());
+  EXPECT_FALSE(report->refines);
+  EXPECT_EQ(report->violations[0].constraint, "b6");
+  // Reading fewer is fine for series.
+  const auto reverse = check_refinement(*b.impl, *a.impl, kappa_t_to_t());
+  EXPECT_TRUE(reverse->refines) << reverse->summary();
+}
+
+TEST(Refinement, ConstraintB6_ParallelRequiresInputSuperset) {
+  Knobs refined;
+  refined.model = spec::FailureModel::kParallel;
+  refined.extra_input = true;
+  const auto b = build(refined);
+  Knobs refining = refined;
+  refining.extra_input = false;  // subset: violates the parallel direction
+  const auto a = build(refining);
+  const auto report = check_refinement(*a.impl, *b.impl, kappa_t_to_t());
+  EXPECT_FALSE(report->refines);
+  EXPECT_EQ(report->violations[0].constraint, "b6");
+  const auto reverse = check_refinement(*b.impl, *a.impl, kappa_t_to_t());
+  EXPECT_TRUE(reverse->refines) << reverse->summary();
+}
+
+// --- Prop. 2 on a concrete pair: validity transfers along refinement ---
+
+TEST(Refinement, ValidityTransfersToRefiningSystem) {
+  // Refined (abstract): tight LET, generous WCET budget, LRC 0.8.
+  Knobs abstract_knobs;
+  abstract_knobs.in_instance = 1;   // LET [10, 40)
+  abstract_knobs.out_instance = 4;
+  abstract_knobs.wcet = 10;
+  abstract_knobs.out_lrc = 0.8;
+  const auto abstract_sys = build(abstract_knobs);
+
+  // Refining (concrete): wider LET [0, 40), smaller WCET, lower LRC.
+  Knobs concrete_knobs = abstract_knobs;
+  concrete_knobs.in_instance = 0;
+  concrete_knobs.wcet = 6;
+  concrete_knobs.out_lrc = 0.7;
+  const auto concrete_sys = build(concrete_knobs);
+
+  const auto refinement =
+      check_refinement(*concrete_sys.impl, *abstract_sys.impl, kappa_t_to_t());
+  ASSERT_TRUE(refinement.ok());
+  ASSERT_TRUE(refinement->refines) << refinement->summary();
+
+  // The abstract system is valid (schedulable + reliable)...
+  const auto abstract_sched = sched::analyze_schedulability(*abstract_sys.impl);
+  const auto abstract_rel = reliability::analyze(*abstract_sys.impl);
+  ASSERT_TRUE(abstract_sched.ok());
+  ASSERT_TRUE(abstract_rel.ok());
+  EXPECT_TRUE(abstract_sched->schedulable);
+  EXPECT_TRUE(abstract_rel->reliable);
+
+  // ... and Prop. 2 promises the concrete one is too. Verify directly.
+  const auto concrete_sched = sched::analyze_schedulability(*concrete_sys.impl);
+  const auto concrete_rel = reliability::analyze(*concrete_sys.impl);
+  ASSERT_TRUE(concrete_sched.ok());
+  ASSERT_TRUE(concrete_rel.ok());
+  EXPECT_TRUE(concrete_sched->schedulable);
+  EXPECT_TRUE(concrete_rel->reliable);
+}
+
+TEST(Refinement, TransitivityAlongAMonotoneChain) {
+  // C (most abstract) <- B <- A: each step shrinks WCET, widens the LET,
+  // and lowers the output LRC. Every adjacent pair refines, and so does
+  // the composite A -> C (the relation is transitive).
+  Knobs c_knobs;  // abstract: LET [20, 40), wcet 10, LRC 0.9
+  c_knobs.in_instance = 2;
+  c_knobs.out_instance = 4;
+  c_knobs.wcet = 10;
+  c_knobs.out_lrc = 0.9;
+  Knobs b_knobs = c_knobs;  // LET [10, 40), wcet 8, LRC 0.85
+  b_knobs.in_instance = 1;
+  b_knobs.wcet = 8;
+  b_knobs.out_lrc = 0.85;
+  Knobs a_knobs = b_knobs;  // LET [0, 40), wcet 6, LRC 0.8
+  a_knobs.in_instance = 0;
+  a_knobs.wcet = 6;
+  a_knobs.out_lrc = 0.8;
+
+  const auto a = build(a_knobs);
+  const auto b = build(b_knobs);
+  const auto c = build(c_knobs);
+  EXPECT_TRUE(check_refinement(*a.impl, *b.impl, kappa_t_to_t())->refines);
+  EXPECT_TRUE(check_refinement(*b.impl, *c.impl, kappa_t_to_t())->refines);
+  EXPECT_TRUE(check_refinement(*a.impl, *c.impl, kappa_t_to_t())->refines);
+  // Anti-symmetry: the reverse directions fail.
+  EXPECT_FALSE(check_refinement(*c.impl, *a.impl, kappa_t_to_t())->refines);
+}
+
+TEST(Refinement, SummaryListsViolations) {
+  Knobs refining;
+  refining.wcet = 9;
+  const auto a = build(refining);
+  const auto b = build({});
+  const auto report = check_refinement(*a.impl, *b.impl, kappa_t_to_t());
+  EXPECT_NE(report->summary().find("DOES NOT REFINE"), std::string::npos);
+  EXPECT_NE(report->summary().find("b2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lrt::refine

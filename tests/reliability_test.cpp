@@ -1,0 +1,378 @@
+// Unit tests for src/reliability: task reliability, SRG propagation for the
+// three failure models, the Prop. 1 check against the paper's Section 4
+// numbers, fixpoint semantics on cyclic specifications, and time-dependent
+// implementations (Section 3, "General implementation").
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "plant/three_tank_system.h"
+#include "reliability/analysis.h"
+#include "tests/test_util.h"
+
+namespace lrt::reliability {
+namespace {
+
+using test::comm;
+using test::task;
+
+// --- task reliability ---
+
+TEST(TaskReliability, SingleHostEqualsHostReliability) {
+  auto system = test::single_host_system(test::chain_spec_config(1),
+                                         /*host_rel=*/0.9);
+  EXPECT_DOUBLE_EQ(task_reliability(*system.impl, 0), 0.9);
+}
+
+TEST(TaskReliability, ReplicationComposesInParallel) {
+  // Paper Section 1: two hosts with SRG 0.8 give 1 - 0.2^2 = 0.96 >= 0.9.
+  spec::SpecificationConfig spec_config = test::chain_spec_config(1);
+  auto spec = std::make_unique<spec::Specification>(
+      test::build_spec(std::move(spec_config)));
+  arch::ArchitectureConfig arch_config;
+  arch_config.hosts = {{"h1", 0.8}, {"h2", 0.8}};
+  arch_config.sensors = {{"s", 1.0}};
+  auto arch = std::make_unique<arch::Architecture>(
+      std::move(arch::Architecture::Build(std::move(arch_config))).value());
+  impl::ImplementationConfig impl_config;
+  impl_config.task_mappings = {{"task1", {"h1", "h2"}}};
+  impl_config.sensor_bindings = {{"c0", "s"}};
+  auto impl = impl::Implementation::Build(*spec, *arch,
+                                          std::move(impl_config));
+  ASSERT_TRUE(impl.ok());
+  EXPECT_NEAR(task_reliability(*impl, 0), 0.96, 1e-12);
+}
+
+// --- SRG propagation: the paper's 3TS numbers (Section 4) ---
+
+TEST(Srg, ThreeTankBaselineMatchesPaper) {
+  plant::ThreeTankScenario scenario;  // baseline, 0.99 everywhere
+  auto system = plant::make_three_tank_system(scenario);
+  ASSERT_TRUE(system.ok());
+  const auto srgs = compute_srgs(*system->implementation);
+  ASSERT_TRUE(srgs.ok());
+  const auto& spec = *system->specification;
+
+  const auto srg_of = [&](const std::string& name) {
+    return (*srgs)[static_cast<std::size_t>(*spec.find_communicator(name))];
+  };
+  // lambda_s = 0.99 (sensor), lambda_l = 0.99 * 0.99 = 0.9801,
+  // lambda_u = lambda_l * 0.99 = 0.970299 — the paper's exact values.
+  EXPECT_NEAR(srg_of("s1"), 0.99, 1e-12);
+  EXPECT_NEAR(srg_of("l1"), 0.9801, 1e-12);
+  EXPECT_NEAR(srg_of("l2"), 0.9801, 1e-12);
+  EXPECT_NEAR(srg_of("u1"), 0.970299, 1e-12);
+  EXPECT_NEAR(srg_of("u2"), 0.970299, 1e-12);
+}
+
+TEST(Srg, ThreeTankBaselineReliableAtPoint97) {
+  plant::ThreeTankScenario scenario;
+  scenario.lrc_controls = 0.97;
+  auto system = plant::make_three_tank_system(scenario);
+  ASSERT_TRUE(system.ok());
+  const auto report = analyze(*system->implementation);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->reliable);
+  EXPECT_TRUE(report->memory_free);
+}
+
+TEST(Srg, ThreeTankBaselineViolatesPoint98) {
+  plant::ThreeTankScenario scenario;
+  scenario.lrc_controls = 0.98;
+  auto system = plant::make_three_tank_system(scenario);
+  ASSERT_TRUE(system.ok());
+  const auto report = analyze(*system->implementation);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->reliable);
+  const auto violations = report->violations();
+  ASSERT_EQ(violations.size(), 2u);  // u1 and u2
+  EXPECT_EQ(violations[0].name, "u1");
+  EXPECT_NEAR(violations[0].slack, 0.970299 - 0.98, 1e-12);
+}
+
+TEST(Srg, Scenario1TaskReplicationMeetsPoint98) {
+  // Paper: t1, t2 replicated on {h1, h2} => lambda_t = 1 - 0.01^2 = 0.9999,
+  // lambda_u = 0.9801 * 0.9999 = 0.98000199.
+  plant::ThreeTankScenario scenario;
+  scenario.variant = plant::ThreeTankVariant::kReplicatedTasks;
+  scenario.lrc_controls = 0.98;
+  auto system = plant::make_three_tank_system(scenario);
+  ASSERT_TRUE(system.ok());
+  const auto& spec = *system->specification;
+  EXPECT_NEAR(task_reliability(*system->implementation,
+                               *spec.find_task("t1")),
+              0.9999, 1e-12);
+  const auto report = analyze(*system->implementation);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->reliable);
+  const auto srgs = compute_srgs(*system->implementation);
+  EXPECT_NEAR((*srgs)[static_cast<std::size_t>(*spec.find_communicator("u1"))],
+              0.98000199, 1e-9);
+}
+
+TEST(Srg, Scenario2SensorReplicationMeetsPoint98) {
+  // Paper: two sensors per read task under model 2 =>
+  // lambda_l = 0.99 * (1 - 0.01^2) = 0.989901,
+  // lambda_u = 0.989901 * 0.99 = 0.98000199.
+  plant::ThreeTankScenario scenario;
+  scenario.variant = plant::ThreeTankVariant::kReplicatedSensors;
+  scenario.lrc_controls = 0.98;
+  auto system = plant::make_three_tank_system(scenario);
+  ASSERT_TRUE(system.ok());
+  const auto& spec = *system->specification;
+  const auto srgs = compute_srgs(*system->implementation);
+  ASSERT_TRUE(srgs.ok());
+  EXPECT_NEAR((*srgs)[static_cast<std::size_t>(*spec.find_communicator("l1"))],
+              0.989901, 1e-12);
+  EXPECT_NEAR((*srgs)[static_cast<std::size_t>(*spec.find_communicator("u1"))],
+              0.98000199, 1e-9);
+  const auto report = analyze(*system->implementation);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->reliable);
+}
+
+// --- failure-model rules on a hand-built diamond ---
+//   sa, sb (sensors) -> t (model X) -> out
+
+test::System diamond(spec::FailureModel model, double host_rel,
+                     double sensor_rel) {
+  spec::SpecificationConfig config;
+  config.communicators = {comm("sa", 10, 0.5), comm("sb", 10, 0.5),
+                          comm("out", 10, 0.5)};
+  config.tasks = {task("t", {{"sa", 0}, {"sb", 0}}, {{"out", 1}}, model)};
+  return test::single_host_system(std::move(config), host_rel, sensor_rel);
+}
+
+TEST(Srg, SeriesRuleMultipliesInputs) {
+  auto system = diamond(spec::FailureModel::kSeries, 0.9, 0.8);
+  const auto srgs = compute_srgs(*system.impl);
+  ASSERT_TRUE(srgs.ok());
+  const auto out = *system.spec->find_communicator("out");
+  EXPECT_NEAR((*srgs)[static_cast<std::size_t>(out)], 0.9 * 0.8 * 0.8, 1e-12);
+}
+
+TEST(Srg, ParallelRuleNeedsOneInput) {
+  auto system = diamond(spec::FailureModel::kParallel, 0.9, 0.8);
+  const auto srgs = compute_srgs(*system.impl);
+  ASSERT_TRUE(srgs.ok());
+  const auto out = *system.spec->find_communicator("out");
+  EXPECT_NEAR((*srgs)[static_cast<std::size_t>(out)],
+              0.9 * (1.0 - 0.2 * 0.2), 1e-12);
+}
+
+TEST(Srg, IndependentRuleIgnoresInputs) {
+  auto system = diamond(spec::FailureModel::kIndependent, 0.9, 0.1);
+  const auto srgs = compute_srgs(*system.impl);
+  ASSERT_TRUE(srgs.ok());
+  const auto out = *system.spec->find_communicator("out");
+  EXPECT_NEAR((*srgs)[static_cast<std::size_t>(out)], 0.9, 1e-12);
+}
+
+TEST(Srg, ChainMultipliesThroughDepth) {
+  auto system = test::single_host_system(test::chain_spec_config(4),
+                                         /*host_rel=*/0.9,
+                                         /*sensor_rel=*/1.0);
+  const auto srgs = compute_srgs(*system.impl);
+  ASSERT_TRUE(srgs.ok());
+  // c4 = 0.9^4 (four series tasks on a 0.9 host, perfectly reliable sensor).
+  const auto c4 = *system.spec->find_communicator("c4");
+  EXPECT_NEAR((*srgs)[static_cast<std::size_t>(c4)], 0.9 * 0.9 * 0.9 * 0.9,
+              1e-12);
+}
+
+TEST(Srg, UnusedCommunicatorIsPerfectlyReliable) {
+  spec::SpecificationConfig config;
+  config.communicators = {comm("in", 10, 0.5), comm("out", 10, 0.5),
+                          comm("unused", 10, 0.5)};
+  config.tasks = {task("t", {{"in", 0}}, {{"out", 1}})};
+  auto system = test::single_host_system(std::move(config), 0.9, 0.8);
+  const auto srgs = compute_srgs(*system.impl);
+  ASSERT_TRUE(srgs.ok());
+  const auto unused = *system.spec->find_communicator("unused");
+  EXPECT_DOUBLE_EQ((*srgs)[static_cast<std::size_t>(unused)], 1.0);
+}
+
+// --- cyclic specifications ---
+
+TEST(SrgFixpoint, UnsafeCycleConvergesToZero) {
+  // Paper Section 3: model-1 task reading and writing c. Once bottom is
+  // written, c stays bottom, so the long-run reliability is 0.
+  spec::SpecificationConfig config;
+  config.communicators = {comm("c", 10, 0.5)};
+  config.tasks = {task("t", {{"c", 0}}, {{"c", 1}})};
+  auto system = test::single_host_system(std::move(config), 0.99, 1.0);
+  EXPECT_EQ(compute_srgs(*system.impl).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(analyze(*system.impl).status().code(),
+            StatusCode::kFailedPrecondition);
+  const auto fixpoint = compute_srgs_fixpoint(*system.impl);
+  EXPECT_DOUBLE_EQ(fixpoint[0], 0.0);
+}
+
+TEST(SrgFixpoint, SafeCycleMatchesInduction) {
+  // Paper's fix: an independent-model task in the cycle.
+  spec::SpecificationConfig config;
+  config.communicators = {comm("c", 10, 0.5)};
+  config.tasks = {
+      task("t", {{"c", 0}}, {{"c", 1}}, spec::FailureModel::kIndependent)};
+  auto system = test::single_host_system(std::move(config), 0.93, 1.0);
+  const auto inductive = compute_srgs(*system.impl);
+  ASSERT_TRUE(inductive.ok());
+  const auto fixpoint = compute_srgs_fixpoint(*system.impl);
+  EXPECT_NEAR((*inductive)[0], 0.93, 1e-12);
+  EXPECT_NEAR(fixpoint[0], 0.93, 1e-12);
+}
+
+TEST(SrgFixpoint, AgreesWithInductionOnAcyclicSpec) {
+  auto system = test::single_host_system(test::chain_spec_config(3), 0.9,
+                                         0.8);
+  const auto inductive = compute_srgs(*system.impl);
+  ASSERT_TRUE(inductive.ok());
+  const auto fixpoint = compute_srgs_fixpoint(*system.impl);
+  ASSERT_EQ(inductive->size(), fixpoint.size());
+  for (std::size_t c = 0; c < fixpoint.size(); ++c) {
+    EXPECT_NEAR((*inductive)[c], fixpoint[c], 1e-12) << "comm " << c;
+  }
+}
+
+// --- time-dependent implementations (paper Section 3) ---
+
+struct TimeDependentFixture {
+  std::unique_ptr<spec::Specification> spec;
+  std::unique_ptr<arch::Architecture> arch;
+  std::unique_ptr<impl::Implementation> phase_a;
+  std::unique_ptr<impl::Implementation> phase_b;
+};
+
+TimeDependentFixture make_time_dependent_fixture() {
+  // Paper: LRC 0.9 on c1, c2; hosts h1 (0.95) and h2 (0.85). Either static
+  // mapping violates one LRC; alternating the mapping satisfies both.
+  TimeDependentFixture f;
+  spec::SpecificationConfig spec_config;
+  spec_config.communicators = {comm("s", 10, 0.5), comm("c1", 10, 0.9),
+                               comm("c2", 10, 0.9)};
+  spec_config.tasks = {task("t1", {{"s", 0}}, {{"c1", 1}}),
+                       task("t2", {{"s", 0}}, {{"c2", 1}})};
+  f.spec = std::make_unique<spec::Specification>(
+      test::build_spec(std::move(spec_config)));
+
+  arch::ArchitectureConfig arch_config;
+  arch_config.hosts = {{"h1", 0.95}, {"h2", 0.85}};
+  arch_config.sensors = {{"s", 1.0}};
+  f.arch = std::make_unique<arch::Architecture>(
+      std::move(arch::Architecture::Build(std::move(arch_config))).value());
+
+  impl::ImplementationConfig a;
+  a.task_mappings = {{"t1", {"h1"}}, {"t2", {"h2"}}};
+  a.sensor_bindings = {{"s", "s"}};
+  impl::ImplementationConfig b;
+  b.task_mappings = {{"t1", {"h2"}}, {"t2", {"h1"}}};
+  b.sensor_bindings = {{"s", "s"}};
+  f.phase_a = std::make_unique<impl::Implementation>(
+      std::move(impl::Implementation::Build(*f.spec, *f.arch, std::move(a)))
+          .value());
+  f.phase_b = std::make_unique<impl::Implementation>(
+      std::move(impl::Implementation::Build(*f.spec, *f.arch, std::move(b)))
+          .value());
+  return f;
+}
+
+TEST(TimeDependent, StaticMappingsViolate) {
+  const auto f = make_time_dependent_fixture();
+  const auto report_a = analyze(*f.phase_a);
+  ASSERT_TRUE(report_a.ok());
+  EXPECT_FALSE(report_a->reliable);  // c2 at 0.85 < 0.9
+  const auto report_b = analyze(*f.phase_b);
+  ASSERT_TRUE(report_b.ok());
+  EXPECT_FALSE(report_b->reliable);  // c1 at 0.85 < 0.9
+}
+
+TEST(TimeDependent, AlternatingMappingIsReliable) {
+  const auto f = make_time_dependent_fixture();
+  const std::array<impl::Implementation, 2> phases = {*f.phase_a, *f.phase_b};
+  const auto report = analyze_time_dependent(phases);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->reliable);
+  // limavg = (0.95 + 0.85) / 2 = 0.9 for both c1 and c2.
+  for (const auto& verdict : report->verdicts) {
+    if (verdict.name == "c1" || verdict.name == "c2") {
+      EXPECT_NEAR(verdict.srg, 0.9, 1e-12);
+    }
+  }
+}
+
+TEST(TimeDependent, RejectsMismatchedPhases) {
+  const auto f = make_time_dependent_fixture();
+  const auto g = make_time_dependent_fixture();
+  const std::array<impl::Implementation, 2> phases = {*f.phase_a,
+                                                      *g.phase_b};
+  EXPECT_EQ(analyze_time_dependent(phases).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(analyze_time_dependent({}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// --- report plumbing ---
+
+TEST(Report, SummaryAndViolations) {
+  plant::ThreeTankScenario scenario;
+  scenario.lrc_controls = 0.98;
+  auto system = plant::make_three_tank_system(scenario);
+  ASSERT_TRUE(system.ok());
+  const auto report = analyze(*system->implementation);
+  ASSERT_TRUE(report.ok());
+  const std::string summary = report->summary();
+  EXPECT_NE(summary.find("NOT RELIABLE"), std::string::npos);
+  EXPECT_NE(summary.find("u1"), std::string::npos);
+  EXPECT_NE(summary.find("VIOLATED"), std::string::npos);
+}
+
+// --- monotonicity property: adding a replica never lowers any SRG ---
+
+class ReplicationMonotonicity : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReplicationMonotonicity, AddingHostsRaisesSrgs) {
+  const int tasks = GetParam();
+  auto base_config = test::chain_spec_config(tasks);
+  auto spec = std::make_unique<spec::Specification>(
+      test::build_spec(std::move(base_config)));
+
+  arch::ArchitectureConfig arch_config;
+  arch_config.hosts = {{"h1", 0.9}, {"h2", 0.8}, {"h3", 0.7}};
+  arch_config.sensors = {{"s", 0.95}};
+  auto arch = std::make_unique<arch::Architecture>(
+      std::move(arch::Architecture::Build(std::move(arch_config))).value());
+
+  const auto build = [&](bool replicate_first) {
+    impl::ImplementationConfig config;
+    for (int i = 0; i < tasks; ++i) {
+      const std::string name = "task" + std::to_string(i + 1);
+      if (i == 0 && replicate_first) {
+        config.task_mappings.push_back({name, {"h1", "h2", "h3"}});
+      } else {
+        config.task_mappings.push_back({name, {"h1"}});
+      }
+    }
+    config.sensor_bindings = {{"c0", "s"}};
+    return std::make_unique<impl::Implementation>(
+        std::move(
+            impl::Implementation::Build(*spec, *arch, std::move(config)))
+            .value());
+  };
+
+  const auto base = build(false);
+  const auto replicated = build(true);
+  const auto srgs_base = compute_srgs(*base);
+  const auto srgs_repl = compute_srgs(*replicated);
+  ASSERT_TRUE(srgs_base.ok());
+  ASSERT_TRUE(srgs_repl.ok());
+  for (std::size_t c = 0; c < srgs_base->size(); ++c) {
+    EXPECT_GE((*srgs_repl)[c] + 1e-15, (*srgs_base)[c]) << "comm " << c;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, ReplicationMonotonicity,
+                         ::testing::Values(1, 2, 3, 5, 8));
+
+}  // namespace
+}  // namespace lrt::reliability

@@ -1,0 +1,450 @@
+// Unit tests for src/sim: the trace operators, runtime semantics (voting,
+// persistence, failure models, replication), SLLN convergence of empirical
+// limit averages to the analytical SRGs, the memory-cycle pathology, and
+// scripted host kills.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "plant/three_tank_system.h"
+#include "reliability/analysis.h"
+#include "sim/runtime.h"
+#include "tests/test_util.h"
+
+namespace lrt::sim {
+namespace {
+
+using spec::Value;
+using test::comm;
+using test::task;
+
+// --- trace operators ---
+
+TEST(Trace, ReliabilityAbstraction) {
+  const std::vector<Value> values = {Value::real(1.0), Value::bottom(),
+                                     Value::integer(3), Value::bottom()};
+  const std::vector<int> abstract = reliability_abstraction(values);
+  EXPECT_EQ(abstract, (std::vector<int>{1, 0, 1, 0}));
+}
+
+TEST(Trace, LimitAverage) {
+  EXPECT_DOUBLE_EQ(limit_average(std::vector<int>{1, 0, 1, 0}), 0.5);
+  EXPECT_DOUBLE_EQ(limit_average(std::vector<int>{1, 1, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(limit_average(std::vector<int>{}), 1.0);
+}
+
+TEST(Trace, WilsonIntervalKnownValues) {
+  // 80/100 at 95% (z = 1.96): Wilson gives roughly [0.711, 0.867].
+  const ConfidenceInterval ci = wilson_interval(80, 100, 1.96);
+  EXPECT_NEAR(ci.low, 0.7112, 0.002);
+  EXPECT_NEAR(ci.high, 0.8665, 0.002);
+  EXPECT_TRUE(ci.contains(0.8));
+  EXPECT_FALSE(ci.contains(0.5));
+}
+
+TEST(Trace, WilsonIntervalEdgeCases) {
+  const ConfidenceInterval zero = wilson_interval(0, 0);
+  EXPECT_DOUBLE_EQ(zero.low, 0.0);
+  EXPECT_DOUBLE_EQ(zero.high, 1.0);
+  // All successes: upper bound is 1, lower bound strictly below.
+  const ConfidenceInterval all = wilson_interval(50, 50);
+  EXPECT_DOUBLE_EQ(all.high, 1.0);
+  EXPECT_GT(all.low, 0.85);
+  // No successes: lower bound 0.
+  const ConfidenceInterval none = wilson_interval(0, 50);
+  EXPECT_DOUBLE_EQ(none.low, 0.0);
+  EXPECT_LT(none.high, 0.15);
+  // Width shrinks with n.
+  EXPECT_GT(wilson_interval(8, 10).high - wilson_interval(8, 10).low,
+            wilson_interval(800, 1000).high - wilson_interval(800, 1000).low);
+}
+
+TEST(Trace, AnalyticSrgInsideSimulatedInterval) {
+  auto system = test::single_host_system(test::chain_spec_config(1), 0.9,
+                                         0.8);
+  NullEnvironment env;
+  SimulationOptions options;
+  options.periods = 50'000;
+  options.faults.seed = 19;
+  const auto result = simulate(*system.impl, env, options);
+  ASSERT_TRUE(result.ok());
+  const auto srgs = reliability::compute_srgs(*system.impl);
+  const auto c1 = *system.spec->find_communicator("c1");
+  const ConfidenceInterval ci =
+      result->find("c1")->update_rate_interval(/*z=*/3.3);  // ~99.9%
+  EXPECT_TRUE(ci.contains((*srgs)[static_cast<std::size_t>(c1)]))
+      << "[" << ci.low << ", " << ci.high << "]";
+}
+
+TEST(Trace, AccumulatorMatchesBatch) {
+  ReliabilityAccumulator acc;
+  const std::vector<int> bits = {1, 0, 1, 1, 0, 1};
+  for (const int b : bits) acc.record(b == 1);
+  EXPECT_EQ(acc.samples(), 6);
+  EXPECT_EQ(acc.reliable(), 4);
+  EXPECT_DOUBLE_EQ(acc.average(), limit_average(bits));
+}
+
+// --- runtime basics ---
+
+SimulationOptions fast_options(std::int64_t periods, std::uint64_t seed = 1) {
+  SimulationOptions options;
+  options.periods = periods;
+  options.faults.seed = seed;
+  return options;
+}
+
+TEST(Runtime, PerfectSystemIsFullyReliable) {
+  auto system = test::single_host_system(test::chain_spec_config(2),
+                                         /*host_rel=*/1.0,
+                                         /*sensor_rel=*/1.0);
+  NullEnvironment env;
+  const auto result = simulate(*system.impl, env, fast_options(100));
+  ASSERT_TRUE(result.ok());
+  for (const CommStats& stats : result->comm_stats) {
+    EXPECT_DOUBLE_EQ(stats.limit_average, 1.0) << stats.name;
+  }
+  EXPECT_EQ(result->invocation_failures, 0);
+  EXPECT_EQ(result->vote_divergences, 0);
+}
+
+TEST(Runtime, RejectsBadOptions) {
+  auto system = test::single_host_system(test::chain_spec_config(1));
+  NullEnvironment env;
+  EXPECT_FALSE(simulate(*system.impl, env, fast_options(0)).ok());
+  SimulationOptions bad = fast_options(10);
+  bad.broadcast_reliability = 0.0;
+  EXPECT_FALSE(simulate(*system.impl, env, bad).ok());
+  SimulationOptions unknown = fast_options(10);
+  unknown.record_values_for = {"ghost"};
+  EXPECT_EQ(simulate(*system.impl, env, unknown).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(Runtime, ValueTraceRecordsTaskOutput) {
+  // One task doubling its input; sensor returns a constant 21.
+  spec::SpecificationConfig config;
+  config.communicators = {comm("in", 10), comm("out", 10)};
+  auto doubler = task("t", {{"in", 0}}, {{"out", 1}});
+  doubler.function = [](std::span<const Value> inputs) {
+    return std::vector<Value>{Value::real(2.0 * inputs[0].as_real())};
+  };
+  config.tasks = {doubler};
+  auto system = test::single_host_system(std::move(config), 1.0, 1.0);
+
+  class ConstEnv final : public Environment {
+   public:
+    Value read_sensor(std::string_view, spec::Time) override {
+      return Value::real(21.0);
+    }
+    void write_actuator(std::string_view, spec::Time,
+                        const Value&) override {}
+  } env;
+
+  SimulationOptions options = fast_options(3);
+  options.record_values_for = {"out"};
+  const auto result = simulate(*system.impl, env, options);
+  ASSERT_TRUE(result.ok());
+  const auto& trace = result->value_traces.at("out");
+  ASSERT_EQ(trace.size(), 3u);  // one access instant per period
+  EXPECT_EQ(trace[0], Value::real(0.0));  // init, written only at t=10
+  EXPECT_EQ(trace[1], Value::real(42.0));
+  EXPECT_EQ(trace[2], Value::real(42.0));
+}
+
+TEST(Runtime, EmpiricalRateMatchesSrg_SingleTask) {
+  // Host 0.9, sensor 0.8, series task: lambda_out = 0.72.
+  auto system = test::single_host_system(test::chain_spec_config(1), 0.9,
+                                         0.8);
+  NullEnvironment env;
+  const auto result = simulate(*system.impl, env, fast_options(200'000, 7));
+  ASSERT_TRUE(result.ok());
+  const auto srgs = reliability::compute_srgs(*system.impl);
+  ASSERT_TRUE(srgs.ok());
+  const CommStats* out = result->find("c1");
+  ASSERT_NE(out, nullptr);
+  EXPECT_NEAR(out->limit_average,
+              (*srgs)[static_cast<std::size_t>(
+                  *system.spec->find_communicator("c1"))],
+              0.005);
+}
+
+TEST(Runtime, ReplicationImprovesEmpiricalRate) {
+  // Build t on one host vs two hosts at 0.8; empirical rates should
+  // bracket 0.8 and 0.96 respectively (sensor perfect).
+  const auto build = [](std::vector<std::string> hosts) {
+    test::System system;
+    spec::SpecificationConfig config = test::chain_spec_config(1);
+    system.spec = std::make_unique<spec::Specification>(
+        test::build_spec(std::move(config)));
+    arch::ArchitectureConfig arch_config;
+    arch_config.hosts = {{"h1", 0.8}, {"h2", 0.8}};
+    arch_config.sensors = {{"s", 1.0}};
+    system.arch = std::make_unique<arch::Architecture>(
+        std::move(arch::Architecture::Build(std::move(arch_config))).value());
+    impl::ImplementationConfig impl_config;
+    impl_config.task_mappings = {{"task1", std::move(hosts)}};
+    impl_config.sensor_bindings = {{"c0", "s"}};
+    system.impl = std::make_unique<impl::Implementation>(
+        std::move(impl::Implementation::Build(*system.spec, *system.arch,
+                                              std::move(impl_config)))
+            .value());
+    return system;
+  };
+
+  NullEnvironment env;
+  const auto single = build({"h1"});
+  const auto result1 = simulate(*single.impl, env, fast_options(100'000, 3));
+  ASSERT_TRUE(result1.ok());
+  EXPECT_NEAR(result1->find("c1")->limit_average, 0.8, 0.01);
+
+  const auto replicated = build({"h1", "h2"});
+  const auto result2 =
+      simulate(*replicated.impl, env, fast_options(100'000, 3));
+  ASSERT_TRUE(result2.ok());
+  EXPECT_NEAR(result2->find("c1")->limit_average, 0.96, 0.01);
+  EXPECT_EQ(result2->vote_divergences, 0);
+}
+
+// SLLN (Prop. 1): the empirical limit average converges to the SRG as the
+// trace grows; verify the deviation shrinks with length on the 3TS system.
+TEST(Runtime, SllnConvergenceOnThreeTank) {
+  auto system = plant::make_three_tank_system({});
+  ASSERT_TRUE(system.ok());
+  const auto srgs = reliability::compute_srgs(*system->implementation);
+  ASSERT_TRUE(srgs.ok());
+  const auto u1 = *system->specification->find_communicator("u1");
+  const double analytic = (*srgs)[static_cast<std::size_t>(u1)];
+
+  NullEnvironment env;
+  double previous_error = 1.0;
+  for (const std::int64_t periods : {1'000, 100'000}) {
+    const auto result =
+        simulate(*system->implementation, env, fast_options(periods, 11));
+    ASSERT_TRUE(result.ok());
+    const double error =
+        std::abs(result->find("u1")->limit_average - analytic);
+    EXPECT_LT(error, previous_error + 0.01);
+    previous_error = error;
+  }
+  EXPECT_LT(previous_error, 0.003);
+}
+
+// --- failure-model runtime semantics ---
+
+test::System diamond_system(spec::FailureModel model) {
+  spec::SpecificationConfig config;
+  config.communicators = {comm("sa", 10), comm("sb", 10), comm("out", 10)};
+  auto t = task("t", {{"sa", 0}, {"sb", 0}}, {{"out", 1}}, model);
+  t.defaults = {Value::real(-1.0), Value::real(-1.0)};
+  config.tasks = {t};
+  return test::single_host_system(std::move(config), /*host_rel=*/1.0,
+                                  /*sensor_rel=*/0.7);
+}
+
+TEST(Runtime, SeriesModelFailsOnAnyBadInput) {
+  auto system = diamond_system(spec::FailureModel::kSeries);
+  NullEnvironment env;
+  const auto result = simulate(*system.impl, env, fast_options(100'000, 5));
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->find("out")->limit_average, 0.7 * 0.7, 0.01);
+}
+
+TEST(Runtime, ParallelModelSurvivesOneBadInput) {
+  auto system = diamond_system(spec::FailureModel::kParallel);
+  NullEnvironment env;
+  const auto result = simulate(*system.impl, env, fast_options(100'000, 5));
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->find("out")->limit_average, 1.0 - 0.3 * 0.3, 0.01);
+}
+
+TEST(Runtime, IndependentModelAlwaysExecutes) {
+  auto system = diamond_system(spec::FailureModel::kIndependent);
+  NullEnvironment env;
+  const auto result = simulate(*system.impl, env, fast_options(50'000, 5));
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->find("out")->limit_average, 1.0);
+}
+
+// --- the paper's memory-cycle pathology (Section 3 / experiment E7) ---
+
+TEST(Runtime, UnsafeCycleDegradesToZero) {
+  // Series task reading and writing c on a 0.99 host: one failure poisons
+  // the loop forever, so the long-run average tends to 0.
+  spec::SpecificationConfig config;
+  config.communicators = {comm("c", 10, 0.5)};
+  config.communicators[0].init = Value::real(1.0);
+  config.tasks = {task("t", {{"c", 0}}, {{"c", 1}})};
+  auto system = test::single_host_system(std::move(config), 0.99, 1.0);
+  NullEnvironment env;
+  const auto result = simulate(*system.impl, env, fast_options(20'000, 9));
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result->find("c")->limit_average, 0.02);
+}
+
+TEST(Runtime, IndependentModelRescuesCycle) {
+  spec::SpecificationConfig config;
+  config.communicators = {comm("c", 10, 0.5)};
+  auto t = task("t", {{"c", 0}}, {{"c", 1}}, spec::FailureModel::kIndependent);
+  t.defaults = {Value::real(0.0)};
+  config.tasks = {t};
+  auto system = test::single_host_system(std::move(config), 0.9, 1.0);
+  NullEnvironment env;
+  const auto result = simulate(*system.impl, env, fast_options(100'000, 9));
+  ASSERT_TRUE(result.ok());
+  // Matches the fixpoint SRG lambda = lambda_t = 0.9.
+  EXPECT_NEAR(result->find("c")->limit_average, 0.9, 0.01);
+}
+
+// --- scripted host kills ---
+
+TEST(Runtime, KillingOnlyHostSilencesTask) {
+  auto system = test::single_host_system(test::chain_spec_config(1), 1.0,
+                                         1.0);
+  NullEnvironment env;
+  SimulationOptions options = fast_options(100);
+  options.faults.host_events = {{0, 0, false}};  // kill h0 at t=0
+  const auto result = simulate(*system.impl, env, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->find("c1")->update_rate(), 0.0);
+}
+
+TEST(Runtime, ReplicaCoversKilledHost) {
+  test::System system;
+  system.spec = std::make_unique<spec::Specification>(
+      test::build_spec(test::chain_spec_config(1)));
+  arch::ArchitectureConfig arch_config;
+  arch_config.hosts = {{"h1", 1.0}, {"h2", 1.0}};
+  arch_config.sensors = {{"s", 1.0}};
+  system.arch = std::make_unique<arch::Architecture>(
+      std::move(arch::Architecture::Build(std::move(arch_config))).value());
+  impl::ImplementationConfig impl_config;
+  impl_config.task_mappings = {{"task1", {"h1", "h2"}}};
+  impl_config.sensor_bindings = {{"c0", "s"}};
+  system.impl = std::make_unique<impl::Implementation>(
+      std::move(impl::Implementation::Build(*system.spec, *system.arch,
+                                            std::move(impl_config)))
+          .value());
+
+  NullEnvironment env;
+  SimulationOptions options = fast_options(100);
+  options.faults.host_events = {{0, 0, false}};  // kill h1 immediately
+  const auto result = simulate(*system.impl, env, options);
+  ASSERT_TRUE(result.ok());
+  // h2 still updates c1 every period.
+  EXPECT_DOUBLE_EQ(result->find("c1")->limit_average, 1.0);
+  EXPECT_EQ(result->vote_divergences, 0);
+}
+
+TEST(Runtime, HostRestoreResumesExecution) {
+  auto system = test::single_host_system(test::chain_spec_config(1), 1.0,
+                                         1.0);
+  NullEnvironment env;
+  SimulationOptions options = fast_options(100);
+  // Down for the first half of the run.
+  const spec::Time half = system.spec->hyperperiod() * 50;
+  options.faults.host_events = {{0, 0, false}, {half, 0, true}};
+  const auto result = simulate(*system.impl, env, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->find("c1")->update_rate(), 0.5, 0.02);
+}
+
+TEST(Runtime, HostEventValidatesHostId) {
+  auto system = test::single_host_system(test::chain_spec_config(1));
+  NullEnvironment env;
+  SimulationOptions options = fast_options(10);
+  options.faults.host_events = {{0, 99, false}};
+  EXPECT_EQ(simulate(*system.impl, env, options).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+// --- time-dependent implementations (paper Section 3) ---
+
+TEST(Runtime, TimeDependentMappingAlternates) {
+  // h1 = 1.0, h2 always down (kill at t=0). Alternating t between them
+  // yields exactly every second update reliable => limavg 0.5.
+  test::System system;
+  system.spec = std::make_unique<spec::Specification>(
+      test::build_spec(test::chain_spec_config(1)));
+  arch::ArchitectureConfig arch_config;
+  arch_config.hosts = {{"h1", 1.0}, {"h2", 1.0}};
+  arch_config.sensors = {{"s", 1.0}};
+  system.arch = std::make_unique<arch::Architecture>(
+      std::move(arch::Architecture::Build(std::move(arch_config))).value());
+
+  const auto build = [&system](const char* host) {
+    impl::ImplementationConfig config;
+    config.task_mappings = {{"task1", {host}}};
+    config.sensor_bindings = {{"c0", "s"}};
+    return std::move(impl::Implementation::Build(*system.spec, *system.arch,
+                                                 std::move(config)))
+        .value();
+  };
+  const std::array<impl::Implementation, 2> phases = {build("h1"),
+                                                      build("h2")};
+
+  NullEnvironment env;
+  SimulationOptions options = fast_options(1000);
+  options.faults.host_events = {{0, 1, false}};  // h2 permanently down
+  const auto result = simulate_time_dependent(phases, env, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  // 999 commits in 1000 periods (the last period's write lands after the
+  // horizon), 500 of them from the even (h1) phases.
+  EXPECT_NEAR(result->find("c1")->update_rate(), 0.5, 1e-3);
+}
+
+TEST(Runtime, TimeDependentMatchesPhaseMeanStatistically) {
+  // Paper E8 hosts: alternating between 0.95 and 0.85 => limavg 0.9.
+  test::System system;
+  system.spec = std::make_unique<spec::Specification>(
+      test::build_spec(test::chain_spec_config(1)));
+  arch::ArchitectureConfig arch_config;
+  arch_config.hosts = {{"h1", 0.95}, {"h2", 0.85}};
+  arch_config.sensors = {{"s", 1.0}};
+  system.arch = std::make_unique<arch::Architecture>(
+      std::move(arch::Architecture::Build(std::move(arch_config))).value());
+  const auto build = [&system](const char* host) {
+    impl::ImplementationConfig config;
+    config.task_mappings = {{"task1", {host}}};
+    config.sensor_bindings = {{"c0", "s"}};
+    return std::move(impl::Implementation::Build(*system.spec, *system.arch,
+                                                 std::move(config)))
+        .value();
+  };
+  const std::array<impl::Implementation, 2> phases = {build("h1"),
+                                                      build("h2")};
+  NullEnvironment env;
+  const auto result =
+      simulate_time_dependent(phases, env, fast_options(200'000, 17));
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->find("c1")->limit_average, 0.9, 0.005);
+}
+
+TEST(Runtime, TimeDependentRejectsMismatchedPhases) {
+  auto a = test::single_host_system(test::chain_spec_config(1));
+  auto b = test::single_host_system(test::chain_spec_config(1));
+  const std::array<impl::Implementation, 2> phases = {*a.impl, *b.impl};
+  NullEnvironment env;
+  EXPECT_EQ(
+      simulate_time_dependent(phases, env, fast_options(10)).status().code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_EQ(simulate_time_dependent({}, env, fast_options(10)).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// --- unreliable (but atomic) broadcast ---
+
+TEST(Runtime, BroadcastLossReducesRate) {
+  auto system = test::single_host_system(test::chain_spec_config(1), 1.0,
+                                         1.0);
+  NullEnvironment env;
+  SimulationOptions options = fast_options(100'000, 13);
+  options.broadcast_reliability = 0.9;
+  const auto result = simulate(*system.impl, env, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->find("c1")->limit_average, 0.9, 0.01);
+  EXPECT_EQ(result->vote_divergences, 0);  // atomicity preserved
+}
+
+}  // namespace
+}  // namespace lrt::sim

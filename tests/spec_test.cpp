@@ -1,0 +1,281 @@
+// Unit tests for src/spec: Value semantics, specification well-formedness
+// (the paper's rules 1-4), derived timing (read/write times, pi_S), and the
+// Fig. 1 example.
+#include <gtest/gtest.h>
+
+#include "spec/specification.h"
+#include "tests/test_util.h"
+
+namespace lrt::spec {
+namespace {
+
+using test::comm;
+using test::task;
+
+// --- Value ---
+
+TEST(Value, DefaultIsBottom) {
+  const Value v;
+  EXPECT_TRUE(v.is_bottom());
+  EXPECT_EQ(v, Value::bottom());
+}
+
+TEST(Value, TypedPayloads) {
+  EXPECT_DOUBLE_EQ(Value::real(2.5).as_real(), 2.5);
+  EXPECT_EQ(Value::integer(-3).as_int(), -3);
+  EXPECT_TRUE(Value::boolean(true).as_bool());
+  EXPECT_FALSE(Value::real(1.0).is_bottom());
+}
+
+TEST(Value, ConformanceIncludesBottom) {
+  EXPECT_TRUE(Value::bottom().conforms_to(ValueType::kReal));
+  EXPECT_TRUE(Value::bottom().conforms_to(ValueType::kBool));
+  EXPECT_TRUE(Value::real(1.0).conforms_to(ValueType::kReal));
+  EXPECT_FALSE(Value::real(1.0).conforms_to(ValueType::kInt));
+  EXPECT_FALSE(Value::integer(1).conforms_to(ValueType::kBool));
+}
+
+TEST(Value, EqualityDistinguishesBottom) {
+  EXPECT_EQ(Value::bottom(), Value::bottom());
+  EXPECT_NE(Value::bottom(), Value::real(0.0));
+  EXPECT_EQ(Value::real(1.5), Value::real(1.5));
+  EXPECT_NE(Value::real(1.5), Value::real(1.6));
+  EXPECT_NE(Value::integer(1), Value::boolean(true));
+}
+
+TEST(Value, ZeroValues) {
+  EXPECT_EQ(zero_value(ValueType::kReal), Value::real(0.0));
+  EXPECT_EQ(zero_value(ValueType::kInt), Value::integer(0));
+  EXPECT_EQ(zero_value(ValueType::kBool), Value::boolean(false));
+}
+
+// --- Specification: Fig. 1 of the paper ---
+// c1..c4 with periods 2, 3, 4, 2; task t reads the second instances of c1
+// and c2 (i = 1) and updates the third instance of c3 (i = 2) and the sixth
+// instance of c4 (i = 5). Its LET is [3, 8].
+
+SpecificationConfig fig1_config() {
+  SpecificationConfig config;
+  config.name = "fig1";
+  config.communicators = {comm("c1", 2), comm("c2", 3), comm("c3", 4),
+                          comm("c4", 2)};
+  config.tasks = {
+      task("t", {{"c1", 1}, {"c2", 1}}, {{"c3", 2}, {"c4", 5}})};
+  return config;
+}
+
+TEST(Specification, Fig1Timing) {
+  const Specification spec = test::build_spec(fig1_config());
+  const TaskId t = *spec.find_task("t");
+  EXPECT_EQ(spec.read_time(t), 3);   // max(2*1, 3*1)
+  EXPECT_EQ(spec.write_time(t), 8);  // min(4*2, 2*5)
+  EXPECT_EQ(spec.base_lcm(), 12);    // lcm(2,3,4,2)
+  // pi_S = 12 * ceil(8/12) = 12.
+  EXPECT_EQ(spec.hyperperiod(), 12);
+}
+
+TEST(Specification, Fig1Classification) {
+  const Specification spec = test::build_spec(fig1_config());
+  EXPECT_TRUE(spec.is_input_communicator(*spec.find_communicator("c1")));
+  EXPECT_TRUE(spec.is_input_communicator(*spec.find_communicator("c2")));
+  EXPECT_FALSE(spec.is_input_communicator(*spec.find_communicator("c3")));
+  EXPECT_TRUE(spec.is_output_communicator(*spec.find_communicator("c3")));
+  const TaskId t = *spec.find_task("t");
+  EXPECT_EQ(spec.writer_of(*spec.find_communicator("c3")), t);
+  EXPECT_EQ(spec.writer_of(*spec.find_communicator("c1")), std::nullopt);
+  EXPECT_EQ(spec.input_comm_set(t).size(), 2u);
+}
+
+TEST(Specification, HyperperiodRoundsUpToLcmMultiple) {
+  // Periods 2 and 3 (lcm 6) with a write at time 8 => pi_S = 12.
+  SpecificationConfig config;
+  config.communicators = {comm("a", 2), comm("b", 3)};
+  config.tasks = {task("t", {{"a", 1}}, {{"b", 2}, {"a", 4}})};
+  // write time = min(3*2, 2*4) = 6 => pi_S = 6.
+  const Specification spec = test::build_spec(std::move(config));
+  EXPECT_EQ(spec.hyperperiod(), 6);
+
+  SpecificationConfig config2;
+  config2.communicators = {comm("a", 2), comm("b", 3)};
+  config2.tasks = {task("t", {{"a", 1}}, {{"a", 4}})};
+  // write time = 8 => pi_S = 6 * ceil(8/6) = 12.
+  const Specification spec2 = test::build_spec(std::move(config2));
+  EXPECT_EQ(spec2.hyperperiod(), 12);
+}
+
+TEST(Specification, InstancesPerPeriod) {
+  const Specification spec = test::build_spec(fig1_config());
+  EXPECT_EQ(spec.instances_per_period(*spec.find_communicator("c1")), 6);
+  EXPECT_EQ(spec.instances_per_period(*spec.find_communicator("c2")), 4);
+  EXPECT_EQ(spec.instances_per_period(*spec.find_communicator("c3")), 3);
+}
+
+// --- Well-formedness rules ---
+
+TEST(SpecificationValidation, Rule1RequiresInputsAndOutputs) {
+  SpecificationConfig no_inputs;
+  no_inputs.communicators = {comm("c", 2)};
+  no_inputs.tasks = {task("t", {}, {{"c", 1}})};
+  EXPECT_EQ(Specification::Build(std::move(no_inputs)).status().code(),
+            StatusCode::kInvalidArgument);
+
+  SpecificationConfig no_outputs;
+  no_outputs.communicators = {comm("c", 2)};
+  no_outputs.tasks = {task("t", {{"c", 0}}, {})};
+  EXPECT_EQ(Specification::Build(std::move(no_outputs)).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SpecificationValidation, Rule2RequiresReadBeforeWrite) {
+  SpecificationConfig config;
+  config.communicators = {comm("a", 2), comm("b", 2)};
+  // read time 4, write time 2: invalid.
+  config.tasks = {task("t", {{"a", 2}}, {{"b", 1}})};
+  const auto result = Specification::Build(std::move(config));
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("rule 2"), std::string::npos);
+}
+
+TEST(SpecificationValidation, Rule3RejectsTwoWriters) {
+  SpecificationConfig config;
+  config.communicators = {comm("in", 2), comm("out", 2)};
+  config.tasks = {task("t1", {{"in", 0}}, {{"out", 1}}),
+                  task("t2", {{"in", 0}}, {{"out", 2}})};
+  const auto result = Specification::Build(std::move(config));
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("rule 3"), std::string::npos);
+}
+
+TEST(SpecificationValidation, Rule4RejectsDuplicateInstanceWrite) {
+  SpecificationConfig config;
+  config.communicators = {comm("in", 2), comm("out", 2)};
+  config.tasks = {task("t", {{"in", 0}}, {{"out", 1}, {"out", 1}})};
+  const auto result = Specification::Build(std::move(config));
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("rule 4"), std::string::npos);
+}
+
+TEST(SpecificationValidation, SameTaskMayWriteDistinctInstances) {
+  SpecificationConfig config;
+  config.communicators = {comm("in", 2), comm("out", 2)};
+  config.tasks = {task("t", {{"in", 0}}, {{"out", 1}, {"out", 2}})};
+  EXPECT_TRUE(Specification::Build(std::move(config)).ok());
+}
+
+TEST(SpecificationValidation, RejectsDuplicateNames) {
+  SpecificationConfig config;
+  config.communicators = {comm("c", 2), comm("c", 3)};
+  EXPECT_EQ(Specification::Build(std::move(config)).status().code(),
+            StatusCode::kAlreadyExists);
+
+  SpecificationConfig config2;
+  config2.communicators = {comm("a", 2), comm("b", 2)};
+  config2.tasks = {task("t", {{"a", 0}}, {{"b", 1}}),
+                   task("t", {{"a", 0}}, {{"b", 2}})};
+  EXPECT_EQ(Specification::Build(std::move(config2)).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(SpecificationValidation, RejectsBadPeriodAndLrc) {
+  SpecificationConfig config;
+  config.communicators = {comm("c", 0)};
+  EXPECT_FALSE(Specification::Build(std::move(config)).ok());
+
+  SpecificationConfig config2;
+  config2.communicators = {comm("c", 2, 0.0)};  // LRC must be > 0
+  EXPECT_FALSE(Specification::Build(std::move(config2)).ok());
+
+  SpecificationConfig config3;
+  config3.communicators = {comm("c", 2, 1.5)};
+  EXPECT_FALSE(Specification::Build(std::move(config3)).ok());
+}
+
+TEST(SpecificationValidation, RejectsUnknownCommunicatorReference) {
+  SpecificationConfig config;
+  config.communicators = {comm("a", 2)};
+  config.tasks = {task("t", {{"nope", 0}}, {{"a", 1}})};
+  EXPECT_EQ(Specification::Build(std::move(config)).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(SpecificationValidation, RejectsOutputInstanceZero) {
+  SpecificationConfig config;
+  config.communicators = {comm("a", 2), comm("b", 2)};
+  config.tasks = {task("t", {{"a", 0}}, {{"b", 0}})};
+  EXPECT_EQ(Specification::Build(std::move(config)).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(SpecificationValidation, RejectsNegativeInputInstance) {
+  SpecificationConfig config;
+  config.communicators = {comm("a", 2), comm("b", 2)};
+  config.tasks = {task("t", {{"a", -1}}, {{"b", 1}})};
+  EXPECT_EQ(Specification::Build(std::move(config)).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(SpecificationValidation, RejectsInitTypeMismatch) {
+  SpecificationConfig config;
+  config.communicators.push_back(
+      {"c", ValueType::kInt, Value::real(1.0), 2, 1.0});
+  EXPECT_EQ(Specification::Build(std::move(config)).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SpecificationValidation, DefaultsMustMatchInputArity) {
+  SpecificationConfig config;
+  config.communicators = {comm("a", 2), comm("b", 2)};
+  auto bad = task("t", {{"a", 0}}, {{"b", 1}});
+  bad.defaults = {Value::real(0.0), Value::real(1.0)};
+  config.tasks = {bad};
+  EXPECT_EQ(Specification::Build(std::move(config)).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SpecificationValidation, BottomDefaultRejected) {
+  SpecificationConfig config;
+  config.communicators = {comm("a", 2), comm("b", 2)};
+  auto bad = task("t", {{"a", 0}}, {{"b", 1}});
+  bad.defaults = {Value::bottom()};
+  config.tasks = {bad};
+  EXPECT_EQ(Specification::Build(std::move(config)).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SpecificationValidation, EmptyDefaultsFilledWithZeros) {
+  SpecificationConfig config;
+  config.communicators = {comm("a", 2), comm("b", 2)};
+  config.tasks = {task("t", {{"a", 0}}, {{"b", 1}})};
+  const Specification spec = test::build_spec(std::move(config));
+  const Task& t = spec.task(0);
+  ASSERT_EQ(t.defaults.size(), 1u);
+  EXPECT_EQ(t.defaults[0], Value::real(0.0));
+}
+
+TEST(SpecificationValidation, RejectsEmptyCommunicatorSet) {
+  SpecificationConfig config;
+  EXPECT_FALSE(Specification::Build(std::move(config)).ok());
+}
+
+TEST(Specification, LookupByName) {
+  const Specification spec = test::build_spec(fig1_config());
+  EXPECT_TRUE(spec.find_communicator("c1").has_value());
+  EXPECT_FALSE(spec.find_communicator("zz").has_value());
+  EXPECT_TRUE(spec.find_task("t").has_value());
+  EXPECT_FALSE(spec.find_task("zz").has_value());
+}
+
+TEST(Specification, ReadersTracksDistinctTasks) {
+  SpecificationConfig config;
+  config.communicators = {comm("in", 2), comm("o1", 2), comm("o2", 2)};
+  config.tasks = {task("t1", {{"in", 0}, {"in", 1}}, {{"o1", 2}}),
+                  task("t2", {{"in", 0}}, {{"o2", 2}})};
+  const Specification spec = test::build_spec(std::move(config));
+  const CommId in = *spec.find_communicator("in");
+  // t1 reads `in` twice but is registered once.
+  EXPECT_EQ(spec.readers_of(in).size(), 2u);
+  EXPECT_EQ(spec.input_comm_set(*spec.find_task("t1")).size(), 1u);
+}
+
+}  // namespace
+}  // namespace lrt::spec

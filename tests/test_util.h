@@ -1,0 +1,121 @@
+// Shared helpers for constructing small systems in tests.
+#ifndef LRT_TESTS_TEST_UTIL_H_
+#define LRT_TESTS_TEST_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "arch/architecture.h"
+#include "impl/implementation.h"
+#include "spec/specification.h"
+
+namespace lrt::test {
+
+/// A heap-owned (spec, arch, impl) triple with stable addresses.
+struct System {
+  std::unique_ptr<spec::Specification> spec;
+  std::unique_ptr<arch::Architecture> arch;
+  std::unique_ptr<impl::Implementation> impl;
+};
+
+/// Shorthand for a real-typed communicator declaration.
+inline spec::Communicator comm(std::string name, spec::Time period,
+                               double lrc = 1.0) {
+  return {std::move(name), spec::ValueType::kReal, spec::Value::real(0.0),
+          period, lrc};
+}
+
+/// Shorthand for a task config reading/writing (comm, instance) pairs.
+inline spec::SpecificationConfig::TaskConfig task(
+    std::string name,
+    std::vector<std::pair<std::string, std::int64_t>> inputs,
+    std::vector<std::pair<std::string, std::int64_t>> outputs,
+    spec::FailureModel model = spec::FailureModel::kSeries) {
+  spec::SpecificationConfig::TaskConfig config;
+  config.name = std::move(name);
+  config.inputs = std::move(inputs);
+  config.outputs = std::move(outputs);
+  config.model = model;
+  return config;
+}
+
+/// Builds a specification or aborts the test with the error message.
+inline spec::Specification build_spec(spec::SpecificationConfig config) {
+  auto result = spec::Specification::Build(std::move(config));
+  if (!result.ok()) {
+    ADD_FAILURE() << "spec build failed: " << result.status();
+    std::abort();
+  }
+  return std::move(result).value();
+}
+
+/// One-sensor-in, chain-of-tasks specification:
+///   sensor comm c0 -> task1 -> c1 -> task2 -> c2 -> ... -> cN
+/// Every communicator has period `period` (tasks write instance k+1 etc.).
+inline spec::SpecificationConfig chain_spec_config(int tasks,
+                                                   spec::Time period = 10,
+                                                   double lrc = 0.5) {
+  spec::SpecificationConfig config;
+  config.name = "chain";
+  for (int i = 0; i <= tasks; ++i) {
+    config.communicators.push_back(comm("c" + std::to_string(i), period, lrc));
+  }
+  for (int i = 0; i < tasks; ++i) {
+    config.tasks.push_back(task("task" + std::to_string(i + 1),
+                                {{"c" + std::to_string(i), i}},
+                                {{"c" + std::to_string(i + 1), i + 1}}));
+  }
+  return config;
+}
+
+/// Builds a System where every task runs on one host of reliability
+/// `host_rel` (host "h0"), and every input communicator is read from a
+/// sensor of reliability `sensor_rel`.
+inline System single_host_system(spec::SpecificationConfig spec_config,
+                                 double host_rel = 0.9,
+                                 double sensor_rel = 0.95) {
+  System system;
+  system.spec = std::make_unique<spec::Specification>(
+      build_spec(std::move(spec_config)));
+
+  arch::ArchitectureConfig arch_config;
+  arch_config.hosts.push_back({"h0", host_rel});
+  impl::ImplementationConfig impl_config;
+  for (const auto& task : system.spec->tasks()) {
+    impl_config.task_mappings.push_back({task.name, {"h0"}});
+  }
+  for (spec::CommId c = 0;
+       c < static_cast<spec::CommId>(system.spec->communicators().size());
+       ++c) {
+    if (system.spec->is_input_communicator(c) &&
+        !system.spec->readers_of(c).empty()) {
+      const std::string& name = system.spec->communicator(c).name;
+      arch_config.sensors.push_back({"sens_" + name, sensor_rel});
+      impl_config.sensor_bindings.push_back({name, "sens_" + name});
+    }
+  }
+
+  auto arch_result = arch::Architecture::Build(std::move(arch_config));
+  if (!arch_result.ok()) {
+    ADD_FAILURE() << "arch build failed: " << arch_result.status();
+    std::abort();
+  }
+  system.arch =
+      std::make_unique<arch::Architecture>(std::move(arch_result).value());
+
+  auto impl_result = impl::Implementation::Build(
+      *system.spec, *system.arch, std::move(impl_config));
+  if (!impl_result.ok()) {
+    ADD_FAILURE() << "impl build failed: " << impl_result.status();
+    std::abort();
+  }
+  system.impl =
+      std::make_unique<impl::Implementation>(std::move(impl_result).value());
+  return system;
+}
+
+}  // namespace lrt::test
+
+#endif  // LRT_TESTS_TEST_UTIL_H_

@@ -1,0 +1,206 @@
+// Tests for the WCET-timed execution mode: a schedulable implementation
+// behaves exactly like the logical-execution model (no deadline misses,
+// same empirical reliability), while an overloaded one misses write
+// instants and its observed reliability drops below the SRG — the runtime
+// witness for why the paper couples schedulability with reliability.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "gen/workload.h"
+#include "plant/three_tank_system.h"
+#include "reliability/analysis.h"
+#include "sched/schedulability.h"
+#include "sim/runtime.h"
+#include "tests/test_util.h"
+
+namespace lrt::sim {
+namespace {
+
+/// Two tasks sharing one host; both have LET [0, period) and the given
+/// WCET, so the pair is schedulable iff 2*wcet + wctt fits.
+test::System shared_host(spec::Time wcet, spec::Time period = 20) {
+  test::System system;
+  spec::SpecificationConfig config;
+  config.communicators = {test::comm("in", period),
+                          test::comm("a", period),
+                          test::comm("b", period)};
+  config.tasks = {test::task("t1", {{"in", 0}}, {{"a", 1}}),
+                  test::task("t2", {{"in", 0}}, {{"b", 1}})};
+  system.spec = std::make_unique<spec::Specification>(
+      test::build_spec(std::move(config)));
+  arch::ArchitectureConfig arch_config;
+  arch_config.hosts = {{"h0", 1.0}};
+  arch_config.sensors = {{"s", 1.0}};
+  arch_config.default_wcet = wcet;
+  arch_config.default_wctt = 1;
+  system.arch = std::make_unique<arch::Architecture>(
+      std::move(arch::Architecture::Build(std::move(arch_config))).value());
+  impl::ImplementationConfig impl_config;
+  impl_config.task_mappings = {{"t1", {"h0"}}, {"t2", {"h0"}}};
+  impl_config.sensor_bindings = {{"in", "s"}};
+  system.impl = std::make_unique<impl::Implementation>(
+      std::move(impl::Implementation::Build(*system.spec, *system.arch,
+                                            std::move(impl_config)))
+          .value());
+  return system;
+}
+
+SimulationOptions timed_options(std::int64_t periods,
+                                std::uint64_t seed = 1) {
+  SimulationOptions options;
+  options.periods = periods;
+  options.faults.seed = seed;
+  options.model_execution_time = true;
+  return options;
+}
+
+TEST(TimedExecution, SchedulableSystemHasNoMisses) {
+  auto system = shared_host(/*wcet=*/8);  // 2*8 + 1 <= 19: feasible
+  ASSERT_TRUE(sched::analyze_schedulability(*system.impl)->schedulable);
+  NullEnvironment env;
+  const auto result = simulate(*system.impl, env, timed_options(500));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->deadline_misses, 0);
+  EXPECT_DOUBLE_EQ(result->find("a")->update_rate(), 1.0);
+  EXPECT_DOUBLE_EQ(result->find("b")->update_rate(), 1.0);
+}
+
+TEST(TimedExecution, OverloadedSystemMissesDeadlines) {
+  auto system = shared_host(/*wcet=*/12);  // 24 > 19: one task must be late
+  ASSERT_FALSE(sched::analyze_schedulability(*system.impl)->schedulable);
+  NullEnvironment env;
+  const auto result = simulate(*system.impl, env, timed_options(500));
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->deadline_misses, 0);
+  // The EDF loser's communicator receives bottom every period.
+  const double rate_a = result->find("a")->update_rate();
+  const double rate_b = result->find("b")->update_rate();
+  EXPECT_LT(std::min(rate_a, rate_b), 0.01);
+}
+
+TEST(TimedExecution, LogicalModeIgnoresOverload) {
+  // The paper's logical-execution semantics: timing is the schedulability
+  // analysis' job, so the same overloaded system shows full reliability
+  // when execution time is not modeled.
+  auto system = shared_host(/*wcet=*/12);
+  NullEnvironment env;
+  SimulationOptions options;
+  options.periods = 200;
+  const auto result = simulate(*system.impl, env, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->deadline_misses, 0);
+  EXPECT_DOUBLE_EQ(result->find("a")->update_rate(), 1.0);
+}
+
+TEST(TimedExecution, ThreeTankMatchesAnalysisUnderFaults) {
+  // The 3TS is schedulable, so timed execution must reproduce the SRGs.
+  auto system = plant::make_three_tank_system({});
+  ASSERT_TRUE(
+      sched::analyze_schedulability(*system->implementation)->schedulable);
+  const auto srgs = reliability::compute_srgs(*system->implementation);
+  NullEnvironment env;
+  SimulationOptions options = timed_options(100'000, 23);
+  options.actuator_comms = {"u1", "u2"};
+  const auto result = simulate(*system->implementation, env, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->deadline_misses, 0);
+  for (const char* name : {"l1", "u1", "r1"}) {
+    const auto comm = *system->specification->find_communicator(name);
+    EXPECT_NEAR(result->find(name)->update_rate(),
+                (*srgs)[static_cast<std::size_t>(comm)], 0.005)
+        << name;
+  }
+}
+
+TEST(TimedExecution, ReexecutionBurnsProcessorTime) {
+  // One task, wcet 8, window 19, one re-execution allowed: analysis
+  // reserves 16 <= 19, feasible. Timed simulation with certain transient
+  // failure on the first attempt (host reliability 0.5, forced by seed
+  // statistics) still meets every deadline.
+  test::System system;
+  system.spec = std::make_unique<spec::Specification>(
+      test::build_spec(test::chain_spec_config(1, /*period=*/20)));
+  arch::ArchitectureConfig arch_config;
+  arch_config.hosts = {{"h0", 0.5}};
+  arch_config.sensors = {{"s", 1.0}};
+  arch_config.default_wcet = 8;
+  arch_config.default_wctt = 1;
+  system.arch = std::make_unique<arch::Architecture>(
+      std::move(arch::Architecture::Build(std::move(arch_config))).value());
+  impl::ImplementationConfig impl_config;
+  impl_config.task_mappings = {{"task1", {"h0"}, /*reexecutions=*/1}};
+  impl_config.sensor_bindings = {{"c0", "s"}};
+  system.impl = std::make_unique<impl::Implementation>(
+      std::move(impl::Implementation::Build(*system.spec, *system.arch,
+                                            std::move(impl_config)))
+          .value());
+  ASSERT_TRUE(sched::analyze_schedulability(*system.impl)->schedulable);
+
+  NullEnvironment env;
+  const auto result = simulate(*system.impl, env, timed_options(50'000, 29));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->deadline_misses, 0);
+  // 1 - 0.5^2 = 0.75 with the retry.
+  EXPECT_NEAR(result->find("c1")->update_rate(), 0.75, 0.01);
+}
+
+// Property: on a SCHEDULABLE implementation, modeling execution time is
+// unobservable — with the same seed, timed and logical modes produce the
+// identical value trace and statistics (the LET abstraction's core
+// guarantee, and why the paper can separate timing from reliability).
+TEST(TimedExecution, EquivalentToLogicalModeWhenSchedulable) {
+  Xoshiro256 rng(404);
+  int tested = 0;
+  for (int trial = 0; trial < 20 && tested < 8; ++trial) {
+    gen::WorkloadOptions gen_options;
+    gen_options.wcet = 1;  // keep most generated systems schedulable
+    gen_options.wctt = 1;
+    const auto workload = gen::random_workload(rng, gen_options);
+    ASSERT_TRUE(workload.ok());
+    const auto sched_report =
+        sched::analyze_schedulability(*workload->implementation);
+    ASSERT_TRUE(sched_report.ok());
+    if (!sched_report->schedulable) continue;
+    ++tested;
+
+    NullEnvironment env;
+    SimulationOptions options;
+    options.periods = 500;
+    options.faults.seed = 1000 + static_cast<std::uint64_t>(trial);
+    for (const auto& comm : workload->specification->communicators()) {
+      options.record_values_for.push_back(comm.name);
+    }
+    const auto logical = simulate(*workload->implementation, env, options);
+    ASSERT_TRUE(logical.ok());
+    options.model_execution_time = true;
+    const auto timed = simulate(*workload->implementation, env, options);
+    ASSERT_TRUE(timed.ok());
+
+    EXPECT_EQ(timed->deadline_misses, 0);
+    for (const auto& comm : workload->specification->communicators()) {
+      const auto& a = logical->value_traces.at(comm.name);
+      const auto& b = timed->value_traces.at(comm.name);
+      ASSERT_EQ(a.size(), b.size());
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a[i], b[i])
+            << "trial " << trial << " comm " << comm.name << " sample " << i;
+      }
+    }
+    EXPECT_EQ(logical->invocation_failures, timed->invocation_failures);
+  }
+  EXPECT_GE(tested, 4) << "generator produced too few schedulable systems";
+}
+
+TEST(TimedExecution, HostKillFreezesItsProcessor) {
+  auto system = shared_host(8);
+  NullEnvironment env;
+  SimulationOptions options = timed_options(100);
+  options.faults.host_events = {{0, 0, false}};
+  const auto result = simulate(*system.impl, env, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->find("a")->update_rate(), 0.0);
+}
+
+}  // namespace
+}  // namespace lrt::sim

@@ -1,0 +1,63 @@
+// Tests for the ASCII schedule renderer.
+#include <gtest/gtest.h>
+
+#include "plant/three_tank_system.h"
+#include "sched/schedulability.h"
+#include "sched/timeline.h"
+#include "tests/test_util.h"
+
+namespace lrt::sched {
+namespace {
+
+TEST(Timeline, RendersHostsAndLegend) {
+  auto system = plant::make_three_tank_system({});
+  ASSERT_TRUE(system.ok());
+  const auto report = analyze_schedulability(*system->implementation);
+  ASSERT_TRUE(report.ok());
+  const std::string timeline =
+      render_timeline(*report, *system->implementation);
+  // One row per host plus header and legend.
+  EXPECT_NE(timeline.find("h1 |"), std::string::npos);
+  EXPECT_NE(timeline.find("h2 |"), std::string::npos);
+  EXPECT_NE(timeline.find("h3 |"), std::string::npos);
+  EXPECT_NE(timeline.find("legend:"), std::string::npos);
+  EXPECT_NE(timeline.find("=t1"), std::string::npos);
+  EXPECT_NE(timeline.find("=read1"), std::string::npos);
+  EXPECT_EQ(timeline.find("INFEASIBLE"), std::string::npos);
+}
+
+TEST(Timeline, ShortSlicesStayVisible) {
+  auto system = test::single_host_system(test::chain_spec_config(1));
+  const auto report = analyze_schedulability(*system.impl);
+  ASSERT_TRUE(report.ok());
+  const std::string timeline = render_timeline(*report, *system.impl, 10);
+  // The single task paints at least one 'A' cell.
+  EXPECT_NE(timeline.find('A'), std::string::npos);
+}
+
+TEST(Timeline, MarksInfeasibleHosts) {
+  // WCET larger than the window.
+  test::System system = test::single_host_system(test::chain_spec_config(1));
+  arch::ArchitectureConfig arch_config;
+  arch_config.hosts = {{"h0", 0.9}};
+  arch_config.sensors = {{"sens_c0", 0.9}};
+  arch_config.default_wcet = 100;
+  arch_config.default_wctt = 1;
+  system.arch = std::make_unique<arch::Architecture>(
+      std::move(arch::Architecture::Build(std::move(arch_config))).value());
+  impl::ImplementationConfig impl_config;
+  impl_config.task_mappings = {{"task1", {"h0"}}};
+  impl_config.sensor_bindings = {{"c0", "sens_c0"}};
+  system.impl = std::make_unique<impl::Implementation>(
+      std::move(impl::Implementation::Build(*system.spec, *system.arch,
+                                            std::move(impl_config)))
+          .value());
+  const auto report = analyze_schedulability(*system.impl);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->schedulable);
+  const std::string timeline = render_timeline(*report, *system.impl);
+  EXPECT_NE(timeline.find("INFEASIBLE"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lrt::sched

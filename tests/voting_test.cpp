@@ -1,0 +1,141 @@
+// Tests for the voting routine: the paper's any-non-bottom policy, the
+// majority extension, divergence accounting, and end-to-end agreement of
+// the two policies under the paper's determinism assumptions.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sim/runtime.h"
+#include "sim/voting.h"
+#include "tests/test_util.h"
+
+namespace lrt::sim {
+namespace {
+
+using spec::Value;
+
+TEST(Vote, AllBottomYieldsBottom) {
+  const std::vector<Value> candidates = {Value::bottom(), Value::bottom()};
+  std::int64_t divergences = 0;
+  EXPECT_TRUE(vote(candidates, VotingPolicy::kAnyNonBottom, &divergences)
+                  .is_bottom());
+  EXPECT_TRUE(
+      vote(candidates, VotingPolicy::kMajority, &divergences).is_bottom());
+  EXPECT_EQ(divergences, 0);
+  EXPECT_TRUE(vote({}, VotingPolicy::kAnyNonBottom).is_bottom());
+}
+
+TEST(Vote, AnyNonBottomPicksFirstReliable) {
+  const std::vector<Value> candidates = {Value::bottom(), Value::real(3.0),
+                                         Value::real(3.0)};
+  std::int64_t divergences = 0;
+  EXPECT_EQ(vote(candidates, VotingPolicy::kAnyNonBottom, &divergences),
+            Value::real(3.0));
+  EXPECT_EQ(divergences, 0);
+}
+
+TEST(Vote, MajorityPicksMostFrequent) {
+  const std::vector<Value> candidates = {Value::real(1.0), Value::real(2.0),
+                                         Value::real(2.0)};
+  std::int64_t divergences = 0;
+  EXPECT_EQ(vote(candidates, VotingPolicy::kMajority, &divergences),
+            Value::real(2.0));
+  EXPECT_EQ(divergences, 1);  // distinct non-bottom values observed
+}
+
+TEST(Vote, MajorityTieBreaksFirstSeen) {
+  const std::vector<Value> candidates = {Value::real(5.0), Value::real(6.0)};
+  EXPECT_EQ(vote(candidates, VotingPolicy::kMajority), Value::real(5.0));
+}
+
+TEST(Vote, AnyNonBottomCountsDivergenceButKeepsFirst) {
+  const std::vector<Value> candidates = {Value::real(1.0), Value::real(2.0)};
+  std::int64_t divergences = 0;
+  EXPECT_EQ(vote(candidates, VotingPolicy::kAnyNonBottom, &divergences),
+            Value::real(1.0));
+  EXPECT_EQ(divergences, 1);
+}
+
+/// A replicated system whose two replicas produce identical outputs: the
+/// two policies must commit identical traces (the paper's situation).
+TEST(Vote, PoliciesCoincideUnderDeterminism) {
+  test::System system;
+  system.spec = std::make_unique<spec::Specification>(
+      test::build_spec(test::chain_spec_config(1)));
+  arch::ArchitectureConfig arch_config;
+  arch_config.hosts = {{"h1", 0.9}, {"h2", 0.9}};
+  arch_config.sensors = {{"s", 0.9}};
+  system.arch = std::make_unique<arch::Architecture>(
+      std::move(arch::Architecture::Build(std::move(arch_config))).value());
+  impl::ImplementationConfig impl_config;
+  impl_config.task_mappings = {{"task1", {"h1", "h2"}}};
+  impl_config.sensor_bindings = {{"c0", "s"}};
+  system.impl = std::make_unique<impl::Implementation>(
+      std::move(impl::Implementation::Build(*system.spec, *system.arch,
+                                            std::move(impl_config)))
+          .value());
+
+  NullEnvironment env;
+  SimulationOptions options;
+  options.periods = 5000;
+  options.faults.seed = 3;
+  options.record_values_for = {"c1"};
+
+  options.voting_policy = VotingPolicy::kAnyNonBottom;
+  const auto any = simulate(*system.impl, env, options);
+  ASSERT_TRUE(any.ok());
+  options.voting_policy = VotingPolicy::kMajority;
+  const auto majority = simulate(*system.impl, env, options);
+  ASSERT_TRUE(majority.ok());
+
+  EXPECT_EQ(any->vote_divergences, 0);
+  EXPECT_EQ(majority->vote_divergences, 0);
+  const auto& trace_a = any->value_traces.at("c1");
+  const auto& trace_m = majority->value_traces.at("c1");
+  ASSERT_EQ(trace_a.size(), trace_m.size());
+  for (std::size_t i = 0; i < trace_a.size(); ++i) {
+    EXPECT_EQ(trace_a[i], trace_m[i]) << "sample " << i;
+  }
+}
+
+/// A deliberately non-deterministic task (violating the paper's
+/// assumption) makes replicas disagree: the runtime must detect it.
+TEST(Vote, DivergenceDetectedWhenDeterminismViolated) {
+  spec::SpecificationConfig config;
+  config.communicators = {test::comm("in", 10), test::comm("out", 10)};
+  auto bad = test::task("t", {{"in", 0}}, {{"out", 1}});
+  auto counter = std::make_shared<int>(0);
+  bad.function = [counter](std::span<const Value>) {
+    // Each replica invocation returns a different value.
+    return std::vector<Value>{Value::integer((*counter)++)};
+  };
+  config.communicators[1].type = spec::ValueType::kInt;
+  config.communicators[1].init = Value::integer(0);
+  config.tasks = {bad};
+
+  test::System system;
+  system.spec = std::make_unique<spec::Specification>(
+      test::build_spec(std::move(config)));
+  arch::ArchitectureConfig arch_config;
+  arch_config.hosts = {{"h1", 1.0}, {"h2", 1.0}};
+  arch_config.sensors = {{"s", 1.0}};
+  system.arch = std::make_unique<arch::Architecture>(
+      std::move(arch::Architecture::Build(std::move(arch_config))).value());
+  impl::ImplementationConfig impl_config;
+  impl_config.task_mappings = {{"t", {"h1", "h2"}}};
+  impl_config.sensor_bindings = {{"in", "s"}};
+  system.impl = std::make_unique<impl::Implementation>(
+      std::move(impl::Implementation::Build(*system.spec, *system.arch,
+                                            std::move(impl_config)))
+          .value());
+
+  NullEnvironment env;
+  SimulationOptions options;
+  options.periods = 100;
+  const auto result = simulate(*system.impl, env, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->vote_divergences, 0);
+}
+
+}  // namespace
+}  // namespace lrt::sim
