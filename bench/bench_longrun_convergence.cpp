@@ -2,19 +2,36 @@
 // probability-1 claim "limavg of the reliability-abstract trace >= mu_c"
 // is backed by the empirical limit average converging to the analytical
 // SRG as the trace grows. This bench sweeps trace lengths on the 3TS
-// system and reports |empirical - analytic| per decade for u1.
+// system through the parallel MonteCarloRunner — pooling independent
+// trials per decade — and reports |empirical - analytic| plus the Wilson
+// interval width for u1, followed by the engine's parallel scaling
+// (trials/sec and speedup vs 1 thread).
 //
-// Benchmarks: raw simulation throughput at two period counts.
+// Benchmarks: Monte Carlo throughput by thread count, raw single-run
+// simulation throughput.
 #include <cmath>
+#include <thread>
 
 #include "bench/bench_util.h"
 #include "plant/three_tank_system.h"
 #include "reliability/analysis.h"
+#include "sim/monte_carlo.h"
 #include "sim/runtime.h"
 
 namespace {
 
 using namespace lrt;
+
+sim::MonteCarloOptions mc_options(std::int64_t trials, std::int64_t periods,
+                                  unsigned threads) {
+  sim::MonteCarloOptions options;
+  options.trials = trials;
+  options.simulation.periods = periods;
+  options.simulation.actuator_comms = {"u1", "u2"};
+  options.base_seed = 6;
+  options.threads = threads;
+  return options;
+}
 
 void print_table() {
   bench::header("E6 / Prop. 1",
@@ -25,26 +42,60 @@ void print_table() {
   const auto u1 = *system->specification->find_communicator("u1");
   const double analytic = (*srgs)[static_cast<std::size_t>(u1)];
   std::printf("analytical SRG lambda_u1 = %.8f\n\n", analytic);
-  std::printf("%-12s %-14s %-14s %-12s\n", "periods", "empirical",
-              "|error|", "1/sqrt(n)");
+  std::printf("%-10s %-8s %-14s %-12s %-12s %-12s\n", "periods", "trials",
+              "empirical", "|error|", "ci width", "1/sqrt(n)");
 
-  sim::NullEnvironment env;
   for (const std::int64_t periods :
-       {100LL, 1'000LL, 10'000LL, 100'000LL, 1'000'000LL}) {
-    sim::SimulationOptions options;
-    options.periods = periods;
-    options.actuator_comms = {"u1", "u2"};
-    options.faults.seed = 6;
-    const auto result = sim::simulate(*system->implementation, env, options);
-    const double empirical = result->find("u1")->limit_average;
-    std::printf("%-12lld %-14.6f %-14.6f %-12.6f\n",
-                static_cast<long long>(periods), empirical,
-                std::fabs(empirical - analytic),
-                1.0 / std::sqrt(static_cast<double>(periods)));
+       {100LL, 1'000LL, 10'000LL, 100'000LL}) {
+    sim::MonteCarloRunner runner(mc_options(16, periods, 0));
+    const auto report = runner.run(*system->implementation);
+    const sim::CommAggregate* comm = report->find("u1");
+    std::printf("%-10lld %-8lld %-14.6f %-12.6f %-12.6f %-12.6f\n",
+                static_cast<long long>(periods),
+                static_cast<long long>(report->trials), comm->empirical,
+                std::fabs(comm->empirical - analytic),
+                comm->interval.high - comm->interval.low,
+                1.0 / std::sqrt(static_cast<double>(comm->updates)));
   }
-  std::printf("\nexpected shape: the error column shrinks roughly like "
-              "1/sqrt(n) (SLLN / CLT rate).\n");
+  std::printf("\nexpected shape: error and interval width shrink like "
+              "1/sqrt(pooled updates) (SLLN / CLT rate).\n");
+
+  std::printf("\nparallel scaling (64 trials x 2000 periods):\n");
+  std::printf("%-10s %-14s %-10s %-10s\n", "threads", "trials/s", "speedup",
+              "identical");
+  double base_rate = 0.0;
+  std::int64_t reference = -1;
+  for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+    sim::MonteCarloRunner runner(mc_options(64, 2'000, threads));
+    const auto report = runner.run(*system->implementation);
+    if (threads == 1u) {
+      base_rate = report->trials_per_second;
+      reference = report->find("u1")->reliable_updates;
+    }
+    std::printf("%-10u %-14.1f %-10.2f %-10s\n", threads,
+                report->trials_per_second,
+                base_rate > 0.0 ? report->trials_per_second / base_rate
+                                : 0.0,
+                report->find("u1")->reliable_updates == reference ? "yes"
+                                                                  : "NO");
+  }
+  std::printf("(hardware_concurrency = %u; speedup saturates there)\n",
+              std::thread::hardware_concurrency());
 }
+
+void BM_MonteCarloThroughput(benchmark::State& state) {
+  auto system = plant::make_three_tank_system({});
+  const auto options =
+      mc_options(16, 1'000, static_cast<unsigned>(state.range(0)));
+  sim::MonteCarloRunner runner(options);
+  for (auto _ : state) {
+    auto report = runner.run(*system->implementation);
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetItemsProcessed(state.iterations() * options.trials);
+}
+BENCHMARK(BM_MonteCarloThroughput)->Arg(1)->Arg(2)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_SimulationThroughput(benchmark::State& state) {
   auto system = plant::make_three_tank_system({});

@@ -11,9 +11,11 @@
 namespace lrt::bench {
 
 inline void header(const char* experiment, const char* title) {
-  std::printf("\n================================================================\n");
+  constexpr const char* kRule =
+      "================================================================";
+  std::printf("\n%s\n", kRule);
   std::printf("%s — %s\n", experiment, title);
-  std::printf("================================================================\n");
+  std::printf("%s\n", kRule);
 }
 
 /// Standard main: print the table, then run benchmarks.

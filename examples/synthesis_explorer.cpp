@@ -23,8 +23,9 @@ int main() {
     auto system = plant::make_three_tank_system(scenario);
     if (!system.ok()) continue;
 
-    for (const auto strategy : {synth::SynthesisOptions::Strategy::kGreedy,
-                                synth::SynthesisOptions::Strategy::kExhaustive}) {
+    for (const auto strategy :
+         {synth::SynthesisOptions::Strategy::kGreedy,
+          synth::SynthesisOptions::Strategy::kExhaustive}) {
       synth::SynthesisOptions options;
       options.strategy = strategy;
       const auto result = synth::synthesize(

@@ -332,10 +332,9 @@ class EMachineSystem {
 
 }  // namespace
 
-Result<sim::SimulationResult> run_emachine(const impl::Implementation& impl,
-                                           sim::Environment& env,
-                                           const sim::SimulationOptions& options,
-                                           arch::HostId io_host) {
+Result<sim::SimulationResult> run_emachine(
+    const impl::Implementation& impl, sim::Environment& env,
+    const sim::SimulationOptions& options, arch::HostId io_host) {
   if (options.periods <= 0) {
     return InvalidArgumentError("emachine needs a positive period count");
   }

@@ -42,9 +42,9 @@ std::array<double, 3> ThreeTankPlant::derivatives(
       orifice_flow(params_.connect_coeff, g, levels[1] - levels[2]);
   // Evacuation taps: the base drain plus the perturbation opening.
   const auto drain = [&](int i) {
-    const double coeff =
-        params_.drain_coeff * (1.0 + perturbations_[static_cast<std::size_t>(i)]);
-    return coeff * std::sqrt(2.0 * g * std::max(0.0, levels[static_cast<std::size_t>(i)]));
+    const auto tank = static_cast<std::size_t>(i);
+    const double coeff = params_.drain_coeff * (1.0 + perturbations_[tank]);
+    return coeff * std::sqrt(2.0 * g * std::max(0.0, levels[tank]));
   };
   const double q_in1 = params_.pump_max_flow * pumps_[0];
   const double q_in2 = params_.pump_max_flow * pumps_[1];

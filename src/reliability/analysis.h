@@ -8,9 +8,9 @@
 //     communicator, by induction over the dataflow:
 //       (a) input communicator updated by sensor s: lambda_c = srel(s);
 //       (b) communicator written by task t:
-//           model 1 (series):      lambda_c = lambda_t * prod lambda_c'
-//           model 2 (parallel):    lambda_c = lambda_t * (1 - prod (1 - lambda_c'))
-//           model 3 (independent): lambda_c = lambda_t
+//           model 1 (series):      lambda_t * prod lambda_c'
+//           model 2 (parallel):    lambda_t * (1 - prod (1 - lambda_c'))
+//           model 3 (independent): lambda_t
 //         where c' ranges over icset_t.
 //
 // Proposition 1: for a memory-free (more generally, cycle-safe), race-free

@@ -21,7 +21,8 @@ std::string render_timeline(const SchedulabilityReport& report,
   const Time period = spec.hyperperiod();
   width = std::max(10, width);
 
-  std::string out = "period: " + std::to_string(period) + " ticks, 1 column ~ " +
+  std::string out = "period: " + std::to_string(period) +
+                    " ticks, 1 column ~ " +
                     std::to_string(std::max<Time>(
                         1, period / static_cast<Time>(width))) +
                     " tick(s)\n";

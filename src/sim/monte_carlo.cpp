@@ -1,0 +1,262 @@
+#include "sim/monte_carlo.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <optional>
+#include <utility>
+
+#include "reliability/analysis.h"
+#include "support/json.h"
+#include "support/rng.h"
+#include "support/strings.h"
+#include "support/thread_pool.h"
+
+namespace lrt::sim {
+
+namespace {
+
+/// Everything one trial contributes to the aggregate. SimulationResult
+/// value traces are dropped eagerly so a large campaign with a recording
+/// SimulationOptions does not hold every trial's traces at once.
+struct TrialOutcome {
+  Status error;  ///< OK unless the trial's simulate() failed
+  std::vector<CommStats> comm_stats;
+  std::int64_t invocations = 0;
+  std::int64_t invocation_failures = 0;
+  std::int64_t committed_updates = 0;
+  std::int64_t vote_divergences = 0;
+  std::int64_t deadline_misses = 0;
+};
+
+}  // namespace
+
+const CommAggregate* ValidationReport::find(std::string_view name) const {
+  for (const CommAggregate& comm : communicators) {
+    if (comm.name == name) return &comm;
+  }
+  return nullptr;
+}
+
+std::string ValidationReport::summary() const {
+  std::string out = "monte carlo: " + std::to_string(trials) + " trials x " +
+                    std::to_string(periods_per_trial) + " periods, " +
+                    std::to_string(threads) + " threads, " +
+                    format_double(trials_per_second) + " trials/s\n";
+  out += analysis_sound ? "analysis SOUND" : "analysis UNSOUND";
+  out += implementation_reliable ? ", implementation RELIABLE\n"
+                                 : ", implementation UNRELIABLE\n";
+  for (const CommAggregate& c : communicators) {
+    out += "  " + c.name + ": empirical=" + format_double(c.empirical) +
+           " ci=[" + format_double(c.interval.low) + ", " +
+           format_double(c.interval.high) +
+           "] lambda=" + format_double(c.analytic_srg) +
+           " mu=" + format_double(c.lrc) +
+           (c.analysis_sound ? "" : " ANALYSIS-UNSOUND") +
+           (c.meets_lrc ? " OK" : " VIOLATED") + "\n";
+  }
+  return out;
+}
+
+std::string to_json(const ValidationReport& report) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("implementation");
+  json.value(report.implementation);
+  json.key("trials");
+  json.value(report.trials);
+  json.key("base_seed");
+  json.value(static_cast<std::int64_t>(report.base_seed));
+  json.key("threads");
+  json.value(static_cast<std::int64_t>(report.threads));
+  json.key("periods_per_trial");
+  json.value(report.periods_per_trial);
+  json.key("z");
+  json.value(report.z);
+  json.key("elapsed_seconds");
+  json.value(report.elapsed_seconds);
+  json.key("trials_per_second");
+  json.value(report.trials_per_second);
+  json.key("invocations");
+  json.value(report.invocations);
+  json.key("invocation_failures");
+  json.value(report.invocation_failures);
+  json.key("committed_updates");
+  json.value(report.committed_updates);
+  json.key("vote_divergences");
+  json.value(report.vote_divergences);
+  json.key("deadline_misses");
+  json.value(report.deadline_misses);
+  json.key("analysis_sound");
+  json.value(report.analysis_sound);
+  json.key("implementation_reliable");
+  json.value(report.implementation_reliable);
+  json.key("communicators");
+  json.begin_array();
+  for (const CommAggregate& c : report.communicators) {
+    json.begin_object();
+    json.key("name");
+    json.value(c.name);
+    json.key("updates");
+    json.value(c.updates);
+    json.key("reliable_updates");
+    json.value(c.reliable_updates);
+    json.key("empirical");
+    json.value(c.empirical);
+    json.key("ci_low");
+    json.value(c.interval.low);
+    json.key("ci_high");
+    json.value(c.interval.high);
+    json.key("mean_limit_average");
+    json.value(c.mean_limit_average);
+    json.key("stddev_limit_average");
+    json.value(c.stddev_limit_average);
+    json.key("min_trial_rate");
+    json.value(c.min_trial_rate);
+    json.key("max_trial_rate");
+    json.value(c.max_trial_rate);
+    json.key("analytic_srg");
+    json.value(c.analytic_srg);
+    json.key("lrc");
+    json.value(c.lrc);
+    json.key("analysis_sound");
+    json.value(c.analysis_sound);
+    json.key("meets_lrc");
+    json.value(c.meets_lrc);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return std::move(json).str();
+}
+
+MonteCarloRunner::MonteCarloRunner(MonteCarloOptions options)
+    : options_(std::move(options)) {}
+
+Result<ValidationReport> MonteCarloRunner::run(
+    const impl::Implementation& impl) const {
+  if (options_.trials <= 0) {
+    return InvalidArgumentError("monte carlo: trials must be positive, got " +
+                                std::to_string(options_.trials));
+  }
+  const auto num_trials = static_cast<std::size_t>(options_.trials);
+
+  // Expand the base seed into one independent stream seed per trial,
+  // up front and in trial order: trial k's stream never depends on which
+  // thread runs it.
+  std::vector<std::uint64_t> seeds(num_trials);
+  SplitMix64 root(options_.base_seed);
+  for (auto& seed : seeds) seed = root.next();
+
+  std::vector<TrialOutcome> outcomes(num_trials);
+  ThreadPool pool(options_.threads);
+
+  const auto start = std::chrono::steady_clock::now();
+  pool.parallel_for(options_.trials, [&](std::int64_t trial) {
+    SimulationOptions trial_options = options_.simulation;
+    trial_options.faults.seed = seeds[static_cast<std::size_t>(trial)];
+    std::unique_ptr<Environment> owned_env =
+        options_.environment_factory ? options_.environment_factory()
+                                     : std::make_unique<NullEnvironment>();
+    auto result = simulate(impl, *owned_env, trial_options);
+    TrialOutcome& out = outcomes[static_cast<std::size_t>(trial)];
+    if (!result.ok()) {
+      out.error = result.status();
+      return;
+    }
+    out.comm_stats = std::move(result->comm_stats);
+    out.invocations = result->invocations;
+    out.invocation_failures = result->invocation_failures;
+    out.committed_updates = result->committed_updates;
+    out.vote_divergences = result->vote_divergences;
+    out.deadline_misses = result->deadline_misses;
+  });
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+
+  // Deterministic error reporting: the lowest failing trial wins.
+  for (std::size_t trial = 0; trial < num_trials; ++trial) {
+    if (!outcomes[trial].error.ok()) {
+      return Status(outcomes[trial].error.code(),
+                    "monte carlo trial " + std::to_string(trial) + ": " +
+                        outcomes[trial].error.message());
+    }
+  }
+
+  const spec::Specification& spec = impl.specification();
+  const std::size_t num_comms = spec.communicators().size();
+  // The greatest-fixpoint SRGs are defined for every specification and
+  // coincide with the inductive ones whenever those exist (on unsafe
+  // cycles they converge to the paper's long-run value 0), so the
+  // cross-check never has to reject an implementation.
+  const std::vector<double> srgs =
+      reliability::compute_srgs_fixpoint(impl);
+
+  ValidationReport report;
+  report.implementation = impl.name();
+  report.trials = options_.trials;
+  report.base_seed = options_.base_seed;
+  report.threads = pool.size();
+  report.periods_per_trial = options_.simulation.periods;
+  report.z = options_.z;
+  report.elapsed_seconds = elapsed.count();
+  report.trials_per_second =
+      elapsed.count() > 0.0
+          ? static_cast<double>(options_.trials) / elapsed.count()
+          : 0.0;
+  report.communicators.resize(num_comms);
+
+  // All reductions below run sequentially in trial order, so the report
+  // is bit-identical for every thread count.
+  for (const TrialOutcome& out : outcomes) {
+    report.invocations += out.invocations;
+    report.invocation_failures += out.invocation_failures;
+    report.committed_updates += out.committed_updates;
+    report.vote_divergences += out.vote_divergences;
+    report.deadline_misses += out.deadline_misses;
+  }
+
+  for (std::size_t c = 0; c < num_comms; ++c) {
+    CommAggregate& agg = report.communicators[c];
+    agg.name = spec.communicators()[c].name;
+    agg.analytic_srg = srgs[c];
+    agg.lrc = spec.communicators()[c].lrc;
+
+    double sum_limavg = 0.0;
+    double sum_sq_limavg = 0.0;
+    agg.min_trial_rate = 1.0;
+    agg.max_trial_rate = 0.0;
+    for (const TrialOutcome& out : outcomes) {
+      const CommStats& stats = out.comm_stats[c];
+      agg.updates += stats.updates;
+      agg.reliable_updates += stats.reliable_updates;
+      const double rate = stats.update_rate();
+      agg.min_trial_rate = std::min(agg.min_trial_rate, rate);
+      agg.max_trial_rate = std::max(agg.max_trial_rate, rate);
+      sum_limavg += stats.limit_average;
+      sum_sq_limavg += stats.limit_average * stats.limit_average;
+    }
+    const auto n = static_cast<double>(num_trials);
+    agg.empirical = agg.updates == 0
+                        ? 1.0
+                        : static_cast<double>(agg.reliable_updates) /
+                              static_cast<double>(agg.updates);
+    agg.interval = wilson_interval(agg.reliable_updates, agg.updates,
+                                   options_.z);
+    agg.mean_limit_average = sum_limavg / n;
+    const double variance =
+        n > 1.0
+            ? std::max(0.0, (sum_sq_limavg - sum_limavg * sum_limavg / n) /
+                                (n - 1.0))
+            : 0.0;
+    agg.stddev_limit_average = std::sqrt(variance);
+    agg.analysis_sound = agg.interval.high >= agg.analytic_srg;
+    agg.meets_lrc = agg.interval.high >= agg.lrc;
+    report.analysis_sound = report.analysis_sound && agg.analysis_sound;
+    report.implementation_reliable =
+        report.implementation_reliable && agg.meets_lrc;
+  }
+  return report;
+}
+
+}  // namespace lrt::sim

@@ -73,7 +73,7 @@ struct Task {
   std::string name;
   std::vector<PortRef> inputs;    ///< ins_t, nonempty
   std::vector<PortRef> outputs;   ///< outs_t, nonempty
-  TaskFunction function;          ///< fn_t (may be empty for analysis-only specs)
+  TaskFunction function;          ///< fn_t (may be empty for analysis-only)
   FailureModel model = FailureModel::kSeries;
   /// def_t: default values aligned with `inputs`; consulted by models 2/3.
   std::vector<Value> defaults;

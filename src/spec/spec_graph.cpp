@@ -37,7 +37,8 @@ SccResult tarjan_scc(const std::vector<std::vector<int>>& adj) {
   for (int root = 0; root < n; ++root) {
     if (index[static_cast<std::size_t>(root)] != -1) continue;
     frames.push_back({root, 0});
-    index[static_cast<std::size_t>(root)] = lowlink[static_cast<std::size_t>(root)] = next_index++;
+    index[static_cast<std::size_t>(root)] =
+        lowlink[static_cast<std::size_t>(root)] = next_index++;
     stack.push_back(root);
     on_stack[static_cast<std::size_t>(root)] = true;
 
@@ -74,7 +75,8 @@ SccResult tarjan_scc(const std::vector<std::vector<int>>& adj) {
               if (v == frame.node) cyclic = true;
             }
           }
-          result.nontrivial.resize(static_cast<std::size_t>(result.count), false);
+          result.nontrivial.resize(static_cast<std::size_t>(result.count),
+                                   false);
           result.nontrivial[static_cast<std::size_t>(comp)] = cyclic;
         }
         frames.pop_back();

@@ -20,8 +20,8 @@ namespace lrt {
 /// Machine-readable classification of an error.
 enum class StatusCode {
   kOk = 0,
-  kInvalidArgument,     ///< caller passed data violating a documented precondition
-  kNotFound,            ///< a named entity (task, communicator, host...) is absent
+  kInvalidArgument,     ///< caller data violates a documented precondition
+  kNotFound,            ///< named entity (task, communicator, host) absent
   kAlreadyExists,       ///< duplicate declaration of a named entity
   kFailedPrecondition,  ///< object state does not allow the operation
   kOutOfRange,          ///< index/instance outside its valid interval
@@ -84,7 +84,7 @@ template <typename T>
 class Result {
  public:
   // Intentionally implicit: allows `return value;` and `return status;`.
-  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(T value) : value_(std::move(value)) {}  // NOLINT
   Result(Status status) : status_(std::move(status)) {  // NOLINT
     assert(!status_.ok() && "Result from Status requires an error status");
   }

@@ -1,0 +1,83 @@
+#include "support/thread_pool.h"
+
+#include <algorithm>
+
+namespace lrt {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  threads_ = threads;
+  workers_.reserve(threads - 1);
+  for (unsigned i = 0; i + 1 < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::parallel_for(std::int64_t count,
+                              const std::function<void(std::int64_t)>& body) {
+  if (count <= 0) return;
+  if (workers_.empty()) {
+    for (std::int64_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    body_ = &body;
+    count_ = count;
+    next_.store(0, std::memory_order_relaxed);
+    error_ = nullptr;
+    active_ = static_cast<unsigned>(workers_.size());
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  drain_current_job();  // the caller is worker number N
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] { return active_ == 0; });
+  body_ = nullptr;
+  if (error_) std::rethrow_exception(error_);
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(
+          lock, [&, this] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+    }
+    drain_current_job();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--active_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::drain_current_job() {
+  // One atomic fetch per item: items here are whole simulations, so the
+  // counter is nowhere near contended; finer chunking would only hurt
+  // load balance.
+  try {
+    for (;;) {
+      const std::int64_t i = next_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count_) break;
+      (*body_)(i);
+    }
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!error_) error_ = std::current_exception();
+  }
+}
+
+}  // namespace lrt

@@ -1,0 +1,68 @@
+// A small fixed-size thread pool for fanning independent work items
+// (Monte Carlo trials, parameter sweeps) across cores.
+//
+// Design: N-1 persistent workers plus the calling thread; parallel_for
+// hands out indices through one atomic counter, so the pool is
+// work-stealing at item granularity — a worker that finishes early simply
+// claims the next unclaimed index. Determinism is the caller's concern:
+// callers that write results into an index-addressed slot (and reduce
+// sequentially afterwards) get bit-identical output for every pool size.
+#ifndef LRT_SUPPORT_THREAD_POOL_H_
+#define LRT_SUPPORT_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lrt {
+
+class ThreadPool {
+ public:
+  /// `threads` = total parallelism, including the calling thread; 0 picks
+  /// std::thread::hardware_concurrency(). A pool of size 1 spawns nothing
+  /// and runs every parallel_for inline.
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total worker count (background threads + the caller).
+  [[nodiscard]] unsigned size() const { return threads_; }
+
+  /// Runs body(i) exactly once for every i in [0, count), distributed
+  /// across the pool; blocks until all items finish. The first exception
+  /// thrown by any item is rethrown here (remaining items still run).
+  /// Not reentrant: one parallel_for at a time per pool.
+  void parallel_for(std::int64_t count,
+                    const std::function<void(std::int64_t)>& body);
+
+ private:
+  void worker_loop();
+  void drain_current_job();
+
+  unsigned threads_ = 1;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_ = 0;  ///< bumped once per parallel_for
+  bool shutdown_ = false;
+
+  // Current job; written under mutex_ before workers are woken.
+  const std::function<void(std::int64_t)>* body_ = nullptr;
+  std::int64_t count_ = 0;
+  std::atomic<std::int64_t> next_{0};
+  unsigned active_ = 0;  ///< background workers still inside the job
+  std::exception_ptr error_;
+};
+
+}  // namespace lrt
+
+#endif  // LRT_SUPPORT_THREAD_POOL_H_

@@ -104,10 +104,12 @@ TEST(Integration, SynthesisRepairsHtlProgramUnderRaisedLrc) {
   // then let the synthesizer repair it and run the repaired system on the
   // E-machine; the empirical rate must meet the raised LRC.
   std::string raised(kThreeTankHtl);
-  const std::string from = "communicator u1 : real period 100 init 0.0 lrc 0.97";
+  const std::string from =
+      "communicator u1 : real period 100 init 0.0 lrc 0.97";
   const std::string to = "communicator u1 : real period 100 init 0.0 lrc 0.98";
   raised.replace(raised.find(from), from.size(), to);
-  const std::string from2 = "communicator u2 : real period 100 init 0.0 lrc 0.97";
+  const std::string from2 =
+      "communicator u2 : real period 100 init 0.0 lrc 0.97";
   const std::string to2 = "communicator u2 : real period 100 init 0.0 lrc 0.98";
   raised.replace(raised.find(from2), from2.size(), to2);
 

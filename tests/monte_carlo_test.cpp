@@ -1,0 +1,231 @@
+// MonteCarloRunner: thread-count invariance, CI shrinkage, validation
+// flags, and the underlying ThreadPool.
+#include "sim/monte_carlo.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "plant/three_tank_system.h"
+#include "reliability/analysis.h"
+#include "support/thread_pool.h"
+#include "tests/test_util.h"
+
+namespace lrt::sim {
+namespace {
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  constexpr std::int64_t kCount = 1000;
+  std::vector<std::atomic<int>> hits(kCount);
+  pool.parallel_for(kCount, [&](std::int64_t i) {
+    hits[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  std::vector<std::int64_t> order;
+  pool.parallel_for(5, [&](std::int64_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::int64_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, ZeroAndNegativeCountsAreNoOps) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.parallel_for(0, [&](std::int64_t) { ++calls; });
+  pool.parallel_for(-3, [&](std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.parallel_for(16,
+                                 [&](std::int64_t i) {
+                                   if (i == 7) {
+                                     throw std::runtime_error("boom");
+                                   }
+                                 }),
+               std::runtime_error);
+  // The pool survives a throwing job.
+  std::atomic<int> calls{0};
+  pool.parallel_for(8, [&](std::int64_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 8);
+}
+
+TEST(ThreadPool, ReusableAcrossJobs) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<std::int64_t> sum{0};
+    pool.parallel_for(100, [&](std::int64_t i) { sum.fetch_add(i); });
+    EXPECT_EQ(sum.load(), 4950);
+  }
+}
+
+MonteCarloOptions fast_options(std::int64_t trials, std::int64_t periods,
+                               unsigned threads) {
+  MonteCarloOptions options;
+  options.trials = trials;
+  options.simulation.periods = periods;
+  options.base_seed = 42;
+  options.threads = threads;
+  return options;
+}
+
+TEST(MonteCarlo, RejectsNonPositiveTrialCount) {
+  auto system = test::single_host_system(test::chain_spec_config(1));
+  MonteCarloRunner runner(fast_options(0, 10, 1));
+  const auto report = runner.run(*system.impl);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MonteCarlo, AggregatesAreThreadCountInvariant) {
+  auto system = test::single_host_system(test::chain_spec_config(2), 0.9,
+                                         0.8);
+  std::vector<ValidationReport> reports;
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    MonteCarloRunner runner(fast_options(24, 200, threads));
+    auto report = runner.run(*system.impl);
+    ASSERT_TRUE(report.ok()) << report.status();
+    EXPECT_EQ(report->threads, threads);
+    reports.push_back(std::move(report).value());
+  }
+  for (std::size_t i = 1; i < reports.size(); ++i) {
+    const ValidationReport& a = reports[0];
+    const ValidationReport& b = reports[i];
+    EXPECT_EQ(a.invocations, b.invocations);
+    EXPECT_EQ(a.invocation_failures, b.invocation_failures);
+    EXPECT_EQ(a.committed_updates, b.committed_updates);
+    ASSERT_EQ(a.communicators.size(), b.communicators.size());
+    for (std::size_t c = 0; c < a.communicators.size(); ++c) {
+      EXPECT_EQ(a.communicators[c].updates, b.communicators[c].updates);
+      EXPECT_EQ(a.communicators[c].reliable_updates,
+                b.communicators[c].reliable_updates);
+      // Bit-identical, not merely close: the reduction order is fixed.
+      EXPECT_EQ(a.communicators[c].empirical, b.communicators[c].empirical);
+      EXPECT_EQ(a.communicators[c].mean_limit_average,
+                b.communicators[c].mean_limit_average);
+      EXPECT_EQ(a.communicators[c].stddev_limit_average,
+                b.communicators[c].stddev_limit_average);
+      EXPECT_EQ(a.communicators[c].interval.low,
+                b.communicators[c].interval.low);
+      EXPECT_EQ(a.communicators[c].interval.high,
+                b.communicators[c].interval.high);
+    }
+  }
+}
+
+TEST(MonteCarlo, SameSeedReproducesDifferentSeedPerturbs) {
+  auto system = test::single_host_system(test::chain_spec_config(1), 0.9,
+                                         0.8);
+  MonteCarloRunner runner(fast_options(8, 100, 2));
+  const auto a = runner.run(*system.impl);
+  const auto b = runner.run(*system.impl);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->find("c1")->reliable_updates, b->find("c1")->reliable_updates);
+
+  auto other_options = fast_options(8, 100, 2);
+  other_options.base_seed = 43;
+  const auto c = MonteCarloRunner(other_options).run(*system.impl);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(a->find("c1")->reliable_updates, c->find("c1")->reliable_updates);
+}
+
+TEST(MonteCarlo, ConfidenceIntervalShrinksWithTrialCount) {
+  auto system = test::single_host_system(test::chain_spec_config(1), 0.9,
+                                         0.8);
+  const auto width = [&](std::int64_t trials) {
+    MonteCarloRunner runner(fast_options(trials, 100, 0));
+    const auto report = runner.run(*system.impl);
+    EXPECT_TRUE(report.ok()) << report.status();
+    const CommAggregate* c1 = report->find("c1");
+    EXPECT_NE(c1, nullptr);
+    return c1->interval.high - c1->interval.low;
+  };
+  const double narrow = width(64);
+  const double wide = width(4);
+  EXPECT_LT(narrow, wide);
+  // Pooling 16x the updates shrinks the Wilson interval roughly 4x.
+  EXPECT_LT(narrow, 0.5 * wide);
+}
+
+TEST(MonteCarlo, EmpiricalMatchesAnalyticOnThreeTank) {
+  auto system = plant::make_three_tank_system({});
+  ASSERT_TRUE(system.ok());
+  MonteCarloOptions options = fast_options(20, 400, 0);
+  options.simulation.actuator_comms = {"u1", "u2"};
+  MonteCarloRunner runner(options);
+  const auto report = runner.run(*system->implementation);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->analysis_sound) << report->summary();
+  EXPECT_TRUE(report->implementation_reliable) << report->summary();
+  EXPECT_EQ(report->vote_divergences, 0);
+  const CommAggregate* u1 = report->find("u1");
+  ASSERT_NE(u1, nullptr);
+  EXPECT_NEAR(u1->analytic_srg, 0.970299, 1e-9);
+  // ~16k pooled updates: the 99% interval comfortably contains lambda_u1.
+  EXPECT_TRUE(u1->interval.contains(u1->analytic_srg)) << report->summary();
+  EXPECT_GT(report->trials_per_second, 0.0);
+}
+
+TEST(MonteCarlo, FlagsImplementationMissingItsLrc) {
+  // lambda_c1 = 0.9 * 0.8 = 0.72 while mu_c1 = 0.99: the analysis already
+  // rejects the implementation, and the empirical interval must agree
+  // (meets_lrc false) without impugning the analysis (analysis_sound).
+  auto system = test::single_host_system(
+      test::chain_spec_config(1, 10, 0.99), 0.9, 0.8);
+  const auto analytic = reliability::analyze(*system.impl);
+  ASSERT_TRUE(analytic.ok());
+  EXPECT_FALSE(analytic->reliable);
+
+  MonteCarloRunner runner(fast_options(16, 400, 0));
+  const auto report = runner.run(*system.impl);
+  ASSERT_TRUE(report.ok()) << report.status();
+  const CommAggregate* c1 = report->find("c1");
+  ASSERT_NE(c1, nullptr);
+  EXPECT_FALSE(c1->meets_lrc) << report->summary();
+  EXPECT_TRUE(c1->analysis_sound) << report->summary();
+  EXPECT_FALSE(report->implementation_reliable);
+  EXPECT_TRUE(report->analysis_sound);
+}
+
+TEST(MonteCarlo, JsonReportIsWellFormedAndComplete) {
+  auto system = test::single_host_system(test::chain_spec_config(1));
+  MonteCarloRunner runner(fast_options(4, 50, 2));
+  const auto report = runner.run(*system.impl);
+  ASSERT_TRUE(report.ok());
+  const std::string json = to_json(*report);
+  for (const char* key :
+       {"\"implementation\"", "\"trials\"", "\"base_seed\"", "\"threads\"",
+        "\"analysis_sound\"", "\"implementation_reliable\"",
+        "\"communicators\"", "\"empirical\"", "\"ci_low\"", "\"ci_high\"",
+        "\"analytic_srg\"", "\"lrc\"", "\"trials_per_second\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
+  }
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(MonteCarlo, CustomEnvironmentFactoryIsUsedPerTrial) {
+  auto system = test::single_host_system(test::chain_spec_config(1));
+  MonteCarloOptions options = fast_options(6, 20, 3);
+  std::atomic<int> built{0};
+  options.environment_factory = [&]() -> std::unique_ptr<Environment> {
+    built.fetch_add(1);
+    return std::make_unique<NullEnvironment>();
+  };
+  MonteCarloRunner runner(options);
+  const auto report = runner.run(*system.impl);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(built.load(), 6);
+}
+
+}  // namespace
+}  // namespace lrt::sim

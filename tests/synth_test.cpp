@@ -96,8 +96,9 @@ TEST(Synthesis, GreedyMatchesExhaustiveCostOnSmallSystems) {
     const auto exhaustive = synthesize(
         *f.spec, *f.arch, f.bindings,
         strategy(SynthesisOptions::Strategy::kExhaustive));
-    const auto greedy = synthesize(*f.spec, *f.arch, f.bindings,
-                                   strategy(SynthesisOptions::Strategy::kGreedy));
+    const auto greedy =
+        synthesize(*f.spec, *f.arch, f.bindings,
+                   strategy(SynthesisOptions::Strategy::kGreedy));
     ASSERT_TRUE(exhaustive.ok()) << exhaustive.status();
     ASSERT_TRUE(greedy.ok()) << greedy.status();
     EXPECT_EQ(greedy->replication_count, exhaustive->replication_count)
@@ -173,7 +174,8 @@ TEST(Synthesis, SchedulabilityConstraintLimitsReplication) {
   f.arch = std::make_unique<arch::Architecture>(
       std::move(arch::Architecture::Build(std::move(arch_config))).value());
 
-  SynthesisOptions with_sched = strategy(SynthesisOptions::Strategy::kExhaustive);
+  SynthesisOptions with_sched =
+      strategy(SynthesisOptions::Strategy::kExhaustive);
   with_sched.require_schedulable = true;
   const auto result = synthesize(*f.spec, *f.arch, f.bindings, with_sched);
   // Replication across two hosts is fine (each host runs one replica);
