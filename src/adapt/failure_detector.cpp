@@ -1,0 +1,141 @@
+#include "adapt/failure_detector.h"
+
+#include <cassert>
+
+namespace lrt::adapt {
+
+std::string_view to_string(ComponentHealth health) {
+  switch (health) {
+    case ComponentHealth::kHealthy:
+      return "healthy";
+    case ComponentHealth::kDegraded:
+      return "degraded";
+    case ComponentHealth::kSuspectedDead:
+      return "suspected-dead";
+  }
+  return "?";
+}
+
+FailureDetector::FailureDetector(std::size_t num_hosts,
+                                 std::size_t num_sensors,
+                                 FailureDetectorOptions options)
+    : options_(options) {
+  assert(options_.window > 0 && options_.suspect_after_misses > 0 &&
+         options_.revive_after_successes > 0 &&
+         "detector thresholds must be positive");
+  hosts_.resize(num_hosts);
+  sensors_.resize(num_sensors);
+  for (auto& state : hosts_) {
+    state.ring.assign(static_cast<std::size_t>(options_.window), 0);
+  }
+  for (auto& state : sensors_) {
+    state.ring.assign(static_cast<std::size_t>(options_.window), 0);
+  }
+}
+
+void FailureDetector::record(ComponentState& state, spec::Time now,
+                             bool success) {
+  if (state.filled == options_.window) {
+    state.window_successes -= state.ring[static_cast<std::size_t>(state.head)];
+  } else {
+    ++state.filled;
+  }
+  state.ring[static_cast<std::size_t>(state.head)] = success ? 1 : 0;
+  state.head = (state.head + 1) % options_.window;
+  state.window_successes += success ? 1 : 0;
+  ++state.observations;
+
+  if (success) {
+    state.consecutive_misses = 0;
+    ++state.consecutive_successes;
+    // Hysteresis: leaving the suspected state needs sustained evidence.
+    if (state.suspected &&
+        state.consecutive_successes >= options_.revive_after_successes) {
+      state.suspected = false;
+      state.suspected_since = -1;
+    }
+  } else {
+    state.consecutive_successes = 0;
+    ++state.consecutive_misses;
+    if (!state.suspected &&
+        state.consecutive_misses >= options_.suspect_after_misses) {
+      state.suspected = true;
+      state.suspected_since = now;
+    }
+  }
+}
+
+void FailureDetector::record_host(spec::Time now, arch::HostId host,
+                                  bool success) {
+  record(hosts_[static_cast<std::size_t>(host)], now, success);
+}
+
+void FailureDetector::record_sensor(spec::Time now, arch::SensorId sensor,
+                                    bool success) {
+  record(sensors_[static_cast<std::size_t>(sensor)], now, success);
+}
+
+ComponentHealth FailureDetector::health_of(
+    const ComponentState& state) const {
+  if (state.suspected) return ComponentHealth::kSuspectedDead;
+  if (state.filled == options_.window &&
+      reliability_of(state) < options_.degraded_threshold) {
+    return ComponentHealth::kDegraded;
+  }
+  return ComponentHealth::kHealthy;
+}
+
+double FailureDetector::reliability_of(const ComponentState& state) {
+  return state.filled == 0 ? 1.0
+                           : static_cast<double>(state.window_successes) /
+                                 static_cast<double>(state.filled);
+}
+
+ComponentHealth FailureDetector::host_health(arch::HostId host) const {
+  return health_of(hosts_[static_cast<std::size_t>(host)]);
+}
+
+ComponentHealth FailureDetector::sensor_health(arch::SensorId sensor) const {
+  return health_of(sensors_[static_cast<std::size_t>(sensor)]);
+}
+
+double FailureDetector::host_reliability(arch::HostId host) const {
+  return reliability_of(hosts_[static_cast<std::size_t>(host)]);
+}
+
+double FailureDetector::sensor_reliability(arch::SensorId sensor) const {
+  return reliability_of(sensors_[static_cast<std::size_t>(sensor)]);
+}
+
+std::int64_t FailureDetector::host_observations(arch::HostId host) const {
+  return hosts_[static_cast<std::size_t>(host)].observations;
+}
+
+spec::Time FailureDetector::host_suspected_since(arch::HostId host) const {
+  return hosts_[static_cast<std::size_t>(host)].suspected_since;
+}
+
+std::vector<arch::HostId> FailureDetector::suspected_hosts() const {
+  std::vector<arch::HostId> out;
+  for (std::size_t h = 0; h < hosts_.size(); ++h) {
+    if (hosts_[h].suspected) out.push_back(static_cast<arch::HostId>(h));
+  }
+  return out;
+}
+
+std::vector<arch::HostId> FailureDetector::surviving_hosts() const {
+  std::vector<arch::HostId> out;
+  for (std::size_t h = 0; h < hosts_.size(); ++h) {
+    if (!hosts_[h].suspected) out.push_back(static_cast<arch::HostId>(h));
+  }
+  return out;
+}
+
+bool FailureDetector::any_host_suspected() const {
+  for (const ComponentState& state : hosts_) {
+    if (state.suspected) return true;
+  }
+  return false;
+}
+
+}  // namespace lrt::adapt

@@ -1,0 +1,109 @@
+// Online failure detection over the runtime's invocation and sensor-update
+// streams (adaptive layer; extension beyond the paper's static model, see
+// DESIGN.md).
+//
+// The paper treats hrel(h) as a design-time constant; the detector makes it
+// an online estimate. Each host and sensor gets a sliding window of its
+// most recent outcomes plus a consecutive-miss counter:
+//  * kSuspectedDead is declared only after `suspect_after_misses`
+//    consecutive misses. Under pure Bernoulli faults at nominal hrel the
+//    probability of m consecutive misses at any given point is
+//    (1 - hrel)^m — with hrel = 0.99 and the default m = 24 that is
+//    1e-48, so transient noise never trips the detector across any
+//    realistic Monte Carlo budget. A permanently unplugged host crosses
+//    the threshold after exactly m invocations.
+//  * Hysteresis: a suspected component is revived only after
+//    `revive_after_successes` consecutive successes, so a single lucky
+//    observation cannot flap the state back to healthy.
+//  * kDegraded is a soft warning: the windowed empirical reliability fell
+//    below `degraded_threshold` (with a full window), but the component is
+//    still producing successes.
+#ifndef LRT_ADAPT_FAILURE_DETECTOR_H_
+#define LRT_ADAPT_FAILURE_DETECTOR_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "arch/architecture.h"
+#include "spec/declarations.h"
+
+namespace lrt::adapt {
+
+struct FailureDetectorOptions {
+  /// Outcomes kept per component for the windowed reliability estimate.
+  int window = 64;
+  /// Consecutive misses before a component is suspected permanently dead.
+  int suspect_after_misses = 24;
+  /// Consecutive successes before a suspected component is revived.
+  int revive_after_successes = 8;
+  /// Windowed reliability below this (with a full window) flags kDegraded.
+  double degraded_threshold = 0.75;
+};
+
+enum class ComponentHealth {
+  kHealthy,
+  kDegraded,      ///< producing successes, but well below nominal
+  kSuspectedDead  ///< consecutive-miss threshold crossed; repair candidate
+};
+
+[[nodiscard]] std::string_view to_string(ComponentHealth health);
+
+/// Tracks per-host and per-sensor empirical reliability. Fed by the
+/// adaptive controller from RuntimeMonitor callbacks; single-threaded like
+/// the simulation that drives it.
+class FailureDetector {
+ public:
+  FailureDetector(std::size_t num_hosts, std::size_t num_sensors,
+                  FailureDetectorOptions options = {});
+
+  void record_host(spec::Time now, arch::HostId host, bool success);
+  void record_sensor(spec::Time now, arch::SensorId sensor, bool success);
+
+  [[nodiscard]] ComponentHealth host_health(arch::HostId host) const;
+  [[nodiscard]] ComponentHealth sensor_health(arch::SensorId sensor) const;
+
+  /// Windowed empirical reliability (1.0 before any observation).
+  [[nodiscard]] double host_reliability(arch::HostId host) const;
+  [[nodiscard]] double sensor_reliability(arch::SensorId sensor) const;
+
+  [[nodiscard]] std::int64_t host_observations(arch::HostId host) const;
+
+  /// Time of the miss that crossed the suspect threshold; -1 if the host
+  /// is not currently suspected.
+  [[nodiscard]] spec::Time host_suspected_since(arch::HostId host) const;
+
+  /// Hosts currently suspected dead / not suspected, ascending.
+  [[nodiscard]] std::vector<arch::HostId> suspected_hosts() const;
+  [[nodiscard]] std::vector<arch::HostId> surviving_hosts() const;
+  [[nodiscard]] bool any_host_suspected() const;
+
+  [[nodiscard]] const FailureDetectorOptions& options() const {
+    return options_;
+  }
+
+ private:
+  struct ComponentState {
+    std::vector<std::uint8_t> ring;  ///< outcome window, oldest overwritten
+    int head = 0;
+    int filled = 0;
+    int window_successes = 0;
+    int consecutive_misses = 0;
+    int consecutive_successes = 0;
+    std::int64_t observations = 0;
+    bool suspected = false;
+    spec::Time suspected_since = -1;
+  };
+
+  void record(ComponentState& state, spec::Time now, bool success);
+  [[nodiscard]] ComponentHealth health_of(const ComponentState& state) const;
+  [[nodiscard]] static double reliability_of(const ComponentState& state);
+
+  FailureDetectorOptions options_;
+  std::vector<ComponentState> hosts_;
+  std::vector<ComponentState> sensors_;
+};
+
+}  // namespace lrt::adapt
+
+#endif  // LRT_ADAPT_FAILURE_DETECTOR_H_

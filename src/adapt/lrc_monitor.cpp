@@ -1,0 +1,93 @@
+#include "adapt/lrc_monitor.h"
+
+#include <cassert>
+
+#include "support/strings.h"
+
+namespace lrt::adapt {
+
+std::string_view to_string(LrcState state) {
+  switch (state) {
+    case LrcState::kHealthy:
+      return "healthy";
+    case LrcState::kAtRisk:
+      return "at-risk";
+    case LrcState::kViolated:
+      return "violated";
+  }
+  return "?";
+}
+
+LrcMonitor::LrcMonitor(const spec::Specification& spec,
+                       LrcMonitorOptions options)
+    : spec_(&spec), options_(options) {
+  assert(options_.window > 0 && "monitor window must be positive");
+  comms_.resize(spec.communicators().size());
+  for (auto& state : comms_) {
+    state.ring.assign(static_cast<std::size_t>(options_.window), 0);
+  }
+}
+
+void LrcMonitor::record_update(spec::Time /*now*/, spec::CommId comm,
+                               bool reliable) {
+  CommState& state = comms_[static_cast<std::size_t>(comm)];
+  if (state.filled == options_.window) {
+    state.window_successes -= state.ring[static_cast<std::size_t>(state.head)];
+  } else {
+    ++state.filled;
+  }
+  state.ring[static_cast<std::size_t>(state.head)] = reliable ? 1 : 0;
+  state.head = (state.head + 1) % options_.window;
+  state.window_successes += reliable ? 1 : 0;
+  ++state.updates;
+}
+
+double LrcMonitor::windowed_rate(spec::CommId comm) const {
+  const CommState& state = comms_[static_cast<std::size_t>(comm)];
+  return state.filled == 0 ? 1.0
+                           : static_cast<double>(state.window_successes) /
+                                 static_cast<double>(state.filled);
+}
+
+sim::ConfidenceInterval LrcMonitor::windowed_interval(
+    spec::CommId comm) const {
+  const CommState& state = comms_[static_cast<std::size_t>(comm)];
+  return sim::wilson_interval(state.window_successes, state.filled,
+                              options_.z);
+}
+
+std::int64_t LrcMonitor::updates_seen(spec::CommId comm) const {
+  return comms_[static_cast<std::size_t>(comm)].updates;
+}
+
+LrcState LrcMonitor::state(spec::CommId comm) const {
+  const CommState& state = comms_[static_cast<std::size_t>(comm)];
+  if (state.filled < options_.min_updates) return LrcState::kHealthy;
+  const double mu = spec_->communicator(comm).lrc;
+  if (windowed_rate(comm) >= mu) return LrcState::kHealthy;
+  return windowed_interval(comm).high >= mu ? LrcState::kAtRisk
+                                            : LrcState::kViolated;
+}
+
+std::vector<spec::CommId> LrcMonitor::endangered() const {
+  std::vector<spec::CommId> out;
+  for (spec::CommId c = 0; c < static_cast<spec::CommId>(comms_.size());
+       ++c) {
+    if (state(c) != LrcState::kHealthy) out.push_back(c);
+  }
+  return out;
+}
+
+std::string LrcMonitor::summary() const {
+  std::string out = "lrc monitor:\n";
+  for (spec::CommId c = 0; c < static_cast<spec::CommId>(comms_.size());
+       ++c) {
+    const spec::Communicator& comm = spec_->communicator(c);
+    out += "  " + comm.name + ": rate=" + format_double(windowed_rate(c)) +
+           " mu=" + format_double(comm.lrc) + " [" +
+           std::string(to_string(state(c))) + "]\n";
+  }
+  return out;
+}
+
+}  // namespace lrt::adapt

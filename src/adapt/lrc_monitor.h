@@ -1,0 +1,77 @@
+// Online LRC monitoring (adaptive layer): tracks each communicator's
+// windowed update reliability against its declared mu_c.
+//
+// The paper's Proposition 1 discharges "limavg >= mu_c with probability 1"
+// once, at design time. The monitor watches the same quantity at run time
+// over a sliding window of update events and grades each communicator:
+//  * kHealthy  — windowed rate >= mu_c;
+//  * kAtRisk   — rate < mu_c but the Wilson interval still reaches mu_c:
+//                statistically compatible with a healthy long-run average
+//                (expected transiently even at nominal hrel);
+//  * kViolated — the whole Wilson interval lies below mu_c: the window is
+//                statistical evidence that the LRC is being missed.
+#ifndef LRT_ADAPT_LRC_MONITOR_H_
+#define LRT_ADAPT_LRC_MONITOR_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/trace.h"
+#include "spec/specification.h"
+
+namespace lrt::adapt {
+
+struct LrcMonitorOptions {
+  /// Update events kept per communicator.
+  int window = 200;
+  /// z-score of the windowed Wilson interval (2.576 ~ 99%).
+  double z = 2.576;
+  /// Below this many observed updates the state is kHealthy (no evidence).
+  int min_updates = 20;
+};
+
+enum class LrcState { kHealthy, kAtRisk, kViolated };
+
+[[nodiscard]] std::string_view to_string(LrcState state);
+
+/// Windowed per-communicator LRC watchdog. Fed from RuntimeMonitor's
+/// on_update; single-threaded like the simulation that drives it.
+class LrcMonitor {
+ public:
+  explicit LrcMonitor(const spec::Specification& spec,
+                      LrcMonitorOptions options = {});
+
+  void record_update(spec::Time now, spec::CommId comm, bool reliable);
+
+  [[nodiscard]] LrcState state(spec::CommId comm) const;
+  /// Windowed update reliability (1.0 before any update).
+  [[nodiscard]] double windowed_rate(spec::CommId comm) const;
+  [[nodiscard]] sim::ConfidenceInterval windowed_interval(
+      spec::CommId comm) const;
+  [[nodiscard]] std::int64_t updates_seen(spec::CommId comm) const;
+
+  /// Communicators currently kAtRisk or kViolated, ascending by id.
+  [[nodiscard]] std::vector<spec::CommId> endangered() const;
+
+  /// Multi-line per-communicator table (rate vs mu_c, state).
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  struct CommState {
+    std::vector<std::uint8_t> ring;
+    int head = 0;
+    int filled = 0;
+    int window_successes = 0;
+    std::int64_t updates = 0;
+  };
+
+  const spec::Specification* spec_;
+  LrcMonitorOptions options_;
+  std::vector<CommState> comms_;  // by CommId
+};
+
+}  // namespace lrt::adapt
+
+#endif  // LRT_ADAPT_LRC_MONITOR_H_

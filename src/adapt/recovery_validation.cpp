@@ -1,0 +1,177 @@
+#include "adapt/recovery_validation.h"
+
+#include <memory>
+#include <utility>
+
+#include "support/json.h"
+#include "support/strings.h"
+
+namespace lrt::adapt {
+
+std::string RecoveryReport::summary() const {
+  std::string out = "recovery validation: ";
+  out += std::to_string(repaired_trials) + " repaired, " +
+         std::to_string(degraded_trials) + " degraded, " +
+         std::to_string(unrepaired_trials) + " unrepaired trial(s)";
+  if (!shed_communicators.empty()) {
+    out += "; shed: " + join(shed_communicators, ", ");
+  }
+  out += "\n";
+  for (const CommRecovery& comm : communicators) {
+    out += "  " + comm.name + ": post-repair=" +
+           format_double(comm.empirical) + " [" +
+           format_double(comm.interval.low) + ", " +
+           format_double(comm.interval.high) + "]" +
+           " lambda=" + format_double(comm.reanalyzed_srg) +
+           " mu=" + format_double(comm.lrc);
+    if (comm.shed) {
+      out += " SHED";
+    } else {
+      out += comm.meets_lrc ? " ok" : " MISSES-LRC";
+      if (!comm.analysis_sound) out += " UNSOUND";
+    }
+    out += "\n";
+  }
+  out += recovery_validated ? "recovery VALIDATED\n" : "recovery FAILED\n";
+  return out;
+}
+
+std::string to_json(const RecoveryReport& report) {
+  // The inner Monte Carlo aggregate has its own sim::to_json; this document
+  // covers only the recovery reduction.
+  JsonWriter json;
+  json.begin_object();
+  json.key("implementation");
+  json.value(report.monte_carlo.implementation);
+  json.key("trials");
+  json.value(report.monte_carlo.trials);
+  json.key("failed_trials");
+  json.value(report.monte_carlo.failed_trials);
+  json.key("repaired_trials");
+  json.value(report.repaired_trials);
+  json.key("degraded_trials");
+  json.value(report.degraded_trials);
+  json.key("unrepaired_trials");
+  json.value(report.unrepaired_trials);
+  json.key("recovery_validated");
+  json.value(report.recovery_validated);
+  json.key("shed_communicators");
+  json.begin_array();
+  for (const std::string& name : report.shed_communicators) {
+    json.value(name);
+  }
+  json.end_array();
+  json.key("communicators");
+  json.begin_array();
+  for (const CommRecovery& comm : report.communicators) {
+    json.begin_object();
+    json.key("name");
+    json.value(comm.name);
+    json.key("updates");
+    json.value(comm.updates);
+    json.key("reliable_updates");
+    json.value(comm.reliable_updates);
+    json.key("empirical");
+    json.value(comm.empirical);
+    json.key("ci_low");
+    json.value(comm.interval.low);
+    json.key("ci_high");
+    json.value(comm.interval.high);
+    json.key("reanalyzed_srg");
+    json.value(comm.reanalyzed_srg);
+    json.key("lrc");
+    json.value(comm.lrc);
+    json.key("shed");
+    json.value(comm.shed);
+    json.key("meets_lrc");
+    json.value(comm.meets_lrc);
+    json.key("analysis_sound");
+    json.value(comm.analysis_sound);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return std::move(json).str();
+}
+
+RecoveryValidator::RecoveryValidator(RecoveryValidationOptions options)
+    : options_(std::move(options)) {}
+
+Result<RecoveryReport> RecoveryValidator::run(
+    const impl::Implementation& impl) const {
+  const spec::Specification& spec = impl.specification();
+  const auto num_comms = spec.communicators().size();
+
+  // One controller per trial, index-addressed from the worker threads (no
+  // two trials share an index, so no synchronization is needed), kept
+  // alive until the reduction below is done with them.
+  std::vector<std::unique_ptr<SelfHealingController>> controllers(
+      static_cast<std::size_t>(options_.monte_carlo.trials));
+  sim::MonteCarloOptions mc = options_.monte_carlo;
+  mc.monitor_factory =
+      [this, &impl, &controllers](std::int64_t trial) -> sim::RuntimeMonitor* {
+    auto& slot = controllers[static_cast<std::size_t>(trial)];
+    slot = std::make_unique<SelfHealingController>(impl, options_.controller);
+    return slot.get();
+  };
+
+  RecoveryReport report;
+  const sim::MonteCarloRunner runner(mc);
+  LRT_ASSIGN_OR_RETURN(report.monte_carlo, runner.run(impl));
+
+  // Sequential reduction in trial order: deterministic for every thread
+  // count, like the underlying runner's.
+  report.communicators.resize(num_comms);
+  const RepairPlan* first_plan = nullptr;
+  for (const auto& controller : controllers) {
+    if (controller == nullptr || !controller->repaired()) continue;
+    ++report.repaired_trials;
+    const RepairPlan& plan = controller->repairs().front().plan;
+    if (!plan.shed_communicators.empty()) ++report.degraded_trials;
+    if (first_plan == nullptr) first_plan = &plan;
+    const auto& stats = controller->post_repair_stats();
+    for (std::size_t c = 0; c < num_comms; ++c) {
+      report.communicators[c].updates += stats[c].updates;
+      report.communicators[c].reliable_updates += stats[c].reliable_updates;
+    }
+  }
+  report.unrepaired_trials = report.monte_carlo.trials -
+                             report.monte_carlo.failed_trials -
+                             report.repaired_trials;
+  if (report.unrepaired_trials < 0) report.unrepaired_trials = 0;
+  if (first_plan != nullptr) {
+    report.shed_communicators = first_plan->shed_communicators;
+  }
+
+  bool all_ok = report.repaired_trials > 0;
+  for (std::size_t c = 0; c < num_comms; ++c) {
+    CommRecovery& comm = report.communicators[c];
+    const auto id = static_cast<spec::CommId>(c);
+    comm.name = spec.communicator(id).name;
+    comm.lrc = spec.communicator(id).lrc;
+    comm.empirical = comm.updates == 0
+                         ? 1.0
+                         : static_cast<double>(comm.reliable_updates) /
+                               static_cast<double>(comm.updates);
+    comm.interval = sim::wilson_interval(comm.reliable_updates, comm.updates,
+                                         options_.monte_carlo.z);
+    if (first_plan != nullptr) {
+      for (const reliability::CommunicatorVerdict& verdict :
+           first_plan->reliability.verdicts) {
+        if (verdict.comm == id) comm.reanalyzed_srg = verdict.srg;
+      }
+      for (const spec::CommId shed_id : first_plan->shed_ids) {
+        if (shed_id == id) comm.shed = true;
+      }
+    }
+    comm.analysis_sound = comm.interval.high >= comm.reanalyzed_srg;
+    comm.meets_lrc = comm.shed || comm.interval.high >= comm.lrc;
+    if (!comm.shed && (!comm.meets_lrc || !comm.analysis_sound)) {
+      all_ok = false;
+    }
+  }
+  report.recovery_validated = all_ok;
+  return report;
+}
+
+}  // namespace lrt::adapt

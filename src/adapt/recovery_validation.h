@@ -1,0 +1,94 @@
+// Monte Carlo recovery validation: does the self-healing runtime actually
+// deliver the reliability the repair's re-analysis promised?
+//
+// Each trial simulates the implementation under a self-healing controller
+// (one controller per trial, so detector/monitor state never crosses
+// trials). After the campaign, the validator pools every repaired trial's
+// post-repair update outcomes per communicator and checks the empirical
+// reliability, with a Wilson interval, against
+//  * the re-analyzed lambda_c of the repaired mapping (analysis_sound), and
+//  * the declared mu_c (meets_lrc) — skipped for communicators the repair
+//    shed, whose LRC was explicitly sacrificed.
+// This is the paper's Proposition 1 cross-check, re-run on the *repaired*
+// system: the static validation of the Monte Carlo engine, lifted to the
+// adaptive layer.
+#ifndef LRT_ADAPT_RECOVERY_VALIDATION_H_
+#define LRT_ADAPT_RECOVERY_VALIDATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "adapt/self_healing.h"
+#include "impl/implementation.h"
+#include "sim/monte_carlo.h"
+#include "support/status.h"
+
+namespace lrt::adapt {
+
+struct RecoveryValidationOptions {
+  /// Campaign configuration; monitor_factory is overwritten by the
+  /// validator (it installs the per-trial self-healing controllers).
+  sim::MonteCarloOptions monte_carlo;
+  /// Controller configuration shared by every trial's controller.
+  SelfHealingOptions controller;
+};
+
+/// Post-repair empirical vs re-analyzed reliability of one communicator,
+/// pooled over all repaired trials.
+struct CommRecovery {
+  std::string name;
+  std::int64_t updates = 0;
+  std::int64_t reliable_updates = 0;
+  double empirical = 1.0;
+  sim::ConfidenceInterval interval;
+  /// lambda_c of the repaired mapping (first repaired trial's re-analysis;
+  /// repairs are deterministic given the dead-host set, so all trials that
+  /// repaired agree).
+  double reanalyzed_srg = 1.0;
+  double lrc = 1.0;
+  /// True when the repair waived this communicator's LRC.
+  bool shed = false;
+  /// interval.high >= lrc; vacuously true for shed communicators.
+  bool meets_lrc = true;
+  /// interval.high >= reanalyzed_srg.
+  bool analysis_sound = true;
+};
+
+struct RecoveryReport {
+  /// The underlying campaign's aggregate (pre- and post-repair pooled).
+  sim::ValidationReport monte_carlo;
+  std::int64_t repaired_trials = 0;
+  /// Repaired trials whose plan shed at least one communicator.
+  std::int64_t degraded_trials = 0;
+  /// Surviving trials in which no repair committed.
+  std::int64_t unrepaired_trials = 0;
+  /// Shed communicator names in shed order (first repaired trial's plan).
+  std::vector<std::string> shed_communicators;
+  std::vector<CommRecovery> communicators;  ///< indexed by CommId
+  /// True iff at least one trial repaired and every unshed communicator's
+  /// post-repair interval meets its LRC and its re-analyzed lambda_c.
+  bool recovery_validated = false;
+
+  /// Multi-line post-repair table (empirical vs lambda_c vs mu_c).
+  [[nodiscard]] std::string summary() const;
+};
+
+[[nodiscard]] std::string to_json(const RecoveryReport& report);
+
+/// Runs a self-healing Monte Carlo campaign and reduces it into a
+/// RecoveryReport. Options must outlive the validator.
+class RecoveryValidator {
+ public:
+  explicit RecoveryValidator(RecoveryValidationOptions options);
+
+  [[nodiscard]] Result<RecoveryReport> run(
+      const impl::Implementation& impl) const;
+
+ private:
+  RecoveryValidationOptions options_;
+};
+
+}  // namespace lrt::adapt
+
+#endif  // LRT_ADAPT_RECOVERY_VALIDATION_H_

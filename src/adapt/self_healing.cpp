@@ -1,0 +1,87 @@
+#include "adapt/self_healing.h"
+
+#include <utility>
+
+namespace lrt::adapt {
+
+SelfHealingController::SelfHealingController(
+    const impl::Implementation& initial, SelfHealingOptions options)
+    : initial_(&initial),
+      options_(options),
+      detector_(initial.architecture().hosts().size(),
+                initial.architecture().sensors().size(), options.detector),
+      lrc_(initial.specification(), options.lrc),
+      repair_attempted_(initial.architecture().hosts().size(), false),
+      post_repair_(initial.specification().communicators().size()) {}
+
+void SelfHealingController::on_invocation(spec::Time now,
+                                          spec::TaskId /*task*/,
+                                          arch::HostId host, bool success) {
+  detector_.record_host(now, host, success);
+}
+
+void SelfHealingController::on_sensor_update(spec::Time now,
+                                             spec::CommId /*comm*/,
+                                             arch::SensorId sensor,
+                                             bool reliable) {
+  detector_.record_sensor(now, sensor, reliable);
+}
+
+void SelfHealingController::on_update(spec::Time now, spec::CommId comm,
+                                      bool reliable, int /*contributors*/) {
+  lrc_.record_update(now, comm, reliable);
+  // Strictly after the commit boundary: updates at the boundary tick were
+  // produced by replications still running under the old mapping.
+  if (!repairs_.empty() && now > repairs_.back().committed_at) {
+    PostRepairStats& stats = post_repair_[static_cast<std::size_t>(comm)];
+    ++stats.updates;
+    if (reliable) ++stats.reliable_updates;
+  }
+}
+
+const impl::Implementation* SelfHealingController::on_period_boundary(
+    spec::Time now) {
+  if (!options_.enable_repair) return nullptr;
+
+  std::vector<arch::HostId> dead;
+  for (const arch::HostId h : detector_.suspected_hosts()) {
+    if (!repair_attempted_[static_cast<std::size_t>(h)]) dead.push_back(h);
+  }
+  if (dead.empty()) return nullptr;
+  // One repair attempt per host, win or lose: the dead-host evidence that
+  // doomed a failed attempt would not change on retry.
+  for (const arch::HostId h : dead) {
+    repair_attempted_[static_cast<std::size_t>(h)] = true;
+  }
+
+  // Route around everything currently suspected, not only the new hosts.
+  auto planned =
+      plan_repair(active(), detector_.suspected_hosts(), options_.repair);
+  if (!planned.ok()) {
+    last_error_ = planned.status();
+    return nullptr;
+  }
+  auto built = impl::Implementation::Build(initial_->specification(),
+                                           initial_->architecture(),
+                                           planned->config);
+  if (!built.ok()) {
+    last_error_ = built.status();
+    return nullptr;
+  }
+
+  owned_.push_back(
+      std::make_unique<impl::Implementation>(*std::move(built)));
+  RepairRecord record;
+  record.committed_at = now;
+  record.dead_hosts = detector_.suspected_hosts();
+  record.plan = *std::move(planned);
+  repairs_.push_back(std::move(record));
+  post_repair_.assign(post_repair_.size(), {});
+  return owned_.back().get();
+}
+
+const impl::Implementation& SelfHealingController::active() const {
+  return owned_.empty() ? *initial_ : *owned_.back();
+}
+
+}  // namespace lrt::adapt

@@ -1,0 +1,108 @@
+// The self-healing controller: the adaptive layer's RuntimeMonitor.
+//
+// Wires the failure detector, the online LRC monitor, and the repair
+// planner into one observer the simulation runtime drives:
+//  * every replica invocation outcome feeds the per-host detector, every
+//    sensor commit the per-sensor detector, every update the LRC monitor;
+//  * at a period boundary where the detector suspects a host that has not
+//    been repaired around yet, the controller plans a repair (analysis and
+//    schedulability re-run inside the loop), builds the replacement
+//    Implementation, and hands it to the runtime — which installs it for
+//    all following periods, so the re-execution budget is re-spent on the
+//    new hosts from the next period on;
+//  * after the first committed repair the controller separately pools
+//    per-communicator update outcomes, the empirical evidence the recovery
+//    validator checks against the re-analyzed lambda_c.
+//
+// A controller instance observes exactly one simulation (it is stateful
+// and single-threaded); Monte Carlo campaigns build one per trial.
+#ifndef LRT_ADAPT_SELF_HEALING_H_
+#define LRT_ADAPT_SELF_HEALING_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "adapt/failure_detector.h"
+#include "adapt/lrc_monitor.h"
+#include "adapt/repair_planner.h"
+#include "impl/implementation.h"
+#include "sim/runtime.h"
+#include "support/status.h"
+
+namespace lrt::adapt {
+
+struct SelfHealingOptions {
+  FailureDetectorOptions detector;
+  LrcMonitorOptions lrc;
+  RepairPolicy repair;
+  /// False = observe only (detector + LRC monitor, never remap).
+  bool enable_repair = true;
+};
+
+/// One committed repair.
+struct RepairRecord {
+  /// Period boundary at which the runtime installed the new mapping.
+  spec::Time committed_at = 0;
+  /// Hosts the repair routed around.
+  std::vector<arch::HostId> dead_hosts;
+  RepairPlan plan;
+};
+
+class SelfHealingController final : public sim::RuntimeMonitor {
+ public:
+  /// `initial` is the mapping the simulation starts under; it must outlive
+  /// the controller.
+  explicit SelfHealingController(const impl::Implementation& initial,
+                                 SelfHealingOptions options = {});
+
+  // RuntimeMonitor:
+  void on_invocation(spec::Time now, spec::TaskId task, arch::HostId host,
+                     bool success) override;
+  void on_sensor_update(spec::Time now, spec::CommId comm,
+                        arch::SensorId sensor, bool reliable) override;
+  void on_update(spec::Time now, spec::CommId comm, bool reliable,
+                 int contributors) override;
+  const impl::Implementation* on_period_boundary(spec::Time now) override;
+
+  [[nodiscard]] const FailureDetector& detector() const { return detector_; }
+  [[nodiscard]] const LrcMonitor& lrc_monitor() const { return lrc_; }
+  [[nodiscard]] const std::vector<RepairRecord>& repairs() const {
+    return repairs_;
+  }
+  [[nodiscard]] bool repaired() const { return !repairs_.empty(); }
+  /// Last planner/build failure (OK when every attempt committed). A
+  /// failed attempt is recorded and not retried: the evidence that doomed
+  /// it (the dead-host set) would not change.
+  [[nodiscard]] const Status& last_error() const { return last_error_; }
+  /// The mapping currently in force (the latest repair, else the initial).
+  [[nodiscard]] const impl::Implementation& active() const;
+
+  /// Per-communicator update outcomes observed strictly after the latest
+  /// committed repair (all zero until a repair commits).
+  struct PostRepairStats {
+    std::int64_t updates = 0;
+    std::int64_t reliable_updates = 0;
+  };
+  [[nodiscard]] const std::vector<PostRepairStats>& post_repair_stats()
+      const {
+    return post_repair_;
+  }
+
+ private:
+  const impl::Implementation* initial_;
+  SelfHealingOptions options_;
+  FailureDetector detector_;
+  LrcMonitor lrc_;
+  std::vector<RepairRecord> repairs_;
+  /// Repaired implementations stay alive for the rest of the run — the
+  /// runtime executes out of them.
+  std::vector<std::unique_ptr<impl::Implementation>> owned_;
+  std::vector<bool> repair_attempted_;  // by HostId
+  Status last_error_;
+  std::vector<PostRepairStats> post_repair_;  // by CommId
+};
+
+}  // namespace lrt::adapt
+
+#endif  // LRT_ADAPT_SELF_HEALING_H_

@@ -136,4 +136,27 @@ std::size_t Implementation::replication_count() const {
   return count;
 }
 
+ImplementationConfig Implementation::to_config() const {
+  ImplementationConfig config;
+  config.name = name_;
+  for (std::size_t t = 0; t < task_hosts_.size(); ++t) {
+    ImplementationConfig::TaskMapping mapping;
+    mapping.task = spec_->task(static_cast<spec::TaskId>(t)).name;
+    for (const HostId h : task_hosts_[t]) {
+      mapping.hosts.push_back(arch_->host(h).name);
+    }
+    mapping.reexecutions = reexecutions_[t];
+    mapping.checkpoints = checkpoints_[t];
+    mapping.checkpoint_overhead = checkpoint_overheads_[t];
+    config.task_mappings.push_back(std::move(mapping));
+  }
+  for (std::size_t c = 0; c < sensor_bindings_.size(); ++c) {
+    if (sensor_bindings_[c] == -1) continue;
+    config.sensor_bindings.push_back(
+        {spec_->communicator(static_cast<spec::CommId>(c)).name,
+         arch_->sensor(sensor_bindings_[c]).name});
+  }
+  return config;
+}
+
 }  // namespace lrt::impl

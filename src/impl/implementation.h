@@ -110,6 +110,12 @@ class Implementation {
   /// paper's space-redundancy cost measure used by the synthesizer.
   [[nodiscard]] std::size_t replication_count() const;
 
+  /// Reconstructs a by-name config equivalent to this implementation
+  /// (mappings in TaskId order, bindings in CommId order), the starting
+  /// point for derived mappings such as the adaptive layer's repairs.
+  /// Build(spec, arch, to_config()) round-trips.
+  [[nodiscard]] ImplementationConfig to_config() const;
+
  private:
   Implementation() = default;
 

@@ -122,10 +122,15 @@ Result<ThreeTankSystem> make_three_tank_system(
   if (!spec_result.ok()) return spec_result.status();
 
   // --- architecture ---------------------------------------------------
+  if (scenario.host_count < 2) {
+    return InvalidArgumentError(
+        "three tank system needs at least two hosts");
+  }
   arch::ArchitectureConfig arch_config;
   arch_config.name = "three_tank_arch";
-  for (const std::string name : {"h1", "h2", "h3"}) {
-    arch_config.hosts.push_back({name, scenario.host_reliability});
+  for (int h = 1; h <= scenario.host_count; ++h) {
+    arch_config.hosts.push_back(
+        {"h" + std::to_string(h), scenario.host_reliability});
   }
   if (replicated_sensors) {
     for (const std::string name :
@@ -154,9 +159,10 @@ Result<ThreeTankSystem> make_three_tank_system(
   impl_config.task_mappings.push_back(
       {"t2", replicate_tasks ? std::vector<std::string>{"h1", "h2"}
                              : std::vector<std::string>{"h2"}});
+  const std::string last_host = "h" + std::to_string(scenario.host_count);
   for (const std::string task :
        {"read1", "read2", "estimate1", "estimate2"}) {
-    impl_config.task_mappings.push_back({task, {"h3"}});
+    impl_config.task_mappings.push_back({task, {last_host}});
   }
   if (replicated_sensors) {
     impl_config.sensor_bindings = {{"s1a", "sensor1a"},

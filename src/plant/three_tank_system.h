@@ -53,6 +53,11 @@ struct ThreeTankScenario {
   /// WCET/WCTT (ticks) applied to every (task, host) pair.
   spec::Time wcet = 10;
   spec::Time wctt = 5;
+  /// Hosts h1..hN (>= 2). The paper uses 3; 2 gives the capacity-starved
+  /// platform of the adaptive-recovery experiments, where losing a host
+  /// leaves no mapping that meets an 0.98 control LRC. The non-control
+  /// tasks map to the last host.
+  int host_count = 3;
 };
 
 /// Owns the three validated models; heap storage keeps the

@@ -14,6 +14,7 @@
 
 #include "arch/architecture.h"
 #include "spec/declarations.h"
+#include "support/rng.h"
 
 namespace lrt::sim {
 
@@ -32,7 +33,7 @@ struct FaultPlan {
   std::vector<HostEvent> host_events;
 
   /// RNG seed; every run with the same seed is bit-identical.
-  std::uint64_t seed = 0x1eda2008;
+  std::uint64_t seed = kDefaultRngSeed;
 };
 
 }  // namespace lrt::sim

@@ -27,6 +27,7 @@ struct TrialOutcome {
   std::int64_t committed_updates = 0;
   std::int64_t vote_divergences = 0;
   std::int64_t deadline_misses = 0;
+  std::int64_t remaps_installed = 0;
 };
 
 }  // namespace
@@ -43,6 +44,11 @@ std::string ValidationReport::summary() const {
                     std::to_string(periods_per_trial) + " periods, " +
                     std::to_string(threads) + " threads, " +
                     format_double(trials_per_second) + " trials/s\n";
+  if (failed_trials > 0) {
+    out += "degraded: " + std::to_string(failed_trials) +
+           " trial(s) failed, pooled over the survivors (first " +
+           first_trial_error + ")\n";
+  }
   out += analysis_sound ? "analysis SOUND" : "analysis UNSOUND";
   out += implementation_reliable ? ", implementation RELIABLE\n"
                                  : ", implementation UNRELIABLE\n";
@@ -87,6 +93,12 @@ std::string to_json(const ValidationReport& report) {
   json.value(report.vote_divergences);
   json.key("deadline_misses");
   json.value(report.deadline_misses);
+  json.key("remaps_installed");
+  json.value(report.remaps_installed);
+  json.key("failed_trials");
+  json.value(report.failed_trials);
+  json.key("first_trial_error");
+  json.value(report.first_trial_error);
   json.key("analysis_sound");
   json.value(report.analysis_sound);
   json.key("implementation_reliable");
@@ -158,6 +170,8 @@ Result<ValidationReport> MonteCarloRunner::run(
     std::unique_ptr<Environment> owned_env =
         options_.environment_factory ? options_.environment_factory()
                                      : std::make_unique<NullEnvironment>();
+    trial_options.monitor =
+        options_.monitor_factory ? options_.monitor_factory(trial) : nullptr;
     auto result = simulate(impl, *owned_env, trial_options);
     TrialOutcome& out = outcomes[static_cast<std::size_t>(trial)];
     if (!result.ok()) {
@@ -170,18 +184,32 @@ Result<ValidationReport> MonteCarloRunner::run(
     out.committed_updates = result->committed_updates;
     out.vote_divergences = result->vote_divergences;
     out.deadline_misses = result->deadline_misses;
+    out.remaps_installed = result->remaps_installed;
   });
   const std::chrono::duration<double> elapsed =
       std::chrono::steady_clock::now() - start;
 
-  // Deterministic error reporting: the lowest failing trial wins.
+  // Graceful degradation: failed trials are recorded and excluded from the
+  // pool (deterministically — the lowest failing trial names the error);
+  // the campaign itself dies only when no trial survived.
+  std::int64_t failed_trials = 0;
+  std::string first_trial_error;
   for (std::size_t trial = 0; trial < num_trials; ++trial) {
-    if (!outcomes[trial].error.ok()) {
-      return Status(outcomes[trial].error.code(),
-                    "monte carlo trial " + std::to_string(trial) + ": " +
-                        outcomes[trial].error.message());
+    if (outcomes[trial].error.ok()) continue;
+    ++failed_trials;
+    if (first_trial_error.empty()) {
+      first_trial_error = "trial " + std::to_string(trial) + ": " +
+                          outcomes[trial].error.to_string();
     }
   }
+  if (failed_trials == options_.trials) {
+    const Status& error = outcomes[0].error;
+    return Status(error.code(),
+                  "monte carlo: all " + std::to_string(options_.trials) +
+                      " trials failed; first " + first_trial_error);
+  }
+  const auto survivors =
+      static_cast<double>(options_.trials - failed_trials);
 
   const spec::Specification& spec = impl.specification();
   const std::size_t num_comms = spec.communicators().size();
@@ -206,14 +234,19 @@ Result<ValidationReport> MonteCarloRunner::run(
           : 0.0;
   report.communicators.resize(num_comms);
 
+  report.failed_trials = failed_trials;
+  report.first_trial_error = first_trial_error;
+
   // All reductions below run sequentially in trial order, so the report
   // is bit-identical for every thread count.
   for (const TrialOutcome& out : outcomes) {
+    if (!out.error.ok()) continue;
     report.invocations += out.invocations;
     report.invocation_failures += out.invocation_failures;
     report.committed_updates += out.committed_updates;
     report.vote_divergences += out.vote_divergences;
     report.deadline_misses += out.deadline_misses;
+    report.remaps_installed += out.remaps_installed;
   }
 
   for (std::size_t c = 0; c < num_comms; ++c) {
@@ -227,6 +260,7 @@ Result<ValidationReport> MonteCarloRunner::run(
     agg.min_trial_rate = 1.0;
     agg.max_trial_rate = 0.0;
     for (const TrialOutcome& out : outcomes) {
+      if (!out.error.ok()) continue;
       const CommStats& stats = out.comm_stats[c];
       agg.updates += stats.updates;
       agg.reliable_updates += stats.reliable_updates;
@@ -236,7 +270,7 @@ Result<ValidationReport> MonteCarloRunner::run(
       sum_limavg += stats.limit_average;
       sum_sq_limavg += stats.limit_average * stats.limit_average;
     }
-    const auto n = static_cast<double>(num_trials);
+    const double n = survivors;
     agg.empirical = agg.updates == 0
                         ? 1.0
                         : static_cast<double>(agg.reliable_updates) /

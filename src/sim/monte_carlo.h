@@ -33,6 +33,7 @@
 #include "sim/environment.h"
 #include "sim/runtime.h"
 #include "sim/trace.h"
+#include "support/rng.h"
 #include "support/status.h"
 
 namespace lrt::sim {
@@ -42,7 +43,7 @@ struct MonteCarloOptions {
   /// trial's seed is derived from base_seed instead.
   SimulationOptions simulation;
   std::int64_t trials = 100;
-  std::uint64_t base_seed = 0x1eda2008;
+  std::uint64_t base_seed = kDefaultRngSeed;
   /// Total parallelism including the calling thread; 0 = one per core.
   unsigned threads = 0;
   /// z-score of the per-communicator Wilson interval (2.576 ~ 99%).
@@ -50,6 +51,13 @@ struct MonteCarloOptions {
   /// Builds the environment for one trial; called once per trial, from the
   /// trial's worker thread. Null = a fresh NullEnvironment per trial.
   std::function<std::unique_ptr<Environment>()> environment_factory;
+  /// Builds the RuntimeMonitor for one trial (e.g. an adapt self-healing
+  /// controller); called once per trial, from the trial's worker thread,
+  /// and installed as that trial's SimulationOptions::monitor. The caller
+  /// owns the returned monitor and must keep it alive until run() returns
+  /// (the recovery validator keeps one per trial to reduce afterwards).
+  /// Null factory or null return = no monitor for that trial.
+  std::function<RuntimeMonitor*(std::int64_t trial)> monitor_factory;
 };
 
 /// Pooled per-communicator statistics across all trials.
@@ -92,12 +100,18 @@ struct ValidationReport {
   double z = 2.576;
   double elapsed_seconds = 0.0;
   double trials_per_second = 0.0;
-  /// Counters summed over all trials.
+  /// Trials whose simulate() returned an error. Aggregates pool over the
+  /// survivors only; the campaign itself fails only when every trial dies.
+  std::int64_t failed_trials = 0;
+  /// Error of the lowest-numbered failed trial ("" when none failed).
+  std::string first_trial_error;
+  /// Counters summed over all surviving trials.
   std::int64_t invocations = 0;
   std::int64_t invocation_failures = 0;
   std::int64_t committed_updates = 0;
   std::int64_t vote_divergences = 0;
   std::int64_t deadline_misses = 0;
+  std::int64_t remaps_installed = 0;
   /// Conjunction of the per-communicator verdicts.
   bool analysis_sound = true;
   bool implementation_reliable = true;
@@ -122,9 +136,11 @@ class MonteCarloRunner {
   explicit MonteCarloRunner(MonteCarloOptions options);
 
   /// Simulates options.trials independent trials of `impl` and aggregates.
-  /// Fails on configuration errors (invalid trial count or a failing
-  /// trial); the analytic cross-check uses the fixpoint SRGs, which exist
-  /// for every specification.
+  /// Individual trial errors degrade gracefully: they are counted in the
+  /// report (failed_trials, first_trial_error) and the statistics pool
+  /// over the survivors; the run itself fails only on an invalid trial
+  /// count or when every trial errors. The analytic cross-check uses the
+  /// fixpoint SRGs, which exist for every specification.
   [[nodiscard]] Result<ValidationReport> run(
       const impl::Implementation& impl) const;
 

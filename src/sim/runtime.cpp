@@ -33,6 +33,7 @@ class Runtime {
         arch_(phases.front().architecture()),
         env_(env),
         options_(options),
+        monitor_(options.monitor),
         rng_(options.faults.seed) {}
 
   Result<SimulationResult> run();
@@ -59,8 +60,10 @@ class Runtime {
     }
   }
 
-  /// The implementation in force at absolute time `now`.
+  /// The implementation in force at absolute time `now`: a monitor remap
+  /// once installed, otherwise the scheduled phase.
   [[nodiscard]] const impl::Implementation& phase_at(Time now) const {
+    if (override_ != nullptr) return *override_;
     const auto index = static_cast<std::size_t>(
         (now / hyperperiod_) % static_cast<Time>(phases_.size()));
     return phases_[index];
@@ -71,6 +74,9 @@ class Runtime {
   const arch::Architecture& arch_;
   Environment& env_;
   const SimulationOptions& options_;
+  RuntimeMonitor* monitor_;
+  /// Mapping installed by the monitor; supersedes phases_ once set.
+  const impl::Implementation* override_ = nullptr;
   Xoshiro256 rng_;
 
   Time step_ = 1;
@@ -211,6 +217,23 @@ Result<SimulationResult> Runtime::run() {
   const Time duration = hyperperiod_ * options_.periods;
   for (Time now = 0; now < duration; now += step_) {
     apply_host_events(now);
+    // Remap point: mode switches happen at period boundaries only, so a
+    // repair never tears a LET window apart.
+    if (monitor_ != nullptr && now % hyperperiod_ == 0) {
+      if (const impl::Implementation* next =
+              monitor_->on_period_boundary(now)) {
+        if (&next->specification() != &spec_ ||
+            &next->architecture() != &arch_) {
+          return InvalidArgumentError(
+              "monitor remap must target the running specification and "
+              "architecture");
+        }
+        if (next != override_) {
+          override_ = next;
+          ++result_.remaps_installed;
+        }
+      }
+    }
     commit_updates(now);
     record_and_actuate(now);
     latch_inputs(now);
@@ -262,8 +285,8 @@ void Runtime::commit_updates(Time now) {
       // to every replication of the sensor; a fail-silent sensor fault
       // makes the update unreliable.
       if (spec_.readers_of(c).empty()) continue;  // unused: init persists
-      const arch::Sensor& sensor =
-          arch_.sensor(phases_.front().sensor_for(c));
+      const arch::SensorId sensor_id = phase_at(now).sensor_for(c);
+      const arch::Sensor& sensor = arch_.sensor(sensor_id);
       const bool failed =
           options_.faults.inject_sensor_faults &&
           rng_.bernoulli(1.0 - sensor.reliability);
@@ -272,6 +295,10 @@ void Runtime::commit_updates(Time now) {
       set_all_replications(c, value);
       ++result_.committed_updates;
       update_accums_[static_cast<std::size_t>(c)].record(!failed);
+      if (monitor_ != nullptr) {
+        monitor_->on_sensor_update(now, c, sensor_id, !failed);
+        monitor_->on_update(now, c, !failed, failed ? 0 : 1);
+      }
       continue;
     }
 
@@ -302,6 +329,10 @@ void Runtime::commit_updates(Time now) {
     set_all_replications(c, winner);
     ++result_.committed_updates;
     update_accums_[static_cast<std::size_t>(c)].record(!winner.is_bottom());
+    if (monitor_ != nullptr) {
+      monitor_->on_update(now, c, !winner.is_bottom(),
+                          static_cast<int>(candidates.size()));
+    }
   }
 }
 
@@ -359,6 +390,7 @@ void Runtime::execute_tasks(Time now) {
       // A downed host never starts the invocation.
       if (!host_up_[hs]) {
         ++result_.invocation_failures;
+        if (monitor_ != nullptr) monitor_->on_invocation(now, t, h, false);
         continue;
       }
 
@@ -379,6 +411,9 @@ void Runtime::execute_tasks(Time now) {
             (task.model == spec::FailureModel::kParallel &&
              unreliable == inputs.size());
         if (inputs_bad) {
+          // Not reported to the monitor: an input-model violation says
+          // nothing about this host's health (the failure is upstream),
+          // and counting it would let one dead sensor condemn every host.
           ++result_.invocation_failures;
           continue;
         }
@@ -419,6 +454,7 @@ void Runtime::execute_tasks(Time now) {
         }
       }
       if (failed) ++result_.invocation_failures;
+      if (monitor_ != nullptr) monitor_->on_invocation(now, t, h, !failed);
 
       const Time period_start = now - rel;
       if (options_.model_execution_time) {
@@ -515,6 +551,8 @@ std::string to_json(const SimulationResult& result) {
   json.value(result.vote_divergences);
   json.key("deadline_misses");
   json.value(result.deadline_misses);
+  json.key("remaps_installed");
+  json.value(result.remaps_installed);
   json.key("communicators");
   json.begin_array();
   for (const CommStats& stats : result.comm_stats) {

@@ -10,6 +10,11 @@
 
 namespace lrt {
 
+/// Default seed shared by every stochastic component (fault plans, Monte
+/// Carlo campaigns). One constant, one place: experiments that do not
+/// override the seed all derive from the same reproducible stream root.
+inline constexpr std::uint64_t kDefaultRngSeed = 0x1eda2008;
+
 /// SplitMix64: used to expand a user seed into the xoshiro state.
 class SplitMix64 {
  public:

@@ -21,9 +21,14 @@ class Evaluator {
  public:
   Evaluator(const spec::Specification& spec, const arch::Architecture& arch,
             std::vector<impl::ImplementationConfig::SensorBinding> bindings,
-            const SynthesisOptions& options)
+            std::vector<HostId> usable, const SynthesisOptions& options)
       : spec_(spec), arch_(arch), bindings_(std::move(bindings)),
-        options_(options) {}
+        usable_(std::move(usable)), options_(options) {
+    relaxed_.assign(spec.communicators().size(), false);
+    for (const CommId c : options.relaxed_lrcs) {
+      relaxed_[static_cast<std::size_t>(c)] = true;
+    }
+  }
 
   /// Builds the ImplementationConfig for an assignment (host set per task).
   [[nodiscard]] impl::ImplementationConfig to_config(
@@ -36,13 +41,21 @@ class Evaluator {
       for (const HostId h : assignment[static_cast<std::size_t>(t)]) {
         mapping.hosts.push_back(arch_.host(h).name);
       }
+      if (!options_.task_redundancy.empty()) {
+        const auto& redundancy =
+            options_.task_redundancy[static_cast<std::size_t>(t)];
+        mapping.reexecutions = redundancy.reexecutions;
+        mapping.checkpoints = redundancy.checkpoints;
+        mapping.checkpoint_overhead = redundancy.checkpoint_overhead;
+      }
       config.task_mappings.push_back(std::move(mapping));
     }
     config.sensor_bindings = bindings_;
     return config;
   }
 
-  /// Evaluates an assignment; true iff the mapping is valid.
+  /// Evaluates an assignment; true iff the mapping is valid: every
+  /// unrelaxed LRC satisfied, and (optionally) schedulable.
   [[nodiscard]] Result<bool> valid(
       const std::vector<std::vector<HostId>>& assignment) {
     ++candidates_;
@@ -51,7 +64,9 @@ class Evaluator {
     if (!impl_result.ok()) return impl_result.status();
     LRT_ASSIGN_OR_RETURN(const reliability::ReliabilityReport report,
                          reliability::analyze(*impl_result));
-    if (!report.reliable) return false;
+    for (const reliability::CommunicatorVerdict& verdict : report.verdicts) {
+      if (!verdict.satisfied && !relaxed(verdict.comm)) return false;
+    }
     if (options_.require_schedulable) {
       LRT_ASSIGN_OR_RETURN(const sched::SchedulabilityReport sched_report,
                            sched::analyze_schedulability(*impl_result));
@@ -70,28 +85,39 @@ class Evaluator {
   }
 
   [[nodiscard]] std::int64_t candidates() const { return candidates_; }
+  [[nodiscard]] bool relaxed(CommId comm) const {
+    return relaxed_[static_cast<std::size_t>(comm)];
+  }
 
   const spec::Specification& spec() const { return spec_; }
   const arch::Architecture& arch() const { return arch_; }
+  /// Hosts the search may use, ascending and duplicate-free.
+  [[nodiscard]] const std::vector<HostId>& usable() const { return usable_; }
 
  private:
   const spec::Specification& spec_;
   const arch::Architecture& arch_;
   std::vector<impl::ImplementationConfig::SensorBinding> bindings_;
+  std::vector<HostId> usable_;
+  std::vector<bool> relaxed_;  // by CommId
   const SynthesisOptions& options_;
   std::int64_t candidates_ = 0;
 };
 
-/// All nonempty host subsets, grouped and ordered by cardinality, each
-/// cardinality class ordered by descending combined reliability.
+/// All nonempty subsets of the usable hosts, grouped and ordered by
+/// cardinality, each cardinality class ordered by descending combined
+/// reliability.
 std::vector<std::vector<HostId>> candidate_subsets(
-    const arch::Architecture& arch, int max_size) {
-  const int hosts = static_cast<int>(arch.hosts().size());
+    const arch::Architecture& arch, const std::vector<HostId>& usable,
+    int max_size) {
+  const int hosts = static_cast<int>(usable.size());
   std::vector<std::vector<HostId>> subsets;
   for (unsigned mask = 1; mask < (1u << hosts); ++mask) {
     std::vector<HostId> subset;
     for (int h = 0; h < hosts; ++h) {
-      if ((mask >> h) & 1u) subset.push_back(h);
+      if ((mask >> h) & 1u) {
+        subset.push_back(usable[static_cast<std::size_t>(h)]);
+      }
     }
     if (static_cast<int>(subset.size()) <= max_size) {
       subsets.push_back(std::move(subset));
@@ -116,7 +142,8 @@ Result<SynthesisResult> exhaustive(Evaluator& evaluator,
   const auto num_tasks =
       static_cast<TaskId>(evaluator.spec().tasks().size());
   const std::vector<std::vector<HostId>> subsets = candidate_subsets(
-      evaluator.arch(), options.max_replication_per_task);
+      evaluator.arch(), evaluator.usable(),
+      options.max_replication_per_task);
 
   std::vector<std::vector<HostId>> assignment(
       static_cast<std::size_t>(num_tasks));
@@ -164,11 +191,11 @@ Result<SynthesisResult> greedy(Evaluator& evaluator,
   const spec::Specification& spec = evaluator.spec();
   const arch::Architecture& arch = evaluator.arch();
   const auto num_tasks = static_cast<TaskId>(spec.tasks().size());
-  const auto num_hosts = static_cast<HostId>(arch.hosts().size());
+  const std::vector<HostId>& usable = evaluator.usable();
 
-  // Start: every task on the single most reliable host.
-  HostId best_host = 0;
-  for (HostId h = 1; h < num_hosts; ++h) {
+  // Start: every task on the single most reliable usable host.
+  HostId best_host = usable.front();
+  for (const HostId h : usable) {
     if (arch.host(h).reliability > arch.host(best_host).reliability) {
       best_host = h;
     }
@@ -201,7 +228,7 @@ Result<SynthesisResult> greedy(Evaluator& evaluator,
 
   const std::size_t max_total =
       static_cast<std::size_t>(num_tasks) *
-      std::min<std::size_t>(static_cast<std::size_t>(num_hosts),
+      std::min<std::size_t>(usable.size(),
                             static_cast<std::size_t>(
                                 options.max_replication_per_task));
   while (true) {
@@ -210,7 +237,11 @@ Result<SynthesisResult> greedy(Evaluator& evaluator,
 
     LRT_ASSIGN_OR_RETURN(const reliability::ReliabilityReport report,
                          evaluator.report(assignment));
-    const auto violations = report.violations();
+    auto violations = report.violations();
+    std::erase_if(violations,
+                  [&evaluator](const reliability::CommunicatorVerdict& v) {
+                    return evaluator.relaxed(v.comm);
+                  });
     if (violations.empty()) {
       // Reliable but unschedulable: replication only adds load, so greedy
       // cannot repair it.
@@ -237,7 +268,7 @@ Result<SynthesisResult> greedy(Evaluator& evaluator,
           options.max_replication_per_task) {
         continue;
       }
-      for (HostId h = 0; h < num_hosts; ++h) {
+      for (const HostId h : usable) {
         if (std::find(hosts.begin(), hosts.end(), h) != hosts.end()) continue;
         // Marginal gain on lambda_t of adding h to t.
         double fail = 1.0;
@@ -290,7 +321,34 @@ Result<SynthesisResult> synthesize(
   if (options.max_replication_per_task < 1) {
     return InvalidArgumentError("max_replication_per_task must be >= 1");
   }
-  Evaluator evaluator(spec, arch, std::move(sensor_bindings), options);
+  const auto num_hosts = static_cast<HostId>(arch.hosts().size());
+  std::vector<HostId> usable = options.allowed_hosts;
+  if (usable.empty()) {
+    for (HostId h = 0; h < num_hosts; ++h) usable.push_back(h);
+  } else {
+    std::sort(usable.begin(), usable.end());
+    usable.erase(std::unique(usable.begin(), usable.end()), usable.end());
+    if (usable.front() < 0 || usable.back() >= num_hosts) {
+      return InvalidArgumentError("allowed_hosts references a host outside "
+                                  "the architecture");
+    }
+  }
+  if (usable.empty()) {
+    return InvalidArgumentError("synthesis needs at least one usable host");
+  }
+  for (const CommId c : options.relaxed_lrcs) {
+    if (c < 0 || c >= static_cast<CommId>(spec.communicators().size())) {
+      return InvalidArgumentError("relaxed_lrcs references communicator " +
+                                  std::to_string(c));
+    }
+  }
+  if (!options.task_redundancy.empty() &&
+      options.task_redundancy.size() != spec.tasks().size()) {
+    return InvalidArgumentError(
+        "task_redundancy must be empty or give one entry per task");
+  }
+  Evaluator evaluator(spec, arch, std::move(sensor_bindings),
+                      std::move(usable), options);
   switch (options.strategy) {
     case SynthesisOptions::Strategy::kExhaustive:
       return exhaustive(evaluator, options);

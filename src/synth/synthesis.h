@@ -33,6 +33,23 @@ struct SynthesisOptions {
   bool require_schedulable = true;
   /// Upper bound on |I(t)| per task.
   int max_replication_per_task = 1 << 20;
+  /// Hosts the search may map tasks onto; empty = every architecture host.
+  /// The adaptive layer passes the surviving hosts after a permanent loss.
+  std::vector<arch::HostId> allowed_hosts;
+  /// Communicators whose LRC is waived during validation (their verdicts
+  /// are reported but do not reject a candidate) — the degraded-mode
+  /// "shed" set of the adaptive layer's repair planner.
+  std::vector<spec::CommId> relaxed_lrcs;
+  /// Per-task time redundancy applied verbatim to every candidate mapping.
+  struct TaskRedundancy {
+    int reexecutions = 0;
+    int checkpoints = 0;
+    spec::Time checkpoint_overhead = 0;
+  };
+  /// Indexed by TaskId; empty = no re-executions anywhere. Lets a repair
+  /// re-spend the current implementation's re-execution budget on the
+  /// replacement hosts.
+  std::vector<TaskRedundancy> task_redundancy;
 };
 
 struct SynthesisResult {
@@ -47,9 +64,10 @@ struct SynthesisResult {
 /// Synthesizes a valid implementation. `sensor_bindings` fixes the sensor
 /// for each input communicator (sensing hardware is not a degree of
 /// freedom here). Returns kUnsatisfiable when no mapping within the
-/// options' bounds meets all LRCs (e.g. the LRC exceeds what full
-/// replication can deliver), and kFailedPrecondition for specifications
-/// whose SRGs are undefined (unsafe cycles).
+/// options' bounds meets all (unrelaxed) LRCs (e.g. the LRC exceeds what
+/// full replication on the allowed hosts can deliver), kInvalidArgument
+/// for out-of-range option ids, and kFailedPrecondition for
+/// specifications whose SRGs are undefined (unsafe cycles).
 [[nodiscard]] Result<SynthesisResult> synthesize(
     const spec::Specification& spec, const arch::Architecture& arch,
     std::vector<impl::ImplementationConfig::SensorBinding> sensor_bindings,

@@ -1,0 +1,352 @@
+// Unit tests for src/adapt: failure-detector thresholds and hysteresis,
+// online LRC monitoring, repair planning (full recovery and slack-ordered
+// graceful degradation), the self-healing controller end-to-end, and the
+// Monte Carlo recovery validator.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "adapt/failure_detector.h"
+#include "adapt/lrc_monitor.h"
+#include "adapt/recovery_validation.h"
+#include "adapt/repair_planner.h"
+#include "adapt/self_healing.h"
+#include "plant/three_tank_system.h"
+#include "sim/monte_carlo.h"
+#include "sim/runtime.h"
+#include "support/rng.h"
+#include "tests/test_util.h"
+
+namespace lrt::adapt {
+namespace {
+
+using test::comm;
+using test::task;
+
+// --- failure detector ---
+
+TEST(FailureDetector, TransientNoiseNeverSuspects) {
+  // 10k Bernoulli(0.9) draws: P(24 consecutive misses) ~ 1e-24 per point,
+  // so any suspicion would be a detector bug, not bad luck.
+  FailureDetector detector(1, 0, {});
+  Xoshiro256 rng(kDefaultRngSeed);
+  for (int i = 0; i < 10'000; ++i) {
+    detector.record_host(i, 0, rng.bernoulli(0.9));
+  }
+  EXPECT_FALSE(detector.any_host_suspected());
+  EXPECT_NE(detector.host_health(0), ComponentHealth::kSuspectedDead);
+  EXPECT_NEAR(detector.host_reliability(0), 0.9, 0.15);
+}
+
+TEST(FailureDetector, ConsecutiveMissesTripSuspicion) {
+  FailureDetectorOptions options;
+  options.suspect_after_misses = 24;
+  FailureDetector detector(2, 0, options);
+  for (int i = 0; i < 23; ++i) detector.record_host(i, 0, false);
+  EXPECT_FALSE(detector.any_host_suspected());
+  detector.record_host(23, 0, false);
+  EXPECT_EQ(detector.host_health(0), ComponentHealth::kSuspectedDead);
+  EXPECT_EQ(detector.host_suspected_since(0), 23);
+  EXPECT_EQ(detector.suspected_hosts(), (std::vector<arch::HostId>{0}));
+  EXPECT_EQ(detector.surviving_hosts(), (std::vector<arch::HostId>{1}));
+}
+
+TEST(FailureDetector, HysteresisRequiresConsecutiveSuccessesToRevive) {
+  FailureDetectorOptions options;
+  options.suspect_after_misses = 4;
+  options.revive_after_successes = 8;
+  FailureDetector detector(1, 0, options);
+  for (int i = 0; i < 4; ++i) detector.record_host(i, 0, false);
+  ASSERT_TRUE(detector.any_host_suspected());
+  // A lucky streak shorter than the hysteresis does not revive...
+  for (int i = 0; i < 7; ++i) detector.record_host(10 + i, 0, true);
+  EXPECT_TRUE(detector.any_host_suspected());
+  // ...and a miss resets the streak.
+  detector.record_host(20, 0, false);
+  for (int i = 0; i < 7; ++i) detector.record_host(30 + i, 0, true);
+  EXPECT_TRUE(detector.any_host_suspected());
+  detector.record_host(40, 0, true);
+  EXPECT_FALSE(detector.any_host_suspected());
+  EXPECT_EQ(detector.host_suspected_since(0), -1);
+}
+
+TEST(FailureDetector, DegradedIsSoftWarningNotSuspicion) {
+  FailureDetectorOptions options;
+  options.window = 20;
+  options.degraded_threshold = 0.75;
+  FailureDetector detector(1, 1, options);
+  // Alternate hit/miss: 50% windowed reliability, never 24 in a row.
+  for (int i = 0; i < 40; ++i) detector.record_sensor(i, 0, i % 2 == 0);
+  EXPECT_EQ(detector.sensor_health(0), ComponentHealth::kDegraded);
+  EXPECT_NEAR(detector.sensor_reliability(0), 0.5, 1e-9);
+}
+
+// --- LRC monitor ---
+
+TEST(LrcMonitor, GradesHealthyAtRiskViolated) {
+  spec::SpecificationConfig config;
+  config.communicators = {comm("in", 10, 0.5), comm("c", 10, 0.9)};
+  config.tasks = {task("t", {{"in", 0}}, {{"c", 1}})};
+  const spec::Specification spec = test::build_spec(std::move(config));
+
+  LrcMonitorOptions options;
+  options.window = 50;
+  options.min_updates = 10;
+  const spec::CommId c = *spec.find_communicator("c");
+  LrcMonitor monitor(spec, options);
+  EXPECT_EQ(monitor.state(c), LrcState::kHealthy);  // no evidence yet
+
+  for (int i = 0; i < 50; ++i) monitor.record_update(i, c, true);
+  EXPECT_EQ(monitor.state(c), LrcState::kHealthy);
+  EXPECT_DOUBLE_EQ(monitor.windowed_rate(c), 1.0);
+
+  // 40/50: below mu = 0.9, but the 99% Wilson interval still reaches it.
+  for (int i = 0; i < 10; ++i) monitor.record_update(50 + i, c, false);
+  EXPECT_EQ(monitor.state(c), LrcState::kAtRisk);
+  EXPECT_EQ(monitor.endangered(), (std::vector<spec::CommId>{c}));
+
+  // 15/50: the whole interval sits below mu.
+  for (int i = 0; i < 25; ++i) monitor.record_update(60 + i, c, false);
+  EXPECT_EQ(monitor.state(c), LrcState::kViolated);
+  EXPECT_EQ(monitor.updates_seen(c), 85);
+
+  // The window forgets: refilling with successes recovers kHealthy.
+  for (int i = 0; i < 50; ++i) monitor.record_update(100 + i, c, true);
+  EXPECT_EQ(monitor.state(c), LrcState::kHealthy);
+}
+
+// --- repair planner ---
+
+plant::ThreeTankScenario adaptive_scenario(int host_count) {
+  plant::ThreeTankScenario scenario;
+  scenario.variant = plant::ThreeTankVariant::kReplicatedTasks;
+  scenario.lrc_controls = 0.98;
+  scenario.host_count = host_count;
+  return scenario;
+}
+
+TEST(RepairPlanner, RemapsAroundDeadHostWithoutShedding) {
+  auto system = plant::make_three_tank_system(adaptive_scenario(3));
+  ASSERT_TRUE(system.ok());
+  const auto plan = plan_repair(*system->implementation,
+                                std::vector<arch::HostId>{0});
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_TRUE(plan->feasible);
+  EXPECT_TRUE(plan->schedulable);
+  EXPECT_TRUE(plan->shed_communicators.empty());
+  // No task may remain on the dead h1.
+  for (const auto& mapping : plan->config.task_mappings) {
+    for (const std::string& host : mapping.hosts) {
+      EXPECT_NE(host, "h1") << mapping.task;
+    }
+  }
+  // The re-analysis restores the replicated control guarantee on {h2, h3}.
+  for (const reliability::CommunicatorVerdict& verdict :
+       plan->reliability.verdicts) {
+    EXPECT_TRUE(verdict.satisfied) << verdict.name;
+    if (verdict.name == "u1" || verdict.name == "u2") {
+      EXPECT_NEAR(verdict.srg, 0.98000199, 1e-8);
+    }
+  }
+}
+
+TEST(RepairPlanner, CapacityStarvedPlatformShedsInSlackOrder) {
+  auto system = plant::make_three_tank_system(adaptive_scenario(2));
+  ASSERT_TRUE(system.ok());
+  const auto plan = plan_repair(*system->implementation,
+                                std::vector<arch::HostId>{0});
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_TRUE(plan->feasible);
+  // One 0.99 host caps lambda_u at 0.970299 < 0.98: both control LRCs go,
+  // least achievable slack first (tie broken by CommId => u1 before u2).
+  EXPECT_EQ(plan->shed_communicators,
+            (std::vector<std::string>{"u1", "u2"}));
+  for (const reliability::CommunicatorVerdict& verdict :
+       plan->reliability.verdicts) {
+    if (verdict.name != "u1" && verdict.name != "u2") {
+      EXPECT_TRUE(verdict.satisfied) << verdict.name;
+    }
+  }
+}
+
+TEST(RepairPlanner, RejectsTotalLossAndBadIds) {
+  auto system = plant::make_three_tank_system(adaptive_scenario(2));
+  ASSERT_TRUE(system.ok());
+  EXPECT_EQ(plan_repair(*system->implementation,
+                        std::vector<arch::HostId>{0, 1})
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(plan_repair(*system->implementation,
+                        std::vector<arch::HostId>{7})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(RepairPlanner, PreservesReexecutionBudgetOnNewHosts) {
+  test::System system;
+  system.spec = std::make_unique<spec::Specification>(
+      test::build_spec(test::chain_spec_config(1, 10, 0.9)));
+  arch::ArchitectureConfig arch_config;
+  arch_config.hosts = {{"h1", 0.95}, {"h2", 0.95}};
+  arch_config.sensors = {{"s", 0.999}};
+  system.arch = std::make_unique<arch::Architecture>(
+      std::move(arch::Architecture::Build(std::move(arch_config))).value());
+  impl::ImplementationConfig config;
+  config.task_mappings = {{"task1", {"h1"}, /*reexecutions=*/2}};
+  config.sensor_bindings = {{"c0", "s"}};
+  system.impl = std::make_unique<impl::Implementation>(
+      std::move(impl::Implementation::Build(*system.spec, *system.arch,
+                                            std::move(config)))
+          .value());
+
+  const auto plan = plan_repair(*system.impl, std::vector<arch::HostId>{0});
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_TRUE(plan->feasible);
+  ASSERT_EQ(plan->config.task_mappings.size(), 1u);
+  EXPECT_EQ(plan->config.task_mappings[0].hosts,
+            (std::vector<std::string>{"h2"}));
+  EXPECT_EQ(plan->config.task_mappings[0].reexecutions, 2);
+  EXPECT_EQ(plan->config.sensor_bindings[0].sensor, "s");
+}
+
+// --- self-healing controller end-to-end ---
+
+sim::SimulationOptions unplug_run(std::int64_t periods) {
+  sim::SimulationOptions options;
+  options.periods = periods;
+  options.actuator_comms = {"u1", "u2"};
+  options.faults.host_events = {{periods / 5 * 500, 0, false}};
+  return options;
+}
+
+TEST(SelfHealing, DetectsRepairsAndRecovers) {
+  auto system = plant::make_three_tank_system(adaptive_scenario(3));
+  ASSERT_TRUE(system.ok());
+  SelfHealingController controller(*system->implementation);
+  sim::NullEnvironment env;
+  sim::SimulationOptions options = unplug_run(200);
+  options.monitor = &controller;
+  const auto result = sim::simulate(*system->implementation, env, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  EXPECT_EQ(result->remaps_installed, 1);
+  ASSERT_TRUE(controller.repaired());
+  EXPECT_TRUE(controller.last_error().ok());
+  const RepairRecord& repair = controller.repairs().front();
+  EXPECT_EQ(repair.dead_hosts, (std::vector<arch::HostId>{0}));
+  EXPECT_GT(repair.committed_at, options.faults.host_events[0].time);
+  EXPECT_TRUE(repair.plan.feasible);
+  EXPECT_EQ(controller.detector().host_health(0),
+            ComponentHealth::kSuspectedDead);
+  EXPECT_EQ(&controller.active().specification(),
+            system->specification.get());
+
+  // Post-repair evidence accumulated and healthy for the control comms.
+  const auto u1 = static_cast<std::size_t>(
+      *system->specification->find_communicator("u1"));
+  const auto& stats = controller.post_repair_stats()[u1];
+  ASSERT_GT(stats.updates, 0);
+  EXPECT_GT(static_cast<double>(stats.reliable_updates) /
+                static_cast<double>(stats.updates),
+            0.95);
+}
+
+TEST(SelfHealing, ObserveOnlyModeNeverRemaps) {
+  auto system = plant::make_three_tank_system(adaptive_scenario(3));
+  ASSERT_TRUE(system.ok());
+  SelfHealingOptions options;
+  options.enable_repair = false;
+  SelfHealingController controller(*system->implementation, options);
+  sim::NullEnvironment env;
+  sim::SimulationOptions run = unplug_run(100);
+  run.monitor = &controller;
+  const auto result = sim::simulate(*system->implementation, env, run);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->remaps_installed, 0);
+  EXPECT_FALSE(controller.repaired());
+  // The detector still saw the unplug.
+  EXPECT_TRUE(controller.detector().any_host_suspected());
+}
+
+TEST(SelfHealing, NominalBernoulliFaultsNeverTriggerRepair) {
+  auto system = plant::make_three_tank_system(adaptive_scenario(3));
+  ASSERT_TRUE(system.ok());
+  SelfHealingController controller(*system->implementation);
+  sim::NullEnvironment env;
+  sim::SimulationOptions options = unplug_run(300);
+  options.faults.host_events.clear();  // pure Bernoulli at hrel = 0.99
+  options.monitor = &controller;
+  const auto result = sim::simulate(*system->implementation, env, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->remaps_installed, 0);
+  EXPECT_FALSE(controller.repaired());
+  EXPECT_FALSE(controller.detector().any_host_suspected());
+}
+
+// --- recovery validator ---
+
+TEST(RecoveryValidator, ValidatesPostRepairReliability) {
+  auto system = plant::make_three_tank_system(adaptive_scenario(3));
+  ASSERT_TRUE(system.ok());
+  RecoveryValidationOptions options;
+  options.monte_carlo.trials = 8;
+  options.monte_carlo.simulation = unplug_run(200);
+  const RecoveryValidator validator(options);
+  const auto report = validator.run(*system->implementation);
+  ASSERT_TRUE(report.ok()) << report.status();
+
+  EXPECT_EQ(report->repaired_trials, 8);
+  EXPECT_EQ(report->degraded_trials, 0);
+  EXPECT_EQ(report->unrepaired_trials, 0);
+  EXPECT_EQ(report->monte_carlo.remaps_installed, 8);
+  EXPECT_TRUE(report->shed_communicators.empty());
+  EXPECT_TRUE(report->recovery_validated) << report->summary();
+  for (const CommRecovery& comm : report->communicators) {
+    EXPECT_GT(comm.updates, 0) << comm.name;
+    EXPECT_GE(comm.interval.high, comm.lrc) << comm.name;
+    if (comm.name == "u1" || comm.name == "u2") {
+      EXPECT_NEAR(comm.reanalyzed_srg, 0.98000199, 1e-8);
+    }
+  }
+}
+
+TEST(RecoveryValidator, NominalCampaignReportsNoRepairs) {
+  auto system = plant::make_three_tank_system(adaptive_scenario(3));
+  ASSERT_TRUE(system.ok());
+  RecoveryValidationOptions options;
+  options.monte_carlo.trials = 6;
+  options.monte_carlo.simulation = unplug_run(100);
+  options.monte_carlo.simulation.faults.host_events.clear();
+  const RecoveryValidator validator(options);
+  const auto report = validator.run(*system->implementation);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->repaired_trials, 0);
+  EXPECT_EQ(report->unrepaired_trials, 6);
+  EXPECT_FALSE(report->recovery_validated);  // nothing to validate
+}
+
+TEST(RecoveryValidator, JsonReportIsWellFormed) {
+  auto system = plant::make_three_tank_system(adaptive_scenario(3));
+  ASSERT_TRUE(system.ok());
+  RecoveryValidationOptions options;
+  options.monte_carlo.trials = 2;
+  options.monte_carlo.simulation = unplug_run(100);
+  const RecoveryValidator validator(options);
+  const auto report = validator.run(*system->implementation);
+  ASSERT_TRUE(report.ok());
+  const std::string json = to_json(*report);
+  for (const char* key :
+       {"\"repaired_trials\"", "\"degraded_trials\"",
+        "\"recovery_validated\"", "\"shed_communicators\"",
+        "\"reanalyzed_srg\"", "\"ci_high\"", "\"shed\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
+  }
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+}  // namespace
+}  // namespace lrt::adapt

@@ -157,5 +157,34 @@ TEST(Implementation, HostsAreSortedAndDeduplicated) {
   EXPECT_LT(hosts[0], hosts[1]);
 }
 
+TEST(Implementation, ToConfigRoundTrips) {
+  const Fixture f = make_fixture();
+  ImplementationConfig config = valid_config();
+  config.name = "round-trip";
+  config.task_mappings[0].reexecutions = 2;
+  config.task_mappings[0].checkpoints = 1;
+  config.task_mappings[0].checkpoint_overhead = 3;
+  const auto original =
+      Implementation::Build(f.spec, f.arch, std::move(config));
+  ASSERT_TRUE(original.ok());
+
+  const ImplementationConfig reconstructed = original->to_config();
+  EXPECT_EQ(reconstructed.name, "round-trip");
+  const auto rebuilt =
+      Implementation::Build(f.spec, f.arch, reconstructed);
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.status();
+  for (const char* name : {"t1", "t2"}) {
+    const spec::TaskId t = *f.spec.find_task(name);
+    EXPECT_EQ(rebuilt->hosts_for(t), original->hosts_for(t)) << name;
+    EXPECT_EQ(rebuilt->reexecutions(t), original->reexecutions(t)) << name;
+    EXPECT_EQ(rebuilt->checkpoints(t), original->checkpoints(t)) << name;
+    EXPECT_EQ(rebuilt->checkpoint_overhead(t),
+              original->checkpoint_overhead(t))
+        << name;
+  }
+  EXPECT_EQ(rebuilt->sensor_for(*f.spec.find_communicator("in")),
+            original->sensor_for(*f.spec.find_communicator("in")));
+}
+
 }  // namespace
 }  // namespace lrt::impl

@@ -446,5 +446,150 @@ TEST(Runtime, BroadcastLossReducesRate) {
   EXPECT_EQ(result->vote_divergences, 0);  // atomicity preserved
 }
 
+// --- runtime monitor hooks (adaptive layer) ---
+
+/// Collects every on_update outcome for one communicator.
+class UpdateRecorder final : public RuntimeMonitor {
+ public:
+  explicit UpdateRecorder(spec::CommId comm) : comm_(comm) {}
+
+  void on_update(spec::Time now, spec::CommId comm, bool reliable,
+                 int contributors) override {
+    if (comm != comm_) return;
+    times_.push_back(now);
+    reliable_.push_back(reliable);
+    contributors_.push_back(contributors);
+  }
+
+  /// Fraction of reliable updates committed in [from, to).
+  [[nodiscard]] double rate_between(spec::Time from, spec::Time to) const {
+    std::int64_t total = 0;
+    std::int64_t good = 0;
+    for (std::size_t i = 0; i < times_.size(); ++i) {
+      if (times_[i] < from || times_[i] >= to) continue;
+      ++total;
+      if (reliable_[i]) ++good;
+    }
+    return total == 0 ? 1.0
+                      : static_cast<double>(good) /
+                            static_cast<double>(total);
+  }
+
+  [[nodiscard]] int contributors_at(spec::Time when) const {
+    for (std::size_t i = 0; i < times_.size(); ++i) {
+      if (times_[i] == when) return contributors_[i];
+    }
+    return -1;
+  }
+
+ private:
+  spec::CommId comm_;
+  std::vector<spec::Time> times_;
+  std::vector<bool> reliable_;
+  std::vector<int> contributors_;
+};
+
+TEST(RuntimeMonitor, WindowedReliabilityDipsAndRecoversAcrossKillRestore) {
+  // Fault-free single-host chain; h0 is unplugged for the middle third of
+  // the run and restored. The per-window update reliability of c1 must be
+  // 1 before the kill, 0 while down, and 1 again after the restore.
+  auto system = test::single_host_system(test::chain_spec_config(1), 1.0,
+                                         1.0);
+  const spec::CommId c1 = *system.spec->find_communicator("c1");
+  UpdateRecorder recorder(c1);
+  NullEnvironment env;
+  SimulationOptions options = fast_options(300);
+  const spec::Time down = system.spec->hyperperiod() * 100;
+  const spec::Time up = system.spec->hyperperiod() * 200;
+  options.faults.host_events = {{down, 0, false}, {up, 0, true}};
+  options.monitor = &recorder;
+  const auto result = simulate(*system.impl, env, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_DOUBLE_EQ(recorder.rate_between(0, down), 1.0);
+  EXPECT_DOUBLE_EQ(recorder.rate_between(down + 1, up), 0.0);
+  EXPECT_DOUBLE_EQ(recorder.rate_between(up + 1, options.periods *
+                                                     system.spec
+                                                         ->hyperperiod()),
+                   1.0);
+  EXPECT_EQ(result->remaps_installed, 0);
+}
+
+TEST(RuntimeMonitor, RestoredHostRejoinsVoting) {
+  // task1 replicated on {h1, h2}; h1 is killed and later restored. The
+  // vote contributor count for c1 reads 2 -> 1 -> 2.
+  test::System system;
+  system.spec = std::make_unique<spec::Specification>(
+      test::build_spec(test::chain_spec_config(1)));
+  arch::ArchitectureConfig arch_config;
+  arch_config.hosts = {{"h1", 1.0}, {"h2", 1.0}};
+  arch_config.sensors = {{"s", 1.0}};
+  system.arch = std::make_unique<arch::Architecture>(
+      std::move(arch::Architecture::Build(std::move(arch_config))).value());
+  impl::ImplementationConfig impl_config;
+  impl_config.task_mappings = {{"task1", {"h1", "h2"}}};
+  impl_config.sensor_bindings = {{"c0", "s"}};
+  system.impl = std::make_unique<impl::Implementation>(
+      std::move(impl::Implementation::Build(*system.spec, *system.arch,
+                                            std::move(impl_config)))
+          .value());
+
+  const spec::CommId c1 = *system.spec->find_communicator("c1");
+  UpdateRecorder recorder(c1);
+  NullEnvironment env;
+  SimulationOptions options = fast_options(300);
+  const spec::Time period = system.spec->hyperperiod();
+  options.faults.host_events = {{period * 100, 0, false},
+                                {period * 200, 0, true}};
+  options.monitor = &recorder;
+  const auto result = simulate(*system.impl, env, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(recorder.contributors_at(period * 50), 2);
+  EXPECT_EQ(recorder.contributors_at(period * 150), 1);
+  EXPECT_EQ(recorder.contributors_at(period * 250), 2);
+  // Down for a third of the run, but one replica always survives.
+  EXPECT_DOUBLE_EQ(result->find("c1")->limit_average, 1.0);
+}
+
+/// Always answers the period boundary with a fixed implementation.
+class FixedRemap final : public RuntimeMonitor {
+ public:
+  explicit FixedRemap(const impl::Implementation* next) : next_(next) {}
+  const impl::Implementation* on_period_boundary(spec::Time) override {
+    return next_;
+  }
+
+ private:
+  const impl::Implementation* next_;
+};
+
+TEST(RuntimeMonitor, RemapMustShareSpecificationAndArchitecture) {
+  auto system = test::single_host_system(test::chain_spec_config(1));
+  auto foreign = test::single_host_system(test::chain_spec_config(1));
+  FixedRemap monitor(foreign.impl.get());
+  NullEnvironment env;
+  SimulationOptions options = fast_options(10);
+  options.monitor = &monitor;
+  EXPECT_EQ(simulate(*system.impl, env, options).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(RuntimeMonitor, IdenticalRemapInstallsOnce) {
+  // Returning the same replacement at every boundary installs it once.
+  auto system = test::single_host_system(test::chain_spec_config(1), 1.0,
+                                         1.0);
+  impl::ImplementationConfig same = system.impl->to_config();
+  auto replacement = impl::Implementation::Build(*system.spec, *system.arch,
+                                                 std::move(same));
+  ASSERT_TRUE(replacement.ok());
+  FixedRemap monitor(&*replacement);
+  NullEnvironment env;
+  SimulationOptions options = fast_options(50);
+  options.monitor = &monitor;
+  const auto result = simulate(*system.impl, env, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->remaps_installed, 1);
+  EXPECT_DOUBLE_EQ(result->find("c1")->limit_average, 1.0);
+}
+
 }  // namespace
 }  // namespace lrt::sim

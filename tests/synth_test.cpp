@@ -187,5 +187,54 @@ TEST(Synthesis, SchedulabilityConstraintLimitsReplication) {
   EXPECT_TRUE(sched::analyze_schedulability(*impl)->schedulable);
 }
 
+TEST(Synthesis, AllowedHostsRestrictTheSearch) {
+  // Three hosts, but h1 is off-limits (the adaptive layer's repair path):
+  // no synthesized mapping may use it.
+  Fixture f = chain_fixture(0.9, 0.9,
+                            {{"h1", 0.99}, {"h2", 0.99}, {"h3", 0.99}});
+  SynthesisOptions options = strategy(SynthesisOptions::Strategy::kGreedy);
+  options.allowed_hosts = {1, 2};
+  const auto result = synthesize(*f.spec, *f.arch, f.bindings, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  for (const auto& mapping : result->config.task_mappings) {
+    for (const std::string& host : mapping.hosts) {
+      EXPECT_NE(host, "h1") << mapping.task;
+    }
+  }
+
+  SynthesisOptions bad = strategy(SynthesisOptions::Strategy::kGreedy);
+  bad.allowed_hosts = {7};
+  EXPECT_EQ(synthesize(*f.spec, *f.arch, f.bindings, bad).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(Synthesis, RelaxedLrcsWaiveUnsatisfiableConstraints) {
+  // 0.9999 on "out" is impossible on two 0.99 hosts; waiving it makes the
+  // remaining constraints (mid at 0.9) trivially satisfiable.
+  Fixture f = chain_fixture(0.9, 0.9999, {{"h1", 0.99}, {"h2", 0.99}});
+  SynthesisOptions options = strategy(SynthesisOptions::Strategy::kGreedy);
+  options.relaxed_lrcs = {*f.spec->find_communicator("out")};
+  const auto result = synthesize(*f.spec, *f.arch, f.bindings, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->replication_count, 2u);
+}
+
+TEST(Synthesis, TaskRedundancyIsCarriedIntoTheConfig) {
+  Fixture f = chain_fixture(0.9, 0.9, {{"h1", 0.99}, {"h2", 0.99}});
+  SynthesisOptions options = strategy(SynthesisOptions::Strategy::kGreedy);
+  options.task_redundancy = {{2, 0, 0}, {0, 0, 0}};
+  const auto result = synthesize(*f.spec, *f.arch, f.bindings, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  const spec::TaskId t1 = *f.spec->find_task("t1");
+  auto impl = impl::Implementation::Build(*f.spec, *f.arch, result->config);
+  ASSERT_TRUE(impl.ok());
+  EXPECT_EQ(impl->reexecutions(t1), 2);
+
+  SynthesisOptions bad = strategy(SynthesisOptions::Strategy::kGreedy);
+  bad.task_redundancy = {{1, 0, 0}};  // wrong arity: spec has two tasks
+  EXPECT_EQ(synthesize(*f.spec, *f.arch, f.bindings, bad).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
 }  // namespace
 }  // namespace lrt::synth
