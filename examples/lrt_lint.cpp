@@ -1,0 +1,126 @@
+// lrt_lint — the command-line front-end of the lrt-lint static analyzer.
+//
+//   lrt_lint [--format text|json|sarif] [--output FILE]
+//            [--rule RULE=SEV]... [--mode MODULE=MODE]... <file.htl>...
+//
+// Lints each program against the rule catalog of DESIGN.md section 5d
+// (write-write races, memory/unsafe cycles, infeasible LRCs, dead
+// communicators, missing defaults, period mismatches, unreachable modes,
+// duplicate write ports) and renders the combined diagnostics as
+// compiler-style text, tool-native JSON, or SARIF 2.1.0 for CI upload.
+//
+// RULE is a rule id (LRT004) or name (lrc-infeasible); SEV is one of
+// off, note, warning, error. --mode pins the flattened mode of a module
+// (unlisted modules use their start modes).
+//
+// Exit status: 0 when no error-severity diagnostics were found, 1 when
+// at least one was (or a file could not be read), 2 on usage errors.
+//
+// Example:  ./build/examples/lrt_lint --format sarif examples/htl/*.htl
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+#include "lint/sarif.h"
+
+using namespace lrt;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: lrt_lint [--format text|json|sarif] [--output FILE] "
+               "[--rule RULE=SEV]... [--mode MODULE=MODE]... <file.htl>...\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* format = "text";
+  const char* output_path = nullptr;
+  lint::LintOptions options;
+  std::vector<const char*> paths;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--format") == 0 && i + 1 < argc) {
+      format = argv[++i];
+    } else if (std::strcmp(argv[i], "--output") == 0 && i + 1 < argc) {
+      output_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--rule") == 0 && i + 1 < argc) {
+      options.rule_flags.emplace_back(argv[++i]);
+    } else if (std::strcmp(argv[i], "--mode") == 0 && i + 1 < argc) {
+      const std::string pin = argv[++i];
+      const std::size_t eq = pin.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 == pin.size()) {
+        return usage();
+      }
+      options.selection.mode_by_module[pin.substr(0, eq)] =
+          pin.substr(eq + 1);
+    } else if (argv[i][0] == '-') {
+      return usage();
+    } else {
+      paths.push_back(argv[i]);
+    }
+  }
+  if (paths.empty()) return usage();
+  const bool want_text = std::strcmp(format, "text") == 0;
+  const bool want_json = std::strcmp(format, "json") == 0;
+  const bool want_sarif = std::strcmp(format, "sarif") == 0;
+  if (!want_text && !want_json && !want_sarif) return usage();
+
+  bool read_failure = false;
+  int errors = 0;
+  int warnings = 0;
+  std::vector<lint::Diagnostic> diagnostics;
+  for (const char* path : paths) {
+    std::ifstream file(path);
+    if (!file) {
+      std::fprintf(stderr, "lrt_lint: cannot open '%s'\n", path);
+      read_failure = true;
+      continue;
+    }
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    options.file = path;
+    const auto result = lint::lint_source(buffer.str(), options);
+    if (!result.ok()) {
+      // Only invalid options reach here (e.g. an unknown --rule), so the
+      // remaining files would fail identically.
+      std::fprintf(stderr, "lrt_lint: %s\n",
+                   result.status().to_string().c_str());
+      return 2;
+    }
+    errors += result->errors();
+    warnings += result->warnings();
+    diagnostics.insert(diagnostics.end(), result->diagnostics.begin(),
+                       result->diagnostics.end());
+  }
+
+  std::string rendered;
+  if (want_sarif) {
+    rendered = lint::to_sarif(diagnostics);
+  } else if (want_json) {
+    rendered = lint::to_json(diagnostics);
+  } else {
+    rendered = lint::render_text(diagnostics);
+  }
+  if (output_path != nullptr) {
+    std::ofstream out(output_path);
+    if (!out) {
+      std::fprintf(stderr, "lrt_lint: cannot write '%s'\n", output_path);
+      return 1;
+    }
+    out << rendered;
+  } else {
+    std::fputs(rendered.c_str(), stdout);
+  }
+  if (want_text) {
+    std::fprintf(stderr, "lrt_lint: %zu file(s), %d error(s), %d warning(s)\n",
+                 paths.size(), errors, warnings);
+  }
+  return errors > 0 || read_failure ? 1 : 0;
+}

@@ -53,6 +53,7 @@ struct PortAst {
   std::string communicator;
   std::int64_t instance = 0;
   int line = 0;
+  int column = 0;
 };
 
 struct CommunicatorAst {
@@ -62,6 +63,7 @@ struct CommunicatorAst {
   std::int64_t period = 0;
   double lrc = 1.0;
   int line = 0;
+  int column = 0;
 };
 
 struct TaskAst {
@@ -71,12 +73,14 @@ struct TaskAst {
   spec::FailureModel model = spec::FailureModel::kSeries;
   std::vector<spec::Value> defaults;
   int line = 0;
+  int column = 0;
 };
 
 struct SwitchAst {
   std::string condition;  ///< a bool communicator
   std::string target;     ///< a mode in the same module
   int line = 0;
+  int column = 0;
 };
 
 struct ModeAst {
@@ -85,6 +89,7 @@ struct ModeAst {
   std::vector<std::string> invokes;  ///< task names declared in the module
   std::vector<SwitchAst> switches;
   int line = 0;
+  int column = 0;
 };
 
 struct ModuleAst {
@@ -93,18 +98,21 @@ struct ModuleAst {
   std::vector<ModeAst> modes;
   std::string start_mode;
   int line = 0;
+  int column = 0;
 };
 
 struct HostAst {
   std::string name;
   double reliability = 1.0;
   int line = 0;
+  int column = 0;
 };
 
 struct SensorAst {
   std::string name;
   double reliability = 1.0;
   int line = 0;
+  int column = 0;
 };
 
 struct MetricAst {
@@ -114,6 +122,7 @@ struct MetricAst {
   std::int64_t wcet = 1;
   std::int64_t wctt = 1;
   int line = 0;
+  int column = 0;
 };
 
 struct ArchitectureAst {
@@ -121,6 +130,7 @@ struct ArchitectureAst {
   std::vector<SensorAst> sensors;
   std::vector<MetricAst> metrics;
   int line = 0;
+  int column = 0;
 };
 
 struct MapAst {
@@ -132,24 +142,28 @@ struct MapAst {
   int checkpoints = 0;
   std::int64_t checkpoint_overhead = 0;
   int line = 0;
+  int column = 0;
 };
 
 struct BindAst {
   std::string communicator;
   std::string sensor;
   int line = 0;
+  int column = 0;
 };
 
 struct MappingAst {
   std::vector<MapAst> maps;
   std::vector<BindAst> binds;
   int line = 0;
+  int column = 0;
 };
 
 struct RefineAst {
   std::string local_task;   ///< task in this (refining) program
   std::string parent_task;  ///< task in the refined program
   int line = 0;
+  int column = 0;
 };
 
 struct ProgramAst {

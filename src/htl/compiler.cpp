@@ -8,15 +8,19 @@
 namespace lrt::htl {
 namespace {
 
-Status line_error(int line, const std::string& message) {
-  return ParseError("line " + std::to_string(line) + ": " + message);
+/// "line L:C: message" — the uniform location prefix of every frontend
+/// error (column 0 omits the ":C" part for constructs without one).
+Status line_error(int line, int column, const std::string& message) {
+  std::string prefix = "line " + std::to_string(line);
+  if (column > 0) prefix += ":" + std::to_string(column);
+  return ParseError(prefix + ": " + message);
 }
 
 /// Resolves the mode to flatten for `module`.
 Result<const ModeAst*> selected_mode(const ModuleAst& module,
                                      const ModeSelection& selection) {
   if (module.modes.empty()) {
-    return line_error(module.line,
+    return line_error(module.line, module.column,
                       "module '" + module.name + "' declares no modes");
   }
   std::string wanted = module.start_mode;
@@ -26,8 +30,9 @@ Result<const ModeAst*> selected_mode(const ModuleAst& module,
   for (const ModeAst& mode : module.modes) {
     if (mode.name == wanted) return &mode;
   }
-  return line_error(module.line, "module '" + module.name +
-                                     "' has no mode named '" + wanted + "'");
+  return line_error(module.line, module.column,
+                    "module '" + module.name + "' has no mode named '" +
+                        wanted + "'");
 }
 
 /// Per-module semantic checks that do not depend on the selection.
@@ -36,30 +41,33 @@ Status check_module(const ProgramAst& program, const ModuleAst& module) {
   std::set<std::string> task_names;
   for (const TaskAst& task : module.tasks) {
     if (!task_names.insert(task.name).second) {
-      return line_error(task.line, "duplicate task '" + task.name +
-                                       "' in module '" + module.name + "'");
+      return line_error(task.line, task.column,
+                        "duplicate task '" + task.name + "' in module '" +
+                            module.name + "'");
     }
   }
   for (const ModeAst& mode : module.modes) {
     if (!mode_names.insert(mode.name).second) {
-      return line_error(mode.line, "duplicate mode '" + mode.name +
-                                       "' in module '" + module.name + "'");
+      return line_error(mode.line, mode.column,
+                        "duplicate mode '" + mode.name + "' in module '" +
+                            module.name + "'");
     }
     if (mode.period <= 0) {
-      return line_error(mode.line, "mode '" + mode.name +
-                                       "' must have a positive period");
+      return line_error(mode.line, mode.column,
+                        "mode '" + mode.name +
+                            "' must have a positive period");
     }
     std::set<std::string> invoked;
     for (const std::string& task : mode.invokes) {
       if (task_names.count(task) == 0) {
-        return line_error(mode.line,
+        return line_error(mode.line, mode.column,
                           "mode '" + mode.name + "' invokes unknown task '" +
                               task + "'");
       }
       if (!invoked.insert(task).second) {
-        return line_error(mode.line, "mode '" + mode.name +
-                                         "' invokes task '" + task +
-                                         "' more than once");
+        return line_error(mode.line, mode.column,
+                          "mode '" + mode.name + "' invokes task '" + task +
+                              "' more than once");
       }
     }
     for (const SwitchAst& switch_ast : mode.switches) {
@@ -69,30 +77,31 @@ Status check_module(const ProgramAst& program, const ModuleAst& module) {
             return c.name == switch_ast.condition;
           });
       if (comm == program.communicators.end()) {
-        return line_error(switch_ast.line,
+        return line_error(switch_ast.line, switch_ast.column,
                           "switch condition references unknown communicator "
                           "'" + switch_ast.condition + "'");
       }
       if (comm->type != spec::ValueType::kBool) {
-        return line_error(switch_ast.line, "switch condition '" +
-                                               switch_ast.condition +
-                                               "' must be a bool "
-                                               "communicator");
+        return line_error(switch_ast.line, switch_ast.column,
+                          "switch condition '" + switch_ast.condition +
+                              "' must be a bool communicator");
       }
       if (mode_names.count(switch_ast.target) == 0 &&
           std::none_of(module.modes.begin(), module.modes.end(),
                        [&switch_ast](const ModeAst& m) {
                          return m.name == switch_ast.target;
                        })) {
-        return line_error(switch_ast.line, "switch targets unknown mode '" +
-                                               switch_ast.target + "'");
+        return line_error(switch_ast.line, switch_ast.column,
+                          "switch targets unknown mode '" +
+                              switch_ast.target + "'");
       }
     }
   }
   if (!module.start_mode.empty() && mode_names.count(module.start_mode) == 0) {
-    return line_error(module.line, "start mode '" + module.start_mode +
-                                       "' is not declared in module '" +
-                                       module.name + "'");
+    return line_error(module.line, module.column,
+                      "start mode '" + module.start_mode +
+                          "' is not declared in module '" + module.name +
+                          "'");
   }
   return Status::Ok();
 }
@@ -124,14 +133,16 @@ Result<spec::Specification> flatten(const ProgramAst& program,
 
   std::set<std::string> global_task_names;
   std::int64_t common_period = 0;
+  const ModeAst* period_witness = nullptr;
   for (const ModuleAst& module : program.modules) {
     LRT_RETURN_IF_ERROR(check_module(program, module));
     LRT_ASSIGN_OR_RETURN(const ModeAst* mode,
                          selected_mode(module, selection));
     if (common_period == 0) {
       common_period = mode->period;
+      period_witness = mode;
     } else if (common_period != mode->period) {
-      return line_error(mode->line,
+      return line_error(mode->line, mode->column,
                         "selected mode '" + mode->name + "' has period " +
                             std::to_string(mode->period) +
                             " but another module's mode has period " +
@@ -140,7 +151,7 @@ Result<spec::Specification> flatten(const ProgramAst& program,
     }
     for (const std::string& task_name : mode->invokes) {
       if (!global_task_names.insert(task_name).second) {
-        return line_error(mode->line,
+        return line_error(mode->line, mode->column,
                           "task '" + task_name +
                               "' is invoked by more than one module");
       }
@@ -169,12 +180,14 @@ Result<spec::Specification> flatten(const ProgramAst& program,
   // HTL semantics: invoked tasks repeat with the mode period, so the
   // flattened specification period must coincide with it.
   if (common_period != 0 && spec.hyperperiod() != common_period) {
-    return ParseError(
+    return line_error(
+        period_witness != nullptr ? period_witness->line : 0,
+        period_witness != nullptr ? period_witness->column : 0,
         "program '" + program.name + "': selected mode period " +
-        std::to_string(common_period) +
-        " does not match the derived specification period " +
-        std::to_string(spec.hyperperiod()) +
-        " (task write times must tile the mode period)");
+            std::to_string(common_period) +
+            " does not match the derived specification period " +
+            std::to_string(spec.hyperperiod()) +
+            " (task write times must tile the mode period)");
   }
   return spec;
 }
@@ -188,7 +201,7 @@ Result<refine::RefinementMap> refinement_map(const ProgramAst& program) {
   std::set<std::string> seen;
   for (const RefineAst& refinement : program.refinements) {
     if (!seen.insert(refinement.local_task).second) {
-      return line_error(refinement.line,
+      return line_error(refinement.line, refinement.column,
                         "task '" + refinement.local_task +
                             "' appears in two refine declarations");
     }
@@ -202,7 +215,7 @@ Result<std::vector<ModeSelection>> enumerate_mode_selections(
   std::vector<ModeSelection> selections = {ModeSelection{}};
   for (const ModuleAst& module : program.modules) {
     if (module.modes.empty()) {
-      return line_error(module.line,
+      return line_error(module.line, module.column,
                         "module '" + module.name + "' declares no modes");
     }
     std::vector<ModeSelection> next;
@@ -264,8 +277,10 @@ Result<CompiledSystem> compile(std::string_view source,
 
   if (system.ast.mapping.has_value()) {
     if (system.architecture == nullptr) {
-      return ParseError("program '" + system.ast.name +
-                        "' has a mapping block but no architecture block");
+      return line_error(system.ast.mapping->line, system.ast.mapping->column,
+                        "program '" + system.ast.name +
+                            "' has a mapping block but no architecture "
+                            "block");
     }
     const MappingAst& ast = *system.ast.mapping;
     impl::ImplementationConfig config;
@@ -283,8 +298,9 @@ Result<CompiledSystem> compile(std::string_view source,
                                  });
             });
         if (declared_somewhere) continue;
-        return line_error(map.line, "mapping references unknown task '" +
-                                        map.task + "'");
+        return line_error(map.line, map.column,
+                          "mapping references unknown task '" + map.task +
+                              "'");
       }
       config.task_mappings.push_back({map.task, map.hosts, map.retries,
                                       map.checkpoints,

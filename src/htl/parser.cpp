@@ -148,6 +148,7 @@ class Parser {
   Result<CommunicatorAst> parse_communicator() {
     CommunicatorAst comm;
     comm.line = peek().line;
+    comm.column = peek().column;
     LRT_RETURN_IF_ERROR(expect_keyword("communicator"));
     LRT_ASSIGN_OR_RETURN(comm.name, expect_identifier("communicator name"));
     LRT_RETURN_IF_ERROR(expect(TokenKind::kColon));
@@ -177,6 +178,7 @@ class Parser {
     while (true) {
       PortAst port;
       port.line = peek().line;
+      port.column = peek().column;
       LRT_ASSIGN_OR_RETURN(port.communicator,
                            expect_identifier("communicator in port"));
       LRT_RETURN_IF_ERROR(expect(TokenKind::kLBracket));
@@ -196,6 +198,7 @@ class Parser {
   Result<TaskAst> parse_task() {
     TaskAst task;
     task.line = peek().line;
+    task.column = peek().column;
     LRT_RETURN_IF_ERROR(expect_keyword("task"));
     LRT_ASSIGN_OR_RETURN(task.name, expect_identifier("task name"));
     LRT_RETURN_IF_ERROR(expect_keyword("input"));
@@ -249,6 +252,7 @@ class Parser {
   Result<ModeAst> parse_mode() {
     ModeAst mode;
     mode.line = peek().line;
+    mode.column = peek().column;
     LRT_RETURN_IF_ERROR(expect_keyword("mode"));
     LRT_ASSIGN_OR_RETURN(mode.name, expect_identifier("mode name"));
     LRT_RETURN_IF_ERROR(expect_keyword("period"));
@@ -263,6 +267,7 @@ class Parser {
       } else if (at_keyword("switch")) {
         SwitchAst switch_ast;
         switch_ast.line = peek().line;
+        switch_ast.column = peek().column;
         advance();
         LRT_RETURN_IF_ERROR(expect(TokenKind::kLParen));
         LRT_ASSIGN_OR_RETURN(switch_ast.condition,
@@ -284,6 +289,7 @@ class Parser {
   Result<ModuleAst> parse_module() {
     ModuleAst module;
     module.line = peek().line;
+    module.column = peek().column;
     LRT_RETURN_IF_ERROR(expect_keyword("module"));
     LRT_ASSIGN_OR_RETURN(module.name, expect_identifier("module name"));
     LRT_RETURN_IF_ERROR(expect(TokenKind::kLBrace));
@@ -313,12 +319,14 @@ class Parser {
   Result<ArchitectureAst> parse_architecture() {
     ArchitectureAst architecture;
     architecture.line = peek().line;
+    architecture.column = peek().column;
     LRT_RETURN_IF_ERROR(expect_keyword("architecture"));
     LRT_RETURN_IF_ERROR(expect(TokenKind::kLBrace));
     while (!at(TokenKind::kRBrace)) {
       if (at_keyword("host")) {
         HostAst host;
         host.line = peek().line;
+        host.column = peek().column;
         advance();
         LRT_ASSIGN_OR_RETURN(host.name, expect_identifier("host name"));
         LRT_RETURN_IF_ERROR(expect_keyword("reliability"));
@@ -329,6 +337,7 @@ class Parser {
       } else if (at_keyword("sensor")) {
         SensorAst sensor;
         sensor.line = peek().line;
+        sensor.column = peek().column;
         advance();
         LRT_ASSIGN_OR_RETURN(sensor.name, expect_identifier("sensor name"));
         LRT_RETURN_IF_ERROR(expect_keyword("reliability"));
@@ -339,6 +348,7 @@ class Parser {
       } else if (at_keyword("metrics")) {
         MetricAst metric;
         metric.line = peek().line;
+        metric.column = peek().column;
         advance();
         if (at_keyword("default")) {
           advance();
@@ -365,12 +375,14 @@ class Parser {
   Result<MappingAst> parse_mapping() {
     MappingAst mapping;
     mapping.line = peek().line;
+    mapping.column = peek().column;
     LRT_RETURN_IF_ERROR(expect_keyword("mapping"));
     LRT_RETURN_IF_ERROR(expect(TokenKind::kLBrace));
     while (!at(TokenKind::kRBrace)) {
       if (at_keyword("map")) {
         MapAst map;
         map.line = peek().line;
+        map.column = peek().column;
         advance();
         LRT_ASSIGN_OR_RETURN(map.task, expect_identifier("task name"));
         LRT_RETURN_IF_ERROR(expect_keyword("to"));
@@ -405,6 +417,7 @@ class Parser {
       } else if (at_keyword("bind")) {
         BindAst bind;
         bind.line = peek().line;
+        bind.column = peek().column;
         advance();
         LRT_ASSIGN_OR_RETURN(bind.communicator,
                              expect_identifier("communicator name"));
@@ -423,6 +436,7 @@ class Parser {
   Result<RefineAst> parse_refine() {
     RefineAst refinement;
     refinement.line = peek().line;
+    refinement.column = peek().column;
     LRT_RETURN_IF_ERROR(expect_keyword("refine"));
     LRT_RETURN_IF_ERROR(expect_keyword("task"));
     LRT_ASSIGN_OR_RETURN(refinement.local_task,

@@ -1,0 +1,78 @@
+// lrt-lint: multi-pass static analysis of HTL programs against the
+// paper's preconditions (DESIGN.md section 5d).
+//
+// Three entry points, from most to least pre-digested input:
+//   * run(program, spec, arch, options)    — lint an already-compiled
+//     system; spec/arch may be null and the corresponding passes skip;
+//   * lint_program(program, options)       — flatten and build the
+//     architecture internally, converting frontend failures into LRT000
+//     diagnostics instead of hard errors;
+//   * lint_source(source, options)         — parse first; syntax errors
+//     also become LRT000 diagnostics with their source location.
+//
+// The CLI (examples/lrt_lint.cpp) and the CI SARIF gate sit on
+// lint_source; programmatic callers that already hold a CompiledSystem
+// use run() directly.
+#ifndef LRT_LINT_LINT_H_
+#define LRT_LINT_LINT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "arch/architecture.h"
+#include "htl/ast.h"
+#include "htl/compiler.h"
+#include "lint/diagnostic.h"
+#include "lint/rules.h"
+#include "spec/specification.h"
+
+namespace lrt::lint {
+
+struct LintOptions {
+  /// File name recorded in diagnostic locations.
+  std::string file = "<input>";
+  /// Mode selection for the flattening-level passes; unlisted modules use
+  /// their start modes (matching htl::compile).
+  htl::ModeSelection selection;
+  /// Per-rule "<id-or-name>=<off|note|warning|error>" overrides.
+  std::vector<std::string> rule_flags;
+};
+
+struct LintResult {
+  std::vector<Diagnostic> diagnostics;
+  /// True when the flattening-level passes ran (the program flattened).
+  bool flattened = false;
+  /// True when the architecture-level passes ran.
+  bool arch_checked = false;
+
+  [[nodiscard]] int count(Severity severity) const;
+  [[nodiscard]] int errors() const { return count(Severity::kError); }
+  [[nodiscard]] int warnings() const { return count(Severity::kWarning); }
+  /// No error-severity findings (the CI gate condition).
+  [[nodiscard]] bool clean() const { return errors() == 0; }
+};
+
+/// Lints a parsed program plus optional flattened models. Null spec/arch
+/// skip the corresponding passes (recorded in the result flags). Fails
+/// only on invalid options (unknown rule in rule_flags).
+[[nodiscard]] Result<LintResult> run(const htl::ProgramAst& program,
+                                     const spec::Specification* spec,
+                                     const arch::Architecture* arch,
+                                     const LintOptions& options = {});
+
+/// Flattens `program` (and builds its architecture block, if any), then
+/// runs all applicable passes. Frontend failures become LRT000
+/// diagnostics — unless an AST pass already explained the program's
+/// rejection with a more precise finding.
+[[nodiscard]] Result<LintResult> lint_program(
+    const htl::ProgramAst& program, const LintOptions& options = {});
+
+/// Parses `source` and lints it. Parse failures yield a single LRT000
+/// diagnostic located from the parser's "line L:C:" message prefix.
+[[nodiscard]] Result<LintResult> lint_source(
+    std::string_view source, const LintOptions& options = {});
+
+}  // namespace lrt::lint
+
+#endif  // LRT_LINT_LINT_H_

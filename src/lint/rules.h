@@ -1,0 +1,129 @@
+// The lrt-lint rule catalog and the analysis passes behind it.
+//
+// Rules verify the paper's preconditions *before* analysis or synthesis
+// runs, with source-located diagnostics instead of late Status failures:
+// Proposition 1 certifies reliability only for memory-free (or cycle-safe),
+// race-free specifications, and synthesis can only ever reach the SRG
+// ceiling of full replication — so races, unsafe cycles, and infeasible
+// LRCs are reported here, at the declaration that causes them.
+//
+// Passes run at three levels:
+//   * AST passes need only a parsed program (they survive programs the
+//     flattener rejects — which is the point for race detection);
+//   * specification passes run on the flattened spec::Specification and
+//     surface the spec_graph cycle analyses as diagnostics;
+//   * architecture passes additionally need the architecture (and use the
+//     synthesis feasibility probe for the LRC ceiling).
+#ifndef LRT_LINT_RULES_H_
+#define LRT_LINT_RULES_H_
+
+#include <span>
+#include <string_view>
+
+#include "arch/architecture.h"
+#include "htl/ast.h"
+#include "lint/diagnostic.h"
+#include "spec/specification.h"
+
+namespace lrt::lint {
+
+/// Catalog entry for one rule: stable id, human name, default severity,
+/// and a one-line rationale (with the paper reference where applicable).
+struct RuleInfo {
+  std::string_view id;
+  std::string_view name;
+  Severity default_severity = Severity::kWarning;
+  std::string_view summary;
+};
+
+// Rule ids (stable; new rules append, ids are never reused).
+inline constexpr std::string_view kRuleCompileError = "LRT000";
+inline constexpr std::string_view kRuleWriteRace = "LRT001";
+inline constexpr std::string_view kRuleMemoryCycle = "LRT002";
+inline constexpr std::string_view kRuleUnsafeCycle = "LRT003";
+inline constexpr std::string_view kRuleLrcInfeasible = "LRT004";
+inline constexpr std::string_view kRuleDeadCommunicator = "LRT005";
+inline constexpr std::string_view kRuleNeverReadOutput = "LRT006";
+inline constexpr std::string_view kRuleMissingDefault = "LRT007";
+inline constexpr std::string_view kRulePeriodMismatch = "LRT008";
+inline constexpr std::string_view kRuleUnreachableMode = "LRT009";
+inline constexpr std::string_view kRuleDuplicateWritePort = "LRT010";
+
+/// All known rules, in id order.
+[[nodiscard]] std::span<const RuleInfo> rule_catalog();
+
+/// Looks a rule up by id ("LRT004") or name ("lrc-infeasible").
+[[nodiscard]] const RuleInfo* find_rule(std::string_view id_or_name);
+
+/// Reports `diag`'s rule at its catalog default severity. Convenience for
+/// rule implementations; the engine may still override or suppress.
+bool report_rule(DiagnosticEngine& engine, std::string_view rule_id,
+                 SourceLocation location, std::string message,
+                 std::string fixit = "");
+
+// --- AST passes (no flattened specification required) ---
+
+/// LRT001: write-write races on communicator instances, and two
+/// co-invocable tasks writing the same communicator at all (the paper's
+/// rule 3 / Prop. 1 race-freedom precondition). Co-invocable means: both
+/// invoked by one mode, or invoked by modes of different modules.
+void check_write_races(const htl::ProgramAst& program,
+                       const SourceLocation& origin,
+                       DiagnosticEngine& engine);
+
+/// LRT010: one task writing the same communicator instance twice (rule 4).
+void check_duplicate_write_ports(const htl::ProgramAst& program,
+                                 const SourceLocation& origin,
+                                 DiagnosticEngine& engine);
+
+/// LRT007: parallel/independent-model tasks whose inputs have no explicit
+/// defaults — the flattener silently substitutes zero values, which is
+/// almost never the intended degraded-mode behaviour.
+void check_missing_defaults(const htl::ProgramAst& program,
+                            const SourceLocation& origin,
+                            DiagnosticEngine& engine);
+
+/// LRT008: a mode invoking a task whose communicator's period does not
+/// divide the mode period (instances drift across periods), or whose port
+/// instance lies beyond the mode period.
+void check_period_mismatch(const htl::ProgramAst& program,
+                           const SourceLocation& origin,
+                           DiagnosticEngine& engine);
+
+/// LRT009: modes not reachable from the start mode via switch edges.
+void check_unreachable_modes(const htl::ProgramAst& program,
+                             const SourceLocation& origin,
+                             DiagnosticEngine& engine);
+
+/// LRT005 + LRT006: communicators never accessed by any task or switch
+/// (dead), and task outputs never read anywhere (actuator candidates;
+/// reported as notes).
+void check_dead_communicators(const htl::ProgramAst& program,
+                              const SourceLocation& origin,
+                              DiagnosticEngine& engine);
+
+// --- specification passes ---
+
+/// LRT002 + LRT003: surfaces the spec_graph cycle analyses. Every
+/// communicator cycle is reported (LRT002, warning: the specification has
+/// memory, so Prop. 1 does not apply directly); if some cycle contains no
+/// independent-model task the SRG induction is ill-founded and the
+/// long-run reliability is 0 (LRT003, error).
+void check_cycles(const htl::ProgramAst& program,
+                  const spec::Specification& spec,
+                  const SourceLocation& origin, DiagnosticEngine& engine);
+
+// --- architecture passes ---
+
+/// LRT004: mu_c exceeds the SRG ceiling lambda_c of full replication on
+/// the declared architecture — no mapping (and no synthesis result) can
+/// ever satisfy the constraint.
+void check_lrc_feasibility(const htl::ProgramAst& program,
+                           const spec::Specification& spec,
+                           const arch::Architecture& arch,
+                           const SourceLocation& origin,
+                           DiagnosticEngine& engine);
+
+}  // namespace lrt::lint
+
+#endif  // LRT_LINT_RULES_H_

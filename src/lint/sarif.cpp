@@ -1,0 +1,187 @@
+#include "lint/sarif.h"
+
+#include "lint/rules.h"
+#include "support/json.h"
+
+namespace lrt::lint {
+namespace {
+
+/// SARIF "level" values happen to coincide with our severity names for
+/// note/warning/error (SARIF additionally has "none", which we never
+/// emit: disabled rules are filtered before recording).
+std::string_view sarif_level(Severity severity) {
+  return to_string(severity == Severity::kOff ? Severity::kNote : severity);
+}
+
+}  // namespace
+
+std::string render_text(std::span<const Diagnostic> diags) {
+  std::string out;
+  for (const Diagnostic& diag : diags) {
+    out += diag.to_string() + "\n";
+    if (!diag.fixit.empty()) {
+      out += "    fix-it: " + diag.fixit + "\n";
+    }
+  }
+  return out;
+}
+
+std::string to_json(std::span<const Diagnostic> diags) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("diagnostics");
+  json.begin_array();
+  int errors = 0;
+  int warnings = 0;
+  int notes = 0;
+  for (const Diagnostic& diag : diags) {
+    switch (diag.severity) {
+      case Severity::kError: ++errors; break;
+      case Severity::kWarning: ++warnings; break;
+      default: ++notes; break;
+    }
+    json.begin_object();
+    json.key("rule");
+    json.value(diag.rule_id);
+    json.key("name");
+    json.value(diag.rule_name);
+    json.key("severity");
+    json.value(to_string(diag.severity));
+    json.key("file");
+    json.value(diag.location.file);
+    json.key("line");
+    json.value(diag.location.line);
+    json.key("column");
+    json.value(diag.location.column);
+    json.key("message");
+    json.value(diag.message);
+    if (!diag.fixit.empty()) {
+      json.key("fixit");
+      json.value(diag.fixit);
+    }
+    json.end_object();
+  }
+  json.end_array();
+  json.key("counts");
+  json.begin_object();
+  json.key("errors");
+  json.value(errors);
+  json.key("warnings");
+  json.value(warnings);
+  json.key("notes");
+  json.value(notes);
+  json.end_object();
+  json.end_object();
+  return std::move(json).str();
+}
+
+std::string to_sarif(std::span<const Diagnostic> diags) {
+  const std::span<const RuleInfo> catalog = rule_catalog();
+  JsonWriter json;
+  json.begin_object();
+  json.key("$schema");
+  json.value(
+      "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+      "Schemata/sarif-schema-2.1.0.json");
+  json.key("version");
+  json.value("2.1.0");
+  json.key("runs");
+  json.begin_array();
+  json.begin_object();
+
+  json.key("tool");
+  json.begin_object();
+  json.key("driver");
+  json.begin_object();
+  json.key("name");
+  json.value("lrt_lint");
+  json.key("version");
+  json.value("1.0.0");
+  json.key("informationUri");
+  json.value("https://github.com/lrt/lrt#lrt-lint");
+  json.key("rules");
+  json.begin_array();
+  for (const RuleInfo& rule : catalog) {
+    json.begin_object();
+    json.key("id");
+    json.value(rule.id);
+    json.key("name");
+    json.value(rule.name);
+    json.key("shortDescription");
+    json.begin_object();
+    json.key("text");
+    json.value(rule.summary);
+    json.end_object();
+    json.key("defaultConfiguration");
+    json.begin_object();
+    json.key("level");
+    json.value(sarif_level(rule.default_severity));
+    json.end_object();
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();  // driver
+  json.end_object();  // tool
+
+  json.key("results");
+  json.begin_array();
+  for (const Diagnostic& diag : diags) {
+    json.begin_object();
+    json.key("ruleId");
+    json.value(diag.rule_id);
+    for (std::size_t i = 0; i < catalog.size(); ++i) {
+      if (catalog[i].id == diag.rule_id) {
+        json.key("ruleIndex");
+        json.value(static_cast<std::int64_t>(i));
+        break;
+      }
+    }
+    json.key("level");
+    json.value(sarif_level(diag.severity));
+    json.key("message");
+    json.begin_object();
+    json.key("text");
+    json.value(diag.message);
+    json.end_object();
+    json.key("locations");
+    json.begin_array();
+    json.begin_object();
+    json.key("physicalLocation");
+    json.begin_object();
+    json.key("artifactLocation");
+    json.begin_object();
+    json.key("uri");
+    json.value(diag.location.file);
+    json.end_object();
+    if (diag.location.line > 0) {
+      json.key("region");
+      json.begin_object();
+      json.key("startLine");
+      json.value(diag.location.line);
+      if (diag.location.column > 0) {
+        json.key("startColumn");
+        json.value(diag.location.column);
+      }
+      json.end_object();
+    }
+    json.end_object();  // physicalLocation
+    json.end_object();  // location
+    json.end_array();
+    if (!diag.fixit.empty()) {
+      json.key("properties");
+      json.begin_object();
+      json.key("fixit");
+      json.value(diag.fixit);
+      json.end_object();
+    }
+    json.end_object();  // result
+  }
+  json.end_array();
+
+  json.end_object();  // run
+  json.end_array();
+  json.end_object();
+  return std::move(json).str();
+}
+
+}  // namespace lrt::lint

@@ -1,0 +1,30 @@
+// Output renderers for lrt-lint diagnostics: compiler-style text, a
+// compact tool-native JSON document, and SARIF 2.1.0 (the Static Analysis
+// Results Interchange Format, OASIS standard) for CI upload and code
+// scanning services.
+#ifndef LRT_LINT_SARIF_H_
+#define LRT_LINT_SARIF_H_
+
+#include <span>
+#include <string>
+
+#include "lint/diagnostic.h"
+
+namespace lrt::lint {
+
+/// "file:line:col: severity: message [id]" lines, one per diagnostic,
+/// each followed by an indented "fix-it:" line when the rule has one.
+[[nodiscard]] std::string render_text(std::span<const Diagnostic> diags);
+
+/// {diagnostics: [{rule, name, severity, file, line, column, message,
+/// fixit}], counts: {errors, warnings, notes}}.
+[[nodiscard]] std::string to_json(std::span<const Diagnostic> diags);
+
+/// A complete SARIF 2.1.0 document with one run: the lrt_lint driver with
+/// the full rule catalog (id, name, descriptions, default level) and one
+/// result per diagnostic carrying its physical location.
+[[nodiscard]] std::string to_sarif(std::span<const Diagnostic> diags);
+
+}  // namespace lrt::lint
+
+#endif  // LRT_LINT_SARIF_H_

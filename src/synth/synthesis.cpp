@@ -358,4 +358,58 @@ Result<SynthesisResult> synthesize(
   return InternalError("unknown synthesis strategy");
 }
 
+Result<std::vector<double>> max_achievable_srgs(
+    const spec::Specification& spec, const arch::Architecture& arch,
+    std::vector<impl::ImplementationConfig::SensorBinding> sensor_bindings) {
+  if (arch.hosts().empty()) {
+    return InvalidArgumentError(
+        "the SRG ceiling needs at least one host to map tasks onto");
+  }
+  impl::ImplementationConfig config;
+  config.name = "srg_ceiling";
+  for (const spec::Task& task : spec.tasks()) {
+    impl::ImplementationConfig::TaskMapping mapping;
+    mapping.task = task.name;
+    for (const arch::Host& host : arch.hosts()) {
+      mapping.hosts.push_back(host.name);
+    }
+    config.task_mappings.push_back(std::move(mapping));
+  }
+  // Keep only bindings Implementation::Build would accept; the ceiling is
+  // a probe, so a stray bind declaration must not abort it.
+  std::set<spec::CommId> bound;
+  for (auto& binding : sensor_bindings) {
+    const auto comm = spec.find_communicator(binding.communicator);
+    if (!comm.has_value() || !spec.is_input_communicator(*comm)) continue;
+    if (!arch.find_sensor(binding.sensor).has_value()) continue;
+    if (!bound.insert(*comm).second) continue;
+    config.sensor_bindings.push_back(std::move(binding));
+  }
+  // Unbound read input communicators get the most reliable sensor: any
+  // other choice only lowers the ceiling.
+  const auto best_sensor = std::max_element(
+      arch.sensors().begin(), arch.sensors().end(),
+      [](const arch::Sensor& a, const arch::Sensor& b) {
+        return a.reliability < b.reliability;
+      });
+  for (spec::CommId c = 0;
+       c < static_cast<spec::CommId>(spec.communicators().size()); ++c) {
+    if (!spec.is_input_communicator(c) || spec.readers_of(c).empty()) {
+      continue;
+    }
+    if (bound.count(c) != 0) continue;
+    if (best_sensor == arch.sensors().end()) {
+      return InvalidArgumentError(
+          "read input communicator '" + spec.communicator(c).name +
+          "' needs a sensor but the architecture declares none");
+    }
+    config.sensor_bindings.push_back(
+        {spec.communicator(c).name, best_sensor->name});
+  }
+  LRT_ASSIGN_OR_RETURN(
+      impl::Implementation impl,
+      impl::Implementation::Build(spec, arch, std::move(config)));
+  return reliability::compute_srgs(impl);
+}
+
 }  // namespace lrt::synth

@@ -73,6 +73,23 @@ struct SynthesisResult {
     std::vector<impl::ImplementationConfig::SensorBinding> sensor_bindings,
     const SynthesisOptions& options = {});
 
+/// The SRG ceiling of the architecture, one entry per communicator: the
+/// SRGs of the full-replication mapping (every task on every host). By the
+/// monotonicity of the Section-3 induction no mapping achieves a higher
+/// lambda_c, so mu_c above the ceiling proves the LRC infeasible — the
+/// feasibility probe behind lint rule LRT004 and a quick pre-check before
+/// an expensive synthesis run. Bindings that cannot possibly belong to a
+/// valid implementation (unknown communicator or sensor, written
+/// communicator, duplicate) are dropped rather than rejected; read input
+/// communicators left unbound get the most reliable sensor. Fails with
+/// kFailedPrecondition when the SRGs are undefined (unsafe cycles) and
+/// kInvalidArgument when the architecture has no hosts, or no sensors
+/// while a read input communicator needs one.
+[[nodiscard]] Result<std::vector<double>> max_achievable_srgs(
+    const spec::Specification& spec, const arch::Architecture& arch,
+    std::vector<impl::ImplementationConfig::SensorBinding> sensor_bindings =
+        {});
+
 }  // namespace lrt::synth
 
 #endif  // LRT_SYNTH_SYNTHESIS_H_

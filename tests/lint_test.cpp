@@ -1,0 +1,581 @@
+// Tests for the lrt-lint static analyzer: the diagnostic engine, every
+// rule pass against seeded fixture programs, severity configuration, the
+// output renderers (text / JSON / SARIF 2.1.0), and the acceptance gate
+// that every shipped examples/htl program lints without errors.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+#include "lint/sarif.h"
+
+namespace lrt::lint {
+namespace {
+
+bool has_rule(const LintResult& result, std::string_view rule_id) {
+  return std::any_of(result.diagnostics.begin(), result.diagnostics.end(),
+                     [rule_id](const Diagnostic& diag) {
+                       return diag.rule_id == rule_id;
+                     });
+}
+
+const Diagnostic& first_of(const LintResult& result,
+                           std::string_view rule_id) {
+  const auto it =
+      std::find_if(result.diagnostics.begin(), result.diagnostics.end(),
+                   [rule_id](const Diagnostic& diag) {
+                     return diag.rule_id == rule_id;
+                   });
+  EXPECT_NE(it, result.diagnostics.end()) << "no diagnostic " << rule_id;
+  return *it;
+}
+
+LintResult lint_or_die(std::string_view source,
+                       const LintOptions& options = {}) {
+  auto result = lint_source(source, options);
+  EXPECT_TRUE(result.ok()) << result.status().to_string();
+  return std::move(*result);
+}
+
+// ---------------------------------------------------------------------------
+// DiagnosticEngine.
+
+TEST(Diagnostic, SeverityRoundTrip) {
+  EXPECT_EQ(to_string(Severity::kError), "error");
+  EXPECT_EQ(parse_severity("warning"), Severity::kWarning);
+  EXPECT_EQ(parse_severity("off"), Severity::kOff);
+  EXPECT_FALSE(parse_severity("fatal").has_value());
+}
+
+TEST(Diagnostic, ToStringIncludesLocationSeverityAndRule) {
+  Diagnostic diag;
+  diag.rule_id = "LRT001";
+  diag.severity = Severity::kError;
+  diag.location = {"a.htl", 3, 7};
+  diag.message = "boom";
+  EXPECT_EQ(diag.to_string(), "a.htl:3:7: error: boom [LRT001]");
+}
+
+TEST(Diagnostic, EngineAppliesSeverityOverride) {
+  DiagnosticEngine engine;
+  ASSERT_TRUE(engine.configure_flag("LRT007=error").ok());
+  Diagnostic diag;
+  diag.rule_id = "LRT007";
+  diag.severity = Severity::kWarning;
+  EXPECT_TRUE(engine.report(std::move(diag)));
+  ASSERT_EQ(engine.diagnostics().size(), 1u);
+  EXPECT_EQ(engine.diagnostics()[0].severity, Severity::kError);
+  EXPECT_EQ(engine.error_count(), 1);
+}
+
+TEST(Diagnostic, EngineDropsDisabledRule) {
+  DiagnosticEngine engine;
+  engine.configure("LRT006", {.enabled = false});
+  Diagnostic diag;
+  diag.rule_id = "LRT006";
+  EXPECT_FALSE(engine.report(std::move(diag)));
+  EXPECT_TRUE(engine.diagnostics().empty());
+}
+
+TEST(Diagnostic, EngineRejectsMalformedFlag) {
+  DiagnosticEngine engine;
+  EXPECT_FALSE(engine.configure_flag("LRT001").ok());
+  EXPECT_FALSE(engine.configure_flag("LRT001=loud").ok());
+}
+
+TEST(Diagnostic, SortByLocationOrdersFileLineColumn) {
+  DiagnosticEngine engine;
+  Diagnostic late;
+  late.rule_id = "LRT005";
+  late.location = {"a.htl", 9, 1};
+  Diagnostic early;
+  early.rule_id = "LRT006";
+  early.location = {"a.htl", 2, 4};
+  EXPECT_TRUE(engine.report(std::move(late)));
+  EXPECT_TRUE(engine.report(std::move(early)));
+  engine.sort_by_location();
+  EXPECT_EQ(engine.diagnostics()[0].location.line, 2);
+  EXPECT_EQ(engine.diagnostics()[1].location.line, 9);
+}
+
+TEST(Rules, CatalogFindsRulesByIdAndName) {
+  ASSERT_NE(find_rule("LRT004"), nullptr);
+  EXPECT_EQ(find_rule("LRT004")->name, "lrc-infeasible");
+  ASSERT_NE(find_rule("race-write-write"), nullptr);
+  EXPECT_EQ(find_rule("race-write-write")->id, "LRT001");
+  EXPECT_EQ(find_rule("no-such-rule"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Rule passes on fixture programs.
+
+constexpr std::string_view kCleanProgram = R"(program clean {
+  communicator raw : real period 5 init 0.0 lrc 0.5;
+  communicator mid : real period 5 init 0.0 lrc 0.7;
+  communicator act : real period 10 init 0.0 lrc 0.7;
+  module sense {
+    task t input (raw[0]) output (mid[1]) model series;
+    mode main period 10 { invoke t; }
+    start main;
+  }
+  module control {
+    task u input (mid[1]) output (act[1]) model series;
+    mode main period 10 { invoke u; }
+    start main;
+  }
+  architecture {
+    host h1 reliability 0.99;
+    host h2 reliability 0.99;
+    sensor s1 reliability 0.98;
+  }
+  mapping {
+    map t to h1, h2;
+    map u to h1;
+    bind raw to s1;
+  }
+}
+)";
+
+TEST(Lint, CleanProgramOnlyNotes) {
+  const LintResult result = lint_or_die(kCleanProgram);
+  EXPECT_TRUE(result.flattened);
+  EXPECT_TRUE(result.arch_checked);
+  EXPECT_EQ(result.errors(), 0) << render_text(result.diagnostics);
+  EXPECT_EQ(result.warnings(), 0) << render_text(result.diagnostics);
+  // act is written but never read: the sole (note) finding.
+  EXPECT_TRUE(has_rule(result, kRuleNeverReadOutput));
+  EXPECT_TRUE(result.clean());
+}
+
+TEST(Lint, DetectsWriteRaceWithinMode) {
+  const LintResult result = lint_or_die(R"(program race {
+  communicator raw : real period 10 init 0.0 lrc 0.5;
+  communicator c : real period 10 init 0.0 lrc 0.9;
+  module m {
+    task t1 input (raw[0]) output (c[1]) model series;
+    task t2 input (raw[0]) output (c[1]) model series;
+    mode main period 10 { invoke t1; invoke t2; }
+    start main;
+  }
+}
+)");
+  const Diagnostic& diag = first_of(result, kRuleWriteRace);
+  EXPECT_EQ(diag.severity, Severity::kError);
+  EXPECT_NE(diag.message.find("write-write race"), std::string::npos);
+  EXPECT_NE(diag.message.find("c[1]"), std::string::npos);
+  EXPECT_GT(diag.location.line, 0);
+  EXPECT_GT(diag.location.column, 0);
+  // The frontend also rejects the program (rule 3), but LRT001 already
+  // explains why: no redundant LRT000.
+  EXPECT_FALSE(has_rule(result, kRuleCompileError));
+  EXPECT_FALSE(result.clean());
+}
+
+TEST(Lint, DetectsCrossModuleTwoWriters) {
+  const LintResult result = lint_or_die(R"(program race2 {
+  communicator raw : real period 10 init 0.0 lrc 0.5;
+  communicator c : real period 10 init 0.0 lrc 0.9;
+  module a {
+    task t1 input (raw[0]) output (c[1]) model series;
+    mode main period 10 { invoke t1; }
+    start main;
+  }
+  module b {
+    task t2 input (raw[0]) output (c[2]) model series;
+    mode main period 10 { invoke t2; }
+    start main;
+  }
+}
+)");
+  const Diagnostic& diag = first_of(result, kRuleWriteRace);
+  EXPECT_NE(diag.message.find("two writers"), std::string::npos);
+  EXPECT_NE(diag.message.find("run concurrently"), std::string::npos);
+}
+
+TEST(Lint, DetectsInfeasibleLrc) {
+  // SRG ceiling of out: sensor 0.9 * task on the single 0.9 host = 0.81,
+  // so lrc 0.95 is unachievable under any mapping.
+  const LintResult result = lint_or_die(R"(program infeasible {
+  communicator raw : real period 10 init 0.0 lrc 0.5;
+  communicator out : real period 10 init 0.0 lrc 0.95;
+  module m {
+    task t input (raw[0]) output (out[1]) model series;
+    mode main period 10 { invoke t; }
+    start main;
+  }
+  architecture {
+    host h1 reliability 0.9;
+    sensor s1 reliability 0.9;
+  }
+  mapping {
+    map t to h1;
+    bind raw to s1;
+  }
+}
+)");
+  ASSERT_TRUE(result.arch_checked);
+  const Diagnostic& diag = first_of(result, kRuleLrcInfeasible);
+  EXPECT_EQ(diag.severity, Severity::kError);
+  EXPECT_NE(diag.message.find("'out'"), std::string::npos);
+  EXPECT_NE(diag.message.find("0.81"), std::string::npos);
+  EXPECT_FALSE(diag.fixit.empty());
+  EXPECT_FALSE(result.clean());
+}
+
+TEST(Lint, FeasibleLrcUnderReplicationNotReported) {
+  // One 0.9 host cannot meet lrc 0.98 but two can:
+  // 1 - (1 - 0.9)^2 = 0.99 >= 0.98. The ceiling uses full replication,
+  // so no finding.
+  const LintResult result = lint_or_die(R"(program feasible {
+  communicator raw : real period 10 init 0.0 lrc 0.5;
+  communicator out : real period 10 init 0.0 lrc 0.98;
+  module m {
+    task t input (raw[0]) output (out[1]) model series;
+    mode main period 10 { invoke t; }
+    start main;
+  }
+  architecture {
+    host h1 reliability 0.9;
+    host h2 reliability 0.9;
+    sensor s1 reliability 0.999;
+  }
+  mapping {
+    map t to h1;
+    bind raw to s1;
+  }
+}
+)");
+  ASSERT_TRUE(result.arch_checked);
+  EXPECT_FALSE(has_rule(result, kRuleLrcInfeasible))
+      << render_text(result.diagnostics);
+}
+
+TEST(Lint, DetectsMissingDefault) {
+  const LintResult result = lint_or_die(R"(program nodefaults {
+  communicator raw : real period 10 init 0.0 lrc 0.5;
+  communicator out : real period 10 init 0.0 lrc 0.9;
+  module m {
+    task t input (raw[0]) output (out[1]) model parallel;
+    mode main period 10 { invoke t; }
+    start main;
+  }
+}
+)");
+  const Diagnostic& diag = first_of(result, kRuleMissingDefault);
+  EXPECT_EQ(diag.severity, Severity::kWarning);
+  EXPECT_NE(diag.message.find("parallel"), std::string::npos);
+  EXPECT_NE(diag.fixit.find("defaults"), std::string::npos);
+}
+
+TEST(Lint, DetectsDeadAndNeverReadCommunicators) {
+  const LintResult result = lint_or_die(R"(program dead {
+  communicator unused : real period 10 init 0.0 lrc 0.5;
+  communicator raw : real period 10 init 0.0 lrc 0.5;
+  communicator out : real period 10 init 0.0 lrc 0.9;
+  module m {
+    task t input (raw[0]) output (out[1]) model series;
+    mode main period 10 { invoke t; }
+    start main;
+  }
+}
+)");
+  const Diagnostic& dead = first_of(result, kRuleDeadCommunicator);
+  EXPECT_EQ(dead.severity, Severity::kWarning);
+  EXPECT_NE(dead.message.find("'unused'"), std::string::npos);
+  EXPECT_EQ(dead.location.line, 2);
+  const Diagnostic& never = first_of(result, kRuleNeverReadOutput);
+  EXPECT_EQ(never.severity, Severity::kNote);
+  EXPECT_NE(never.message.find("'out'"), std::string::npos);
+}
+
+TEST(Lint, SwitchConditionCountsAsRead) {
+  // `flag` is only consumed by a switch condition — not dead.
+  const LintResult result = lint_or_die(R"(program switchread {
+  communicator raw : real period 10 init 0.0 lrc 0.5;
+  communicator flag : bool period 10 init false lrc 0.5;
+  module m {
+    task t input (raw[0]) output (flag[1]) model series;
+    mode main period 10 { invoke t; switch (flag) to main; }
+    start main;
+  }
+}
+)");
+  EXPECT_FALSE(has_rule(result, kRuleDeadCommunicator));
+  EXPECT_FALSE(has_rule(result, kRuleNeverReadOutput));
+}
+
+TEST(Lint, DetectsPeriodMismatch) {
+  const LintResult result = lint_or_die(R"(program drift {
+  communicator raw : real period 7 init 0.0 lrc 0.5;
+  communicator out : real period 10 init 0.0 lrc 0.9;
+  module m {
+    task t input (raw[0]) output (out[1]) model series;
+    mode main period 10 { invoke t; }
+    start main;
+  }
+}
+)");
+  const Diagnostic& diag = first_of(result, kRulePeriodMismatch);
+  EXPECT_EQ(diag.severity, Severity::kError);
+  EXPECT_NE(diag.message.find("does not divide"), std::string::npos);
+}
+
+TEST(Lint, DetectsInstanceBeyondModePeriod) {
+  const LintResult result = lint_or_die(R"(program beyond {
+  communicator raw : real period 10 init 0.0 lrc 0.5;
+  communicator out : real period 10 init 0.0 lrc 0.9;
+  module m {
+    task t input (raw[0]) output (out[3]) model series;
+    mode main period 10 { invoke t; }
+    start main;
+  }
+}
+)");
+  const Diagnostic& diag = first_of(result, kRulePeriodMismatch);
+  EXPECT_NE(diag.message.find("beyond the period"), std::string::npos);
+}
+
+TEST(Lint, DetectsUnreachableMode) {
+  const LintResult result = lint_or_die(R"(program orphanmode {
+  communicator raw : real period 10 init 0.0 lrc 0.5;
+  communicator out : real period 10 init 0.0 lrc 0.9;
+  module m {
+    task t input (raw[0]) output (out[1]) model series;
+    mode main period 10 { invoke t; }
+    mode orphan period 10 { invoke t; }
+    start main;
+  }
+}
+)");
+  const Diagnostic& diag = first_of(result, kRuleUnreachableMode);
+  EXPECT_EQ(diag.severity, Severity::kWarning);
+  EXPECT_NE(diag.message.find("'orphan'"), std::string::npos);
+  EXPECT_NE(diag.message.find("'main'"), std::string::npos);
+}
+
+TEST(Lint, SwitchTargetIsReachable) {
+  const LintResult result = lint_or_die(R"(program reach {
+  communicator raw : real period 10 init 0.0 lrc 0.5;
+  communicator flag : bool period 10 init false lrc 0.5;
+  module m {
+    task t input (raw[0]) output (flag[1]) model series;
+    mode main period 10 { invoke t; switch (flag) to other; }
+    mode other period 10 { invoke t; }
+    start main;
+  }
+}
+)");
+  EXPECT_FALSE(has_rule(result, kRuleUnreachableMode));
+}
+
+TEST(Lint, DetectsDuplicateWritePort) {
+  const LintResult result = lint_or_die(R"(program dup {
+  communicator raw : real period 10 init 0.0 lrc 0.5;
+  communicator out : real period 10 init 0.0 lrc 0.9;
+  module m {
+    task t input (raw[0]) output (out[1], out[1]) model series;
+    mode main period 10 { invoke t; }
+    start main;
+  }
+}
+)");
+  const Diagnostic& diag = first_of(result, kRuleDuplicateWritePort);
+  EXPECT_EQ(diag.severity, Severity::kError);
+  EXPECT_NE(diag.message.find("rule 4"), std::string::npos);
+  EXPECT_FALSE(has_rule(result, kRuleCompileError));
+}
+
+TEST(Lint, ReportsUnsafeCycleAsError) {
+  const LintResult result = lint_or_die(R"(program unsafe {
+  communicator c : real period 10 init 0.0 lrc 0.9;
+  module m {
+    task t input (c[0]) output (c[1]) model series;
+    mode main period 10 { invoke t; }
+    start main;
+  }
+}
+)");
+  EXPECT_TRUE(has_rule(result, kRuleMemoryCycle));
+  const Diagnostic& diag = first_of(result, kRuleUnsafeCycle);
+  EXPECT_EQ(diag.severity, Severity::kError);
+  EXPECT_NE(diag.message.find("independent"), std::string::npos);
+  EXPECT_NE(diag.fixit.find("model independent"), std::string::npos);
+}
+
+TEST(Lint, SafeCycleIsOnlyAWarning) {
+  const LintResult result = lint_or_die(R"(program safe {
+  communicator c : real period 10 init 0.0 lrc 0.9;
+  module m {
+    task t input (c[0]) output (c[1]) model independent defaults (0.0);
+    mode main period 10 { invoke t; }
+    start main;
+  }
+}
+)");
+  EXPECT_TRUE(has_rule(result, kRuleMemoryCycle));
+  EXPECT_FALSE(has_rule(result, kRuleUnsafeCycle));
+  EXPECT_EQ(result.errors(), 0) << render_text(result.diagnostics);
+}
+
+TEST(Lint, ParseErrorBecomesLocatedCompileError) {
+  LintOptions options;
+  options.file = "bad.htl";
+  const LintResult result =
+      lint_or_die("program broken {\n  communicator ;\n}\n", options);
+  const Diagnostic& diag = first_of(result, kRuleCompileError);
+  EXPECT_EQ(diag.severity, Severity::kError);
+  EXPECT_EQ(diag.location.file, "bad.htl");
+  EXPECT_EQ(diag.location.line, 2);
+  EXPECT_GT(diag.location.column, 0);
+  EXPECT_FALSE(result.flattened);
+}
+
+// ---------------------------------------------------------------------------
+// Configuration.
+
+TEST(Lint, RuleFlagPromotesSeverity) {
+  LintOptions options;
+  options.rule_flags = {"missing-default=error"};
+  const LintResult result = lint_or_die(R"(program promote {
+  communicator raw : real period 10 init 0.0 lrc 0.5;
+  communicator out : real period 10 init 0.0 lrc 0.9;
+  module m {
+    task t input (raw[0]) output (out[1]) model parallel;
+    mode main period 10 { invoke t; }
+    start main;
+  }
+}
+)",
+                                        options);
+  EXPECT_EQ(first_of(result, kRuleMissingDefault).severity,
+            Severity::kError);
+  EXPECT_FALSE(result.clean());
+}
+
+TEST(Lint, RuleFlagSilencesRule) {
+  LintOptions options;
+  options.rule_flags = {"LRT006=off", "LRT007=off"};
+  const LintResult result = lint_or_die(R"(program silence {
+  communicator raw : real period 10 init 0.0 lrc 0.5;
+  communicator out : real period 10 init 0.0 lrc 0.9;
+  module m {
+    task t input (raw[0]) output (out[1]) model parallel;
+    mode main period 10 { invoke t; }
+    start main;
+  }
+}
+)",
+                                        options);
+  EXPECT_FALSE(has_rule(result, kRuleNeverReadOutput));
+  EXPECT_FALSE(has_rule(result, kRuleMissingDefault));
+}
+
+TEST(Lint, UnknownRuleFlagIsAnError) {
+  LintOptions options;
+  options.rule_flags = {"LRT999=off"};
+  const auto result = lint_source(kCleanProgram, options);
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+// ---------------------------------------------------------------------------
+// Renderers.
+
+TEST(Render, TextIncludesLocationSeverityRuleAndFixit) {
+  const LintResult result = lint_or_die(R"(program textual {
+  communicator raw : real period 10 init 0.0 lrc 0.5;
+  communicator out : real period 10 init 0.0 lrc 0.9;
+  module m {
+    task t input (raw[0]) output (out[1]) model parallel;
+    mode main period 10 { invoke t; }
+    start main;
+  }
+}
+)");
+  const std::string text = render_text(result.diagnostics);
+  EXPECT_NE(text.find("warning:"), std::string::npos);
+  EXPECT_NE(text.find("[LRT007]"), std::string::npos);
+  EXPECT_NE(text.find("fix-it:"), std::string::npos);
+  EXPECT_NE(text.find(":5:"), std::string::npos);  // task t's line
+}
+
+TEST(Render, JsonCarriesCounts) {
+  const LintResult result = lint_or_die(kCleanProgram);
+  const std::string json = to_json(result.diagnostics);
+  EXPECT_NE(json.find("\"diagnostics\""), std::string::npos);
+  EXPECT_NE(json.find("\"counts\""), std::string::npos);
+  EXPECT_NE(json.find("\"errors\":0"), std::string::npos);
+}
+
+TEST(Render, SarifDocumentStructure) {
+  LintOptions options;
+  options.file = "race.htl";
+  const LintResult result = lint_or_die(R"(program race {
+  communicator raw : real period 10 init 0.0 lrc 0.5;
+  communicator c : real period 10 init 0.0 lrc 0.9;
+  module m {
+    task t1 input (raw[0]) output (c[1]) model series;
+    task t2 input (raw[0]) output (c[1]) model series;
+    mode main period 10 { invoke t1; invoke t2; }
+    start main;
+  }
+}
+)",
+                                        options);
+  const std::string sarif = to_sarif(result.diagnostics);
+  EXPECT_NE(sarif.find("\"version\":\"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("sarif-schema-2.1.0.json"), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\":\"lrt_lint\""), std::string::npos);
+  // The driver advertises the full rule catalog...
+  for (const RuleInfo& rule : rule_catalog()) {
+    EXPECT_NE(sarif.find("\"id\":\"" + std::string(rule.id) + "\""),
+              std::string::npos);
+  }
+  // ...and the race result carries its physical location.
+  EXPECT_NE(sarif.find("\"ruleId\":\"LRT001\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"level\":\"error\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"uri\":\"race.htl\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"startColumn\""), std::string::npos);
+}
+
+TEST(Render, SarifOmitsRegionForWholeFileFindings) {
+  std::vector<Diagnostic> diags(1);
+  diags[0].rule_id = "LRT000";
+  diags[0].severity = Severity::kError;
+  diags[0].location = {"x.htl", 0, 0};
+  diags[0].message = "whole-file finding";
+  const std::string sarif = to_sarif(diags);
+  EXPECT_EQ(sarif.find("\"region\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// The CI gate condition: shipped example programs lint clean.
+
+TEST(Lint, ShippedExamplesHaveNoErrors) {
+  const std::filesystem::path dir = LRT_EXAMPLES_HTL_DIR;
+  ASSERT_TRUE(std::filesystem::is_directory(dir)) << dir;
+  int linted = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".htl") continue;
+    std::ifstream file(entry.path());
+    ASSERT_TRUE(file.good()) << entry.path();
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    LintOptions options;
+    options.file = entry.path().filename().string();
+    const LintResult result = lint_or_die(buffer.str(), options);
+    EXPECT_EQ(result.errors(), 0)
+        << entry.path() << ":\n" << render_text(result.diagnostics);
+    EXPECT_TRUE(result.flattened) << entry.path();
+    ++linted;
+  }
+  EXPECT_GE(linted, 5);
+}
+
+}  // namespace
+}  // namespace lrt::lint

@@ -198,5 +198,76 @@ TEST(SpecGraph, DescribeCyclesMentionsCommunicators) {
   EXPECT_NE(graph.describe_cycles().find("alpha"), std::string::npos);
 }
 
+TEST(SpecGraph, DescribeCyclesMemoryFreeText) {
+  const Specification spec =
+      test::build_spec(test::chain_spec_config(/*tasks=*/2));
+  const SpecificationGraph graph(spec);
+  EXPECT_EQ(graph.describe_cycles(), "memory-free (no communicator cycles)");
+}
+
+TEST(SpecGraph, DescribeCyclesSelfLoopFormat) {
+  SpecificationConfig config;
+  config.communicators = {comm("c", 2)};
+  config.tasks = {task("t", {{"c", 0}}, {{"c", 1}})};
+  const Specification spec = test::build_spec(std::move(config));
+  const SpecificationGraph graph(spec);
+  EXPECT_EQ(graph.describe_cycles(), "cycle 0: {c}\n");
+}
+
+TEST(SpecGraph, InterlockingCyclesMergeIntoOneComponent) {
+  // d -> b -> d and d -> c -> d share d, so Tarjan reports one strongly
+  // connected component, not two separate cycles. Rule 3 still holds:
+  // every communicator has a single writer.
+  SpecificationConfig config;
+  config.communicators = {comm("b", 2), comm("c", 2), comm("d", 2)};
+  config.tasks = {task("t1", {{"d", 0}}, {{"b", 1}}),
+                  task("t2", {{"d", 0}}, {{"c", 1}}),
+                  task("t3", {{"b", 0}, {"c", 0}}, {{"d", 1}})};
+  const Specification spec = test::build_spec(std::move(config));
+  const SpecificationGraph graph(spec);
+  EXPECT_FALSE(graph.is_memory_free());
+  ASSERT_EQ(graph.cycles().size(), 1u);
+  EXPECT_EQ(graph.cycles()[0].size(), 3u);
+  const std::string text = graph.describe_cycles();
+  EXPECT_NE(text.find("b"), std::string::npos);
+  EXPECT_NE(text.find("c"), std::string::npos);
+  EXPECT_NE(text.find("d"), std::string::npos);
+  EXPECT_EQ(text.find("cycle 1"), std::string::npos);
+}
+
+TEST(SpecGraph, DisjointCyclesReportedSeparately) {
+  SpecificationConfig config;
+  config.communicators = {comm("a", 2), comm("b", 2), comm("c", 2),
+                          comm("d", 2)};
+  config.tasks = {task("t1", {{"a", 0}}, {{"b", 1}}),
+                  task("t2", {{"b", 0}}, {{"a", 1}}),
+                  task("t3", {{"c", 0}}, {{"d", 1}}),
+                  task("t4", {{"d", 0}}, {{"c", 1}})};
+  const Specification spec = test::build_spec(std::move(config));
+  const SpecificationGraph graph(spec);
+  EXPECT_EQ(graph.cycles().size(), 2u);
+  const std::string text = graph.describe_cycles();
+  EXPECT_NE(text.find("cycle 0"), std::string::npos);
+  EXPECT_NE(text.find("cycle 1"), std::string::npos);
+}
+
+TEST(SpecGraph, CycleBrokenByIndependentTaskStillDescribed) {
+  // An independent-model task makes the cycle *safe* (the SRG induction
+  // is well-founded) but the specification still has memory, and
+  // describe_cycles() must keep reporting the cycle for diagnostics.
+  SpecificationConfig config;
+  config.communicators = {comm("a", 2), comm("b", 2)};
+  config.tasks = {
+      task("t1", {{"a", 0}}, {{"b", 1}}, FailureModel::kIndependent),
+      task("t2", {{"b", 0}}, {{"a", 1}})};
+  const Specification spec = test::build_spec(std::move(config));
+  const SpecificationGraph graph(spec);
+  EXPECT_TRUE(graph.is_cycle_safe());
+  EXPECT_FALSE(graph.is_memory_free());
+  const std::string text = graph.describe_cycles();
+  EXPECT_NE(text.find("a"), std::string::npos);
+  EXPECT_NE(text.find("b"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace lrt::spec
