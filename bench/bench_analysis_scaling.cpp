@@ -2,12 +2,17 @@
 // SRG induction is linear in the dataflow size; EDF schedulability is
 // O(n log n) per host in the number of jobs; refinement checking is linear
 // in |kappa|. These benchmarks back the "incremental analysis" motivation:
-// full re-analysis cost grows with the system, local refinement checks
-// do not.
+// full re-analysis cost grows with the system, while the incremental SRG
+// evaluator re-propagates only the dirty downstream cone of a mutation.
+// `--json <path>` writes a machine-readable incremental-vs-full summary
+// (BENCH_analysis.json).
+#include <chrono>
 #include <memory>
+#include <string>
 
 #include "bench/bench_util.h"
 #include "reliability/analysis.h"
+#include "reliability/incremental.h"
 #include "sched/schedulability.h"
 #include "spec/spec_graph.h"
 
@@ -72,7 +77,69 @@ void print_table() {
   bench::header("Scaling", "analysis cost vs specification size");
   std::printf("benchmarks below: reliability / schedulability / graph "
               "analysis on n parallel pipelines (2n tasks, 3n "
-              "communicators).\n");
+              "communicators), plus incremental vs from-scratch SRG "
+              "re-evaluation after a single-task mutation.\n");
+}
+
+/// Times `mutations` single-task host-set flips on an n-pipeline system,
+/// incrementally (dirty-cone propagation) and from scratch (rebuild +
+/// analyze), writing the comparison to `path`.
+bool write_json(const std::string& path) {
+  constexpr int kPipelines = 100;
+  constexpr int kMutations = 200;
+  auto system = pipelines(kPipelines);
+  auto eval = reliability::SrgEvaluator::FromImplementation(*system.impl);
+  if (!eval.ok()) return false;
+
+  // The mutation cycles task t between {h1} and {h1, h2} — a real change
+  // each time, so the dirty cone is never empty.
+  const auto num_tasks =
+      static_cast<spec::TaskId>(system.spec->tasks().size());
+  const std::vector<arch::HostId> narrow = {0};
+  const std::vector<arch::HostId> wide = {0, 1};
+
+  const auto inc_start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kMutations; ++i) {
+    const auto t = static_cast<spec::TaskId>(i % num_tasks);
+    eval->set_task_hosts(t, i % 2 == 0 ? wide : narrow);
+  }
+  const auto inc_end = std::chrono::steady_clock::now();
+  const double inc_ms =
+      std::chrono::duration<double, std::milli>(inc_end - inc_start)
+          .count() /
+      kMutations;
+
+  impl::ImplementationConfig config = system.impl->to_config();
+  const auto full_start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kMutations; ++i) {
+    const auto t = static_cast<std::size_t>(i % num_tasks);
+    config.task_mappings[t].hosts =
+        i % 2 == 0 ? std::vector<std::string>{"h1", "h2"}
+                   : std::vector<std::string>{"h1"};
+    auto impl = impl::Implementation::Build(*system.spec, *system.arch,
+                                            config);
+    if (!impl.ok()) return false;
+    auto report = reliability::analyze(*impl);
+    if (!report.ok()) return false;
+    benchmark::DoNotOptimize(report);
+  }
+  const auto full_end = std::chrono::steady_clock::now();
+  const double full_ms =
+      std::chrono::duration<double, std::milli>(full_end - full_start)
+          .count() /
+      kMutations;
+
+  bench::JsonWriter json;
+  json.text("benchmark", "srg_single_task_mutation_100_pipelines");
+  json.integer("tasks", static_cast<long long>(num_tasks));
+  json.integer("communicators",
+               static_cast<long long>(system.spec->communicators().size()));
+  json.integer("mutations", kMutations);
+  json.number("incremental_ms_per_mutation", inc_ms);
+  json.number("full_rebuild_ms_per_mutation", full_ms);
+  json.number("speedup", full_ms / (inc_ms > 0 ? inc_ms : 1));
+  json.integer("incremental_comm_updates", eval->comm_updates());
+  return json.write(path);
 }
 
 void BM_ReliabilityAnalysis(benchmark::State& state) {
@@ -105,6 +172,27 @@ void BM_GraphConstruction(benchmark::State& state) {
 }
 BENCHMARK(BM_GraphConstruction)->Arg(10)->Arg(100)->Arg(500)->Complexity();
 
+void BM_IncrementalSrgMutation(benchmark::State& state) {
+  auto system = pipelines(static_cast<int>(state.range(0)));
+  auto eval = reliability::SrgEvaluator::FromImplementation(*system.impl);
+  const std::vector<arch::HostId> narrow = {0};
+  const std::vector<arch::HostId> wide = {0, 1};
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    eval->set_task_hosts(
+        static_cast<spec::TaskId>(
+            i % static_cast<std::int64_t>(system.spec->tasks().size())),
+        i % 2 == 0 ? wide : narrow);
+    ++i;
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_IncrementalSrgMutation)
+    ->Arg(10)
+    ->Arg(100)
+    ->Arg(500)
+    ->Complexity();
+
 }  // namespace
 
-LRT_BENCH_MAIN(print_table)
+LRT_BENCH_MAIN_JSON(print_table, write_json)

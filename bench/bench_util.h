@@ -7,6 +7,10 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
 
 namespace lrt::bench {
 
@@ -18,10 +22,91 @@ inline void header(const char* experiment, const char* title) {
   std::printf("%s\n", kRule);
 }
 
+/// Extracts `--flag <value>` or `--flag=<value>` from argv (removing it so
+/// google-benchmark does not reject it) and returns the value, or "" when
+/// the flag is absent.
+inline std::string extract_flag(int& argc, char** argv, const char* flag) {
+  const std::size_t flag_len = std::strlen(flag);
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    int consumed = 0;
+    if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) {
+      value = argv[i + 1];
+      consumed = 2;
+    } else if (std::strncmp(argv[i], flag, flag_len) == 0 &&
+               argv[i][flag_len] == '=') {
+      value = argv[i] + flag_len + 1;
+      consumed = 1;
+    } else {
+      continue;
+    }
+    for (int j = i; j + consumed < argc; ++j) argv[j] = argv[j + consumed];
+    argc -= consumed;
+    return value;
+  }
+  return "";
+}
+
+/// Minimal flat JSON object writer for machine-readable bench summaries.
+/// Keys are emitted in insertion order; values are numbers or strings.
+class JsonWriter {
+ public:
+  void number(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", value);
+    fields_.emplace_back(key, buf);
+  }
+  void integer(const std::string& key, long long value) {
+    fields_.emplace_back(key, std::to_string(value));
+  }
+  void text(const std::string& key, const std::string& value) {
+    fields_.emplace_back(key, "\"" + value + "\"");
+  }
+
+  /// Writes `{...}` to `path`; returns false (with a message on stderr)
+  /// when the file cannot be opened.
+  bool write(const std::string& path) const {
+    std::FILE* out = std::fopen(path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(out, "{\n");
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      std::fprintf(out, "  \"%s\": %s%s\n", fields_[i].first.c_str(),
+                   fields_[i].second.c_str(),
+                   i + 1 < fields_.size() ? "," : "");
+    }
+    std::fprintf(out, "}\n");
+    std::fclose(out);
+    return true;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
 /// Standard main: print the table, then run benchmarks.
 #define LRT_BENCH_MAIN(print_table_fn)                       \
   int main(int argc, char** argv) {                          \
     print_table_fn();                                        \
+    ::benchmark::Initialize(&argc, argv);                    \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) \
+      return 1;                                              \
+    ::benchmark::RunSpecifiedBenchmarks();                   \
+    ::benchmark::Shutdown();                                 \
+    return 0;                                                \
+  }
+
+/// Like LRT_BENCH_MAIN but first strips `--json <path>` and, when present,
+/// calls `json_fn(path)` — which writes the machine-readable summary — in
+/// addition to the human-readable table.
+#define LRT_BENCH_MAIN_JSON(print_table_fn, json_fn)         \
+  int main(int argc, char** argv) {                          \
+    const std::string json_path =                            \
+        ::lrt::bench::extract_flag(argc, argv, "--json");    \
+    print_table_fn();                                        \
+    if (!json_path.empty() && !json_fn(json_path)) return 1; \
     ::benchmark::Initialize(&argc, argv);                    \
     if (::benchmark::ReportUnrecognizedArguments(argc, argv)) \
       return 1;                                              \

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""CI bench-smoke gate: compare a fresh BENCH_synthesis.json against the
+checked-in baseline.
+
+Fails (exit 1) when the fast synthesis engine regresses:
+  * search effort: candidates_evaluated or full_evals grew beyond a small
+    tolerance over the recorded baseline (the counters are deterministic,
+    so any real growth is an algorithmic regression, not noise);
+  * result quality: the minimal cost changed in either engine;
+  * wall clock: fast_wall_ms exceeds an absolute budget (generous, since
+    CI machines are slower and noisier than the baseline recorder).
+
+Usage: check_bench_baseline.py <fresh.json> <baseline.json>
+"""
+import json
+import sys
+
+# Deterministic counters get 10% headroom for harmless refactors; the
+# absolute wall budget is ~100x the recorded time to stay machine-neutral.
+COUNTER_TOLERANCE = 1.10
+WALL_BUDGET_MS = 250.0
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        fresh = json.load(f)
+    with open(sys.argv[2]) as f:
+        base = json.load(f)
+
+    failures = []
+
+    for key in ("reference_cost", "fast_cost"):
+        if fresh[key] != base[key]:
+            failures.append(
+                f"{key}: {fresh[key]} != baseline {base[key]} "
+                "(synthesis result changed)")
+
+    for key in ("fast_candidates_evaluated", "fast_full_evals"):
+        limit = base[key] * COUNTER_TOLERANCE + 1
+        if fresh[key] > limit:
+            failures.append(
+                f"{key}: {fresh[key]} > {limit:.0f} "
+                f"(baseline {base[key]} +10%): search effort regressed")
+
+    if fresh["fast_wall_ms"] > WALL_BUDGET_MS:
+        failures.append(
+            f"fast_wall_ms: {fresh['fast_wall_ms']:.3f} > budget "
+            f"{WALL_BUDGET_MS} ms")
+
+    print(f"fresh:    cost={fresh['fast_cost']} "
+          f"candidates={fresh['fast_candidates_evaluated']} "
+          f"full_evals={fresh['fast_full_evals']} "
+          f"wall={fresh['fast_wall_ms']:.3f}ms "
+          f"speedup={fresh['speedup']:.0f}x")
+    print(f"baseline: cost={base['fast_cost']} "
+          f"candidates={base['fast_candidates_evaluated']} "
+          f"full_evals={base['fast_full_evals']} "
+          f"wall={base['fast_wall_ms']:.3f}ms")
+
+    if failures:
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        return 1
+    print("bench baseline gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

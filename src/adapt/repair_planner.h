@@ -34,6 +34,14 @@ struct RepairPolicy {
   /// Synthesis strategy for the replacement mapping search.
   synth::SynthesisOptions::Strategy strategy =
       synth::SynthesisOptions::Strategy::kGreedy;
+  /// Search engine (see SynthesisOptions::Engine) — a repair on a live
+  /// system wants the incremental fast path; the reference engine stays
+  /// available for differential runs.
+  synth::SynthesisOptions::Engine engine =
+      synth::SynthesisOptions::Engine::kFast;
+  /// Worker threads for the fast exhaustive search (0 = all cores); the
+  /// planned repair is identical for every value.
+  unsigned threads = 1;
   /// Also require the repaired mapping to pass the schedulability check.
   bool require_schedulable = true;
   /// Upper bound on |I(t)| per task in the repaired mapping.

@@ -11,28 +11,34 @@
 namespace lrt::sched {
 namespace {
 
-/// Preemptive EDF simulation of one host's jobs over one period.
-/// Jobs are mutated (remaining time) locally.
-HostSchedule simulate_edf(const impl::Implementation& impl, HostId host,
-                          std::vector<JobWindow> jobs) {
-  HostSchedule schedule;
-  schedule.host = host;
-  schedule.feasible = true;
+/// Outcome of the shared EDF core: how (and where) the job set failed.
+enum class MissKind {
+  kNone,      ///< feasible
+  kWindow,    ///< WCET exceeds the job's own LET window
+  kLate,      ///< job completed after its deadline
+  kHopeless,  ///< deadline passed with work remaining
+};
 
-  const spec::Specification& spec = impl.specification();
-  std::vector<Time> remaining;
-  remaining.reserve(jobs.size());
-  for (const JobWindow& job : jobs) {
-    remaining.push_back(job.wcet);
-    if (job.deadline - job.release < job.wcet) {
-      schedule.feasible = false;
-      schedule.diagnostic =
-          "task '" + spec.task(job.task).name + "' on host '" +
-          impl.architecture().host(host).name + "': WCET " +
-          std::to_string(job.wcet) + " exceeds LET window [" +
-          std::to_string(job.release) + ", " + std::to_string(job.deadline) +
-          ")";
-      return schedule;
+struct EdfOutcome {
+  MissKind miss = MissKind::kNone;
+  std::size_t job = 0;  ///< index into the (sorted) job vector
+  Time deadline = 0;
+  Time completion = 0;  ///< for kLate
+  std::vector<ScheduleSlice> slices;
+};
+
+/// Preemptive EDF simulation of one host's jobs over one period — the one
+/// core behind both the reporting path (analyze_schedulability) and the
+/// lean memoized gate (edf_feasible), so the two can never disagree.
+/// Sorts `jobs` by release in place.
+EdfOutcome run_edf(std::vector<JobWindow>& jobs) {
+  EdfOutcome outcome;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (jobs[i].deadline - jobs[i].release < jobs[i].wcet) {
+      outcome.miss = MissKind::kWindow;
+      outcome.job = i;
+      outcome.deadline = jobs[i].deadline;
+      return outcome;
     }
   }
 
@@ -40,8 +46,9 @@ HostSchedule simulate_edf(const impl::Implementation& impl, HostId host,
             [](const JobWindow& a, const JobWindow& b) {
               return a.release < b.release;
             });
-  // Re-sync `remaining` with the sorted order.
-  for (std::size_t i = 0; i < jobs.size(); ++i) remaining[i] = jobs[i].wcet;
+  std::vector<Time> remaining;
+  remaining.reserve(jobs.size());
+  for (const JobWindow& job : jobs) remaining.push_back(job.wcet);
 
   Time now = 0;
   std::size_t released = 0;
@@ -68,12 +75,12 @@ HostSchedule simulate_edf(const impl::Implementation& impl, HostId host,
     const Time end = now + run;
 
     // Coalesce with the previous slice when the same task continues.
-    if (!schedule.slices.empty() &&
-        schedule.slices.back().task == jobs[index].task &&
-        schedule.slices.back().end == now) {
-      schedule.slices.back().end = end;
+    if (!outcome.slices.empty() &&
+        outcome.slices.back().task == jobs[index].task &&
+        outcome.slices.back().end == now) {
+      outcome.slices.back().end = end;
     } else {
-      schedule.slices.push_back({jobs[index].task, now, end});
+      outcome.slices.push_back({jobs[index].task, now, end});
     }
 
     remaining[index] -= run;
@@ -82,27 +89,66 @@ HostSchedule simulate_edf(const impl::Implementation& impl, HostId host,
       ready.erase(ready.begin());
       ++done;
       if (now > deadline) {
-        schedule.feasible = false;
-        schedule.diagnostic =
-            "task '" + spec.task(jobs[index].task).name + "' on host '" +
-            impl.architecture().host(host).name + "' misses deadline " +
-            std::to_string(deadline) + " (completes at " +
-            std::to_string(now) + ")";
-        return schedule;
+        outcome.miss = MissKind::kLate;
+        outcome.job = index;
+        outcome.deadline = deadline;
+        outcome.completion = now;
+        return outcome;
       }
     } else if (now > deadline) {
-      schedule.feasible = false;
-      schedule.diagnostic =
-          "task '" + spec.task(jobs[index].task).name + "' on host '" +
-          impl.architecture().host(host).name + "' cannot meet deadline " +
-          std::to_string(deadline);
-      return schedule;
+      outcome.miss = MissKind::kHopeless;
+      outcome.job = index;
+      outcome.deadline = deadline;
+      return outcome;
     }
+  }
+  return outcome;
+}
+
+/// Reporting wrapper: run the core, then render the first miss as a
+/// human-readable diagnostic.
+HostSchedule simulate_edf(const impl::Implementation& impl, HostId host,
+                          std::vector<JobWindow> jobs) {
+  HostSchedule schedule;
+  schedule.host = host;
+
+  EdfOutcome outcome = run_edf(jobs);
+  schedule.feasible = outcome.miss == MissKind::kNone;
+  schedule.slices = std::move(outcome.slices);
+  if (schedule.feasible) return schedule;
+
+  const spec::Specification& spec = impl.specification();
+  const JobWindow& job = jobs[outcome.job];
+  const std::string where = "task '" + spec.task(job.task).name +
+                            "' on host '" +
+                            impl.architecture().host(host).name + "'";
+  switch (outcome.miss) {
+    case MissKind::kWindow:
+      schedule.diagnostic =
+          where + ": WCET " + std::to_string(job.wcet) +
+          " exceeds LET window [" + std::to_string(job.release) + ", " +
+          std::to_string(job.deadline) + ")";
+      break;
+    case MissKind::kLate:
+      schedule.diagnostic =
+          where + " misses deadline " + std::to_string(outcome.deadline) +
+          " (completes at " + std::to_string(outcome.completion) + ")";
+      break;
+    case MissKind::kHopeless:
+      schedule.diagnostic = where + " cannot meet deadline " +
+                            std::to_string(outcome.deadline);
+      break;
+    case MissKind::kNone:
+      break;
   }
   return schedule;
 }
 
 }  // namespace
+
+bool edf_feasible(std::vector<JobWindow> jobs) {
+  return run_edf(jobs).miss == MissKind::kNone;
+}
 
 Result<SchedulabilityReport> analyze_schedulability(
     const impl::Implementation& impl) {

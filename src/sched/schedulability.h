@@ -79,6 +79,13 @@ struct SchedulabilityReport {
 [[nodiscard]] Result<SchedulabilityReport> analyze_schedulability(
     const impl::Implementation& impl);
 
+/// EDF feasibility of one host's job set, with no report, no diagnostics,
+/// and no Implementation — the synthesis fast path's memoized gate runs
+/// this on jobs built from precomputed (task, host) tables. Shares the
+/// simulation core with analyze_schedulability, so the verdict is
+/// identical to the corresponding HostSchedule::feasible.
+[[nodiscard]] bool edf_feasible(std::vector<JobWindow> jobs);
+
 /// Independent feasibility oracle: the processor-demand criterion. For
 /// synchronous jobs within one period, the set is EDF-feasible iff for
 /// every interval [a, b] (a a release, b a deadline) the total demand of

@@ -1,0 +1,30 @@
+// Hash composition helpers for flat cache keys (the synthesis engine's
+// memoized schedulability gate keys on (host, task-bitset) pairs).
+#ifndef LRT_SUPPORT_HASH_H_
+#define LRT_SUPPORT_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace lrt {
+
+/// Mixes `value` into `seed` (boost::hash_combine's 64-bit variant with
+/// the splitmix64 finalizer — good diffusion for small integer keys).
+inline std::uint64_t hash_combine(std::uint64_t seed, std::uint64_t value) {
+  std::uint64_t z = value + 0x9E3779B97F4A7C15ull + (seed << 6) + (seed >> 2);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return seed ^ (z ^ (z >> 31));
+}
+
+/// Hash of a word span (order-sensitive).
+inline std::uint64_t hash_words(std::span<const std::uint64_t> words,
+                                std::uint64_t seed = 0) {
+  for (const std::uint64_t w : words) seed = hash_combine(seed, w);
+  return seed;
+}
+
+}  // namespace lrt
+
+#endif  // LRT_SUPPORT_HASH_H_

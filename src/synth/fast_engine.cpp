@@ -1,0 +1,738 @@
+#include "synth/fast_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <span>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "reliability/incremental.h"
+#include "sched/schedulability.h"
+#include "support/hash.h"
+#include "support/thread_pool.h"
+
+namespace lrt::synth::internal {
+namespace {
+
+using arch::HostId;
+using spec::CommId;
+using spec::TaskId;
+using spec::Time;
+
+constexpr std::int64_t kNoIncumbent = std::numeric_limits<std::int64_t>::max();
+
+struct WordsHash {
+  std::size_t operator()(const std::vector<std::uint64_t>& words) const {
+    return static_cast<std::size_t>(hash_words(words));
+  }
+};
+
+/// Per-(task, usable host) job templates: every candidate mapping's job
+/// set is a selection from this table, so it is computed once per search.
+struct TimingTables {
+  std::vector<sched::JobWindow> jobs;  ///< [task * usable.size() + u]
+  std::vector<Time> wctt;              ///< same indexing (bus demand)
+};
+
+/// Memoized per-host EDF feasibility. The verdict of one host's EDF
+/// simulation depends only on the set of tasks mapped onto it (each
+/// (task, host) job is fixed by the timing tables), so it is cached per
+/// (usable host, task bitset). Thread-safe: one mutex-guarded map per
+/// usable host; on a miss the simulation runs outside the lock (duplicate
+/// computation between racing threads is benign — same verdict).
+class SchedGate {
+ public:
+  SchedGate(std::size_t num_tasks, std::size_t num_usable,
+            std::vector<sched::JobWindow> jobs)
+      : words_((num_tasks + 63) / 64),
+        num_usable_(num_usable),
+        jobs_(std::move(jobs)),
+        shards_(num_usable) {}
+
+  /// Words per task bitset.
+  [[nodiscard]] std::size_t words() const { return words_; }
+
+  /// EDF feasibility of usable host `u` running exactly the tasks whose
+  /// bits are set in `taskset`. `key_buf`/`job_buf` are caller-owned
+  /// scratch (no allocation on the hit path in steady state).
+  bool feasible(std::size_t u, std::span<const std::uint64_t> taskset,
+                std::int64_t& hits, std::int64_t& misses,
+                std::vector<std::uint64_t>& key_buf,
+                std::vector<sched::JobWindow>& job_buf) {
+    key_buf.assign(taskset.begin(), taskset.end());
+    Shard& shard = shards_[u];
+    {
+      const std::lock_guard<std::mutex> lock(shard.mutex);
+      const auto it = shard.verdicts.find(key_buf);
+      if (it != shard.verdicts.end()) {
+        ++hits;
+        return it->second;
+      }
+    }
+    ++misses;
+    job_buf.clear();
+    for (std::size_t w = 0; w < words_; ++w) {
+      std::uint64_t word = taskset[w];
+      while (word != 0) {
+        const auto bit = static_cast<std::size_t>(std::countr_zero(word));
+        word &= word - 1;
+        job_buf.push_back(jobs_[(w * 64 + bit) * num_usable_ + u]);
+      }
+    }
+    const bool ok = sched::edf_feasible(job_buf);
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.verdicts.emplace(key_buf, ok);
+    return ok;
+  }
+
+ private:
+  struct Shard {
+    std::mutex mutex;
+    std::unordered_map<std::vector<std::uint64_t>, bool, WordsHash> verdicts;
+  };
+
+  std::size_t words_;
+  std::size_t num_usable_;
+  std::vector<sched::JobWindow> jobs_;
+  std::vector<Shard> shards_;
+};
+
+/// The full-replication mapping over the usable hosts, with the options'
+/// redundancy applied — one Implementation::Build that both validates the
+/// caller's sensor bindings (identically to the reference engine's first
+/// candidate build) and seeds the SRG ceiling evaluator.
+Result<impl::Implementation> build_ceiling(
+    const spec::Specification& spec, const arch::Architecture& arch,
+    const std::vector<impl::ImplementationConfig::SensorBinding>& bindings,
+    const std::vector<HostId>& usable, const SynthesisOptions& options) {
+  const std::vector<std::vector<HostId>> assignment(spec.tasks().size(),
+                                                    usable);
+  return impl::Implementation::Build(
+      spec, arch,
+      assignment_config(spec, arch, bindings, assignment, options));
+}
+
+Result<TimingTables> build_timing_tables(const spec::Specification& spec,
+                                         const arch::Architecture& arch,
+                                         const std::vector<HostId>& usable,
+                                         const impl::Implementation& ceiling) {
+  TimingTables tables;
+  const std::size_t num_tasks = spec.tasks().size();
+  tables.jobs.resize(num_tasks * usable.size());
+  tables.wctt.resize(num_tasks * usable.size());
+  for (TaskId t = 0; t < static_cast<TaskId>(num_tasks); ++t) {
+    const spec::Task& task = spec.task(t);
+    for (std::size_t u = 0; u < usable.size(); ++u) {
+      const HostId h = usable[u];
+      LRT_ASSIGN_OR_RETURN(const Time wcet, arch.wcet(task.name, h));
+      LRT_ASSIGN_OR_RETURN(const Time wctt, arch.wctt(task.name, h));
+      sched::JobWindow job;
+      job.task = t;
+      job.host = h;
+      job.release = spec.read_time(t);
+      job.deadline = spec.write_time(t) - wctt;
+      job.wcet = ceiling.reserved_demand(t, wcet);
+      job.wctt = wctt;
+      const std::size_t slot = static_cast<std::size_t>(t) * usable.size() + u;
+      tables.jobs[slot] = job;
+      tables.wctt[slot] = wctt;
+    }
+  }
+  return tables;
+}
+
+/// Parallel best-first branch-and-bound over per-task host subsets.
+///
+/// Invariant: while the search sits at depth t, tasks [0, t) carry their
+/// chosen subsets and tasks [t, n) still carry the full usable host set
+/// (the ceiling the evaluator was seeded with). all_lrcs_satisfied() at
+/// that state is therefore an admissible upper bound on every completion
+/// of the prefix — if it already fails, the subtree cannot contain a
+/// valid mapping.
+///
+/// Determinism: the incumbent is the minimum of (cost, path) over valid
+/// leaves, where path is the per-task subset-index vector. A subtree is
+/// pruned only when it provably cannot hold that minimum: its cost lower
+/// bound strictly exceeds a known valid candidate's cost, or equals it
+/// while the subtree's path prefix is already lexicographically greater
+/// than that candidate's path. Both tests stay valid against a stale
+/// incumbent snapshot, so the winner is independent of thread scheduling
+/// and equal to the sequential reference engine's first minimal-cost leaf.
+class BnbSearch {
+ public:
+  BnbSearch(const spec::Specification& spec, const arch::Architecture& arch,
+            const std::vector<impl::ImplementationConfig::SensorBinding>&
+                bindings,
+            const std::vector<HostId>& usable, const SynthesisOptions& options)
+      : spec_(spec),
+        arch_(arch),
+        bindings_(bindings),
+        usable_(usable),
+        options_(options),
+        num_tasks_(static_cast<TaskId>(spec.tasks().size())),
+        hyperperiod_(spec.hyperperiod()) {}
+
+  Result<SynthesisResult> run() {
+    LRT_ASSIGN_OR_RETURN(
+        const impl::Implementation ceiling,
+        build_ceiling(spec_, arch_, bindings_, usable_, options_));
+    LRT_ASSIGN_OR_RETURN(
+        base_, reliability::SrgEvaluator::FromImplementation(ceiling));
+    base_->set_relaxed(options_.relaxed_lrcs);
+    if (!base_->all_lrcs_satisfied()) {
+      // Even full replication misses an unrelaxed LRC: the whole search
+      // tree is one infeasible subtree.
+      return unsatisfiable();
+    }
+    if (options_.require_schedulable) {
+      LRT_ASSIGN_OR_RETURN(tables_,
+                           build_timing_tables(spec_, arch_, usable_, ceiling));
+      gate_ = std::make_unique<SchedGate>(static_cast<std::size_t>(num_tasks_),
+                                          usable_.size(),
+                                          std::move(tables_.jobs));
+      words_ = gate_->words();
+    }
+
+    const std::vector<std::vector<HostId>> raw = candidate_subsets(
+        arch_, usable_, options_.max_replication_per_task);
+    std::vector<std::size_t> usable_index_of(arch_.hosts().size(), 0);
+    for (std::size_t u = 0; u < usable_.size(); ++u) {
+      usable_index_of[static_cast<std::size_t>(usable_[u])] = u;
+    }
+    subsets_.resize(raw.size());
+    for (std::size_t s = 0; s < raw.size(); ++s) {
+      subsets_[s].hosts = raw[s];
+      for (const HostId h : raw[s]) {
+        subsets_[s].usable_index.push_back(
+            usable_index_of[static_cast<std::size_t>(h)]);
+      }
+    }
+
+    if (num_tasks_ == 0) {
+      // Degenerate: the empty assignment is the only candidate.
+      Worker w(*base_, 0, usable_.size() * words_);
+      leaf(w, 0);
+      collect(w);
+    } else {
+      ThreadPool pool(options_.threads);
+      pool.parallel_for(static_cast<std::int64_t>(subsets_.size()),
+                        [this](std::int64_t i) {
+                          std::unique_ptr<Worker> w = acquire();
+                          top_level(*w, static_cast<std::size_t>(i));
+                          release(std::move(w));
+                        });
+      for (const std::unique_ptr<Worker>& w : idle_) collect(*w);
+    }
+
+    if (best_cost_exact_ == kNoIncumbent) return unsatisfiable();
+    std::vector<std::vector<HostId>> assignment;
+    assignment.reserve(static_cast<std::size_t>(num_tasks_));
+    for (const std::int32_t s : best_path_) {
+      assignment.push_back(subsets_[static_cast<std::size_t>(s)].hosts);
+    }
+    result_.config =
+        assignment_config(spec_, arch_, bindings_, assignment, options_);
+    result_.replication_count = static_cast<std::size_t>(best_cost_exact_);
+    result_.candidates_evaluated =
+        result_.full_evals + result_.incremental_evals;
+    return result_;
+  }
+
+ private:
+  struct Subset {
+    std::vector<HostId> hosts;               ///< ascending
+    std::vector<std::size_t> usable_index;   ///< same hosts, usable indices
+  };
+
+  struct Worker {
+    Worker(const reliability::SrgEvaluator& base, TaskId num_tasks,
+           std::size_t bit_words)
+        : eval(base),
+          path(static_cast<std::size_t>(num_tasks), 0),
+          bits(bit_words, 0) {}
+
+    reliability::SrgEvaluator eval;
+    std::vector<std::int32_t> path;   ///< subset index per task
+    std::vector<std::uint64_t> bits;  ///< [u * words + w] per-host task sets
+    Time bus = 0;
+    std::int64_t full_evals = 0;
+    std::int64_t incremental_evals = 0;
+    std::int64_t subtrees_pruned = 0;
+    std::int64_t cache_hits = 0;
+    std::int64_t cache_misses = 0;
+    std::vector<std::uint64_t> key_buf;
+    std::vector<sched::JobWindow> job_buf;
+    /// Possibly-stale copy of the incumbent. Staleness is safe: pruning
+    /// only compares against it when it is a REAL valid candidate, and
+    /// anything dominated by a stale incumbent is dominated by the final
+    /// winner too.
+    std::int64_t snap_cost = kNoIncumbent;
+    std::vector<std::int32_t> snap_path;
+  };
+
+  static Status unsatisfiable() {
+    return UnsatisfiableError(
+        "no replication mapping satisfies every LRC (and schedulability) "
+        "within the configured bounds");
+  }
+
+  std::unique_ptr<Worker> acquire() {
+    {
+      const std::lock_guard<std::mutex> lock(workers_mutex_);
+      if (!idle_.empty()) {
+        std::unique_ptr<Worker> w = std::move(idle_.back());
+        idle_.pop_back();
+        return w;
+      }
+    }
+    // At most pool-size workers are ever constructed; a finished worker's
+    // DFS has fully unwound, so its evaluator is back at the ceiling.
+    return std::make_unique<Worker>(*base_, num_tasks_,
+                                    usable_.size() * words_);
+  }
+
+  void release(std::unique_ptr<Worker> w) {
+    const std::lock_guard<std::mutex> lock(workers_mutex_);
+    idle_.push_back(std::move(w));
+  }
+
+  void collect(const Worker& w) {
+    result_.full_evals += w.full_evals;
+    result_.incremental_evals += w.incremental_evals;
+    result_.subtrees_pruned += w.subtrees_pruned;
+    result_.cache_hits += w.cache_hits;
+    result_.cache_misses += w.cache_misses;
+  }
+
+  void apply_sched(Worker& w, TaskId t, const Subset& sub) const {
+    if (gate_ == nullptr) return;
+    const auto ts = static_cast<std::size_t>(t);
+    for (const std::size_t u : sub.usable_index) {
+      w.bits[u * words_ + ts / 64] |= std::uint64_t{1} << (ts % 64);
+      w.bus += tables_.wctt[ts * usable_.size() + u];
+    }
+  }
+
+  void undo_sched(Worker& w, TaskId t, const Subset& sub) const {
+    if (gate_ == nullptr) return;
+    const auto ts = static_cast<std::size_t>(t);
+    for (const std::size_t u : sub.usable_index) {
+      w.bits[u * words_ + ts / 64] &= ~(std::uint64_t{1} << (ts % 64));
+      w.bus -= tables_.wctt[ts * usable_.size() + u];
+    }
+  }
+
+  /// Pulls the shared incumbent into the worker's snapshot when the
+  /// atomic shows a cheaper one exists. The snapshot may still lag path
+  /// improvements at equal cost; that only weakens pruning, never
+  /// correctness.
+  void maybe_refresh(Worker& w) {
+    if (best_cost_.load(std::memory_order_relaxed) >= w.snap_cost) return;
+    const std::lock_guard<std::mutex> lock(best_mutex_);
+    w.snap_cost = best_cost_exact_;
+    w.snap_path = best_path_;
+  }
+
+  /// True when the depth-(t+1) prefix (w.path[0..t), s) is lexicographically
+  /// greater than the snapshot incumbent's prefix. Every leaf under the
+  /// prefix then has path > snap_path, so at equal cost none can displace
+  /// an incumbent that is itself a valid candidate — the subtree is dead
+  /// even if the snapshot is stale, because the final winner is <= it.
+  bool prefix_beaten(const Worker& w, TaskId t, std::size_t s) const {
+    for (std::size_t i = 0; i < static_cast<std::size_t>(t); ++i) {
+      if (w.path[i] != w.snap_path[i]) return w.path[i] > w.snap_path[i];
+    }
+    return static_cast<std::int32_t>(s) >
+           w.snap_path[static_cast<std::size_t>(t)];
+  }
+
+  /// Assigns subset `s` to task `t` and, unless bounded out, recurses.
+  void enter(Worker& w, TaskId t, std::size_t s, std::int64_t cost) {
+    const Subset& sub = subsets_[s];
+    w.path[static_cast<std::size_t>(t)] = static_cast<std::int32_t>(s);
+    const reliability::SrgEvaluator::Mark m = w.eval.mark();
+    ++w.incremental_evals;
+    w.eval.set_task_hosts(t, sub.hosts);
+    if (!w.eval.all_lrcs_satisfied()) {
+      ++w.subtrees_pruned;  // SRG ceiling bound: no completion can pass
+      w.eval.rollback(m);
+      return;
+    }
+    apply_sched(w, t, sub);
+    descend(w, t + 1, cost + static_cast<std::int64_t>(sub.hosts.size()));
+    undo_sched(w, t, sub);
+    w.eval.rollback(m);
+  }
+
+  void descend(Worker& w, TaskId t, std::int64_t cost) {
+    if (t == num_tasks_) {
+      leaf(w, cost);
+      return;
+    }
+    for (std::size_t s = 0; s < subsets_.size(); ++s) {
+      maybe_refresh(w);
+      const std::int64_t lb = cost +
+                              static_cast<std::int64_t>(
+                                  subsets_[s].hosts.size()) +
+                              (num_tasks_ - t - 1);
+      // Subsets are ordered by cardinality ascending, so once a subset is
+      // bounded out every later one is too: a later subset's lb never
+      // shrinks and, at equal lb, its larger index keeps the prefix
+      // lexicographically beaten.
+      if (lb > w.snap_cost ||
+          (lb == w.snap_cost && prefix_beaten(w, t, s))) {
+        w.subtrees_pruned += static_cast<std::int64_t>(subsets_.size() - s);
+        break;
+      }
+      enter(w, t, s, cost);
+    }
+  }
+
+  void top_level(Worker& w, std::size_t s) {
+    maybe_refresh(w);
+    const std::int64_t lb =
+        static_cast<std::int64_t>(subsets_[s].hosts.size()) + (num_tasks_ - 1);
+    if (lb > w.snap_cost || (lb == w.snap_cost && prefix_beaten(w, 0, s))) {
+      ++w.subtrees_pruned;
+      return;
+    }
+    enter(w, 0, s, 0);
+  }
+
+  void leaf(Worker& w, std::int64_t cost) {
+    // Reaching a leaf means every task carries its chosen subset, so the
+    // last enter()'s all_lrcs_satisfied() was the exact verdict; only the
+    // schedulability gate remains.
+    ++w.full_evals;
+    if (gate_ != nullptr) {
+      if (w.bus > hyperperiod_) return;
+      for (std::size_t u = 0; u < usable_.size(); ++u) {
+        const std::span<const std::uint64_t> taskset(
+            w.bits.data() + u * words_, words_);
+        bool empty = true;
+        for (const std::uint64_t word : taskset) empty = empty && word == 0;
+        if (empty) continue;  // hostless job set is trivially feasible
+        if (!gate_->feasible(u, taskset, w.cache_hits, w.cache_misses,
+                             w.key_buf, w.job_buf)) {
+          return;
+        }
+      }
+    }
+    const std::lock_guard<std::mutex> lock(best_mutex_);
+    if (cost < best_cost_exact_ ||
+        (cost == best_cost_exact_ && w.path < best_path_)) {
+      best_cost_exact_ = cost;
+      best_path_ = w.path;
+      best_cost_.store(cost, std::memory_order_relaxed);
+    }
+    // Already under the lock: refresh the snapshot for free.
+    w.snap_cost = best_cost_exact_;
+    w.snap_path = best_path_;
+  }
+
+  const spec::Specification& spec_;
+  const arch::Architecture& arch_;
+  const std::vector<impl::ImplementationConfig::SensorBinding>& bindings_;
+  const std::vector<HostId>& usable_;
+  const SynthesisOptions& options_;
+  const TaskId num_tasks_;
+  const Time hyperperiod_;
+
+  /// The ceiling evaluator workers are cloned from; optional only because
+  /// SrgEvaluator has no public default constructor — set once in run().
+  std::optional<reliability::SrgEvaluator> base_;
+  std::vector<Subset> subsets_;
+  TimingTables tables_;
+  std::unique_ptr<SchedGate> gate_;
+  std::size_t words_ = 0;
+
+  std::mutex workers_mutex_;
+  std::vector<std::unique_ptr<Worker>> idle_;
+
+  std::atomic<std::int64_t> best_cost_{kNoIncumbent};
+  std::mutex best_mutex_;
+  std::int64_t best_cost_exact_ = kNoIncumbent;
+  std::vector<std::int32_t> best_path_;
+
+  SynthesisResult result_;
+};
+
+}  // namespace
+
+std::vector<std::vector<HostId>> candidate_subsets(
+    const arch::Architecture& arch, const std::vector<HostId>& usable,
+    int max_size) {
+  const int hosts = static_cast<int>(usable.size());
+  std::vector<std::vector<HostId>> subsets;
+  for (std::uint64_t mask = 1; mask < (std::uint64_t{1} << hosts); ++mask) {
+    std::vector<HostId> subset;
+    for (int h = 0; h < hosts; ++h) {
+      if ((mask >> h) & 1u) {
+        subset.push_back(usable[static_cast<std::size_t>(h)]);
+      }
+    }
+    if (static_cast<int>(subset.size()) <= max_size) {
+      subsets.push_back(std::move(subset));
+    }
+  }
+  std::sort(subsets.begin(), subsets.end(),
+            [&arch](const std::vector<HostId>& a,
+                    const std::vector<HostId>& b) {
+              if (a.size() != b.size()) return a.size() < b.size();
+              const auto rel = [&arch](const std::vector<HostId>& s) {
+                double fail = 1.0;
+                for (const HostId h : s) fail *= 1.0 - arch.host(h).reliability;
+                return 1.0 - fail;
+              };
+              return rel(a) > rel(b);
+            });
+  return subsets;
+}
+
+impl::ImplementationConfig assignment_config(
+    const spec::Specification& spec, const arch::Architecture& arch,
+    const std::vector<impl::ImplementationConfig::SensorBinding>& bindings,
+    const std::vector<std::vector<HostId>>& assignment,
+    const SynthesisOptions& options) {
+  impl::ImplementationConfig config;
+  config.name = "synthesized";
+  for (TaskId t = 0; t < static_cast<TaskId>(spec.tasks().size()); ++t) {
+    impl::ImplementationConfig::TaskMapping mapping;
+    mapping.task = spec.task(t).name;
+    for (const HostId h : assignment[static_cast<std::size_t>(t)]) {
+      mapping.hosts.push_back(arch.host(h).name);
+    }
+    if (!options.task_redundancy.empty()) {
+      const auto& redundancy =
+          options.task_redundancy[static_cast<std::size_t>(t)];
+      mapping.reexecutions = redundancy.reexecutions;
+      mapping.checkpoints = redundancy.checkpoints;
+      mapping.checkpoint_overhead = redundancy.checkpoint_overhead;
+    }
+    config.task_mappings.push_back(std::move(mapping));
+  }
+  config.sensor_bindings = bindings;
+  return config;
+}
+
+bool timing_tables_complete(const spec::Specification& spec,
+                            const arch::Architecture& arch,
+                            const std::vector<HostId>& usable) {
+  for (const spec::Task& task : spec.tasks()) {
+    for (const HostId h : usable) {
+      if (!arch.wcet(task.name, h).ok()) return false;
+      if (!arch.wctt(task.name, h).ok()) return false;
+    }
+  }
+  return true;
+}
+
+Result<SynthesisResult> fast_exhaustive(
+    const spec::Specification& spec, const arch::Architecture& arch,
+    const std::vector<impl::ImplementationConfig::SensorBinding>& bindings,
+    const std::vector<HostId>& usable, const SynthesisOptions& options) {
+  BnbSearch search(spec, arch, bindings, usable, options);
+  return search.run();
+}
+
+Result<SynthesisResult> fast_greedy(
+    const spec::Specification& spec, const arch::Architecture& arch,
+    const std::vector<impl::ImplementationConfig::SensorBinding>& bindings,
+    const std::vector<HostId>& usable, const SynthesisOptions& options) {
+  LRT_ASSIGN_OR_RETURN(
+      const impl::Implementation ceiling,
+      build_ceiling(spec, arch, bindings, usable, options));
+  LRT_ASSIGN_OR_RETURN(reliability::SrgEvaluator eval,
+                       reliability::SrgEvaluator::FromImplementation(ceiling));
+  eval.set_relaxed(options.relaxed_lrcs);
+
+  const auto num_tasks = static_cast<TaskId>(spec.tasks().size());
+  const auto num_comms = static_cast<CommId>(spec.communicators().size());
+  std::vector<std::uint8_t> relaxed(static_cast<std::size_t>(num_comms), 0);
+  for (const CommId c : options.relaxed_lrcs) {
+    relaxed[static_cast<std::size_t>(c)] = 1;
+  }
+
+  SynthesisResult result;
+
+  // Start: every task on the single most reliable usable host — the
+  // reference engine's starting point, ties to the lowest HostId.
+  HostId best_host = usable.front();
+  for (const HostId h : usable) {
+    if (arch.host(h).reliability > arch.host(best_host).reliability) {
+      best_host = h;
+    }
+  }
+  std::vector<std::vector<HostId>> assignment(
+      static_cast<std::size_t>(num_tasks), std::vector<HostId>{best_host});
+  for (TaskId t = 0; t < num_tasks; ++t) {
+    ++result.incremental_evals;
+    eval.set_task_hosts(t, assignment[static_cast<std::size_t>(t)]);
+  }
+  eval.discard_trail();  // the repair loop never backtracks
+
+  // Schedulability state: per-host task bitsets and the running bus
+  // demand, updated once per repair move.
+  const bool sched = options.require_schedulable;
+  TimingTables tables;
+  std::unique_ptr<SchedGate> gate;
+  std::vector<std::size_t> usable_index_of(arch.hosts().size(), 0);
+  std::vector<std::uint64_t> bits;
+  std::size_t words = 0;
+  Time bus = 0;
+  if (sched) {
+    LRT_ASSIGN_OR_RETURN(tables,
+                         build_timing_tables(spec, arch, usable, ceiling));
+    gate = std::make_unique<SchedGate>(static_cast<std::size_t>(num_tasks),
+                                       usable.size(), std::move(tables.jobs));
+    words = gate->words();
+    for (std::size_t u = 0; u < usable.size(); ++u) {
+      usable_index_of[static_cast<std::size_t>(usable[u])] = u;
+    }
+    bits.assign(usable.size() * words, 0);
+    for (TaskId t = 0; t < num_tasks; ++t) {
+      const auto ts = static_cast<std::size_t>(t);
+      for (const HostId h : assignment[ts]) {
+        const std::size_t u = usable_index_of[static_cast<std::size_t>(h)];
+        bits[u * words + ts / 64] |= std::uint64_t{1} << (ts % 64);
+        bus += tables.wctt[ts * usable.size() + u];
+      }
+    }
+  }
+  std::vector<std::uint64_t> key_buf;
+  std::vector<sched::JobWindow> job_buf;
+
+  // Support set of a communicator: the tasks whose reliability its SRG
+  // depends on (writer, then transitively the writers of its inputs,
+  // stopping at independent-model tasks).
+  const auto support = [&spec](CommId comm) {
+    std::vector<TaskId> tasks;
+    std::set<CommId> visited;
+    std::vector<CommId> stack = {comm};
+    while (!stack.empty()) {
+      const CommId c = stack.back();
+      stack.pop_back();
+      if (!visited.insert(c).second) continue;
+      const auto writer = spec.writer_of(c);
+      if (!writer.has_value()) continue;
+      tasks.push_back(*writer);
+      if (spec.task(*writer).model != spec::FailureModel::kIndependent) {
+        for (const CommId in : spec.input_comm_set(*writer)) {
+          stack.push_back(in);
+        }
+      }
+    }
+    return tasks;
+  };
+
+  const std::size_t max_total =
+      static_cast<std::size_t>(num_tasks) *
+      std::min<std::size_t>(usable.size(),
+                            static_cast<std::size_t>(
+                                options.max_replication_per_task));
+  while (true) {
+    ++result.full_evals;
+    bool ok = eval.all_lrcs_satisfied();
+    if (ok && sched) {
+      ok = bus <= spec.hyperperiod();
+      for (std::size_t u = 0; ok && u < usable.size(); ++u) {
+        const std::span<const std::uint64_t> taskset(bits.data() + u * words,
+                                                     words);
+        bool empty = true;
+        for (const std::uint64_t word : taskset) empty = empty && word == 0;
+        if (empty) continue;
+        ok = gate->feasible(u, taskset, result.cache_hits,
+                            result.cache_misses, key_buf, job_buf);
+      }
+    }
+    if (ok) break;
+
+    // Most-violated unrelaxed communicator; CommId order with ties to the
+    // first, exactly the reference loop's min_element over violations().
+    CommId worst = -1;
+    double worst_slack = 0.0;
+    for (CommId c = 0; c < num_comms; ++c) {
+      if (eval.satisfied(c) || relaxed[static_cast<std::size_t>(c)] != 0) {
+        continue;
+      }
+      const double s = eval.slack(c);
+      if (worst == -1 || s < worst_slack) {
+        worst = c;
+        worst_slack = s;
+      }
+    }
+    if (worst == -1) {
+      // Reliable but unschedulable: replication only adds load, so greedy
+      // cannot repair it.
+      return UnsatisfiableError(
+          "greedy synthesis: mapping is reliable but not schedulable; "
+          "no repair move available");
+    }
+
+    // Best move: add the most reliable unused host to the support task
+    // with the lowest current task reliability.
+    TaskId move_task = -1;
+    HostId move_host = -1;
+    double move_score = -1.0;
+    for (const TaskId t : support(worst)) {
+      auto& hosts = assignment[static_cast<std::size_t>(t)];
+      if (static_cast<int>(hosts.size()) >=
+          options.max_replication_per_task) {
+        continue;
+      }
+      for (const HostId h : usable) {
+        if (std::find(hosts.begin(), hosts.end(), h) != hosts.end()) continue;
+        // Marginal gain on lambda_t of adding h to t.
+        double fail = 1.0;
+        for (const HostId existing : hosts) {
+          fail *= 1.0 - arch.host(existing).reliability;
+        }
+        const double gain = fail * arch.host(h).reliability;
+        if (gain > move_score) {
+          move_score = gain;
+          move_task = t;
+          move_host = h;
+        }
+      }
+    }
+    if (move_task == -1) {
+      return UnsatisfiableError(
+          "greedy synthesis: LRC of '" + spec.communicator(worst).name +
+          "' unmet and every supporting task is fully replicated");
+    }
+    auto& hosts = assignment[static_cast<std::size_t>(move_task)];
+    hosts.push_back(move_host);
+    std::sort(hosts.begin(), hosts.end());
+    ++result.incremental_evals;
+    eval.set_task_hosts(move_task, hosts);
+    eval.discard_trail();
+    if (sched) {
+      const auto ts = static_cast<std::size_t>(move_task);
+      const std::size_t u =
+          usable_index_of[static_cast<std::size_t>(move_host)];
+      bits[u * words + ts / 64] |= std::uint64_t{1} << (ts % 64);
+      bus += tables.wctt[ts * usable.size() + u];
+    }
+
+    std::size_t total = 0;
+    for (const auto& set : assignment) total += set.size();
+    if (total > max_total) {
+      return InternalError("greedy synthesis failed to terminate");
+    }
+  }
+
+  result.config = assignment_config(spec, arch, bindings, assignment, options);
+  for (const auto& set : assignment) result.replication_count += set.size();
+  result.candidates_evaluated = result.full_evals + result.incremental_evals;
+  return result;
+}
+
+}  // namespace lrt::synth::internal

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <set>
 
 #include "reliability/analysis.h"
 #include "sched/schedulability.h"
 #include "spec/spec_graph.h"
+#include "synth/fast_engine.h"
 
 namespace lrt::synth {
 namespace {
@@ -15,8 +17,11 @@ using arch::HostId;
 using spec::CommId;
 using spec::TaskId;
 
-/// Shared search state: builds candidate Implementations and evaluates
-/// validity (reliability + optional schedulability).
+/// Reference-engine search state: builds candidate Implementations and
+/// evaluates validity (reliability + optional schedulability) from
+/// scratch per candidate. Kept verbatim as the differential oracle for
+/// the fast engine (tests assert identical mappings) and as the bench
+/// baseline the speedup numbers are measured against.
 class Evaluator {
  public:
   Evaluator(const spec::Specification& spec, const arch::Architecture& arch,
@@ -33,25 +38,8 @@ class Evaluator {
   /// Builds the ImplementationConfig for an assignment (host set per task).
   [[nodiscard]] impl::ImplementationConfig to_config(
       const std::vector<std::vector<HostId>>& assignment) const {
-    impl::ImplementationConfig config;
-    config.name = "synthesized";
-    for (TaskId t = 0; t < static_cast<TaskId>(spec_.tasks().size()); ++t) {
-      impl::ImplementationConfig::TaskMapping mapping;
-      mapping.task = spec_.task(t).name;
-      for (const HostId h : assignment[static_cast<std::size_t>(t)]) {
-        mapping.hosts.push_back(arch_.host(h).name);
-      }
-      if (!options_.task_redundancy.empty()) {
-        const auto& redundancy =
-            options_.task_redundancy[static_cast<std::size_t>(t)];
-        mapping.reexecutions = redundancy.reexecutions;
-        mapping.checkpoints = redundancy.checkpoints;
-        mapping.checkpoint_overhead = redundancy.checkpoint_overhead;
-      }
-      config.task_mappings.push_back(std::move(mapping));
-    }
-    config.sensor_bindings = bindings_;
-    return config;
+    return internal::assignment_config(spec_, arch_, bindings_, assignment,
+                                       options_);
   }
 
   /// Evaluates an assignment; true iff the mapping is valid: every
@@ -104,46 +92,13 @@ class Evaluator {
   std::int64_t candidates_ = 0;
 };
 
-/// All nonempty subsets of the usable hosts, grouped and ordered by
-/// cardinality, each cardinality class ordered by descending combined
-/// reliability.
-std::vector<std::vector<HostId>> candidate_subsets(
-    const arch::Architecture& arch, const std::vector<HostId>& usable,
-    int max_size) {
-  const int hosts = static_cast<int>(usable.size());
-  std::vector<std::vector<HostId>> subsets;
-  for (unsigned mask = 1; mask < (1u << hosts); ++mask) {
-    std::vector<HostId> subset;
-    for (int h = 0; h < hosts; ++h) {
-      if ((mask >> h) & 1u) {
-        subset.push_back(usable[static_cast<std::size_t>(h)]);
-      }
-    }
-    if (static_cast<int>(subset.size()) <= max_size) {
-      subsets.push_back(std::move(subset));
-    }
-  }
-  std::sort(subsets.begin(), subsets.end(),
-            [&arch](const std::vector<HostId>& a,
-                    const std::vector<HostId>& b) {
-              if (a.size() != b.size()) return a.size() < b.size();
-              const auto rel = [&arch](const std::vector<HostId>& s) {
-                double fail = 1.0;
-                for (const HostId h : s) fail *= 1.0 - arch.host(h).reliability;
-                return 1.0 - fail;
-              };
-              return rel(a) > rel(b);
-            });
-  return subsets;
-}
-
-Result<SynthesisResult> exhaustive(Evaluator& evaluator,
-                                   const SynthesisOptions& options) {
+Result<SynthesisResult> reference_exhaustive(Evaluator& evaluator,
+                                             const SynthesisOptions& options) {
   const auto num_tasks =
       static_cast<TaskId>(evaluator.spec().tasks().size());
-  const std::vector<std::vector<HostId>> subsets = candidate_subsets(
-      evaluator.arch(), evaluator.usable(),
-      options.max_replication_per_task);
+  const std::vector<std::vector<HostId>> subsets =
+      internal::candidate_subsets(evaluator.arch(), evaluator.usable(),
+                                  options.max_replication_per_task);
 
   std::vector<std::vector<HostId>> assignment(
       static_cast<std::size_t>(num_tasks));
@@ -183,11 +138,12 @@ Result<SynthesisResult> exhaustive(Evaluator& evaluator,
   result.config = evaluator.to_config(best);
   result.replication_count = best_cost;
   result.candidates_evaluated = evaluator.candidates();
+  result.full_evals = evaluator.candidates();
   return result;
 }
 
-Result<SynthesisResult> greedy(Evaluator& evaluator,
-                               const SynthesisOptions& options) {
+Result<SynthesisResult> reference_greedy(Evaluator& evaluator,
+                                         const SynthesisOptions& options) {
   const spec::Specification& spec = evaluator.spec();
   const arch::Architecture& arch = evaluator.arch();
   const auto num_tasks = static_cast<TaskId>(spec.tasks().size());
@@ -303,6 +259,7 @@ Result<SynthesisResult> greedy(Evaluator& evaluator,
   result.config = evaluator.to_config(assignment);
   for (const auto& set : assignment) result.replication_count += set.size();
   result.candidates_evaluated = evaluator.candidates();
+  result.full_evals = evaluator.candidates();
   return result;
 }
 
@@ -336,6 +293,14 @@ Result<SynthesisResult> synthesize(
   if (usable.empty()) {
     return InvalidArgumentError("synthesis needs at least one usable host");
   }
+  if (options.strategy == SynthesisOptions::Strategy::kExhaustive &&
+      usable.size() > static_cast<std::size_t>(kMaxExhaustiveHosts)) {
+    return InvalidArgumentError(
+        "exhaustive synthesis supports at most " +
+        std::to_string(kMaxExhaustiveHosts) + " usable hosts (got " +
+        std::to_string(usable.size()) +
+        "); use the greedy strategy for larger architectures");
+  }
   for (const CommId c : options.relaxed_lrcs) {
     if (c < 0 || c >= static_cast<CommId>(spec.communicators().size())) {
       return InvalidArgumentError("relaxed_lrcs references communicator " +
@@ -347,13 +312,34 @@ Result<SynthesisResult> synthesize(
     return InvalidArgumentError(
         "task_redundancy must be empty or give one entry per task");
   }
+
+  // The fast path precomputes its timing tables for every (task, usable
+  // host) pair; an architecture with holes in its WCET/WCTT tables falls
+  // back to the reference engine, which only touches the entries of
+  // candidates it actually evaluates.
+  const bool fast =
+      options.engine == SynthesisOptions::Engine::kFast &&
+      (!options.require_schedulable ||
+       internal::timing_tables_complete(spec, arch, usable));
+  if (fast) {
+    switch (options.strategy) {
+      case SynthesisOptions::Strategy::kExhaustive:
+        return internal::fast_exhaustive(spec, arch, sensor_bindings, usable,
+                                         options);
+      case SynthesisOptions::Strategy::kGreedy:
+        return internal::fast_greedy(spec, arch, sensor_bindings, usable,
+                                     options);
+    }
+    return InternalError("unknown synthesis strategy");
+  }
+
   Evaluator evaluator(spec, arch, std::move(sensor_bindings),
                       std::move(usable), options);
   switch (options.strategy) {
     case SynthesisOptions::Strategy::kExhaustive:
-      return exhaustive(evaluator, options);
+      return reference_exhaustive(evaluator, options);
     case SynthesisOptions::Strategy::kGreedy:
-      return greedy(evaluator, options);
+      return reference_greedy(evaluator, options);
   }
   return InternalError("unknown synthesis strategy");
 }

@@ -7,14 +7,29 @@
 // of task replications (the space-redundancy cost).
 //
 // Two strategies:
-//  * kExhaustive — branch-and-bound over per-task host subsets; returns a
-//    provably minimal-cost valid mapping or kUnsatisfiable. Exponential in
-//    |tset| * 2^|hset|; intended for small systems and as the optimality
-//    oracle for the greedy strategy's benchmark.
+//  * kExhaustive — best-first branch-and-bound over per-task host subsets;
+//    returns a provably minimal-cost valid mapping or kUnsatisfiable.
+//    Worst-case exponential in |tset| * 2^|hset|, but the fast engine
+//    prunes any subtree whose SRG ceiling (remaining tasks at full
+//    replication — admissible by the Section-3 induction's monotonicity)
+//    cannot meet an unrelaxed LRC or beat the incumbent cost, and can
+//    explore top-level subtrees in parallel. The result is deterministic
+//    for every thread count: the lexicographically-least minimal-cost
+//    mapping in candidate order, exactly what the sequential reference
+//    engine returns.
 //  * kGreedy — start every task on its most reliable feasible host, then
 //    repeatedly add the best replica to a task supporting the most-violated
 //    communicator until all LRCs hold. Fast and, on series-dominated
 //    dataflows, usually optimal (bench_synthesis quantifies the gap).
+//
+// Two engines produce those strategies:
+//  * kFast (default) — reliability::SrgEvaluator re-propagates SRGs only
+//    through the dirty downstream cone of a host-set change (no
+//    Implementation::Build, no per-candidate allocation) and the
+//    schedulability check is a memoized last gate keyed on the per-host
+//    task set.
+//  * kReference — the original build-and-analyze loop, kept as the
+//    differential oracle: same mappings, orders of magnitude slower.
 #ifndef LRT_SYNTH_SYNTHESIS_H_
 #define LRT_SYNTH_SYNTHESIS_H_
 
@@ -26,9 +41,26 @@
 
 namespace lrt::synth {
 
+/// Most usable hosts the exhaustive strategy accepts. The subset
+/// enumeration uses 64-bit masks (correct up to 63 hosts), but 2^20
+/// candidate host sets per task is already far beyond any practical
+/// branch-and-bound run, so the limit is a clean kInvalidArgument instead
+/// of an effectively-hung search. The greedy strategy has no such limit.
+inline constexpr int kMaxExhaustiveHosts = 20;
+
 struct SynthesisOptions {
   enum class Strategy { kExhaustive, kGreedy };
   Strategy strategy = Strategy::kGreedy;
+  /// Search machinery: the incremental/pruned/parallel fast path, or the
+  /// original full build-and-analyze loop (the differential oracle; see
+  /// the header comment). Both return identical mappings.
+  enum class Engine { kFast, kReference };
+  Engine engine = Engine::kFast;
+  /// Worker threads (including the caller) for the fast exhaustive
+  /// search; 0 picks std::thread::hardware_concurrency(). The synthesized
+  /// mapping is identical for every value. Ignored by the greedy strategy
+  /// and the reference engine.
+  unsigned threads = 1;
   /// Also require sched::analyze_schedulability to pass.
   bool require_schedulable = true;
   /// Upper bound on |I(t)| per task.
@@ -57,8 +89,19 @@ struct SynthesisResult {
   impl::ImplementationConfig config;
   /// Total replications of the winner.
   std::size_t replication_count = 0;
-  /// Candidate mappings evaluated (search effort).
+  /// Candidate mappings examined, fully or incrementally (search effort;
+  /// full_evals + incremental_evals for the fast engine).
   std::int64_t candidates_evaluated = 0;
+  /// Complete mappings whose final (schedulability) gate ran.
+  std::int64_t full_evals = 0;
+  /// Single-task host-set changes evaluated via SRG cone re-propagation.
+  std::int64_t incremental_evals = 0;
+  /// Subtrees discarded by the admissible SRG/cost bounds.
+  std::int64_t subtrees_pruned = 0;
+  /// Memoized schedulability gate: per-host task-set lookups served from
+  /// cache vs computed by EDF simulation.
+  std::int64_t cache_hits = 0;
+  std::int64_t cache_misses = 0;
 };
 
 /// Synthesizes a valid implementation. `sensor_bindings` fixes the sensor

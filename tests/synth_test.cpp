@@ -1,11 +1,14 @@
 // Unit tests for src/synth: greedy and exhaustive replication synthesis,
-// optimality on small systems, unsatisfiable requirements, and the paper's
-// scenario-1 replication rediscovered automatically.
+// optimality on small systems, unsatisfiable requirements, the paper's
+// scenario-1 replication rediscovered automatically, and the fast engine's
+// equivalence/determinism contract against the reference engine.
 #include <gtest/gtest.h>
 
+#include "gen/workload.h"
 #include "plant/three_tank_system.h"
 #include "reliability/analysis.h"
 #include "sched/schedulability.h"
+#include "support/rng.h"
 #include "synth/synthesis.h"
 #include "tests/test_util.h"
 
@@ -234,6 +237,155 @@ TEST(Synthesis, TaskRedundancyIsCarriedIntoTheConfig) {
   bad.task_redundancy = {{1, 0, 0}};  // wrong arity: spec has two tasks
   EXPECT_EQ(synthesize(*f.spec, *f.arch, f.bindings, bad).status().code(),
             StatusCode::kInvalidArgument);
+}
+
+bool same_config(const impl::ImplementationConfig& a,
+                 const impl::ImplementationConfig& b) {
+  if (a.task_mappings.size() != b.task_mappings.size()) return false;
+  for (std::size_t t = 0; t < a.task_mappings.size(); ++t) {
+    if (a.task_mappings[t].task != b.task_mappings[t].task) return false;
+    if (a.task_mappings[t].hosts != b.task_mappings[t].hosts) return false;
+  }
+  return true;
+}
+
+TEST(FastEngine, MatchesReferenceOnRandomWorkloads) {
+  // The fast engine must agree with the reference engine verdict-for-
+  // verdict: same mapping for exhaustive, same mapping for greedy, same
+  // error code when unsatisfiable.
+  gen::WorkloadOptions workload_options;
+  workload_options.max_layers = 2;  // keeps reference exhaustive tractable
+  workload_options.max_tasks_per_layer = 2;
+  workload_options.max_hosts = 3;
+  workload_options.min_lrc = 0.4;
+  workload_options.max_lrc = 0.95;  // tight enough to force replication
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    Xoshiro256 rng(seed);
+    const auto workload = gen::random_workload(rng, workload_options);
+    ASSERT_TRUE(workload.ok()) << workload.status();
+    std::vector<impl::ImplementationConfig::SensorBinding> bindings =
+        workload->implementation_config.sensor_bindings;
+    for (const auto s : {SynthesisOptions::Strategy::kExhaustive,
+                         SynthesisOptions::Strategy::kGreedy}) {
+      SynthesisOptions fast = strategy(s);
+      SynthesisOptions reference = strategy(s);
+      reference.engine = SynthesisOptions::Engine::kReference;
+      const auto fast_result = synthesize(*workload->specification,
+                                          *workload->architecture, bindings,
+                                          fast);
+      const auto ref_result = synthesize(*workload->specification,
+                                         *workload->architecture, bindings,
+                                         reference);
+      ASSERT_EQ(fast_result.ok(), ref_result.ok())
+          << "seed " << seed << ": fast " << fast_result.status()
+          << " vs reference " << ref_result.status();
+      if (!fast_result.ok()) {
+        EXPECT_EQ(fast_result.status().code(), ref_result.status().code())
+            << "seed " << seed;
+        continue;
+      }
+      EXPECT_EQ(fast_result->replication_count,
+                ref_result->replication_count)
+          << "seed " << seed;
+      EXPECT_TRUE(same_config(fast_result->config, ref_result->config))
+          << "seed " << seed;
+    }
+  }
+}
+
+TEST(FastEngine, ParallelExhaustiveIsDeterministic) {
+  // Same mapping and cost for every thread count, equal to the
+  // single-threaded (and reference) result.
+  Fixture f = chain_fixture(0.95, 0.985,
+                            {{"h1", 0.99}, {"h2", 0.98}, {"h3", 0.97}});
+  SynthesisOptions reference =
+      strategy(SynthesisOptions::Strategy::kExhaustive);
+  reference.engine = SynthesisOptions::Engine::kReference;
+  const auto baseline = synthesize(*f.spec, *f.arch, f.bindings, reference);
+  ASSERT_TRUE(baseline.ok()) << baseline.status();
+
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    SynthesisOptions options =
+        strategy(SynthesisOptions::Strategy::kExhaustive);
+    options.threads = threads;
+    const auto result = synthesize(*f.spec, *f.arch, f.bindings, options);
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_EQ(result->replication_count, baseline->replication_count)
+        << threads << " threads";
+    EXPECT_TRUE(same_config(result->config, baseline->config))
+        << threads << " threads";
+  }
+}
+
+TEST(FastEngine, ExhaustivePrunesMostOfTheSearchTree) {
+  // On the paper's 3TS system the branch-and-bound fast path must reach
+  // the same mapping with a fraction of the reference engine's full
+  // builds — the >= 10x bar BENCH_synthesis.json tracks.
+  plant::ThreeTankScenario scenario;
+  scenario.lrc_controls = 0.98;
+  auto system = plant::make_three_tank_system(scenario);
+  ASSERT_TRUE(system.ok());
+  const std::vector<impl::ImplementationConfig::SensorBinding> bindings = {
+      {"s1", "sensor1"}, {"s2", "sensor2"}};
+
+  SynthesisOptions fast = strategy(SynthesisOptions::Strategy::kExhaustive);
+  SynthesisOptions reference =
+      strategy(SynthesisOptions::Strategy::kExhaustive);
+  reference.engine = SynthesisOptions::Engine::kReference;
+  const auto fast_result = synthesize(*system->specification,
+                                      *system->architecture, bindings, fast);
+  const auto ref_result = synthesize(*system->specification,
+                                     *system->architecture, bindings,
+                                     reference);
+  ASSERT_TRUE(fast_result.ok()) << fast_result.status();
+  ASSERT_TRUE(ref_result.ok()) << ref_result.status();
+  EXPECT_TRUE(same_config(fast_result->config, ref_result->config));
+  EXPECT_GT(fast_result->subtrees_pruned, 0);
+  // "Full analyze-equivalent evaluations": the reference engine does one
+  // per candidate; the fast engine only gates surviving leaves.
+  EXPECT_GE(ref_result->full_evals, 10 * fast_result->full_evals);
+}
+
+TEST(FastEngine, ExhaustiveHostCountGuard) {
+  // >= 2^21 subsets per task would hang; the limit is a clean error (and
+  // the subset mask is 64-bit, so no UB on the way there). Greedy has no
+  // such limit: 40 hosts are fine.
+  std::vector<arch::Host> many_hosts;
+  for (int h = 0; h < 40; ++h) {
+    many_hosts.push_back({"h" + std::to_string(h), 0.99});
+  }
+  Fixture f = chain_fixture(0.9, 0.9, many_hosts);
+
+  SynthesisOptions exhaustive =
+      strategy(SynthesisOptions::Strategy::kExhaustive);
+  const auto rejected = synthesize(*f.spec, *f.arch, f.bindings, exhaustive);
+  EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
+
+  // Restricting to kMaxExhaustiveHosts usable hosts is accepted.
+  SynthesisOptions capped = strategy(SynthesisOptions::Strategy::kExhaustive);
+  for (arch::HostId h = 0; h < kMaxExhaustiveHosts; ++h) {
+    capped.allowed_hosts.push_back(h);
+  }
+  capped.max_replication_per_task = 1;
+  EXPECT_TRUE(synthesize(*f.spec, *f.arch, f.bindings, capped).ok());
+
+  const auto greedy_result = synthesize(
+      *f.spec, *f.arch, f.bindings,
+      strategy(SynthesisOptions::Strategy::kGreedy));
+  ASSERT_TRUE(greedy_result.ok()) << greedy_result.status();
+  EXPECT_EQ(greedy_result->replication_count, 2u);
+}
+
+TEST(FastEngine, CountersAreConsistent) {
+  Fixture f = chain_fixture(0.95, 0.985, {{"h1", 0.99}, {"h2", 0.98}});
+  for (const auto s : {SynthesisOptions::Strategy::kExhaustive,
+                       SynthesisOptions::Strategy::kGreedy}) {
+    const auto result = synthesize(*f.spec, *f.arch, f.bindings, strategy(s));
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_EQ(result->candidates_evaluated,
+              result->full_evals + result->incremental_evals);
+    EXPECT_GT(result->incremental_evals, 0);
+  }
 }
 
 }  // namespace
