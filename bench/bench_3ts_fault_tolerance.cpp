@@ -22,6 +22,7 @@
 #include "plant/three_tank_system.h"
 #include "sim/monte_carlo.h"
 #include "sim/runtime.h"
+#include "support/rng.h"
 
 namespace {
 
@@ -90,7 +91,7 @@ void print_table() {
     options.trials = 96;
     options.simulation.periods = 500;
     options.simulation.actuator_comms = {"u1", "u2"};
-    options.base_seed = 5;
+    options.seed = kDefaultRngSeed;
     sim::MonteCarloRunner runner(options);
     const auto report = runner.run(*system->implementation);
     const sim::CommAggregate* comm = report->find("u1");

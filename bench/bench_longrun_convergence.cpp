@@ -17,6 +17,7 @@
 #include "reliability/analysis.h"
 #include "sim/monte_carlo.h"
 #include "sim/runtime.h"
+#include "support/rng.h"
 
 namespace {
 
@@ -28,7 +29,7 @@ sim::MonteCarloOptions mc_options(std::int64_t trials, std::int64_t periods,
   options.trials = trials;
   options.simulation.periods = periods;
   options.simulation.actuator_comms = {"u1", "u2"};
-  options.base_seed = 6;
+  options.seed = kDefaultRngSeed;
   options.threads = threads;
   return options;
 }

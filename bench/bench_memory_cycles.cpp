@@ -14,6 +14,7 @@
 #include "reliability/analysis.h"
 #include "sim/runtime.h"
 #include "spec/specification.h"
+#include "support/rng.h"
 
 namespace {
 
@@ -85,7 +86,7 @@ void print_table() {
   for (const std::int64_t periods : {100LL, 1'000LL, 10'000LL, 100'000LL}) {
     sim::SimulationOptions options;
     options.periods = periods;
-    options.faults.seed = 7;
+    options.faults.seed = kDefaultRngSeed;
     const auto u = sim::simulate(*unsafe.impl, env, options);
     const auto s = sim::simulate(*safe.impl, env, options);
     std::printf("%-12lld %-22.6f %-22.6f\n",

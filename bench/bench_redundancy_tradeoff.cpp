@@ -16,6 +16,7 @@
 #include "sched/schedulability.h"
 #include "sim/runtime.h"
 #include "spec/specification.h"
+#include "support/rng.h"
 
 namespace {
 
@@ -83,7 +84,7 @@ void print_table() {
   sim::NullEnvironment env;
   sim::SimulationOptions options;
   options.periods = 100'000;
-  options.faults.seed = 12;
+  options.faults.seed = kDefaultRngSeed;
 
   for (const double target : {0.99, 0.999, 0.9999}) {
     const int n = static_cast<int>(

@@ -17,6 +17,7 @@
 #include "plant/three_tank_system.h"
 #include "reliability/analysis.h"
 #include "sim/monte_carlo.h"
+#include "support/rng.h"
 
 namespace {
 
@@ -35,7 +36,7 @@ double empirical_of(const impl::Implementation& impl, const char* name) {
   options.trials = 32;
   options.simulation.periods = 500;
   options.simulation.actuator_comms = {"u1", "u2"};
-  options.base_seed = 24;
+  options.seed = kDefaultRngSeed;
   sim::MonteCarloRunner runner(options);
   return runner.run(impl)->find(name)->empirical;
 }

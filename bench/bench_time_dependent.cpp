@@ -16,6 +16,7 @@
 #include "bench/bench_util.h"
 #include "reliability/analysis.h"
 #include "sim/runtime.h"
+#include "support/rng.h"
 
 namespace {
 
@@ -83,7 +84,7 @@ void print_table() {
   sim::NullEnvironment env;
   sim::SimulationOptions options;
   options.periods = 400'000;
-  options.faults.seed = 8;
+  options.faults.seed = kDefaultRngSeed;
   const std::array<impl::Implementation, 2> sim_phases = {*f.phase_a,
                                                           *f.phase_b};
   const auto sim_alt = sim::simulate_time_dependent(sim_phases, env, options);

@@ -7,10 +7,12 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
-#include <cstring>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "obs/session.h"
+#include "support/argparse.h"
 
 namespace lrt::bench {
 
@@ -20,31 +22,6 @@ inline void header(const char* experiment, const char* title) {
   std::printf("\n%s\n", kRule);
   std::printf("%s — %s\n", experiment, title);
   std::printf("%s\n", kRule);
-}
-
-/// Extracts `--flag <value>` or `--flag=<value>` from argv (removing it so
-/// google-benchmark does not reject it) and returns the value, or "" when
-/// the flag is absent.
-inline std::string extract_flag(int& argc, char** argv, const char* flag) {
-  const std::size_t flag_len = std::strlen(flag);
-  for (int i = 1; i < argc; ++i) {
-    std::string value;
-    int consumed = 0;
-    if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) {
-      value = argv[i + 1];
-      consumed = 2;
-    } else if (std::strncmp(argv[i], flag, flag_len) == 0 &&
-               argv[i][flag_len] == '=') {
-      value = argv[i] + flag_len + 1;
-      consumed = 1;
-    } else {
-      continue;
-    }
-    for (int j = i; j + consumed < argc; ++j) argv[j] = argv[j + consumed];
-    argc -= consumed;
-    return value;
-  }
-  return "";
 }
 
 /// Minimal flat JSON object writer for machine-readable bench summaries.
@@ -86,34 +63,55 @@ class JsonWriter {
   std::vector<std::pair<std::string, std::string>> fields_;
 };
 
-/// Standard main: print the table, then run benchmarks.
-#define LRT_BENCH_MAIN(print_table_fn)                       \
-  int main(int argc, char** argv) {                          \
-    print_table_fn();                                        \
-    ::benchmark::Initialize(&argc, argv);                    \
-    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) \
-      return 1;                                              \
-    ::benchmark::RunSpecifiedBenchmarks();                   \
-    ::benchmark::Shutdown();                                 \
-    return 0;                                                \
+/// Shared main body: permissively parse the uniform flags (plus an
+/// optional `--json` sink for the JSON variant), install the scoped
+/// observability session, print the table, write the JSON summary, then
+/// hand the remaining argv to google-benchmark. Returns from main.
+#define LRT_BENCH_MAIN_IMPL(print_table_fn, json_stmt)                     \
+  int main(int argc, char** argv) {                                        \
+    ::lrt::ArgParser lrt_bench_parser(                                     \
+        argv[0], "experiment table + google-benchmark kernels; "           \
+                 "unrecognized flags go to google-benchmark");             \
+    ::lrt::obs::SessionOptions lrt_bench_obs;                              \
+    ::lrt::obs::add_session_flags(lrt_bench_parser, &lrt_bench_obs);       \
+    std::string lrt_bench_json_path;                                       \
+    lrt_bench_parser.add_string("--json", &lrt_bench_json_path,            \
+                                "write a machine-readable bench summary"); \
+    if (const ::lrt::Status lrt_bench_status =                             \
+            lrt_bench_parser.parse_known(argc, argv);                      \
+        !lrt_bench_status.ok()) {                                          \
+      std::fprintf(stderr, "%s\n%s",                                       \
+                   lrt_bench_status.to_string().c_str(),                   \
+                   lrt_bench_parser.usage().c_str());                      \
+      return 2;                                                            \
+    }                                                                      \
+    if (lrt_bench_parser.help_requested()) {                               \
+      std::printf("%s", lrt_bench_parser.usage().c_str());                 \
+      return 0;                                                            \
+    }                                                                      \
+    const ::lrt::obs::ScopedSession lrt_bench_session(lrt_bench_obs);      \
+    print_table_fn();                                                      \
+    json_stmt;                                                             \
+    ::benchmark::Initialize(&argc, argv);                                  \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;    \
+    ::benchmark::RunSpecifiedBenchmarks();                                 \
+    ::benchmark::Shutdown();                                               \
+    return 0;                                                              \
   }
 
-/// Like LRT_BENCH_MAIN but first strips `--json <path>` and, when present,
+/// Standard main: print the table, then run benchmarks. Every bench
+/// accepts the uniform --trace-out/--metrics-out observability flags.
+#define LRT_BENCH_MAIN(print_table_fn) \
+  LRT_BENCH_MAIN_IMPL(print_table_fn, (void)lrt_bench_json_path)
+
+/// Like LRT_BENCH_MAIN but also accepts `--json <path>` and, when present,
 /// calls `json_fn(path)` — which writes the machine-readable summary — in
 /// addition to the human-readable table.
-#define LRT_BENCH_MAIN_JSON(print_table_fn, json_fn)         \
-  int main(int argc, char** argv) {                          \
-    const std::string json_path =                            \
-        ::lrt::bench::extract_flag(argc, argv, "--json");    \
-    print_table_fn();                                        \
-    if (!json_path.empty() && !json_fn(json_path)) return 1; \
-    ::benchmark::Initialize(&argc, argv);                    \
-    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) \
-      return 1;                                              \
-    ::benchmark::RunSpecifiedBenchmarks();                   \
-    ::benchmark::Shutdown();                                 \
-    return 0;                                                \
-  }
+#define LRT_BENCH_MAIN_JSON(print_table_fn, json_fn)           \
+  LRT_BENCH_MAIN_IMPL(                                         \
+      print_table_fn,                                          \
+      if (!lrt_bench_json_path.empty() &&                      \
+          !json_fn(lrt_bench_json_path)) return 1)
 
 }  // namespace lrt::bench
 

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Schema gate for the obs-smoke CI job.
+
+Validates the two artifacts an enabled observability session writes:
+
+  check_obs_artifacts.py trace.json metrics.json
+
+* trace.json   must be Chrome trace_event JSON (Perfetto-loadable): a
+               top-level object with a nonempty "traceEvents" array whose
+               events carry ph/ts/name/cat (and dur >= 0 for "X" spans).
+* metrics.json must be a metrics snapshot ({"counters", "gauges",
+               "histograms"} objects) whose counters prove all four
+               instrumented layers actually ran: nonzero synth.prunes,
+               sim.trials, and adapt.repairs_installed.
+
+Exits nonzero with a message on the first violation.
+"""
+
+import json
+import sys
+
+REQUIRED_NONZERO_COUNTERS = (
+    "synth.prunes",
+    "sim.trials",
+    "adapt.repairs_installed",
+)
+
+
+def fail(message: str) -> None:
+    print(f"check_obs_artifacts: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_trace(path: str) -> None:
+    with open(path, encoding="utf-8") as handle:
+        trace = json.load(handle)
+    if not isinstance(trace, dict):
+        fail(f"{path}: top level must be an object, got {type(trace).__name__}")
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        fail(f"{path}: missing 'traceEvents' array")
+    if not events:
+        fail(f"{path}: 'traceEvents' is empty — nothing was traced")
+    phases = {}
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            fail(f"{path}: traceEvents[{i}] is not an object")
+        for key in ("ph", "ts", "name", "cat", "pid", "tid"):
+            if key not in event:
+                fail(f"{path}: traceEvents[{i}] missing '{key}'")
+        phase = event["ph"]
+        if phase not in ("X", "i"):
+            fail(f"{path}: traceEvents[{i}] has unexpected phase {phase!r}")
+        if not isinstance(event["ts"], (int, float)) or event["ts"] < 0:
+            fail(f"{path}: traceEvents[{i}] has bad ts {event['ts']!r}")
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                fail(f"{path}: traceEvents[{i}] span has bad dur {dur!r}")
+        phases[phase] = phases.get(phase, 0) + 1
+    print(f"check_obs_artifacts: {path}: {len(events)} events "
+          f"({phases.get('X', 0)} spans, {phases.get('i', 0)} instants)")
+
+
+def check_metrics(path: str) -> None:
+    with open(path, encoding="utf-8") as handle:
+        metrics = json.load(handle)
+    if not isinstance(metrics, dict):
+        fail(f"{path}: top level must be an object")
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(metrics.get(section), dict):
+            fail(f"{path}: missing '{section}' object")
+    counters = metrics["counters"]
+    for name, value in counters.items():
+        if not isinstance(value, (int, float)):
+            fail(f"{path}: counter {name!r} is not numeric: {value!r}")
+    for name in REQUIRED_NONZERO_COUNTERS:
+        if counters.get(name, 0) <= 0:
+            fail(f"{path}: counter {name!r} is {counters.get(name, 0)!r} — "
+                 "the instrumented layer did not run (or was not flushed)")
+    for name, hist in metrics["histograms"].items():
+        if not isinstance(hist, dict):
+            fail(f"{path}: histogram {name!r} is not an object")
+        edges = hist.get("upper_edges")
+        buckets = hist.get("buckets")
+        if not isinstance(edges, list) or not isinstance(buckets, list):
+            fail(f"{path}: histogram {name!r} missing edges/buckets")
+        if len(buckets) != len(edges) + 1:
+            fail(f"{path}: histogram {name!r} has {len(buckets)} buckets "
+                 f"for {len(edges)} edges (want edges+1)")
+    interesting = {name: counters[name]
+                   for name in sorted(counters)
+                   if name in REQUIRED_NONZERO_COUNTERS
+                   or name in ("trace.dropped", "adapt.suspicions",
+                               "synth.runs", "sim.runs")}
+    print(f"check_obs_artifacts: {path}: {len(counters)} counters, "
+          f"key values {interesting}")
+
+
+def main() -> None:
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    check_trace(sys.argv[1])
+    check_metrics(sys.argv[2])
+    print("check_obs_artifacts: PASS")
+
+
+if __name__ == "__main__":
+    main()

@@ -10,8 +10,10 @@
 #include "ecode/program.h"
 #include "htl/compiler.h"
 #include "htl/mode_runtime.h"
+#include "obs/session.h"
 #include "reliability/analysis.h"
 #include "sched/schedulability.h"
+#include "support/argparse.h"
 
 using namespace lrt;
 
@@ -60,7 +62,24 @@ program cruise {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ArgParser parser("htl_pipeline",
+                   "HTL -> analysis -> E-code -> E-machine pipeline demo");
+  obs::SessionOptions obs_options;
+  obs::add_session_flags(parser, &obs_options);
+  const Status status = parser.parse(argc, argv);
+  if (parser.help_requested()) {
+    std::printf("%s", parser.usage().c_str());
+    return 0;
+  }
+  if (!status.ok() || !parser.positionals().empty()) {
+    if (!status.ok())
+      std::fprintf(stderr, "htl_pipeline: %s\n", status.to_string().c_str());
+    std::fprintf(stderr, "%s", parser.usage().c_str());
+    return 2;
+  }
+  const obs::ScopedSession session(obs_options);
+
   // Bind executable behaviour to the declared tasks.
   htl::FunctionRegistry registry;
   registry["read_speed"] = [](std::span<const spec::Value> in) {

@@ -18,7 +18,6 @@
 //
 // Example:  ./build/examples/lrt_lint --format sarif examples/htl/*.htl
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -26,60 +25,64 @@
 
 #include "lint/lint.h"
 #include "lint/sarif.h"
+#include "obs/session.h"
+#include "support/argparse.h"
 
 using namespace lrt;
 
-namespace {
-
-int usage() {
-  std::fprintf(stderr,
-               "usage: lrt_lint [--format text|json|sarif] [--output FILE] "
-               "[--rule RULE=SEV]... [--mode MODULE=MODE]... <file.htl>...\n");
-  return 2;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  const char* format = "text";
-  const char* output_path = nullptr;
-  lint::LintOptions options;
-  std::vector<const char*> paths;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--format") == 0 && i + 1 < argc) {
-      format = argv[++i];
-    } else if (std::strcmp(argv[i], "--output") == 0 && i + 1 < argc) {
-      output_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--rule") == 0 && i + 1 < argc) {
-      options.rule_flags.emplace_back(argv[++i]);
-    } else if (std::strcmp(argv[i], "--mode") == 0 && i + 1 < argc) {
-      const std::string pin = argv[++i];
-      const std::size_t eq = pin.find('=');
-      if (eq == std::string::npos || eq == 0 || eq + 1 == pin.size()) {
-        return usage();
-      }
-      options.selection.mode_by_module[pin.substr(0, eq)] =
-          pin.substr(eq + 1);
-    } else if (argv[i][0] == '-') {
-      return usage();
-    } else {
-      paths.push_back(argv[i]);
-    }
+  ArgParser parser("lrt_lint", "lrt-lint static analyzer front-end");
+  parser.set_positional_usage("<file.htl>...");
+  std::string format = "text";
+  std::string output_path;
+  std::vector<std::string> rule_flags;
+  std::vector<std::string> mode_pins;
+  parser.add_string("--format", &format, "text, json, or sarif");
+  parser.add_string("--output", &output_path,
+                    "write the rendered diagnostics to FILE");
+  parser.add_repeated("--rule", &rule_flags,
+                      "RULE=SEV severity override (id or name; off, note, "
+                      "warning, error)");
+  parser.add_repeated("--mode", &mode_pins,
+                      "MODULE=MODE pin for the flattened mode selection");
+  obs::SessionOptions obs_options;
+  obs::add_session_flags(parser, &obs_options);
+  const Status status = parser.parse(argc, argv);
+  if (parser.help_requested()) {
+    std::printf("%s", parser.usage().c_str());
+    return 0;
   }
-  if (paths.empty()) return usage();
-  const bool want_text = std::strcmp(format, "text") == 0;
-  const bool want_json = std::strcmp(format, "json") == 0;
-  const bool want_sarif = std::strcmp(format, "sarif") == 0;
-  if (!want_text && !want_json && !want_sarif) return usage();
+  lint::LintOptions options;
+  options.rule_flags = rule_flags;
+  bool bad_usage = !status.ok() || parser.positionals().empty();
+  if (!status.ok())
+    std::fprintf(stderr, "lrt_lint: %s\n", status.to_string().c_str());
+  for (const std::string& pin : mode_pins) {
+    const std::size_t eq = pin.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == pin.size()) {
+      bad_usage = true;
+      break;
+    }
+    options.selection.mode_by_module[pin.substr(0, eq)] = pin.substr(eq + 1);
+  }
+  const bool want_text = format == "text";
+  const bool want_json = format == "json";
+  const bool want_sarif = format == "sarif";
+  if (bad_usage || (!want_text && !want_json && !want_sarif)) {
+    std::fprintf(stderr, "%s", parser.usage().c_str());
+    return 2;
+  }
+  const std::vector<std::string>& paths = parser.positionals();
+  const obs::ScopedSession session(obs_options);
 
   bool read_failure = false;
   int errors = 0;
   int warnings = 0;
   std::vector<lint::Diagnostic> diagnostics;
-  for (const char* path : paths) {
+  for (const std::string& path : paths) {
     std::ifstream file(path);
     if (!file) {
-      std::fprintf(stderr, "lrt_lint: cannot open '%s'\n", path);
+      std::fprintf(stderr, "lrt_lint: cannot open '%s'\n", path.c_str());
       read_failure = true;
       continue;
     }
@@ -108,10 +111,11 @@ int main(int argc, char** argv) {
   } else {
     rendered = lint::render_text(diagnostics);
   }
-  if (output_path != nullptr) {
+  if (!output_path.empty()) {
     std::ofstream out(output_path);
     if (!out) {
-      std::fprintf(stderr, "lrt_lint: cannot write '%s'\n", output_path);
+      std::fprintf(stderr, "lrt_lint: cannot write '%s'\n",
+                   output_path.c_str());
       return 1;
     }
     out << rendered;

@@ -12,7 +12,6 @@
 //
 // Example:  ./build/examples/lrtc examples/htl/cruise.htl --timeline --ecode
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -20,6 +19,7 @@
 #include "ecode/emachine.h"
 #include "ecode/program.h"
 #include "htl/compiler.h"
+#include "obs/session.h"
 #include "refine/refinement.h"
 #include "reliability/analysis.h"
 #include "reliability/fault_patterns.h"
@@ -27,53 +27,53 @@
 #include "sched/schedulability.h"
 #include "sched/timeline.h"
 #include "sim/runtime.h"
+#include "support/argparse.h"
 
 using namespace lrt;
 
-namespace {
-
-int usage() {
-  std::fprintf(stderr,
-               "usage: lrtc <file.htl> [--ecode] [--timeline] "
-               "[--simulate N] [--rbd COMM] [--patterns K] [--json]\n");
-  return 2;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  if (argc < 2) return usage();
-  const char* path = argv[1];
+  ArgParser parser("lrtc", "HTL compiler & analyzer");
+  parser.set_positional_usage("<file.htl>");
   bool want_ecode = false;
   bool want_timeline = false;
   bool want_json = false;
-  long simulate_periods = 0;
-  int pattern_bound = 0;
-  const char* rbd_comm = nullptr;
-  const char* parent_path = nullptr;
-  for (int i = 2; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--ecode") == 0) {
-      want_ecode = true;
-    } else if (std::strcmp(argv[i], "--timeline") == 0) {
-      want_timeline = true;
-    } else if (std::strcmp(argv[i], "--simulate") == 0 && i + 1 < argc) {
-      simulate_periods = std::atol(argv[++i]);
-    } else if (std::strcmp(argv[i], "--rbd") == 0 && i + 1 < argc) {
-      rbd_comm = argv[++i];
-    } else if (std::strcmp(argv[i], "--patterns") == 0 && i + 1 < argc) {
-      pattern_bound = std::atoi(argv[++i]);
-    } else if (std::strcmp(argv[i], "--json") == 0) {
-      want_json = true;
-    } else if (std::strcmp(argv[i], "--refines") == 0 && i + 1 < argc) {
-      parent_path = argv[++i];
-    } else {
-      return usage();
-    }
+  std::int64_t simulate_periods = 0;
+  std::int64_t pattern_bound = 0;
+  std::string rbd_comm;
+  std::string parent_path;
+  parser.add_flag("--ecode", &want_ecode,
+                  "disassemble the generated per-host E-code");
+  parser.add_flag("--timeline", &want_timeline,
+                  "render the synthesized schedule");
+  parser.add_flag("--json", &want_json,
+                  "machine-readable combined analysis document");
+  parser.add_int("--simulate", &simulate_periods,
+                 "simulate N specification periods with fault injection");
+  parser.add_int("--patterns", &pattern_bound,
+                 "failure-pattern analysis up to K simultaneous failures");
+  parser.add_string("--rbd", &rbd_comm,
+                    "reliability block diagram of a communicator");
+  parser.add_string("--refines", &parent_path,
+                    "check refinement against a parent program");
+  obs::SessionOptions obs_options;
+  obs::add_session_flags(parser, &obs_options);
+  const Status status = parser.parse(argc, argv);
+  if (parser.help_requested()) {
+    std::printf("%s", parser.usage().c_str());
+    return 0;
   }
+  if (!status.ok() || parser.positionals().size() != 1) {
+    if (!status.ok())
+      std::fprintf(stderr, "lrtc: %s\n", status.to_string().c_str());
+    std::fprintf(stderr, "%s", parser.usage().c_str());
+    return 2;
+  }
+  const std::string& path = parser.positionals().front();
+  const obs::ScopedSession session(obs_options);
 
   std::ifstream file(path);
   if (!file) {
-    std::fprintf(stderr, "lrtc: cannot open '%s'\n", path);
+    std::fprintf(stderr, "lrtc: cannot open '%s'\n", path.c_str());
     return 1;
   }
   std::ostringstream buffer;
@@ -151,23 +151,26 @@ int main(int argc, char** argv) {
       }
     }
   }
-  if (rbd_comm != nullptr) {
+  if (!rbd_comm.empty()) {
     const auto comm = system->specification->find_communicator(rbd_comm);
     if (!comm.has_value()) {
-      std::fprintf(stderr, "lrtc: unknown communicator '%s'\n", rbd_comm);
+      std::fprintf(stderr, "lrtc: unknown communicator '%s'\n",
+                   rbd_comm.c_str());
       return 1;
     }
     const auto diagram = reliability::build_srg_rbd(impl, *comm);
     if (diagram.ok()) {
-      std::printf("\nRBD(%s) = %s\n     reliability = %.8f\n", rbd_comm,
+      std::printf("\nRBD(%s) = %s\n     reliability = %.8f\n",
+                  rbd_comm.c_str(),
                   diagram->rbd.to_string(diagram->root).c_str(),
                   diagram->rbd.reliability(diagram->root));
     }
   }
-  if (parent_path != nullptr) {
+  if (!parent_path.empty()) {
     std::ifstream parent_file(parent_path);
     if (!parent_file) {
-      std::fprintf(stderr, "lrtc: cannot open '%s'\n", parent_path);
+      std::fprintf(stderr, "lrtc: cannot open '%s'\n",
+                   parent_path.c_str());
       return 1;
     }
     std::ostringstream parent_buffer;
@@ -198,8 +201,8 @@ int main(int argc, char** argv) {
     }
   }
   if (pattern_bound > 0) {
-    const auto patterns =
-        reliability::analyze_fault_patterns(impl, pattern_bound);
+    const auto patterns = reliability::analyze_fault_patterns(
+        impl, static_cast<int>(pattern_bound));
     if (patterns.ok()) {
       std::printf("\n%s",
                   patterns->summary(*system->architecture).c_str());
@@ -214,8 +217,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "lrtc: %s\n", result.status().to_string().c_str());
       return 1;
     }
-    std::printf("\nE-machine, %ld periods with fault injection:\n",
-                simulate_periods);
+    std::printf("\nE-machine, %lld periods with fault injection:\n",
+                static_cast<long long>(simulate_periods));
     for (const auto& stats : result->comm_stats) {
       std::printf("  %-12s empirical limavg = %.6f  (updates: %lld/%lld)\n",
                   stats.name.c_str(), stats.limit_average,

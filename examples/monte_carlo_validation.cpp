@@ -14,19 +14,40 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <string>
 
+#include "obs/session.h"
 #include "plant/three_tank_system.h"
 #include "reliability/analysis.h"
 #include "sim/monte_carlo.h"
+#include "support/argparse.h"
 
 using namespace lrt;
 
 int main(int argc, char** argv) {
+  ArgParser parser("monte_carlo_validation",
+                   "Monte Carlo cross-check of Proposition 1 on the 3TS");
+  parser.set_positional_usage("[trials] [periods] [threads] [report.json]");
+  obs::SessionOptions obs_options;
+  obs::add_session_flags(parser, &obs_options);
+  if (const Status status = parser.parse(argc, argv); !status.ok()) {
+    std::fprintf(stderr, "%s\n%s", status.to_string().c_str(),
+                 parser.usage().c_str());
+    return 2;
+  }
+  if (parser.help_requested()) {
+    std::printf("%s", parser.usage().c_str());
+    return 0;
+  }
+  const auto& args = parser.positionals();
+  const obs::ScopedSession session(obs_options);
+
   sim::MonteCarloOptions options;
-  options.trials = argc > 1 ? std::atoll(argv[1]) : 200;
-  options.simulation.periods = argc > 2 ? std::atoll(argv[2]) : 1000;
+  options.trials = args.size() > 0 ? std::atoll(args[0].c_str()) : 200;
+  options.simulation.periods =
+      args.size() > 1 ? std::atoll(args[1].c_str()) : 1000;
   options.threads =
-      argc > 3 ? static_cast<unsigned>(std::atoi(argv[3])) : 0;
+      args.size() > 2 ? static_cast<unsigned>(std::atoi(args[2].c_str())) : 0;
   options.simulation.actuator_comms = {"u1", "u2"};
 
   auto system = plant::make_three_tank_system({});
@@ -53,14 +74,15 @@ int main(int argc, char** argv) {
   }
   std::printf("%s", report->summary().c_str());
 
-  if (argc > 4) {
-    std::ofstream out(argv[4]);
+  if (args.size() > 3) {
+    const std::string& report_path = args[3];
+    std::ofstream out(report_path);
     if (!out) {
-      std::printf("cannot write %s\n", argv[4]);
+      std::printf("cannot write %s\n", report_path.c_str());
       return 1;
     }
     out << sim::to_json(*report) << "\n";
-    std::printf("report written to %s\n", argv[4]);
+    std::printf("report written to %s\n", report_path.c_str());
   }
 
   // Convergence gate: the paper's control communicators must land inside

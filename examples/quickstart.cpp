@@ -1,21 +1,37 @@
 // Quickstart: declare a small real-time task set with logical reliability
 // constraints, map it onto a two-host architecture, and run the joint
-// schedulability/reliability analysis plus a fault-injecting simulation.
+// schedulability/reliability analysis plus a fault-injecting simulation —
+// all through the unified lrt:: facade (lrt/lrt.h).
 //
 //   sensor --> s --[filter]--> level --[control]--> command
 //
 // Build & run:  ./build/examples/quickstart
+//               [--trace-out trace.json] [--metrics-out metrics.json]
 #include <cstdio>
 
-#include "impl/implementation.h"
-#include "reliability/analysis.h"
+#include "lrt/lrt.h"
+#include "obs/session.h"
 #include "sched/schedulability.h"
-#include "sim/runtime.h"
+#include "support/argparse.h"
 
 using namespace lrt;
 
-int main() {
-  // --- 1. Specification: communicators (with LRCs) and tasks ------------
+int main(int argc, char** argv) {
+  ArgParser parser("quickstart", "facade walkthrough of the full pipeline");
+  obs::SessionOptions obs_options;
+  obs::add_session_flags(parser, &obs_options);
+  if (const Status status = parser.parse(argc, argv); !status.ok()) {
+    std::fprintf(stderr, "%s\n%s", status.to_string().c_str(),
+                 parser.usage().c_str());
+    return 2;
+  }
+  if (parser.help_requested()) {
+    std::printf("%s", parser.usage().c_str());
+    return 0;
+  }
+  const obs::ScopedSession session(obs_options);
+
+  // --- 1. Workload: communicators (with LRCs), tasks, and the hosts -----
   spec::SpecificationConfig spec_config;
   spec_config.name = "quickstart";
   spec_config.communicators = {
@@ -46,49 +62,46 @@ int main() {
     };
     spec_config.tasks.push_back(std::move(control));
   }
-  auto spec = spec::Specification::Build(std::move(spec_config));
-  if (!spec.ok()) {
-    std::printf("spec error: %s\n", spec.status().to_string().c_str());
-    return 1;
-  }
-  std::printf("specification '%s': %zu tasks, hyperperiod %lld ticks\n",
-              spec->name().c_str(), spec->tasks().size(),
-              static_cast<long long>(spec->hyperperiod()));
-
-  // --- 2. Architecture: hosts/sensors with singular reliabilities -------
   arch::ArchitectureConfig arch_config;
   arch_config.hosts = {{"h1", 0.99}, {"h2", 0.97}};
   arch_config.sensors = {{"gauge", 0.98}};
   arch_config.default_wcet = 4;
   arch_config.default_wctt = 1;
-  auto arch = arch::Architecture::Build(std::move(arch_config));
+  const auto workload =
+      build_workload(std::move(spec_config), std::move(arch_config));
+  if (!workload.ok()) {
+    std::printf("workload error: %s\n",
+                workload.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("specification '%s': %zu tasks, hyperperiod %lld ticks\n",
+              workload->spec->name().c_str(), workload->spec->tasks().size(),
+              static_cast<long long>(workload->spec->hyperperiod()));
 
-  // --- 3. Implementation: the replication mapping -----------------------
+  // --- 2. Implementation: the replication mapping -----------------------
   impl::ImplementationConfig impl_config;
   impl_config.task_mappings = {{"filter", {"h1"}},
                                {"control", {"h1", "h2"}}};  // replicated!
   impl_config.sensor_bindings = {{"s", "gauge"}};
-  auto impl = impl::Implementation::Build(*spec, *arch,
-                                          std::move(impl_config));
+  const auto impl = build_implementation(*workload, std::move(impl_config));
   if (!impl.ok()) {
     std::printf("impl error: %s\n", impl.status().to_string().c_str());
     return 1;
   }
 
-  // --- 4. Joint analysis -------------------------------------------------
-  const auto reliability = reliability::analyze(*impl);
+  // --- 3. Joint analysis -------------------------------------------------
+  const auto reliability = analyze(*workload, *impl);
   const auto schedulability = sched::analyze_schedulability(*impl);
   std::printf("\n== reliability analysis (Prop. 1) ==\n%s",
               reliability->summary().c_str());
   std::printf("\n== schedulability analysis ==\n%s",
               schedulability->summary().c_str());
 
-  // --- 5. Validate empirically with the fault-injecting runtime ---------
-  sim::NullEnvironment env;
-  sim::SimulationOptions options;
-  options.periods = 100'000;
-  options.faults.seed = 2008;
-  const auto result = sim::simulate(*impl, env, options);
+  // --- 4. Validate empirically with the fault-injecting runtime ---------
+  SimulateOptions options;
+  options.simulation.periods = 100'000;
+  options.simulation.faults.seed = 2008;
+  const auto result = simulate(*workload, *impl, options);
   std::printf("\n== simulation (%lld periods) ==\n",
               static_cast<long long>(result->periods));
   for (const auto& stats : result->comm_stats) {

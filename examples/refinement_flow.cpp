@@ -8,9 +8,11 @@
 #include <cstdio>
 #include <memory>
 
+#include "obs/session.h"
 #include "refine/refinement.h"
 #include "reliability/analysis.h"
 #include "sched/schedulability.h"
+#include "support/argparse.h"
 
 using namespace lrt;
 
@@ -79,7 +81,25 @@ void report_validity(const char* label, const impl::Implementation& impl) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ArgParser parser("refinement_flow",
+                   "design-by-refinement walkthrough (paper Section 3)");
+  obs::SessionOptions obs_options;
+  obs::add_session_flags(parser, &obs_options);
+  const Status status = parser.parse(argc, argv);
+  if (parser.help_requested()) {
+    std::printf("%s", parser.usage().c_str());
+    return 0;
+  }
+  if (!status.ok() || !parser.positionals().empty()) {
+    if (!status.ok())
+      std::fprintf(stderr, "refinement_flow: %s\n",
+                   status.to_string().c_str());
+    std::fprintf(stderr, "%s", parser.usage().c_str());
+    return 2;
+  }
+  const obs::ScopedSession session(obs_options);
+
   std::printf("=== incremental design by refinement ===\n\n");
 
   // Step 0: the abstract design. Filter reads late (time 0), control has

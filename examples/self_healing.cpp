@@ -20,16 +20,19 @@
 //
 // Build & run:
 //   ./build/examples/self_healing [trials] [periods] [report.json]
+//     [--trace-out trace.json] [--metrics-out metrics.json]
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 
 #include "adapt/recovery_validation.h"
 #include "adapt/self_healing.h"
+#include "obs/session.h"
 #include "plant/three_tank_system.h"
 #include "reliability/analysis.h"
 #include "sim/environment.h"
 #include "sim/monte_carlo.h"
+#include "support/argparse.h"
 
 using namespace lrt;
 
@@ -55,9 +58,34 @@ sim::FaultPlan unplug_h1(std::int64_t periods) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::int64_t trials = argc > 1 ? std::atoll(argv[1]) : 100;
-  const std::int64_t periods = argc > 2 ? std::atoll(argv[2]) : 400;
+  ArgParser parser("self_healing",
+                   "adaptive-recovery validation of the 3TS case study");
+  parser.set_positional_usage("[trials] [periods] [report.json]");
+  obs::SessionOptions obs_options;
+  obs::add_session_flags(parser, &obs_options);
+  if (const Status status = parser.parse(argc, argv); !status.ok()) {
+    std::fprintf(stderr, "%s\n%s", status.to_string().c_str(),
+                 parser.usage().c_str());
+    return 2;
+  }
+  if (parser.help_requested()) {
+    std::printf("%s", parser.usage().c_str());
+    return 0;
+  }
+  const auto& args = parser.positionals();
+  const std::int64_t trials =
+      args.size() > 0 ? std::atoll(args[0].c_str()) : 100;
+  const std::int64_t periods =
+      args.size() > 1 ? std::atoll(args[1].c_str()) : 400;
+  const std::string report_path = args.size() > 2 ? args[2] : "";
+  const obs::ScopedSession session(obs_options);
   bool ok = true;
+
+  // The exhaustive strategy exercises the instrumented branch-and-bound
+  // fast engine (prunes, incumbent updates) on every planned repair; the
+  // planned mappings still pass all four gates below.
+  adapt::SelfHealingOptions healing;
+  healing.repair.strategy = synth::SynthesisOptions::Strategy::kExhaustive;
 
   // --- part 1: single-run story --------------------------------------
   auto system = plant::make_three_tank_system(scenario_with(3));
@@ -66,7 +94,7 @@ int main(int argc, char** argv) {
                 system.status().to_string().c_str());
     return 1;
   }
-  adapt::SelfHealingController controller(*system->implementation);
+  adapt::SelfHealingController controller(*system->implementation, healing);
   sim::SimulationOptions run;
   run.faults = unplug_h1(periods);
   run.periods = periods;
@@ -128,6 +156,7 @@ int main(int argc, char** argv) {
 
   adapt::RecoveryValidationOptions validation;
   validation.monte_carlo = mc;
+  validation.controller = healing;
   const adapt::RecoveryValidator validator(validation);
   const auto recovery = validator.run(*system->implementation);
   if (!recovery.ok()) {
@@ -140,14 +169,14 @@ int main(int argc, char** argv) {
        recovery->repaired_trials == trials &&
        recovery->shed_communicators.empty();
 
-  if (argc > 3) {
-    std::ofstream out(argv[3]);
+  if (!report_path.empty()) {
+    std::ofstream out(report_path);
     if (!out) {
-      std::printf("cannot write %s\n", argv[3]);
+      std::printf("cannot write %s\n", report_path.c_str());
       return 1;
     }
     out << adapt::to_json(*recovery) << "\n";
-    std::printf("report written to %s\n", argv[3]);
+    std::printf("report written to %s\n", report_path.c_str());
   }
 
   // --- part 3: capacity-starved degradation ---------------------------
@@ -188,6 +217,7 @@ int main(int argc, char** argv) {
   nominal.simulation.faults.host_events.clear();
   adapt::RecoveryValidationOptions guard;
   guard.monte_carlo = nominal;
+  guard.controller = healing;
   const adapt::RecoveryValidator guard_validator(guard);
   const auto guarded = guard_validator.run(*system->implementation);
   if (!guarded.ok()) {

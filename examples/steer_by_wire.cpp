@@ -18,11 +18,13 @@
 #include <memory>
 
 #include "ecode/emachine.h"
+#include "obs/session.h"
 #include "reliability/analysis.h"
 #include "reliability/fault_patterns.h"
 #include "sched/schedulability.h"
 #include "sched/timeline.h"
 #include "sim/runtime.h"
+#include "support/argparse.h"
 #include "synth/synthesis.h"
 
 using namespace lrt;
@@ -116,7 +118,24 @@ Result<synth::SynthesisResult> try_lrc(double lrc) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ArgParser parser("steer_by_wire",
+                   "negotiate the strongest feasible rack_cmd LRC");
+  obs::SessionOptions obs_options;
+  obs::add_session_flags(parser, &obs_options);
+  const Status status = parser.parse(argc, argv);
+  if (parser.help_requested()) {
+    std::printf("%s", parser.usage().c_str());
+    return 0;
+  }
+  if (!status.ok() || !parser.positionals().empty()) {
+    if (!status.ok())
+      std::fprintf(stderr, "steer_by_wire: %s\n", status.to_string().c_str());
+    std::fprintf(stderr, "%s", parser.usage().c_str());
+    return 2;
+  }
+  const obs::ScopedSession session(obs_options);
+
   std::printf("=== steer-by-wire: negotiating the strongest feasible LRC "
               "===\n\n");
   std::printf("%-12s %-12s %-10s\n", "LRC(rack)", "feasible?", "replicas");

@@ -6,13 +6,33 @@
 // Build & run:  ./build/examples/synthesis_explorer
 #include <cstdio>
 
+#include "obs/session.h"
 #include "plant/three_tank_system.h"
 #include "reliability/analysis.h"
+#include "support/argparse.h"
 #include "synth/synthesis.h"
 
 using namespace lrt;
 
-int main() {
+int main(int argc, char** argv) {
+  ArgParser parser("synthesis_explorer",
+                   "LRC sweep of the replication-mapping synthesizer");
+  obs::SessionOptions obs_options;
+  obs::add_session_flags(parser, &obs_options);
+  const Status status = parser.parse(argc, argv);
+  if (parser.help_requested()) {
+    std::printf("%s", parser.usage().c_str());
+    return 0;
+  }
+  if (!status.ok() || !parser.positionals().empty()) {
+    if (!status.ok())
+      std::fprintf(stderr, "synthesis_explorer: %s\n",
+                   status.to_string().c_str());
+    std::fprintf(stderr, "%s", parser.usage().c_str());
+    return 2;
+  }
+  const obs::ScopedSession session(obs_options);
+
   std::printf("=== replication synthesis on the 3TS task set ===\n\n");
   std::printf("%-8s %-14s %-12s %-10s %-30s\n", "LRC", "strategy",
               "replicas", "explored", "verdict / achieved lambda_u1");

@@ -1,4 +1,4 @@
-// The paper's Section-4 case study, end to end:
+// The paper's Section-4 case study, end to end (through the lrt:: facade):
 //  1. analyze the baseline 3TS implementation (t1->h1, t2->h2, rest->h3)
 //     and reproduce the published SRGs;
 //  2. show that an LRC of 0.98 on u1/u2 is infeasible for the baseline and
@@ -8,16 +8,23 @@
 //     hosts and verify the control performance does not change.
 //
 // Build & run:  ./build/examples/three_tank_system
+//               [--trace-out trace.json] [--metrics-out metrics.json]
 #include <cstdio>
 
+#include "lrt/lrt.h"
+#include "obs/session.h"
 #include "plant/three_tank_system.h"
-#include "reliability/analysis.h"
 #include "sched/schedulability.h"
-#include "sim/runtime.h"
+#include "support/argparse.h"
 
 using namespace lrt;
 
 namespace {
+
+/// The plant owns its models; the facade borrows them (no-op deleters).
+Workload workload_of(const plant::ThreeTankSystem& system) {
+  return borrow_workload(*system.specification, *system.architecture);
+}
 
 void print_srgs(const char* label, const impl::Implementation& impl) {
   const auto srgs = reliability::compute_srgs(impl);
@@ -31,7 +38,7 @@ void print_srgs(const char* label, const impl::Implementation& impl) {
   }
 }
 
-plant::ControlMetrics run_closed_loop(const impl::Implementation& impl,
+plant::ControlMetrics run_closed_loop(const plant::ThreeTankSystem& system,
                                       bool unplug_host) {
   plant::ThreeTankEnvironment env({}, 0.40, 0.30, 1e-3,
                                   /*warmup_seconds=*/300.0);
@@ -39,16 +46,18 @@ plant::ControlMetrics run_closed_loop(const impl::Implementation& impl,
   // evacuation tap opens, so holding the last pump command is no longer
   // enough — only a live controller keeps the level.
   env.add_perturbation_event(700.0, 1, 1.0);
-  sim::SimulationOptions options;
-  options.periods = 2400;  // 20 minutes of plant time at 0.5 s per period
-  options.actuator_comms = {"u1", "u2"};
-  options.faults.inject_invocation_faults = false;
-  options.faults.inject_sensor_faults = false;
+  SimulateOptions options;
+  options.environment = &env;
+  options.simulation.periods = 2400;  // 20 min of plant time, 0.5 s/period
+  options.simulation.actuator_comms = {"u1", "u2"};
+  options.simulation.faults.inject_invocation_faults = false;
+  options.simulation.faults.inject_sensor_faults = false;
   if (unplug_host) {
     // Unplug h1 at t = 600 s, well after the warmup.
-    options.faults.host_events = {{600'000, 0, false}};
+    options.simulation.faults.host_events = {{600'000, 0, false}};
   }
-  const auto result = sim::simulate(impl, env, options);
+  const auto result =
+      simulate(workload_of(system), *system.implementation, options);
   if (!result.ok()) {
     std::printf("simulation error: %s\n", result.status().to_string().c_str());
     return {};
@@ -58,7 +67,22 @@ plant::ControlMetrics run_closed_loop(const impl::Implementation& impl,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ArgParser parser("three_tank_system",
+                   "the paper's Section-4 case study, end to end");
+  obs::SessionOptions obs_options;
+  obs::add_session_flags(parser, &obs_options);
+  if (const Status status = parser.parse(argc, argv); !status.ok()) {
+    std::fprintf(stderr, "%s\n%s", status.to_string().c_str(),
+                 parser.usage().c_str());
+    return 2;
+  }
+  if (parser.help_requested()) {
+    std::printf("%s", parser.usage().c_str());
+    return 0;
+  }
+  const obs::ScopedSession session(obs_options);
+
   std::printf("=== 3TS reliability analysis (paper Section 4) ===\n\n");
 
   plant::ThreeTankScenario baseline;  // hrel = srel = 0.99
@@ -70,7 +94,8 @@ int main() {
     plant::ThreeTankScenario scenario;
     scenario.lrc_controls = lrc;
     auto system = plant::make_three_tank_system(scenario);
-    const auto report = reliability::analyze(*system->implementation);
+    const auto report =
+        analyze(workload_of(*system), *system->implementation);
     std::printf("baseline with LRC(u1,u2) = %.2f: %s\n", lrc,
                 report->reliable ? "RELIABLE" : "NOT RELIABLE");
   }
@@ -82,7 +107,7 @@ int main() {
   auto sys1 = plant::make_three_tank_system(scenario1);
   print_srgs("scenario 1:", *sys1->implementation);
   std::printf("  LRC 0.98: %s\n",
-              reliability::analyze(*sys1->implementation)->reliable
+              analyze(workload_of(*sys1), *sys1->implementation)->reliable
                   ? "RELIABLE"
                   : "NOT RELIABLE");
 
@@ -93,7 +118,7 @@ int main() {
   auto sys2 = plant::make_three_tank_system(scenario2);
   print_srgs("scenario 2:", *sys2->implementation);
   std::printf("  LRC 0.98: %s\n",
-              reliability::analyze(*sys2->implementation)->reliable
+              analyze(workload_of(*sys2), *sys2->implementation)->reliable
                   ? "RELIABLE"
                   : "NOT RELIABLE");
 
@@ -104,9 +129,9 @@ int main() {
   std::printf("\n=== fault-tolerance experiment (paper: 'unplugging one of "
               "the two hosts ... has no effect') ===\n\n");
   const plant::ControlMetrics nominal =
-      run_closed_loop(*sys1->implementation, /*unplug_host=*/false);
+      run_closed_loop(*sys1, /*unplug_host=*/false);
   const plant::ControlMetrics unplugged =
-      run_closed_loop(*sys1->implementation, /*unplug_host=*/true);
+      run_closed_loop(*sys1, /*unplug_host=*/true);
   std::printf("RMS tracking error, tank1:  nominal %.5f m  | h1 unplugged "
               "%.5f m\n",
               nominal.rms_error1, unplugged.rms_error1);
@@ -116,7 +141,7 @@ int main() {
 
   // Contrast: unplug the host in the UNreplicated baseline.
   const plant::ControlMetrics broken =
-      run_closed_loop(*base->implementation, /*unplug_host=*/true);
+      run_closed_loop(*base, /*unplug_host=*/true);
   std::printf("\nwithout replication (baseline), unplugging h1 degrades "
               "tank1 control:\n  RMS error %.5f m (vs %.5f m nominal)\n",
               broken.rms_error1, nominal.rms_error1);

@@ -171,6 +171,14 @@ Result<RecoveryReport> RecoveryValidator::run(
     }
   }
   report.recovery_validated = all_ok;
+  // The trial controllers already pooled their "adapt.*" counters into
+  // this sink; the validator adds only its own reduction's verdicts.
+  if (const obs::Sink* sink = obs::resolve_sink(options_.controller.sink)) {
+    sink->counter_add("adapt.recovery_runs");
+    if (report.recovery_validated) {
+      sink->counter_add("adapt.repairs_validated", report.repaired_trials);
+    }
+  }
   return report;
 }
 

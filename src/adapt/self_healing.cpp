@@ -1,5 +1,6 @@
 #include "adapt/self_healing.h"
 
+#include <string>
 #include <utility>
 
 namespace lrt::adapt {
@@ -8,6 +9,7 @@ SelfHealingController::SelfHealingController(
     const impl::Implementation& initial, SelfHealingOptions options)
     : initial_(&initial),
       options_(options),
+      sink_(obs::resolve_sink(options.sink)),
       detector_(initial.architecture().hosts().size(),
                 initial.architecture().sensors().size(), options.detector),
       lrc_(initial.specification(), options.lrc),
@@ -29,7 +31,23 @@ void SelfHealingController::on_sensor_update(spec::Time now,
 
 void SelfHealingController::on_update(spec::Time now, spec::CommId comm,
                                       bool reliable, int /*contributors*/) {
-  lrc_.record_update(now, comm, reliable);
+  if (sink_ != nullptr) {
+    // state() is pure, so the before/after compare changes no behavior.
+    const LrcState before = lrc_.state(comm);
+    lrc_.record_update(now, comm, reliable);
+    const LrcState after = lrc_.state(comm);
+    if (after != before) {
+      sink_->counter_add("adapt.lrc_transitions");
+      sink_->counter_add("adapt.lrc_transitions." +
+                         std::string(to_string(after)));
+      sink_->instant("adapt", "lrc",
+                     {{"comm", static_cast<double>(comm)},
+                      {"t", static_cast<double>(now)},
+                      {"state", static_cast<double>(after)}});
+    }
+  } else {
+    lrc_.record_update(now, comm, reliable);
+  }
   // Strictly after the commit boundary: updates at the boundary tick were
   // produced by replications still running under the old mapping.
   if (!repairs_.empty() && now > repairs_.back().committed_at) {
@@ -52,13 +70,21 @@ const impl::Implementation* SelfHealingController::on_period_boundary(
   // doomed a failed attempt would not change on retry.
   for (const arch::HostId h : dead) {
     repair_attempted_[static_cast<std::size_t>(h)] = true;
+    if (sink_ != nullptr) {
+      sink_->counter_add("adapt.suspicions");
+      sink_->instant("adapt", "suspect",
+                     {{"host", static_cast<double>(h)},
+                      {"t", static_cast<double>(now)}});
+    }
   }
 
   // Route around everything currently suspected, not only the new hosts.
+  if (sink_ != nullptr) sink_->counter_add("adapt.repairs_planned");
   auto planned =
       plan_repair(active(), detector_.suspected_hosts(), options_.repair);
   if (!planned.ok()) {
     last_error_ = planned.status();
+    if (sink_ != nullptr) sink_->counter_add("adapt.repair_failures");
     return nullptr;
   }
   auto built = impl::Implementation::Build(initial_->specification(),
@@ -66,6 +92,7 @@ const impl::Implementation* SelfHealingController::on_period_boundary(
                                            planned->config);
   if (!built.ok()) {
     last_error_ = built.status();
+    if (sink_ != nullptr) sink_->counter_add("adapt.repair_failures");
     return nullptr;
   }
 
@@ -77,6 +104,16 @@ const impl::Implementation* SelfHealingController::on_period_boundary(
   record.plan = *std::move(planned);
   repairs_.push_back(std::move(record));
   post_repair_.assign(post_repair_.size(), {});
+  if (sink_ != nullptr) {
+    sink_->counter_add("adapt.repairs_installed");
+    sink_->instant(
+        "adapt", "repair",
+        {{"t", static_cast<double>(now)},
+         {"dead_hosts", static_cast<double>(repairs_.back().dead_hosts.size())},
+         {"shed",
+          static_cast<double>(
+              repairs_.back().plan.shed_communicators.size())}});
+  }
   return owned_.back().get();
 }
 

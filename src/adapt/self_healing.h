@@ -27,6 +27,7 @@
 #include "adapt/lrc_monitor.h"
 #include "adapt/repair_planner.h"
 #include "impl/implementation.h"
+#include "obs/sink.h"
 #include "sim/runtime.h"
 #include "support/status.h"
 
@@ -38,6 +39,12 @@ struct SelfHealingOptions {
   RepairPolicy repair;
   /// False = observe only (detector + LRC monitor, never remap).
   bool enable_repair = true;
+  /// Observability sink: "adapt.*" counters (suspicions, repairs
+  /// planned/installed/failed, LRC state transitions) plus "adapt"
+  /// instants. Null falls back to the process-global sink; counter adds
+  /// commute, so totals pooled across parallel trial controllers are
+  /// deterministic for every thread count.
+  obs::Sink* sink = nullptr;
 };
 
 /// One committed repair.
@@ -92,6 +99,7 @@ class SelfHealingController final : public sim::RuntimeMonitor {
  private:
   const impl::Implementation* initial_;
   SelfHealingOptions options_;
+  const obs::Sink* sink_;
   FailureDetector detector_;
   LrcMonitor lrc_;
   std::vector<RepairRecord> repairs_;

@@ -105,6 +105,20 @@ void report_frontend_failure(const Status& status, const std::string& file,
               strip_location_prefix(status.message()));
 }
 
+/// Flushes the per-run "lint.*" counters and hands `result` back
+/// unchanged; every public entry point counts exactly once.
+Result<LintResult> with_counters(const obs::Sink* sink,
+                                 Result<LintResult> result) {
+  if (sink != nullptr && result.ok()) {
+    sink->counter_add("lint.runs");
+    sink->counter_add("lint.diagnostics",
+                      static_cast<std::int64_t>(result->diagnostics.size()));
+    sink->counter_add("lint.errors", result->errors());
+    sink->counter_add("lint.warnings", result->warnings());
+  }
+  return result;
+}
+
 }  // namespace
 
 int LintResult::count(Severity severity) const {
@@ -119,6 +133,8 @@ Result<LintResult> run(const htl::ProgramAst& program,
                        const spec::Specification* spec,
                        const arch::Architecture* arch,
                        const LintOptions& options) {
+  const obs::Sink* sink = obs::resolve_sink(options.sink);
+  const obs::SpanGuard span(sink, "lint", "run");
   DiagnosticEngine engine;
   LRT_RETURN_IF_ERROR(configure_engine(engine, options));
   const SourceLocation origin{options.file, 0, 0};
@@ -129,11 +145,16 @@ Result<LintResult> run(const htl::ProgramAst& program,
       check_lrc_feasibility(program, *spec, *arch, origin, engine);
     }
   }
-  return finish(engine, spec != nullptr, spec != nullptr && arch != nullptr);
+  return with_counters(
+      sink, finish(engine, spec != nullptr, spec != nullptr && arch != nullptr));
 }
 
-Result<LintResult> lint_program(const htl::ProgramAst& program,
-                                const LintOptions& options) {
+namespace {
+
+/// The flatten-and-lint pipeline; lint_program() wraps it with
+/// observability.
+Result<LintResult> lint_program_impl(const htl::ProgramAst& program,
+                                     const LintOptions& options) {
   DiagnosticEngine engine;
   LRT_RETURN_IF_ERROR(configure_engine(engine, options));
   const SourceLocation origin{options.file, 0, 0};
@@ -166,17 +187,29 @@ Result<LintResult> lint_program(const htl::ProgramAst& program,
   return finish(engine, /*flattened=*/true, /*arch_checked=*/true);
 }
 
+}  // namespace
+
+Result<LintResult> lint_program(const htl::ProgramAst& program,
+                                const LintOptions& options) {
+  const obs::Sink* sink = obs::resolve_sink(options.sink);
+  const obs::SpanGuard span(sink, "lint", "run");
+  return with_counters(sink, lint_program_impl(program, options));
+}
+
 Result<LintResult> lint_source(std::string_view source,
                                const LintOptions& options) {
   auto program = htl::parse(source);
   if (!program.ok()) {
+    const obs::Sink* sink = obs::resolve_sink(options.sink);
+    const obs::SpanGuard span(sink, "lint", "run");
     DiagnosticEngine engine;
     LRT_RETURN_IF_ERROR(configure_engine(engine, options));
     report_rule(
         engine, kRuleCompileError,
         locate_frontend_error(program.status().message(), options.file),
         strip_location_prefix(program.status().message()));
-    return finish(engine, /*flattened=*/false, /*arch_checked=*/false);
+    return with_counters(
+        sink, finish(engine, /*flattened=*/false, /*arch_checked=*/false));
   }
   return lint_program(*program, options);
 }

@@ -25,6 +25,7 @@
 #include "htl/compiler.h"
 #include "lint/diagnostic.h"
 #include "lint/rules.h"
+#include "obs/sink.h"
 #include "spec/specification.h"
 
 namespace lrt::lint {
@@ -37,6 +38,9 @@ struct LintOptions {
   htl::ModeSelection selection;
   /// Per-rule "<id-or-name>=<off|note|warning|error>" overrides.
   std::vector<std::string> rule_flags;
+  /// Observability sink: per-run "lint.*" counters and a "lint.run" span.
+  /// Null falls back to the process-global sink (null = disabled).
+  obs::Sink* sink = nullptr;
 };
 
 struct LintResult {

@@ -1,0 +1,106 @@
+#include "lrt/lrt.h"
+
+#include <utility>
+
+namespace lrt {
+namespace {
+
+/// The facade's one piece of added logic: the subject must have been
+/// built against this workload's models, or every downstream reference
+/// the Implementation holds is dangling-in-waiting.
+Status check_membership(const Workload& workload,
+                        const impl::Implementation& implementation) {
+  if (workload.spec == nullptr || workload.arch == nullptr) {
+    return InvalidArgumentError(
+        "workload is empty: build_workload/borrow_workload it first");
+  }
+  if (&implementation.specification() != workload.spec.get() ||
+      &implementation.architecture() != workload.arch.get()) {
+    return InvalidArgumentError(
+        "implementation was not built against this workload's "
+        "specification/architecture");
+  }
+  return Status::Ok();
+}
+
+Status check_models(const Workload& workload) {
+  if (workload.spec == nullptr || workload.arch == nullptr) {
+    return InvalidArgumentError(
+        "workload is empty: build_workload/borrow_workload it first");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<Workload> build_workload(spec::SpecificationConfig spec_config,
+                                arch::ArchitectureConfig arch_config) {
+  LRT_ASSIGN_OR_RETURN(spec::Specification spec,
+                       spec::Specification::Build(std::move(spec_config)));
+  LRT_ASSIGN_OR_RETURN(arch::Architecture arch,
+                       arch::Architecture::Build(std::move(arch_config)));
+  Workload workload;
+  workload.spec =
+      std::make_shared<const spec::Specification>(std::move(spec));
+  workload.arch = std::make_shared<const arch::Architecture>(std::move(arch));
+  return workload;
+}
+
+Workload borrow_workload(const spec::Specification& spec,
+                         const arch::Architecture& arch) {
+  Workload workload;
+  workload.spec = std::shared_ptr<const spec::Specification>(
+      &spec, [](const spec::Specification*) {});
+  workload.arch = std::shared_ptr<const arch::Architecture>(
+      &arch, [](const arch::Architecture*) {});
+  return workload;
+}
+
+Result<impl::Implementation> build_implementation(
+    const Workload& workload, impl::ImplementationConfig config) {
+  LRT_RETURN_IF_ERROR(check_models(workload));
+  return impl::Implementation::Build(*workload.spec, *workload.arch,
+                                     std::move(config));
+}
+
+Result<reliability::ReliabilityReport> analyze(
+    const Workload& workload, const impl::Implementation& implementation) {
+  LRT_RETURN_IF_ERROR(check_membership(workload, implementation));
+  return reliability::analyze(implementation);
+}
+
+Result<sim::SimulationResult> simulate(
+    const Workload& workload, const impl::Implementation& implementation,
+    const SimulateOptions& options) {
+  LRT_RETURN_IF_ERROR(check_membership(workload, implementation));
+  if (options.environment != nullptr) {
+    return sim::simulate(implementation, *options.environment,
+                         options.simulation);
+  }
+  sim::NullEnvironment env;
+  return sim::simulate(implementation, env, options.simulation);
+}
+
+Result<sim::ValidationReport> validate(
+    const Workload& workload, const impl::Implementation& implementation,
+    const sim::MonteCarloOptions& options) {
+  LRT_RETURN_IF_ERROR(check_membership(workload, implementation));
+  const sim::MonteCarloRunner runner(options);
+  return runner.run(implementation);
+}
+
+Result<synth::SynthesisResult> synthesize(
+    const Workload& workload,
+    std::vector<impl::ImplementationConfig::SensorBinding> sensor_bindings,
+    const synth::SynthesisOptions& options) {
+  LRT_RETURN_IF_ERROR(check_models(workload));
+  return synth::synthesize(*workload.spec, *workload.arch,
+                           std::move(sensor_bindings), options);
+}
+
+Result<lint::LintResult> check(std::string_view source,
+                               const lint::LintOptions& options) {
+  return lint::lint_source(source, options);
+}
+
+}  // namespace lrt

@@ -1,0 +1,113 @@
+// The unified facade: one header, one vocabulary, for the whole pipeline.
+//
+// Four PRs of growth left the library with per-subsystem entry points
+// (`Specification::Build`, `Architecture::Build`, `Implementation::Build`,
+// `reliability::analyze`, `sim::simulate`, `sim::MonteCarloRunner`,
+// `synth::synthesize`, `lint::lint_source`) that every example re-wired by
+// hand. This header consolidates them behind a single shape:
+//
+//   * a `Workload` — the problem instance (specification + architecture) —
+//     is built once and passed FIRST to every call;
+//   * every verb is a thin `Result<T>` wrapper taking
+//     `(workload, subject, options)` in that order;
+//   * every options struct already shares `seed` / `threads` /
+//     `obs::Sink* sink` semantics, so observability plugs in uniformly.
+//
+// The wrappers add no logic beyond a membership check (the subject must
+// have been built against the workload's models — catching the
+// dangling-reference bug class at the API boundary instead of in a
+// crash); their results are bit-identical to the direct calls, which
+// remain fully supported internals for callers that need the extra
+// degrees of freedom (time-dependent phase lists, custom monitor
+// factories, pre-parsed HTL programs).
+//
+// The one deliberate deviation: `lrt::lint` takes HTL *source*, not a
+// workload — linting runs before a workload can exist, on programs that
+// may not even flatten.
+#ifndef LRT_LRT_LRT_H_
+#define LRT_LRT_LRT_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "arch/architecture.h"
+#include "impl/implementation.h"
+#include "lint/lint.h"
+#include "reliability/analysis.h"
+#include "sim/monte_carlo.h"
+#include "sim/runtime.h"
+#include "spec/specification.h"
+#include "support/status.h"
+#include "synth/synthesis.h"
+
+namespace lrt {
+
+/// The problem instance: a validated specification plus the architecture
+/// it runs on. Shared ownership keeps the models alive for as long as any
+/// Implementation built from them — the facade's answer to the "spec must
+/// outlive impl" lifetime rule the direct Build calls leave to the caller.
+struct Workload {
+  std::shared_ptr<const spec::Specification> spec;
+  std::shared_ptr<const arch::Architecture> arch;
+};
+
+/// Validates both configs and assembles a Workload (owning).
+[[nodiscard]] Result<Workload> build_workload(
+    spec::SpecificationConfig spec_config,
+    arch::ArchitectureConfig arch_config);
+
+/// Wraps already-built models WITHOUT taking ownership (no-op deleters):
+/// for models owned elsewhere, e.g. plant::ThreeTankSystem's. The caller
+/// keeps them alive for the Workload's lifetime.
+[[nodiscard]] Workload borrow_workload(const spec::Specification& spec,
+                                       const arch::Architecture& arch);
+
+/// Builds a replication mapping against the workload's models. The
+/// returned Implementation references the workload's spec/arch — keep the
+/// Workload (or a copy of its shared_ptrs) alive alongside it.
+[[nodiscard]] Result<impl::Implementation> build_implementation(
+    const Workload& workload, impl::ImplementationConfig config);
+
+/// Joint reliability analysis (paper Prop. 1): bit-identical to
+/// reliability::analyze(implementation).
+[[nodiscard]] Result<reliability::ReliabilityReport> analyze(
+    const Workload& workload, const impl::Implementation& implementation);
+
+struct SimulateOptions {
+  sim::SimulationOptions simulation;
+  /// Plant model driving sensor values; null = a fault-free
+  /// sim::NullEnvironment owned by the call.
+  sim::Environment* environment = nullptr;
+};
+
+/// One fault-injecting simulation run: bit-identical to
+/// sim::simulate(implementation, env, options.simulation).
+[[nodiscard]] Result<sim::SimulationResult> simulate(
+    const Workload& workload, const impl::Implementation& implementation,
+    const SimulateOptions& options = {});
+
+/// A Monte Carlo campaign over the implementation: bit-identical to
+/// sim::MonteCarloRunner(options).run(implementation).
+[[nodiscard]] Result<sim::ValidationReport> validate(
+    const Workload& workload, const impl::Implementation& implementation,
+    const sim::MonteCarloOptions& options = {});
+
+/// Replication-mapping synthesis: bit-identical to
+/// synth::synthesize(*workload.spec, *workload.arch, bindings, options).
+[[nodiscard]] Result<synth::SynthesisResult> synthesize(
+    const Workload& workload,
+    std::vector<impl::ImplementationConfig::SensorBinding> sensor_bindings,
+    const synth::SynthesisOptions& options = {});
+
+/// Static analysis of HTL source: bit-identical to
+/// lint::lint_source(source, options). Deviates from the
+/// (workload, subject, options) shape on purpose — linting runs before a
+/// workload can exist — and from the `lint` verb because that name is the
+/// subsystem's namespace (`lrt::lint::`).
+[[nodiscard]] Result<lint::LintResult> check(
+    std::string_view source, const lint::LintOptions& options = {});
+
+}  // namespace lrt
+
+#endif  // LRT_LRT_LRT_H_

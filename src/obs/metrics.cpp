@@ -1,0 +1,226 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+#include "support/json.h"
+
+namespace lrt::obs {
+namespace {
+
+std::uint64_t next_registry_id() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+const std::vector<double>& MetricsRegistry::default_bucket_edges() {
+  static const std::vector<double> kEdges = {1e-3, 1e-2, 1e-1, 1.0,
+                                             1e1,  1e2,  1e3,  1e4};
+  return kEdges;
+}
+
+MetricsRegistry::MetricsRegistry() : id_(next_registry_id()) {}
+
+MetricsRegistry::Shard& MetricsRegistry::local_shard() {
+  thread_local std::unordered_map<std::uint64_t, Shard*> cache;
+  const auto it = cache.find(id_);
+  if (it != cache.end()) return *it->second;
+  const std::lock_guard<std::mutex> lock(shards_mutex_);
+  shards_.push_back(std::make_unique<Shard>());
+  Shard* shard = shards_.back().get();
+  cache.emplace(id_, shard);
+  return *shard;
+}
+
+void MetricsRegistry::counter_add(std::string_view name,
+                                  std::int64_t delta) {
+  Shard& shard = local_shard();
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.counters.find(name);
+  if (it != shard.counters.end()) {
+    it->second += delta;
+  } else {
+    shard.counters.emplace(std::string(name), delta);
+  }
+}
+
+void MetricsRegistry::gauge_set(std::string_view name, double value) {
+  const std::uint64_t version =
+      gauge_clock_.fetch_add(1, std::memory_order_relaxed) + 1;
+  Shard& shard = local_shard();
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.gauges.find(name);
+  GaugeCell& cell = it != shard.gauges.end()
+                        ? it->second
+                        : shard.gauges.emplace(std::string(name), GaugeCell{})
+                              .first->second;
+  cell.value = value;
+  cell.version = version;
+}
+
+std::vector<double> MetricsRegistry::edges_for(
+    std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(config_mutex_);
+  const auto it = bucket_config_.find(name);
+  return it != bucket_config_.end() ? it->second : default_bucket_edges();
+}
+
+void MetricsRegistry::set_histogram_buckets(
+    std::string_view name, std::vector<double> upper_edges) {
+  std::sort(upper_edges.begin(), upper_edges.end());
+  const std::lock_guard<std::mutex> lock(config_mutex_);
+  bucket_config_.insert_or_assign(std::string(name),
+                                  std::move(upper_edges));
+}
+
+void MetricsRegistry::histogram_record(std::string_view name,
+                                       double value) {
+  Shard& shard = local_shard();
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.histograms.find(name);
+  if (it == shard.histograms.end()) {
+    HistogramCell fresh;
+    fresh.upper_edges = edges_for(name);
+    fresh.buckets.assign(fresh.upper_edges.size() + 1, 0);
+    it = shard.histograms.emplace(std::string(name), std::move(fresh))
+             .first;
+  }
+  HistogramCell* cell = &it->second;
+  const auto bucket = static_cast<std::size_t>(
+      std::lower_bound(cell->upper_edges.begin(), cell->upper_edges.end(),
+                       value) -
+      cell->upper_edges.begin());
+  ++cell->buckets[bucket];
+  if (cell->count == 0) {
+    cell->min = value;
+    cell->max = value;
+  } else {
+    cell->min = std::min(cell->min, value);
+    cell->max = std::max(cell->max, value);
+  }
+  ++cell->count;
+  cell->sum += value;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::vector<Shard*> shards;
+  {
+    const std::lock_guard<std::mutex> lock(shards_mutex_);
+    shards.reserve(shards_.size());
+    for (const auto& shard : shards_) shards.push_back(shard.get());
+  }
+
+  std::map<std::string, std::int64_t> counters;
+  std::map<std::string, GaugeCell> gauges;
+  std::map<std::string, HistogramCell> histograms;
+  for (Shard* shard : shards) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    for (const auto& [name, value] : shard->counters)
+      counters[name] += value;
+    for (const auto& [name, cell] : shard->gauges) {
+      GaugeCell& merged = gauges[name];
+      if (cell.version >= merged.version) merged = cell;
+    }
+    for (const auto& [name, cell] : shard->histograms) {
+      const auto it = histograms.find(name);
+      if (it == histograms.end()) {
+        histograms.emplace(name, cell);
+        continue;
+      }
+      HistogramCell& merged = it->second;
+      if (merged.upper_edges != cell.upper_edges) continue;  // see header
+      for (std::size_t i = 0; i < merged.buckets.size(); ++i)
+        merged.buckets[i] += cell.buckets[i];
+      if (cell.count > 0) {
+        merged.min = merged.count > 0 ? std::min(merged.min, cell.min)
+                                      : cell.min;
+        merged.max = merged.count > 0 ? std::max(merged.max, cell.max)
+                                      : cell.max;
+        merged.count += cell.count;
+        merged.sum += cell.sum;
+      }
+    }
+  }
+
+  MetricsSnapshot out;
+  out.counters.assign(counters.begin(), counters.end());
+  out.gauges.reserve(gauges.size());
+  for (const auto& [name, cell] : gauges)
+    out.gauges.emplace_back(name, cell.value);
+  out.histograms.reserve(histograms.size());
+  for (const auto& [name, cell] : histograms) {
+    HistogramSnapshot hist;
+    hist.name = name;
+    hist.upper_edges = cell.upper_edges;
+    hist.buckets = cell.buckets;
+    hist.count = cell.count;
+    hist.sum = cell.sum;
+    hist.min = cell.min;
+    hist.max = cell.max;
+    out.histograms.push_back(std::move(hist));
+  }
+  return out;
+}
+
+std::int64_t MetricsSnapshot::counter(std::string_view name) const {
+  for (const auto& [key, value] : counters)
+    if (key == name) return value;
+  return 0;
+}
+
+const HistogramSnapshot* MetricsSnapshot::histogram(
+    std::string_view name) const {
+  for (const auto& hist : histograms)
+    if (hist.name == name) return &hist;
+  return nullptr;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  JsonWriter json;
+  json.begin_object();
+  json.key("counters");
+  json.begin_object();
+  for (const auto& [name, value] : counters) {
+    json.key(name);
+    json.value(value);
+  }
+  json.end_object();
+  json.key("gauges");
+  json.begin_object();
+  for (const auto& [name, value] : gauges) {
+    json.key(name);
+    json.value(value);
+  }
+  json.end_object();
+  json.key("histograms");
+  json.begin_object();
+  for (const auto& hist : histograms) {
+    json.key(hist.name);
+    json.begin_object();
+    json.key("upper_edges");
+    json.begin_array();
+    for (const double edge : hist.upper_edges) json.value(edge);
+    json.end_array();
+    json.key("buckets");
+    json.begin_array();
+    for (const std::int64_t bucket : hist.buckets) json.value(bucket);
+    json.end_array();
+    json.key("count");
+    json.value(hist.count);
+    json.key("sum");
+    json.value(hist.sum);
+    json.key("min");
+    json.value(hist.min);
+    json.key("max");
+    json.value(hist.max);
+    json.end_object();
+  }
+  json.end_object();
+  json.end_object();
+  return std::move(json).str();
+}
+
+}  // namespace lrt::obs

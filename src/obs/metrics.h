@@ -1,0 +1,112 @@
+// Lock-cheap metrics registry: named counters, gauges, and fixed-bucket
+// histograms. Writers append into per-thread shards (one uncontended
+// mutex per shard, found through a thread-local cache), so hot-path
+// updates never contend with each other; snapshot() merges every shard
+// under the registry lock and emits a deterministically ordered view —
+// the same program run with 1 or N threads produces the same counters,
+// histograms, and (for single-writer gauges) gauges.
+#ifndef LRT_OBS_METRICS_H_
+#define LRT_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace lrt::obs {
+
+/// Merged view of one histogram. Bucket i counts samples with
+/// `value <= upper_edges[i]` (and greater than the previous edge); the
+/// final bucket counts overflow samples above the last edge, so
+/// `buckets.size() == upper_edges.size() + 1`.
+struct HistogramSnapshot {
+  std::string name;
+  std::vector<double> upper_edges;
+  std::vector<std::int64_t> buckets;
+  std::int64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// A merged, immutable view of the registry. Entries are sorted by name
+/// so the serialization is stable across thread counts and runs.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::int64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  /// Counter value, or 0 when the counter was never touched.
+  [[nodiscard]] std::int64_t counter(std::string_view name) const;
+  /// Histogram by name, or nullptr when absent.
+  [[nodiscard]] const HistogramSnapshot* histogram(
+      std::string_view name) const;
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...}}.
+  [[nodiscard]] std::string to_json() const;
+};
+
+class MetricsRegistry {
+ public:
+  /// Decade edges 1e-3 .. 1e4 — a broad default for millisecond timings.
+  static const std::vector<double>& default_bucket_edges();
+
+  MetricsRegistry();
+  ~MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  void counter_add(std::string_view name, std::int64_t delta = 1);
+  void gauge_set(std::string_view name, double value);
+  void histogram_record(std::string_view name, double value);
+
+  /// Installs ascending upper edges for `name`. Must be called before the
+  /// first record of that histogram; later records bucket against these
+  /// edges, earlier shard cells keep the edges they were created with.
+  void set_histogram_buckets(std::string_view name,
+                             std::vector<double> upper_edges);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+ private:
+  struct GaugeCell {
+    double value = 0.0;
+    /// Registry-global stamp; the merge keeps the latest write.
+    std::uint64_t version = 0;
+  };
+  struct HistogramCell {
+    std::vector<double> upper_edges;
+    std::vector<std::int64_t> buckets;  // upper_edges.size() + 1 cells
+    std::int64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::map<std::string, std::int64_t, std::less<>> counters;
+    std::map<std::string, GaugeCell, std::less<>> gauges;
+    std::map<std::string, HistogramCell, std::less<>> histograms;
+  };
+
+  /// This thread's shard, created (under the registry lock) on first use.
+  Shard& local_shard();
+  [[nodiscard]] std::vector<double> edges_for(std::string_view name) const;
+
+  /// Process-unique id keying the thread-local shard cache; never reused,
+  /// so a recycled registry address cannot alias a stale cache entry.
+  const std::uint64_t id_;
+  mutable std::mutex shards_mutex_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  mutable std::mutex config_mutex_;
+  std::map<std::string, std::vector<double>, std::less<>> bucket_config_;
+  std::atomic<std::uint64_t> gauge_clock_{0};
+};
+
+}  // namespace lrt::obs
+
+#endif  // LRT_OBS_METRICS_H_

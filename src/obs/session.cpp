@@ -1,0 +1,59 @@
+#include "obs/session.h"
+
+#include <cstdio>
+#include <fstream>
+#include <utility>
+
+namespace lrt::obs {
+namespace {
+
+Status write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) return InternalError("cannot open " + path);
+  out << content;
+  out.close();
+  if (!out) return InternalError("cannot write " + path);
+  return Status::Ok();
+}
+
+}  // namespace
+
+ScopedSession::ScopedSession(SessionOptions options)
+    : options_(std::move(options)) {
+  if (options_.trace_out.empty() && options_.metrics_out.empty()) return;
+  metrics_ = std::make_unique<MetricsRegistry>();
+  if (!options_.trace_out.empty()) {
+    tracer_ = std::make_unique<Tracer>(options_.trace_capacity);
+    tracer_->set_drop_counter(metrics_.get());
+  }
+  sink_ = Sink(metrics_.get(), tracer_.get());
+  previous_ = set_global_sink(&sink_);
+  installed_ = true;
+}
+
+ScopedSession::~ScopedSession() {
+  if (!installed_) return;
+  set_global_sink(previous_);
+  const Status status = flush();
+  if (!status.ok())
+    std::fprintf(stderr, "obs: %s\n", status.to_string().c_str());
+}
+
+Status ScopedSession::flush() {
+  if (!options_.trace_out.empty() && tracer_ != nullptr)
+    LRT_RETURN_IF_ERROR(
+        write_file(options_.trace_out, tracer_->to_chrome_json()));
+  if (!options_.metrics_out.empty() && metrics_ != nullptr)
+    LRT_RETURN_IF_ERROR(
+        write_file(options_.metrics_out, metrics_->snapshot().to_json()));
+  return Status::Ok();
+}
+
+void add_session_flags(ArgParser& parser, SessionOptions* options) {
+  parser.add_string("--trace-out", &options->trace_out,
+                    "write a Chrome trace_event JSON (Perfetto-loadable)");
+  parser.add_string("--metrics-out", &options->metrics_out,
+                    "write a metrics snapshot JSON");
+}
+
+}  // namespace lrt::obs

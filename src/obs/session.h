@@ -1,0 +1,61 @@
+// Scoped observability session for CLI binaries: owns a registry and a
+// tracer, installs them as the process-global sink for its lifetime, and
+// writes `--metrics-out` (metrics snapshot JSON) and `--trace-out`
+// (Chrome trace_event JSON) on flush/destruction. When neither output
+// path is requested the session is inert — no sink is installed and the
+// instrumented code keeps its disabled-path cost.
+#ifndef LRT_OBS_SESSION_H_
+#define LRT_OBS_SESSION_H_
+
+#include <memory>
+#include <string>
+
+#include "obs/sink.h"
+#include "support/argparse.h"
+#include "support/status.h"
+
+namespace lrt::obs {
+
+struct SessionOptions {
+  /// Chrome trace_event JSON output path ("" = no tracing).
+  std::string trace_out;
+  /// Metrics snapshot JSON output path ("" = no metrics file; the
+  /// registry still runs when tracing is on, for the drop counter).
+  std::string metrics_out;
+  std::size_t trace_capacity = Tracer::kDefaultCapacity;
+};
+
+class ScopedSession {
+ public:
+  explicit ScopedSession(SessionOptions options);
+  /// Flushes (stderr on failure) and restores the previous global sink.
+  ~ScopedSession();
+  ScopedSession(const ScopedSession&) = delete;
+  ScopedSession& operator=(const ScopedSession&) = delete;
+
+  [[nodiscard]] bool enabled() const { return sink_.enabled(); }
+  /// The installed sink (empty when the session is inert).
+  [[nodiscard]] const Sink& sink() const { return sink_; }
+  [[nodiscard]] MetricsRegistry* metrics() const { return sink_.metrics(); }
+  [[nodiscard]] Tracer* tracer() const { return sink_.tracer(); }
+
+  /// Writes the requested output files; idempotent (later events after a
+  /// flush are written by the next flush or the destructor).
+  Status flush();
+
+ private:
+  SessionOptions options_;
+  std::unique_ptr<MetricsRegistry> metrics_;
+  std::unique_ptr<Tracer> tracer_;
+  Sink sink_;
+  Sink* previous_ = nullptr;
+  bool installed_ = false;
+};
+
+/// Registers the uniform observability flags (--trace-out FILE,
+/// --metrics-out FILE) on `parser`, bound to `options`.
+void add_session_flags(ArgParser& parser, SessionOptions* options);
+
+}  // namespace lrt::obs
+
+#endif  // LRT_OBS_SESSION_H_

@@ -1,0 +1,27 @@
+#include "obs/sink.h"
+
+#include <atomic>
+
+namespace lrt::obs {
+namespace {
+
+std::atomic<Sink*>& global_sink_slot() {
+  static std::atomic<Sink*> slot{nullptr};
+  return slot;
+}
+
+}  // namespace
+
+Sink* global_sink() {
+  return global_sink_slot().load(std::memory_order_relaxed);
+}
+
+Sink* set_global_sink(Sink* sink) {
+  return global_sink_slot().exchange(sink, std::memory_order_acq_rel);
+}
+
+Sink* resolve_sink(Sink* preferred) {
+  return preferred != nullptr ? preferred : global_sink();
+}
+
+}  // namespace lrt::obs

@@ -1,0 +1,107 @@
+// The observability attachment point. A Sink bundles an optional
+// MetricsRegistry and an optional Tracer; library layers resolve a sink
+// once per run (`options.sink` if set, else the process-global sink) and
+// every helper is null-safe, so the disabled path costs one pointer test.
+// The process-global sink defaults to null: the LRT_* macros below
+// compile to a relaxed atomic load plus a branch when no sink is
+// installed, and to nothing observable beyond that.
+#ifndef LRT_OBS_SINK_H_
+#define LRT_OBS_SINK_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string_view>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace lrt::obs {
+
+class Sink {
+ public:
+  Sink() = default;
+  Sink(MetricsRegistry* metrics, Tracer* tracer)
+      : metrics_(metrics), tracer_(tracer) {}
+
+  [[nodiscard]] MetricsRegistry* metrics() const { return metrics_; }
+  [[nodiscard]] Tracer* tracer() const { return tracer_; }
+  [[nodiscard]] bool enabled() const {
+    return metrics_ != nullptr || tracer_ != nullptr;
+  }
+
+  void counter_add(std::string_view name, std::int64_t delta = 1) const {
+    if (metrics_ != nullptr) metrics_->counter_add(name, delta);
+  }
+  void gauge_set(std::string_view name, double value) const {
+    if (metrics_ != nullptr) metrics_->gauge_set(name, value);
+  }
+  void histogram_record(std::string_view name, double value) const {
+    if (metrics_ != nullptr) metrics_->histogram_record(name, value);
+  }
+  void instant(std::string_view category, std::string_view name,
+               std::initializer_list<TraceArg> args = {}) const {
+    if (tracer_ != nullptr) tracer_->instant(category, name, args);
+  }
+
+ private:
+  MetricsRegistry* metrics_ = nullptr;
+  Tracer* tracer_ = nullptr;
+};
+
+/// The process-global sink; null until set_global_sink() installs one.
+[[nodiscard]] Sink* global_sink();
+
+/// Installs (or clears, with nullptr) the process-global sink and
+/// returns the previous one. The caller keeps ownership of the Sink and
+/// must clear it before destroying the sink's registry/tracer.
+Sink* set_global_sink(Sink* sink);
+
+/// `preferred` when non-null, else the global sink (which may be null).
+[[nodiscard]] Sink* resolve_sink(Sink* preferred);
+
+/// RAII span: opens at construction, records a kComplete event at scope
+/// exit. Category/name must outlive the guard (string literals in
+/// practice). A null sink or a sink without a tracer makes both ends a
+/// no-op.
+class SpanGuard {
+ public:
+  SpanGuard(const Sink* sink, const char* category, const char* name)
+      : tracer_(sink != nullptr ? sink->tracer() : nullptr),
+        category_(category),
+        name_(name) {
+    if (tracer_ != nullptr) start_us_ = tracer_->now_us();
+  }
+  ~SpanGuard() {
+    if (tracer_ != nullptr)
+      tracer_->complete(category_, name_, start_us_, tracer_->now_us());
+  }
+  SpanGuard(const SpanGuard&) = delete;
+  SpanGuard& operator=(const SpanGuard&) = delete;
+
+ private:
+  Tracer* tracer_;
+  const char* category_;
+  const char* name_;
+  std::int64_t start_us_ = 0;
+};
+
+}  // namespace lrt::obs
+
+#define LRT_OBS_CONCAT_INNER(a, b) a##b
+#define LRT_OBS_CONCAT(a, b) LRT_OBS_CONCAT_INNER(a, b)
+
+/// Scope span against the process-global sink.
+#define LRT_TRACE_SPAN(category, name)                             \
+  const ::lrt::obs::SpanGuard LRT_OBS_CONCAT(lrt_obs_span_,        \
+                                             __LINE__)(            \
+      ::lrt::obs::global_sink(), category, name)
+
+/// Counter bump against the process-global sink.
+#define LRT_COUNTER_ADD(name, delta)                                  \
+  do {                                                                \
+    if (const ::lrt::obs::Sink* lrt_obs_sink_ =                       \
+            ::lrt::obs::global_sink())                                \
+      lrt_obs_sink_->counter_add((name), (delta));                    \
+  } while (false)
+
+#endif  // LRT_OBS_SINK_H_

@@ -1,0 +1,154 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+#include "support/json.h"
+
+namespace lrt::obs {
+namespace {
+
+/// Shared event rendering for both exports (no surrounding braces).
+void write_event(JsonWriter& json, const TraceEvent& event) {
+  json.begin_object();
+  json.key("ph");
+  json.value(event.phase == TraceEvent::Phase::kComplete ? "X" : "i");
+  json.key("cat");
+  json.value(event.category);
+  json.key("name");
+  json.value(event.name);
+  json.key("pid");
+  json.value(1);
+  json.key("tid");
+  json.value(static_cast<std::int64_t>(event.tid));
+  json.key("ts");
+  json.value(event.ts_us);
+  if (event.phase == TraceEvent::Phase::kComplete) {
+    json.key("dur");
+    json.value(event.dur_us);
+  } else {
+    json.key("s");
+    json.value("t");  // instant scope: thread
+  }
+  if (!event.args.empty()) {
+    json.key("args");
+    json.begin_object();
+    for (const TraceArg& arg : event.args) {
+      json.key(arg.key);
+      json.value(arg.value);
+    }
+    json.end_object();
+  }
+  json.end_object();
+}
+
+}  // namespace
+
+Tracer::Tracer(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1)),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+void Tracer::set_drop_counter(MetricsRegistry* metrics) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  drop_metrics_ = metrics;
+}
+
+std::int64_t Tracer::now_us() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+std::uint32_t Tracer::dense_tid() {
+  const auto id = std::this_thread::get_id();
+  const auto it = tids_.find(id);
+  if (it != tids_.end()) return it->second;
+  const auto dense = static_cast<std::uint32_t>(tids_.size());
+  tids_.emplace(id, dense);
+  return dense;
+}
+
+void Tracer::push(TraceEvent&& event) {
+  MetricsRegistry* dropped_into = nullptr;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    event.tid = dense_tid();
+    if (ring_.size() < capacity_) {
+      ring_.push_back(std::move(event));
+    } else {
+      ring_[next_] = std::move(event);
+      next_ = (next_ + 1) % capacity_;
+      ++dropped_;
+      dropped_into = drop_metrics_;
+    }
+  }
+  // Outside the ring lock: the registry has its own (sharded) locking.
+  if (dropped_into != nullptr) dropped_into->counter_add("trace.dropped");
+}
+
+void Tracer::complete(std::string_view category, std::string_view name,
+                      std::int64_t start_us, std::int64_t end_us,
+                      std::initializer_list<TraceArg> args) {
+  TraceEvent event;
+  event.phase = TraceEvent::Phase::kComplete;
+  event.ts_us = start_us;
+  event.dur_us = std::max<std::int64_t>(end_us - start_us, 0);
+  event.category = category;
+  event.name = name;
+  event.args.assign(args.begin(), args.end());
+  push(std::move(event));
+}
+
+void Tracer::instant(std::string_view category, std::string_view name,
+                     std::initializer_list<TraceArg> args) {
+  TraceEvent event;
+  event.phase = TraceEvent::Phase::kInstant;
+  event.ts_us = now_us();
+  event.category = category;
+  event.name = name;
+  event.args.assign(args.begin(), args.end());
+  push(std::move(event));
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  // Once full, `next_` points at the oldest event.
+  for (std::size_t i = 0; i < ring_.size(); ++i)
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  return out;
+}
+
+std::int64_t Tracer::dropped() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+std::string Tracer::to_chrome_json() const {
+  const std::vector<TraceEvent> snapshot = events();
+  JsonWriter json;
+  json.begin_object();
+  json.key("traceEvents");
+  json.begin_array();
+  for (const TraceEvent& event : snapshot) write_event(json, event);
+  json.end_array();
+  json.key("displayTimeUnit");
+  json.value("ms");
+  json.end_object();
+  return std::move(json).str();
+}
+
+std::string Tracer::to_jsonl() const {
+  const std::vector<TraceEvent> snapshot = events();
+  std::string out;
+  for (const TraceEvent& event : snapshot) {
+    JsonWriter json;
+    write_event(json, event);
+    out += std::move(json).str();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace lrt::obs

@@ -1,0 +1,97 @@
+// Structured trace events (spans and instants) in a bounded in-memory
+// ring. When the ring is full the oldest event is dropped and a drop
+// counter is bumped (optionally mirrored into a MetricsRegistry as
+// "trace.dropped"). The buffer exports as Chrome `trace_event` JSON —
+// loadable in Perfetto / chrome://tracing — and as JSONL, one event per
+// line, both rendered through support/json.
+#ifndef LRT_OBS_TRACE_H_
+#define LRT_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+namespace lrt::obs {
+
+class MetricsRegistry;
+
+/// One named numeric payload on an event ("args" in the Chrome schema).
+struct TraceArg {
+  std::string key;
+  double value = 0.0;
+};
+
+struct TraceEvent {
+  enum class Phase : std::uint8_t {
+    kComplete,  // Chrome "X": a span with an explicit duration.
+    kInstant,   // Chrome "i": a point event.
+  };
+  Phase phase = Phase::kInstant;
+  /// Dense per-tracer thread id (0, 1, ...) in first-seen order.
+  std::uint32_t tid = 0;
+  /// Microseconds since the tracer was constructed.
+  std::int64_t ts_us = 0;
+  /// Span duration in microseconds (kComplete only).
+  std::int64_t dur_us = 0;
+  std::string category;
+  std::string name;
+  std::vector<TraceArg> args;
+};
+
+class Tracer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1 << 16;
+
+  explicit Tracer(std::size_t capacity = kDefaultCapacity);
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Mirrors ring drops into `metrics` as the "trace.dropped" counter.
+  void set_drop_counter(MetricsRegistry* metrics);
+
+  /// Microseconds since construction, for building span endpoints.
+  [[nodiscard]] std::int64_t now_us() const;
+
+  /// Records a completed span [start_us, end_us].
+  void complete(std::string_view category, std::string_view name,
+                std::int64_t start_us, std::int64_t end_us,
+                std::initializer_list<TraceArg> args = {});
+  /// Records a point event stamped now.
+  void instant(std::string_view category, std::string_view name,
+               std::initializer_list<TraceArg> args = {});
+
+  /// Buffered events, oldest first.
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+  [[nodiscard]] std::int64_t dropped() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  /// {"traceEvents": [...]} in Chrome trace_event format.
+  [[nodiscard]] std::string to_chrome_json() const;
+  /// One event object per line, same field schema as the Chrome export.
+  [[nodiscard]] std::string to_jsonl() const;
+
+ private:
+  void push(TraceEvent&& event);
+  /// Caller holds mutex_.
+  std::uint32_t dense_tid();
+
+  const std::size_t capacity_;
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mutex_;
+  /// Ring storage: grows to capacity_, then `next_` wraps over the oldest.
+  std::vector<TraceEvent> ring_;
+  std::size_t next_ = 0;
+  std::int64_t dropped_ = 0;
+  MetricsRegistry* drop_metrics_ = nullptr;
+  std::map<std::thread::id, std::uint32_t> tids_;
+};
+
+}  // namespace lrt::obs
+
+#endif  // LRT_OBS_TRACE_H_

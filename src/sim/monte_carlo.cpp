@@ -1,6 +1,7 @@
 #include "sim/monte_carlo.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <optional>
@@ -71,8 +72,8 @@ std::string to_json(const ValidationReport& report) {
   json.value(report.implementation);
   json.key("trials");
   json.value(report.trials);
-  json.key("base_seed");
-  json.value(static_cast<std::int64_t>(report.base_seed));
+  json.key("seed");
+  json.value(static_cast<std::int64_t>(report.seed));
   json.key("threads");
   json.value(static_cast<std::int64_t>(report.threads));
   json.key("periods_per_trial");
@@ -157,22 +158,51 @@ Result<ValidationReport> MonteCarloRunner::run(
   // up front and in trial order: trial k's stream never depends on which
   // thread runs it.
   std::vector<std::uint64_t> seeds(num_trials);
-  SplitMix64 root(options_.base_seed);
+  SplitMix64 root(options_.seed);
   for (auto& seed : seeds) seed = root.next();
 
   std::vector<TrialOutcome> outcomes(num_trials);
   ThreadPool pool(options_.threads);
 
+  obs::Sink* sink = obs::resolve_sink(options_.sink);
+  obs::Tracer* tracer = sink != nullptr ? sink->tracer() : nullptr;
+  const obs::SpanGuard campaign_span(sink, "mc", "run");
+  // Workers sample how many trials are in flight when theirs starts; the
+  // counts are timing-dependent, so they live in a histogram, not in the
+  // deterministic counter set.
+  std::atomic<int> active_trials{0};
+
   const auto start = std::chrono::steady_clock::now();
   pool.parallel_for(options_.trials, [&](std::int64_t trial) {
     SimulationOptions trial_options = options_.simulation;
     trial_options.faults.seed = seeds[static_cast<std::size_t>(trial)];
+    if (trial_options.sink == nullptr) trial_options.sink = sink;
     std::unique_ptr<Environment> owned_env =
         options_.environment_factory ? options_.environment_factory()
                                      : std::make_unique<NullEnvironment>();
     trial_options.monitor =
         options_.monitor_factory ? options_.monitor_factory(trial) : nullptr;
+    std::int64_t trial_start_us = 0;
+    if (sink != nullptr) {
+      sink->histogram_record(
+          "mc.pool_active",
+          active_trials.fetch_add(1, std::memory_order_relaxed) + 1);
+      if (tracer != nullptr) trial_start_us = tracer->now_us();
+    }
+    const auto wall_start = std::chrono::steady_clock::now();
     auto result = simulate(impl, *owned_env, trial_options);
+    if (sink != nullptr) {
+      active_trials.fetch_sub(1, std::memory_order_relaxed);
+      sink->histogram_record(
+          "mc.trial_ms",
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - wall_start)
+              .count());
+      if (tracer != nullptr)
+        tracer->complete("mc", "trial", trial_start_us, tracer->now_us(),
+                         {{"trial", static_cast<double>(trial)},
+                          {"ok", result.ok() ? 1.0 : 0.0}});
+    }
     TrialOutcome& out = outcomes[static_cast<std::size_t>(trial)];
     if (!result.ok()) {
       out.error = result.status();
@@ -197,10 +227,21 @@ Result<ValidationReport> MonteCarloRunner::run(
   for (std::size_t trial = 0; trial < num_trials; ++trial) {
     if (outcomes[trial].error.ok()) continue;
     ++failed_trials;
+    // Failure causes are counted here, in the sequential reduction, so
+    // the metric snapshot is identical for every thread count.
+    if (sink != nullptr)
+      sink->counter_add(
+          "sim.trial_failures." +
+          std::string(to_string(outcomes[trial].error.code())));
     if (first_trial_error.empty()) {
       first_trial_error = "trial " + std::to_string(trial) + ": " +
                           outcomes[trial].error.to_string();
     }
+  }
+  if (sink != nullptr) {
+    sink->counter_add("sim.trials", options_.trials - failed_trials);
+    sink->counter_add("sim.trial_failures", failed_trials);
+    sink->gauge_set("mc.threads", pool.size());
   }
   if (failed_trials == options_.trials) {
     const Status& error = outcomes[0].error;
@@ -223,7 +264,7 @@ Result<ValidationReport> MonteCarloRunner::run(
   ValidationReport report;
   report.implementation = impl.name();
   report.trials = options_.trials;
-  report.base_seed = options_.base_seed;
+  report.seed = options_.seed;
   report.threads = pool.size();
   report.periods_per_trial = options_.simulation.periods;
   report.z = options_.z;

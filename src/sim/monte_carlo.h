@@ -40,12 +40,19 @@ namespace lrt::sim {
 
 struct MonteCarloOptions {
   /// Per-trial simulation configuration. faults.seed is ignored — every
-  /// trial's seed is derived from base_seed instead.
+  /// trial's seed is derived from `seed` instead.
   SimulationOptions simulation;
   std::int64_t trials = 100;
-  std::uint64_t base_seed = kDefaultRngSeed;
+  /// Base seed of the per-trial SplitMix64 seed stream (the shared `seed`
+  /// field name across all entry-point options).
+  std::uint64_t seed = kDefaultRngSeed;
   /// Total parallelism including the calling thread; 0 = one per core.
   unsigned threads = 0;
+  /// Observability sink for campaign counters ("sim.trials", failure
+  /// causes) and per-trial spans/timing histograms. Null falls back to
+  /// the process-global sink; also inherited by simulation.sink when that
+  /// is null, so per-run runtime counters pool across trials.
+  obs::Sink* sink = nullptr;
   /// z-score of the per-communicator Wilson interval (2.576 ~ 99%).
   double z = 2.576;
   /// Builds the environment for one trial; called once per trial, from the
@@ -94,7 +101,7 @@ struct CommAggregate {
 struct ValidationReport {
   std::string implementation;
   std::int64_t trials = 0;
-  std::uint64_t base_seed = 0;
+  std::uint64_t seed = 0;
   unsigned threads = 0;  ///< resolved parallelism actually used
   std::int64_t periods_per_trial = 0;
   double z = 2.576;
@@ -123,7 +130,7 @@ struct ValidationReport {
 };
 
 /// JSON document for tooling and CI artifacts: {implementation, trials,
-/// base_seed, ..., communicators: [{name, updates, reliable_updates,
+/// seed, ..., communicators: [{name, updates, reliable_updates,
 /// empirical, ci_low, ci_high, mean_limit_average, analytic_srg, lrc,
 /// analysis_sound, meets_lrc}]}. Timing fields are included (elapsed
 /// seconds, trials/s) — strip them before byte-comparing reports.

@@ -34,6 +34,8 @@ class Runtime {
         env_(env),
         options_(options),
         monitor_(options.monitor),
+        sink_(obs::resolve_sink(options.sink)),
+        tracer_(sink_ != nullptr ? sink_->tracer() : nullptr),
         rng_(options.faults.seed) {}
 
   Result<SimulationResult> run();
@@ -75,6 +77,12 @@ class Runtime {
   Environment& env_;
   const SimulationOptions& options_;
   RuntimeMonitor* monitor_;
+  /// Resolved observability sink (null = disabled) and its tracer.
+  const obs::Sink* sink_;
+  obs::Tracer* tracer_;
+  std::int64_t period_start_us_ = 0;
+  /// Updates that committed bottom (no contributor / failed sensor).
+  std::int64_t bottom_updates_ = 0;
   /// Mapping installed by the monitor; supersedes phases_ once set.
   const impl::Implementation* override_ = nullptr;
   Xoshiro256 rng_;
@@ -215,8 +223,18 @@ Result<SimulationResult> Runtime::run() {
   }
 
   const Time duration = hyperperiod_ * options_.periods;
+  if (tracer_ != nullptr) period_start_us_ = tracer_->now_us();
   for (Time now = 0; now < duration; now += step_) {
     apply_host_events(now);
+    // One span per specification period: the dispatch granularity the
+    // paper reasons about, and coarse enough to stay cheap when enabled.
+    if (tracer_ != nullptr && now % hyperperiod_ == 0 && now > 0) {
+      const std::int64_t end_us = tracer_->now_us();
+      tracer_->complete(
+          "sim", "period", period_start_us_, end_us,
+          {{"period", static_cast<double>(now / hyperperiod_ - 1)}});
+      period_start_us_ = end_us;
+    }
     // Remap point: mode switches happen at period boundaries only, so a
     // repair never tears a LET window apart.
     if (monitor_ != nullptr && now % hyperperiod_ == 0) {
@@ -231,6 +249,9 @@ Result<SimulationResult> Runtime::run() {
         if (next != override_) {
           override_ = next;
           ++result_.remaps_installed;
+          if (tracer_ != nullptr)
+            tracer_->instant("sim", "remap",
+                             {{"t", static_cast<double>(now)}});
         }
       }
     }
@@ -240,6 +261,26 @@ Result<SimulationResult> Runtime::run() {
     execute_tasks(now);
     if (options_.model_execution_time) advance_processors(now, now + step_);
     env_.advance(now, step_);
+  }
+
+  if (tracer_ != nullptr && options_.periods > 0) {
+    tracer_->complete(
+        "sim", "period", period_start_us_, tracer_->now_us(),
+        {{"period", static_cast<double>(options_.periods - 1)}});
+  }
+  // Counters are flushed once per run, so the hot loop above never pays
+  // for metrics and the totals are identical for any tracing state.
+  if (sink_ != nullptr) {
+    sink_->counter_add("sim.runs");
+    sink_->counter_add("sim.periods", options_.periods);
+    sink_->counter_add("sim.invocations", result_.invocations);
+    sink_->counter_add("sim.invocation_failures",
+                       result_.invocation_failures);
+    sink_->counter_add("sim.updates", result_.committed_updates);
+    sink_->counter_add("sim.updates_bottom", bottom_updates_);
+    sink_->counter_add("sim.vote_divergences", result_.vote_divergences);
+    sink_->counter_add("sim.deadline_misses", result_.deadline_misses);
+    sink_->counter_add("sim.remaps_installed", result_.remaps_installed);
   }
 
   result_.periods = options_.periods;
@@ -295,6 +336,13 @@ void Runtime::commit_updates(Time now) {
       set_all_replications(c, value);
       ++result_.committed_updates;
       update_accums_[static_cast<std::size_t>(c)].record(!failed);
+      if (failed) {
+        ++bottom_updates_;
+        if (tracer_ != nullptr)
+          tracer_->instant("sim", "bottom",
+                           {{"comm", static_cast<double>(c)},
+                            {"t", static_cast<double>(now)}});
+      }
       if (monitor_ != nullptr) {
         monitor_->on_sensor_update(now, c, sensor_id, !failed);
         monitor_->on_update(now, c, !failed, failed ? 0 : 1);
@@ -329,6 +377,16 @@ void Runtime::commit_updates(Time now) {
     set_all_replications(c, winner);
     ++result_.committed_updates;
     update_accums_[static_cast<std::size_t>(c)].record(!winner.is_bottom());
+    if (winner.is_bottom()) {
+      // A vote with no contributor: the paper's unreliable (bottom)
+      // outcome — worth a point event even at full trace volume.
+      ++bottom_updates_;
+      if (tracer_ != nullptr)
+        tracer_->instant("sim", "bottom",
+                         {{"comm", static_cast<double>(c)},
+                          {"t", static_cast<double>(now)},
+                          {"contributors", 0.0}});
+    }
     if (monitor_ != nullptr) {
       monitor_->on_update(now, c, !winner.is_bottom(),
                           static_cast<int>(candidates.size()));

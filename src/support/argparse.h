@@ -1,0 +1,74 @@
+// Minimal declarative command-line parser shared by the example and
+// bench binaries (previously each hand-rolled its own strcmp loop).
+// Flags bind to caller-owned storage; `--name value` and `--name=value`
+// both work; `--help` is always recognized. Two parse modes:
+//
+//   parse(argc, argv)        strict — unknown flags are errors, leftover
+//                            arguments become positionals.
+//   parse_known(argc, argv)  permissive — recognized flags are removed
+//                            from argv (argc is updated) and everything
+//                            else is left in place, so the remainder can
+//                            be handed to another parser (e.g.
+//                            google-benchmark).
+#ifndef LRT_SUPPORT_ARGPARSE_H_
+#define LRT_SUPPORT_ARGPARSE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/status.h"
+
+namespace lrt {
+
+class ArgParser {
+ public:
+  ArgParser(std::string program, std::string description);
+
+  /// Boolean switch: present -> true (no value consumed).
+  void add_flag(std::string name, bool* out, std::string help);
+  void add_string(std::string name, std::string* out, std::string help);
+  void add_int(std::string name, std::int64_t* out, std::string help);
+  void add_uint(std::string name, unsigned* out, std::string help);
+  void add_double(std::string name, double* out, std::string help);
+  /// Value flag that may repeat; each occurrence appends.
+  void add_repeated(std::string name, std::vector<std::string>* out,
+                    std::string help);
+  /// One-line description of the trailing positional arguments, for
+  /// usage() only (e.g. "<file.htl>...").
+  void set_positional_usage(std::string usage);
+
+  [[nodiscard]] Status parse(int argc, char** argv);
+  [[nodiscard]] Status parse_known(int& argc, char** argv);
+
+  [[nodiscard]] const std::vector<std::string>& positionals() const {
+    return positionals_;
+  }
+  /// True when --help was seen; the caller should print usage() and exit.
+  [[nodiscard]] bool help_requested() const { return help_requested_; }
+  [[nodiscard]] std::string usage() const;
+
+ private:
+  enum class Kind { kFlag, kString, kInt, kUint, kDouble, kRepeated };
+  struct Option {
+    std::string name;  // including the leading "--"
+    Kind kind = Kind::kFlag;
+    void* target = nullptr;
+    std::string help;
+  };
+
+  [[nodiscard]] Status run(int& argc, char** argv, bool strict);
+  [[nodiscard]] Option* find(std::string_view name);
+  [[nodiscard]] Status store(const Option& option, std::string_view text);
+
+  std::string program_;
+  std::string description_;
+  std::string positional_usage_;
+  std::vector<Option> options_;
+  std::vector<std::string> positionals_;
+  bool help_requested_ = false;
+};
+
+}  // namespace lrt
+
+#endif  // LRT_SUPPORT_ARGPARSE_H_

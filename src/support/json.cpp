@@ -2,6 +2,8 @@
 
 #include <cassert>
 #include <cmath>
+#include <cstdlib>
+#include <utility>
 
 #include "support/strings.h"
 
@@ -89,6 +91,241 @@ std::string JsonWriter::str() && {
   assert(has_elements_.empty() && "unclosed container");
   assert(!after_key_ && "dangling key");
   return std::move(out_);
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : object)
+    if (name == key) return &value;
+  return nullptr;
+}
+
+namespace {
+
+/// Recursive-descent JSON reader over a string_view.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> run() {
+    JsonValue value;
+    LRT_RETURN_IF_ERROR(parse_value(value, /*depth=*/0));
+    skip_whitespace();
+    if (pos_ != text_.size())
+      return error("trailing characters after document");
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 128;
+
+  Status error(const std::string& message) const {
+    return ParseError("json: " + message + " at offset " +
+                      std::to_string(pos_));
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status expect_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal)
+      return error("invalid literal");
+    pos_ += literal.size();
+    return Status::Ok();
+  }
+
+  Status parse_value(JsonValue& out, int depth) {
+    if (depth > kMaxDepth) return error("nesting too deep");
+    skip_whitespace();
+    if (pos_ >= text_.size()) return error("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{': return parse_object(out, depth);
+      case '[': return parse_array(out, depth);
+      case '"':
+        out.kind = JsonValue::Kind::kString;
+        return parse_string(out.string);
+      case 't':
+        out.kind = JsonValue::Kind::kBool;
+        out.boolean = true;
+        return expect_literal("true");
+      case 'f':
+        out.kind = JsonValue::Kind::kBool;
+        out.boolean = false;
+        return expect_literal("false");
+      case 'n':
+        out.kind = JsonValue::Kind::kNull;
+        return expect_literal("null");
+      default: return parse_number(out);
+    }
+  }
+
+  Status parse_object(JsonValue& out, int depth) {
+    out.kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    skip_whitespace();
+    if (consume('}')) return Status::Ok();
+    while (true) {
+      skip_whitespace();
+      std::string key;
+      if (pos_ >= text_.size() || text_[pos_] != '"')
+        return error("expected object key");
+      LRT_RETURN_IF_ERROR(parse_string(key));
+      skip_whitespace();
+      if (!consume(':')) return error("expected ':'");
+      JsonValue value;
+      LRT_RETURN_IF_ERROR(parse_value(value, depth + 1));
+      out.object.emplace_back(std::move(key), std::move(value));
+      skip_whitespace();
+      if (consume('}')) return Status::Ok();
+      if (!consume(',')) return error("expected ',' or '}'");
+    }
+  }
+
+  Status parse_array(JsonValue& out, int depth) {
+    out.kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    skip_whitespace();
+    if (consume(']')) return Status::Ok();
+    while (true) {
+      JsonValue value;
+      LRT_RETURN_IF_ERROR(parse_value(value, depth + 1));
+      out.array.push_back(std::move(value));
+      skip_whitespace();
+      if (consume(']')) return Status::Ok();
+      if (!consume(',')) return error("expected ',' or ']'");
+    }
+  }
+
+  Status parse_string(std::string& out) {
+    ++pos_;  // '"'
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return Status::Ok();
+      }
+      if (static_cast<unsigned char>(c) < 0x20)
+        return error("unescaped control character in string");
+      if (c != '\\') {
+        out += c;
+        ++pos_;
+        continue;
+      }
+      ++pos_;
+      if (pos_ >= text_.size()) return error("unterminated escape");
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned code = 0;
+          LRT_RETURN_IF_ERROR(parse_hex4(code));
+          append_utf8(out, code);
+          break;
+        }
+        default: return error("invalid escape");
+      }
+    }
+    return error("unterminated string");
+  }
+
+  Status parse_hex4(unsigned& out) {
+    if (pos_ + 4 > text_.size()) return error("truncated \\u escape");
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      out <<= 4U;
+      if (c >= '0' && c <= '9') {
+        out |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        out |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        out |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        return error("invalid \\u escape");
+      }
+    }
+    return Status::Ok();
+  }
+
+  static void append_utf8(std::string& out, unsigned code) {
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0U | (code >> 6U));
+      out += static_cast<char>(0x80U | (code & 0x3FU));
+    } else {
+      out += static_cast<char>(0xE0U | (code >> 12U));
+      out += static_cast<char>(0x80U | ((code >> 6U) & 0x3FU));
+      out += static_cast<char>(0x80U | (code & 0x3FU));
+    }
+  }
+
+  Status parse_number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (consume('-')) {
+      // fall through to digits
+    }
+    if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9')
+      return error("invalid number");
+    if (text_[pos_] == '0') {
+      ++pos_;
+    } else {
+      while (pos_ < text_.size() && text_[pos_] >= '0' &&
+             text_[pos_] <= '9')
+        ++pos_;
+    }
+    if (consume('.')) {
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9')
+        return error("invalid fraction");
+      while (pos_ < text_.size() && text_[pos_] >= '0' &&
+             text_[pos_] <= '9')
+        ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() &&
+          (text_[pos_] == '+' || text_[pos_] == '-'))
+        ++pos_;
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9')
+        return error("invalid exponent");
+      while (pos_ < text_.size() && text_[pos_] >= '0' &&
+             text_[pos_] <= '9')
+        ++pos_;
+    }
+    out.kind = JsonValue::Kind::kNumber;
+    out.number = std::strtod(std::string(text_.substr(start, pos_ - start)).c_str(),
+                             nullptr);
+    return Status::Ok();
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> parse_json(std::string_view text) {
+  return JsonParser(text).run();
 }
 
 void JsonWriter::write_escaped(std::string_view text) {

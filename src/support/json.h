@@ -7,7 +7,10 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
+
+#include "support/status.h"
 
 namespace lrt {
 
@@ -54,6 +57,34 @@ class JsonWriter {
   std::vector<bool> has_elements_;
   bool after_key_ = false;
 };
+
+/// A parsed JSON document node. Numbers are doubles (all the JSON this
+/// library writes stays within double precision); object members keep
+/// their source order.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  [[nodiscard]] bool is_object() const { return kind == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind == Kind::kArray; }
+  [[nodiscard]] bool is_number() const { return kind == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind == Kind::kString; }
+
+  /// Object member by key, or nullptr (also for non-objects).
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+};
+
+/// Strict RFC 8259 parser for round-tripping this library's own output
+/// (full grammar, `\uXXXX` escapes decoded to UTF-8, trailing garbage
+/// rejected). Returns kParse errors with a byte offset on malformed
+/// input.
+[[nodiscard]] Result<JsonValue> parse_json(std::string_view text);
 
 }  // namespace lrt
 

@@ -243,6 +243,7 @@ class BnbSearch {
     result_.replication_count = static_cast<std::size_t>(best_cost_exact_);
     result_.candidates_evaluated =
         result_.full_evals + result_.incremental_evals;
+    result_.incumbent_updates = incumbent_updates_;
     return result_;
   }
 
@@ -432,6 +433,7 @@ class BnbSearch {
       best_cost_exact_ = cost;
       best_path_ = w.path;
       best_cost_.store(cost, std::memory_order_relaxed);
+      ++incumbent_updates_;
     }
     // Already under the lock: refresh the snapshot for free.
     w.snap_cost = best_cost_exact_;
@@ -461,6 +463,8 @@ class BnbSearch {
   std::mutex best_mutex_;
   std::int64_t best_cost_exact_ = kNoIncumbent;
   std::vector<std::int32_t> best_path_;
+  /// Times the shared incumbent actually improved (guarded by best_mutex_).
+  std::int64_t incumbent_updates_ = 0;
 
   SynthesisResult result_;
 };

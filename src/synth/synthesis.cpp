@@ -1,6 +1,7 @@
 #include "synth/synthesis.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <functional>
 #include <set>
@@ -263,9 +264,8 @@ Result<SynthesisResult> reference_greedy(Evaluator& evaluator,
   return result;
 }
 
-}  // namespace
-
-Result<SynthesisResult> synthesize(
+/// The actual search; synthesize() wraps it with observability.
+Result<SynthesisResult> synthesize_impl(
     const spec::Specification& spec, const arch::Architecture& arch,
     std::vector<impl::ImplementationConfig::SensorBinding> sensor_bindings,
     const SynthesisOptions& options) {
@@ -342,6 +342,43 @@ Result<SynthesisResult> synthesize(
       return reference_greedy(evaluator, options);
   }
   return InternalError("unknown synthesis strategy");
+}
+
+}  // namespace
+
+Result<SynthesisResult> synthesize(
+    const spec::Specification& spec, const arch::Architecture& arch,
+    std::vector<impl::ImplementationConfig::SensorBinding> sensor_bindings,
+    const SynthesisOptions& options) {
+  obs::Sink* sink = obs::resolve_sink(options.sink);
+  if (sink == nullptr) {
+    return synthesize_impl(spec, arch, std::move(sensor_bindings), options);
+  }
+  const obs::SpanGuard span(sink, "synth", "run");
+  const auto start = std::chrono::steady_clock::now();
+  auto result =
+      synthesize_impl(spec, arch, std::move(sensor_bindings), options);
+  sink->histogram_record(
+      "synth.wall_ms", std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - start)
+                           .count());
+  sink->counter_add("synth.runs");
+  if (result.ok()) {
+    sink->counter_add("synth.candidates", result->candidates_evaluated);
+    sink->counter_add("synth.full_evals", result->full_evals);
+    sink->counter_add("synth.incremental_evals",
+                      result->incremental_evals);
+    sink->counter_add("synth.prunes", result->subtrees_pruned);
+    sink->counter_add("synth.cache_hits", result->cache_hits);
+    sink->counter_add("synth.cache_misses", result->cache_misses);
+    sink->counter_add("synth.incumbent_updates",
+                      result->incumbent_updates);
+  } else {
+    sink->counter_add("synth.failures");
+    if (result.status().code() == StatusCode::kUnsatisfiable)
+      sink->counter_add("synth.unsat");
+  }
+  return result;
 }
 
 Result<std::vector<double>> max_achievable_srgs(

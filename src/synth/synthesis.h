@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "impl/implementation.h"
+#include "obs/sink.h"
 #include "support/status.h"
 
 namespace lrt::synth {
@@ -82,6 +83,10 @@ struct SynthesisOptions {
   /// re-spend the current implementation's re-execution budget on the
   /// replacement hosts.
   std::vector<TaskRedundancy> task_redundancy;
+  /// Observability sink: per-run "synth.*" counters (full/incremental
+  /// evals, prunes, gate cache hits, incumbent updates) and a "synth.run"
+  /// span. Null falls back to the process-global sink (null = disabled).
+  obs::Sink* sink = nullptr;
 };
 
 struct SynthesisResult {
@@ -102,6 +107,9 @@ struct SynthesisResult {
   /// cache vs computed by EDF simulation.
   std::int64_t cache_hits = 0;
   std::int64_t cache_misses = 0;
+  /// Times the branch-and-bound incumbent improved (fast exhaustive
+  /// engine only; 0 for the greedy strategy and the reference engine).
+  std::int64_t incumbent_updates = 0;
 };
 
 /// Synthesizes a valid implementation. `sensor_bindings` fixes the sensor

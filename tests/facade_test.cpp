@@ -1,0 +1,220 @@
+// Differential tests for the lrt:: facade (lrt/lrt.h): every wrapper must
+// be bit-identical to the direct subsystem entry point it fronts, and the
+// workload-membership check must reject subjects built against foreign
+// models at the API boundary.
+#include <gtest/gtest.h>
+
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lint/lint.h"
+#include "lint/sarif.h"
+#include "lrt/lrt.h"
+#include "plant/three_tank_system.h"
+#include "reliability/analysis.h"
+#include "sim/environment.h"
+#include "sim/monte_carlo.h"
+#include "sim/runtime.h"
+#include "support/status.h"
+#include "synth/synthesis.h"
+
+namespace lrt {
+namespace {
+
+/// The quickstart pipeline's models, small enough for fast simulation.
+Result<Workload> make_quickstart_workload() {
+  spec::SpecificationConfig spec_config;
+  spec_config.name = "facade_test";
+  spec_config.communicators = {
+      {"s", spec::ValueType::kReal, spec::Value::real(0.0), 10, 0.95},
+      {"level", spec::ValueType::kReal, spec::Value::real(0.0), 10, 0.90},
+  };
+  spec::SpecificationConfig::TaskConfig filter;
+  filter.name = "filter";
+  filter.inputs = {{"s", 0}};
+  filter.outputs = {{"level", 1}};
+  filter.model = spec::FailureModel::kSeries;
+  filter.function = [](std::span<const spec::Value> in) {
+    return std::vector<spec::Value>{spec::Value::real(in[0].as_real())};
+  };
+  spec_config.tasks.push_back(std::move(filter));
+
+  arch::ArchitectureConfig arch_config;
+  arch_config.hosts = {{"h1", 0.99}, {"h2", 0.97}};
+  arch_config.sensors = {{"gauge", 0.98}};
+  arch_config.default_wcet = 4;
+  arch_config.default_wctt = 1;
+  return build_workload(std::move(spec_config), std::move(arch_config));
+}
+
+Result<impl::Implementation> make_quickstart_impl(const Workload& workload) {
+  impl::ImplementationConfig config;
+  config.task_mappings = {{"filter", {"h1", "h2"}}};
+  config.sensor_bindings = {{"s", "gauge"}};
+  return build_implementation(workload, std::move(config));
+}
+
+/// Drops the wall-clock fields (elapsed_seconds, trials_per_second) from a
+/// ValidationReport JSON so two runs of the same campaign compare equal.
+std::string strip_timing(std::string json) {
+  const std::size_t begin = json.find("\"elapsed_seconds\"");
+  const std::size_t end = json.find("\"invocations\"");
+  EXPECT_NE(begin, std::string::npos);
+  EXPECT_NE(end, std::string::npos);
+  if (begin != std::string::npos && end != std::string::npos && begin < end)
+    json.erase(begin, end - begin);
+  return json;
+}
+
+TEST(Facade, BuildWorkloadValidatesConfigs) {
+  spec::SpecificationConfig bad_spec;  // no communicators, no tasks
+  arch::ArchitectureConfig arch_config;
+  arch_config.hosts = {{"h1", 0.99}};
+  const auto workload =
+      build_workload(std::move(bad_spec), std::move(arch_config));
+  EXPECT_FALSE(workload.ok());
+}
+
+TEST(Facade, BuildWorkloadSharesOwnership) {
+  const auto workload = make_quickstart_workload();
+  ASSERT_TRUE(workload.ok()) << workload.status().to_string();
+  ASSERT_NE(workload->spec, nullptr);
+  ASSERT_NE(workload->arch, nullptr);
+  EXPECT_EQ(workload->spec->name(), "facade_test");
+}
+
+TEST(Facade, BorrowWorkloadAliasesWithoutOwning) {
+  auto system = plant::make_three_tank_system({});
+  ASSERT_TRUE(system.ok());
+  const Workload workload =
+      borrow_workload(*system->specification, *system->architecture);
+  EXPECT_EQ(workload.spec.get(), system->specification.get());
+  EXPECT_EQ(workload.arch.get(), system->architecture.get());
+}
+
+TEST(Facade, AnalyzeMatchesDirectCall) {
+  auto system = plant::make_three_tank_system({});
+  ASSERT_TRUE(system.ok());
+  const Workload workload =
+      borrow_workload(*system->specification, *system->architecture);
+  const auto facade = analyze(workload, *system->implementation);
+  const auto direct = reliability::analyze(*system->implementation);
+  ASSERT_TRUE(facade.ok()) << facade.status().to_string();
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(reliability::to_json(*facade), reliability::to_json(*direct));
+}
+
+TEST(Facade, SimulateMatchesDirectCall) {
+  const auto workload = make_quickstart_workload();
+  ASSERT_TRUE(workload.ok());
+  const auto impl = make_quickstart_impl(*workload);
+  ASSERT_TRUE(impl.ok()) << impl.status().to_string();
+
+  SimulateOptions options;
+  options.simulation.periods = 2000;
+  options.simulation.faults.seed = 99;
+  const auto facade = simulate(*workload, *impl, options);
+  ASSERT_TRUE(facade.ok()) << facade.status().to_string();
+
+  sim::NullEnvironment env;
+  const auto direct = sim::simulate(*impl, env, options.simulation);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(sim::to_json(*facade), sim::to_json(*direct));
+}
+
+TEST(Facade, SimulateHonorsCallerEnvironment) {
+  const auto workload = make_quickstart_workload();
+  ASSERT_TRUE(workload.ok());
+  const auto impl = make_quickstart_impl(*workload);
+  ASSERT_TRUE(impl.ok());
+
+  SimulateOptions options;
+  options.simulation.periods = 100;
+  sim::NullEnvironment env;
+  options.environment = &env;
+  const auto result = simulate(*workload, *impl, options);
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  EXPECT_EQ(result->periods, 100);
+}
+
+TEST(Facade, ValidateMatchesDirectCall) {
+  auto system = plant::make_three_tank_system({});
+  ASSERT_TRUE(system.ok());
+  const Workload workload =
+      borrow_workload(*system->specification, *system->architecture);
+
+  sim::MonteCarloOptions options;
+  options.trials = 16;
+  options.simulation.periods = 200;
+  options.threads = 2;
+  options.simulation.actuator_comms = {"u1", "u2"};
+  const auto facade = validate(workload, *system->implementation, options);
+  ASSERT_TRUE(facade.ok()) << facade.status().to_string();
+
+  const sim::MonteCarloRunner runner(options);
+  const auto direct = runner.run(*system->implementation);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(strip_timing(sim::to_json(*facade)),
+            strip_timing(sim::to_json(*direct)));
+}
+
+TEST(Facade, SynthesizeMatchesDirectCall) {
+  auto system = plant::make_three_tank_system({});
+  ASSERT_TRUE(system.ok());
+  const Workload workload =
+      borrow_workload(*system->specification, *system->architecture);
+  const std::vector<impl::ImplementationConfig::SensorBinding> bindings = {
+      {"s1", "sensor1"}, {"s2", "sensor2"}};
+
+  const auto facade = synthesize(workload, bindings);
+  ASSERT_TRUE(facade.ok()) << facade.status().to_string();
+  const auto direct = synth::synthesize(*system->specification,
+                                        *system->architecture, bindings);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(facade->replication_count, direct->replication_count);
+  EXPECT_EQ(facade->candidates_evaluated, direct->candidates_evaluated);
+  ASSERT_EQ(facade->config.task_mappings.size(),
+            direct->config.task_mappings.size());
+  for (std::size_t i = 0; i < facade->config.task_mappings.size(); ++i) {
+    EXPECT_EQ(facade->config.task_mappings[i].task,
+              direct->config.task_mappings[i].task);
+    EXPECT_EQ(facade->config.task_mappings[i].hosts,
+              direct->config.task_mappings[i].hosts);
+  }
+}
+
+TEST(Facade, CheckMatchesLintSource) {
+  const char* source = R"(program p {
+  communicator c : real period 10 init 0.0 lrc 0.9;
+})";
+  const auto facade = check(source);
+  const auto direct = lint::lint_source(source);
+  ASSERT_TRUE(facade.ok()) << facade.status().to_string();
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(lint::to_json(facade->diagnostics),
+            lint::to_json(direct->diagnostics));
+}
+
+TEST(Facade, MembershipCheckRejectsForeignImplementation) {
+  auto system_a = plant::make_three_tank_system({});
+  auto system_b = plant::make_three_tank_system({});
+  ASSERT_TRUE(system_a.ok());
+  ASSERT_TRUE(system_b.ok());
+  const Workload workload_b =
+      borrow_workload(*system_b->specification, *system_b->architecture);
+
+  // system_a's implementation was built against system_a's models.
+  const auto analysis = analyze(workload_b, *system_a->implementation);
+  ASSERT_FALSE(analysis.ok());
+  EXPECT_EQ(analysis.status().code(), StatusCode::kInvalidArgument);
+
+  const auto simulation = simulate(workload_b, *system_a->implementation);
+  EXPECT_FALSE(simulation.ok());
+  const auto validation = validate(workload_b, *system_a->implementation);
+  EXPECT_FALSE(validation.ok());
+}
+
+}  // namespace
+}  // namespace lrt

@@ -74,7 +74,7 @@ MonteCarloOptions fast_options(std::int64_t trials, std::int64_t periods,
   MonteCarloOptions options;
   options.trials = trials;
   options.simulation.periods = periods;
-  options.base_seed = 42;
+  options.seed = 42;
   options.threads = threads;
   return options;
 }
@@ -133,7 +133,7 @@ TEST(MonteCarlo, SameSeedReproducesDifferentSeedPerturbs) {
   EXPECT_EQ(a->find("c1")->reliable_updates, b->find("c1")->reliable_updates);
 
   auto other_options = fast_options(8, 100, 2);
-  other_options.base_seed = 43;
+  other_options.seed = 43;
   const auto c = MonteCarloRunner(other_options).run(*system.impl);
   ASSERT_TRUE(c.ok());
   EXPECT_NE(a->find("c1")->reliable_updates, c->find("c1")->reliable_updates);
@@ -204,7 +204,7 @@ TEST(MonteCarlo, JsonReportIsWellFormedAndComplete) {
   ASSERT_TRUE(report.ok());
   const std::string json = to_json(*report);
   for (const char* key :
-       {"\"implementation\"", "\"trials\"", "\"base_seed\"", "\"threads\"",
+       {"\"implementation\"", "\"trials\"", "\"seed\"", "\"threads\"",
         "\"analysis_sound\"", "\"implementation_reliable\"",
         "\"communicators\"", "\"empirical\"", "\"ci_low\"", "\"ci_high\"",
         "\"analytic_srg\"", "\"lrc\"", "\"trials_per_second\""}) {
