@@ -1,37 +1,44 @@
 #!/usr/bin/env python3
-"""CI bench-smoke gate: compare a fresh BENCH_synthesis.json against the
+"""CI bench-smoke gate: compare a fresh bench summary against its
 checked-in baseline.
 
-Fails (exit 1) when the fast synthesis engine regresses:
-  * search effort: candidates_evaluated or full_evals grew beyond a small
-    tolerance over the recorded baseline (the counters are deterministic,
-    so any real growth is an algorithmic regression, not noise);
-  * result quality: the minimal cost changed in either engine;
-  * wall clock: fast_wall_ms exceeds an absolute budget (generous, since
-    CI machines are slower and noisier than the baseline recorder).
+The rule set is selected by the summary's "benchmark" field, so one gate
+script serves every bench that writes a --json summary:
+
+  synthesis_*  — the fast synthesis engine must not regress:
+    * search effort: candidates_evaluated or full_evals grew beyond a
+      small tolerance over the baseline (the counters are deterministic,
+      so any real growth is an algorithmic regression, not noise);
+    * result quality: the minimal cost changed in either engine;
+    * wall clock: fast_wall_ms exceeds an absolute budget.
+
+  longrun_*    — the event-wheel simulation core must stay a faithful
+    fast path:
+    * identity: the tick and event engines must produce identical
+      results (identical == 1) — the CI-level differential oracle;
+    * determinism: events and ticks_skipped are exact (same workload,
+      same seeds — any drift is a semantics change);
+    * performance: the event/tick speedup must stay above a floor far
+      below the recorded value (machine noise headroom), and
+      event_wall_ms must fit an absolute budget.
+
+Wall budgets are generous (~50-100x the recorded times) since CI machines
+are slower and noisier than the baseline recorder.
 
 Usage: check_bench_baseline.py <fresh.json> <baseline.json>
 """
 import json
 import sys
 
-# Deterministic counters get 10% headroom for harmless refactors; the
-# absolute wall budget is ~100x the recorded time to stay machine-neutral.
+# Deterministic counters get 10% headroom for harmless refactors.
 COUNTER_TOLERANCE = 1.10
-WALL_BUDGET_MS = 250.0
+SYNTHESIS_WALL_BUDGET_MS = 250.0
+LONGRUN_SPEEDUP_FLOOR = 10.0
+LONGRUN_WALL_BUDGET_MS = 250.0
 
 
-def main() -> int:
-    if len(sys.argv) != 3:
-        print(__doc__, file=sys.stderr)
-        return 2
-    with open(sys.argv[1]) as f:
-        fresh = json.load(f)
-    with open(sys.argv[2]) as f:
-        base = json.load(f)
-
+def check_synthesis(fresh, base):
     failures = []
-
     for key in ("reference_cost", "fast_cost"):
         if fresh[key] != base[key]:
             failures.append(
@@ -45,10 +52,10 @@ def main() -> int:
                 f"{key}: {fresh[key]} > {limit:.0f} "
                 f"(baseline {base[key]} +10%): search effort regressed")
 
-    if fresh["fast_wall_ms"] > WALL_BUDGET_MS:
+    if fresh["fast_wall_ms"] > SYNTHESIS_WALL_BUDGET_MS:
         failures.append(
             f"fast_wall_ms: {fresh['fast_wall_ms']:.3f} > budget "
-            f"{WALL_BUDGET_MS} ms")
+            f"{SYNTHESIS_WALL_BUDGET_MS} ms")
 
     print(f"fresh:    cost={fresh['fast_cost']} "
           f"candidates={fresh['fast_candidates_evaluated']} "
@@ -59,12 +66,81 @@ def main() -> int:
           f"candidates={base['fast_candidates_evaluated']} "
           f"full_evals={base['fast_full_evals']} "
           f"wall={base['fast_wall_ms']:.3f}ms")
+    return failures
 
+
+def check_longrun(fresh, base):
+    failures = []
+    if fresh["identical"] != 1:
+        failures.append(
+            "identical: tick and event engine results DIVERGED — "
+            "the event core broke bit-identity")
+
+    # Both engines are seeded and deterministic: the event count and the
+    # skipped-tick count must match the baseline exactly.
+    for key in ("horizon_ticks", "events", "ticks_skipped"):
+        if fresh[key] != base[key]:
+            failures.append(
+                f"{key}: {fresh[key]} != baseline {base[key]} "
+                "(event schedule changed)")
+
+    if fresh["speedup"] < LONGRUN_SPEEDUP_FLOOR:
+        failures.append(
+            f"speedup: {fresh['speedup']:.1f}x < floor "
+            f"{LONGRUN_SPEEDUP_FLOOR}x (baseline {base['speedup']:.1f}x): "
+            "the event engine lost its sparse-workload advantage")
+
+    if fresh["event_wall_ms"] > LONGRUN_WALL_BUDGET_MS:
+        failures.append(
+            f"event_wall_ms: {fresh['event_wall_ms']:.3f} > budget "
+            f"{LONGRUN_WALL_BUDGET_MS} ms")
+
+    print(f"fresh:    identical={fresh['identical']} "
+          f"events={fresh['events']} "
+          f"speedup={fresh['speedup']:.1f}x "
+          f"event_wall={fresh['event_wall_ms']:.3f}ms")
+    print(f"baseline: identical={base['identical']} "
+          f"events={base['events']} "
+          f"speedup={base['speedup']:.1f}x "
+          f"event_wall={base['event_wall_ms']:.3f}ms")
+    return failures
+
+
+RULES = {
+    "synthesis": check_synthesis,
+    "longrun": check_longrun,
+}
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        fresh = json.load(f)
+    with open(sys.argv[2]) as f:
+        base = json.load(f)
+
+    fresh_bench = fresh.get("benchmark", "")
+    base_bench = base.get("benchmark", "")
+    if fresh_bench != base_bench:
+        print(f"REGRESSION: benchmark mismatch: fresh '{fresh_bench}' vs "
+              f"baseline '{base_bench}'", file=sys.stderr)
+        return 1
+
+    checker = next((fn for prefix, fn in RULES.items()
+                    if fresh_bench.startswith(prefix)), None)
+    if checker is None:
+        print(f"REGRESSION: no gate rules for benchmark '{fresh_bench}'",
+              file=sys.stderr)
+        return 1
+
+    failures = checker(fresh, base)
     if failures:
         for failure in failures:
             print(f"REGRESSION: {failure}", file=sys.stderr)
         return 1
-    print("bench baseline gate: OK")
+    print(f"bench baseline gate ({fresh_bench}): OK")
     return 0
 
 

@@ -15,6 +15,18 @@ namespace lrt::sim {
 /// All times are absolute ticks.
 class Environment {
  public:
+  /// Granularity contract for advance(). The tick engine always calls
+  /// advance() once per base tick; the event engine jumps across idle
+  /// spans and asks the environment how to bridge them:
+  ///  * kEveryTick (safe default): advance() is replayed once per base
+  ///    tick across the span — bit-identical for stateful integrators
+  ///    whose result depends on the step sequence (e.g. the 3TS plant);
+  ///  * kCoalesce: the environment promises advance(t, a + b) is
+  ///    equivalent to advance(t, a); advance(t + a, b), so one call may
+  ///    cover the whole idle span. This is what makes sparse workloads
+  ///    O(events) instead of O(ticks).
+  enum class AdvanceGranularity { kEveryTick, kCoalesce };
+
   virtual ~Environment() = default;
 
   /// The physical value a (non-failed) sensor writes to input communicator
@@ -28,11 +40,17 @@ class Environment {
   virtual void write_actuator(std::string_view comm, spec::Time now,
                               const spec::Value& value) = 0;
 
-  /// Advance the physical model from `now` to `now + dt` (called once per
-  /// base tick, after all commits of the tick).
+  /// Advance the physical model from `now` to `now + dt` (under the tick
+  /// engine: called once per base tick, after all commits of the tick).
   virtual void advance(spec::Time now, spec::Time dt) {
     (void)now;
     (void)dt;
+  }
+
+  /// See AdvanceGranularity. Override to kCoalesce when advance() is
+  /// additive in dt (stateless environments, closed-form models).
+  [[nodiscard]] virtual AdvanceGranularity advance_granularity() const {
+    return AdvanceGranularity::kEveryTick;
   }
 };
 
@@ -45,6 +63,9 @@ class NullEnvironment final : public Environment {
   }
   void write_actuator(std::string_view, spec::Time,
                       const spec::Value&) override {}
+  [[nodiscard]] AdvanceGranularity advance_granularity() const override {
+    return AdvanceGranularity::kCoalesce;
+  }
 };
 
 }  // namespace lrt::sim

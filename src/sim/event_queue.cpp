@@ -1,0 +1,136 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace lrt::sim {
+
+namespace {
+constexpr std::size_t kNpos = std::numeric_limits<std::size_t>::max();
+}  // namespace
+
+EventQueue::EventQueue(spec::Time bucket_width, std::size_t num_buckets)
+    : buckets_(std::max<std::size_t>(num_buckets, 2)),
+      bucket_width_(std::max<spec::Time>(bucket_width, 1)) {}
+
+bool EventQueue::before(const Event& a, const Event& b) {
+  if (a.time != b.time) return a.time < b.time;
+  if (a.klass != b.klass) return a.klass < b.klass;
+  return a.seq < b.seq;
+}
+
+EventQueue::Handle EventQueue::schedule(spec::Time time, EventClass klass,
+                                        std::uint64_t payload) {
+  assert(time >= 0 && "event times are nonnegative ticks");
+  Entry entry;
+  entry.event = {time, klass, payload, next_seq_++};
+  entry.handle = next_handle_++;
+  pending_.insert(entry.handle);
+  buckets_[bucket_of(time)].push_back(entry);
+  ++live_;
+  // An event behind the scan position would be missed this rotation:
+  // rewind the cursor to its slot. Monotone schedulers never hit this.
+  const spec::Time year = year_of(time);
+  const std::size_t slot = bucket_of(time);
+  if (year < cursor_year_ || (year == cursor_year_ && slot < cursor_)) {
+    cursor_year_ = year;
+    cursor_ = slot;
+  }
+  return entry.handle;
+}
+
+bool EventQueue::cancel(Handle handle) {
+  if (pending_.erase(handle) == 0) return false;
+  --live_;
+  return true;
+}
+
+std::size_t EventQueue::sweep_and_min(std::vector<Entry>& bucket) {
+  // Lazy cancellation: compact out entries whose handle is gone.
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < bucket.size(); ++i) {
+    if (pending_.count(bucket[i].handle) == 0) continue;
+    if (kept != i) bucket[kept] = std::move(bucket[i]);
+    ++kept;
+  }
+  bucket.resize(kept);
+  if (bucket.empty()) return kNpos;
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < bucket.size(); ++i) {
+    if (before(bucket[i].event, bucket[best].event)) best = i;
+  }
+  return best;
+}
+
+std::size_t EventQueue::locate_min() {
+  assert(live_ > 0 && "locate_min on an empty queue");
+  const auto wheel_span =
+      bucket_width_ * static_cast<spec::Time>(buckets_.size());
+  // One rotation: visit each bucket once, accepting only entries that
+  // belong to the rotation the cursor is scanning.
+  for (std::size_t visited = 0; visited < buckets_.size(); ++visited) {
+    auto& bucket = buckets_[cursor_];
+    const std::size_t min_index = sweep_and_min(bucket);
+    if (min_index != kNpos) {
+      // The bucket's minimum may still belong to a later year (calendar
+      // overflow); only an in-year entry stops the scan.
+      const spec::Time year_start = cursor_year_ * wheel_span;
+      const spec::Time slot_start =
+          year_start + static_cast<spec::Time>(cursor_) * bucket_width_;
+      std::size_t best = kNpos;
+      for (std::size_t i = 0; i < bucket.size(); ++i) {
+        if (bucket[i].event.time < slot_start ||
+            bucket[i].event.time >= slot_start + bucket_width_) {
+          continue;
+        }
+        if (best == kNpos ||
+            before(bucket[i].event, bucket[best].event)) {
+          best = i;
+        }
+      }
+      if (best != kNpos) return best;
+    }
+    // Advance the cursor, wrapping into the next year.
+    if (++cursor_ == buckets_.size()) {
+      cursor_ = 0;
+      ++cursor_year_;
+    }
+  }
+  // Empty-calendar fast-forward: a full rotation found nothing due, so
+  // the next event lies beyond the current year. Jump the cursor to the
+  // global minimum instead of spinning through empty rotations.
+  std::size_t best_bucket = kNpos;
+  std::size_t best_index = kNpos;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    const std::size_t min_index = sweep_and_min(buckets_[b]);
+    if (min_index == kNpos) continue;
+    if (best_bucket == kNpos ||
+        before(buckets_[b][min_index].event,
+               buckets_[best_bucket][best_index].event)) {
+      best_bucket = b;
+      best_index = min_index;
+    }
+  }
+  assert(best_bucket != kNpos && "live_ > 0 but no live entry found");
+  cursor_ = best_bucket;
+  cursor_year_ = year_of(buckets_[best_bucket][best_index].event.time);
+  return best_index;
+}
+
+spec::Time EventQueue::next_time() {
+  const std::size_t index = locate_min();
+  return buckets_[cursor_][index].event.time;
+}
+
+Event EventQueue::pop() {
+  const std::size_t index = locate_min();
+  auto& bucket = buckets_[cursor_];
+  const Event event = bucket[index].event;
+  pending_.erase(bucket[index].handle);
+  bucket.erase(bucket.begin() + static_cast<std::ptrdiff_t>(index));
+  --live_;
+  return event;
+}
+
+}  // namespace lrt::sim

@@ -1,0 +1,163 @@
+#include "sim/event_runtime.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/runtime_core.h"
+
+namespace lrt::sim::detail {
+
+namespace {
+
+using spec::CommId;
+using spec::TaskId;
+using spec::Time;
+
+/// Rounds `time` up to the grid instant at which the tick engine would
+/// observe it (its body applies a host event at the first tick >= time).
+Time round_up_to_grid(Time time, Time step) {
+  if (time <= 0) return 0;
+  return ((time + step - 1) / step) * step;
+}
+
+/// Smallest power of two >= n, clamped to the wheel-size range the queue
+/// stays cheap in.
+std::size_t wheel_buckets(std::size_t n) {
+  std::size_t size = 8;
+  while (size < n && size < 4096) size *= 2;
+  return size;
+}
+
+}  // namespace
+
+Result<SimulationResult> run_event_engine(
+    std::span<const impl::Implementation> phases, Environment& env,
+    const SimulationOptions& options) {
+  RuntimeCore core(phases, env, options);
+  LRT_RETURN_IF_ERROR(core.init());
+  const Time step = core.step();
+  const Time duration = core.duration();
+  const Time hyperperiod = core.hyperperiod();
+  const spec::Specification& spec = core.spec();
+  const auto num_comms = static_cast<CommId>(spec.communicators().size());
+  const auto num_tasks = static_cast<TaskId>(spec.tasks().size());
+
+  // Calendar geometry: width near the mean spacing of periodic activations
+  // within one specification period, wheel sized to the pending-event
+  // population (comms + tasks + boundary + fault plan). Correctness never
+  // depends on these choices, only the constant factor does.
+  Time activations_per_period = 1;  // the boundary event
+  for (CommId c = 0; c < num_comms; ++c) {
+    activations_per_period += hyperperiod / spec.communicator(c).period;
+  }
+  activations_per_period += num_tasks;
+  const Time width =
+      std::max<Time>(1, hyperperiod / activations_per_period);
+  EventQueue queue(width,
+                   wheel_buckets(static_cast<std::size_t>(num_comms) +
+                                 static_cast<std::size_t>(num_tasks) +
+                                 core.host_events().size() + 4));
+
+  // Periodic sources reschedule themselves as they pop; scripted host
+  // events are one-shot, rounded up to the tick the reference engine
+  // applies them at (events landing past the last tick never fire there
+  // either).
+  for (CommId c = 0; c < num_comms; ++c) {
+    queue.schedule(0, EventClass::kCommAccess, static_cast<std::uint64_t>(c));
+  }
+  std::vector<EventQueue::Handle> release(
+      static_cast<std::size_t>(num_tasks), EventQueue::kInvalidHandle);
+  for (TaskId t = 0; t < num_tasks; ++t) {
+    release[static_cast<std::size_t>(t)] =
+        queue.schedule(spec.read_time(t), EventClass::kTaskRelease,
+                       static_cast<std::uint64_t>(t));
+  }
+  queue.schedule(0, EventClass::kPeriodBoundary);
+  for (const FaultPlan::HostEvent& host_event : core.host_events()) {
+    const Time at = round_up_to_grid(host_event.time, step);
+    if (at < duration) queue.schedule(at, EventClass::kHostAvailability);
+  }
+
+  obs::Tracer* tracer = core.tracer();
+  const std::int64_t run_start_us = tracer != nullptr ? tracer->now_us() : 0;
+  std::int64_t events_processed = 0;
+  std::int64_t active_instants = 0;
+  const impl::Implementation* last_override = core.override_mapping();
+
+  Time now = 0;  // everything strictly before `now` has been simulated
+  while (!queue.empty()) {
+    const Time at = queue.next_time();
+    if (at >= duration) break;
+    // Drain every event due at this instant; periodic sources re-arm for
+    // their next occurrence so the window below sees it.
+    while (!queue.empty() && queue.next_time() == at) {
+      const Event event = queue.pop();
+      ++events_processed;
+      switch (event.klass) {
+        case EventClass::kCommAccess:
+          queue.schedule(
+              at + spec.communicator(static_cast<CommId>(event.payload))
+                       .period,
+              EventClass::kCommAccess, event.payload);
+          break;
+        case EventClass::kTaskRelease:
+          release[static_cast<std::size_t>(event.payload)] = queue.schedule(
+              at + hyperperiod, EventClass::kTaskRelease, event.payload);
+          break;
+        case EventClass::kPeriodBoundary:
+          queue.schedule(at + hyperperiod, EventClass::kPeriodBoundary);
+          break;
+        case EventClass::kHostAvailability:
+          break;  // one-shot
+      }
+    }
+    LRT_RETURN_IF_ERROR(core.tick(at));
+    ++active_instants;
+    // A monitor remap may have unmapped tasks (their pending releases are
+    // cancelled — pure pruning, since the shared body is a no-op for a
+    // hostless task) or mapped previously idle ones (released from the
+    // next read instant on; the boundary instant itself already ran).
+    if (core.override_mapping() != last_override) {
+      last_override = core.override_mapping();
+      for (TaskId t = 0; t < num_tasks; ++t) {
+        const auto ts = static_cast<std::size_t>(t);
+        const bool mapped = !last_override->hosts_for(t).empty();
+        if (!mapped && release[ts] != EventQueue::kInvalidHandle) {
+          queue.cancel(release[ts]);
+          release[ts] = EventQueue::kInvalidHandle;
+        } else if (mapped && release[ts] == EventQueue::kInvalidHandle) {
+          const Time read = spec.read_time(t);
+          release[ts] = queue.schedule(
+              read == 0 ? at + hyperperiod : at + read,
+              EventClass::kTaskRelease, static_cast<std::uint64_t>(t));
+        }
+      }
+    }
+    const Time next =
+        queue.empty() ? duration : std::min(queue.next_time(), duration);
+    core.advance_processors(at, next);
+    core.advance_environment(at, next);
+    now = next;
+  }
+  // Trailing idle window (a cancelled-out calendar, or a horizon ending
+  // between activations).
+  core.advance_processors(now, duration);
+  core.advance_environment(now, duration);
+
+  if (tracer != nullptr) {
+    tracer->complete(
+        "sim", "event", run_start_us, tracer->now_us(),
+        {{"events", static_cast<double>(events_processed)},
+         {"active_instants", static_cast<double>(active_instants)}});
+  }
+  if (const obs::Sink* sink = core.sink(); sink != nullptr) {
+    sink->counter_add("sim.events", events_processed);
+    sink->counter_add("sim.ticks_skipped",
+                      duration / step - active_instants);
+  }
+  return core.finish();
+}
+
+}  // namespace lrt::sim::detail

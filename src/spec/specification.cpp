@@ -67,6 +67,7 @@ Result<Specification> Specification::Build(SpecificationConfig config) {
   periods.reserve(spec.communicators_.size());
   for (const auto& comm : spec.communicators_) periods.push_back(comm.period);
   spec.base_lcm_ = lcm_all(periods);
+  spec.base_period_ = gcd_all(periods);
 
   const auto resolve = [&spec](const std::string& task_name,
                                const std::pair<std::string, std::int64_t>& ref,

@@ -71,6 +71,12 @@ class Specification {
   /// Least common multiple of all communicator periods (lcm(cset)).
   [[nodiscard]] Time base_lcm() const { return base_lcm_; }
 
+  /// The harmonic grid step gcd(cset): every access, read, and write
+  /// instant is a multiple of it. Computed once at Build time — the
+  /// simulation engines and benches share this value instead of
+  /// re-deriving the gcd per run.
+  [[nodiscard]] Time base_period() const { return base_period_; }
+
   /// The specification period pi_S = lcm(cset) * ceil(max_t write_t / lcm):
   /// all tasks repeat with this periodicity.
   [[nodiscard]] Time hyperperiod() const { return hyperperiod_; }
@@ -132,6 +138,7 @@ class Specification {
   std::vector<std::vector<TaskId>> readers_;
   std::vector<std::vector<CommId>> input_comm_sets_;
   Time base_lcm_ = 1;
+  Time base_period_ = 1;
   Time hyperperiod_ = 1;
 };
 
