@@ -35,6 +35,7 @@ COUNTER_TOLERANCE = 1.10
 SYNTHESIS_WALL_BUDGET_MS = 250.0
 LONGRUN_SPEEDUP_FLOOR = 10.0
 LONGRUN_WALL_BUDGET_MS = 250.0
+UPDATE_WALL_BUDGET_MS = 250.0
 
 
 def check_synthesis(fresh, base):
@@ -106,9 +107,56 @@ def check_longrun(fresh, base):
     return failures
 
 
+def check_update(fresh, base):
+    failures = []
+    if fresh["identical"] != 1:
+        failures.append(
+            "identical: the updated run DIVERGED between the tick and "
+            "event engines — the hot-swap broke bit-identity")
+    if fresh["committed"] != 1:
+        failures.append(
+            "committed: the live update no longer commits (rejected or "
+            "rolled back)")
+
+    # The transaction schedule is deterministic: the swap count and the
+    # propose-to-install lag (in instants) must match exactly.
+    for key in ("spec_swaps", "install_latency_instants"):
+        if fresh[key] != base[key]:
+            failures.append(
+                f"{key}: {fresh[key]} != baseline {base[key]} "
+                "(update transaction schedule changed)")
+
+    limit = base["resynth_candidates"] * COUNTER_TOLERANCE + 1
+    if fresh["resynth_candidates"] > limit:
+        failures.append(
+            f"resynth_candidates: {fresh['resynth_candidates']} > "
+            f"{limit:.0f} (baseline {base['resynth_candidates']} +10%): "
+            "pinned re-synthesis search effort regressed")
+
+    for key in ("refine_wall_ms", "resynth_wall_ms"):
+        if fresh[key] > UPDATE_WALL_BUDGET_MS:
+            failures.append(
+                f"{key}: {fresh[key]:.3f} > budget "
+                f"{UPDATE_WALL_BUDGET_MS} ms")
+
+    print(f"fresh:    identical={fresh['identical']} "
+          f"swaps={fresh['spec_swaps']} "
+          f"install_latency={fresh['install_latency_instants']} "
+          f"refine={fresh['refine_wall_ms']:.3f}ms "
+          f"resynth={fresh['resynth_wall_ms']:.3f}ms "
+          f"candidates={fresh['resynth_candidates']}")
+    print(f"baseline: identical={base['identical']} "
+          f"swaps={base['spec_swaps']} "
+          f"install_latency={base['install_latency_instants']} "
+          f"resynth={base['resynth_wall_ms']:.3f}ms "
+          f"candidates={base['resynth_candidates']}")
+    return failures
+
+
 RULES = {
     "synthesis": check_synthesis,
     "longrun": check_longrun,
+    "update": check_update,
 }
 
 

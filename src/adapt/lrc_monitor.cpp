@@ -1,5 +1,6 @@
 #include "adapt/lrc_monitor.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "support/strings.h"
@@ -40,6 +41,17 @@ void LrcMonitor::record_update(spec::Time /*now*/, spec::CommId comm,
   state.head = (state.head + 1) % options_.window;
   state.window_successes += reliable ? 1 : 0;
   ++state.updates;
+}
+
+void LrcMonitor::reset(spec::Time now) {
+  for (CommState& state : comms_) {
+    std::fill(state.ring.begin(), state.ring.end(), std::uint8_t{0});
+    state.head = 0;
+    state.filled = 0;
+    state.window_successes = 0;
+    // state.updates is the lifetime count and survives on purpose.
+  }
+  last_reset_ = now;
 }
 
 double LrcMonitor::windowed_rate(spec::CommId comm) const {

@@ -45,6 +45,17 @@ class LrcMonitor {
 
   void record_update(spec::Time now, spec::CommId comm, bool reliable);
 
+  /// Forgets every windowed observation (ring, head, window_successes)
+  /// while keeping the lifetime update counters. Called when the workload
+  /// the monitor is judging changes under it — a repair remap or a live
+  /// update install — so pre-change evidence cannot indict (or excuse) the
+  /// post-change mapping. States return to kHealthy until min_updates
+  /// fresh events accumulate.
+  void reset(spec::Time now);
+
+  /// Instant of the last reset() (0 before the first).
+  [[nodiscard]] spec::Time last_reset() const { return last_reset_; }
+
   [[nodiscard]] LrcState state(spec::CommId comm) const;
   /// Windowed update reliability (1.0 before any update).
   [[nodiscard]] double windowed_rate(spec::CommId comm) const;
@@ -70,6 +81,7 @@ class LrcMonitor {
   const spec::Specification* spec_;
   LrcMonitorOptions options_;
   std::vector<CommState> comms_;  // by CommId
+  spec::Time last_reset_ = 0;
 };
 
 }  // namespace lrt::adapt

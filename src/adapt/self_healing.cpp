@@ -104,6 +104,9 @@ const impl::Implementation* SelfHealingController::on_period_boundary(
   record.plan = *std::move(planned);
   repairs_.push_back(std::move(record));
   post_repair_.assign(post_repair_.size(), {});
+  // Pre-repair evidence judged the outgoing mapping; start the watchdog's
+  // window fresh for the one being installed.
+  lrc_.reset(now);
   if (sink_ != nullptr) {
     sink_->counter_add("adapt.repairs_installed");
     sink_->instant(

@@ -94,11 +94,8 @@ class EMachineSystem {
       result_.value_traces.emplace(name, std::vector<Value>{});
     }
 
-    std::vector<Time> periods;
-    for (const auto& comm : spec_.communicators()) {
-      periods.push_back(comm.period);
-    }
-    const Time step = gcd_all(periods);
+    // The harmonic grid step, derived once at Build time.
+    const Time step = spec_.base_period();
     const Time duration = spec_.hyperperiod() * options_.periods;
 
     for (Time now = 0; now < duration; now += step) {

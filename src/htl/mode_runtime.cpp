@@ -8,7 +8,6 @@
 #include "reliability/analysis.h"
 #include "sched/schedulability.h"
 #include "sim/voting.h"
-#include "support/math_util.h"
 #include "support/rng.h"
 
 namespace lrt::htl {
@@ -84,11 +83,8 @@ class ModeRuntime {
       is_actuator_[static_cast<std::size_t>(*comm)] = true;
     }
 
-    std::vector<Time> periods;
-    for (const auto& comm : spec0.communicators()) {
-      periods.push_back(comm.period);
-    }
-    const Time step = gcd_all(periods);
+    // The harmonic grid step, derived once at Build time.
+    const Time step = spec0.base_period();
 
     host_up_.assign(system->architecture->hosts().size(), true);
     host_events_ = options_.faults.host_events;

@@ -98,6 +98,33 @@ Result<synth::SynthesisResult> synthesize(
                            std::move(sensor_bindings), options);
 }
 
+Result<adapt::UpdateReport> update(const Workload& workload,
+                                   const impl::Implementation& implementation,
+                                   spec::SpecificationConfig proposed,
+                                   const UpdateOptions& options) {
+  LRT_RETURN_IF_ERROR(check_membership(workload, implementation));
+  if (options.run.simulation.monitor != nullptr) {
+    return InvalidArgumentError(
+        "lrt::update installs its own RuntimeMonitor; "
+        "options.run.simulation.monitor must be null");
+  }
+  adapt::UpdateEngine engine(implementation, options.update);
+  LRT_RETURN_IF_ERROR(
+      engine.propose(0, std::move(proposed), options.sensor_bindings));
+  sim::SimulationOptions sim_options = options.run.simulation;
+  sim_options.monitor = &engine;
+  Result<sim::SimulationResult> run = [&] {
+    if (options.run.environment != nullptr) {
+      return sim::simulate(implementation, *options.run.environment,
+                           sim_options);
+    }
+    sim::NullEnvironment env;
+    return sim::simulate(implementation, env, sim_options);
+  }();
+  LRT_RETURN_IF_ERROR(run.status());
+  return engine.report();
+}
+
 Result<lint::LintResult> check(std::string_view source,
                                const lint::LintOptions& options) {
   return lint::lint_source(source, options);

@@ -31,6 +31,7 @@
 #include <string_view>
 #include <vector>
 
+#include "adapt/live_update.h"
 #include "arch/architecture.h"
 #include "impl/implementation.h"
 #include "lint/lint.h"
@@ -99,6 +100,32 @@ struct SimulateOptions {
     const Workload& workload,
     std::vector<impl::ImplementationConfig::SensorBinding> sensor_bindings,
     const synth::SynthesisOptions& options = {});
+
+struct UpdateOptions {
+  /// Transaction policy: verification strategy, probation window,
+  /// earliest install instant, observability.
+  adapt::LiveUpdateOptions update;
+  /// The run the transaction executes inside. `run.simulation.monitor`
+  /// must be null — the update engine IS the monitor for this run.
+  SimulateOptions run;
+  /// Sensor bindings for input communicators the running workload does
+  /// not already bind (a spliced input, say); carried-over communicators
+  /// keep their existing sensors by name.
+  std::vector<impl::ImplementationConfig::SensorBinding> sensor_bindings;
+};
+
+/// Runs one transactional live update end to end: stages `proposed`
+/// against the running `implementation` (propose + verify before the
+/// simulation starts), simulates under an adapt::UpdateEngine monitor —
+/// installing at the first eligible boundary, watching probation, rolling
+/// back on regression — and returns the transaction record. A rejected
+/// proposal still runs the simulation untouched (its state says
+/// kRejected and the workload never swaps). Errors are reserved for API
+/// misuse: empty workload, foreign implementation, or a monitor already
+/// set in `options.run`.
+[[nodiscard]] Result<adapt::UpdateReport> update(
+    const Workload& workload, const impl::Implementation& implementation,
+    spec::SpecificationConfig proposed, const UpdateOptions& options = {});
 
 /// Static analysis of HTL source: bit-identical to
 /// lint::lint_source(source, options). Deviates from the

@@ -17,9 +17,10 @@ using spec::Time;
 
 /// Rounds `time` up to the grid instant at which the tick engine would
 /// observe it (its body applies a host event at the first tick >= time).
-Time round_up_to_grid(Time time, Time step) {
-  if (time <= 0) return 0;
-  return ((time + step - 1) / step) * step;
+/// The grid is anchored at `epoch` (0 until a live update rebases it).
+Time round_up_to_grid(Time time, Time step, Time epoch) {
+  if (time <= epoch) return epoch;
+  return epoch + ((time - epoch + step - 1) / step) * step;
 }
 
 /// Smallest power of two >= n, clamped to the wheel-size range the queue
@@ -37,20 +38,23 @@ Result<SimulationResult> run_event_engine(
     const SimulationOptions& options) {
   RuntimeCore core(phases, env, options);
   LRT_RETURN_IF_ERROR(core.init());
-  const Time step = core.step();
   const Time duration = core.duration();
-  const Time hyperperiod = core.hyperperiod();
-  const spec::Specification& spec = core.spec();
-  const auto num_comms = static_cast<CommId>(spec.communicators().size());
-  const auto num_tasks = static_cast<TaskId>(spec.tasks().size());
+  // Grid quantities of the specification currently in force; a live
+  // update (RuntimeCore generation bump) refreshes them mid-run.
+  Time step = core.step();
+  Time hyperperiod = core.hyperperiod();
+  auto num_comms =
+      static_cast<CommId>(core.spec().communicators().size());
+  auto num_tasks = static_cast<TaskId>(core.spec().tasks().size());
 
   // Calendar geometry: width near the mean spacing of periodic activations
   // within one specification period, wheel sized to the pending-event
   // population (comms + tasks + boundary + fault plan). Correctness never
-  // depends on these choices, only the constant factor does.
+  // depends on these choices (a hot-swap keeps the geometry), only the
+  // constant factor does.
   Time activations_per_period = 1;  // the boundary event
   for (CommId c = 0; c < num_comms; ++c) {
-    activations_per_period += hyperperiod / spec.communicator(c).period;
+    activations_per_period += hyperperiod / core.spec().communicator(c).period;
   }
   activations_per_period += num_tasks;
   const Time width =
@@ -63,21 +67,31 @@ Result<SimulationResult> run_event_engine(
   // Periodic sources reschedule themselves as they pop; scripted host
   // events are one-shot, rounded up to the tick the reference engine
   // applies them at (events landing past the last tick never fire there
-  // either).
+  // either). Every handle is tracked so a live update can cancel the
+  // stale calendar wholesale.
+  std::vector<EventQueue::Handle> access(
+      static_cast<std::size_t>(num_comms), EventQueue::kInvalidHandle);
   for (CommId c = 0; c < num_comms; ++c) {
-    queue.schedule(0, EventClass::kCommAccess, static_cast<std::uint64_t>(c));
+    access[static_cast<std::size_t>(c)] = queue.schedule(
+        0, EventClass::kCommAccess, static_cast<std::uint64_t>(c));
   }
   std::vector<EventQueue::Handle> release(
       static_cast<std::size_t>(num_tasks), EventQueue::kInvalidHandle);
   for (TaskId t = 0; t < num_tasks; ++t) {
     release[static_cast<std::size_t>(t)] =
-        queue.schedule(spec.read_time(t), EventClass::kTaskRelease,
+        queue.schedule(core.spec().read_time(t), EventClass::kTaskRelease,
                        static_cast<std::uint64_t>(t));
   }
-  queue.schedule(0, EventClass::kPeriodBoundary);
-  for (const FaultPlan::HostEvent& host_event : core.host_events()) {
-    const Time at = round_up_to_grid(host_event.time, step);
-    if (at < duration) queue.schedule(at, EventClass::kHostAvailability);
+  EventQueue::Handle boundary = queue.schedule(0, EventClass::kPeriodBoundary);
+  std::vector<EventQueue::Handle> host_handle(core.host_events().size(),
+                                              EventQueue::kInvalidHandle);
+  for (std::size_t e = 0; e < core.host_events().size(); ++e) {
+    const Time at =
+        round_up_to_grid(core.host_events()[e].time, step, /*epoch=*/0);
+    if (at < duration) {
+      host_handle[e] = queue.schedule(at, EventClass::kHostAvailability,
+                                      static_cast<std::uint64_t>(e));
+    }
   }
 
   obs::Tracer* tracer = core.tracer();
@@ -85,20 +99,27 @@ Result<SimulationResult> run_event_engine(
   std::int64_t events_processed = 0;
   std::int64_t active_instants = 0;
   const impl::Implementation* last_override = core.override_mapping();
+  std::int64_t generation = core.generation();
+  // Skipped-instant accounting must survive a step change: grid instants
+  // are summed per generation segment ([grid_from, swap) on the old step).
+  std::int64_t grid_instants = 0;
+  Time grid_from = 0;
 
   Time now = 0;  // everything strictly before `now` has been simulated
   while (!queue.empty()) {
     const Time at = queue.next_time();
     if (at >= duration) break;
     // Drain every event due at this instant; periodic sources re-arm for
-    // their next occurrence so the window below sees it.
+    // their next occurrence so the window below sees it. (Re-arms use the
+    // pre-tick specification; a hot-swap inside the tick cancels them.)
     while (!queue.empty() && queue.next_time() == at) {
       const Event event = queue.pop();
       ++events_processed;
       switch (event.klass) {
         case EventClass::kCommAccess:
-          queue.schedule(
-              at + spec.communicator(static_cast<CommId>(event.payload))
+          access[static_cast<std::size_t>(event.payload)] = queue.schedule(
+              at + core.spec()
+                       .communicator(static_cast<CommId>(event.payload))
                        .period,
               EventClass::kCommAccess, event.payload);
           break;
@@ -107,19 +128,75 @@ Result<SimulationResult> run_event_engine(
               at + hyperperiod, EventClass::kTaskRelease, event.payload);
           break;
         case EventClass::kPeriodBoundary:
-          queue.schedule(at + hyperperiod, EventClass::kPeriodBoundary);
+          boundary = queue.schedule(at + hyperperiod,
+                                    EventClass::kPeriodBoundary);
           break;
         case EventClass::kHostAvailability:
-          break;  // one-shot
+          host_handle[static_cast<std::size_t>(event.payload)] =
+              EventQueue::kInvalidHandle;  // one-shot
+          break;
       }
     }
     LRT_RETURN_IF_ERROR(core.tick(at));
     ++active_instants;
-    // A monitor remap may have unmapped tasks (their pending releases are
-    // cancelled — pure pruning, since the shared body is a no-op for a
-    // hostless task) or mapped previously idle ones (released from the
-    // next read instant on; the boundary instant itself already ran).
-    if (core.override_mapping() != last_override) {
+    if (core.generation() != generation) {
+      // The workload was hot-swapped inside the tick: every pending event
+      // derived from the outgoing specification is stale. Close the
+      // outgoing grid segment, then rebuild the calendar from the
+      // incoming specification with the swap instant as epoch.
+      generation = core.generation();
+      grid_instants += (at - grid_from) / step;
+      grid_from = at;
+      step = core.step();
+      hyperperiod = core.hyperperiod();
+      num_comms = static_cast<CommId>(core.spec().communicators().size());
+      num_tasks = static_cast<TaskId>(core.spec().tasks().size());
+      for (const EventQueue::Handle h : access) {
+        if (h != EventQueue::kInvalidHandle) queue.cancel(h);
+      }
+      for (const EventQueue::Handle h : release) {
+        if (h != EventQueue::kInvalidHandle) queue.cancel(h);
+      }
+      queue.cancel(boundary);
+      // The swap instant itself already ran under the incoming
+      // specification's latch/execute half, so every periodic source
+      // re-arms for its next epoch-relative occurrence.
+      access.assign(static_cast<std::size_t>(num_comms),
+                    EventQueue::kInvalidHandle);
+      for (CommId c = 0; c < num_comms; ++c) {
+        access[static_cast<std::size_t>(c)] = queue.schedule(
+            at + core.spec().communicator(c).period, EventClass::kCommAccess,
+            static_cast<std::uint64_t>(c));
+      }
+      last_override = core.override_mapping();
+      release.assign(static_cast<std::size_t>(num_tasks),
+                     EventQueue::kInvalidHandle);
+      for (TaskId t = 0; t < num_tasks; ++t) {
+        if (last_override->hosts_for(t).empty()) continue;
+        const Time read = core.spec().read_time(t);
+        release[static_cast<std::size_t>(t)] = queue.schedule(
+            read == 0 ? at + hyperperiod : at + read, EventClass::kTaskRelease,
+            static_cast<std::uint64_t>(t));
+      }
+      boundary = queue.schedule(at + hyperperiod, EventClass::kPeriodBoundary);
+      // Unfired scripted host events re-round onto the new grid.
+      for (std::size_t e = 0; e < host_handle.size(); ++e) {
+        if (host_handle[e] == EventQueue::kInvalidHandle) continue;
+        queue.cancel(host_handle[e]);
+        host_handle[e] = EventQueue::kInvalidHandle;
+        const Time rounded =
+            round_up_to_grid(core.host_events()[e].time, step, at);
+        if (rounded < duration) {
+          host_handle[e] = queue.schedule(rounded,
+                                          EventClass::kHostAvailability,
+                                          static_cast<std::uint64_t>(e));
+        }
+      }
+    } else if (core.override_mapping() != last_override) {
+      // A monitor remap may have unmapped tasks (their pending releases
+      // are cancelled — pure pruning, since the shared body is a no-op for
+      // a hostless task) or mapped previously idle ones (released from the
+      // next read instant on; the boundary instant itself already ran).
       last_override = core.override_mapping();
       for (TaskId t = 0; t < num_tasks; ++t) {
         const auto ts = static_cast<std::size_t>(t);
@@ -128,7 +205,7 @@ Result<SimulationResult> run_event_engine(
           queue.cancel(release[ts]);
           release[ts] = EventQueue::kInvalidHandle;
         } else if (mapped && release[ts] == EventQueue::kInvalidHandle) {
-          const Time read = spec.read_time(t);
+          const Time read = core.spec().read_time(t);
           release[ts] = queue.schedule(
               read == 0 ? at + hyperperiod : at + read,
               EventClass::kTaskRelease, static_cast<std::uint64_t>(t));
@@ -153,9 +230,11 @@ Result<SimulationResult> run_event_engine(
          {"active_instants", static_cast<double>(active_instants)}});
   }
   if (const obs::Sink* sink = core.sink(); sink != nullptr) {
+    // Final grid segment: the horizon need not be a multiple of the
+    // post-swap step, so the tick count rounds up.
+    grid_instants += (duration - grid_from + step - 1) / step;
     sink->counter_add("sim.events", events_processed);
-    sink->counter_add("sim.ticks_skipped",
-                      duration / step - active_instants);
+    sink->counter_add("sim.ticks_skipped", grid_instants - active_instants);
   }
   return core.finish();
 }

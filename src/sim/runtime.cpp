@@ -1,5 +1,6 @@
 #include "sim/runtime.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "sim/event_runtime.h"
@@ -20,12 +21,14 @@ Result<SimulationResult> run_tick_engine(
     const SimulationOptions& options) {
   detail::RuntimeCore core(phases, env, options);
   LRT_RETURN_IF_ERROR(core.init());
-  const Time step = core.step();
   const Time duration = core.duration();
-  for (Time now = 0; now < duration; now += step) {
+  // The step is re-read every iteration: a live update (monitor hot-swap)
+  // may rebase the grid mid-run. The horizon is frozen at init.
+  for (Time now = 0; now < duration; now += core.step()) {
     LRT_RETURN_IF_ERROR(core.tick(now));
-    core.advance_processors(now, now + step);
-    core.advance_environment(now, now + step);
+    const Time next = std::min(now + core.step(), duration);
+    core.advance_processors(now, next);
+    core.advance_environment(now, next);
   }
   return core.finish();
 }
@@ -51,6 +54,8 @@ std::string to_json(const SimulationResult& result) {
   json.value(result.deadline_misses);
   json.key("remaps_installed");
   json.value(result.remaps_installed);
+  json.key("spec_swaps");
+  json.value(result.spec_swaps);
   json.key("communicators");
   json.begin_array();
   for (const CommStats& stats : result.comm_stats) {

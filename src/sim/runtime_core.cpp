@@ -14,7 +14,7 @@ using spec::Value;
 RuntimeCore::RuntimeCore(std::span<const impl::Implementation> phases,
                          Environment& env, const SimulationOptions& options)
     : phases_(phases),
-      spec_(phases.front().specification()),
+      spec_(&phases.front().specification()),
       arch_(phases.front().architecture()),
       env_(env),
       options_(options),
@@ -24,17 +24,20 @@ RuntimeCore::RuntimeCore(std::span<const impl::Implementation> phases,
       rng_(options.faults.seed) {}
 
 Status RuntimeCore::init() {
-  const std::size_t num_comms = spec_.communicators().size();
+  const std::size_t num_comms = spec_->communicators().size();
   const std::size_t num_hosts = arch_.hosts().size();
-  hyperperiod_ = spec_.hyperperiod();
+  hyperperiod_ = spec_->hyperperiod();
   // The harmonic grid, derived once at Build time (gcd of the periods).
-  step_ = spec_.base_period();
+  step_ = spec_->base_period();
+  // The horizon never moves again: a hot-swap may change the grid and the
+  // period, but the run still ends where the initial workload said.
+  duration_ = hyperperiod_ * options_.periods;
 
   // Initial replications: instance 0 carries the init value everywhere.
   values_.assign(num_hosts, {});
   for (auto& host_values : values_) {
     host_values.reserve(num_comms);
-    for (const auto& comm : spec_.communicators()) {
+    for (const auto& comm : spec_->communicators()) {
       host_values.push_back(comm.init);
     }
   }
@@ -42,16 +45,16 @@ Status RuntimeCore::init() {
 
   latched_.assign(num_hosts, {});
   for (auto& host_latches : latched_) {
-    for (const auto& task : spec_.tasks()) {
+    for (const auto& task : spec_->tasks()) {
       host_latches.emplace_back(task.inputs.size(), Value::bottom());
     }
   }
 
   write_instants_.assign(num_comms, {});
-  for (TaskId t = 0; t < static_cast<TaskId>(spec_.tasks().size()); ++t) {
-    for (const spec::PortRef& port : spec_.task(t).outputs) {
+  for (TaskId t = 0; t < static_cast<TaskId>(spec_->tasks().size()); ++t) {
+    for (const spec::PortRef& port : spec_->task(t).outputs) {
       write_instants_[static_cast<std::size_t>(port.comm)].push_back(
-          spec_.communicator(port.comm).period * port.instance);
+          spec_->communicator(port.comm).period * port.instance);
     }
   }
 
@@ -72,10 +75,16 @@ Status RuntimeCore::init() {
   update_accums_.assign(num_comms, {});
   record_values_.assign(num_comms, false);
   for (const std::string& name : options_.record_values_for) {
-    const auto comm = spec_.find_communicator(name);
+    const auto comm = spec_->find_communicator(name);
     if (!comm.has_value()) {
-      return NotFoundError("record_values_for references unknown "
-                           "communicator '" + name + "'");
+      // With a monitor installed the name may belong to a specification a
+      // live update splices in later; its trace then starts at the swap.
+      if (monitor_ == nullptr) {
+        return NotFoundError("record_values_for references unknown "
+                             "communicator '" + name + "'");
+      }
+      result_.value_traces.emplace(name, std::vector<Value>{});
+      continue;
     }
     record_values_[static_cast<std::size_t>(*comm)] = true;
     result_.value_traces.emplace(name, std::vector<Value>{});
@@ -85,14 +94,17 @@ Status RuntimeCore::init() {
   if (options_.actuator_comms.empty()) {
     for (CommId c = 0; c < static_cast<CommId>(num_comms); ++c) {
       is_actuator_[static_cast<std::size_t>(c)] =
-          spec_.is_output_communicator(c) && !spec_.is_input_communicator(c);
+          spec_->is_output_communicator(c) && !spec_->is_input_communicator(c);
     }
   } else {
     for (const std::string& name : options_.actuator_comms) {
-      const auto comm = spec_.find_communicator(name);
+      const auto comm = spec_->find_communicator(name);
       if (!comm.has_value()) {
-        return NotFoundError("actuator_comms references unknown "
-                             "communicator '" + name + "'");
+        if (monitor_ == nullptr) {
+          return NotFoundError("actuator_comms references unknown "
+                               "communicator '" + name + "'");
+        }
+        continue;  // may arrive with a later hot-swap
       }
       is_actuator_[static_cast<std::size_t>(*comm)] = true;
     }
@@ -100,17 +112,17 @@ Status RuntimeCore::init() {
 
   if (options_.model_execution_time) {
     run_queues_.assign(num_hosts, {});
-    wcet_.assign(spec_.tasks().size() * num_hosts, 1);
-    wctt_.assign(spec_.tasks().size() * num_hosts, 1);
-    for (TaskId t = 0; t < static_cast<TaskId>(spec_.tasks().size()); ++t) {
+    wcet_.assign(spec_->tasks().size() * num_hosts, 1);
+    wctt_.assign(spec_->tasks().size() * num_hosts, 1);
+    for (TaskId t = 0; t < static_cast<TaskId>(spec_->tasks().size()); ++t) {
       for (HostId h = 0; h < static_cast<HostId>(num_hosts); ++h) {
         const std::size_t index =
             static_cast<std::size_t>(t) * num_hosts +
             static_cast<std::size_t>(h);
         LRT_ASSIGN_OR_RETURN(wcet_[index],
-                             arch_.wcet(spec_.task(t).name, h));
+                             arch_.wcet(spec_->task(t).name, h));
         LRT_ASSIGN_OR_RETURN(wctt_[index],
-                             arch_.wctt(spec_.task(t).name, h));
+                             arch_.wctt(spec_->task(t).name, h));
       }
     }
   }
@@ -121,20 +133,24 @@ Status RuntimeCore::init() {
 
 Status RuntimeCore::tick(Time now) {
   apply_host_events(now);
+  const bool boundary = (now - epoch_) % hyperperiod_ == 0;
   // One span per specification period: the dispatch granularity the
   // paper reasons about, and coarse enough to stay cheap when enabled.
-  if (tracer_ != nullptr && now % hyperperiod_ == 0 && now > 0) {
+  // Period indices restart at a hot-swap epoch (the incoming
+  // specification's own period count).
+  if (tracer_ != nullptr && boundary && now > epoch_) {
     const std::int64_t end_us = tracer_->now_us();
     tracer_->complete(
         "sim", "period", period_start_us_, end_us,
-        {{"period", static_cast<double>(now / hyperperiod_ - 1)}});
+        {{"period",
+          static_cast<double>((now - epoch_) / hyperperiod_ - 1)}});
     period_start_us_ = end_us;
   }
   // Remap point: mode switches happen at period boundaries only, so a
   // repair never tears a LET window apart.
-  if (monitor_ != nullptr && now % hyperperiod_ == 0) {
+  if (monitor_ != nullptr && boundary) {
     if (const impl::Implementation* next = monitor_->on_period_boundary(now)) {
-      if (&next->specification() != &spec_ ||
+      if (&next->specification() != spec_ ||
           &next->architecture() != &arch_) {
         return InvalidArgumentError(
             "monitor remap must target the running specification and "
@@ -150,8 +166,148 @@ Status RuntimeCore::tick(Time now) {
   }
   commit_updates(now);
   record_and_actuate(now);
+  // Update point: a monitor may hot-swap the whole workload here. It runs
+  // after the instant's commits and actuation (which belong to the closing
+  // period of the outgoing specification) and before latching (which
+  // belongs to the opening period of the incoming one), so no LET window
+  // is ever torn apart and no committed update is lost.
+  if (monitor_ != nullptr && boundary) {
+    if (const impl::Implementation* next = monitor_->on_update_point(now)) {
+      if (next != override_) LRT_RETURN_IF_ERROR(install_swap(now, next));
+    }
+  }
   latch_inputs(now);
   execute_tasks(now);
+  return Status::Ok();
+}
+
+Status RuntimeCore::install_swap(Time now, const impl::Implementation* next) {
+  if (&next->architecture() != &arch_) {
+    return InvalidArgumentError(
+        "live update must keep the running architecture");
+  }
+  const spec::Specification& from = *spec_;
+  const spec::Specification& to = next->specification();
+  const std::size_t num_hosts = arch_.hosts().size();
+  const std::size_t num_comms = to.communicators().size();
+
+  // In-flight timed jobs whose deadline crosses the boundary can only
+  // exist when the outgoing mapping was unschedulable; they are dropped
+  // (counted as misses) rather than remapped into the new task space.
+  if (options_.model_execution_time) {
+    for (auto& queue : run_queues_) {
+      for (const ActiveJob& job : queue) {
+        if (!job.silent) ++result_.deadline_misses;
+      }
+      queue.clear();
+    }
+    wcet_.assign(to.tasks().size() * num_hosts, 1);
+    wctt_.assign(to.tasks().size() * num_hosts, 1);
+    for (TaskId t = 0; t < static_cast<TaskId>(to.tasks().size()); ++t) {
+      for (HostId h = 0; h < static_cast<HostId>(num_hosts); ++h) {
+        const std::size_t index =
+            static_cast<std::size_t>(t) * num_hosts +
+            static_cast<std::size_t>(h);
+        LRT_ASSIGN_OR_RETURN(wcet_[index], arch_.wcet(to.task(t).name, h));
+        LRT_ASSIGN_OR_RETURN(wctt_[index], arch_.wctt(to.task(t).name, h));
+      }
+    }
+  }
+
+  // Communicator state survives by name: replications keep their committed
+  // value, accumulators keep their statistics (dropped ones are stashed so
+  // a rollback resumes them). A spliced communicator starts at its init
+  // value; its first access instant is one period after the swap.
+  std::vector<std::vector<Value>> values(num_hosts);
+  std::vector<ReliabilityAccumulator> accumulators(num_comms);
+  std::vector<ReliabilityAccumulator> update_accums(num_comms);
+  for (auto& host_values : values) host_values.reserve(num_comms);
+  for (CommId c = 0; c < static_cast<CommId>(num_comms); ++c) {
+    const auto cs = static_cast<std::size_t>(c);
+    const spec::Communicator& comm = to.communicator(c);
+    if (const auto old_id = from.find_communicator(comm.name)) {
+      const auto os = static_cast<std::size_t>(*old_id);
+      for (std::size_t h = 0; h < num_hosts; ++h) {
+        values[h].push_back(values_[h][os]);
+      }
+      accumulators[cs] = accumulators_[os];
+      update_accums[cs] = update_accums_[os];
+    } else {
+      for (std::size_t h = 0; h < num_hosts; ++h) {
+        values[h].push_back(comm.init);
+      }
+      if (const auto stashed = retired_accums_.find(comm.name);
+          stashed != retired_accums_.end()) {
+        accumulators[cs] = stashed->second.first;
+        update_accums[cs] = stashed->second.second;
+        retired_accums_.erase(stashed);
+      }
+    }
+  }
+  for (CommId c = 0; c < static_cast<CommId>(from.communicators().size());
+       ++c) {
+    const std::string& name = from.communicator(c).name;
+    if (!to.find_communicator(name).has_value()) {
+      retired_accums_.insert_or_assign(
+          name, std::make_pair(accumulators_[static_cast<std::size_t>(c)],
+                               update_accums_[static_cast<std::size_t>(c)]));
+    }
+  }
+  values_ = std::move(values);
+  accumulators_ = std::move(accumulators);
+  update_accums_ = std::move(update_accums);
+
+  // Latches reset to bottom: every LET window is closed at a boundary, so
+  // each input re-latches before its reader's next release.
+  latched_.assign(num_hosts, {});
+  for (auto& host_latches : latched_) {
+    for (const auto& task : to.tasks()) {
+      host_latches.emplace_back(task.inputs.size(), Value::bottom());
+    }
+  }
+  // Every outgoing write committed at or before this boundary (write
+  // instants never exceed pi_S), and commit_updates already consumed the
+  // boundary batch; clearing is a pure invariant re-assertion.
+  pending_.clear();
+
+  write_instants_.assign(num_comms, {});
+  for (TaskId t = 0; t < static_cast<TaskId>(to.tasks().size()); ++t) {
+    for (const spec::PortRef& port : to.task(t).outputs) {
+      write_instants_[static_cast<std::size_t>(port.comm)].push_back(
+          to.communicator(port.comm).period * port.instance);
+    }
+  }
+
+  record_values_.assign(num_comms, false);
+  for (const std::string& name : options_.record_values_for) {
+    if (const auto comm = to.find_communicator(name)) {
+      record_values_[static_cast<std::size_t>(*comm)] = true;
+    }
+  }
+  is_actuator_.assign(num_comms, false);
+  if (options_.actuator_comms.empty()) {
+    for (CommId c = 0; c < static_cast<CommId>(num_comms); ++c) {
+      is_actuator_[static_cast<std::size_t>(c)] =
+          to.is_output_communicator(c) && !to.is_input_communicator(c);
+    }
+  } else {
+    for (const std::string& name : options_.actuator_comms) {
+      if (const auto comm = to.find_communicator(name)) {
+        is_actuator_[static_cast<std::size_t>(*comm)] = true;
+      }
+    }
+  }
+
+  spec_ = &to;
+  override_ = next;
+  epoch_ = now;
+  hyperperiod_ = to.hyperperiod();
+  step_ = to.base_period();
+  ++generation_;
+  ++result_.spec_swaps;
+  if (tracer_ != nullptr) {
+    tracer_->instant("sim", "spec_swap", {{"t", static_cast<double>(now)}});
+  }
   return Status::Ok();
 }
 
@@ -168,7 +324,7 @@ void RuntimeCore::advance_environment(Time from, Time to) {
 }
 
 SimulationResult RuntimeCore::finish() {
-  const std::size_t num_comms = spec_.communicators().size();
+  const std::size_t num_comms = spec_->communicators().size();
   if (tracer_ != nullptr && options_.periods > 0) {
     tracer_->complete(
         "sim", "period", period_start_us_, tracer_->now_us(),
@@ -188,6 +344,7 @@ SimulationResult RuntimeCore::finish() {
     sink_->counter_add("sim.vote_divergences", result_.vote_divergences);
     sink_->counter_add("sim.deadline_misses", result_.deadline_misses);
     sink_->counter_add("sim.remaps_installed", result_.remaps_installed);
+    sink_->counter_add("sim.spec_swaps", result_.spec_swaps);
   }
 
   result_.periods = options_.periods;
@@ -195,7 +352,7 @@ SimulationResult RuntimeCore::finish() {
   result_.comm_stats.resize(num_comms);
   for (std::size_t c = 0; c < num_comms; ++c) {
     CommStats& stats = result_.comm_stats[c];
-    stats.name = spec_.communicators()[c].name;
+    stats.name = spec_->communicators()[c].name;
     stats.samples = accumulators_[c].samples();
     stats.reliable_samples = accumulators_[c].reliable();
     stats.limit_average = accumulators_[c].average();
@@ -222,17 +379,18 @@ void RuntimeCore::commit_updates(Time now) {
     pending_.erase(pending_it);
   }
 
-  for (CommId c = 0; c < static_cast<CommId>(spec_.communicators().size());
+  const Time rel_now = now - epoch_;
+  for (CommId c = 0; c < static_cast<CommId>(spec_->communicators().size());
        ++c) {
-    const spec::Communicator& comm = spec_.communicator(c);
-    const bool on_grid = now % comm.period == 0;
+    const spec::Communicator& comm = spec_->communicator(c);
+    const bool on_grid = rel_now % comm.period == 0;
     if (!on_grid) continue;
 
-    if (spec_.is_input_communicator(c)) {
+    if (spec_->is_input_communicator(c)) {
       // Sensor update (rule (a)): the environment writes identical values
       // to every replication of the sensor; a fail-silent sensor fault
       // makes the update unreliable.
-      if (spec_.readers_of(c).empty()) continue;  // unused: init persists
+      if (spec_->readers_of(c).empty()) continue;  // unused: init persists
       const arch::SensorId sensor_id = phase_at(now).sensor_for(c);
       const arch::Sensor& sensor = arch_.sensor(sensor_id);
       const bool failed =
@@ -260,8 +418,9 @@ void RuntimeCore::commit_updates(Time now) {
     // Written communicator: is one of its write instants due now?
     bool due = false;
     for (const Time instant : write_instants_[static_cast<std::size_t>(c)]) {
-      // Instant w commits at absolute times w, w + pi_S, w + 2 pi_S, ...
-      if (now >= instant && (now - instant) % hyperperiod_ == 0) {
+      // Instant w commits at epoch-relative times w, w + pi_S, w + 2 pi_S,
+      // ... (the epoch is 0 until a live update rebases the grid).
+      if (rel_now >= instant && (rel_now - instant) % hyperperiod_ == 0) {
         due = true;
         break;
       }
@@ -302,10 +461,10 @@ void RuntimeCore::commit_updates(Time now) {
 }
 
 void RuntimeCore::record_and_actuate(Time now) {
-  for (CommId c = 0; c < static_cast<CommId>(spec_.communicators().size());
+  for (CommId c = 0; c < static_cast<CommId>(spec_->communicators().size());
        ++c) {
-    const spec::Communicator& comm = spec_.communicator(c);
-    if (now % comm.period != 0) continue;
+    const spec::Communicator& comm = spec_->communicator(c);
+    if ((now - epoch_) % comm.period != 0) continue;
     const Value& value = committed(c);
     // The paper's Z_j(c): sampled at every access instant of c.
     accumulators_[static_cast<std::size_t>(c)].record(!value.is_bottom());
@@ -325,13 +484,13 @@ void RuntimeCore::record_and_actuate(Time now) {
 }
 
 void RuntimeCore::latch_inputs(Time now) {
-  const Time rel = now % hyperperiod_;
-  for (TaskId t = 0; t < static_cast<TaskId>(spec_.tasks().size()); ++t) {
-    const spec::Task& task = spec_.task(t);
+  const Time rel = (now - epoch_) % hyperperiod_;
+  for (TaskId t = 0; t < static_cast<TaskId>(spec_->tasks().size()); ++t) {
+    const spec::Task& task = spec_->task(t);
     for (std::size_t j = 0; j < task.inputs.size(); ++j) {
       const spec::PortRef& port = task.inputs[j];
       const Time instant =
-          spec_.communicator(port.comm).period * port.instance;
+          spec_->communicator(port.comm).period * port.instance;
       if (instant != rel) continue;
       for (const HostId h : phase_at(now).hosts_for(t)) {
         latched_[static_cast<std::size_t>(h)][static_cast<std::size_t>(t)]
@@ -343,10 +502,10 @@ void RuntimeCore::latch_inputs(Time now) {
 }
 
 void RuntimeCore::execute_tasks(Time now) {
-  const Time rel = now % hyperperiod_;
-  for (TaskId t = 0; t < static_cast<TaskId>(spec_.tasks().size()); ++t) {
-    if (spec_.read_time(t) != rel) continue;
-    const spec::Task& task = spec_.task(t);
+  const Time rel = (now - epoch_) % hyperperiod_;
+  for (TaskId t = 0; t < static_cast<TaskId>(spec_->tasks().size()); ++t) {
+    if (spec_->read_time(t) != rel) continue;
+    const spec::Task& task = spec_->task(t);
 
     for (const HostId h : phase_at(now).hosts_for(t)) {
       ++result_.invocations;
@@ -408,7 +567,7 @@ void RuntimeCore::execute_tasks(Time now) {
         } else {
           outputs.reserve(task.outputs.size());
           for (const spec::PortRef& port : task.outputs) {
-            outputs.push_back(zero_value(spec_.communicator(port.comm).type));
+            outputs.push_back(zero_value(spec_->communicator(port.comm).type));
           }
         }
         // Atomic broadcast: an unreliable network drops the whole
@@ -440,7 +599,7 @@ void RuntimeCore::execute_tasks(Time now) {
         job.remaining = base + k * overhead +
                         (attempts_used - 1) *
                             (segment + (k > 0 ? overhead : 0));
-        job.deadline = period_start + spec_.write_time(t) - wctt_[index];
+        job.deadline = period_start + spec_->write_time(t) - wctt_[index];
         job.silent = failed;
         job.outputs = std::move(outputs);
         run_queues_[hs].push_back(std::move(job));
@@ -454,11 +613,11 @@ void RuntimeCore::execute_tasks(Time now) {
 void RuntimeCore::deliver_outputs(TaskId task_id, HostId host,
                                   Time period_start, Time available_at,
                                   const std::vector<Value>& outputs) {
-  const spec::Task& task = spec_.task(task_id);
+  const spec::Task& task = spec_->task(task_id);
   for (std::size_t k = 0; k < task.outputs.size(); ++k) {
     const spec::PortRef& port = task.outputs[k];
     const Time commit =
-        period_start + spec_.communicator(port.comm).period * port.instance;
+        period_start + spec_->communicator(port.comm).period * port.instance;
     if (available_at > commit) {
       // Late: the write instant passed before the broadcast arrived.
       ++result_.deadline_misses;

@@ -27,6 +27,8 @@
 #include <cstdint>
 #include <map>
 #include <span>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "impl/implementation.h"
@@ -82,15 +84,22 @@ class RuntimeCore {
   /// the result. Call exactly once, after the last tick.
   [[nodiscard]] SimulationResult finish();
 
-  /// The harmonic grid step (gcd of the communicator periods).
+  /// The harmonic grid step (gcd of the communicator periods) of the
+  /// specification currently in force.
   [[nodiscard]] spec::Time step() const { return step_; }
-  /// The specification period pi_S.
+  /// The specification period pi_S currently in force.
   [[nodiscard]] spec::Time hyperperiod() const { return hyperperiod_; }
-  /// Total simulated ticks: hyperperiod * periods.
-  [[nodiscard]] spec::Time duration() const {
-    return hyperperiod_ * options_.periods;
-  }
-  [[nodiscard]] const spec::Specification& spec() const { return spec_; }
+  /// Total simulated ticks, frozen at init() from the initial
+  /// specification (a later hot-swap never moves the horizon).
+  [[nodiscard]] spec::Time duration() const { return duration_; }
+  /// The specification currently in force (changes on a hot-swap).
+  [[nodiscard]] const spec::Specification& spec() const { return *spec_; }
+  /// Instant the current specification took effect: its grid and period
+  /// arithmetic are measured from here (0 until the first hot-swap).
+  [[nodiscard]] spec::Time epoch() const { return epoch_; }
+  /// Bumped on every hot-swap. Engines watch this to rebuild calendars
+  /// derived from the outgoing specification.
+  [[nodiscard]] std::int64_t generation() const { return generation_; }
   /// Scripted host events, time-sorted (valid after init()).
   [[nodiscard]] const std::vector<FaultPlan::HostEvent>& host_events() const {
     return host_events_;
@@ -104,6 +113,13 @@ class RuntimeCore {
   [[nodiscard]] obs::Tracer* tracer() const { return tracer_; }
 
  private:
+  /// Installs `next` (possibly targeting a different specification) at
+  /// boundary `now`: rebases the grid epoch, carries communicator state
+  /// over by name, and re-derives every spec-shaped table. Fails only
+  /// when `next` uses a foreign architecture or (in timed mode) a task
+  /// without timing entries.
+  [[nodiscard]] Status install_swap(spec::Time now,
+                                    const impl::Implementation* next);
   void apply_host_events(spec::Time now);
   void commit_updates(spec::Time now);
   void record_and_actuate(spec::Time now);
@@ -126,16 +142,18 @@ class RuntimeCore {
   }
 
   /// The implementation in force at absolute time `now`: a monitor remap
-  /// once installed, otherwise the scheduled phase.
+  /// or hot-swap once installed, otherwise the scheduled phase.
   [[nodiscard]] const impl::Implementation& phase_at(spec::Time now) const {
     if (override_ != nullptr) return *override_;
     const auto index = static_cast<std::size_t>(
-        (now / hyperperiod_) % static_cast<spec::Time>(phases_.size()));
+        ((now - epoch_) / hyperperiod_) %
+        static_cast<spec::Time>(phases_.size()));
     return phases_[index];
   }
 
   std::span<const impl::Implementation> phases_;
-  const spec::Specification& spec_;
+  /// Specification in force; reseated by install_swap().
+  const spec::Specification* spec_;
   const arch::Architecture& arch_;
   Environment& env_;
   const SimulationOptions& options_;
@@ -152,6 +170,13 @@ class RuntimeCore {
 
   spec::Time step_ = 1;
   spec::Time hyperperiod_ = 1;
+  /// Instant the current specification took effect (0 until a swap); all
+  /// grid/period arithmetic is relative to it.
+  spec::Time epoch_ = 0;
+  /// Simulated horizon, frozen at init() from the initial specification.
+  spec::Time duration_ = 0;
+  /// Incremented per hot-swap (engine calendars key off it).
+  std::int64_t generation_ = 0;
 
   // values_[host][comm]: the communicator replications.
   std::vector<std::vector<spec::Value>> values_;
@@ -185,6 +210,12 @@ class RuntimeCore {
   SimulationResult result_;
   std::vector<ReliabilityAccumulator> accumulators_;   // access instants
   std::vector<ReliabilityAccumulator> update_accums_;  // update events
+  /// Accumulators of communicators a hot-swap dropped, stashed by name so
+  /// a rollback (or a later re-splice) resumes their statistics instead
+  /// of restarting the Wilson interval from zero.
+  std::map<std::string,
+           std::pair<ReliabilityAccumulator, ReliabilityAccumulator>>
+      retired_accums_;
   std::vector<bool> record_values_;
   std::vector<bool> is_actuator_;
 };

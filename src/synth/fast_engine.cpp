@@ -7,6 +7,7 @@
 #include <limits>
 #include <memory>
 #include <mutex>
+#include <numeric>
 #include <optional>
 #include <set>
 #include <span>
@@ -113,8 +114,18 @@ Result<impl::Implementation> build_ceiling(
     const spec::Specification& spec, const arch::Architecture& arch,
     const std::vector<impl::ImplementationConfig::SensorBinding>& bindings,
     const std::vector<HostId>& usable, const SynthesisOptions& options) {
-  const std::vector<std::vector<HostId>> assignment(spec.tasks().size(),
-                                                    usable);
+  std::vector<std::vector<HostId>> assignment(spec.tasks().size(), usable);
+  // A pinned task never leaves its pinned set, so the ceiling — the
+  // admissible SRG upper bound every subtree is scored against — seeds it
+  // with that set instead of full replication. This tightens the bound and
+  // detects pin-infeasible problems before any search starts.
+  if (!options.pinned_hosts.empty()) {
+    for (std::size_t t = 0; t < assignment.size(); ++t) {
+      if (!options.pinned_hosts[t].empty()) {
+        assignment[t] = options.pinned_hosts[t];
+      }
+    }
+  }
   return impl::Implementation::Build(
       spec, arch,
       assignment_config(spec, arch, bindings, assignment, options));
@@ -215,6 +226,25 @@ class BnbSearch {
             usable_index_of[static_cast<std::size_t>(h)]);
       }
     }
+    // Resolve each pinned host set to its subset index. The match always
+    // exists: pins are validated to be sorted, duplicate-free subsets of
+    // the usable hosts within max_replication_per_task — exactly the
+    // candidate enumeration.
+    pinned_subset_.assign(static_cast<std::size_t>(num_tasks_), -1);
+    if (!options_.pinned_hosts.empty()) {
+      for (TaskId t = 0; t < num_tasks_; ++t) {
+        const auto& pinned =
+            options_.pinned_hosts[static_cast<std::size_t>(t)];
+        if (pinned.empty()) continue;
+        for (std::size_t s = 0; s < subsets_.size(); ++s) {
+          if (subsets_[s].hosts == pinned) {
+            pinned_subset_[static_cast<std::size_t>(t)] =
+                static_cast<std::int32_t>(s);
+            break;
+          }
+        }
+      }
+    }
 
     if (num_tasks_ == 0) {
       // Degenerate: the empty assignment is the only candidate.
@@ -222,11 +252,21 @@ class BnbSearch {
       leaf(w, 0);
       collect(w);
     } else {
+      // A pinned first task has exactly one live top-level subtree; listing
+      // it alone keeps the parallel_for from burning a worker acquisition
+      // per dead candidate.
+      std::vector<std::size_t> tops;
+      if (const std::int32_t pin = pin_of(0); pin >= 0) {
+        tops.push_back(static_cast<std::size_t>(pin));
+      } else {
+        tops.resize(subsets_.size());
+        std::iota(tops.begin(), tops.end(), std::size_t{0});
+      }
       ThreadPool pool(options_.threads);
-      pool.parallel_for(static_cast<std::int64_t>(subsets_.size()),
-                        [this](std::int64_t i) {
+      pool.parallel_for(static_cast<std::int64_t>(tops.size()),
+                        [this, &tops](std::int64_t i) {
                           std::unique_ptr<Worker> w = acquire();
-                          top_level(*w, static_cast<std::size_t>(i));
+                          top_level(*w, tops[static_cast<std::size_t>(i)]);
                           release(std::move(w));
                         });
       for (const std::unique_ptr<Worker>& w : idle_) collect(*w);
@@ -373,9 +413,30 @@ class BnbSearch {
     w.eval.rollback(m);
   }
 
+  /// The subset index task `t` is pinned to, or -1 when it is free.
+  [[nodiscard]] std::int32_t pin_of(TaskId t) const {
+    return pinned_subset_[static_cast<std::size_t>(t)];
+  }
+
   void descend(Worker& w, TaskId t, std::int64_t cost) {
     if (t == num_tasks_) {
       leaf(w, cost);
+      return;
+    }
+    if (const std::int32_t pin = pin_of(t); pin >= 0) {
+      // A pinned task has exactly one branch; the incumbent bound still
+      // applies to it.
+      maybe_refresh(w);
+      const auto s = static_cast<std::size_t>(pin);
+      const std::int64_t lb =
+          cost + static_cast<std::int64_t>(subsets_[s].hosts.size()) +
+          (num_tasks_ - t - 1);
+      if (lb > w.snap_cost ||
+          (lb == w.snap_cost && prefix_beaten(w, t, s))) {
+        ++w.subtrees_pruned;
+        return;
+      }
+      enter(w, t, s, cost);
       return;
     }
     for (std::size_t s = 0; s < subsets_.size(); ++s) {
@@ -452,6 +513,10 @@ class BnbSearch {
   /// SrgEvaluator has no public default constructor — set once in run().
   std::optional<reliability::SrgEvaluator> base_;
   std::vector<Subset> subsets_;
+  /// Subset index each task is pinned to (-1 = free): options_.pinned_hosts
+  /// resolved against subsets_ once, so the hot descend() path compares an
+  /// int instead of host vectors.
+  std::vector<std::int32_t> pinned_subset_;
   TimingTables tables_;
   std::unique_ptr<SchedGate> gate_;
   std::size_t words_ = 0;
@@ -575,9 +640,17 @@ Result<SynthesisResult> fast_greedy(
       best_host = h;
     }
   }
+  const auto pinned_set = [&options](TaskId t) -> const std::vector<HostId>* {
+    if (options.pinned_hosts.empty()) return nullptr;
+    const auto& pinned = options.pinned_hosts[static_cast<std::size_t>(t)];
+    return pinned.empty() ? nullptr : &pinned;
+  };
   std::vector<std::vector<HostId>> assignment(
       static_cast<std::size_t>(num_tasks), std::vector<HostId>{best_host});
   for (TaskId t = 0; t < num_tasks; ++t) {
+    if (const std::vector<HostId>* pinned = pinned_set(t)) {
+      assignment[static_cast<std::size_t>(t)] = *pinned;
+    }
     ++result.incremental_evals;
     eval.set_task_hosts(t, assignment[static_cast<std::size_t>(t)]);
   }
@@ -687,6 +760,7 @@ Result<SynthesisResult> fast_greedy(
     HostId move_host = -1;
     double move_score = -1.0;
     for (const TaskId t : support(worst)) {
+      if (pinned_set(t) != nullptr) continue;  // pinned: not a repair knob
       auto& hosts = assignment[static_cast<std::size_t>(t)];
       if (static_cast<int>(hosts.size()) >=
           options.max_replication_per_task) {

@@ -108,7 +108,8 @@ Result<SynthesisResult> reference_exhaustive(Evaluator& evaluator,
   Status failure = Status::Ok();
 
   // Depth-first over tasks; prune when the partial cost plus one replica
-  // per remaining task cannot beat the incumbent.
+  // per remaining task cannot beat the incumbent. A pinned task explores
+  // exactly its pinned set.
   const std::function<Status(TaskId, std::size_t)> descend =
       [&](TaskId t, std::size_t cost) -> Status {
     if (cost + static_cast<std::size_t>(num_tasks - t) >= best_cost) {
@@ -121,6 +122,13 @@ Result<SynthesisResult> reference_exhaustive(Evaluator& evaluator,
         best_cost = cost;
       }
       return Status::Ok();
+    }
+    if (!options.pinned_hosts.empty() &&
+        !options.pinned_hosts[static_cast<std::size_t>(t)].empty()) {
+      const std::vector<HostId>& pinned =
+          options.pinned_hosts[static_cast<std::size_t>(t)];
+      assignment[static_cast<std::size_t>(t)] = pinned;
+      return descend(t + 1, cost + pinned.size());
     }
     for (const std::vector<HostId>& subset : subsets) {
       assignment[static_cast<std::size_t>(t)] = subset;
@@ -150,15 +158,26 @@ Result<SynthesisResult> reference_greedy(Evaluator& evaluator,
   const auto num_tasks = static_cast<TaskId>(spec.tasks().size());
   const std::vector<HostId>& usable = evaluator.usable();
 
-  // Start: every task on the single most reliable usable host.
+  // Start: every task on the single most reliable usable host; a pinned
+  // task starts (and stays) on its pinned set.
   HostId best_host = usable.front();
   for (const HostId h : usable) {
     if (arch.host(h).reliability > arch.host(best_host).reliability) {
       best_host = h;
     }
   }
+  const auto pinned_set = [&options](TaskId t) -> const std::vector<HostId>* {
+    if (options.pinned_hosts.empty()) return nullptr;
+    const auto& pinned = options.pinned_hosts[static_cast<std::size_t>(t)];
+    return pinned.empty() ? nullptr : &pinned;
+  };
   std::vector<std::vector<HostId>> assignment(
       static_cast<std::size_t>(num_tasks), std::vector<HostId>{best_host});
+  for (TaskId t = 0; t < num_tasks; ++t) {
+    if (const std::vector<HostId>* pinned = pinned_set(t)) {
+      assignment[static_cast<std::size_t>(t)] = *pinned;
+    }
+  }
 
   // Support set of a communicator: the tasks whose reliability its SRG
   // depends on (writer, then transitively the writers of its inputs,
@@ -220,6 +239,7 @@ Result<SynthesisResult> reference_greedy(Evaluator& evaluator,
     HostId move_host = -1;
     double move_score = -1.0;
     for (const TaskId t : support(worst->comm)) {
+      if (pinned_set(t) != nullptr) continue;  // pinned: not a repair knob
       auto& hosts = assignment[static_cast<std::size_t>(t)];
       if (static_cast<int>(hosts.size()) >=
           options.max_replication_per_task) {
@@ -312,34 +332,60 @@ Result<SynthesisResult> synthesize_impl(
     return InvalidArgumentError(
         "task_redundancy must be empty or give one entry per task");
   }
+  // Normalize the pins (engines rely on ascending, duplicate-free sets
+  // that are subsets of `usable`, so the search never leaves the region
+  // the schedulability tables cover).
+  SynthesisOptions opts = options;
+  if (!opts.pinned_hosts.empty()) {
+    if (opts.pinned_hosts.size() != spec.tasks().size()) {
+      return InvalidArgumentError(
+          "pinned_hosts must be empty or give one (possibly empty) host "
+          "set per task");
+    }
+    for (auto& pinned : opts.pinned_hosts) {
+      std::sort(pinned.begin(), pinned.end());
+      pinned.erase(std::unique(pinned.begin(), pinned.end()), pinned.end());
+      for (const HostId h : pinned) {
+        if (!std::binary_search(usable.begin(), usable.end(), h)) {
+          return InvalidArgumentError(
+              "pinned_hosts references host " + std::to_string(h) +
+              " outside the usable (allowed) host set");
+        }
+      }
+      if (static_cast<int>(pinned.size()) > opts.max_replication_per_task) {
+        return InvalidArgumentError(
+            "a pinned_hosts set exceeds max_replication_per_task");
+      }
+    }
+  }
 
   // The fast path precomputes its timing tables for every (task, usable
   // host) pair; an architecture with holes in its WCET/WCTT tables falls
   // back to the reference engine, which only touches the entries of
   // candidates it actually evaluates.
   const bool fast =
-      options.engine == SynthesisOptions::Engine::kFast &&
-      (!options.require_schedulable ||
+      opts.engine == SynthesisOptions::Engine::kFast &&
+      (!opts.require_schedulable ||
        internal::timing_tables_complete(spec, arch, usable));
   if (fast) {
-    switch (options.strategy) {
+    switch (opts.strategy) {
       case SynthesisOptions::Strategy::kExhaustive:
         return internal::fast_exhaustive(spec, arch, sensor_bindings, usable,
-                                         options);
+                                         opts);
       case SynthesisOptions::Strategy::kGreedy:
         return internal::fast_greedy(spec, arch, sensor_bindings, usable,
-                                     options);
+                                     opts);
     }
     return InternalError("unknown synthesis strategy");
   }
 
   Evaluator evaluator(spec, arch, std::move(sensor_bindings),
-                      std::move(usable), options);
-  switch (options.strategy) {
+                      std::move(usable), opts);
+  switch (opts.strategy) {
     case SynthesisOptions::Strategy::kExhaustive:
-      return reference_exhaustive(evaluator, options);
+      return reference_exhaustive(evaluator, opts);
     case SynthesisOptions::Strategy::kGreedy:
-      return reference_greedy(evaluator, options);
+      return reference_greedy(evaluator, opts);
   }
   return InternalError("unknown synthesis strategy");
 }

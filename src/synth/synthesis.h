@@ -73,6 +73,14 @@ struct SynthesisOptions {
   /// are reported but do not reject a candidate) — the degraded-mode
   /// "shed" set of the adaptive layer's repair planner.
   std::vector<spec::CommId> relaxed_lrcs;
+  /// Pinned host sets, indexed by TaskId: a non-empty inner vector fixes
+  /// that task's replication set exactly (the search neither shrinks nor
+  /// grows it); an empty inner vector leaves the task free. Empty outer
+  /// vector = nothing pinned. Pinned hosts must lie inside allowed_hosts
+  /// and respect max_replication_per_task. The live-update engine pins
+  /// every task outside the dirty cone to its running mapping, so
+  /// re-synthesis explores only the changed region of the workload.
+  std::vector<std::vector<arch::HostId>> pinned_hosts;
   /// Per-task time redundancy applied verbatim to every candidate mapping.
   struct TaskRedundancy {
     int reexecutions = 0;

@@ -116,6 +116,45 @@ TEST(LrcMonitor, GradesHealthyAtRiskViolated) {
   EXPECT_EQ(monitor.state(c), LrcState::kHealthy);
 }
 
+TEST(LrcMonitor, ResetForgetsWindowButKeepsLifetimeCounts) {
+  // Regression for the remap/live-update install path: evidence gathered
+  // against the OUTGOING mapping must not poison the verdict on the one
+  // being installed.
+  spec::SpecificationConfig config;
+  config.communicators = {comm("in", 10, 0.5), comm("c", 10, 0.9)};
+  config.tasks = {task("t", {{"in", 0}}, {{"c", 1}})};
+  const spec::Specification spec = test::build_spec(std::move(config));
+
+  LrcMonitorOptions options;
+  options.window = 50;
+  options.min_updates = 10;
+  const spec::CommId c = *spec.find_communicator("c");
+  LrcMonitor monitor(spec, options);
+
+  // Drive the old mapping into a statistical violation.
+  for (int i = 0; i < 50; ++i) monitor.record_update(i, c, i % 4 == 0);
+  ASSERT_EQ(monitor.state(c), LrcState::kViolated);
+
+  monitor.reset(500);
+  EXPECT_EQ(monitor.last_reset(), 500);
+  // Windowed evidence is gone: back to the no-evidence grade and rate.
+  EXPECT_EQ(monitor.state(c), LrcState::kHealthy);
+  EXPECT_DOUBLE_EQ(monitor.windowed_rate(c), 1.0);
+  EXPECT_TRUE(monitor.endangered().empty());
+  // Lifetime update count survives on purpose.
+  EXPECT_EQ(monitor.updates_seen(c), 50);
+
+  // Fewer than min_updates post-reset failures must not re-trip the
+  // verdict off stale ring slots.
+  for (int i = 0; i < 5; ++i) monitor.record_update(500 + i, c, false);
+  EXPECT_EQ(monitor.state(c), LrcState::kHealthy);
+  // A full fresh window grades on post-reset evidence alone.
+  for (int i = 0; i < 50; ++i) monitor.record_update(510 + i, c, true);
+  EXPECT_EQ(monitor.state(c), LrcState::kHealthy);
+  EXPECT_DOUBLE_EQ(monitor.windowed_rate(c), 1.0);
+  EXPECT_EQ(monitor.updates_seen(c), 105);
+}
+
 // --- repair planner ---
 
 plant::ThreeTankScenario adaptive_scenario(int host_count) {

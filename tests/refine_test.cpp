@@ -3,6 +3,8 @@
 // concrete refinement chain.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "refine/refinement.h"
 #include "reliability/analysis.h"
 #include "sched/schedulability.h"
@@ -283,6 +285,109 @@ TEST(Refinement, TransitivityAlongAMonotoneChain) {
   EXPECT_TRUE(check_refinement(*a.impl, *c.impl, kappa_t_to_t())->refines);
   // Anti-symmetry: the reverse directions fail.
   EXPECT_FALSE(check_refinement(*c.impl, *a.impl, kappa_t_to_t())->refines);
+}
+
+TEST(Refinement, KappaMustBeInjective) {
+  // Two refining tasks funneled onto one refined task: kappa must be
+  // one-to-one into tset, so this is a "kappa" violation (not an error).
+  const auto a = test::single_host_system(test::chain_spec_config(2));
+  const auto b = test::single_host_system(test::chain_spec_config(2));
+  RefinementMap kappa;
+  kappa.task_map = {{"task1", "task1"}, {"task2", "task1"}};
+  const auto report = check_refinement(*a.impl, *b.impl, kappa);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->refines);
+  // The funnel itself is tagged "kappa"; the mismatched (t', kappa(t'))
+  // pair may add local-constraint violations on top.
+  bool funneled = false;
+  for (const auto& violation : report->violations) {
+    if (violation.constraint == "kappa" &&
+        violation.detail.find("two refining tasks map to refined task") !=
+            std::string::npos) {
+      funneled = true;
+    }
+  }
+  EXPECT_TRUE(funneled) << report->summary();
+}
+
+TEST(Refinement, KappaDuplicateDomainEntryIsViolation) {
+  // The same refining task mapped twice: the second entry is flagged, and
+  // the unmapped sibling additionally breaks totality — all tagged "kappa".
+  const auto a = test::single_host_system(test::chain_spec_config(2));
+  const auto b = test::single_host_system(test::chain_spec_config(2));
+  RefinementMap kappa;
+  kappa.task_map = {{"task1", "task1"}, {"task1", "task2"}};
+  const auto report = check_refinement(*a.impl, *b.impl, kappa);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->refines);
+  bool duplicate = false;
+  bool non_total = false;
+  for (const auto& violation : report->violations) {
+    EXPECT_EQ(violation.constraint, "kappa") << violation.detail;
+    if (violation.detail.find("mapped twice") != std::string::npos) {
+      duplicate = true;
+    }
+    if (violation.detail.find("kappa must be total") != std::string::npos) {
+      non_total = true;
+    }
+  }
+  EXPECT_TRUE(duplicate) << report->summary();
+  EXPECT_TRUE(non_total) << report->summary();
+}
+
+TEST(Refinement, KappaDanglingNamesNameTheCulprit) {
+  const auto a = build({});
+  const auto b = build({});
+  const auto forward = check_refinement(*a.impl, *b.impl,
+                                        kappa_t_to_t("ghost", "t"));
+  EXPECT_EQ(forward.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(forward.status().message().find("unknown refining task 'ghost'"),
+            std::string::npos)
+      << forward.status();
+  const auto backward = check_refinement(*a.impl, *b.impl,
+                                         kappa_t_to_t("t", "ghost"));
+  EXPECT_EQ(backward.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(backward.status().message().find("unknown refined task 'ghost'"),
+            std::string::npos)
+      << backward.status();
+}
+
+TEST(Refinement, ConstraintB4_EqualityAtTheCeilingPasses) {
+  // b4 is "comm.lrc > max_lrc", strictly: demanding EXACTLY the refined
+  // task's maximum output LRC is a legal refinement; one ulp above is not.
+  Knobs at_ceiling;
+  at_ceiling.out_lrc = 0.8;  // == the default refined task's LRC
+  const auto a = build(at_ceiling);
+  const auto b = build({});
+  const auto equal = check_refinement(*a.impl, *b.impl, kappa_t_to_t());
+  ASSERT_TRUE(equal.ok());
+  EXPECT_TRUE(equal->refines) << equal->summary();
+
+  Knobs above;
+  above.out_lrc = std::nextafter(0.8, 1.0);
+  const auto c = build(above);
+  const auto report = check_refinement(*c.impl, *b.impl, kappa_t_to_t());
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->refines);
+  ASSERT_EQ(report->violations.size(), 1u) << report->summary();
+  EXPECT_EQ(report->violations[0].constraint, "b4");
+}
+
+TEST(Refinement, ConstraintB6_IdenticalIcsetPassesBothModels) {
+  // Equal input-communicator sets satisfy BOTH directions of (b6): the
+  // subset demand of model 1 (series) and the superset demand of model 2
+  // (parallel).
+  for (const spec::FailureModel model :
+       {spec::FailureModel::kSeries, spec::FailureModel::kParallel}) {
+    Knobs knobs;
+    knobs.model = model;
+    knobs.extra_input = true;
+    const auto a = build(knobs);
+    const auto b = build(knobs);
+    const auto report = check_refinement(*a.impl, *b.impl, kappa_t_to_t());
+    ASSERT_TRUE(report.ok());
+    EXPECT_TRUE(report->refines) << report->summary();
+  }
 }
 
 TEST(Refinement, SummaryListsViolations) {

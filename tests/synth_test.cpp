@@ -249,6 +249,103 @@ bool same_config(const impl::ImplementationConfig& a,
   return true;
 }
 
+TEST(Synthesis, PinnedHostsAreHonoredEvenWhenSuboptimal) {
+  // Easy LRCs: the optimum is one replica per task (cost 2). Pinning t1
+  // to {h1, h2} must be respected verbatim, not optimized away.
+  Fixture f = chain_fixture(0.9, 0.9, {{"h1", 0.99}, {"h2", 0.99}});
+  for (const auto engine : {SynthesisOptions::Engine::kFast,
+                            SynthesisOptions::Engine::kReference}) {
+    for (const auto strat : {SynthesisOptions::Strategy::kGreedy,
+                             SynthesisOptions::Strategy::kExhaustive}) {
+      SynthesisOptions options = strategy(strat);
+      options.engine = engine;
+      options.pinned_hosts = {{0, 1}, {}};
+      const auto result = synthesize(*f.spec, *f.arch, f.bindings, options);
+      ASSERT_TRUE(result.ok()) << result.status();
+      EXPECT_EQ(result->replication_count, 3u);
+      bool found_t1 = false;
+      for (const auto& mapping : result->config.task_mappings) {
+        if (mapping.task != "t1") continue;
+        found_t1 = true;
+        EXPECT_EQ(mapping.hosts,
+                  (std::vector<std::string>{"h1", "h2"}));
+      }
+      EXPECT_TRUE(found_t1);
+    }
+  }
+}
+
+TEST(Synthesis, PinnedHostsEnginesAgree) {
+  // A pin plus a tight LRC on the free task: both engines, both
+  // strategies, must land on the same cost (and the exhaustive pair on
+  // the same mapping).
+  Fixture f = chain_fixture(0.9, 0.985,
+                            {{"h1", 0.99}, {"h2", 0.99}, {"h3", 0.98}});
+  std::vector<std::size_t> costs;
+  std::vector<impl::ImplementationConfig> exhaustive_configs;
+  for (const auto engine : {SynthesisOptions::Engine::kFast,
+                            SynthesisOptions::Engine::kReference}) {
+    for (const auto strat : {SynthesisOptions::Strategy::kGreedy,
+                             SynthesisOptions::Strategy::kExhaustive}) {
+      SynthesisOptions options = strategy(strat);
+      options.engine = engine;
+      options.pinned_hosts = {{}, {1, 2}};
+      const auto result = synthesize(*f.spec, *f.arch, f.bindings, options);
+      ASSERT_TRUE(result.ok()) << result.status();
+      costs.push_back(result->replication_count);
+      if (strat == SynthesisOptions::Strategy::kExhaustive) {
+        exhaustive_configs.push_back(result->config);
+      }
+    }
+  }
+  for (const std::size_t cost : costs) EXPECT_EQ(cost, costs[0]);
+  ASSERT_EQ(exhaustive_configs.size(), 2u);
+  ASSERT_EQ(exhaustive_configs[0].task_mappings.size(),
+            exhaustive_configs[1].task_mappings.size());
+  for (std::size_t i = 0; i < exhaustive_configs[0].task_mappings.size();
+       ++i) {
+    EXPECT_EQ(exhaustive_configs[0].task_mappings[i].task,
+              exhaustive_configs[1].task_mappings[i].task);
+    EXPECT_EQ(exhaustive_configs[0].task_mappings[i].hosts,
+              exhaustive_configs[1].task_mappings[i].hosts);
+  }
+}
+
+TEST(Synthesis, PinnedHostsValidation) {
+  Fixture f = chain_fixture(0.9, 0.9, {{"h1", 0.99}, {"h2", 0.99}});
+
+  SynthesisOptions wrong_size;
+  wrong_size.pinned_hosts = {{0}};  // 1 entry for a 2-task spec
+  const auto sized = synthesize(*f.spec, *f.arch, f.bindings, wrong_size);
+  EXPECT_EQ(sized.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(sized.status().message().find(
+                "pinned_hosts must be empty or give one (possibly empty) "
+                "host set per task"),
+            std::string::npos)
+      << sized.status();
+
+  SynthesisOptions outside;
+  outside.allowed_hosts = {0};
+  outside.pinned_hosts = {{1}, {}};  // h2 is excluded by allowed_hosts
+  const auto escaped = synthesize(*f.spec, *f.arch, f.bindings, outside);
+  EXPECT_EQ(escaped.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(escaped.status().message().find(
+                "pinned_hosts references host 1 outside the usable "
+                "(allowed) host set"),
+            std::string::npos)
+      << escaped.status();
+
+  SynthesisOptions too_big;
+  too_big.max_replication_per_task = 1;
+  too_big.pinned_hosts = {{0, 1}, {}};
+  const auto oversized = synthesize(*f.spec, *f.arch, f.bindings, too_big);
+  EXPECT_EQ(oversized.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(oversized.status().message().find(
+                "a pinned_hosts set exceeds max_replication_per_task"),
+            std::string::npos)
+      << oversized.status();
+}
+
 TEST(FastEngine, MatchesReferenceOnRandomWorkloads) {
   // The fast engine must agree with the reference engine verdict-for-
   // verdict: same mapping for exhaustive, same mapping for greedy, same
