@@ -1,0 +1,186 @@
+// Analyzer cost and determinism on the shipped corpus: lrt-lint runs in
+// the repo's own CI gate over examples/htl/*.htl, so its wall time, its
+// diagnostic yield, and the size of the mode-product supergraph it builds
+// are part of the contract.
+//
+// Three deterministic questions:
+//   * yield: the exact number of errors / warnings / notes over the
+//     shipped examples — any drift means a rule changed behavior;
+//   * analysis size: total product nodes and dataflow fixpoint
+//     iterations across the corpus — the whole-program engine's effort
+//     counters, deterministic for fixed inputs;
+//   * determinism: linting every file twice must render byte-identical
+//     SARIF (the CI artifact).
+//
+// `--json <path>` writes the machine-readable summary gated in CI
+// against baselines/BENCH_lint.json.
+//
+// Benchmarks: the full corpus sweep, and a synthetic 27-node
+// mode-product supergraph (3 modules x 3 switching modes).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "lint/lint.h"
+#include "lint/sarif.h"
+
+namespace {
+
+using namespace lrt;
+
+std::vector<std::pair<std::string, std::string>> load_examples() {
+  std::vector<std::pair<std::string, std::string>> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(LRT_EXAMPLES_HTL_DIR)) {
+    if (entry.path().extension() != ".htl") continue;
+    std::ifstream in(entry.path());
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    files.emplace_back(entry.path().filename().string(), buffer.str());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+struct Sweep {
+  long long files = 0;
+  long long errors = 0;
+  long long warnings = 0;
+  long long notes = 0;
+  long long product_nodes = 0;
+  long long fixpoint_iterations = 0;
+  bool identical = true;
+  double wall_ms = 0.0;
+};
+
+Sweep run_sweep(const std::vector<std::pair<std::string, std::string>>&
+                    files) {
+  Sweep sweep;
+  const auto start = std::chrono::steady_clock::now();
+  for (const auto& [name, source] : files) {
+    lint::LintOptions options;
+    options.file = name;
+    const auto result = lint::lint_source(source, options);
+    if (!result.ok()) continue;  // fixed options: cannot happen
+    ++sweep.files;
+    sweep.errors += result->errors();
+    sweep.warnings += result->warnings();
+    for (const lint::Diagnostic& diag : result->diagnostics) {
+      if (diag.severity == lint::Severity::kNote) ++sweep.notes;
+    }
+    sweep.product_nodes += result->product_nodes;
+    sweep.fixpoint_iterations += result->fixpoint_iterations;
+    const auto again = lint::lint_source(source, options);
+    sweep.identical = sweep.identical && again.ok() &&
+                      lint::to_sarif(result->diagnostics) ==
+                          lint::to_sarif(again->diagnostics);
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  sweep.wall_ms =
+      std::chrono::duration<double, std::milli>(stop - start).count();
+  return sweep;
+}
+
+const std::vector<std::pair<std::string, std::string>>& examples() {
+  static const auto files = load_examples();
+  return files;
+}
+
+const Sweep& sweep() {
+  static const Sweep result = run_sweep(examples());
+  return result;
+}
+
+/// 3 modules, each cycling through 3 modes on a self-written guard: the
+/// product supergraph has 3^3 = 27 reachable nodes, exercising the BFS,
+/// the guard-feasibility pruning, and both dataflow fixpoints.
+std::string synthetic_product_program() {
+  std::string source = "program synthetic {\n";
+  source += "  communicator raw : real period 10 init 0.0 lrc 0.5;\n";
+  for (int m = 0; m < 3; ++m) {
+    const std::string i = std::to_string(m);
+    source += "  communicator g" + i +
+              " : bool period 10 init false lrc 0.5;\n";
+    source += "  communicator o" + i +
+              " : real period 10 init 0.0 lrc 0.5;\n";
+  }
+  for (int m = 0; m < 3; ++m) {
+    const std::string i = std::to_string(m);
+    source += "  module m" + i + " {\n";
+    source += "    task t" + i + " input (raw[0]) output (o" + i +
+              "[1], g" + i + "[1]) model series;\n";
+    for (int k = 0; k < 3; ++k) {
+      source += "    mode k" + std::to_string(k) + " period 10 { invoke t" +
+                i + "; switch (g" + i + ") to k" +
+                std::to_string((k + 1) % 3) + "; }\n";
+    }
+    source += "    start k0;\n  }\n";
+  }
+  source += "}\n";
+  return source;
+}
+
+void print_table() {
+  bench::header("BENCH lint", "analyzer yield and determinism gate");
+  const Sweep& s = sweep();
+  std::printf("  shipped examples      : %lld file(s)\n", s.files);
+  std::printf("  diagnostics           : %lld error(s), %lld warning(s), "
+              "%lld note(s)\n",
+              s.errors, s.warnings, s.notes);
+  std::printf("  product supergraph    : %lld node(s) total\n",
+              s.product_nodes);
+  std::printf("  dataflow fixpoints    : %lld iteration(s) total\n",
+              s.fixpoint_iterations);
+  std::printf("  SARIF deterministic   : %s\n", s.identical ? "yes" : "NO");
+  std::printf("  corpus sweep wall     : %.3f ms (both runs)\n", s.wall_ms);
+}
+
+bool write_json(const std::string& path) {
+  const Sweep& s = sweep();
+  bench::JsonWriter json;
+  json.text("benchmark", "lint_examples");
+  json.integer("files", s.files);
+  json.integer("errors", s.errors);
+  json.integer("warnings", s.warnings);
+  json.integer("notes", s.notes);
+  json.integer("product_nodes", s.product_nodes);
+  json.integer("fixpoint_iterations", s.fixpoint_iterations);
+  json.integer("identical", s.identical ? 1 : 0);
+  json.number("lint_wall_ms", s.wall_ms);
+  return json.write(path);
+}
+
+void BM_LintExampleCorpus(benchmark::State& state) {
+  const auto& files = examples();
+  for (auto _ : state) {
+    long long errors = 0;
+    for (const auto& [name, source] : files) {
+      lint::LintOptions options;
+      options.file = name;
+      const auto result = lint::lint_source(source, options);
+      if (result.ok()) errors += result->errors();
+    }
+    benchmark::DoNotOptimize(errors);
+  }
+}
+BENCHMARK(BM_LintExampleCorpus)->Unit(benchmark::kMicrosecond);
+
+void BM_LintProductSupergraph(benchmark::State& state) {
+  const std::string source = synthetic_product_program();
+  for (auto _ : state) {
+    const auto result = lint::lint_source(source, {});
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_LintProductSupergraph)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+LRT_BENCH_MAIN_JSON(print_table, write_json)

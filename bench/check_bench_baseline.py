@@ -36,6 +36,7 @@ SYNTHESIS_WALL_BUDGET_MS = 250.0
 LONGRUN_SPEEDUP_FLOOR = 10.0
 LONGRUN_WALL_BUDGET_MS = 250.0
 UPDATE_WALL_BUDGET_MS = 250.0
+LINT_WALL_BUDGET_MS = 250.0
 
 
 def check_synthesis(fresh, base):
@@ -153,10 +154,52 @@ def check_update(fresh, base):
     return failures
 
 
+def check_lint(fresh, base):
+    failures = []
+    if fresh["identical"] != 1:
+        failures.append(
+            "identical: linting the same sources twice rendered "
+            "DIFFERENT SARIF — the diagnostics are nondeterministic")
+    if fresh["errors"] != 0:
+        failures.append(
+            f"errors: {fresh['errors']} != 0: a shipped example no longer "
+            "lints clean")
+
+    # The analyzer is deterministic over a fixed corpus: the diagnostic
+    # yield, the product supergraph size, and the fixpoint effort must
+    # match the baseline exactly. Any drift is a rule or engine change
+    # that must be re-baselined deliberately.
+    for key in ("files", "warnings", "notes", "product_nodes",
+                "fixpoint_iterations"):
+        if fresh[key] != base[key]:
+            failures.append(
+                f"{key}: {fresh[key]} != baseline {base[key]} "
+                "(analyzer behavior changed)")
+
+    if fresh["lint_wall_ms"] > LINT_WALL_BUDGET_MS:
+        failures.append(
+            f"lint_wall_ms: {fresh['lint_wall_ms']:.3f} > budget "
+            f"{LINT_WALL_BUDGET_MS} ms")
+
+    print(f"fresh:    files={fresh['files']} errors={fresh['errors']} "
+          f"warnings={fresh['warnings']} notes={fresh['notes']} "
+          f"nodes={fresh['product_nodes']} "
+          f"iters={fresh['fixpoint_iterations']} "
+          f"identical={fresh['identical']} "
+          f"wall={fresh['lint_wall_ms']:.3f}ms")
+    print(f"baseline: files={base['files']} errors={base['errors']} "
+          f"warnings={base['warnings']} notes={base['notes']} "
+          f"nodes={base['product_nodes']} "
+          f"iters={base['fixpoint_iterations']} "
+          f"wall={base['lint_wall_ms']:.3f}ms")
+    return failures
+
+
 RULES = {
     "synthesis": check_synthesis,
     "longrun": check_longrun,
     "update": check_update,
+    "lint": check_lint,
 }
 
 

@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Structural SARIF 2.1.0 gate for the lint-gate CI job.
+
+Validates the SARIF artifact lrt_lint uploads, using only the standard
+library (CI installs nothing):
+
+  check_sarif.py lrt_lint.sarif
+
+* top level: an object with the sarif-2.1.0 "$schema", "version" 2.1.0,
+  and a nonempty "runs" array;
+* tool: every run names a driver with a nonempty rules array; each rule
+  carries an id, a name, a shortDescription.text, and a
+  defaultConfiguration.level from the SARIF level vocabulary;
+* results: every result's ruleId and ruleIndex resolve to the same
+  declared rule, its level is valid, its message.text is nonempty, and
+  every location (primary or related) is a physicalLocation with an
+  artifactLocation.uri and a region of integer startLine/startColumn;
+* relatedLocations additionally need a message.text — they are rendered
+  as annotations, so an empty message is a broken finding.
+
+Exits nonzero with a message on the first violation.
+"""
+
+import json
+import sys
+
+LEVELS = ("none", "note", "warning", "error")
+
+
+def fail(message: str) -> None:
+    print(f"check_sarif: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_location(location, where: str, need_message: bool) -> None:
+    if not isinstance(location, dict):
+        fail(f"{where}: location must be an object")
+    physical = location.get("physicalLocation")
+    if not isinstance(physical, dict):
+        fail(f"{where}: missing physicalLocation object")
+    artifact = physical.get("artifactLocation", {})
+    if not isinstance(artifact.get("uri"), str) or not artifact["uri"]:
+        fail(f"{where}: physicalLocation needs a nonempty "
+             "artifactLocation.uri")
+    region = physical.get("region", {})
+    for key in ("startLine", "startColumn"):
+        value = region.get(key)
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            fail(f"{where}: region.{key} must be a nonnegative integer, "
+                 f"got {value!r}")
+    if need_message:
+        message = location.get("message", {})
+        if not isinstance(message.get("text"), str) or not message["text"]:
+            fail(f"{where}: relatedLocation needs a nonempty message.text")
+
+
+def check_rule(rule, where: str) -> str:
+    if not isinstance(rule.get("id"), str) or not rule["id"]:
+        fail(f"{where}: rule needs a nonempty id")
+    if not isinstance(rule.get("name"), str) or not rule["name"]:
+        fail(f"{where}: rule {rule['id']} needs a nonempty name")
+    description = rule.get("shortDescription", {})
+    if not isinstance(description.get("text"), str) or not description["text"]:
+        fail(f"{where}: rule {rule['id']} needs shortDescription.text")
+    level = rule.get("defaultConfiguration", {}).get("level")
+    if level not in LEVELS:
+        fail(f"{where}: rule {rule['id']} has invalid "
+             f"defaultConfiguration.level {level!r}")
+    return rule["id"]
+
+
+def check_result(result, rule_ids, where: str) -> None:
+    rule_id = result.get("ruleId")
+    if rule_id not in rule_ids:
+        fail(f"{where}: ruleId {rule_id!r} is not declared in "
+             "tool.driver.rules")
+    index = result.get("ruleIndex")
+    if not isinstance(index, int) or isinstance(index, bool) or \
+            not 0 <= index < len(rule_ids) or rule_ids[index] != rule_id:
+        fail(f"{where}: ruleIndex {index!r} does not resolve to "
+             f"ruleId {rule_id!r}")
+    if result.get("level") not in LEVELS:
+        fail(f"{where}: invalid level {result.get('level')!r}")
+    message = result.get("message", {})
+    if not isinstance(message.get("text"), str) or not message["text"]:
+        fail(f"{where}: result needs a nonempty message.text")
+    locations = result.get("locations")
+    if not isinstance(locations, list) or not locations:
+        fail(f"{where}: result needs a nonempty locations array")
+    for i, location in enumerate(locations):
+        check_location(location, f"{where}.locations[{i}]",
+                       need_message=False)
+    for i, location in enumerate(result.get("relatedLocations", [])):
+        check_location(location, f"{where}.relatedLocations[{i}]",
+                       need_message=True)
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(sys.argv[1], encoding="utf-8") as handle:
+        doc = json.load(handle)
+
+    if not isinstance(doc, dict):
+        fail("top level must be an object")
+    if "sarif-schema-2.1.0" not in doc.get("$schema", ""):
+        fail(f"unexpected $schema {doc.get('$schema')!r}")
+    if doc.get("version") != "2.1.0":
+        fail(f"unexpected version {doc.get('version')!r}")
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        fail("runs must be a nonempty array")
+
+    results_seen = 0
+    related_seen = 0
+    for r, run in enumerate(runs):
+        where = f"runs[{r}]"
+        driver = run.get("tool", {}).get("driver", {})
+        if not isinstance(driver.get("name"), str) or not driver["name"]:
+            fail(f"{where}: tool.driver.name must be a nonempty string")
+        rules = driver.get("rules")
+        if not isinstance(rules, list) or not rules:
+            fail(f"{where}: tool.driver.rules must be a nonempty array")
+        rule_ids = [check_rule(rule, f"{where}.rules[{i}]")
+                    for i, rule in enumerate(rules)]
+        if len(set(rule_ids)) != len(rule_ids):
+            fail(f"{where}: duplicate rule ids in tool.driver.rules")
+        results = run.get("results")
+        if not isinstance(results, list):
+            fail(f"{where}: results must be an array")
+        for i, result in enumerate(results):
+            check_result(result, rule_ids, f"{where}.results[{i}]")
+            related_seen += len(result.get("relatedLocations", []))
+        results_seen += len(results)
+
+    print(f"check_sarif: OK: {len(runs)} run(s), {results_seen} result(s), "
+          f"{related_seen} relatedLocation(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

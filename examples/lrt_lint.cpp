@@ -1,6 +1,7 @@
 // lrt_lint — the command-line front-end of the lrt-lint static analyzer.
 //
-//   lrt_lint [--format text|json|sarif] [--output FILE]
+//   lrt_lint [--format text|json|sarif] [--output FILE] [--fix]
+//            [--max-product-nodes N]
 //            [--rule RULE=SEV]... [--mode MODULE=MODE]... <file.htl>...
 //
 // Lints each program against the rule catalog of DESIGN.md section 5d
@@ -13,6 +14,12 @@
 // off, note, warning, error. --mode pins the flattened mode of a module
 // (unlisted modules use their start modes).
 //
+// --fix applies the structured fix-its the rules attach (delete dead
+// declarations and switches, insert explicit defaults, drop duplicate
+// ports) to each file in place, then reports the diagnostics that
+// remain. With --output (one input file only) the fixed source is
+// written there and the input is left untouched.
+//
 // Exit status: 0 when no error-severity diagnostics were found, 1 when
 // at least one was (or a file could not be read), 2 on usage errors.
 //
@@ -23,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "lint/fixit.h"
 #include "lint/lint.h"
 #include "lint/sarif.h"
 #include "obs/session.h"
@@ -35,11 +43,19 @@ int main(int argc, char** argv) {
   parser.set_positional_usage("<file.htl>...");
   std::string format = "text";
   std::string output_path;
+  bool fix = false;
+  std::int64_t max_product_nodes = 1024;
   std::vector<std::string> rule_flags;
   std::vector<std::string> mode_pins;
   parser.add_string("--format", &format, "text, json, or sarif");
   parser.add_string("--output", &output_path,
-                    "write the rendered diagnostics to FILE");
+                    "write the rendered diagnostics to FILE (with --fix: "
+                    "the fixed source)");
+  parser.add_flag("--fix", &fix,
+                  "apply the rules' mechanical fix-its to the input files");
+  parser.add_int("--max-product-nodes", &max_product_nodes,
+                 "mode-product supergraph node cap for the cross-mode "
+                 "rules (LRT019 reports when it is hit)");
   parser.add_repeated("--rule", &rule_flags,
                       "RULE=SEV severity override (id or name; off, note, "
                       "warning, error)");
@@ -54,7 +70,16 @@ int main(int argc, char** argv) {
   }
   lint::LintOptions options;
   options.rule_flags = rule_flags;
+  if (max_product_nodes > 0) {
+    options.max_product_nodes = static_cast<std::size_t>(max_product_nodes);
+  }
   bool bad_usage = !status.ok() || parser.positionals().empty();
+  if (fix && !output_path.empty() && parser.positionals().size() != 1) {
+    std::fprintf(stderr,
+                 "lrt_lint: --fix with --output takes exactly one input "
+                 "file\n");
+    bad_usage = true;
+  }
   if (!status.ok())
     std::fprintf(stderr, "lrt_lint: %s\n", status.to_string().c_str());
   for (const std::string& pin : mode_pins) {
@@ -88,14 +113,43 @@ int main(int argc, char** argv) {
     }
     std::ostringstream buffer;
     buffer << file.rdbuf();
+    std::string source = buffer.str();
     options.file = path;
-    const auto result = lint::lint_source(buffer.str(), options);
+    auto result = lint::lint_source(source, options);
     if (!result.ok()) {
       // Only invalid options reach here (e.g. an unknown --rule), so the
       // remaining files would fail identically.
       std::fprintf(stderr, "lrt_lint: %s\n",
                    result.status().to_string().c_str());
       return 2;
+    }
+    if (fix) {
+      const auto fixed = lint::apply_fixits(source, result->diagnostics);
+      if (!fixed.ok()) {
+        std::fprintf(stderr, "lrt_lint: %s\n",
+                     fixed.status().to_string().c_str());
+        return 1;
+      }
+      const std::string& target = output_path.empty() ? path : output_path;
+      if (fixed->applied > 0 || !output_path.empty()) {
+        std::ofstream out(target);
+        if (!out) {
+          std::fprintf(stderr, "lrt_lint: cannot write '%s'\n",
+                       target.c_str());
+          return 1;
+        }
+        out << fixed->text;
+      }
+      std::fprintf(stderr, "lrt_lint: %s: applied %d fix(es), skipped %d\n",
+                   path.c_str(), fixed->applied, fixed->skipped);
+      // Report the diagnostics that remain after fixing, not the ones
+      // the fixes just resolved.
+      result = lint::lint_source(fixed->text, options);
+      if (!result.ok()) {
+        std::fprintf(stderr, "lrt_lint: %s\n",
+                     result.status().to_string().c_str());
+        return 2;
+      }
     }
     errors += result->errors();
     warnings += result->warnings();
@@ -111,7 +165,7 @@ int main(int argc, char** argv) {
   } else {
     rendered = lint::render_text(diagnostics);
   }
-  if (!output_path.empty()) {
+  if (!output_path.empty() && !fix) {
     std::ofstream out(output_path);
     if (!out) {
       std::fprintf(stderr, "lrt_lint: cannot write '%s'\n",
@@ -120,6 +174,8 @@ int main(int argc, char** argv) {
     }
     out << rendered;
   } else {
+    // With --fix, --output already received the fixed source; the
+    // remaining diagnostics go to stdout.
     std::fputs(rendered.c_str(), stdout);
   }
   if (want_text) {

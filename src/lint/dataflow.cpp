@@ -1,0 +1,13 @@
+#include "lint/dataflow.h"
+
+namespace lrt::lint {
+
+std::vector<std::size_t> members(const CommSet& set) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < set.universe(); ++i) {
+    if (set.contains(i)) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace lrt::lint

@@ -1,0 +1,197 @@
+// A small generic dataflow fixpoint framework over the mode-product
+// supergraph (DESIGN.md section 5i).
+//
+// The framework is deliberately classic: join-semilattice values,
+// forward or backward propagation, and a worklist that always pops the
+// smallest node id — so the iteration order (and therefore every
+// diagnostic derived from an analysis result) is bit-stable across runs,
+// platforms, and thread counts. May analyses use a union lattice seeded
+// from empty sets (least fixpoint); must analyses use an intersection
+// lattice seeded from the full universe (greatest fixpoint). Both
+// terminate because the lattices are finite and the transfer functions
+// monotone.
+#ifndef LRT_LINT_DATAFLOW_H_
+#define LRT_LINT_DATAFLOW_H_
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+namespace lrt::lint {
+
+/// A directed graph over nodes 0..size()-1 with both adjacency
+/// directions materialized (the solver walks one or the other depending
+/// on the analysis direction).
+struct Digraph {
+  std::vector<std::vector<int>> succ;
+  std::vector<std::vector<int>> pred;
+
+  [[nodiscard]] int size() const { return static_cast<int>(succ.size()); }
+
+  void resize(int nodes) {
+    succ.resize(static_cast<std::size_t>(nodes));
+    pred.resize(static_cast<std::size_t>(nodes));
+  }
+  void add_edge(int from, int to) {
+    succ[static_cast<std::size_t>(from)].push_back(to);
+    pred[static_cast<std::size_t>(to)].push_back(from);
+  }
+};
+
+enum class Direction { kForward, kBackward };
+
+/// A fixed-size bitset over the program's communicators — the value
+/// domain of every shipped analysis. Word-level ops keep the transfer
+/// functions cheap even on wide programs.
+class CommSet {
+ public:
+  CommSet() = default;
+  explicit CommSet(std::size_t universe)
+      : size_(universe), words_((universe + 63) / 64, 0) {}
+
+  /// The full universe (top of the must lattice).
+  static CommSet all(std::size_t universe) {
+    CommSet set(universe);
+    for (std::size_t i = 0; i < universe; ++i) set.insert(i);
+    return set;
+  }
+
+  [[nodiscard]] std::size_t universe() const { return size_; }
+
+  void insert(std::size_t i) {
+    words_[i / 64] |= std::uint64_t{1} << (i % 64);
+  }
+  void erase(std::size_t i) {
+    words_[i / 64] &= ~(std::uint64_t{1} << (i % 64));
+  }
+  [[nodiscard]] bool contains(std::size_t i) const {
+    return (words_[i / 64] >> (i % 64) & 1) != 0;
+  }
+
+  /// this |= other; returns true iff this changed.
+  bool unite(const CommSet& other) {
+    bool changed = false;
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      const std::uint64_t merged = words_[w] | other.words_[w];
+      changed |= merged != words_[w];
+      words_[w] = merged;
+    }
+    return changed;
+  }
+  /// this &= other; returns true iff this changed.
+  bool intersect(const CommSet& other) {
+    bool changed = false;
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      const std::uint64_t met = words_[w] & other.words_[w];
+      changed |= met != words_[w];
+      words_[w] = met;
+    }
+    return changed;
+  }
+  /// this &= ~other.
+  void subtract(const CommSet& other) {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      words_[w] &= ~other.words_[w];
+    }
+  }
+
+  friend bool operator==(const CommSet&, const CommSet&) = default;
+
+ private:
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+/// The ascending members of `set`, for deterministic reporting.
+[[nodiscard]] std::vector<std::size_t> members(const CommSet& set);
+
+/// May lattice: join is set union, the seed is the empty set.
+struct MayLattice {
+  std::size_t universe = 0;
+  using Value = CommSet;
+  [[nodiscard]] Value initial() const { return CommSet(universe); }
+  // NOLINTNEXTLINE(readability-convert-member-functions-to-static)
+  bool join(Value& into, const Value& from) const { return into.unite(from); }
+};
+
+/// Must lattice: join is set intersection, the seed is the universe.
+struct MustLattice {
+  std::size_t universe = 0;
+  using Value = CommSet;
+  [[nodiscard]] Value initial() const { return CommSet::all(universe); }
+  // NOLINTNEXTLINE(readability-convert-member-functions-to-static)
+  bool join(Value& into, const Value& from) const {
+    return into.intersect(from);
+  }
+};
+
+template <typename Lattice>
+struct FixpointResult {
+  /// Value at node entry (forward) / node exit (backward) — the joined
+  /// value the transfer function was applied to.
+  std::vector<typename Lattice::Value> in;
+  /// Value after the node's transfer function.
+  std::vector<typename Lattice::Value> out;
+  /// Transfer-function applications until the fixpoint (the
+  /// lint.fixpoint_iterations observability counter).
+  std::int64_t iterations = 0;
+};
+
+/// Solves the dataflow instance to its fixpoint. `boundary` is joined
+/// into the input of every node listed in `boundary_nodes` (the
+/// execution entry for a forward analysis, the exits for a backward
+/// one) — an explicit list because in a graph where every node has a
+/// self-loop no node is structurally an entry. `transfer` is any
+/// callable `Value(int node, const Value& in)` and must be monotone.
+template <typename Lattice, typename Transfer>
+FixpointResult<Lattice> solve(const Digraph& graph, Direction direction,
+                              const Lattice& lattice,
+                              const std::vector<int>& boundary_nodes,
+                              const typename Lattice::Value& boundary,
+                              Transfer&& transfer) {
+  const int n = graph.size();
+  const auto& flow_pred =
+      direction == Direction::kForward ? graph.pred : graph.succ;
+  const auto& flow_succ =
+      direction == Direction::kForward ? graph.succ : graph.pred;
+
+  std::vector<bool> is_boundary(static_cast<std::size_t>(n), false);
+  for (const int node : boundary_nodes) {
+    is_boundary[static_cast<std::size_t>(node)] = true;
+  }
+
+  FixpointResult<Lattice> result;
+  result.in.assign(static_cast<std::size_t>(n), lattice.initial());
+  result.out.assign(static_cast<std::size_t>(n), lattice.initial());
+
+  // Smallest-id-first worklist: deterministic pop order regardless of
+  // how edges happened to be inserted.
+  std::set<int> worklist;
+  for (int node = 0; node < n; ++node) worklist.insert(node);
+
+  while (!worklist.empty()) {
+    const int node = *worklist.begin();
+    worklist.erase(worklist.begin());
+    const auto index = static_cast<std::size_t>(node);
+
+    // Recompute the node's input from scratch: the boundary (if this is
+    // a boundary node) joined with the flow-predecessors' outputs.
+    typename Lattice::Value in = lattice.initial();
+    if (is_boundary[index]) lattice.join(in, boundary);
+    for (const int pred : flow_pred[index]) {
+      lattice.join(in, result.out[static_cast<std::size_t>(pred)]);
+    }
+    result.in[index] = std::move(in);
+
+    typename Lattice::Value next = transfer(node, result.in[index]);
+    ++result.iterations;
+    if (next == result.out[index]) continue;
+    result.out[index] = std::move(next);
+    for (const int succ : flow_succ[index]) worklist.insert(succ);
+  }
+  return result;
+}
+
+}  // namespace lrt::lint
+
+#endif  // LRT_LINT_DATAFLOW_H_

@@ -94,6 +94,32 @@ void DiagnosticEngine::sort_by_location() {
                    });
 }
 
+void DiagnosticEngine::sort_and_dedupe() {
+  // Refines sort_by_location's key with (message, fixit) so identical
+  // findings are adjacent even when a different message shares their
+  // location, then drops exact duplicates.
+  std::stable_sort(diagnostics_.begin(), diagnostics_.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     return std::tie(a.location.file, a.location.line,
+                                     a.location.column, a.rule_id, a.message,
+                                     a.fixit) <
+                            std::tie(b.location.file, b.location.line,
+                                     b.location.column, b.rule_id, b.message,
+                                     b.fixit);
+                   });
+  const auto last = std::unique(
+      diagnostics_.begin(), diagnostics_.end(),
+      [](const Diagnostic& a, const Diagnostic& b) {
+        return a.rule_id == b.rule_id && a.severity == b.severity &&
+               a.location.file == b.location.file &&
+               a.location.line == b.location.line &&
+               a.location.column == b.location.column &&
+               a.message == b.message && a.fixit == b.fixit &&
+               a.related == b.related && a.edits == b.edits;
+      });
+  diagnostics_.erase(last, diagnostics_.end());
+}
+
 int DiagnosticEngine::count(Severity severity) const {
   return static_cast<int>(
       std::count_if(diagnostics_.begin(), diagnostics_.end(),

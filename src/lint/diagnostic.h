@@ -42,6 +42,44 @@ struct SourceLocation {
 
   /// "file:line:col" (omitting zero components).
   [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const SourceLocation&,
+                         const SourceLocation&) = default;
+};
+
+/// A secondary source location attached to a finding — the other racing
+/// writer, one hop of the switch path that reaches an uninitialized read.
+/// Rendered as SARIF relatedLocations and as indented "related:" lines in
+/// text output.
+struct RelatedLocation {
+  SourceLocation location;
+  std::string message;
+
+  friend bool operator==(const RelatedLocation&,
+                         const RelatedLocation&) = default;
+};
+
+/// One mechanical edit a rule can attach to its finding, precise enough
+/// for lint::apply_fixits to execute. Anchored at a (line, column) the
+/// parser recorded (statement keyword or port name); the applier scans
+/// the source text for the statement/port extent, so edits stay valid
+/// across reformatting.
+struct FixEdit {
+  enum class Kind {
+    /// Delete from the anchor through the statement's closing ';'.
+    kDeleteStatement,
+    /// Insert `text` immediately before the statement's closing ';'.
+    kInsertBeforeStatementEnd,
+    /// Delete the `name[instance]` port at the anchor plus one adjoining
+    /// list comma.
+    kDeletePortRef,
+  };
+  Kind kind = Kind::kDeleteStatement;
+  int line = 0;
+  int column = 0;
+  std::string text;  ///< only for kInsertBeforeStatementEnd
+
+  friend bool operator==(const FixEdit&, const FixEdit&) = default;
 };
 
 /// One finding: a rule id + severity + location + message, with an
@@ -53,6 +91,10 @@ struct Diagnostic {
   SourceLocation location;
   std::string message;
   std::string fixit;  ///< empty when the rule has no mechanical fix
+  /// Secondary locations that complete the finding (may be empty).
+  std::vector<RelatedLocation> related;
+  /// Machine-applicable edits realizing `fixit` (may be empty).
+  std::vector<FixEdit> edits;
 
   /// "file:line:col: severity: message [rule_id]".
   [[nodiscard]] std::string to_string() const;
@@ -94,6 +136,13 @@ class DiagnosticEngine {
 
   /// Stable-sorts by (file, line, column, rule id).
   void sort_by_location();
+
+  /// sort_by_location() plus removal of identical findings — overlapping
+  /// passes (e.g. the per-mode and mode-product race checks) may report
+  /// the same (rule, location, message) twice; renderers and gates see
+  /// each finding once. Deterministic: the first (lowest-sorted) copy
+  /// survives.
+  void sort_and_dedupe();
 
   [[nodiscard]] int count(Severity severity) const;
   [[nodiscard]] int error_count() const {

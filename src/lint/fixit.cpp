@@ -1,0 +1,165 @@
+#include "lint/fixit.h"
+
+#include <algorithm>
+#include <cctype>
+#include <optional>
+#include <string>
+#include <tuple>
+
+namespace lrt::lint {
+namespace {
+
+/// One resolved edit: replace source[start, end) with `replacement`.
+struct Splice {
+  std::size_t start = 0;
+  std::size_t end = 0;
+  std::string replacement;
+
+  friend bool operator==(const Splice&, const Splice&) = default;
+};
+
+bool is_space(char c) {
+  return std::isspace(static_cast<unsigned char>(c)) != 0;
+}
+bool is_ident(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Byte offset of 1-based (line, column), or nullopt when outside the
+/// text. Column 0 means "start of line".
+std::optional<std::size_t> offset_of(std::string_view source, int line,
+                                     int column) {
+  if (line <= 0) return std::nullopt;
+  std::size_t offset = 0;
+  for (int current = 1; current < line; ++current) {
+    const std::size_t newline = source.find('\n', offset);
+    if (newline == std::string_view::npos) return std::nullopt;
+    offset = newline + 1;
+  }
+  const std::size_t target =
+      offset + static_cast<std::size_t>(std::max(column - 1, 0));
+  if (target > source.size()) return std::nullopt;
+  return target;
+}
+
+/// Resolves one FixEdit to a concrete splice, or nullopt when the
+/// expected syntax is not at the anchor (the edit is then skipped).
+std::optional<Splice> resolve(std::string_view source, const FixEdit& edit,
+                              std::size_t anchor) {
+  switch (edit.kind) {
+    case FixEdit::Kind::kDeleteStatement: {
+      const std::size_t semi = source.find(';', anchor);
+      if (semi == std::string_view::npos) return std::nullopt;
+      std::size_t start = anchor;
+      std::size_t end = semi + 1;
+      // Take the whole line when nothing else lives on it.
+      std::size_t line_start = start;
+      while (line_start > 0 && source[line_start - 1] != '\n') --line_start;
+      std::size_t line_end = end;
+      while (line_end < source.size() && source[line_end] != '\n') {
+        ++line_end;
+      }
+      const auto blank = [&source](std::size_t from, std::size_t to) {
+        for (std::size_t i = from; i < to; ++i) {
+          if (!is_space(source[i])) return false;
+        }
+        return true;
+      };
+      if (blank(line_start, start) && blank(end, line_end)) {
+        start = line_start;
+        end = line_end < source.size() ? line_end + 1 : line_end;
+      }
+      return Splice{start, end, ""};
+    }
+    case FixEdit::Kind::kInsertBeforeStatementEnd: {
+      const std::size_t semi = source.find(';', anchor);
+      if (semi == std::string_view::npos) return std::nullopt;
+      return Splice{semi, semi, edit.text};
+    }
+    case FixEdit::Kind::kDeletePortRef: {
+      std::size_t end = anchor;
+      while (end < source.size() && is_ident(source[end])) ++end;
+      if (end == anchor) return std::nullopt;  // no identifier here
+      std::size_t cursor = end;
+      while (cursor < source.size() && is_space(source[cursor])) ++cursor;
+      if (cursor >= source.size() || source[cursor] != '[') {
+        return std::nullopt;
+      }
+      const std::size_t close = source.find(']', cursor);
+      if (close == std::string_view::npos) return std::nullopt;
+      end = close + 1;
+      // Swallow one list comma: the preceding one if present, else the
+      // following one — so "(a, b)" minus b is "(a)" and minus a too.
+      std::size_t start = anchor;
+      std::size_t before = start;
+      while (before > 0 && is_space(source[before - 1])) --before;
+      if (before > 0 && source[before - 1] == ',') {
+        start = before - 1;
+      } else {
+        std::size_t after = end;
+        while (after < source.size() && is_space(source[after])) ++after;
+        if (after < source.size() && source[after] == ',') {
+          end = after + 1;
+          while (end < source.size() && source[end] == ' ') ++end;
+        }
+      }
+      return Splice{start, end, ""};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+Result<FixResult> apply_fixits(std::string_view source,
+                               const std::vector<Diagnostic>& diagnostics) {
+  FixResult result;
+  std::vector<Splice> splices;
+  for (const Diagnostic& diag : diagnostics) {
+    for (const FixEdit& edit : diag.edits) {
+      const auto anchor = offset_of(source, edit.line, edit.column);
+      if (!anchor.has_value()) {
+        return InvalidArgumentError(
+            "fix-it anchor " + std::to_string(edit.line) + ":" +
+            std::to_string(edit.column) +
+            " lies outside the source text; the diagnostics were not "
+            "produced from this source");
+      }
+      const auto splice = resolve(source, edit, *anchor);
+      if (!splice.has_value()) {
+        ++result.skipped;
+        continue;
+      }
+      splices.push_back(*splice);
+    }
+  }
+
+  // Identical edits (e.g. the same deletion attached to two findings)
+  // collapse to one; overlapping distinct edits are applied first-wins.
+  std::sort(splices.begin(), splices.end(),
+            [](const Splice& a, const Splice& b) {
+              return std::tie(a.start, a.end, a.replacement) <
+                     std::tie(b.start, b.end, b.replacement);
+            });
+  splices.erase(std::unique(splices.begin(), splices.end()), splices.end());
+
+  std::string text(source);
+  // Back-to-front, so earlier offsets never shift.
+  std::size_t applied_start = text.size() + 1;
+  for (auto it = splices.rbegin(); it != splices.rend(); ++it) {
+    const bool pure_insert = it->start == it->end;
+    const bool overlaps = pure_insert ? it->start > applied_start
+                                      : it->end > applied_start;
+    if (overlaps) {
+      ++result.skipped;
+      continue;
+    }
+    text.replace(it->start, it->end - it->start, it->replacement);
+    ++result.applied;
+    applied_start = it->start;
+  }
+  result.text = std::move(text);
+  return result;
+}
+
+}  // namespace lrt::lint

@@ -1,0 +1,38 @@
+// Applies the structured FixEdits attached to diagnostics to HTL source
+// text — the engine behind `lrt_lint --fix`.
+//
+// Edits are anchored at parser-recorded (line, column) positions (the
+// statement keyword or the port name token); the applier scans the text
+// for the statement or port extent, so an edit stays valid however the
+// source is formatted. Edits are applied back-to-front so earlier
+// offsets never shift, and overlapping edits are skipped (counted, not
+// silently dropped) — re-running lint after a fix pass converges on the
+// remainder.
+#ifndef LRT_LINT_FIXIT_H_
+#define LRT_LINT_FIXIT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/diagnostic.h"
+#include "support/status.h"
+
+namespace lrt::lint {
+
+struct FixResult {
+  std::string text;  ///< the source with edits applied
+  int applied = 0;
+  int skipped = 0;  ///< overlapping or unresolvable edits left in place
+};
+
+/// Applies every edit carried by `diagnostics` to `source`. Returns an
+/// error only when an anchor lies outside the text (which indicates the
+/// diagnostics came from different source); unresolvable single edits
+/// are skipped and counted instead.
+[[nodiscard]] Result<FixResult> apply_fixits(
+    std::string_view source, const std::vector<Diagnostic>& diagnostics);
+
+}  // namespace lrt::lint
+
+#endif  // LRT_LINT_FIXIT_H_

@@ -1,0 +1,274 @@
+#include "lint/flowgraph.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <numeric>
+
+#include "htl/queries.h"
+
+namespace lrt::lint {
+namespace {
+
+spec::Time lcm_time(spec::Time a, spec::Time b) {
+  if (a <= 0) a = 1;
+  if (b <= 0) b = 1;
+  return a / std::gcd(a, b) * b;
+}
+
+bool access_before(const CommAccess& a, const CommAccess& b) {
+  if (a.time != b.time) return a.time < b.time;
+  if (a.is_write != b.is_write) return !a.is_write;
+  if (a.module != b.module) return a.module < b.module;
+  if (a.comm != b.comm) return a.comm < b.comm;
+  return a.instance < b.instance;
+}
+
+}  // namespace
+
+int FlowGraph::comm_index(std::string_view name) const {
+  for (std::size_t i = 0; i < comm_names_.size(); ++i) {
+    if (comm_names_[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+bool FlowGraph::mode_occurs(int module, int mode) const {
+  for (const ProductNode& node : nodes_) {
+    if (node.mode_of[static_cast<std::size_t>(module)] == mode) return true;
+  }
+  return false;
+}
+
+std::string FlowGraph::describe(int id) const {
+  const ProductNode& node = nodes_[static_cast<std::size_t>(id)];
+  std::string out = "(";
+  bool first = true;
+  for (std::size_t m = 0; m < node.mode_of.size(); ++m) {
+    const int mode = node.mode_of[m];
+    if (mode < 0) continue;
+    if (!first) out += ", ";
+    first = false;
+    out += program_->modules[m].name;
+    out += '=';
+    out += program_->modules[m].modes[static_cast<std::size_t>(mode)].name;
+  }
+  out += ')';
+  return out;
+}
+
+std::vector<const ProductEdge*> FlowGraph::path_to(int id) const {
+  std::vector<const ProductEdge*> path;
+  int node = id;
+  while (node > 0) {
+    const int edge = discovered_by_[static_cast<std::size_t>(node)];
+    if (edge < 0) break;
+    path.push_back(&edges_[static_cast<std::size_t>(edge)]);
+    node = edges_[static_cast<std::size_t>(edge)].from;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+FlowGraph FlowGraph::build(const htl::ProgramAst& program,
+                           const FlowGraphOptions& options) {
+  FlowGraph fg;
+  fg.program_ = &program;
+
+  // Fix the communicator universe up front (CommSet widths depend on it):
+  // declarations first, then ports and guards in first-reference order.
+  auto add_comm = [&fg](const std::string& name) {
+    if (fg.comm_index(name) < 0) fg.comm_names_.push_back(name);
+  };
+  for (const htl::CommunicatorAst& comm : program.communicators) {
+    add_comm(comm.name);
+  }
+  for (const htl::ModuleAst& module : program.modules) {
+    for (const htl::TaskAst& task : module.tasks) {
+      for (const htl::PortAst& port : task.inputs) add_comm(port.communicator);
+      for (const htl::PortAst& port : task.outputs) add_comm(port.communicator);
+    }
+    for (const htl::ModeAst& mode : module.modes) {
+      for (const htl::SwitchAst& edge : mode.switches) add_comm(edge.condition);
+    }
+  }
+  const std::size_t universe = fg.comm_names_.size();
+
+  // Start tuple; modules without modes hold index -1 (inactive).
+  std::vector<int> start(program.modules.size(), -1);
+  bool any_mode = false;
+  for (std::size_t m = 0; m < program.modules.size(); ++m) {
+    const htl::ModeAst* mode = htl::start_mode(program.modules[m]);
+    if (mode == nullptr) continue;
+    start[m] = static_cast<int>(mode - program.modules[m].modes.data());
+    any_mode = true;
+  }
+  if (!any_mode) return fg;
+
+  const auto make_node = [&](const std::vector<int>& mode_of) {
+    ProductNode node;
+    node.mode_of = mode_of;
+    node.reads = CommSet(universe);
+    node.writes = CommSet(universe);
+    spec::Time common = 0;
+    for (std::size_t m = 0; m < mode_of.size(); ++m) {
+      if (mode_of[m] < 0) continue;
+      const htl::ModuleAst& module = program.modules[m];
+      const htl::ModeAst& mode =
+          module.modes[static_cast<std::size_t>(mode_of[m])];
+      if (common == 0) {
+        common = mode.period;
+      } else if (common != mode.period) {
+        node.harmonic = false;
+      }
+      node.hyper_period = lcm_time(node.hyper_period, mode.period);
+      for (const std::string& invoke : mode.invokes) {
+        const htl::TaskAst* task = htl::find_task(module, invoke);
+        if (task == nullptr) continue;
+        const auto add_port = [&](const htl::PortAst& port, bool is_write) {
+          CommAccess access;
+          access.comm = fg.comm_index(port.communicator);
+          access.instance = port.instance;
+          const htl::CommunicatorAst* comm =
+              htl::find_communicator(program, port.communicator);
+          access.time = port.instance * (comm != nullptr ? comm->period : 1);
+          access.is_write = is_write;
+          access.module = static_cast<int>(m);
+          access.task = task;
+          access.line = port.line;
+          access.column = port.column;
+          node.accesses.push_back(access);
+          if (access.comm >= 0) {
+            const auto index = static_cast<std::size_t>(access.comm);
+            if (is_write) {
+              node.writes.insert(index);
+            } else {
+              node.reads.insert(index);
+            }
+          }
+        };
+        for (const htl::PortAst& port : task->inputs) add_port(port, false);
+        for (const htl::PortAst& port : task->outputs) add_port(port, true);
+      }
+      // Every declared switch evaluates its guard at the end of the mode
+      // period, dead or not.
+      for (const htl::SwitchAst& edge : mode.switches) {
+        CommAccess access;
+        access.comm = fg.comm_index(edge.condition);
+        access.time = mode.period;
+        access.is_guard = true;
+        access.module = static_cast<int>(m);
+        access.line = edge.line;
+        access.column = edge.column;
+        node.accesses.push_back(access);
+        if (access.comm >= 0) {
+          node.reads.insert(static_cast<std::size_t>(access.comm));
+        }
+      }
+    }
+    std::stable_sort(node.accesses.begin(), node.accesses.end(),
+                     access_before);
+    return node;
+  };
+
+  // Initial guard feasibility: declared-init true or written anywhere.
+  std::map<const htl::SwitchAst*, bool> enabled;
+  for (const htl::ModuleAst& module : program.modules) {
+    for (const htl::ModeAst& mode : module.modes) {
+      for (const htl::SwitchAst& edge : mode.switches) {
+        enabled[&edge] = htl::guard_info(program, edge).statically_enabled();
+      }
+    }
+  }
+
+  // Expand the reachable product under the current guard set, then
+  // re-derive feasibility from what the *reachable* nodes actually write;
+  // repeat until the (monotonically shrinking) guard set is stable.
+  while (true) {
+    fg.nodes_.clear();
+    fg.edges_.clear();
+    fg.discovered_by_.clear();
+    fg.capped_ = false;
+
+    std::map<std::vector<int>, int> id_of;
+    id_of[start] = 0;
+    fg.nodes_.push_back(make_node(start));
+    fg.discovered_by_.push_back(-1);
+    std::deque<int> bfs{0};
+    while (!bfs.empty() && !fg.capped_) {
+      const int current = bfs.front();
+      bfs.pop_front();
+      const std::vector<int> mode_of =
+          fg.nodes_[static_cast<std::size_t>(current)].mode_of;
+      for (std::size_t m = 0; m < mode_of.size(); ++m) {
+        if (mode_of[m] < 0) continue;
+        const htl::ModuleAst& module = program.modules[m];
+        const htl::ModeAst& mode =
+            module.modes[static_cast<std::size_t>(mode_of[m])];
+        for (const htl::SwitchAst& edge : mode.switches) {
+          if (!enabled[&edge]) continue;
+          const htl::ModeAst* target = htl::find_mode(module, edge.target);
+          if (target == nullptr) continue;  // LRT-frontend territory
+          std::vector<int> next = mode_of;
+          next[m] = static_cast<int>(target - module.modes.data());
+          auto [it, inserted] =
+              id_of.try_emplace(next, static_cast<int>(fg.nodes_.size()));
+          if (inserted) {
+            if (fg.nodes_.size() >= options.max_nodes) {
+              id_of.erase(it);
+              fg.capped_ = true;
+              break;
+            }
+            fg.nodes_.push_back(make_node(next));
+            fg.discovered_by_.push_back(static_cast<int>(fg.edges_.size()));
+            bfs.push_back(it->second);
+          }
+          fg.edges_.push_back({current, it->second, static_cast<int>(m),
+                               &edge});
+        }
+        if (fg.capped_) break;
+      }
+    }
+    if (fg.capped_) break;
+
+    CommSet written(universe);
+    for (const ProductNode& node : fg.nodes_) written.unite(node.writes);
+    bool changed = false;
+    for (auto& [edge, is_enabled] : enabled) {
+      if (!is_enabled) continue;
+      const htl::GuardInfo info = htl::guard_info(program, *edge);
+      if (info.condition == nullptr || info.init_true) continue;
+      const int comm = fg.comm_index(edge->condition);
+      if (comm < 0 || !written.contains(static_cast<std::size_t>(comm))) {
+        is_enabled = false;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+
+  for (const htl::ModuleAst& module : program.modules) {
+    const auto module_index =
+        static_cast<int>(&module - program.modules.data());
+    for (const htl::ModeAst& mode : module.modes) {
+      const auto mode_index = static_cast<int>(&mode - module.modes.data());
+      for (const htl::SwitchAst& edge : mode.switches) {
+        if (!enabled[&edge]) {
+          fg.dead_switches_.push_back({module_index, mode_index, &edge});
+        }
+      }
+    }
+  }
+
+  fg.graph_.resize(static_cast<int>(fg.nodes_.size()));
+  for (int node = 0; node < fg.graph_.size(); ++node) {
+    // Staying in the current mode combination is always a possible step.
+    fg.graph_.add_edge(node, node);
+  }
+  for (const ProductEdge& edge : fg.edges_) {
+    fg.graph_.add_edge(edge.from, edge.to);
+  }
+  return fg;
+}
+
+}  // namespace lrt::lint

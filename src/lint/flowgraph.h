@@ -1,0 +1,148 @@
+// The mode-product supergraph: the whole-program control-flow object the
+// cross-mode lint rules (LRT011-LRT018) analyze (DESIGN.md section 5i).
+//
+// A node is one reachable tuple of per-module modes; the start node pairs
+// every module's start mode, and a switch edge of one module steps that
+// module's component while the others hold (one switch per step — any
+// simultaneous combination is reachable through a sequence of single
+// steps because modules switch independently). Edges whose guard can
+// never be true (a bool communicator with init false that no task in any
+// *reachable* node writes) are pruned before expansion; the pruning and
+// the reachable set are themselves a small fixpoint, since removing an
+// edge can strand the only writer of another guard.
+//
+// Every node additionally has a self-edge — staying in the current mode
+// combination for another period is always a possible step — so the
+// dataflow analyses never see a spurious "end of execution".
+//
+// Each node carries the unrolled communicator access timeline of its
+// active modes over the node's hyper-period: one (time, read/write)
+// access per port instance per task invocation, plus one guard read per
+// switch, merged across modules and sorted deterministically. When the
+// active mode periods disagree the node is marked disharmonic (rule
+// LRT017) and each mode is unrolled over its own period instead.
+//
+// Expansion is bounded by FlowGraphOptions::max_nodes. Hitting the cap
+// never silently truncates an analysis: the graph is marked capped, the
+// product rules step aside (degrading to the per-module catalog
+// LRT000-LRT010), and lint reports the degradation as LRT019.
+#ifndef LRT_LINT_FLOWGRAPH_H_
+#define LRT_LINT_FLOWGRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "htl/ast.h"
+#include "lint/dataflow.h"
+#include "spec/declarations.h"
+
+namespace lrt::lint {
+
+struct FlowGraphOptions {
+  /// Product-node cap; expansion beyond it marks the graph capped.
+  std::size_t max_nodes = 1024;
+};
+
+/// One communicator access in a node's merged timeline.
+struct CommAccess {
+  int comm = -1;             ///< index into FlowGraph::comm_names()
+  std::int64_t instance = 0; ///< port instance (0 for guard reads)
+  spec::Time time = 0;       ///< instant within the node's hyper-period
+  bool is_write = false;
+  bool is_guard = false;     ///< a switch-condition read
+  int module = -1;           ///< module index in the program
+  const htl::TaskAst* task = nullptr;  ///< null for guard reads
+  int line = 0;
+  int column = 0;
+};
+
+/// One reachable tuple of per-module modes.
+struct ProductNode {
+  /// Mode index per module (aligned with ProgramAst::modules).
+  std::vector<int> mode_of;
+  /// lcm of the active mode periods (the unroll horizon); equals the
+  /// common period when `harmonic`.
+  spec::Time hyper_period = 0;
+  /// True iff every active mode declares the same period (what the
+  /// flattener requires of a selectable combination).
+  bool harmonic = true;
+  /// Merged accesses, sorted by (time, is_write, module, comm, instance).
+  std::vector<CommAccess> accesses;
+  /// Communicators read (task inputs + guards) / written in this node.
+  CommSet reads;
+  CommSet writes;
+};
+
+/// One pruned-in switch edge between product nodes.
+struct ProductEdge {
+  int from = -1;
+  int to = -1;
+  int module = -1;               ///< the module that switched
+  const htl::SwitchAst* edge = nullptr;
+};
+
+/// The supergraph. Node 0 is the start tuple; node and edge order are
+/// discovery order (deterministic BFS: modules, then switches, in
+/// declaration order), so ids are bit-stable across runs.
+class FlowGraph {
+ public:
+  /// Builds the guard-pruned reachable product of `program`'s modules.
+  /// Programs without modules yield an empty graph.
+  static FlowGraph build(const htl::ProgramAst& program,
+                         const FlowGraphOptions& options = {});
+
+  [[nodiscard]] const std::vector<ProductNode>& nodes() const {
+    return nodes_;
+  }
+  [[nodiscard]] const std::vector<ProductEdge>& edges() const {
+    return edges_;
+  }
+  /// Switch adjacency plus the per-node self-edge, for the dataflow
+  /// solver.
+  [[nodiscard]] const Digraph& graph() const { return graph_; }
+  [[nodiscard]] bool capped() const { return capped_; }
+
+  /// Communicator universe: every name referenced by a port, guard, or
+  /// declaration, in deterministic first-reference order.
+  [[nodiscard]] const std::vector<std::string>& comm_names() const {
+    return comm_names_;
+  }
+  [[nodiscard]] int comm_index(std::string_view name) const;
+
+  /// Switch edges discarded because their guard can never be true.
+  struct DeadSwitch {
+    int module = -1;
+    int mode = -1;  ///< mode index within the module
+    const htl::SwitchAst* edge = nullptr;
+  };
+  [[nodiscard]] const std::vector<DeadSwitch>& dead_switches() const {
+    return dead_switches_;
+  }
+
+  /// True iff the module's mode appears in some reachable product node.
+  [[nodiscard]] bool mode_occurs(int module, int mode) const;
+
+  /// "(module=mode, module=mode, ...)" for node `id` — the mode
+  /// combination in diagnostics.
+  [[nodiscard]] std::string describe(int id) const;
+
+  /// The switch edges of one shortest path start -> `id` (empty for the
+  /// start node), for relatedLocations on path-sensitive findings.
+  [[nodiscard]] std::vector<const ProductEdge*> path_to(int id) const;
+
+ private:
+  const htl::ProgramAst* program_ = nullptr;
+  std::vector<ProductNode> nodes_;
+  std::vector<ProductEdge> edges_;
+  Digraph graph_;
+  bool capped_ = false;
+  std::vector<std::string> comm_names_;
+  std::vector<DeadSwitch> dead_switches_;
+  /// BFS tree: the edge index that discovered each node (-1 for start).
+  std::vector<int> discovered_by_;
+};
+
+}  // namespace lrt::lint
+
+#endif  // LRT_LINT_FLOWGRAPH_H_

@@ -5,6 +5,7 @@
 #include <charconv>
 
 #include "htl/parser.h"
+#include "lint/product_rules.h"
 
 namespace lrt::lint {
 namespace {
@@ -85,12 +86,14 @@ void run_ast_passes(const htl::ProgramAst& program,
 }
 
 LintResult finish(DiagnosticEngine& engine, bool flattened,
-                  bool arch_checked) {
-  engine.sort_by_location();
+                  bool arch_checked, const ProductStats& stats = {}) {
+  engine.sort_and_dedupe();
   LintResult result;
   result.diagnostics = engine.take();
   result.flattened = flattened;
   result.arch_checked = arch_checked;
+  result.product_nodes = stats.product_nodes;
+  result.fixpoint_iterations = stats.fixpoint_iterations;
   return result;
 }
 
@@ -115,6 +118,9 @@ Result<LintResult> with_counters(const obs::Sink* sink,
                       static_cast<std::int64_t>(result->diagnostics.size()));
     sink->counter_add("lint.errors", result->errors());
     sink->counter_add("lint.warnings", result->warnings());
+    sink->counter_add("lint.product_nodes", result->product_nodes);
+    sink->counter_add("lint.fixpoint_iterations",
+                      result->fixpoint_iterations);
   }
   return result;
 }
@@ -139,6 +145,9 @@ Result<LintResult> run(const htl::ProgramAst& program,
   LRT_RETURN_IF_ERROR(configure_engine(engine, options));
   const SourceLocation origin{options.file, 0, 0};
   run_ast_passes(program, origin, engine);
+  ProductStats stats;
+  run_product_passes(program, arch, {options.max_product_nodes}, origin,
+                     engine, &stats);
   if (spec != nullptr) {
     check_cycles(program, *spec, origin, engine);
     if (arch != nullptr) {
@@ -146,7 +155,8 @@ Result<LintResult> run(const htl::ProgramAst& program,
     }
   }
   return with_counters(
-      sink, finish(engine, spec != nullptr, spec != nullptr && arch != nullptr));
+      sink, finish(engine, spec != nullptr, spec != nullptr && arch != nullptr,
+                   stats));
 }
 
 namespace {
@@ -160,15 +170,24 @@ Result<LintResult> lint_program_impl(const htl::ProgramAst& program,
   const SourceLocation origin{options.file, 0, 0};
   run_ast_passes(program, origin, engine);
 
+  ProductStats stats;
+  const auto product_passes = [&](const arch::Architecture* arch_ptr) {
+    run_product_passes(program, arch_ptr, {options.max_product_nodes},
+                       origin, engine, &stats);
+  };
+
   auto spec = htl::flatten(program, /*functions=*/{}, options.selection);
   if (!spec.ok()) {
+    product_passes(nullptr);
     report_frontend_failure(spec.status(), options.file, engine);
-    return finish(engine, /*flattened=*/false, /*arch_checked=*/false);
+    return finish(engine, /*flattened=*/false, /*arch_checked=*/false,
+                  stats);
   }
   check_cycles(program, *spec, origin, engine);
 
   if (!program.architecture.has_value()) {
-    return finish(engine, /*flattened=*/true, /*arch_checked=*/false);
+    product_passes(nullptr);
+    return finish(engine, /*flattened=*/true, /*arch_checked=*/false, stats);
   }
   arch::ArchitectureConfig config;
   config.name = program.name + "_arch";
@@ -180,11 +199,13 @@ Result<LintResult> lint_program_impl(const htl::ProgramAst& program,
   }
   auto arch = arch::Architecture::Build(std::move(config));
   if (!arch.ok()) {
+    product_passes(nullptr);
     report_frontend_failure(arch.status(), options.file, engine);
-    return finish(engine, /*flattened=*/true, /*arch_checked=*/false);
+    return finish(engine, /*flattened=*/true, /*arch_checked=*/false, stats);
   }
+  product_passes(&*arch);
   check_lrc_feasibility(program, *spec, *arch, origin, engine);
-  return finish(engine, /*flattened=*/true, /*arch_checked=*/true);
+  return finish(engine, /*flattened=*/true, /*arch_checked=*/true, stats);
 }
 
 }  // namespace

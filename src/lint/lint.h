@@ -16,6 +16,7 @@
 #ifndef LRT_LINT_LINT_H_
 #define LRT_LINT_LINT_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -38,6 +39,10 @@ struct LintOptions {
   htl::ModeSelection selection;
   /// Per-rule "<id-or-name>=<off|note|warning|error>" overrides.
   std::vector<std::string> rule_flags;
+  /// Node cap for the mode-product supergraph the cross-mode passes
+  /// (LRT011-LRT017) analyze. Exceeding it degrades those passes to the
+  /// per-module rules and reports LRT019 — never a silent truncation.
+  std::size_t max_product_nodes = 1024;
   /// Observability sink: per-run "lint.*" counters and a "lint.run" span.
   /// Null falls back to the process-global sink (null = disabled).
   obs::Sink* sink = nullptr;
@@ -49,6 +54,11 @@ struct LintResult {
   bool flattened = false;
   /// True when the architecture-level passes ran.
   bool arch_checked = false;
+  /// Reachable mode-product supergraph size and total dataflow fixpoint
+  /// iterations of the cross-mode passes (the lint.product_nodes and
+  /// lint.fixpoint_iterations observability counters).
+  std::int64_t product_nodes = 0;
+  std::int64_t fixpoint_iterations = 0;
 
   [[nodiscard]] int count(Severity severity) const;
   [[nodiscard]] int errors() const { return count(Severity::kError); }

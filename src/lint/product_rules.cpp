@@ -1,0 +1,560 @@
+#include "lint/product_rules.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "htl/compiler.h"
+#include "htl/queries.h"
+#include "lint/dataflow.h"
+#include "lint/rules.h"
+#include "support/strings.h"
+#include "synth/synthesis.h"
+
+namespace lrt::lint {
+namespace {
+
+SourceLocation at(const SourceLocation& origin, int line, int column) {
+  return {origin.file, line, column};
+}
+
+/// The switch path start -> node as related locations, one per hop.
+std::vector<RelatedLocation> path_related(const FlowGraph& graph,
+                                          const htl::ProgramAst& program,
+                                          const SourceLocation& origin,
+                                          int node) {
+  std::vector<RelatedLocation> related;
+  for (const ProductEdge* hop : graph.path_to(node)) {
+    related.push_back(
+        {at(origin, hop->edge->line, hop->edge->column),
+         "module '" +
+             program.modules[static_cast<std::size_t>(hop->module)].name +
+             "' switches on '" + hop->edge->condition + "' to mode '" +
+             hop->edge->target + "' here"});
+  }
+  return related;
+}
+
+/// LRT011: two tasks of different modules writing the same communicator
+/// while their modes are co-active in some reachable combination. The
+/// per-mode LRT001 pass assumes every invoked pair is co-invocable; this
+/// is the precise version — a pair that only "races" behind a statically
+/// dead switch does not fire here.
+void check_cross_mode_races(const FlowGraph& graph,
+                            const htl::ProgramAst& program,
+                            const SourceLocation& origin,
+                            DiagnosticEngine& engine) {
+  const auto module_name = [&program](int m) -> const std::string& {
+    return program.modules[static_cast<std::size_t>(m)].name;
+  };
+  // (comm, writer A, writer B) pairs already reported, by name so the
+  // key order is deterministic.
+  std::set<std::tuple<int, std::string, std::string>> reported;
+  for (std::size_t id = 0; id < graph.nodes().size(); ++id) {
+    const ProductNode& node = graph.nodes()[id];
+    // Writes grouped per communicator, in timeline order.
+    std::map<int, std::vector<const CommAccess*>> writes;
+    for (const CommAccess& access : node.accesses) {
+      if (access.is_write) writes[access.comm].push_back(&access);
+    }
+    for (const auto& [comm, accesses] : writes) {
+      for (std::size_t i = 0; i < accesses.size(); ++i) {
+        for (std::size_t j = i + 1; j < accesses.size(); ++j) {
+          const CommAccess& a = *accesses[i];
+          const CommAccess& b = *accesses[j];
+          if (a.module == b.module) continue;  // LRT001's in-module beat
+          std::string key_a = module_name(a.module) + "." + a.task->name;
+          std::string key_b = module_name(b.module) + "." + b.task->name;
+          if (key_b < key_a) std::swap(key_a, key_b);
+          if (!reported.insert({comm, key_a, key_b}).second) continue;
+          const std::string& name =
+              graph.comm_names()[static_cast<std::size_t>(comm)];
+          const bool same_instance = a.instance == b.instance;
+          Diagnostic diag;
+          diag.location = at(origin, b.line, b.column);
+          diag.message =
+              (same_instance
+                   ? "write-write race on '" + name + "[" +
+                         std::to_string(b.instance) + "]'"
+                   : "communicator '" + name + "' has two writers") +
+              " in reachable mode combination " +
+              graph.describe(static_cast<int>(id)) + ": task '" +
+              a.task->name + "' (module '" + module_name(a.module) +
+              "') and task '" + b.task->name + "' (module '" +
+              module_name(b.module) + "')";
+          diag.fixit =
+              "route one of the writers through a separate communicator";
+          diag.related.push_back(
+              {at(origin, a.line, a.column),
+               "the other writer: task '" + a.task->name + "' writes '" +
+                   name + "' here"});
+          report_rule(engine, kRuleCrossModeRace, std::move(diag));
+        }
+      }
+    }
+  }
+}
+
+/// LRT012: a read that some switch path can reach before any task has
+/// written the communicator (forward may analysis of "possibly
+/// unwritten"). Reads co-located with a write of the same communicator
+/// are fine (the init-read idiom); communicators nobody ever writes are
+/// sensor inputs or LRT005/LRT006 territory, not path findings.
+std::int64_t check_read_never_written(const FlowGraph& graph,
+                                      const htl::ProgramAst& program,
+                                      const SourceLocation& origin,
+                                      DiagnosticEngine& engine) {
+  const std::size_t universe = graph.comm_names().size();
+  const MayLattice lattice{universe};
+  const auto result = solve(
+      graph.graph(), Direction::kForward, lattice, {0},
+      CommSet::all(universe), [&graph](int node, const CommSet& in) {
+        CommSet out = in;
+        out.subtract(graph.nodes()[static_cast<std::size_t>(node)].writes);
+        return out;
+      });
+
+  // Sensor-bound communicators are written by the environment.
+  std::set<std::string_view> sensor_bound;
+  if (program.mapping.has_value()) {
+    for (const htl::BindAst& bind : program.mapping->binds) {
+      sensor_bound.insert(bind.communicator);
+    }
+  }
+
+  std::set<int> reported;
+  for (std::size_t id = 0; id < graph.nodes().size(); ++id) {
+    const ProductNode& node = graph.nodes()[id];
+    for (const CommAccess& access : node.accesses) {
+      if (access.is_write || access.comm < 0) continue;
+      const auto comm = static_cast<std::size_t>(access.comm);
+      if (!result.in[id].contains(comm)) continue;
+      if (node.writes.contains(comm)) continue;  // init-read idiom
+      const std::string& name = graph.comm_names()[comm];
+      if (sensor_bound.count(name) != 0) continue;
+      if (htl::writers_of(program, name).empty()) continue;
+      if (!reported.insert(access.comm).second) continue;
+      Diagnostic diag;
+      diag.location = at(origin, access.line, access.column);
+      diag.message =
+          (access.is_guard
+               ? "switch guard reads '" + name + "'"
+               : "task '" + access.task->name + "' reads '" + name + "[" +
+                     std::to_string(access.instance) + "]'") +
+          " in mode combination " + graph.describe(static_cast<int>(id)) +
+          ", but no task has written '" + name +
+          "' on a path reaching it — the read sees only the declared init "
+          "value";
+      diag.fixit =
+          "write the communicator before this combination is reachable, or "
+          "make the init value the intended one";
+      diag.related = path_related(graph, program, origin, static_cast<int>(id));
+      report_rule(engine, kRuleReadNeverWritten, std::move(diag));
+    }
+  }
+  return result.iterations;
+}
+
+/// LRT013: a write overwritten before any read on *every* path (backward
+/// must analysis of "dead after this point"). Communicators read nowhere
+/// in the program are excluded — that is LRT006's actuator-output note,
+/// not a path finding.
+std::int64_t check_dead_writes(const FlowGraph& graph,
+                               const htl::ProgramAst& program,
+                               const SourceLocation& origin,
+                               DiagnosticEngine& engine) {
+  const std::size_t universe = graph.comm_names().size();
+  const MustLattice lattice{universe};
+  const auto result = solve(
+      graph.graph(), Direction::kBackward, lattice, {},
+      CommSet::all(universe), [&graph](int node, const CommSet& in) {
+        const ProductNode& product =
+            graph.nodes()[static_cast<std::size_t>(node)];
+        // Read here => live at entry; written (and not read) => dead.
+        CommSet out = in;
+        out.unite(product.writes);
+        out.subtract(product.reads);
+        return out;
+      });
+
+  std::set<std::string_view> read_somewhere;
+  for (const htl::ModuleAst& module : program.modules) {
+    for (const htl::TaskAst& task : module.tasks) {
+      for (const htl::PortAst& port : task.inputs) {
+        read_somewhere.insert(port.communicator);
+      }
+    }
+    for (const htl::ModeAst& mode : module.modes) {
+      for (const htl::SwitchAst& edge : mode.switches) {
+        read_somewhere.insert(edge.condition);
+      }
+    }
+  }
+
+  std::set<std::tuple<int, std::string>> reported;
+  for (std::size_t id = 0; id < graph.nodes().size(); ++id) {
+    const ProductNode& node = graph.nodes()[id];
+    for (const CommAccess& access : node.accesses) {
+      if (!access.is_write || access.comm < 0) continue;
+      const auto comm = static_cast<std::size_t>(access.comm);
+      if (node.reads.contains(comm)) continue;
+      // result.in[id] is the value at the node's exit for a backward
+      // analysis: the communicators dead after this combination runs.
+      if (!result.in[id].contains(comm)) continue;
+      const std::string& name = graph.comm_names()[comm];
+      if (read_somewhere.count(name) == 0) continue;
+      if (!reported.insert({access.comm, access.task->name}).second) {
+        continue;
+      }
+      Diagnostic diag;
+      diag.location = at(origin, access.line, access.column);
+      diag.message =
+          "task '" + access.task->name + "' writes '" + name + "[" +
+          std::to_string(access.instance) + "]' in mode combination " +
+          graph.describe(static_cast<int>(id)) +
+          ", but on every path the value is overwritten before any task or "
+          "switch reads it — the computation is wasted";
+      diag.fixit =
+          "drop the output port or route the value to a reader before it "
+          "is overwritten";
+      diag.related = path_related(graph, program, origin,
+                                  static_cast<int>(id));
+      report_rule(engine, kRuleDeadWrite, std::move(diag));
+    }
+  }
+  return result.iterations;
+}
+
+/// LRT014: (a) switch edges whose guard can never become true, and
+/// (b) modes the per-module reachability (LRT009) accepts but that occur
+/// in no reachable product node once dead edges are pruned.
+void check_dead_switches(const FlowGraph& graph,
+                         const htl::ProgramAst& program,
+                         const SourceLocation& origin,
+                         DiagnosticEngine& engine) {
+  for (const FlowGraph::DeadSwitch& dead : graph.dead_switches()) {
+    const htl::ModuleAst& module =
+        program.modules[static_cast<std::size_t>(dead.module)];
+    const htl::ModeAst& mode =
+        module.modes[static_cast<std::size_t>(dead.mode)];
+    Diagnostic diag;
+    diag.location = at(origin, dead.edge->line, dead.edge->column);
+    diag.message = "switch on '" + dead.edge->condition + "' to mode '" +
+                   dead.edge->target + "' in mode '" + mode.name +
+                   "' of module '" + module.name +
+                   "' can never fire: the guard inits false and no "
+                   "reachable task writes it";
+    diag.fixit = "delete the switch, or write the guard communicator";
+    diag.edits.push_back({FixEdit::Kind::kDeleteStatement, dead.edge->line,
+                          dead.edge->column, ""});
+    report_rule(engine, kRuleDeadSwitch, std::move(diag));
+  }
+
+  for (std::size_t m = 0; m < program.modules.size(); ++m) {
+    const htl::ModuleAst& module = program.modules[m];
+    if (module.modes.empty()) continue;
+    // Raw per-module reachability, as LRT009 computes it; modes LRT009
+    // already flags are not re-reported here.
+    const htl::ModeAst* start = htl::start_mode(module);
+    std::set<std::string_view> raw_reachable;
+    std::vector<std::string_view> worklist = {start->name};
+    while (!worklist.empty()) {
+      const std::string_view current = worklist.back();
+      worklist.pop_back();
+      if (!raw_reachable.insert(current).second) continue;
+      for (const htl::ModeAst& mode : module.modes) {
+        if (mode.name != current) continue;
+        for (const htl::SwitchAst& edge : mode.switches) {
+          worklist.push_back(edge.target);
+        }
+      }
+    }
+    for (std::size_t i = 0; i < module.modes.size(); ++i) {
+      const htl::ModeAst& mode = module.modes[i];
+      if (raw_reachable.count(mode.name) == 0) continue;
+      if (graph.mode_occurs(static_cast<int>(m), static_cast<int>(i))) {
+        continue;
+      }
+      report_rule(engine, kRuleDeadSwitch,
+                  at(origin, mode.line, mode.column),
+                  "mode '" + mode.name + "' of module '" + module.name +
+                      "' is unreachable in the mode product: every switch "
+                      "path into it crosses a statically dead guard",
+                  "write the guard communicators on the path, or remove "
+                  "the mode");
+    }
+  }
+}
+
+/// LRT015: LRC feasibility per reachable mode combination. The start
+/// combination is LRT004's job; this pass catches constraints that are
+/// satisfiable there but not after a switch, because the combination
+/// invokes a different (less replicable) task set.
+void check_mode_lrc_feasibility(const FlowGraph& graph,
+                                const htl::ProgramAst& program,
+                                const arch::Architecture& arch,
+                                const SourceLocation& origin,
+                                DiagnosticEngine& engine) {
+  std::vector<impl::ImplementationConfig::SensorBinding> bindings;
+  if (program.mapping.has_value()) {
+    for (const htl::BindAst& bind : program.mapping->binds) {
+      bindings.push_back({bind.communicator, bind.sensor});
+    }
+  }
+
+  // lrc-violating communicator names for one product node; empty result
+  // for combinations the flattener rejects (other rules own those).
+  const auto infeasible_comms = [&](std::size_t id) {
+    std::vector<std::pair<std::string, std::string>> violations;
+    const ProductNode& node = graph.nodes()[id];
+    htl::ModeSelection selection;
+    for (std::size_t m = 0; m < node.mode_of.size(); ++m) {
+      if (node.mode_of[m] < 0) continue;
+      selection.mode_by_module[program.modules[m].name] =
+          program.modules[m]
+              .modes[static_cast<std::size_t>(node.mode_of[m])]
+              .name;
+    }
+    const auto spec = htl::flatten(program, /*functions=*/{}, selection);
+    if (!spec.ok()) return violations;
+    const auto ceiling = synth::max_achievable_srgs(*spec, arch, bindings);
+    if (!ceiling.ok()) return violations;
+    for (spec::CommId c = 0;
+         c < static_cast<spec::CommId>(spec->communicators().size()); ++c) {
+      const spec::Communicator& comm = spec->communicator(c);
+      const double max_srg = (*ceiling)[static_cast<std::size_t>(c)];
+      if (comm.lrc <= max_srg + 1e-12) continue;
+      violations.emplace_back(comm.name,
+                              "lrc " + format_double(comm.lrc) +
+                                  " exceeds the achievable SRG ceiling " +
+                                  format_double(max_srg));
+    }
+    return violations;
+  };
+
+  // Constraints already infeasible at the start combination are LRT004
+  // findings; re-reporting them per node would only repeat the message.
+  std::set<std::string> start_infeasible;
+  for (const auto& [name, why] : infeasible_comms(0)) {
+    start_infeasible.insert(name);
+  }
+
+  std::set<std::string> reported;
+  for (std::size_t id = 1; id < graph.nodes().size(); ++id) {
+    if (!graph.nodes()[id].harmonic) continue;  // LRT017's finding
+    for (const auto& [name, why] : infeasible_comms(id)) {
+      if (start_infeasible.count(name) != 0) continue;
+      if (!reported.insert(name).second) continue;
+      const htl::CommunicatorAst* comm =
+          htl::find_communicator(program, name);
+      Diagnostic diag;
+      diag.location = comm != nullptr
+                          ? at(origin, comm->line, comm->column)
+                          : at(origin, 0, 0);
+      diag.message = "communicator '" + name +
+                     "' becomes infeasible in reachable mode combination " +
+                     graph.describe(static_cast<int>(id)) + ": " + why +
+                     " of full replication for that combination's task set";
+      diag.fixit =
+          "lower the lrc, strengthen the architecture, or make the "
+          "combination unreachable";
+      diag.related = path_related(graph, program, origin,
+                                  static_cast<int>(id));
+      report_rule(engine, kRuleModeLrcInfeasible, std::move(diag));
+    }
+  }
+}
+
+/// LRT016: a reachable mode that declares switches — it intends to move
+/// on — all of whose guards are statically dead. Modes with no switches
+/// are intentionally terminal and stay silent.
+void check_switch_livelock(const FlowGraph& graph,
+                           const htl::ProgramAst& program,
+                           const SourceLocation& origin,
+                           DiagnosticEngine& engine) {
+  std::set<const htl::SwitchAst*> dead;
+  for (const FlowGraph::DeadSwitch& entry : graph.dead_switches()) {
+    dead.insert(entry.edge);
+  }
+  for (std::size_t m = 0; m < program.modules.size(); ++m) {
+    const htl::ModuleAst& module = program.modules[m];
+    for (std::size_t i = 0; i < module.modes.size(); ++i) {
+      const htl::ModeAst& mode = module.modes[i];
+      if (mode.switches.empty()) continue;
+      if (!graph.mode_occurs(static_cast<int>(m), static_cast<int>(i))) {
+        continue;
+      }
+      const bool all_dead =
+          std::all_of(mode.switches.begin(), mode.switches.end(),
+                      [&dead](const htl::SwitchAst& edge) {
+                        return dead.count(&edge) != 0;
+                      });
+      if (!all_dead) continue;
+      report_rule(engine, kRuleSwitchLivelock,
+                  at(origin, mode.line, mode.column),
+                  "mode '" + mode.name + "' of module '" + module.name +
+                      "' declares " + std::to_string(mode.switches.size()) +
+                      " switch(es) but every guard is statically dead; "
+                      "once entered the mode can never be left",
+                  "write one of the guard communicators, or drop the "
+                  "switches if the mode is meant to be terminal");
+    }
+  }
+}
+
+/// LRT017: a reachable combination whose active mode periods disagree —
+/// the flattening subset rejects it, so the switch leading there is a
+/// latent compile error.
+void check_period_disharmony(const FlowGraph& graph,
+                             const htl::ProgramAst& program,
+                             const SourceLocation& origin,
+                             DiagnosticEngine& engine) {
+  std::set<const htl::SwitchAst*> reported;
+  for (std::size_t id = 0; id < graph.nodes().size(); ++id) {
+    const ProductNode& node = graph.nodes()[id];
+    if (node.harmonic) continue;
+    std::vector<std::string> periods;
+    for (std::size_t m = 0; m < node.mode_of.size(); ++m) {
+      if (node.mode_of[m] < 0) continue;
+      const htl::ModeAst& mode =
+          program.modules[m].modes[static_cast<std::size_t>(node.mode_of[m])];
+      periods.push_back(program.modules[m].name + "." + mode.name + "=" +
+                        std::to_string(mode.period));
+    }
+    const auto path = graph.path_to(static_cast<int>(id));
+    const htl::SwitchAst* entering =
+        path.empty() ? nullptr : path.back()->edge;
+    if (!reported.insert(entering).second) continue;
+    Diagnostic diag;
+    diag.location = entering != nullptr
+                        ? at(origin, entering->line, entering->column)
+                        : at(origin, 0, 0);
+    diag.message =
+        "switching reaches mode combination " +
+        graph.describe(static_cast<int>(id)) +
+        " whose mode periods disagree (" + join(periods, ", ") +
+        "); the flattening subset requires equal periods across modules";
+    diag.fixit = "align the mode periods or remove the switch path";
+    diag.related = path_related(graph, program, origin, static_cast<int>(id));
+    report_rule(engine, kRulePeriodDisharmony, std::move(diag));
+  }
+}
+
+/// LRT018: static preconditions of refine::check_refinement on the
+/// declared kappa — total on the refining program's tasks, a function,
+/// and injective — plus dangling task names. Mirrors constraint (a) of
+/// the paper's refinement rules so the full check fails with a source
+/// location instead of a late Status.
+void check_refinement_preconditions(const htl::ProgramAst& program,
+                                    const SourceLocation& origin,
+                                    DiagnosticEngine& engine) {
+  if (!program.refines.has_value() && program.refinements.empty()) return;
+
+  std::map<std::string_view, const htl::RefineAst*> by_local;
+  std::map<std::string_view, const htl::RefineAst*> by_parent;
+  for (const htl::RefineAst& decl : program.refinements) {
+    if (const auto [it, inserted] = by_local.emplace(decl.local_task, &decl);
+        !inserted) {
+      Diagnostic diag;
+      diag.location = at(origin, decl.line, decl.column);
+      diag.message = "task '" + decl.local_task +
+                     "' is mapped twice by refine declarations; kappa must "
+                     "be a function";
+      diag.fixit = "keep exactly one refine declaration per task";
+      diag.related.push_back(
+          {at(origin, it->second->line, it->second->column),
+           "first mapped here, to parent task '" + it->second->parent_task +
+               "'"});
+      report_rule(engine, kRuleRefinementPrecheck, std::move(diag));
+    }
+    if (const auto [it, inserted] =
+            by_parent.emplace(decl.parent_task, &decl);
+        !inserted) {
+      Diagnostic diag;
+      diag.location = at(origin, decl.line, decl.column);
+      diag.message = "parent task '" + decl.parent_task +
+                     "' is the target of two refine declarations; kappa "
+                     "must be injective (constraint a)";
+      diag.fixit = "map each parent task from at most one local task";
+      diag.related.push_back(
+          {at(origin, it->second->line, it->second->column),
+           "also targeted here, from task '" + it->second->local_task +
+               "'"});
+      report_rule(engine, kRuleRefinementPrecheck, std::move(diag));
+    }
+  }
+
+  std::map<std::string_view, const htl::TaskAst*> tasks;
+  for (const htl::ModuleAst& module : program.modules) {
+    for (const htl::TaskAst& task : module.tasks) {
+      tasks.emplace(task.name, &task);
+    }
+  }
+  for (const htl::RefineAst& decl : program.refinements) {
+    if (tasks.count(decl.local_task) != 0) continue;
+    report_rule(engine, kRuleRefinementPrecheck,
+                at(origin, decl.line, decl.column),
+                "refine declaration names task '" + decl.local_task +
+                    "', which no module declares",
+                "fix the task name or delete the declaration");
+  }
+  if (program.refines.has_value()) {
+    for (const htl::ModuleAst& module : program.modules) {
+      for (const htl::TaskAst& task : module.tasks) {
+        if (by_local.count(task.name) != 0) continue;
+        report_rule(
+            engine, kRuleRefinementPrecheck,
+            at(origin, task.line, task.column),
+            "task '" + task.name + "' has no refine declaration, but the "
+                "program refines '" + *program.refines +
+                "'; kappa must be total on the refining program's tasks",
+            "add 'refine task " + task.name + " to <parent task>;'");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void run_product_passes(const htl::ProgramAst& program,
+                        const arch::Architecture* arch,
+                        const FlowGraphOptions& options,
+                        const SourceLocation& origin, DiagnosticEngine& engine,
+                        ProductStats* stats) {
+  // The refinement precheck is whole-program but needs no product graph.
+  check_refinement_preconditions(program, origin, engine);
+
+  const FlowGraph graph = FlowGraph::build(program, options);
+  if (stats != nullptr) {
+    stats->product_nodes = static_cast<std::int64_t>(graph.nodes().size());
+    stats->capped = graph.capped();
+  }
+  if (graph.capped()) {
+    report_rule(engine, kRuleSupergraphCapped, at(origin, 0, 0),
+                "the mode-product supergraph exceeded the cap of " +
+                    std::to_string(options.max_nodes) +
+                    " nodes; cross-mode rules LRT011-LRT017 were skipped "
+                    "and only the per-module rules apply",
+                "raise --max-product-nodes, or reduce the number of "
+                "switch-reachable mode combinations");
+    return;
+  }
+  if (graph.nodes().empty()) return;
+
+  check_cross_mode_races(graph, program, origin, engine);
+  std::int64_t iterations =
+      check_read_never_written(graph, program, origin, engine);
+  iterations += check_dead_writes(graph, program, origin, engine);
+  if (stats != nullptr) stats->fixpoint_iterations = iterations;
+  check_dead_switches(graph, program, origin, engine);
+  check_switch_livelock(graph, program, origin, engine);
+  check_period_disharmony(graph, program, origin, engine);
+  if (arch != nullptr) {
+    check_mode_lrc_feasibility(graph, program, *arch, origin, engine);
+  }
+}
+
+}  // namespace lrt::lint

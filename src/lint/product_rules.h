@@ -1,0 +1,41 @@
+// The cross-mode lint passes (LRT011-LRT019): whole-program rules that
+// analyze the mode-product supergraph (lint/flowgraph.h) with the
+// dataflow fixpoint framework (lint/dataflow.h) instead of looking at
+// one mode or one module at a time. See DESIGN.md section 5i.
+//
+// The passes need only a parsed program; the architecture (when given)
+// additionally enables the per-combination LRC feasibility probe
+// (LRT015). When the supergraph exceeds its node cap the product-graph
+// rules step aside and the degradation itself is reported as LRT019 —
+// never silently.
+#ifndef LRT_LINT_PRODUCT_RULES_H_
+#define LRT_LINT_PRODUCT_RULES_H_
+
+#include <cstdint>
+
+#include "arch/architecture.h"
+#include "htl/ast.h"
+#include "lint/diagnostic.h"
+#include "lint/flowgraph.h"
+
+namespace lrt::lint {
+
+/// Whole-program analysis volume, surfaced as the lint.product_nodes and
+/// lint.fixpoint_iterations observability counters.
+struct ProductStats {
+  std::int64_t product_nodes = 0;
+  std::int64_t fixpoint_iterations = 0;
+  bool capped = false;
+};
+
+/// Runs LRT011-LRT019 over `program`. `arch` may be null (LRT015 is
+/// skipped without one). `stats` may be null.
+void run_product_passes(const htl::ProgramAst& program,
+                        const arch::Architecture* arch,
+                        const FlowGraphOptions& options,
+                        const SourceLocation& origin, DiagnosticEngine& engine,
+                        ProductStats* stats);
+
+}  // namespace lrt::lint
+
+#endif  // LRT_LINT_PRODUCT_RULES_H_

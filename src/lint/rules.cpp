@@ -14,7 +14,7 @@
 namespace lrt::lint {
 namespace {
 
-constexpr std::array<RuleInfo, 11> kCatalog = {{
+constexpr std::array<RuleInfo, 20> kCatalog = {{
     {kRuleCompileError, "compile-error", Severity::kError,
      "the HTL frontend rejected the program; lint passes that need the "
      "flattened specification were skipped"},
@@ -47,6 +47,36 @@ constexpr std::array<RuleInfo, 11> kCatalog = {{
     {kRuleDuplicateWritePort, "duplicate-write-port", Severity::kError,
      "a task writes the same communicator instance more than once "
      "(rule 4)"},
+    {kRuleCrossModeRace, "cross-mode-race", Severity::kError,
+     "in a reachable mode combination, tasks of different modules write "
+     "the same communicator — the whole-program refinement of LRT001 over "
+     "the mode-product supergraph"},
+    {kRuleReadNeverWritten, "read-never-written", Severity::kWarning,
+     "a communicator can be read before any task has written it on some "
+     "switch path from the start modes (may analysis); the reader sees "
+     "only the declared init value"},
+    {kRuleDeadWrite, "dead-write", Severity::kWarning,
+     "a write is overwritten before any task or switch reads it on every "
+     "switch path (must analysis) — the computation is wasted"},
+    {kRuleDeadSwitch, "dead-switch", Severity::kWarning,
+     "a switch guard can never become true (init false and no reachable "
+     "writer), or a mode never appears in any reachable mode combination"},
+    {kRuleModeLrcInfeasible, "mode-lrc-infeasible", Severity::kError,
+     "a reachable mode combination has an LRC above its SRG ceiling of "
+     "full replication — entering it makes the constraint unsatisfiable "
+     "even though the start combination is feasible"},
+    {kRuleSwitchLivelock, "switch-livelock", Severity::kWarning,
+     "a reachable mode declares switches but every guard is statically "
+     "dead — the mode can never be left despite trying to"},
+    {kRulePeriodDisharmony, "switch-period-disharmony", Severity::kError,
+     "switching leads to a reachable mode combination with unequal mode "
+     "periods, which the flattening subset rejects"},
+    {kRuleRefinementPrecheck, "refinement-precheck", Severity::kWarning,
+     "the refine declarations cannot form a valid task-map kappa "
+     "(total, functional, injective), so check_refinement must fail"},
+    {kRuleSupergraphCapped, "supergraph-capped", Severity::kNote,
+     "the mode-product supergraph exceeded the node cap; cross-mode rules "
+     "LRT011-LRT017 degraded to per-module analysis"},
 }};
 
 SourceLocation at(const SourceLocation& origin, int line, int column) {
@@ -119,9 +149,15 @@ void report_pair_races(const htl::TaskAst& first, const htl::TaskAst& second,
     message += "task '" + first.name + "' (line " +
                std::to_string(it->second->line) + ") and task '" +
                second.name + "' " + std::string(how);
-    report_rule(engine, kRuleWriteRace,
-                at(origin, port.line, port.column), std::move(message),
-                "route one of the writers through a separate communicator");
+    Diagnostic diag;
+    diag.location = at(origin, port.line, port.column);
+    diag.message = std::move(message);
+    diag.fixit = "route one of the writers through a separate communicator";
+    diag.related.push_back(
+        {at(origin, it->second->line, it->second->column),
+         "the other writer: task '" + first.name + "' writes '" +
+             port.communicator + "' here"});
+    report_rule(engine, kRuleWriteRace, std::move(diag));
   }
 }
 
@@ -137,18 +173,23 @@ const RuleInfo* find_rule(std::string_view id_or_name) {
 }
 
 bool report_rule(DiagnosticEngine& engine, std::string_view rule_id,
-                 SourceLocation location, std::string message,
-                 std::string fixit) {
+                 Diagnostic diag) {
   const RuleInfo* rule = find_rule(rule_id);
-  Diagnostic diag;
   diag.rule_id = std::string(rule_id);
   diag.rule_name = rule != nullptr ? std::string(rule->name) : "";
   diag.severity =
       rule != nullptr ? rule->default_severity : Severity::kWarning;
+  return engine.report(std::move(diag));
+}
+
+bool report_rule(DiagnosticEngine& engine, std::string_view rule_id,
+                 SourceLocation location, std::string message,
+                 std::string fixit) {
+  Diagnostic diag;
   diag.location = std::move(location);
   diag.message = std::move(message);
   diag.fixit = std::move(fixit);
-  return engine.report(std::move(diag));
+  return report_rule(engine, rule_id, std::move(diag));
 }
 
 void check_write_races(const htl::ProgramAst& program,
@@ -196,12 +237,16 @@ void check_duplicate_write_ports(const htl::ProgramAst& program,
       std::set<std::pair<std::string_view, std::int64_t>> seen;
       for (const htl::PortAst& port : task.outputs) {
         if (seen.emplace(port.communicator, port.instance).second) continue;
-        report_rule(engine, kRuleDuplicateWritePort,
-                    at(origin, port.line, port.column),
-                    "task '" + task.name + "' writes '" + port.communicator +
-                        "[" + std::to_string(port.instance) +
-                        "]' more than once (rule 4)",
-                    "drop the repeated output port");
+        Diagnostic diag;
+        diag.location = at(origin, port.line, port.column);
+        diag.message = "task '" + task.name + "' writes '" +
+                       port.communicator + "[" +
+                       std::to_string(port.instance) +
+                       "]' more than once (rule 4)";
+        diag.fixit = "drop the repeated output port";
+        diag.edits.push_back(
+            {FixEdit::Kind::kDeletePortRef, port.line, port.column, ""});
+        report_rule(engine, kRuleDuplicateWritePort, std::move(diag));
       }
     }
   }
@@ -210,17 +255,39 @@ void check_duplicate_write_ports(const htl::ProgramAst& program,
 void check_missing_defaults(const htl::ProgramAst& program,
                             const SourceLocation& origin,
                             DiagnosticEngine& engine) {
+  const auto comms = comm_index(program);
   for (const htl::ModuleAst& module : program.modules) {
     for (const htl::TaskAst& task : module.tasks) {
       if (task.model == spec::FailureModel::kSeries) continue;
       if (!task.defaults.empty()) continue;
-      report_rule(
-          engine, kRuleMissingDefault, at(origin, task.line, task.column),
-          "task '" + task.name + "' uses the " +
-              std::string(spec::to_string(task.model)) +
-              " input-failure model but declares no defaults; unreliable "
-              "inputs will be replaced by zeros",
-          "add 'defaults (...)' with one literal per input port");
+      Diagnostic diag;
+      diag.location = at(origin, task.line, task.column);
+      diag.message = "task '" + task.name + "' uses the " +
+                     std::string(spec::to_string(task.model)) +
+                     " input-failure model but declares no defaults; "
+                     "unreliable inputs will be replaced by zeros";
+      diag.fixit = "add 'defaults (...)' with one literal per input port";
+      if (!task.inputs.empty()) {
+        // The mechanical edit spells out the zeros the compiler would
+        // substitute, making the degraded values explicit and editable.
+        std::vector<std::string> zeros;
+        zeros.reserve(task.inputs.size());
+        for (const htl::PortAst& port : task.inputs) {
+          const auto it = comms.find(port.communicator);
+          const spec::ValueType type = it != comms.end()
+                                           ? it->second->type
+                                           : spec::ValueType::kReal;
+          switch (type) {
+            case spec::ValueType::kReal: zeros.emplace_back("0.0"); break;
+            case spec::ValueType::kInt: zeros.emplace_back("0"); break;
+            case spec::ValueType::kBool: zeros.emplace_back("false"); break;
+          }
+        }
+        diag.edits.push_back({FixEdit::Kind::kInsertBeforeStatementEnd,
+                              task.line, task.column,
+                              " defaults (" + join(zeros, ", ") + ")"});
+      }
+      report_rule(engine, kRuleMissingDefault, std::move(diag));
     }
   }
 }
@@ -330,12 +397,15 @@ void check_dead_communicators(const htl::ProgramAst& program,
     const bool is_read = read.count(comm.name) != 0;
     const bool is_written = written.count(comm.name) != 0;
     if (!is_read && !is_written) {
-      report_rule(engine, kRuleDeadCommunicator,
-                  at(origin, comm.line, comm.column),
-                  "communicator '" + comm.name +
-                      "' is never read, written, or used as a switch "
-                      "condition",
-                  "remove the declaration");
+      Diagnostic diag;
+      diag.location = at(origin, comm.line, comm.column);
+      diag.message = "communicator '" + comm.name +
+                     "' is never read, written, or used as a switch "
+                     "condition";
+      diag.fixit = "remove the declaration";
+      diag.edits.push_back(
+          {FixEdit::Kind::kDeleteStatement, comm.line, comm.column, ""});
+      report_rule(engine, kRuleDeadCommunicator, std::move(diag));
     } else if (is_written && !is_read) {
       report_rule(engine, kRuleNeverReadOutput,
                   at(origin, comm.line, comm.column),

@@ -48,6 +48,15 @@ inline constexpr std::string_view kRuleMissingDefault = "LRT007";
 inline constexpr std::string_view kRulePeriodMismatch = "LRT008";
 inline constexpr std::string_view kRuleUnreachableMode = "LRT009";
 inline constexpr std::string_view kRuleDuplicateWritePort = "LRT010";
+inline constexpr std::string_view kRuleCrossModeRace = "LRT011";
+inline constexpr std::string_view kRuleReadNeverWritten = "LRT012";
+inline constexpr std::string_view kRuleDeadWrite = "LRT013";
+inline constexpr std::string_view kRuleDeadSwitch = "LRT014";
+inline constexpr std::string_view kRuleModeLrcInfeasible = "LRT015";
+inline constexpr std::string_view kRuleSwitchLivelock = "LRT016";
+inline constexpr std::string_view kRulePeriodDisharmony = "LRT017";
+inline constexpr std::string_view kRuleRefinementPrecheck = "LRT018";
+inline constexpr std::string_view kRuleSupergraphCapped = "LRT019";
 
 /// All known rules, in id order.
 [[nodiscard]] std::span<const RuleInfo> rule_catalog();
@@ -60,6 +69,12 @@ inline constexpr std::string_view kRuleDuplicateWritePort = "LRT010";
 bool report_rule(DiagnosticEngine& engine, std::string_view rule_id,
                  SourceLocation location, std::string message,
                  std::string fixit = "");
+
+/// Same, for findings carrying related locations or structured edits:
+/// fills `diag`'s rule_name and default severity from the catalog and
+/// reports it. `diag.rule_id` is overwritten with `rule_id`.
+bool report_rule(DiagnosticEngine& engine, std::string_view rule_id,
+                 Diagnostic diag);
 
 // --- AST passes (no flattened specification required) ---
 

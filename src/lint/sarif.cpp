@@ -13,12 +13,40 @@ std::string_view sarif_level(Severity severity) {
   return to_string(severity == Severity::kOff ? Severity::kNote : severity);
 }
 
+/// Emits a SARIF physicalLocation object for `location`.
+void emit_physical_location(JsonWriter& json,
+                            const SourceLocation& location) {
+  json.key("physicalLocation");
+  json.begin_object();
+  json.key("artifactLocation");
+  json.begin_object();
+  json.key("uri");
+  json.value(location.file);
+  json.end_object();
+  if (location.line > 0) {
+    json.key("region");
+    json.begin_object();
+    json.key("startLine");
+    json.value(location.line);
+    if (location.column > 0) {
+      json.key("startColumn");
+      json.value(location.column);
+    }
+    json.end_object();
+  }
+  json.end_object();  // physicalLocation
+}
+
 }  // namespace
 
 std::string render_text(std::span<const Diagnostic> diags) {
   std::string out;
   for (const Diagnostic& diag : diags) {
     out += diag.to_string() + "\n";
+    for (const RelatedLocation& related : diag.related) {
+      out += "    related: " + related.location.to_string() + ": " +
+             related.message + "\n";
+    }
     if (!diag.fixit.empty()) {
       out += "    fix-it: " + diag.fixit + "\n";
     }
@@ -58,6 +86,23 @@ std::string to_json(std::span<const Diagnostic> diags) {
     if (!diag.fixit.empty()) {
       json.key("fixit");
       json.value(diag.fixit);
+    }
+    if (!diag.related.empty()) {
+      json.key("related");
+      json.begin_array();
+      for (const RelatedLocation& related : diag.related) {
+        json.begin_object();
+        json.key("file");
+        json.value(related.location.file);
+        json.key("line");
+        json.value(related.location.line);
+        json.key("column");
+        json.value(related.location.column);
+        json.key("message");
+        json.value(related.message);
+        json.end_object();
+      }
+      json.end_array();
     }
     json.end_object();
   }
@@ -146,27 +191,24 @@ std::string to_sarif(std::span<const Diagnostic> diags) {
     json.key("locations");
     json.begin_array();
     json.begin_object();
-    json.key("physicalLocation");
-    json.begin_object();
-    json.key("artifactLocation");
-    json.begin_object();
-    json.key("uri");
-    json.value(diag.location.file);
-    json.end_object();
-    if (diag.location.line > 0) {
-      json.key("region");
-      json.begin_object();
-      json.key("startLine");
-      json.value(diag.location.line);
-      if (diag.location.column > 0) {
-        json.key("startColumn");
-        json.value(diag.location.column);
-      }
-      json.end_object();
-    }
-    json.end_object();  // physicalLocation
+    emit_physical_location(json, diag.location);
     json.end_object();  // location
     json.end_array();
+    if (!diag.related.empty()) {
+      json.key("relatedLocations");
+      json.begin_array();
+      for (const RelatedLocation& related : diag.related) {
+        json.begin_object();
+        emit_physical_location(json, related.location);
+        json.key("message");
+        json.begin_object();
+        json.key("text");
+        json.value(related.message);
+        json.end_object();
+        json.end_object();  // relatedLocation
+      }
+      json.end_array();
+    }
     if (!diag.fixit.empty()) {
       json.key("properties");
       json.begin_object();

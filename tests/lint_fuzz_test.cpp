@@ -1,0 +1,215 @@
+// Robustness and determinism fuzzing for the lrt-lint analyzer: every
+// truncated or mutated source must lint without crashing, and linting the
+// same bytes twice must render byte-identical text and SARIF (the
+// diagnostics are the CI contract, so any nondeterminism is a bug).
+// Generated gen/ workloads round-trip through the HTL printer and must
+// lint error-free. Failures dump a reproducer `lint-fuzz-*.htl` next to
+// the test binary so CI can upload it.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "arch/architecture.h"
+#include "gen/workload.h"
+#include "htl/ast.h"
+#include "htl/printer.h"
+#include "lint/lint.h"
+#include "lint/sarif.h"
+#include "support/rng.h"
+
+namespace lrt::lint {
+namespace {
+
+// The htl_fuzz_test seed program, plus a second module so mutations can
+// perturb the mode-product rules (LRT011-LRT017), not just the frontend.
+constexpr std::string_view kValid = R"(
+program fuzz {
+  communicator in : real period 10 init 0.0 lrc 0.5;
+  communicator go : bool period 20 init false lrc 0.9;
+  communicator out : real period 20 init 0.0 lrc 0.8;
+  module m {
+    task t input (in[0], go[0]) output (out[1])
+      model parallel defaults (1.5, true);
+    mode a period 20 { invoke t; switch (go) to b; }
+    mode b period 20 { }
+    start a;
+  }
+  module n {
+    task u input (out[1]) output (go[2]) model series;
+    mode main period 20 { invoke u; }
+    start main;
+  }
+  architecture {
+    host h1 reliability 0.99;
+    sensor s reliability 0.9;
+    metrics default wcet 3 wctt 1;
+  }
+  mapping { map t to h1 retries 1; map u to h1; bind in to s; }
+}
+)";
+
+void dump_reproducer(const std::string& name, std::string_view source) {
+  std::ofstream out("lint-fuzz-" + name + ".htl");
+  out << source;
+}
+
+/// Lints `source` twice and checks the rendered text and SARIF agree
+/// byte-for-byte. Returns the first result for further checks.
+LintResult lint_deterministically(const std::string& name,
+                                  std::string_view source) {
+  LintOptions options;
+  options.file = "fuzz.htl";
+  auto first = lint_source(source, options);
+  auto second = lint_source(source, options);
+  // Only invalid options produce a bad status, and ours are fixed.
+  EXPECT_TRUE(first.ok()) << first.status().to_string();
+  EXPECT_TRUE(second.ok()) << second.status().to_string();
+  const std::string text_a = render_text(first->diagnostics);
+  const std::string text_b = render_text(second->diagnostics);
+  const std::string sarif_a = to_sarif(first->diagnostics);
+  const std::string sarif_b = to_sarif(second->diagnostics);
+  if (text_a != text_b || sarif_a != sarif_b) {
+    dump_reproducer(name, source);
+    ADD_FAILURE() << "nondeterministic diagnostics, reproducer lint-fuzz-"
+                  << name << ".htl";
+  }
+  return std::move(*first);
+}
+
+TEST(LintFuzz, EveryTruncationLintsDeterministically) {
+  const std::string source(kValid);
+  for (std::size_t cut = 0; cut < source.size(); cut += 3) {
+    lint_deterministically("truncation-" + std::to_string(cut),
+                           source.substr(0, cut));
+  }
+}
+
+TEST(LintFuzz, SingleCharacterMutationsLintDeterministically) {
+  const std::string source(kValid);
+  Xoshiro256 rng(2024);
+  constexpr std::string_view kAlphabet = "{}()[];:,.0123456789abcxyz_ $#";
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string mutated = source;
+    const std::size_t pos = rng.next_below(mutated.size());
+    mutated[pos] = kAlphabet[rng.next_below(kAlphabet.size())];
+    lint_deterministically("mutation-" + std::to_string(trial), mutated);
+  }
+}
+
+TEST(LintFuzz, TokenDeletionsLintDeterministically) {
+  const std::string source(kValid);
+  Xoshiro256 rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string mutated = source;
+    const std::size_t pos = rng.next_below(mutated.size());
+    const std::size_t len =
+        std::min<std::size_t>(1 + rng.next_below(12), mutated.size() - pos);
+    mutated.erase(pos, len);
+    lint_deterministically("deletion-" + std::to_string(trial), mutated);
+  }
+}
+
+/// One gen/ workload rendered back to HTL source: a single module whose
+/// mode invokes every task once per specification period.
+std::string workload_to_htl(const gen::Workload& workload) {
+  const spec::Specification& spec = *workload.specification;
+  htl::ProgramAst program;
+  program.name = "generated";
+  for (spec::CommId c = 0;
+       c < static_cast<spec::CommId>(spec.communicators().size()); ++c) {
+    const spec::Communicator& comm = spec.communicator(c);
+    htl::CommunicatorAst decl;
+    decl.name = comm.name;
+    decl.type = comm.type;
+    decl.init = comm.init;
+    decl.period = comm.period;
+    decl.lrc = comm.lrc;
+    program.communicators.push_back(std::move(decl));
+  }
+  htl::ModuleAst module;
+  module.name = "m";
+  htl::ModeAst mode;
+  mode.name = "main";
+  mode.period = spec.hyperperiod();
+  for (const spec::Task& task : spec.tasks()) {
+    htl::TaskAst decl;
+    decl.name = task.name;
+    for (const spec::PortRef& port : task.inputs) {
+      decl.inputs.push_back(
+          {spec.communicator(port.comm).name, port.instance, 0, 0});
+    }
+    for (const spec::PortRef& port : task.outputs) {
+      decl.outputs.push_back(
+          {spec.communicator(port.comm).name, port.instance, 0, 0});
+    }
+    decl.model = task.model;
+    decl.defaults = task.defaults;
+    module.tasks.push_back(std::move(decl));
+    mode.invokes.push_back(task.name);
+  }
+  module.modes.push_back(std::move(mode));
+  module.start_mode = "main";
+  program.modules.push_back(std::move(module));
+
+  const arch::ArchitectureConfig& arch = workload.architecture_config;
+  htl::ArchitectureAst architecture;
+  for (const arch::Host& host : arch.hosts) {
+    architecture.hosts.push_back({host.name, host.reliability, 0, 0});
+  }
+  for (const arch::Sensor& sensor : arch.sensors) {
+    architecture.sensors.push_back({sensor.name, sensor.reliability, 0, 0});
+  }
+  architecture.metrics.push_back({"", "", arch.default_wcet.value_or(1),
+                                  arch.default_wctt.value_or(1), 0, 0});
+  program.architecture = std::move(architecture);
+
+  const impl::ImplementationConfig& impl = workload.implementation_config;
+  htl::MappingAst mapping;
+  for (const auto& task_mapping : impl.task_mappings) {
+    htl::MapAst map;
+    map.task = task_mapping.task;
+    map.hosts = task_mapping.hosts;
+    map.retries = task_mapping.reexecutions;
+    mapping.maps.push_back(std::move(map));
+  }
+  for (const auto& binding : impl.sensor_bindings) {
+    mapping.binds.push_back({binding.communicator, binding.sensor, 0, 0});
+  }
+  program.mapping = std::move(mapping);
+  return htl::to_source(program);
+}
+
+TEST(LintFuzz, GeneratedWorkloadsLintWithoutErrors) {
+  Xoshiro256 rng(1234);
+  gen::WorkloadOptions options;
+  options.max_layers = 3;
+  options.max_tasks_per_layer = 3;
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto workload = gen::random_workload(rng, options);
+    ASSERT_TRUE(workload.ok()) << workload.status().to_string();
+    const std::string source = workload_to_htl(*workload);
+    const std::string name = "workload-" + std::to_string(trial);
+    const LintResult result = lint_deterministically(name, source);
+    // Workloads are valid by construction (acyclic, race-free, mapped,
+    // bound), so any error except an LRC-feasibility finding — which
+    // correctly depends on the randomly drawn reliabilities — is a lint
+    // bug.
+    for (const Diagnostic& diag : result.diagnostics) {
+      if (diag.severity != Severity::kError) continue;
+      if (diag.rule_id == kRuleLrcInfeasible ||
+          diag.rule_id == kRuleModeLrcInfeasible) {
+        continue;
+      }
+      dump_reproducer(name, source);
+      ADD_FAILURE() << "generated workload lints with errors, reproducer "
+                    << "lint-fuzz-" << name << ".htl:\n"
+                    << render_text(result.diagnostics);
+      break;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lrt::lint
