@@ -3,15 +3,24 @@
 #include <algorithm>
 #include <cassert>
 #include <limits>
+#include <utility>
 
 namespace lrt::sim {
 
 namespace {
 constexpr std::size_t kNpos = std::numeric_limits<std::size_t>::max();
+/// Resize policy: grow when the population packs buckets past
+/// kGrowFactor entries each, shrink when it falls below 1/kShrinkFactor —
+/// far enough apart that a population oscillating around one threshold
+/// never thrashes. The wheel stays within [kMinBuckets, kMaxBuckets].
+constexpr std::size_t kGrowFactor = 4;
+constexpr std::size_t kShrinkFactor = 16;
+constexpr std::size_t kMinBuckets = 2;
+constexpr std::size_t kMaxBuckets = 1 << 16;
 }  // namespace
 
 EventQueue::EventQueue(spec::Time bucket_width, std::size_t num_buckets)
-    : buckets_(std::max<std::size_t>(num_buckets, 2)),
+    : buckets_(std::clamp(num_buckets, kMinBuckets, kMaxBuckets)),
       bucket_width_(std::max<spec::Time>(bucket_width, 1)) {}
 
 bool EventQueue::before(const Event& a, const Event& b) {
@@ -20,37 +29,106 @@ bool EventQueue::before(const Event& a, const Event& b) {
   return a.seq < b.seq;
 }
 
+void EventQueue::push_entry(std::vector<Entry>& bucket, Entry&& entry) {
+  if (bucket.size() == bucket.capacity()) ++stats_.allocations;
+  bucket.push_back(std::move(entry));
+}
+
 EventQueue::Handle EventQueue::schedule(spec::Time time, EventClass klass,
                                         std::uint64_t payload) {
   assert(time >= 0 && "event times are nonnegative ticks");
+  std::size_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = generations_.size();
+    if (generations_.size() == generations_.capacity()) ++stats_.allocations;
+    generations_.push_back(0);
+  }
+  ++generations_[slot];  // odd: pending
+  const Handle handle =
+      (static_cast<Handle>(generations_[slot]) << 32) |
+      static_cast<Handle>(slot + 1);
   Entry entry;
   entry.event = {time, klass, payload, next_seq_++};
-  entry.handle = next_handle_++;
-  pending_.insert(entry.handle);
-  buckets_[bucket_of(time)].push_back(entry);
+  entry.handle = handle;
+  push_entry(buckets_[bucket_of(time)], std::move(entry));
   ++live_;
+  ++stats_.scheduled;
   // An event behind the scan position would be missed this rotation:
   // rewind the cursor to its slot. Monotone schedulers never hit this.
   const spec::Time year = year_of(time);
-  const std::size_t slot = bucket_of(time);
-  if (year < cursor_year_ || (year == cursor_year_ && slot < cursor_)) {
+  const std::size_t bucket = bucket_of(time);
+  if (year < cursor_year_ || (year == cursor_year_ && bucket < cursor_)) {
     cursor_year_ = year;
-    cursor_ = slot;
+    cursor_ = bucket;
   }
-  return entry.handle;
+  if (live_ > buckets_.size() * kGrowFactor &&
+      buckets_.size() < kMaxBuckets) {
+    rehash(buckets_.size() * 2);
+  }
+  return handle;
 }
 
 bool EventQueue::cancel(Handle handle) {
-  if (pending_.erase(handle) == 0) return false;
+  if (!is_live(handle)) return false;
+  const std::size_t slot = slot_of(handle);
+  ++generations_[slot];  // even: free; the bucket entry is now a tombstone
+  if (free_slots_.size() == free_slots_.capacity()) ++stats_.allocations;
+  free_slots_.push_back(static_cast<std::uint32_t>(slot));
   --live_;
+  ++stats_.cancelled;
+  if (live_ * kShrinkFactor < buckets_.size() &&
+      buckets_.size() > kMinBuckets) {
+    rehash(buckets_.size() / 2);
+  }
   return true;
 }
 
+void EventQueue::rehash(std::size_t new_count) {
+  ++stats_.resizes;
+  scratch_.clear();
+  if (scratch_.capacity() < live_) ++stats_.allocations;
+  scratch_.reserve(live_);
+  for (auto& bucket : buckets_) {
+    for (Entry& entry : bucket) {
+      if (is_live(entry.handle)) scratch_.push_back(std::move(entry));
+    }
+    bucket.clear();
+  }
+  // The outgoing wheel becomes the spare; its bucket arrays keep their
+  // heap buffers for the resize after this one.
+  if (spare_.size() != new_count) {
+    ++stats_.allocations;
+    spare_.resize(new_count);
+  }
+  std::swap(buckets_, spare_);
+  for (auto& bucket : buckets_) bucket.clear();
+  const Entry* min_entry = nullptr;
+  for (Entry& entry : scratch_) {
+    if (min_entry == nullptr || before(entry.event, min_entry->event)) {
+      min_entry = &entry;
+    }
+  }
+  if (min_entry != nullptr) {
+    cursor_ = bucket_of(min_entry->event.time);
+    cursor_year_ = year_of(min_entry->event.time);
+  } else {
+    cursor_ = 0;
+    cursor_year_ = 0;
+  }
+  for (Entry& entry : scratch_) {
+    push_entry(buckets_[bucket_of(entry.event.time)], std::move(entry));
+  }
+  scratch_.clear();
+}
+
 std::size_t EventQueue::sweep_and_min(std::vector<Entry>& bucket) {
-  // Lazy cancellation: compact out entries whose handle is gone.
+  // Lazy cancellation: compact out entries whose slot generation moved on.
   std::size_t kept = 0;
   for (std::size_t i = 0; i < bucket.size(); ++i) {
-    if (pending_.count(bucket[i].handle) == 0) continue;
+    if (!is_live(bucket[i].handle)) continue;
     if (kept != i) bucket[kept] = std::move(bucket[i]);
     ++kept;
   }
@@ -127,9 +205,17 @@ Event EventQueue::pop() {
   const std::size_t index = locate_min();
   auto& bucket = buckets_[cursor_];
   const Event event = bucket[index].event;
-  pending_.erase(bucket[index].handle);
+  const std::size_t slot = slot_of(bucket[index].handle);
+  ++generations_[slot];  // even: free
+  if (free_slots_.size() == free_slots_.capacity()) ++stats_.allocations;
+  free_slots_.push_back(static_cast<std::uint32_t>(slot));
   bucket.erase(bucket.begin() + static_cast<std::ptrdiff_t>(index));
   --live_;
+  ++stats_.popped;
+  if (live_ * kShrinkFactor < buckets_.size() &&
+      buckets_.size() > kMinBuckets) {
+    rehash(buckets_.size() / 2);
+  }
   return event;
 }
 

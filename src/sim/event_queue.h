@@ -1,20 +1,29 @@
 // A calendar-queue event wheel (Brown, CACM 1988): the priority structure
-// behind the event-driven simulation engine.
+// behind the event-driven simulation engines.
 //
 // Events are timestamped activations bucketed onto a circular wheel;
 // popping scans the cursor bucket for entries belonging to the current
 // rotation ("year"), so with a bucket width near the mean event spacing
-// both schedule and pop are O(1) amortized. Two departures from the
-// textbook structure, both driven by the runtime's needs:
+// both schedule and pop are O(1) amortized. Departures from the textbook
+// structure, all driven by the runtime's needs:
 //
 //  * Deterministic total order. Ties on the timestamp are broken by an
 //    explicit priority class, then by insertion sequence — so the pop
 //    order of simultaneous events is a pure function of the schedule
 //    history, never of bucket geometry. This is the rule that makes the
 //    event engine's traces bit-identical to the tick engine's.
-//  * O(1) cancellation. schedule() returns a handle; cancel() tombstones
-//    the entry (dropped lazily during scans). The event runtime cancels
-//    release events of tasks a monitor remap unmapped.
+//  * O(1) cancellation through a slot table. schedule() returns a handle
+//    packing (slot, generation); cancel() bumps the slot's generation and
+//    recycles it through an O(1) free list — no hashing anywhere on the
+//    hot path. Tombstoned entries are dropped lazily during scans. The
+//    event runtime cancels release events of tasks a monitor remap
+//    unmapped.
+//  * Adaptive wheel size with bucket pooling. When the live population
+//    outgrows (or far undershoots) the wheel, the entries are rehashed
+//    onto a doubled (halved) wheel; the outgoing wheel's bucket arrays
+//    are kept as the spare for the next resize, so steady-state churn
+//    reuses their heap buffers instead of reallocating. Resizes never
+//    change the pop order (the total order is geometry-free).
 //
 // An "empty-calendar fast-forward" kicks in when a full rotation finds
 // nothing due: the cursor jumps straight to the globally earliest entry
@@ -25,7 +34,6 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <unordered_set>
 #include <vector>
 
 #include "spec/declarations.h"
@@ -59,10 +67,23 @@ class EventQueue {
   using Handle = std::uint64_t;
   static constexpr Handle kInvalidHandle = 0;
 
+  /// Allocation/operation telemetry, surfaced by the long-run benchmark
+  /// (--json "queue_*" fields). `allocations` counts heap growths the
+  /// queue caused (bucket array growth, slot-table growth, scratch
+  /// growth); a pooled steady state holds it flat.
+  struct Stats {
+    std::int64_t scheduled = 0;
+    std::int64_t popped = 0;
+    std::int64_t cancelled = 0;
+    std::int64_t resizes = 0;
+    std::int64_t allocations = 0;
+  };
+
   /// `bucket_width` is the span of simulated time per bucket (clamped to
-  /// >= 1); `num_buckets` is the wheel size (clamped to >= 2). Choose
-  /// width near the mean event spacing for O(1) operation; correctness
-  /// does not depend on the geometry.
+  /// >= 1); `num_buckets` is the initial wheel size (clamped to >= 2; the
+  /// wheel later resizes itself with the live population). Choose width
+  /// near the mean event spacing for O(1) operation; correctness does not
+  /// depend on the geometry.
   explicit EventQueue(spec::Time bucket_width = 1,
                       std::size_t num_buckets = 256);
 
@@ -72,12 +93,15 @@ class EventQueue {
   Handle schedule(spec::Time time, EventClass klass,
                   std::uint64_t payload = 0);
 
-  /// Cancels a pending event. Returns false when the handle was already
-  /// popped, already cancelled, or never issued.
+  /// Cancels a pending event in O(1). Returns false when the handle was
+  /// already popped, already cancelled, or never issued.
   bool cancel(Handle handle);
 
   [[nodiscard]] bool empty() const { return live_ == 0; }
   [[nodiscard]] std::size_t size() const { return live_; }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  /// Current wheel size (exposed for tests of the resize policy).
+  [[nodiscard]] std::size_t num_buckets() const { return buckets_.size(); }
 
   /// Timestamp of the next event; queue must be nonempty.
   [[nodiscard]] spec::Time next_time();
@@ -95,6 +119,21 @@ class EventQueue {
   /// True iff `a` orders strictly before `b`.
   static bool before(const Event& a, const Event& b);
 
+  /// Handles pack (generation << 32) | (slot + 1). A slot's generation is
+  /// odd while its event is pending; cancel/pop bump it (even = free) and
+  /// recycle the slot, so liveness is one array compare.
+  static constexpr std::size_t slot_of(Handle handle) {
+    return static_cast<std::size_t>(handle & 0xffffffffull) - 1;
+  }
+  static constexpr std::uint32_t generation_of(Handle handle) {
+    return static_cast<std::uint32_t>(handle >> 32);
+  }
+  [[nodiscard]] bool is_live(Handle handle) const {
+    const std::size_t slot = slot_of(handle);
+    return slot < generations_.size() &&
+           generations_[slot] == generation_of(handle);
+  }
+
   [[nodiscard]] std::size_t bucket_of(spec::Time time) const {
     return static_cast<std::size_t>(time / bucket_width_) % buckets_.size();
   }
@@ -103,6 +142,14 @@ class EventQueue {
     return time / (bucket_width_ *
                    static_cast<spec::Time>(buckets_.size()));
   }
+
+  /// Appends to a bucket, counting a heap growth when the push reallocates.
+  void push_entry(std::vector<Entry>& bucket, Entry&& entry);
+
+  /// Moves every live entry onto a wheel of `new_count` buckets (the
+  /// spare wheel from the previous resize, when its geometry fits) and
+  /// repositions the cursor on the new global minimum.
+  void rehash(std::size_t new_count);
 
   /// Drops tombstoned entries from `bucket`, then returns the index of
   /// its minimum live entry, or npos when none remain.
@@ -113,6 +160,11 @@ class EventQueue {
   std::size_t locate_min();
 
   std::vector<std::vector<Entry>> buckets_;
+  /// Outgoing wheel of the last resize, bucket capacities intact; the
+  /// next rehash swaps it back in instead of allocating a fresh wheel.
+  std::vector<std::vector<Entry>> spare_;
+  /// Rehash staging area, pooled across resizes.
+  std::vector<Entry> scratch_;
   spec::Time bucket_width_;
   /// Wheel scan position: the next pop starts at buckets_[cursor_] in
   /// rotation cursor_year_.
@@ -120,10 +172,11 @@ class EventQueue {
   spec::Time cursor_year_ = 0;
   std::size_t live_ = 0;
   std::uint64_t next_seq_ = 0;
-  Handle next_handle_ = 1;
-  /// Handles of scheduled-but-not-popped events; cancel() removes from
-  /// here, and scans drop entries whose handle is absent.
-  std::unordered_set<Handle> pending_;
+  /// Slot table: generation per slot (odd = pending), plus the free list
+  /// of recycled slots.
+  std::vector<std::uint32_t> generations_;
+  std::vector<std::uint32_t> free_slots_;
+  Stats stats_;
 };
 
 }  // namespace lrt::sim

@@ -235,6 +235,11 @@ Result<SimulationResult> run_event_engine(
     grid_instants += (duration - grid_from + step - 1) / step;
     sink->counter_add("sim.events", events_processed);
     sink->counter_add("sim.ticks_skipped", grid_instants - active_instants);
+    // Calendar telemetry, reported by bench_longrun_convergence --json:
+    // a pooled steady state keeps allocations near-flat per run.
+    const EventQueue::Stats& qs = queue.stats();
+    sink->counter_add("sim.queue_allocations", qs.allocations);
+    sink->counter_add("sim.queue_resizes", qs.resizes);
   }
   return core.finish();
 }

@@ -1,0 +1,302 @@
+#include "sim/lp_partition.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <numeric>
+#include <utility>
+
+namespace lrt::sim::detail {
+
+namespace {
+
+using arch::HostId;
+using spec::CommId;
+using spec::TaskId;
+using spec::Time;
+
+/// Union-find with smallest-index roots, so component identities are a
+/// pure function of the merge set — never of merge order.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void merge(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    if (a > b) std::swap(a, b);
+    parent_[b] = a;
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+LpPartition partition_workload(std::span<const impl::Implementation> phases,
+                               const SimulationOptions& options,
+                               int max_lps) {
+  const spec::Specification& sp = phases.front().specification();
+  const arch::Architecture& ar = phases.front().architecture();
+  const std::size_t num_hosts = ar.hosts().size();
+  const std::size_t num_tasks = sp.tasks().size();
+  const std::size_t num_comms = sp.communicators().size();
+
+  LpPartition partition;
+  partition.comm_owner.assign(num_comms, 0);
+  if (max_lps <= 1 || num_hosts <= 1) return partition;
+
+  // Hosts each task may run on, over every phase of the cycle.
+  std::vector<std::vector<HostId>> task_hosts(num_tasks);
+  for (const impl::Implementation& phase : phases) {
+    for (std::size_t t = 0; t < num_tasks; ++t) {
+      const auto& hosts = phase.hosts_for(static_cast<TaskId>(t));
+      task_hosts[t].insert(task_hosts[t].end(), hosts.begin(), hosts.end());
+    }
+  }
+  for (auto& hosts : task_hosts) {
+    std::sort(hosts.begin(), hosts.end());
+    hosts.erase(std::unique(hosts.begin(), hosts.end()), hosts.end());
+  }
+
+  std::vector<std::vector<TaskId>> writers(num_comms);
+  for (std::size_t t = 0; t < num_tasks; ++t) {
+    for (const spec::PortRef& port : sp.task(static_cast<TaskId>(t)).outputs) {
+      auto& list = writers[static_cast<std::size_t>(port.comm)];
+      if (list.empty() || list.back() != static_cast<TaskId>(t)) {
+        list.push_back(static_cast<TaskId>(t));
+      }
+    }
+  }
+
+  // Constraint 1: a task's replications vote together — one LP.
+  // Constraint 2: all writers of a communicator feed one vote — one LP.
+  UnionFind uf(num_hosts);
+  for (const auto& hosts : task_hosts) {
+    for (std::size_t i = 1; i < hosts.size(); ++i) {
+      uf.merge(static_cast<std::size_t>(hosts[0]),
+               static_cast<std::size_t>(hosts[i]));
+    }
+  }
+  for (std::size_t c = 0; c < num_comms; ++c) {
+    HostId anchor = -1;
+    for (const TaskId t : writers[c]) {
+      const auto& hosts = task_hosts[static_cast<std::size_t>(t)];
+      if (hosts.empty()) continue;
+      if (anchor < 0) {
+        anchor = hosts[0];
+      } else {
+        uf.merge(static_cast<std::size_t>(anchor),
+                 static_cast<std::size_t>(hosts[0]));
+      }
+    }
+  }
+
+  // Per-communicator lookahead (see the header): write-offset gaps in
+  // logical mode, writer WCTT minima in timed mode.
+  constexpr Time kNoBound = std::numeric_limits<Time>::max();
+  std::vector<Time> lookahead(num_comms, kNoBound);
+  if (options.model_execution_time) {
+    for (std::size_t c = 0; c < num_comms; ++c) {
+      for (const TaskId t : writers[c]) {
+        const std::string& name = sp.task(t).name;
+        for (const HostId h : task_hosts[static_cast<std::size_t>(t)]) {
+          const auto wctt = ar.wctt(name, h);
+          // A missing timing entry fails core init anyway; 0 here only
+          // makes the bound more conservative (forces a merge).
+          lookahead[c] = std::min(lookahead[c], wctt.ok() ? *wctt : 0);
+        }
+      }
+    }
+  } else {
+    for (std::size_t t = 0; t < num_tasks; ++t) {
+      const Time read = sp.read_time(static_cast<TaskId>(t));
+      for (const spec::PortRef& port :
+           sp.task(static_cast<TaskId>(t)).outputs) {
+        const Time offset =
+            sp.communicator(port.comm).period * port.instance;
+        auto& bound = lookahead[static_cast<std::size_t>(port.comm)];
+        bound = std::min(bound, offset - read);
+      }
+    }
+  }
+
+  // Constraint 3: cross-LP channels need lookahead >= 1; reads that
+  // cannot get it are kept local by merging. Writer-less task-written
+  // communicators commit nothing, but their readers still share the
+  // frozen init value — cheapest to co-locate them too.
+  for (std::size_t c = 0; c < num_comms; ++c) {
+    if (sp.is_input_communicator(static_cast<CommId>(c))) continue;
+    HostId writer_anchor = -1;
+    for (const TaskId t : writers[c]) {
+      const auto& hosts = task_hosts[static_cast<std::size_t>(t)];
+      if (!hosts.empty()) {
+        writer_anchor = hosts[0];
+        break;
+      }
+    }
+    HostId anchor = writer_anchor;
+    const bool must_merge = writer_anchor < 0 || lookahead[c] < 1;
+    if (!must_merge) continue;
+    for (const TaskId t : sp.readers_of(static_cast<CommId>(c))) {
+      const auto& hosts = task_hosts[static_cast<std::size_t>(t)];
+      if (hosts.empty()) continue;
+      if (anchor < 0) {
+        anchor = hosts[0];
+      } else {
+        uf.merge(static_cast<std::size_t>(anchor),
+                 static_cast<std::size_t>(hosts[0]));
+      }
+    }
+  }
+
+  // Dense component ids, ascending by root host.
+  std::vector<int> host_comp(num_hosts, -1);
+  int num_comps = 0;
+  for (std::size_t h = 0; h < num_hosts; ++h) {
+    const std::size_t root = uf.find(h);
+    if (host_comp[root] < 0) host_comp[root] = num_comps++;
+    host_comp[h] = host_comp[root];
+  }
+  if (num_comps <= 1) return partition;
+
+  const auto comp_of_task = [&](std::size_t t) {
+    return task_hosts[t].empty()
+               ? 0
+               : host_comp[static_cast<std::size_t>(task_hosts[t][0])];
+  };
+  // Communicator owner component: the writers' (they commit it), else the
+  // first hosted reader's (sensor accounting), else component 0.
+  std::vector<int> comm_comp(num_comms, 0);
+  for (std::size_t c = 0; c < num_comms; ++c) {
+    int comp = -1;
+    for (const TaskId t : writers[c]) {
+      if (!task_hosts[static_cast<std::size_t>(t)].empty()) {
+        comp = comp_of_task(static_cast<std::size_t>(t));
+        break;
+      }
+    }
+    if (comp < 0) {
+      for (const TaskId t : sp.readers_of(static_cast<CommId>(c))) {
+        if (!task_hosts[static_cast<std::size_t>(t)].empty()) {
+          comp = comp_of_task(static_cast<std::size_t>(t));
+          break;
+        }
+      }
+    }
+    comm_comp[c] = comp < 0 ? 0 : comp;
+  }
+
+  // Pack components onto K LPs, longest-processing-time first over an
+  // activations-per-hyperperiod load estimate.
+  const Time hyperperiod = sp.hyperperiod();
+  std::vector<std::int64_t> comp_load(static_cast<std::size_t>(num_comps), 0);
+  for (std::size_t c = 0; c < num_comms; ++c) {
+    comp_load[static_cast<std::size_t>(comm_comp[c])] +=
+        hyperperiod / sp.communicator(static_cast<CommId>(c)).period + 1;
+  }
+  for (std::size_t t = 0; t < num_tasks; ++t) {
+    comp_load[static_cast<std::size_t>(comp_of_task(t))] += 1;
+  }
+  const int count = std::min(max_lps, num_comps);
+  std::vector<int> order(static_cast<std::size_t>(num_comps));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const auto la = comp_load[static_cast<std::size_t>(a)];
+    const auto lb = comp_load[static_cast<std::size_t>(b)];
+    return la != lb ? la > lb : a < b;
+  });
+  std::vector<std::int64_t> lp_load(static_cast<std::size_t>(count), 0);
+  std::vector<int> comp_lp(static_cast<std::size_t>(num_comps), 0);
+  for (const int comp : order) {
+    int best = 0;
+    for (int lp = 1; lp < count; ++lp) {
+      if (lp_load[static_cast<std::size_t>(lp)] <
+          lp_load[static_cast<std::size_t>(best)]) {
+        best = lp;
+      }
+    }
+    comp_lp[static_cast<std::size_t>(comp)] = best;
+    lp_load[static_cast<std::size_t>(best)] +=
+        comp_load[static_cast<std::size_t>(comp)];
+  }
+
+  partition.count = count;
+  partition.shards.assign(static_cast<std::size_t>(count), {});
+  for (int lp = 0; lp < count; ++lp) {
+    partition.shards[static_cast<std::size_t>(lp)].primary = lp == 0;
+  }
+  for (std::size_t h = 0; h < num_hosts; ++h) {
+    partition
+        .shards[static_cast<std::size_t>(
+            comp_lp[static_cast<std::size_t>(host_comp[h])])]
+        .hosts.push_back(static_cast<HostId>(h));
+  }
+  std::vector<int> task_lp(num_tasks, 0);
+  for (std::size_t t = 0; t < num_tasks; ++t) {
+    task_lp[t] = comp_lp[static_cast<std::size_t>(comp_of_task(t))];
+    partition.shards[static_cast<std::size_t>(task_lp[t])].tasks.push_back(
+        static_cast<TaskId>(t));
+  }
+  for (std::size_t c = 0; c < num_comms; ++c) {
+    const int owner = comp_lp[static_cast<std::size_t>(comm_comp[c])];
+    partition.comm_owner[c] = owner;
+    partition.shards[static_cast<std::size_t>(owner)].comms.push_back(
+        static_cast<CommId>(c));
+  }
+
+  // Sensor shadows and commit channels, from each communicator's foreign
+  // hosted readers. Comms iterate ascending, so every per-LP list stays
+  // ascending and adjacent-duplicate checks suffice.
+  std::map<std::pair<int, int>, std::vector<CommId>> edges;
+  for (std::size_t c = 0; c < num_comms; ++c) {
+    const int owner = partition.comm_owner[c];
+    const bool sensor = sp.is_input_communicator(static_cast<CommId>(c));
+    for (const TaskId t : sp.readers_of(static_cast<CommId>(c))) {
+      if (task_hosts[static_cast<std::size_t>(t)].empty()) continue;
+      const int reader = task_lp[static_cast<std::size_t>(t)];
+      if (reader == owner) continue;
+      if (sensor) {
+        auto& shadows =
+            partition.shards[static_cast<std::size_t>(reader)].shadow_comms;
+        if (shadows.empty() || shadows.back() != static_cast<CommId>(c)) {
+          shadows.push_back(static_cast<CommId>(c));
+        }
+      } else {
+        auto& comms = edges[{owner, reader}];
+        if (comms.empty() || comms.back() != static_cast<CommId>(c)) {
+          comms.push_back(static_cast<CommId>(c));
+        }
+      }
+    }
+  }
+  partition.channels.reserve(edges.size());
+  for (auto& [key, comms] : edges) {
+    LpChannelSpec channel;
+    channel.from = key.first;
+    channel.to = key.second;
+    channel.lookahead = kNoBound;
+    for (const CommId c : comms) {
+      channel.lookahead =
+          std::min(channel.lookahead, lookahead[static_cast<std::size_t>(c)]);
+    }
+    channel.comms = std::move(comms);
+    partition.channels.push_back(std::move(channel));
+  }
+  return partition;
+}
+
+}  // namespace lrt::sim::detail

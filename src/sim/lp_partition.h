@@ -1,0 +1,74 @@
+// Partitioning a workload into logical processes (LPs) for the
+// conservative parallel event engine (parallel_runtime.cpp).
+//
+// The unit of distribution is the host: two hosts must share an LP when
+// they co-execute replications of one task (they feed the same votes) or
+// host writers of the same communicator (they feed the same commits).
+// Union-find over those constraints yields connected components; the
+// components are packed onto at most `max_lps` LPs by longest-processing-
+// time-first on an activations-per-hyperperiod load estimate. Every task
+// and communicator is then owned by exactly one LP:
+//
+//  * a task belongs to its hosts' component (hostless tasks go to LP 0 —
+//    their releases are calendar no-ops that only keep event counts
+//    aligned with the sequential engine);
+//  * a task-written communicator belongs to its writers' component, and
+//    each foreign LP reading it gets a channel edge carrying its commits;
+//  * a sensor communicator belongs to its first hosted reader's component
+//    for accounting, and is *replayed* (not forwarded) by other reading
+//    LPs — the keyed fault draw and a parallel_safe environment make the
+//    recomputation exact, so sensors never create edges.
+//
+// Each channel edge carries a lookahead L >= 1: once the producer has
+// completed instant t, every commit of the edge's communicators at
+// W <= t + L is determined. In logical-execution mode L is the minimum
+// write-offset-minus-read-time gap of the writers (a commit at W only
+// receives candidates from releases at W - gap); in timed mode it is the
+// writers' minimum WCTT (a candidate for W must complete execution by
+// W - WCTT, which the producer has already simulated). A would-be edge
+// with L < 1 cannot advance its consumer past the producer's clock, so
+// its endpoints are merged instead — the deadlock-freedom argument in
+// DESIGN.md section 5j needs strictly positive lookahead everywhere.
+#ifndef LRT_SIM_LP_PARTITION_H_
+#define LRT_SIM_LP_PARTITION_H_
+
+#include <span>
+#include <vector>
+
+#include "impl/implementation.h"
+#include "sim/runtime.h"
+#include "sim/runtime_core.h"
+
+namespace lrt::sim::detail {
+
+/// A directed cross-LP edge: the owner of `comms` forwards every commit
+/// of them — plus conservative time guarantees — to one consumer LP.
+struct LpChannelSpec {
+  int from = -1;
+  int to = -1;
+  std::vector<spec::CommId> comms;  ///< ascending
+  /// Edge lookahead: min over `comms` of the per-communicator lookahead
+  /// described above. Always >= 1 (zero-lookahead edges are merged away).
+  spec::Time lookahead = 1;
+};
+
+struct LpPartition {
+  int count = 1;
+  std::vector<int> comm_owner;    ///< CommId -> owning LP
+  std::vector<ShardSpec> shards;  ///< indexed by LP; shards[0].primary
+  std::vector<LpChannelSpec> channels;
+};
+
+/// Builds the LP partition for a run of `phases` under `options`, using
+/// at most `max_lps` logical processes. Deterministic: a pure function of
+/// the workload shape (phases, timing tables, max_lps) — never of thread
+/// scheduling. Returns count == 1 when the workload does not shard (one
+/// connected component, or max_lps <= 1); the caller then falls back to
+/// the sequential event engine.
+[[nodiscard]] LpPartition partition_workload(
+    std::span<const impl::Implementation> phases,
+    const SimulationOptions& options, int max_lps);
+
+}  // namespace lrt::sim::detail
+
+#endif  // LRT_SIM_LP_PARTITION_H_

@@ -1,0 +1,436 @@
+#include "sim/parallel_runtime.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/event_runtime.h"
+#include "sim/lp_partition.h"
+#include "sim/runtime_core.h"
+#include "support/thread_pool.h"
+
+namespace lrt::sim::detail {
+
+namespace {
+
+using spec::CommId;
+using spec::TaskId;
+using spec::Time;
+using spec::Value;
+
+/// One voted commit crossing an LP boundary.
+struct Commit {
+  Time at = 0;
+  CommId comm = -1;
+  Value winner;
+};
+
+/// A channel message: every commit of the edge's communicators in
+/// (previous safe, safe], plus the guarantee that no further commit of
+/// them at or before `safe` will ever be produced. An empty batch is a
+/// null message — pure lookahead, keeping the consumer from stalling.
+struct Batch {
+  Time safe = -1;
+  std::vector<Commit> commits;
+};
+
+/// Single-producer single-consumer commit stream for one partition edge.
+/// The producer appends batches with strictly increasing `safe`; the
+/// consumer drains in order, so staged commits arrive time-sorted per
+/// edge. Only this queue is shared between threads — all simulation
+/// state stays LP-private.
+class CommitChannel {
+ public:
+  void publish(Batch&& batch) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      batches_.push_back(std::move(batch));
+    }
+    cv_.notify_one();
+  }
+
+  /// Consumer side: blocks until the producer has guaranteed instant
+  /// `at`, staging every drained commit into `core`. Wall-clock spent
+  /// blocked is accumulated into `blocked_ns` (diagnostic only — never
+  /// part of the deterministic counter set).
+  void drain_until(Time at, RuntimeCore& core, std::int64_t& blocked_ns) {
+    while (seen_ < at) {
+      std::deque<Batch> drained;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (batches_.empty()) {
+          const auto start = std::chrono::steady_clock::now();
+          cv_.wait(lock, [&] { return !batches_.empty(); });
+          blocked_ns += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+        }
+        drained.swap(batches_);
+      }
+      for (Batch& batch : drained) {
+        for (Commit& commit : batch.commits) {
+          core.stage_foreign_commit(commit.at, commit.comm,
+                                    std::move(commit.winner));
+        }
+        seen_ = batch.safe;
+      }
+    }
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Batch> batches_;
+  Time seen_ = -1;  ///< consumer-only: latest guarantee drained
+};
+
+/// Producer-side state of one out-edge.
+struct OutEdge {
+  CommitChannel* channel = nullptr;
+  Time lookahead = 1;
+  std::vector<CommId> comms;
+  /// Deduplicated relative write offsets per entry of `comms`.
+  std::vector<std::vector<Time>> offsets;
+  Time published = -1;  ///< commits at or before this are already sent
+  Time safe = -1;       ///< latest guarantee sent
+};
+
+/// Mirrors round_up_to_grid in event_runtime.cpp (no swaps here, so the
+/// epoch is always 0).
+Time round_up_to_grid(Time time, Time step) {
+  if (time <= 0) return 0;
+  return ((time + step - 1) / step) * step;
+}
+
+std::size_t wheel_buckets(std::size_t n) {
+  std::size_t size = 8;
+  while (size < n && size < 4096) size *= 2;
+  return size;
+}
+
+/// Per-LP run state and diagnostics.
+struct Lp {
+  RuntimeCore* core = nullptr;
+  std::vector<CommitChannel*> in_channels;
+  std::vector<OutEdge> out_edges;
+  /// Foreign-owned communicators an owned task reads (shadow sensors and
+  /// in-edge comms). Their access instants are ticked locally — replay
+  /// and latch instants must be visited — but never counted.
+  std::vector<CommId> foreign_read;
+  std::int64_t events = 0;
+  std::int64_t active_instants = 0;
+  std::int64_t null_messages = 0;
+  std::int64_t blocked_ns = 0;
+  std::int64_t queue_allocations = 0;
+  std::int64_t queue_resizes = 0;
+  std::int64_t start_us = 0;
+  std::int64_t end_us = 0;
+  Status status;
+};
+
+/// Sends every undelivered commit guarantee up to `frontier_next` (the
+/// producer's next event time) on one edge. Commits in the newly safe
+/// window are resolved early — side-effect free — from the pending
+/// broadcasts and the scripted fault plan; the producer's own tick later
+/// recomputes the identical winner with full accounting.
+void publish_edge(const RuntimeCore& core, OutEdge& edge, Time frontier_next,
+                  Time duration, Time hyperperiod,
+                  std::int64_t& null_messages) {
+  const Time safe = std::min(frontier_next - 1 + edge.lookahead, duration);
+  if (safe <= edge.safe) return;
+  Batch batch;
+  batch.safe = safe;
+  const Time up_to = std::min(safe, duration - 1);
+  for (std::size_t k = 0; k < edge.comms.size(); ++k) {
+    for (const Time offset : edge.offsets[k]) {
+      Time at = offset;
+      if (at <= edge.published) {
+        at = offset +
+             ((edge.published - offset) / hyperperiod + 1) * hyperperiod;
+      }
+      for (; at <= up_to; at += hyperperiod) {
+        batch.commits.push_back(
+            {at, edge.comms[k],
+             core.resolve_commit_winner(edge.comms[k], at)});
+      }
+    }
+  }
+  std::sort(batch.commits.begin(), batch.commits.end(),
+            [](const Commit& a, const Commit& b) {
+              return a.at != b.at ? a.at < b.at : a.comm < b.comm;
+            });
+  if (batch.commits.empty()) ++null_messages;
+  edge.published = std::max(edge.published, up_to);
+  edge.safe = safe;
+  edge.channel->publish(std::move(batch));
+}
+
+/// The sequential event loop of event_runtime.cpp restricted to one LP:
+/// same calendar classes, same drain-tick-advance structure, plus the
+/// conservative wait before each instant and a publish after each. The
+/// hot-swap/remap resync machinery is absent by construction — monitored
+/// runs never reach this engine.
+void run_lp(Lp& lp, bool primary, const LpPartition& partition, int index) {
+  RuntimeCore& core = *lp.core;
+  obs::Tracer* tracer = core.tracer();
+  lp.start_us = tracer != nullptr ? tracer->now_us() : 0;
+  const Time duration = core.duration();
+  const Time step = core.step();
+  const Time hyperperiod = core.hyperperiod();
+  const ShardSpec& shard = partition.shards[static_cast<std::size_t>(index)];
+
+  for (OutEdge& edge : lp.out_edges) {
+    edge.offsets.reserve(edge.comms.size());
+    for (const CommId c : edge.comms) {
+      std::vector<Time> offsets = core.write_offsets(c);
+      std::sort(offsets.begin(), offsets.end());
+      offsets.erase(std::unique(offsets.begin(), offsets.end()),
+                    offsets.end());
+      edge.offsets.push_back(std::move(offsets));
+    }
+  }
+
+  // Local calendar: owned sources are counted toward sim.events (each is
+  // popped by exactly one LP, so the totals sum to the sequential
+  // engine's); foreign-read access instants are ticked but not counted.
+  std::vector<CommId> access_comms = shard.comms;
+  access_comms.insert(access_comms.end(), lp.foreign_read.begin(),
+                      lp.foreign_read.end());
+  std::sort(access_comms.begin(), access_comms.end());
+  const std::size_t population = access_comms.size() + shard.tasks.size() +
+                                 core.host_events().size() + 4;
+  Time activations = 1;
+  for (const CommId c : access_comms) {
+    activations += hyperperiod / core.spec().communicator(c).period;
+  }
+  activations += static_cast<Time>(shard.tasks.size());
+  EventQueue queue(std::max<Time>(1, hyperperiod / activations),
+                   wheel_buckets(population));
+
+  std::vector<bool> owned_comm(core.spec().communicators().size(), false);
+  for (const CommId c : shard.comms) {
+    owned_comm[static_cast<std::size_t>(c)] = true;
+  }
+  for (const CommId c : access_comms) {
+    queue.schedule(0, EventClass::kCommAccess, static_cast<std::uint64_t>(c));
+  }
+  for (const TaskId t : shard.tasks) {
+    queue.schedule(core.spec().read_time(t), EventClass::kTaskRelease,
+                   static_cast<std::uint64_t>(t));
+  }
+  if (primary) queue.schedule(0, EventClass::kPeriodBoundary);
+  for (std::size_t e = 0; e < core.host_events().size(); ++e) {
+    const Time at = round_up_to_grid(core.host_events()[e].time, step);
+    if (at < duration) {
+      queue.schedule(at, EventClass::kHostAvailability,
+                     static_cast<std::uint64_t>(e));
+    }
+  }
+
+  // Bootstrap guarantees: commits at or before lookahead - 1 can have no
+  // contributor (a release or arrival would predate instant 0), so they
+  // resolve before any tick — and consumers of a cyclic edge pair would
+  // otherwise deadlock waiting for each other's first instant.
+  for (OutEdge& edge : lp.out_edges) {
+    publish_edge(core, edge, 0, duration, hyperperiod, lp.null_messages);
+  }
+
+  Time now = 0;
+  while (!queue.empty()) {
+    const Time at = queue.next_time();
+    if (at >= duration) break;
+    for (CommitChannel* channel : lp.in_channels) {
+      channel->drain_until(at, core, lp.blocked_ns);
+    }
+    while (!queue.empty() && queue.next_time() == at) {
+      const Event event = queue.pop();
+      switch (event.klass) {
+        case EventClass::kCommAccess:
+          lp.events += owned_comm[static_cast<std::size_t>(event.payload)];
+          queue.schedule(at + core.spec()
+                                  .communicator(static_cast<CommId>(
+                                      event.payload))
+                                  .period,
+                         EventClass::kCommAccess, event.payload);
+          break;
+        case EventClass::kTaskRelease:
+          ++lp.events;
+          queue.schedule(at + hyperperiod, EventClass::kTaskRelease,
+                         event.payload);
+          break;
+        case EventClass::kPeriodBoundary:
+          ++lp.events;
+          queue.schedule(at + hyperperiod, EventClass::kPeriodBoundary);
+          break;
+        case EventClass::kHostAvailability:
+          ++lp.events;  // one-shot
+          break;
+      }
+    }
+    lp.status = core.tick(at);
+    if (!lp.status.ok()) break;
+    ++lp.active_instants;
+    const Time next =
+        queue.empty() ? duration : std::min(queue.next_time(), duration);
+    core.advance_processors(at, next);
+    // parallel_safe environments have a no-op advance(), so skipping
+    // advance_environment here is exact — and keeps shards from racing
+    // over the shared environment.
+    for (OutEdge& edge : lp.out_edges) {
+      publish_edge(core, edge, next, duration, hyperperiod,
+                   lp.null_messages);
+    }
+    now = next;
+  }
+  if (lp.status.ok()) core.advance_processors(now, duration);
+  // Final guarantee, also on the error path: a consumer blocked on this
+  // edge must never wait forever.
+  for (OutEdge& edge : lp.out_edges) {
+    publish_edge(core, edge, duration, duration, hyperperiod,
+                 lp.null_messages);
+  }
+  lp.queue_allocations = queue.stats().allocations;
+  lp.queue_resizes = queue.stats().resizes;
+  lp.end_us = tracer != nullptr ? tracer->now_us() : 0;
+}
+
+}  // namespace
+
+Result<SimulationResult> run_parallel_engine(
+    std::span<const impl::Implementation> phases, Environment& env,
+    const SimulationOptions& options) {
+  // Conservative coalesce: a monitor can dirty the partition at any
+  // boundary (remap or hot-swap), a non-parallel_safe environment cannot
+  // be shared, and a budget of one buys nothing. The sequential event
+  // engine IS this engine at one LP — counters included.
+  const unsigned hardware = std::thread::hardware_concurrency();
+  const int budget = options.threads > 0
+                         ? options.threads
+                         : static_cast<int>(hardware > 0 ? hardware : 1);
+  if (options.monitor != nullptr || !env.parallel_safe() || budget <= 1) {
+    return run_event_engine(phases, env, options);
+  }
+  const LpPartition partition = partition_workload(phases, options, budget);
+  if (partition.count <= 1) return run_event_engine(phases, env, options);
+  const auto count = static_cast<std::size_t>(partition.count);
+
+  std::deque<RuntimeCore> cores;
+  for (std::size_t i = 0; i < count; ++i) {
+    cores.emplace_back(phases, env, options, &partition.shards[i]);
+  }
+  // Every shard validates the full configuration, so a bad setup fails
+  // here with the sequential engine's error, before any thread spawns.
+  for (RuntimeCore& core : cores) {
+    LRT_RETURN_IF_ERROR(core.init());
+  }
+
+  std::deque<CommitChannel> channels(partition.channels.size());
+  std::vector<Lp> lps(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    lps[i].core = &cores[i];
+  }
+  for (std::size_t e = 0; e < partition.channels.size(); ++e) {
+    const LpChannelSpec& spec = partition.channels[e];
+    OutEdge edge;
+    edge.channel = &channels[e];
+    edge.lookahead = spec.lookahead;
+    edge.comms = spec.comms;
+    lps[static_cast<std::size_t>(spec.from)].out_edges.push_back(
+        std::move(edge));
+    lps[static_cast<std::size_t>(spec.to)].in_channels.push_back(
+        &channels[e]);
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    std::vector<CommId>& foreign = lps[i].foreign_read;
+    foreign = partition.shards[i].shadow_comms;
+    for (const LpChannelSpec& spec : partition.channels) {
+      if (static_cast<std::size_t>(spec.to) != i) continue;
+      foreign.insert(foreign.end(), spec.comms.begin(), spec.comms.end());
+    }
+    std::sort(foreign.begin(), foreign.end());
+    foreign.erase(std::unique(foreign.begin(), foreign.end()),
+                  foreign.end());
+  }
+
+  // One pool thread per LP: each blocking LP body owns a thread for the
+  // whole run, so the conservative waits can never starve an unclaimed
+  // LP (the partition never exceeds the requested budget).
+  {
+    ThreadPool pool(static_cast<unsigned>(partition.count));
+    pool.parallel_for(partition.count, [&](std::int64_t i) {
+      run_lp(lps[static_cast<std::size_t>(i)], /*primary=*/i == 0, partition,
+             static_cast<int>(i));
+    });
+  }
+  for (const Lp& lp : lps) {
+    LRT_RETURN_IF_ERROR(lp.status);
+  }
+
+  obs::Tracer* tracer = cores.front().tracer();
+  const obs::Sink* sink = cores.front().sink();
+  std::int64_t events = 0;
+  std::int64_t null_messages = 0;
+  std::int64_t blocked_ns = 0;
+  std::int64_t queue_allocations = 0;
+  std::int64_t queue_resizes = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    events += lps[i].events;
+    null_messages += lps[i].null_messages;
+    blocked_ns += lps[i].blocked_ns;
+    queue_allocations += lps[i].queue_allocations;
+    queue_resizes += lps[i].queue_resizes;
+    if (tracer != nullptr) {
+      tracer->complete(
+          "sim", "lp", lps[i].start_us, lps[i].end_us,
+          {{"lp", static_cast<double>(i)},
+           {"events", static_cast<double>(lps[i].events)},
+           {"active_instants", static_cast<double>(lps[i].active_instants)},
+           {"null_messages", static_cast<double>(lps[i].null_messages)}});
+    }
+  }
+  if (sink != nullptr) {
+    // sim.events matches the sequential engines exactly (each source is
+    // owned once); the sim.lp_* trio and sim.null_messages are
+    // parallel-only diagnostics, excluded from differential comparison.
+    // sim.ticks_skipped is not emitted at LP counts > 1.
+    sink->counter_add("sim.events", events);
+    sink->counter_add("sim.lp_count", partition.count);
+    sink->counter_add("sim.null_messages", null_messages);
+    sink->counter_add("sim.lp_blocked_ns", blocked_ns);
+    sink->counter_add("sim.queue_allocations", queue_allocations);
+    sink->counter_add("sim.queue_resizes", queue_resizes);
+  }
+
+  // Merge: run-level fields from the primary shard, additive totals
+  // summed, per-communicator statistics and value traces from the owner.
+  SimulationResult merged = cores.front().finish();
+  for (std::size_t i = 1; i < count; ++i) {
+    SimulationResult part = cores[i].finish();
+    merged.invocations += part.invocations;
+    merged.invocation_failures += part.invocation_failures;
+    merged.committed_updates += part.committed_updates;
+    merged.vote_divergences += part.vote_divergences;
+    merged.deadline_misses += part.deadline_misses;
+    // Per-communicator data comes from the owner only: every shard
+    // registers all record_values_for names (with empty traces for
+    // foreign comms), so a blind map-merge would clobber real traces.
+    for (std::size_t c = 0; c < merged.comm_stats.size(); ++c) {
+      if (partition.comm_owner[c] != static_cast<int>(i)) continue;
+      merged.comm_stats[c] = std::move(part.comm_stats[c]);
+      const auto it = part.value_traces.find(merged.comm_stats[c].name);
+      if (it != part.value_traces.end()) {
+        merged.value_traces[it->first] = std::move(it->second);
+      }
+    }
+  }
+  return merged;
+}
+
+}  // namespace lrt::sim::detail

@@ -1,0 +1,33 @@
+// The conservative parallel event engine (Engine::kParallelEvent).
+//
+// The workload is partitioned into logical processes (lp_partition.h),
+// each running the sequential event loop over a sharded RuntimeCore and
+// exchanging communicator commits through deterministic per-edge
+// channels. Synchronization is conservative in the Chandy–Misra–Bryant
+// style: a producer follows every batch with a time guarantee ("safe")
+// derived from its own clock plus the edge lookahead, and a consumer
+// never executes an instant before every in-edge has guaranteed it —
+// so results, value traces, and shared counters are bit-identical to
+// the sequential engines for any thread count (DESIGN.md section 5j).
+//
+// Runs that cannot shard safely (a monitor is installed, the
+// environment is not parallel_safe(), a single-thread budget, or a
+// one-component workload) coalesce to run_event_engine wholesale.
+#ifndef LRT_SIM_PARALLEL_RUNTIME_H_
+#define LRT_SIM_PARALLEL_RUNTIME_H_
+
+#include <span>
+
+#include "impl/implementation.h"
+#include "sim/runtime.h"
+#include "support/status.h"
+
+namespace lrt::sim::detail {
+
+[[nodiscard]] Result<SimulationResult> run_parallel_engine(
+    std::span<const impl::Implementation> phases, Environment& env,
+    const SimulationOptions& options);
+
+}  // namespace lrt::sim::detail
+
+#endif  // LRT_SIM_PARALLEL_RUNTIME_H_

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "sim/event_runtime.h"
+#include "sim/parallel_runtime.h"
 #include "sim/runtime_core.h"
 #include "support/json.h"
 #include "support/math_util.h"
@@ -113,6 +114,8 @@ Result<SimulationResult> simulate_time_dependent(
   switch (options.engine) {
     case SimulationOptions::Engine::kEvent:
       return detail::run_event_engine(phases, env, options);
+    case SimulationOptions::Engine::kParallelEvent:
+      return detail::run_parallel_engine(phases, env, options);
     case SimulationOptions::Engine::kTick:
       break;
   }

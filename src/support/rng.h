@@ -15,6 +15,44 @@ namespace lrt {
 /// override the seed all derive from the same reproducible stream root.
 inline constexpr std::uint64_t kDefaultRngSeed = 0x1eda2008;
 
+/// One SplitMix64 absorb-and-finalize step: folds `word` into `state` and
+/// avalanches. Chaining absorb() over a key tuple yields a well-mixed
+/// 64-bit hash of (seed, key...) — the primitive behind the keyed draws
+/// below.
+constexpr std::uint64_t absorb(std::uint64_t state, std::uint64_t word) {
+  std::uint64_t z = state + 0x9E3779B97F4A7C15ull + word;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// Stateless counter-based draw: a uniform 64-bit value that is a pure
+/// function of (seed, words...), independent of any generator state and
+/// hence of the order draws are made in. The simulation engines key every
+/// fault draw by its site (kind, time, entity, attempt), which is what
+/// lets the parallel engine's shards consume "the same randomness" as the
+/// sequential engines without replaying a shared stream.
+template <typename... Words>
+constexpr std::uint64_t keyed_bits(std::uint64_t seed, Words... words) {
+  std::uint64_t state = absorb(0x243F6A8885A308D3ull, seed);
+  ((state = absorb(state, static_cast<std::uint64_t>(words))), ...);
+  return state;
+}
+
+/// Uniform double in [0, 1), keyed like keyed_bits().
+template <typename... Words>
+constexpr double keyed_double(std::uint64_t seed, Words... words) {
+  return static_cast<double>(keyed_bits(seed, words...) >> 11) * 0x1.0p-53;
+}
+
+/// Keyed Bernoulli trial: true with probability p (clamped to [0,1]).
+template <typename... Words>
+constexpr bool keyed_bernoulli(double p, std::uint64_t seed, Words... words) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return keyed_double(seed, words...) < p;
+}
+
 /// SplitMix64: used to expand a user seed into the xoshiro state.
 class SplitMix64 {
  public:

@@ -145,6 +145,103 @@ TEST(EventQueue, SchedulingBehindTheCursorRewindsTheScan) {
   EXPECT_EQ(queue.pop().payload, 1u);
 }
 
+TEST(EventQueue, StaleHandlesStayDeadAfterSlotReuse) {
+  EventQueue queue(/*bucket_width=*/1, /*num_buckets=*/4);
+  const EventQueue::Handle a = queue.schedule(5, EventClass::kCommAccess, 1);
+  EXPECT_TRUE(queue.cancel(a));
+  // The next schedule recycles a's slot under a bumped generation: the
+  // stale handle must not be able to reach the new occupant.
+  const EventQueue::Handle b = queue.schedule(9, EventClass::kCommAccess, 2);
+  EXPECT_NE(a, b);
+  EXPECT_FALSE(queue.cancel(a));
+  EXPECT_EQ(queue.size(), 1u);
+  EXPECT_EQ(queue.pop().payload, 2u);
+  EXPECT_FALSE(queue.cancel(b)) << "popped handles are dead";
+  EXPECT_EQ(queue.stats().scheduled, 2);
+  EXPECT_EQ(queue.stats().cancelled, 1);
+  EXPECT_EQ(queue.stats().popped, 1);
+}
+
+TEST(EventQueue, WheelResizesWithPopulation) {
+  EventQueue queue(/*bucket_width=*/1, /*num_buckets=*/2);
+  ASSERT_EQ(queue.num_buckets(), 2u);
+  std::vector<EventQueue::Handle> handles;
+  for (spec::Time t = 0; t < 100; ++t) {
+    handles.push_back(
+        queue.schedule(t, EventClass::kCommAccess,
+                       static_cast<std::uint64_t>(t)));
+  }
+  // Doubles whenever live > 4 * buckets: at 9, 17, 33, and 65 entries.
+  EXPECT_EQ(queue.num_buckets(), 32u);
+  const std::int64_t grow_resizes = queue.stats().resizes;
+  EXPECT_EQ(grow_resizes, 4);
+  for (spec::Time t = 0; t < 99; ++t) EXPECT_TRUE(queue.cancel(handles[t]));
+  EXPECT_LT(queue.num_buckets(), 32u);
+  EXPECT_GE(queue.num_buckets(), 2u);
+  EXPECT_GT(queue.stats().resizes, grow_resizes);
+  // The survivor still pops correctly off the shrunken wheel.
+  EXPECT_EQ(queue.pop().payload, 99u);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, SteadyStateHoldsAllocationsFlat) {
+  // A periodic source rescheduling itself forever: after warmup the slot
+  // free list and the bucket capacities absorb all churn — thousands of
+  // further cycles cause zero new heap growth.
+  EventQueue queue(/*bucket_width=*/4, /*num_buckets=*/8);
+  queue.schedule(0, EventClass::kCommAccess);
+  for (int i = 0; i < 100; ++i) {
+    const Event event = queue.pop();
+    queue.schedule(event.time + 7, EventClass::kCommAccess);
+  }
+  const std::int64_t warm_allocations = queue.stats().allocations;
+  const std::int64_t warm_resizes = queue.stats().resizes;
+  for (int i = 0; i < 5000; ++i) {
+    const Event event = queue.pop();
+    queue.schedule(event.time + 7, EventClass::kCommAccess);
+  }
+  EXPECT_EQ(queue.stats().allocations, warm_allocations);
+  EXPECT_EQ(queue.stats().resizes, warm_resizes);
+  EXPECT_EQ(queue.stats().scheduled, 5101);
+  EXPECT_EQ(queue.stats().popped, 5100);
+}
+
+TEST(EventQueue, ResizesNeverChangePopOrder) {
+  // The same traffic on geometries that resize at different points (the
+  // 2-bucket wheels grow repeatedly, the 256-bucket one mostly shrinks)
+  // must tell the same (time, class, seq) story: the total order is a
+  // pure function of the schedule history.
+  std::vector<std::vector<Event>> runs;
+  std::int64_t max_resizes = 0;
+  for (const auto& [width, buckets] :
+       std::vector<std::pair<spec::Time, std::size_t>>{
+           {1, 2}, {3, 2}, {1, 256}, {50, 4}}) {
+    EventQueue queue(width, buckets);
+    Xoshiro256 rng(7);
+    std::vector<EventQueue::Handle> handles;
+    for (std::uint64_t i = 0; i < 300; ++i) {
+      handles.push_back(queue.schedule(
+          static_cast<spec::Time>(rng.next_below(500)),
+          static_cast<EventClass>(rng.next_below(4)), i));
+    }
+    for (std::size_t i = 0; i < handles.size(); i += 3) {
+      EXPECT_TRUE(queue.cancel(handles[i]));
+    }
+    runs.push_back(drain(queue));
+    max_resizes = std::max(max_resizes, queue.stats().resizes);
+  }
+  EXPECT_GT(max_resizes, 0) << "traffic never exercised a resize";
+  for (std::size_t r = 1; r < runs.size(); ++r) {
+    ASSERT_EQ(runs[r].size(), runs[0].size());
+    for (std::size_t i = 0; i < runs[0].size(); ++i) {
+      EXPECT_EQ(runs[r][i].time, runs[0][i].time) << "run " << r;
+      EXPECT_EQ(runs[r][i].klass, runs[0][i].klass) << "run " << r;
+      EXPECT_EQ(runs[r][i].seq, runs[0][i].seq) << "run " << r;
+      EXPECT_EQ(runs[r][i].payload, runs[0][i].payload) << "run " << r;
+    }
+  }
+}
+
 TEST(EventQueue, RandomizedDifferentialAgainstReferenceHeap) {
   // Mixed schedule/cancel/pop traffic against a tombstone-free reference
   // ordered by the same (time, class, seq) key.

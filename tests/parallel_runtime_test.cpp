@@ -1,0 +1,419 @@
+// Differential oracle for the parallel event engine (ctest label
+// `differential`): Engine::kParallelEvent must be bit-identical to
+// Engine::kEvent (and therefore to Engine::kTick) — results, value
+// traces, RNG-driven fault outcomes, shared obs counters — for every
+// thread count, on workloads that actually shard into several logical
+// processes as well as on ones that coalesce (monitors, stateful
+// environments, single components). A mismatch writes
+// des-mismatch-<seed>.json next to the binary so CI can upload the
+// failing configuration as an artifact.
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <regex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "adapt/self_healing.h"
+#include "gen/workload.h"
+#include "lrt/lrt.h"
+#include "obs/metrics.h"
+#include "obs/sink.h"
+#include "plant/three_tank_system.h"
+#include "sim/monte_carlo.h"
+#include "sim/runtime.h"
+#include "support/rng.h"
+#include "tests/test_util.h"
+
+namespace lrt::sim {
+namespace {
+
+using spec::Time;
+using Engine = SimulationOptions::Engine;
+
+// --- oracle plumbing ---
+
+/// Engine-private diagnostics that legitimately differ between the
+/// sequential and parallel cores: the sequential engine skips grid
+/// instants the sharded calendars visit (and vice versa), and the LP /
+/// queue telemetry only exists under the parallel engine. Everything
+/// else must match exactly.
+bool diagnostic_counter(std::string_view name) {
+  return name == "sim.ticks_skipped" || name == "sim.null_messages" ||
+         name.substr(0, 7) == "sim.lp_" || name.substr(0, 10) == "sim.queue_";
+}
+
+/// Field-by-field equality, exact on doubles: the engines run the same
+/// arithmetic in the same order, so even rounding must agree.
+void expect_identical(const SimulationResult& a, const SimulationResult& b) {
+  EXPECT_EQ(a.periods, b.periods);
+  EXPECT_EQ(a.ticks, b.ticks);
+  EXPECT_EQ(a.invocations, b.invocations);
+  EXPECT_EQ(a.invocation_failures, b.invocation_failures);
+  EXPECT_EQ(a.committed_updates, b.committed_updates);
+  EXPECT_EQ(a.vote_divergences, b.vote_divergences);
+  EXPECT_EQ(a.deadline_misses, b.deadline_misses);
+  EXPECT_EQ(a.remaps_installed, b.remaps_installed);
+  ASSERT_EQ(a.comm_stats.size(), b.comm_stats.size());
+  for (std::size_t c = 0; c < a.comm_stats.size(); ++c) {
+    const CommStats& as = a.comm_stats[c];
+    const CommStats& bs = b.comm_stats[c];
+    EXPECT_EQ(as.name, bs.name);
+    EXPECT_EQ(as.samples, bs.samples) << as.name;
+    EXPECT_EQ(as.reliable_samples, bs.reliable_samples) << as.name;
+    EXPECT_EQ(as.limit_average, bs.limit_average) << as.name;
+    EXPECT_EQ(as.updates, bs.updates) << as.name;
+    EXPECT_EQ(as.reliable_updates, bs.reliable_updates) << as.name;
+  }
+  ASSERT_EQ(a.value_traces.size(), b.value_traces.size());
+  for (const auto& [name, trace] : a.value_traces) {
+    const auto it = b.value_traces.find(name);
+    ASSERT_NE(it, b.value_traces.end()) << name;
+    EXPECT_EQ(trace, it->second) << name;
+  }
+}
+
+struct RunOutput {
+  SimulationResult result;
+  obs::MetricsSnapshot metrics;
+};
+
+/// One simulation with a private metrics registry, so per-run counters
+/// can be compared across engines without pooling.
+RunOutput run_config(const impl::Implementation& impl,
+                     SimulationOptions options, Engine engine, int threads) {
+  obs::MetricsRegistry registry;
+  obs::Sink sink(&registry, nullptr);
+  NullEnvironment env;
+  options.engine = engine;
+  options.threads = threads;
+  options.sink = &sink;
+  auto result = simulate(impl, env, options);
+  EXPECT_TRUE(result.ok()) << result.status();
+  RunOutput output;
+  if (result.ok()) output.result = std::move(result).value();
+  output.metrics = registry.snapshot();
+  return output;
+}
+
+/// Runs tick, sequential event, and the parallel engine at 1/2/8
+/// threads; every result (and every shared counter) must be identical.
+/// On mismatch, dumps a replay artifact for CI.
+void expect_parallel_identical(const impl::Implementation& impl,
+                               const SimulationOptions& options,
+                               std::uint64_t seed, const std::string& what) {
+  const RunOutput tick = run_config(impl, options, Engine::kTick, 0);
+  const RunOutput event = run_config(impl, options, Engine::kEvent, 0);
+  expect_identical(tick.result, event.result);
+  for (const int threads : {1, 2, 8}) {
+    const RunOutput par =
+        run_config(impl, options, Engine::kParallelEvent, threads);
+    SCOPED_TRACE(what + " @" + std::to_string(threads) + " threads");
+    expect_identical(event.result, par.result);
+    // Shared counters agree both ways; only engine diagnostics may
+    // differ. sim.events in particular must match: the parallel engine
+    // counts each owned activation exactly once across the shards.
+    for (const auto& [name, value] : event.metrics.counters) {
+      if (diagnostic_counter(name)) continue;
+      EXPECT_EQ(par.metrics.counter(name), value) << name;
+    }
+    for (const auto& [name, value] : par.metrics.counters) {
+      if (diagnostic_counter(name)) continue;
+      EXPECT_EQ(event.metrics.counter(name), value) << name;
+    }
+    EXPECT_EQ(par.metrics.counter("sim.events"),
+              event.metrics.counter("sim.events"));
+  }
+  if (testing::Test::HasFailure()) {
+    std::ofstream artifact("des-mismatch-" + std::to_string(seed) + ".json");
+    artifact << "{\"seed\": " << seed << ", \"what\": \"" << what
+             << "\", \"periods\": " << options.periods
+             << ", \"broadcast_reliability\": "
+             << options.broadcast_reliability
+             << ", \"model_execution_time\": "
+             << (options.model_execution_time ? "true" : "false")
+             << ", \"faults_seed\": " << options.faults.seed
+             << ", \"tick\": " << to_json(tick.result)
+             << ", \"event\": " << to_json(event.result) << "}\n";
+  }
+}
+
+/// G host-disjoint pipeline groups with one-directional data edges:
+///   group g:  sens -> g_c0 -> t1 -> g_c1 -> t2 -> g_c2
+///   bridge g (g>0): reads (g-1)_c2 and the foreign sensor (g-1)_c0,
+///                   writes g_c3.
+/// Every group's tasks are replicated on the group's private host pair,
+/// so voting stays intra-group, the partition keeps one component per
+/// group, bridges become LP channel edges (lookahead 2 periods), and
+/// foreign sensor reads exercise the shadow-replay path.
+test::System multi_group_system(int groups, Time period = 10) {
+  auto cname = [](int g, int k) {
+    return "g" + std::to_string(g) + "_c" + std::to_string(k);
+  };
+  auto tname = [](int g, const char* role) {
+    return "g" + std::to_string(g) + "_" + role;
+  };
+  spec::SpecificationConfig config;
+  config.name = "multigroup";
+  for (int g = 0; g < groups; ++g) {
+    for (int k = 0; k <= 2; ++k) {
+      config.communicators.push_back(test::comm(cname(g, k), period, 0.3));
+    }
+    if (g > 0) {
+      config.communicators.push_back(test::comm(cname(g, 3), period, 0.3));
+    }
+    config.tasks.push_back(
+        test::task(tname(g, "t1"), {{cname(g, 0), 0}}, {{cname(g, 1), 1}}));
+    config.tasks.push_back(
+        test::task(tname(g, "t2"), {{cname(g, 1), 1}}, {{cname(g, 2), 2}}));
+    if (g > 0) {
+      config.tasks.push_back(
+          test::task(tname(g, "bridge"),
+                     {{cname(g - 1, 2), 2}, {cname(g - 1, 0), 2}},
+                     {{cname(g, 3), 3}}));
+    }
+  }
+
+  test::System system;
+  system.spec =
+      std::make_unique<spec::Specification>(test::build_spec(config));
+
+  arch::ArchitectureConfig arch_config;
+  for (int g = 0; g < groups; ++g) {
+    arch_config.hosts.push_back({"h" + std::to_string(2 * g), 0.9});
+    arch_config.hosts.push_back({"h" + std::to_string(2 * g + 1), 0.9});
+  }
+  impl::ImplementationConfig impl_config;
+  for (int g = 0; g < groups; ++g) {
+    const std::vector<std::string> pair = {"h" + std::to_string(2 * g),
+                                           "h" + std::to_string(2 * g + 1)};
+    impl_config.task_mappings.push_back({tname(g, "t1"), pair});
+    impl_config.task_mappings.push_back({tname(g, "t2"), pair});
+    if (g > 0) impl_config.task_mappings.push_back({tname(g, "bridge"), pair});
+    arch_config.sensors.push_back({"sens_" + cname(g, 0), 0.95});
+    impl_config.sensor_bindings.push_back(
+        {cname(g, 0), "sens_" + cname(g, 0)});
+  }
+
+  auto arch_result = arch::Architecture::Build(std::move(arch_config));
+  EXPECT_TRUE(arch_result.ok()) << arch_result.status();
+  system.arch =
+      std::make_unique<arch::Architecture>(std::move(arch_result).value());
+  auto impl_result = impl::Implementation::Build(*system.spec, *system.arch,
+                                                 std::move(impl_config));
+  EXPECT_TRUE(impl_result.ok()) << impl_result.status();
+  system.impl =
+      std::make_unique<impl::Implementation>(std::move(impl_result).value());
+  return system;
+}
+
+/// A fault plan exercising every RNG site plus scripted availability
+/// flips on each group's first host, deliberately off the harmonic grid.
+SimulationOptions multi_group_options(std::uint64_t seed, int groups) {
+  SimulationOptions options;
+  options.periods = 40;
+  options.broadcast_reliability = 0.9;
+  options.faults.seed = seed * 7919 + 1;
+  for (int g = 0; g < groups; ++g) {
+    options.faults.host_events.push_back(
+        {.time = 7 + 13 * g, .host = 2 * g, .up = false});
+    options.faults.host_events.push_back(
+        {.time = 203 + 17 * g, .host = 2 * g, .up = true});
+  }
+  return options;
+}
+
+// --- the differential suites ---
+
+TEST(ParallelRuntimeDifferential, MultiGroupPipelineShards) {
+  const int kGroups = 3;
+  test::System system = multi_group_system(kGroups);
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    SimulationOptions options = multi_group_options(seed, kGroups);
+    for (const auto& comm : system.spec->communicators()) {
+      options.record_values_for.push_back(comm.name);
+    }
+    expect_parallel_identical(*system.impl, options, seed,
+                              "multi-group pipeline");
+  }
+  // The workload must genuinely shard: three host-disjoint components,
+  // so 8 threads yield 3 LPs that synchronize through null messages,
+  // while a budget of 1 coalesces to the sequential engine (no LP
+  // diagnostics at all).
+  const SimulationOptions options = multi_group_options(1, kGroups);
+  const RunOutput par8 =
+      run_config(*system.impl, options, Engine::kParallelEvent, 8);
+  EXPECT_EQ(par8.metrics.counter("sim.lp_count"), kGroups);
+  EXPECT_GT(par8.metrics.counter("sim.null_messages"), 0);
+  const RunOutput par2 =
+      run_config(*system.impl, options, Engine::kParallelEvent, 2);
+  EXPECT_EQ(par2.metrics.counter("sim.lp_count"), 2);
+  const RunOutput par1 =
+      run_config(*system.impl, options, Engine::kParallelEvent, 1);
+  EXPECT_EQ(par1.metrics.counter("sim.lp_count"), 0);
+}
+
+TEST(ParallelRuntimeDifferential, MultiGroupTimedExecution) {
+  // Timed mode switches the channel lookahead derivation from write
+  // offsets to WCTT lower bounds; the default platform metrics give
+  // every edge lookahead 1 — the tightest legal bound.
+  const int kGroups = 3;
+  test::System system = multi_group_system(kGroups);
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    SimulationOptions options = multi_group_options(seed, kGroups);
+    options.model_execution_time = true;
+    expect_parallel_identical(*system.impl, options, seed, "timed groups");
+  }
+}
+
+TEST(ParallelRuntimeDifferential, RandomizedWorkloads) {
+  // Generated topologies land anywhere between one fully-merged
+  // component (coalesce path) and several independent ones; both must
+  // agree with the sequential engines under fault injection.
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    Xoshiro256 rng(seed);
+    gen::WorkloadOptions shape;
+    shape.with_functions = true;
+    shape.max_hosts = 3;
+    auto workload = gen::random_workload(rng, shape);
+    ASSERT_TRUE(workload.ok()) << workload.status();
+
+    const Time horizon = 40 * workload->specification->base_lcm();
+    SimulationOptions options;
+    options.periods = 40;
+    options.broadcast_reliability = 0.9;
+    options.faults.seed = seed * 7919 + 1;
+    options.faults.host_events.push_back(
+        {.time = horizon / 3 + 1, .host = 0, .up = false});
+    options.faults.host_events.push_back(
+        {.time = 2 * horizon / 3 + 1, .host = 0, .up = true});
+    for (const auto& comm : workload->specification->communicators()) {
+      options.record_values_for.push_back(comm.name);
+    }
+    expect_parallel_identical(*workload->implementation, options, seed,
+                              "random workload");
+  }
+}
+
+TEST(ParallelRuntimeDifferential, MidRunRemapCoalescesToEventEngine) {
+  // A monitor may install a remap at any boundary, which would dirty
+  // the partition mid-run — the parallel engine must detect the monitor
+  // and coalesce, reproducing the tick engine's repair bit-for-bit.
+  auto run = [](Engine engine) {
+    plant::ThreeTankScenario scenario;
+    scenario.variant = plant::ThreeTankVariant::kReplicatedTasks;
+    scenario.lrc_controls = 0.98;
+    scenario.host_count = 3;
+    auto system = plant::make_three_tank_system(scenario);
+    EXPECT_TRUE(system.ok()) << system.status();
+    adapt::SelfHealingController controller(*system->implementation);
+    NullEnvironment env;
+    SimulationOptions options;
+    options.engine = engine;
+    options.threads = 8;
+    options.periods = 200;
+    options.actuator_comms = {"u1", "u2"};
+    options.faults.host_events = {{.time = 20'000, .host = 0, .up = false}};
+    options.monitor = &controller;
+    auto result = simulate(*system->implementation, env, options);
+    EXPECT_TRUE(result.ok()) << result.status();
+    return std::pair(std::move(result).value(),
+                     controller.repairs().empty()
+                         ? Time{-1}
+                         : controller.repairs().front().committed_at);
+  };
+  const auto [tick, tick_repair_at] = run(Engine::kTick);
+  const auto [par, par_repair_at] = run(Engine::kParallelEvent);
+  expect_identical(tick, par);
+  EXPECT_EQ(tick_repair_at, par_repair_at);
+  EXPECT_GE(tick.remaps_installed, 1);
+}
+
+TEST(ParallelRuntimeDifferential, StatefulEnvironmentCoalesces) {
+  // The three-tank ODE environment mutates state in advance(), so it is
+  // not parallel_safe(): the parallel engine must fall back to the
+  // sequential event core and match the tick engine exactly, plant
+  // metrics included.
+  auto run = [](Engine engine) {
+    auto system = plant::make_three_tank_system({});
+    EXPECT_TRUE(system.ok()) << system.status();
+    plant::ThreeTankEnvironment env({}, 0.4, 0.3);
+    SimulationOptions options;
+    options.engine = engine;
+    options.threads = 8;
+    options.periods = 40;
+    options.actuator_comms = {"u1", "u2"};
+    options.record_values_for = {"l1", "u1"};
+    options.faults.host_events.push_back(
+        {.time = 5'000, .host = 1, .up = false});
+    auto result = simulate(*system->implementation, env, options);
+    EXPECT_TRUE(result.ok()) << result.status();
+    return std::pair(std::move(result).value(), env.metrics());
+  };
+  const auto [tick, tick_metrics] = run(Engine::kTick);
+  const auto [par, par_metrics] = run(Engine::kParallelEvent);
+  expect_identical(tick, par);
+  EXPECT_EQ(tick_metrics.samples, par_metrics.samples);
+  EXPECT_EQ(tick_metrics.rms_error1, par_metrics.rms_error1);
+  EXPECT_EQ(tick_metrics.rms_error2, par_metrics.rms_error2);
+  EXPECT_EQ(tick_metrics.max_error1, par_metrics.max_error1);
+  EXPECT_EQ(tick_metrics.max_error2, par_metrics.max_error2);
+}
+
+TEST(ParallelRuntimeDifferential, MonteCarloThreadPrecedence) {
+  // MonteCarloOptions::threads > 1 must win over the engine's LP pool:
+  // every (outer threads) campaign runs each trial single-threaded, and
+  // the report stays bit-identical to the tick reference — including
+  // outer == 1, where the inner LP pool actually spins up.
+  test::System system = multi_group_system(3);
+  auto report_json = [&](Engine engine, unsigned outer, int inner) {
+    MonteCarloOptions options;
+    options.simulation.engine = engine;
+    options.simulation.threads = inner;
+    options.simulation.periods = 20;
+    options.trials = 10;
+    options.seed = 20260809;
+    options.threads = outer;
+    const auto report = MonteCarloRunner(options).run(*system.impl);
+    EXPECT_TRUE(report.ok()) << report.status();
+    std::string json = to_json(*report);
+    json = std::regex_replace(
+        json,
+        std::regex(
+            "\"(elapsed_seconds|trials_per_second|threads)\":[0-9.eE+-]+"),
+        "\"$1\":0");
+    return json;
+  };
+  const std::string reference = report_json(Engine::kTick, 1, 0);
+  for (const unsigned outer : {1u, 2u, 8u}) {
+    EXPECT_EQ(report_json(Engine::kParallelEvent, outer, 8), reference)
+        << outer << " outer threads";
+  }
+}
+
+TEST(ParallelRuntimeDifferential, FacadeEnginePassthrough) {
+  // lrt::simulate forwards SimulationOptions verbatim: selecting the
+  // parallel engine (and a thread budget) at the facade must hit the
+  // same sharded path and the same numbers.
+  test::System system = multi_group_system(2);
+  const lrt::Workload workload =
+      lrt::borrow_workload(*system.spec, *system.arch);
+  lrt::SimulateOptions options;
+  options.simulation.periods = 25;
+  options.simulation.broadcast_reliability = 0.9;
+  options.simulation.engine = Engine::kTick;
+  const auto tick = lrt::simulate(workload, *system.impl, options);
+  ASSERT_TRUE(tick.ok()) << tick.status();
+  options.simulation.engine = Engine::kParallelEvent;
+  options.simulation.threads = 4;
+  const auto par = lrt::simulate(workload, *system.impl, options);
+  ASSERT_TRUE(par.ok()) << par.status();
+  expect_identical(*tick, *par);
+}
+
+}  // namespace
+}  // namespace lrt::sim
