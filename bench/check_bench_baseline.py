@@ -47,6 +47,13 @@ PARALLEL_MIN_CORES = 4
 PARALLEL_WALL_BUDGET_MS = 500.0
 UPDATE_WALL_BUDGET_MS = 250.0
 LINT_WALL_BUDGET_MS = 250.0
+# The lrtd acceptance bar: a cache-hit delta analyze must stay two
+# orders of magnitude cheaper than a cold-miss full analysis. The wall
+# budget bounds the hit path absolutely (it is machine-dependent but the
+# recorded median is ~4 us, so 100x headroom still catches a path that
+# started rebuilding or re-serializing the world).
+SERVICE_HIT_SPEEDUP_FLOOR = 100.0
+SERVICE_HIT_BUDGET_US = 400.0
 
 
 def check_synthesis(fresh, base):
@@ -252,8 +259,50 @@ def check_lint(fresh, base):
     return failures
 
 
+def check_service(fresh, base):
+    failures = []
+    if fresh["identical"] != 1:
+        failures.append(
+            "identical: the 1-worker and 8-worker servers answered the "
+            "same request log with DIFFERENT bytes — dispatch broke "
+            "response determinism")
+
+    if fresh["tasks"] != base["tasks"]:
+        failures.append(
+            f"tasks: {fresh['tasks']} != baseline {base['tasks']} "
+            "(workload changed; re-baseline deliberately)")
+
+    if fresh["hit_speedup"] < SERVICE_HIT_SPEEDUP_FLOOR:
+        failures.append(
+            f"hit_speedup: {fresh['hit_speedup']:.1f}x < floor "
+            f"{SERVICE_HIT_SPEEDUP_FLOOR}x (baseline "
+            f"{base['hit_speedup']:.1f}x): the delta analyze path lost "
+            "its incremental advantage")
+
+    if fresh["hit_us"] > SERVICE_HIT_BUDGET_US:
+        failures.append(
+            f"hit_us: {fresh['hit_us']:.1f} > budget "
+            f"{SERVICE_HIT_BUDGET_US} us (baseline "
+            f"{base['hit_us']:.1f} us)")
+
+    print(f"fresh:    identical={fresh['identical']} "
+          f"tasks={fresh['tasks']} "
+          f"cold={fresh['cold_us']:.0f}us hit={fresh['hit_us']:.1f}us "
+          f"speedup={fresh['hit_speedup']:.0f}x "
+          f"throughput={fresh['throughput_rps']:.0f}rps "
+          f"p99={fresh['p99_us']:.0f}us")
+    print(f"baseline: identical={base['identical']} "
+          f"tasks={base['tasks']} "
+          f"cold={base['cold_us']:.0f}us hit={base['hit_us']:.1f}us "
+          f"speedup={base['hit_speedup']:.0f}x "
+          f"throughput={base['throughput_rps']:.0f}rps "
+          f"p99={base['p99_us']:.0f}us")
+    return failures
+
+
 RULES = {
     "synthesis": check_synthesis,
+    "service": check_service,
     "longrun": check_longrun,
     "update": check_update,
     "lint": check_lint,

@@ -1,17 +1,21 @@
 #!/usr/bin/env python3
-"""Schema gate for the obs-smoke CI job.
+"""Schema gate for the obs-smoke and service-smoke CI jobs.
 
 Validates the two artifacts an enabled observability session writes:
 
-  check_obs_artifacts.py trace.json metrics.json
+  check_obs_artifacts.py trace.json metrics.json [--require c1,c2,...]
 
 * trace.json   must be Chrome trace_event JSON (Perfetto-loadable): a
                top-level object with a nonempty "traceEvents" array whose
                events carry ph/ts/name/cat (and dur >= 0 for "X" spans).
 * metrics.json must be a metrics snapshot ({"counters", "gauges",
-               "histograms"} objects) whose counters prove all four
-               instrumented layers actually ran: nonzero synth.prunes,
-               sim.trials, and adapt.repairs_installed.
+               "histograms"} objects) whose counters prove the
+               instrumented layers actually ran. --require names the
+               counters that must be nonzero (comma-separated); the
+               default is the self_healing pipeline's layer proof
+               (synth.prunes, sim.trials, adapt.repairs_installed), so
+               existing callers are unaffected. The lrtd service-smoke
+               job passes service.* counters instead.
 
 Exits nonzero with a message on the first violation.
 """
@@ -19,7 +23,7 @@ Exits nonzero with a message on the first violation.
 import json
 import sys
 
-REQUIRED_NONZERO_COUNTERS = (
+DEFAULT_REQUIRED_COUNTERS = (
     "synth.prunes",
     "sim.trials",
     "adapt.repairs_installed",
@@ -62,7 +66,7 @@ def check_trace(path: str) -> None:
           f"({phases.get('X', 0)} spans, {phases.get('i', 0)} instants)")
 
 
-def check_metrics(path: str) -> None:
+def check_metrics(path: str, required: tuple) -> None:
     with open(path, encoding="utf-8") as handle:
         metrics = json.load(handle)
     if not isinstance(metrics, dict):
@@ -74,7 +78,7 @@ def check_metrics(path: str) -> None:
     for name, value in counters.items():
         if not isinstance(value, (int, float)):
             fail(f"{path}: counter {name!r} is not numeric: {value!r}")
-    for name in REQUIRED_NONZERO_COUNTERS:
+    for name in required:
         if counters.get(name, 0) <= 0:
             fail(f"{path}: counter {name!r} is {counters.get(name, 0)!r} — "
                  "the instrumented layer did not run (or was not flushed)")
@@ -90,7 +94,7 @@ def check_metrics(path: str) -> None:
                  f"for {len(edges)} edges (want edges+1)")
     interesting = {name: counters[name]
                    for name in sorted(counters)
-                   if name in REQUIRED_NONZERO_COUNTERS
+                   if name in required
                    or name in ("trace.dropped", "adapt.suspicions",
                                "synth.runs", "sim.runs")}
     print(f"check_obs_artifacts: {path}: {len(counters)} counters, "
@@ -98,11 +102,22 @@ def check_metrics(path: str) -> None:
 
 
 def main() -> None:
-    if len(sys.argv) != 3:
+    args = list(sys.argv[1:])
+    required = DEFAULT_REQUIRED_COUNTERS
+    if "--require" in args:
+        at = args.index("--require")
+        if at + 1 >= len(args):
+            fail("--require needs a comma-separated counter list")
+        required = tuple(
+            name for name in args[at + 1].split(",") if name)
+        if not required:
+            fail("--require list is empty")
+        del args[at:at + 2]
+    if len(args) != 2:
         print(__doc__, file=sys.stderr)
         sys.exit(2)
-    check_trace(sys.argv[1])
-    check_metrics(sys.argv[2])
+    check_trace(args[0])
+    check_metrics(args[1], required)
     print("check_obs_artifacts: PASS")
 
 

@@ -1,0 +1,272 @@
+// Closed-loop load generator for lrtd: a fixed set of client
+// connections, each issuing one request at a time against a generated
+// workload, measuring end-to-end frame latency.
+//
+//   lrtd_loadgen --socket /tmp/lrtd.sock [--clients 4] [--requests 1000]
+//        [--seed 7] [--cold-every 0]
+//
+// The generator first primes the server with one cold `analyze` (full
+// spec + arch + implementation documents) and remembers the returned
+// fingerprint; the measured phase then issues delta `analyze` requests
+// (`mutate` one task's host set against the resident fingerprint), which
+// is the hot path the service is built around. `--cold-every N` mixes in
+// a full cold analysis of a fresh workload every N requests to exercise
+// the miss path. Reports requests/sec and p50/p99/p999 latency.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "arch/arch_json.h"
+#include "gen/workload.h"
+#include "impl/impl_json.h"
+#include "service/client.h"
+#include "service/protocol.h"
+#include "spec/spec_json.h"
+#include "support/argparse.h"
+#include "support/json.h"
+#include "support/rng.h"
+#include "support/status.h"
+
+using namespace lrt;
+
+namespace {
+
+struct GeneratedWorkload {
+  std::string spec_json;
+  std::string arch_json;
+  std::string impl_json;
+  std::vector<std::string> tasks;
+  std::vector<std::string> hosts;
+};
+
+Result<GeneratedWorkload> draw_workload(std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  gen::WorkloadOptions options;
+  options.min_layers = 3;
+  options.max_layers = 4;
+  options.min_tasks_per_layer = 3;
+  options.max_tasks_per_layer = 5;
+  options.min_hosts = 3;
+  options.max_hosts = 4;
+  LRT_ASSIGN_OR_RETURN(gen::Workload workload,
+                       gen::random_workload(rng, options));
+  GeneratedWorkload out;
+  out.spec_json = spec::to_json(workload.specification->to_config());
+  out.arch_json = arch::to_json(workload.architecture_config);
+  out.impl_json = impl::to_json(workload.implementation_config);
+  for (const auto& mapping : workload.implementation_config.task_mappings) {
+    out.tasks.push_back(mapping.task);
+  }
+  for (const auto& host : workload.architecture_config.hosts) {
+    out.hosts.push_back(host.name);
+  }
+  return out;
+}
+
+std::string cold_analyze_frame(const std::string& id,
+                               const GeneratedWorkload& workload) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("schema");
+  json.value(service::kWireSchemaVersion);
+  json.key("id");
+  json.value(id);
+  json.key("verb");
+  json.value("analyze");
+  json.key("spec");
+  json.raw(workload.spec_json);
+  json.key("arch");
+  json.raw(workload.arch_json);
+  json.key("implementation");
+  json.raw(workload.impl_json);
+  json.end_object();
+  return std::move(json).str();
+}
+
+std::string mutate_frame(const std::string& id,
+                         const std::string& fingerprint,
+                         const GeneratedWorkload& workload,
+                         std::size_t step) {
+  // Rotate one task across single-host placements; every request is a
+  // real state change, so the server's dirty-cone path does real work.
+  const std::string& task = workload.tasks[step % workload.tasks.size()];
+  const std::string& host =
+      workload.hosts[(step / workload.tasks.size()) % workload.hosts.size()];
+  JsonWriter json;
+  json.begin_object();
+  json.key("schema");
+  json.value(service::kWireSchemaVersion);
+  json.key("id");
+  json.value(id);
+  json.key("verb");
+  json.value("analyze");
+  json.key("fingerprint");
+  json.value(fingerprint);
+  json.key("mutate");
+  json.begin_object();
+  json.key("task");
+  json.value(task);
+  json.key("hosts");
+  json.begin_array();
+  json.value(host);
+  json.end_array();
+  json.end_object();
+  json.end_object();
+  return std::move(json).str();
+}
+
+/// result.fingerprint from an ok response frame ("" when absent).
+std::string response_fingerprint(const std::string& frame) {
+  const auto document = parse_json(frame);
+  if (!document.ok()) return "";
+  const JsonValue* result = document->find("result");
+  if (result == nullptr) return "";
+  const JsonValue* fingerprint = result->find("fingerprint");
+  if (fingerprint == nullptr || !fingerprint->is_string()) return "";
+  return fingerprint->string;
+}
+
+bool response_ok(const std::string& frame) {
+  const auto document = parse_json(frame);
+  if (!document.ok()) return false;
+  const JsonValue* ok = document->find("ok");
+  return ok != nullptr && ok->kind == JsonValue::Kind::kBool && ok->boolean;
+}
+
+double percentile(const std::vector<double>& sorted_us, double q) {
+  if (sorted_us.empty()) return 0.0;
+  const double rank = q * static_cast<double>(sorted_us.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted_us.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_us[lo] + (sorted_us[hi] - sorted_us[lo]) * frac;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser parser("lrtd_loadgen",
+                   "closed-loop load generator for the lrtd daemon");
+  std::string socket_path = "/tmp/lrtd.sock";
+  std::int64_t clients = 4;
+  std::int64_t requests = 1000;
+  std::int64_t seed = 7;
+  std::int64_t cold_every = 0;
+  parser.add_string("--socket", &socket_path, "AF_UNIX socket path");
+  parser.add_int("--clients", &clients, "concurrent client connections");
+  parser.add_int("--requests", &requests, "total measured requests");
+  parser.add_int("--seed", &seed, "workload generator seed");
+  parser.add_int("--cold-every", &cold_every,
+                 "issue a cold full analysis every N requests (0 = never)");
+  const Status status = parser.parse(argc, argv);
+  if (parser.help_requested()) {
+    std::printf("%s", parser.usage().c_str());
+    return 0;
+  }
+  if (!status.ok() || clients <= 0 || requests <= 0 || cold_every < 0) {
+    if (!status.ok())
+      std::fprintf(stderr, "lrtd_loadgen: %s\n", status.to_string().c_str());
+    std::fprintf(stderr, "%s", parser.usage().c_str());
+    return 2;
+  }
+
+  const auto workload = draw_workload(static_cast<std::uint64_t>(seed));
+  if (!workload.ok()) {
+    std::fprintf(stderr, "lrtd_loadgen: workload generation failed: %s\n",
+                 workload.status().to_string().c_str());
+    return 1;
+  }
+
+  // Prime: one cold analysis establishes the resident evaluator every
+  // measured mutate request hits.
+  auto prime = service::Client::Connect(socket_path);
+  if (!prime.ok()) {
+    std::fprintf(stderr, "lrtd_loadgen: %s\n",
+                 prime.status().to_string().c_str());
+    return 1;
+  }
+  const auto primed = prime->call(cold_analyze_frame("loadgen-prime",
+                                                     *workload));
+  if (!primed.ok() || !response_ok(*primed)) {
+    std::fprintf(stderr, "lrtd_loadgen: prime analyze failed: %s\n",
+                 primed.ok() ? primed->c_str()
+                             : primed.status().to_string().c_str());
+    return 1;
+  }
+  const std::string fingerprint = response_fingerprint(*primed);
+  if (fingerprint.empty()) {
+    std::fprintf(stderr,
+                 "lrtd_loadgen: prime response carried no fingerprint\n");
+    return 1;
+  }
+  std::printf("primed workload %s (%zu tasks, %zu hosts)\n",
+              fingerprint.c_str(), workload->tasks.size(),
+              workload->hosts.size());
+
+  std::atomic<std::int64_t> next_request{0};
+  std::atomic<std::int64_t> errors{0};
+  std::mutex latencies_mutex;
+  std::vector<double> latencies_us;
+  latencies_us.reserve(static_cast<std::size_t>(requests));
+
+  const auto run_client = [&](int client_index) {
+    auto client = service::Client::Connect(socket_path);
+    if (!client.ok()) {
+      errors.fetch_add(1);
+      return;
+    }
+    std::vector<double> local_us;
+    while (true) {
+      const std::int64_t index = next_request.fetch_add(1);
+      if (index >= requests) break;
+      const std::string id = "loadgen-" + std::to_string(client_index) +
+                             "-" + std::to_string(index);
+      const bool cold = cold_every > 0 && index % cold_every == 0;
+      const std::string frame =
+          cold ? cold_analyze_frame(id, *workload)
+               : mutate_frame(id, fingerprint, *workload,
+                              static_cast<std::size_t>(index));
+      const auto start = std::chrono::steady_clock::now();
+      const auto response = client->call(frame);
+      const auto elapsed = std::chrono::steady_clock::now() - start;
+      local_us.push_back(
+          std::chrono::duration<double, std::micro>(elapsed).count());
+      if (!response.ok() || !response_ok(*response)) errors.fetch_add(1);
+    }
+    const std::lock_guard<std::mutex> lock(latencies_mutex);
+    latencies_us.insert(latencies_us.end(), local_us.begin(),
+                        local_us.end());
+  };
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (int i = 0; i < static_cast<int>(clients); ++i) {
+    threads.emplace_back(run_client, i);
+  }
+  for (auto& thread : threads) thread.join();
+  const double wall_s = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - wall_start)
+                            .count();
+
+  std::sort(latencies_us.begin(), latencies_us.end());
+  const auto completed = static_cast<std::int64_t>(latencies_us.size());
+  std::printf("completed %lld requests over %lld connections in %.3f s "
+              "(%lld errors)\n",
+              static_cast<long long>(completed),
+              static_cast<long long>(clients), wall_s,
+              static_cast<long long>(errors.load()));
+  if (wall_s > 0.0) {
+    std::printf("throughput: %.1f requests/sec\n",
+                static_cast<double>(completed) / wall_s);
+  }
+  std::printf("latency: p50 %.1f us  p99 %.1f us  p999 %.1f us\n",
+              percentile(latencies_us, 0.50), percentile(latencies_us, 0.99),
+              percentile(latencies_us, 0.999));
+  return errors.load() == 0 ? 0 : 1;
+}

@@ -1,0 +1,33 @@
+// Canonical JSON codec for the architecture config vocabulary (lrtd
+// wire schema, DESIGN.md §5k). to_json fixes the field order and sorts
+// the map-like WCET/WCTT metric entries by (task, host), so two configs
+// that Build into the same architecture serialize to the same bytes —
+// the property lrt::Workload::fingerprint() relies on. from_json
+// accepts exactly what to_json emits, gated by `"schema": 1`.
+#ifndef LRT_ARCH_ARCH_JSON_H_
+#define LRT_ARCH_ARCH_JSON_H_
+
+#include <string>
+#include <string_view>
+
+#include "arch/architecture.h"
+#include "support/json.h"
+#include "support/status.h"
+
+namespace lrt::arch {
+
+/// Canonical document: {"schema": 1, "name", "hosts": [...],
+/// "sensors": [...], "metrics": [... sorted by (task, host)],
+/// "default_wcet": n|null, "default_wctt": n|null}.
+[[nodiscard]] std::string to_json(const ArchitectureConfig& config);
+/// Same document written into an enclosing writer (for frame payloads).
+void write_json(const ArchitectureConfig& config, JsonWriter& json);
+
+[[nodiscard]] Result<ArchitectureConfig> architecture_config_from_json(
+    const JsonValue& document);
+[[nodiscard]] Result<ArchitectureConfig> architecture_config_from_json(
+    std::string_view text);
+
+}  // namespace lrt::arch
+
+#endif  // LRT_ARCH_ARCH_JSON_H_

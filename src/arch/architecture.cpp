@@ -1,5 +1,8 @@
 #include "arch/architecture.h"
 
+#include <algorithm>
+#include <tuple>
+
 #include "support/math_util.h"
 #include "support/strings.h"
 
@@ -111,6 +114,28 @@ Result<Time> Architecture::wcet(std::string_view task, HostId id) const {
 
 Result<Time> Architecture::wctt(std::string_view task, HostId id) const {
   return metric(task, id, /*want_wcet=*/false);
+}
+
+ArchitectureConfig Architecture::to_config() const {
+  ArchitectureConfig config;
+  config.name = name_;
+  config.hosts = hosts_;
+  config.sensors = sensors_;
+  for (const auto& [task, row] : metrics_) {
+    for (std::size_t h = 0; h < row.size(); ++h) {
+      if (row[h].first == -1) continue;
+      config.metrics.push_back(
+          {task, hosts_[h].name, row[h].first, row[h].second});
+    }
+  }
+  std::sort(config.metrics.begin(), config.metrics.end(),
+            [](const ArchitectureConfig::MetricEntry& a,
+               const ArchitectureConfig::MetricEntry& b) {
+              return std::tie(a.task, a.host) < std::tie(b.task, b.host);
+            });
+  config.default_wcet = default_wcet_;
+  config.default_wctt = default_wctt_;
+  return config;
 }
 
 }  // namespace lrt::arch

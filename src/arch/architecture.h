@@ -89,6 +89,12 @@ class Architecture {
   /// wtmap(t, h): worst-case broadcast transmission time.
   [[nodiscard]] Result<Time> wctt(std::string_view task, HostId id) const;
 
+  /// Reconstructs a by-name config equivalent to this architecture, with
+  /// the explicit metric entries sorted by (task, host). Build(to_config())
+  /// round-trips; arch::to_json(to_config()) is the canonical wire
+  /// document of this architecture.
+  [[nodiscard]] ArchitectureConfig to_config() const;
+
  private:
   Architecture() = default;
 

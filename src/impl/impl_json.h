@@ -1,0 +1,32 @@
+// Canonical JSON codec for the implementation config vocabulary (lrtd
+// wire schema, DESIGN.md §5k). to_json fixes the field order and sorts
+// the map-like fields — task mappings by task name, hosts within a
+// mapping and sensor bindings by name — so two configs that Build into
+// the same implementation serialize to the same bytes. from_json
+// accepts exactly what to_json emits, gated by `"schema": 1`.
+#ifndef LRT_IMPL_IMPL_JSON_H_
+#define LRT_IMPL_IMPL_JSON_H_
+
+#include <string>
+#include <string_view>
+
+#include "impl/implementation.h"
+#include "support/json.h"
+#include "support/status.h"
+
+namespace lrt::impl {
+
+/// Canonical document: {"schema": 1, "name", "task_mappings": [...
+/// sorted by task], "sensor_bindings": [... sorted by communicator]}.
+[[nodiscard]] std::string to_json(const ImplementationConfig& config);
+/// Same document written into an enclosing writer (for frame payloads).
+void write_json(const ImplementationConfig& config, JsonWriter& json);
+
+[[nodiscard]] Result<ImplementationConfig> implementation_config_from_json(
+    const JsonValue& document);
+[[nodiscard]] Result<ImplementationConfig> implementation_config_from_json(
+    std::string_view text);
+
+}  // namespace lrt::impl
+
+#endif  // LRT_IMPL_IMPL_JSON_H_

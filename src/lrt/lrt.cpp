@@ -1,6 +1,11 @@
 #include "lrt/lrt.h"
 
+#include <cassert>
 #include <utility>
+
+#include "arch/arch_json.h"
+#include "spec/spec_json.h"
+#include "support/hash.h"
 
 namespace lrt {
 namespace {
@@ -14,9 +19,12 @@ Status check_membership(const Workload& workload,
     return InvalidArgumentError(
         "workload is empty: build_workload/borrow_workload it first");
   }
+  // A lifetime/membership violation, not a malformed argument: the
+  // implementation is valid, just built against other models — so it maps
+  // to kFailedPrecondition on the wire (DESIGN.md §5k status audit).
   if (&implementation.specification() != workload.spec.get() ||
       &implementation.architecture() != workload.arch.get()) {
-    return InvalidArgumentError(
+    return FailedPreconditionError(
         "implementation was not built against this workload's "
         "specification/architecture");
   }
@@ -32,6 +40,18 @@ Status check_models(const Workload& workload) {
 }
 
 }  // namespace
+
+std::uint64_t Workload::fingerprint() const {
+  assert(spec != nullptr && arch != nullptr &&
+         "fingerprint() requires a non-empty workload");
+  return lrt::fingerprint(spec->to_config(), arch->to_config());
+}
+
+std::uint64_t fingerprint(const spec::SpecificationConfig& spec_config,
+                          const arch::ArchitectureConfig& arch_config) {
+  const std::uint64_t seed = hash_bytes(spec::to_json(spec_config));
+  return hash_bytes(arch::to_json(arch_config), seed);
+}
 
 Result<Workload> build_workload(spec::SpecificationConfig spec_config,
                                 arch::ArchitectureConfig arch_config) {

@@ -27,6 +27,7 @@
 #ifndef LRT_LRT_LRT_H_
 #define LRT_LRT_LRT_H_
 
+#include <cstdint>
 #include <memory>
 #include <string_view>
 #include <vector>
@@ -51,7 +52,22 @@ namespace lrt {
 struct Workload {
   std::shared_ptr<const spec::Specification> spec;
   std::shared_ptr<const arch::Architecture> arch;
+
+  /// Stable 64-bit identity of the problem instance: hash_bytes over the
+  /// canonical JSON serialization of spec + arch (spec::to_json /
+  /// arch::to_json). Equal configs hash equal across processes, threads,
+  /// and declaration order of map-like fields — lrtd keys its resident
+  /// evaluator cache on it. Precondition: non-empty workload.
+  [[nodiscard]] std::uint64_t fingerprint() const;
 };
+
+/// Workload::fingerprint computed at the config level, without building
+/// the models — byte-for-byte the same hash (the canonical serialization
+/// materializes everything Build would). lrtd uses this to key cache
+/// lookups straight from parsed request configs.
+[[nodiscard]] std::uint64_t fingerprint(
+    const spec::SpecificationConfig& spec_config,
+    const arch::ArchitectureConfig& arch_config);
 
 /// Validates both configs and assembles a Workload (owning).
 [[nodiscard]] Result<Workload> build_workload(

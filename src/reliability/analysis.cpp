@@ -163,6 +163,11 @@ std::string ReliabilityReport::summary() const {
 
 std::string to_json(const ReliabilityReport& report) {
   JsonWriter json;
+  write_json(report, json);
+  return std::move(json).str();
+}
+
+void write_json(const ReliabilityReport& report, JsonWriter& json) {
   json.begin_object();
   json.key("reliable");
   json.value(report.reliable);
@@ -188,7 +193,41 @@ std::string to_json(const ReliabilityReport& report) {
   }
   json.end_array();
   json.end_object();
-  return std::move(json).str();
+}
+
+Result<ReliabilityReport> report_from_json(const JsonValue& document) {
+  ReliabilityReport report;
+  LRT_ASSIGN_OR_RETURN(report.reliable,
+                       json_member_bool(document, "reliable", "report"));
+  LRT_ASSIGN_OR_RETURN(
+      report.memory_free,
+      json_member_bool(document, "memory_free", "report"));
+  LRT_ASSIGN_OR_RETURN(report.cycle_safe,
+                       json_member_bool(document, "cycle_safe", "report"));
+  LRT_ASSIGN_OR_RETURN(const JsonValue* comms,
+                       json_member(document, "communicators", "report"));
+  if (!comms->is_array()) {
+    return InvalidArgumentError("report.communicators must be an array");
+  }
+  for (std::size_t i = 0; i < comms->array.size(); ++i) {
+    const std::string path =
+        "report.communicators[" + std::to_string(i) + "]";
+    const JsonValue& entry = comms->array[i];
+    CommunicatorVerdict verdict;
+    verdict.comm = static_cast<spec::CommId>(i);
+    LRT_ASSIGN_OR_RETURN(verdict.name,
+                         json_member_string(entry, "name", path));
+    LRT_ASSIGN_OR_RETURN(verdict.srg,
+                         json_member_double(entry, "srg", path));
+    LRT_ASSIGN_OR_RETURN(verdict.lrc,
+                         json_member_double(entry, "lrc", path));
+    LRT_ASSIGN_OR_RETURN(verdict.satisfied,
+                         json_member_bool(entry, "satisfied", path));
+    LRT_ASSIGN_OR_RETURN(verdict.slack,
+                         json_member_double(entry, "slack", path));
+    report.verdicts.push_back(std::move(verdict));
+  }
+  return report;
 }
 
 Result<ReliabilityReport> analyze(const impl::Implementation& impl) {

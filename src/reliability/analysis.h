@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "impl/implementation.h"
+#include "support/json.h"
 #include "support/status.h"
 
 namespace lrt::reliability {
@@ -79,6 +80,12 @@ struct ReliabilityReport {
 /// JSON document for tooling: {reliable, memory_free, cycle_safe,
 /// communicators: [{name, srg, lrc, satisfied, slack}]}.
 [[nodiscard]] std::string to_json(const ReliabilityReport& report);
+/// Same document written into an enclosing writer (lrtd frame payloads).
+void write_json(const ReliabilityReport& report, JsonWriter& json);
+/// Exact inverse of write_json/to_json; verdict comm ids are recovered
+/// from the array order (verdicts are emitted in CommId order).
+[[nodiscard]] Result<ReliabilityReport> report_from_json(
+    const JsonValue& document);
 
 /// Full reliability analysis of one implementation (Prop. 1 check).
 /// Fails only when SRGs are not well-defined (unsafe cycles); an

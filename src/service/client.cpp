@@ -1,0 +1,68 @@
+#include "service/client.h"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "service/frame.h"
+
+namespace lrt::service {
+
+Result<Client> Client::Connect(const std::string& socket_path) {
+  sockaddr_un addr{};
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    return InvalidArgumentError("socket path '" + socket_path +
+                                "' exceeds the AF_UNIX path limit");
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return InternalError(std::string("socket() failed: ") +
+                         std::strerror(errno));
+  }
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const int error = errno;
+    ::close(fd);
+    return UnavailableError("connect('" + socket_path +
+                            "') failed: " + std::strerror(error));
+  }
+  return Client(fd);
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Client::Client(Client&& other) noexcept : fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<std::string> Client::call(std::string_view request_frame) {
+  if (fd_ < 0) {
+    return FailedPreconditionError("client connection was moved out");
+  }
+  LRT_RETURN_IF_ERROR(write_frame(fd_, request_frame));
+  LRT_ASSIGN_OR_RETURN(std::optional<std::string> response,
+                       read_frame(fd_));
+  if (!response.has_value()) {
+    return UnavailableError("server closed the connection");
+  }
+  return std::move(*response);
+}
+
+}  // namespace lrt::service

@@ -1,0 +1,39 @@
+// A minimal blocking client for the lrtd socket: one connection, one
+// request/response exchange at a time. The CLI verbs (`lrtd ping`,
+// `lrtd shutdown`), the load generator, and the service tests sit on it.
+#ifndef LRT_SERVICE_CLIENT_H_
+#define LRT_SERVICE_CLIENT_H_
+
+#include <string>
+#include <string_view>
+
+#include "support/status.h"
+
+namespace lrt::service {
+
+class Client {
+ public:
+  /// Connects to the server's AF_UNIX socket. kUnavailable when nothing
+  /// listens at the path.
+  [[nodiscard]] static Result<Client> Connect(
+      const std::string& socket_path);
+
+  ~Client();
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Sends one request frame and blocks for its response frame.
+  /// kUnavailable when the server closes the connection mid-exchange.
+  [[nodiscard]] Result<std::string> call(std::string_view request_frame);
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+};
+
+}  // namespace lrt::service
+
+#endif  // LRT_SERVICE_CLIENT_H_

@@ -1,0 +1,99 @@
+#include "service/frame.h"
+
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+
+#include <unistd.h>
+
+namespace lrt::service {
+
+namespace {
+
+Status write_all(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    const ::ssize_t written = ::write(fd, data, size);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EPIPE || errno == ECONNRESET) {
+        return UnavailableError("peer closed the connection");
+      }
+      return InternalError(std::string("frame write failed: ") +
+                           std::strerror(errno));
+    }
+    data += written;
+    size -= static_cast<std::size_t>(written);
+  }
+  return Status::Ok();
+}
+
+/// Reads exactly `size` bytes. Returns false on EOF before the first
+/// byte (only meaningful with allow_eof), errors on EOF mid-read.
+Result<bool> read_all(int fd, char* data, std::size_t size,
+                      bool allow_eof) {
+  std::size_t got = 0;
+  while (got < size) {
+    const ::ssize_t n = ::read(fd, data + got, size - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == ECONNRESET) {
+        return UnavailableError("connection reset mid-frame");
+      }
+      return InternalError(std::string("frame read failed: ") +
+                           std::strerror(errno));
+    }
+    if (n == 0) {
+      if (got == 0 && allow_eof) return false;
+      return UnavailableError("connection closed mid-frame");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Status write_frame(int fd, std::string_view payload) {
+  if (payload.size() > kMaxFramePayload) {
+    return InvalidArgumentError("frame payload exceeds " +
+                                std::to_string(kMaxFramePayload) +
+                                " bytes");
+  }
+  const std::uint32_t size = static_cast<std::uint32_t>(payload.size());
+  char prefix[4] = {static_cast<char>(size >> 24),
+                    static_cast<char>(size >> 16),
+                    static_cast<char>(size >> 8),
+                    static_cast<char>(size)};
+  LRT_RETURN_IF_ERROR(write_all(fd, prefix, sizeof prefix));
+  return write_all(fd, payload.data(), payload.size());
+}
+
+Result<std::optional<std::string>> read_frame(int fd) {
+  char prefix[4];
+  LRT_ASSIGN_OR_RETURN(
+      const bool have_frame,
+      read_all(fd, prefix, sizeof prefix, /*allow_eof=*/true));
+  if (!have_frame) return std::optional<std::string>();
+  const std::uint32_t size =
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(prefix[0]))
+       << 24) |
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(prefix[1]))
+       << 16) |
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(prefix[2]))
+       << 8) |
+      static_cast<std::uint32_t>(static_cast<unsigned char>(prefix[3]));
+  if (size > kMaxFramePayload) {
+    return InvalidArgumentError("frame length " + std::to_string(size) +
+                                " exceeds the " +
+                                std::to_string(kMaxFramePayload) +
+                                "-byte limit");
+  }
+  std::string payload(size, '\0');
+  LRT_ASSIGN_OR_RETURN(const bool complete,
+                       read_all(fd, payload.data(), payload.size(),
+                                /*allow_eof=*/false));
+  (void)complete;
+  return std::optional<std::string>(std::move(payload));
+}
+
+}  // namespace lrt::service

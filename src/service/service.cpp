@@ -1,0 +1,866 @@
+#include "service/service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+#include <vector>
+
+#include "adapt/live_update.h"
+#include "arch/arch_json.h"
+#include "impl/impl_json.h"
+#include "lint/sarif.h"
+#include "lrt/lrt.h"
+#include "reliability/analysis.h"
+#include "reliability/incremental.h"
+#include "spec/spec_graph.h"
+#include "spec/spec_json.h"
+#include "synth/synth_json.h"
+
+namespace lrt::service {
+namespace {
+
+std::int64_t steady_now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Optional "sensor_bindings": [{"communicator": c, "sensor": s}, ...].
+Result<std::vector<impl::ImplementationConfig::SensorBinding>>
+decode_sensor_bindings(const JsonValue& body, std::string_view where) {
+  std::vector<impl::ImplementationConfig::SensorBinding> bindings;
+  const JsonValue* doc = body.find("sensor_bindings");
+  if (doc == nullptr) return bindings;
+  if (!doc->is_array()) {
+    return InvalidArgumentError(std::string(where) +
+                                ".sensor_bindings must be an array");
+  }
+  for (std::size_t i = 0; i < doc->array.size(); ++i) {
+    const std::string entry = std::string(where) + ".sensor_bindings[" +
+                              std::to_string(i) + "]";
+    const JsonValue& item = doc->array[i];
+    if (!item.is_object()) {
+      return InvalidArgumentError(entry + " must be an object");
+    }
+    impl::ImplementationConfig::SensorBinding binding;
+    LRT_ASSIGN_OR_RETURN(binding.communicator,
+                         json_member_string(item, "communicator", entry));
+    LRT_ASSIGN_OR_RETURN(binding.sensor,
+                         json_member_string(item, "sensor", entry));
+    bindings.push_back(std::move(binding));
+  }
+  return bindings;
+}
+
+/// The thread-count-invariant subset of a ValidationReport: everything
+/// sim::to_json emits except `threads`, `elapsed_seconds`, and
+/// `trials_per_second` — the fields that vary run to run. The campaign's
+/// statistics themselves are bit-identical for every thread count by the
+/// Monte Carlo determinism contract.
+void write_validation_json(const sim::ValidationReport& report,
+                           JsonWriter& json) {
+  json.begin_object();
+  json.key("implementation");
+  json.value(report.implementation);
+  json.key("trials");
+  json.value(report.trials);
+  json.key("seed");
+  json.value(static_cast<std::int64_t>(report.seed));
+  json.key("periods_per_trial");
+  json.value(report.periods_per_trial);
+  json.key("z");
+  json.value(report.z);
+  json.key("invocations");
+  json.value(report.invocations);
+  json.key("invocation_failures");
+  json.value(report.invocation_failures);
+  json.key("committed_updates");
+  json.value(report.committed_updates);
+  json.key("vote_divergences");
+  json.value(report.vote_divergences);
+  json.key("deadline_misses");
+  json.value(report.deadline_misses);
+  json.key("remaps_installed");
+  json.value(report.remaps_installed);
+  json.key("failed_trials");
+  json.value(report.failed_trials);
+  json.key("first_trial_error");
+  json.value(report.first_trial_error);
+  json.key("analysis_sound");
+  json.value(report.analysis_sound);
+  json.key("implementation_reliable");
+  json.value(report.implementation_reliable);
+  json.key("communicators");
+  json.begin_array();
+  for (const sim::CommAggregate& c : report.communicators) {
+    json.begin_object();
+    json.key("name");
+    json.value(c.name);
+    json.key("updates");
+    json.value(c.updates);
+    json.key("reliable_updates");
+    json.value(c.reliable_updates);
+    json.key("empirical");
+    json.value(c.empirical);
+    json.key("ci_low");
+    json.value(c.interval.low);
+    json.key("ci_high");
+    json.value(c.interval.high);
+    json.key("mean_limit_average");
+    json.value(c.mean_limit_average);
+    json.key("stddev_limit_average");
+    json.value(c.stddev_limit_average);
+    json.key("min_trial_rate");
+    json.value(c.min_trial_rate);
+    json.key("max_trial_rate");
+    json.value(c.max_trial_rate);
+    json.key("analytic_srg");
+    json.value(c.analytic_srg);
+    json.key("lrc");
+    json.value(c.lrc);
+    json.key("analysis_sound");
+    json.value(c.analysis_sound);
+    json.key("meets_lrc");
+    json.value(c.meets_lrc);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+}
+
+}  // namespace
+
+/// A workload held hot: the built models, the canonical config of the
+/// last fully analyzed implementation, and an SrgEvaluator primed with
+/// it. `mutex` serializes all implementation-state access; the models
+/// and graph flags are immutable after construction.
+struct Service::Resident {
+  std::uint64_t fingerprint = 0;
+  lrt::Workload workload;
+  bool memory_free = false;
+  bool cycle_safe = false;
+
+  std::mutex mutex;
+  bool has_impl = false;
+  /// Canonical config of the resident implementation (TaskId-order
+  /// mappings, CommId-order bindings) — the rebuild fallback's source.
+  impl::ImplementationConfig impl_config;
+  std::vector<std::vector<arch::HostId>> hosts;  ///< by TaskId, ascending
+  std::vector<int> reexecutions;                 ///< by TaskId
+  /// Absent when the specification is not cycle-safe (no SRG induction)
+  /// or the last FromImplementation failed; mutate requests then rebuild.
+  std::optional<reliability::SrgEvaluator> evaluator;
+
+  /// Records `impl` as the resident implementation after a fully
+  /// successful cold analysis. Call with `mutex` held.
+  void prime(const impl::Implementation& impl) {
+    const std::size_t tasks = workload.spec->tasks().size();
+    impl_config = impl.to_config();
+    hosts.resize(tasks);
+    reexecutions.resize(tasks);
+    for (std::size_t t = 0; t < tasks; ++t) {
+      hosts[t] = impl.hosts_for(static_cast<spec::TaskId>(t));
+      reexecutions[t] = impl.reexecutions(static_cast<spec::TaskId>(t));
+    }
+    Result<reliability::SrgEvaluator> built =
+        reliability::SrgEvaluator::FromImplementation(impl);
+    if (built.ok()) {
+      evaluator = std::move(built).value();
+    } else {
+      evaluator.reset();
+    }
+    has_impl = true;
+  }
+
+  /// The analyze() report reconstructed from the evaluator's state —
+  /// field for field the make_report computation over bit-identical
+  /// SRGs (the SrgEvaluator contract), so hit responses match cold ones.
+  [[nodiscard]] reliability::ReliabilityReport report() const {
+    const spec::Specification& spec = *workload.spec;
+    reliability::ReliabilityReport out;
+    out.memory_free = memory_free;
+    out.cycle_safe = cycle_safe;
+    out.reliable = true;
+    const auto count = static_cast<spec::CommId>(spec.communicators().size());
+    for (spec::CommId c = 0; c < count; ++c) {
+      reliability::CommunicatorVerdict verdict;
+      verdict.comm = c;
+      verdict.name = spec.communicator(c).name;
+      verdict.srg = evaluator->srg(c);
+      verdict.lrc = spec.communicator(c).lrc;
+      verdict.slack = verdict.srg - verdict.lrc;
+      verdict.satisfied = evaluator->satisfied(c);
+      out.reliable = out.reliable && verdict.satisfied;
+      out.verdicts.push_back(std::move(verdict));
+    }
+    return out;
+  }
+};
+
+Service::Service(ServiceOptions options) : options_(std::move(options)) {
+  if (options_.max_resident_workloads == 0) {
+    options_.max_resident_workloads = 1;
+  }
+}
+
+Service::~Service() = default;
+
+std::int64_t Service::now_ms() const {
+  return options_.clock_ms ? options_.clock_ms() : steady_now_ms();
+}
+
+obs::Sink* Service::sink() const {
+  return obs::resolve_sink(options_.sink);
+}
+
+std::size_t Service::resident_count() const {
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  return residents_.size();
+}
+
+void Service::touch_locked(std::uint64_t fingerprint) {
+  auto it = residents_.find(fingerprint);
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  it->second.lru_pos = lru_.begin();
+}
+
+Result<std::shared_ptr<Service::Resident>> Service::resolve_workload(
+    const JsonValue& body, std::string_view where) {
+  obs::Sink* s = sink();
+  if (const JsonValue* fp_doc = body.find("fingerprint")) {
+    if (!fp_doc->is_string()) {
+      return InvalidArgumentError(std::string(where) +
+                                  ".fingerprint must be a string");
+    }
+    const std::optional<std::uint64_t> fp =
+        parse_fingerprint(fp_doc->string);
+    if (!fp.has_value()) {
+      return InvalidArgumentError(
+          std::string(where) +
+          ".fingerprint must be 16 lowercase hex digits");
+    }
+    const std::lock_guard<std::mutex> lock(cache_mutex_);
+    const auto it = residents_.find(*fp);
+    if (it == residents_.end()) {
+      return NotFoundError("no resident workload with fingerprint " +
+                           fp_doc->string + "; resend 'spec' and 'arch'");
+    }
+    touch_locked(*fp);
+    if (s != nullptr) s->counter_add("service.cache_hits");
+    return it->second.resident;
+  }
+
+  LRT_ASSIGN_OR_RETURN(const JsonValue* spec_doc,
+                       json_member(body, "spec", where));
+  LRT_ASSIGN_OR_RETURN(const JsonValue* arch_doc,
+                       json_member(body, "arch", where));
+  LRT_ASSIGN_OR_RETURN(spec::SpecificationConfig spec_config,
+                       spec::specification_config_from_json(*spec_doc));
+  LRT_ASSIGN_OR_RETURN(arch::ArchitectureConfig arch_config,
+                       arch::architecture_config_from_json(*arch_doc));
+  const std::uint64_t fp = lrt::fingerprint(spec_config, arch_config);
+  {
+    const std::lock_guard<std::mutex> lock(cache_mutex_);
+    const auto it = residents_.find(fp);
+    if (it != residents_.end()) {
+      touch_locked(fp);
+      if (s != nullptr) s->counter_add("service.cache_hits");
+      return it->second.resident;
+    }
+  }
+
+  // Cold miss: build the models outside the cache lock.
+  LRT_ASSIGN_OR_RETURN(lrt::Workload workload,
+                       lrt::build_workload(std::move(spec_config),
+                                           std::move(arch_config)));
+  auto resident = std::make_shared<Resident>();
+  resident->fingerprint = fp;
+  resident->workload = std::move(workload);
+  const spec::SpecificationGraph graph(*resident->workload.spec);
+  resident->memory_free = graph.is_memory_free();
+  resident->cycle_safe = graph.is_cycle_safe();
+
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  const auto [it, inserted] = residents_.try_emplace(fp);
+  if (!inserted) {
+    // Another worker built the same workload concurrently; keep theirs.
+    touch_locked(fp);
+    return it->second.resident;
+  }
+  lru_.push_front(fp);
+  it->second = CacheEntry{std::move(resident), lru_.begin()};
+  if (s != nullptr) s->counter_add("service.cache_misses");
+  while (residents_.size() > options_.max_resident_workloads) {
+    residents_.erase(lru_.back());
+    lru_.pop_back();
+    if (s != nullptr) s->counter_add("service.evictions");
+  }
+  return residents_.find(fp)->second.resident;
+}
+
+Result<std::string> Service::do_analyze(const JsonValue& body) {
+  LRT_ASSIGN_OR_RETURN(const std::shared_ptr<Resident> resident,
+                       resolve_workload(body, "request"));
+  const JsonValue* impl_doc = body.find("implementation");
+  const JsonValue* mutate = body.find("mutate");
+  if ((impl_doc != nullptr) == (mutate != nullptr)) {
+    return InvalidArgumentError(
+        "request: analyze needs exactly one of 'implementation' and "
+        "'mutate'");
+  }
+  // Delta analyzes answer with a compact verdict by default: the point
+  // of the hit path is that its cost is one dirty-cone re-propagation,
+  // not a full per-communicator report serialization. "full_report"
+  // overrides either default.
+  bool include_report = impl_doc != nullptr;
+  if (const JsonValue* full = body.find("full_report")) {
+    if (full->kind != JsonValue::Kind::kBool) {
+      return InvalidArgumentError("request.full_report must be a boolean");
+    }
+    include_report = full->boolean;
+  }
+
+  obs::Sink* s = sink();
+  std::optional<reliability::ReliabilityReport> report;
+  bool reliable = false;
+  std::int64_t unsatisfied = 0;
+  // Sets the verdict fields (and drops the report unless requested)
+  // from a full report — the cold path's summary, byte-identical to the
+  // hit path's evaluator reads by the SrgEvaluator contract.
+  const auto summarize = [&](reliability::ReliabilityReport&& full) {
+    reliable = full.reliable;
+    unsatisfied = 0;
+    for (const reliability::CommunicatorVerdict& verdict : full.verdicts) {
+      if (!verdict.satisfied) ++unsatisfied;
+    }
+    if (include_report) report = std::move(full);
+  };
+  const std::lock_guard<std::mutex> lock(resident->mutex);
+
+  // Cold path: a full config builds, analyzes, and re-primes the
+  // resident evaluator. Any error leaves the resident state untouched.
+  const auto analyze_cold =
+      [&](impl::ImplementationConfig config)
+      -> Result<reliability::ReliabilityReport> {
+    LRT_ASSIGN_OR_RETURN(
+        const impl::Implementation impl,
+        lrt::build_implementation(resident->workload, std::move(config)));
+    LRT_ASSIGN_OR_RETURN(reliability::ReliabilityReport cold,
+                         lrt::analyze(resident->workload, impl));
+    resident->prime(impl);
+    if (s != nullptr) s->counter_add("service.analyze_cold");
+    return cold;
+  };
+
+  if (impl_doc != nullptr) {
+    LRT_ASSIGN_OR_RETURN(impl::ImplementationConfig config,
+                         impl::implementation_config_from_json(*impl_doc));
+    LRT_ASSIGN_OR_RETURN(reliability::ReliabilityReport cold,
+                         analyze_cold(std::move(config)));
+    summarize(std::move(cold));
+  } else {
+    // Delta addressing: {"task", "hosts", "reexecutions"?} against the
+    // resident implementation. Validation mirrors Implementation::Build
+    // (existing task, nonempty duplicate-free existing hosts) and runs
+    // BEFORE any state change, so an invalid mutation cannot poison the
+    // evaluator.
+    LRT_ASSIGN_OR_RETURN(
+        const std::string task_name,
+        json_member_string(*mutate, "task", "request.mutate"));
+    LRT_ASSIGN_OR_RETURN(const JsonValue* hosts_doc,
+                         json_member(*mutate, "hosts", "request.mutate"));
+    if (!hosts_doc->is_array()) {
+      return InvalidArgumentError("request.mutate.hosts must be an array");
+    }
+    std::optional<int> new_reex;
+    if (const JsonValue* reex_doc = mutate->find("reexecutions")) {
+      LRT_ASSIGN_OR_RETURN(
+          const std::int64_t value,
+          json_to_int(*reex_doc, "request.mutate.reexecutions"));
+      if (value < 0) {
+        return InvalidArgumentError(
+            "request.mutate.reexecutions must be >= 0");
+      }
+      new_reex = static_cast<int>(value);
+    }
+    if (!resident->has_impl) {
+      return FailedPreconditionError(
+          "no implementation is resident for workload " +
+          format_fingerprint(resident->fingerprint) +
+          "; send a full 'implementation' first");
+    }
+    const spec::Specification& spec = *resident->workload.spec;
+    const arch::Architecture& arch = *resident->workload.arch;
+    const std::optional<spec::TaskId> task = spec.find_task(task_name);
+    if (!task.has_value()) {
+      return NotFoundError("request.mutate: unknown task '" + task_name +
+                           "'");
+    }
+    if (hosts_doc->array.empty()) {
+      return InvalidArgumentError("request.mutate: task '" + task_name +
+                                  "' must map to at least one host");
+    }
+    std::vector<arch::HostId> host_ids;
+    std::vector<std::string> host_names;
+    for (const JsonValue& host_doc : hosts_doc->array) {
+      if (!host_doc.is_string()) {
+        return InvalidArgumentError(
+            "request.mutate.hosts entries must be strings");
+      }
+      const std::optional<arch::HostId> host =
+          arch.find_host(host_doc.string);
+      if (!host.has_value()) {
+        return NotFoundError("request.mutate: unknown host '" +
+                             host_doc.string + "'");
+      }
+      host_ids.push_back(*host);
+    }
+    std::sort(host_ids.begin(), host_ids.end());
+    if (std::adjacent_find(host_ids.begin(), host_ids.end()) !=
+        host_ids.end()) {
+      return InvalidArgumentError("request.mutate: duplicate host for task '" +
+                                  task_name + "'");
+    }
+    host_names.reserve(host_ids.size());
+    for (const arch::HostId h : host_ids) {
+      host_names.push_back(arch.host(h).name);
+    }
+
+    const auto t = static_cast<std::size_t>(*task);
+    const int reex = new_reex.value_or(resident->reexecutions[t]);
+    if (resident->evaluator.has_value() &&
+        reex == resident->reexecutions[t]) {
+      // Hit: one dirty-cone re-propagation; bit-identical to the cold
+      // path by the SrgEvaluator contract.
+      resident->evaluator->set_task_hosts(*task, host_ids);
+      resident->hosts[t] = host_ids;
+      for (auto& mapping : resident->impl_config.task_mappings) {
+        if (mapping.task == task_name) {
+          mapping.hosts = host_names;
+          break;
+        }
+      }
+      if (include_report) {
+        summarize(resident->report());
+      } else {
+        // The fast path's whole cost: the propagation already done plus
+        // O(|cset|) flag reads — no report construction at all.
+        const reliability::SrgEvaluator& evaluator = *resident->evaluator;
+        reliable = evaluator.all_lrcs_satisfied();
+        unsatisfied = 0;
+        const auto count =
+            static_cast<spec::CommId>(spec.communicators().size());
+        for (spec::CommId c = 0; c < count; ++c) {
+          if (!evaluator.satisfied(c)) ++unsatisfied;
+        }
+      }
+      if (s != nullptr) s->counter_add("service.analyze_hits");
+    } else {
+      // Re-execution change or no evaluator (non-cycle-safe spec):
+      // rebuild from the mutated resident config for authoritative
+      // semantics and error bytes.
+      impl::ImplementationConfig config = resident->impl_config;
+      for (auto& mapping : config.task_mappings) {
+        if (mapping.task == task_name) {
+          mapping.hosts = host_names;
+          mapping.reexecutions = reex;
+          break;
+        }
+      }
+      LRT_ASSIGN_OR_RETURN(reliability::ReliabilityReport rebuilt,
+                           analyze_cold(std::move(config)));
+      summarize(std::move(rebuilt));
+    }
+  }
+
+  JsonWriter json;
+  json.begin_object();
+  json.key("fingerprint");
+  json.value(format_fingerprint(resident->fingerprint));
+  json.key("reliable");
+  json.value(reliable);
+  json.key("unsatisfied_comms");
+  json.value(unsatisfied);
+  if (report.has_value()) {
+    json.key("report");
+    json.raw(reliability::to_json(*report));
+  }
+  json.end_object();
+  return std::move(json).str();
+}
+
+Result<std::string> Service::do_synthesize(const JsonValue& body) {
+  LRT_ASSIGN_OR_RETURN(const std::shared_ptr<Resident> resident,
+                       resolve_workload(body, "request"));
+  LRT_ASSIGN_OR_RETURN(
+      std::vector<impl::ImplementationConfig::SensorBinding> bindings,
+      decode_sensor_bindings(body, "request"));
+  synth::SynthesisOptions options;  // greedy, fast engine, one thread
+  if (const JsonValue* strategy = body.find("strategy")) {
+    if (!strategy->is_string()) {
+      return InvalidArgumentError("request.strategy must be a string");
+    }
+    if (strategy->string == "greedy") {
+      options.strategy = synth::SynthesisOptions::Strategy::kGreedy;
+    } else if (strategy->string == "exhaustive") {
+      options.strategy = synth::SynthesisOptions::Strategy::kExhaustive;
+    } else {
+      return InvalidArgumentError(
+          "request.strategy must be 'greedy' or 'exhaustive'");
+    }
+  }
+  LRT_ASSIGN_OR_RETURN(const synth::SynthesisResult result,
+                       lrt::synthesize(resident->workload,
+                                       std::move(bindings), options));
+  JsonWriter json;
+  json.begin_object();
+  json.key("fingerprint");
+  json.value(format_fingerprint(resident->fingerprint));
+  json.key("synthesis");
+  json.raw(synth::to_json(result));
+  json.end_object();
+  return std::move(json).str();
+}
+
+Result<std::string> Service::do_validate(const JsonValue& body) {
+  LRT_ASSIGN_OR_RETURN(const std::shared_ptr<Resident> resident,
+                       resolve_workload(body, "request"));
+  LRT_ASSIGN_OR_RETURN(const JsonValue* impl_doc,
+                       json_member(body, "implementation", "request"));
+  LRT_ASSIGN_OR_RETURN(impl::ImplementationConfig config,
+                       impl::implementation_config_from_json(*impl_doc));
+  LRT_ASSIGN_OR_RETURN(
+      const impl::Implementation impl,
+      lrt::build_implementation(resident->workload, std::move(config)));
+  sim::MonteCarloOptions options;
+  // One thread in and under each campaign: the service worker pool is
+  // the parallelism; nesting pools would oversubscribe.
+  options.threads = 1;
+  options.simulation.threads = 1;
+  if (const JsonValue* trials = body.find("trials")) {
+    LRT_ASSIGN_OR_RETURN(options.trials,
+                         json_to_int(*trials, "request.trials"));
+    if (options.trials <= 0) {
+      return InvalidArgumentError("request.trials must be > 0");
+    }
+  }
+  if (const JsonValue* seed = body.find("seed")) {
+    LRT_ASSIGN_OR_RETURN(const std::int64_t value,
+                         json_to_int(*seed, "request.seed"));
+    options.seed = static_cast<std::uint64_t>(value);
+  }
+  if (const JsonValue* periods = body.find("periods")) {
+    LRT_ASSIGN_OR_RETURN(options.simulation.periods,
+                         json_to_int(*periods, "request.periods"));
+    if (options.simulation.periods <= 0) {
+      return InvalidArgumentError("request.periods must be > 0");
+    }
+  }
+  LRT_ASSIGN_OR_RETURN(const sim::ValidationReport report,
+                       lrt::validate(resident->workload, impl, options));
+  JsonWriter json;
+  json.begin_object();
+  json.key("fingerprint");
+  json.value(format_fingerprint(resident->fingerprint));
+  json.key("validation");
+  write_validation_json(report, json);
+  json.end_object();
+  return std::move(json).str();
+}
+
+Result<std::string> Service::do_lint(const JsonValue& body) {
+  LRT_ASSIGN_OR_RETURN(const std::string source,
+                       json_member_string(body, "source", "request"));
+  lint::LintOptions options;
+  if (const JsonValue* file = body.find("file")) {
+    if (!file->is_string()) {
+      return InvalidArgumentError("request.file must be a string");
+    }
+    options.file = file->string;
+  }
+  LRT_ASSIGN_OR_RETURN(const lint::LintResult result,
+                       lrt::check(source, options));
+  JsonWriter json;
+  json.begin_object();
+  json.key("flattened");
+  json.value(result.flattened);
+  json.key("arch_checked");
+  json.value(result.arch_checked);
+  json.key("errors");
+  json.value(result.errors());
+  json.key("warnings");
+  json.value(result.warnings());
+  json.key("lint");
+  json.raw(lint::to_json(result.diagnostics));
+  json.end_object();
+  return std::move(json).str();
+}
+
+Result<std::string> Service::do_update_check(const JsonValue& body) {
+  LRT_ASSIGN_OR_RETURN(const std::shared_ptr<Resident> resident,
+                       resolve_workload(body, "request"));
+  LRT_ASSIGN_OR_RETURN(const JsonValue* impl_doc,
+                       json_member(body, "implementation", "request"));
+  LRT_ASSIGN_OR_RETURN(impl::ImplementationConfig config,
+                       impl::implementation_config_from_json(*impl_doc));
+  LRT_ASSIGN_OR_RETURN(
+      const impl::Implementation impl,
+      lrt::build_implementation(resident->workload, std::move(config)));
+  LRT_ASSIGN_OR_RETURN(const JsonValue* proposed_doc,
+                       json_member(body, "proposed", "request"));
+  LRT_ASSIGN_OR_RETURN(
+      spec::SpecificationConfig proposed,
+      spec::specification_config_from_json(*proposed_doc));
+  LRT_ASSIGN_OR_RETURN(
+      std::vector<impl::ImplementationConfig::SensorBinding> bindings,
+      decode_sensor_bindings(body, "request"));
+
+  // Propose-without-simulation: the verify stage (refinement fast path or
+  // dirty-cone re-synthesis) runs to completion; the transaction stops at
+  // kStaged/kRejected because no run ever reaches an install boundary.
+  adapt::UpdateEngine engine(impl);
+  LRT_RETURN_IF_ERROR(
+      engine.propose(0, std::move(proposed), std::move(bindings)));
+  const adapt::UpdateReport& report = engine.report();
+
+  JsonWriter json;
+  json.begin_object();
+  json.key("fingerprint");
+  json.value(format_fingerprint(resident->fingerprint));
+  json.key("state");
+  json.value(adapt::to_string(report.state));
+  json.key("path");
+  json.value(adapt::to_string(report.path));
+  json.key("dirty_tasks");
+  json.begin_array();
+  for (const std::string& name : report.dirty_tasks) json.value(name);
+  json.end_array();
+  json.key("dirty_comms");
+  json.begin_array();
+  for (const std::string& name : report.dirty_comms) json.value(name);
+  json.end_array();
+  json.key("detail");
+  json.value(report.detail);
+  json.key("replication_count");
+  json.value(report.replication_count);
+  json.key("staged");
+  if (engine.staged() != nullptr) {
+    json.raw(impl::to_json(engine.staged()->to_config()));
+  } else {
+    json.null();
+  }
+  json.end_object();
+  return std::move(json).str();
+}
+
+Result<std::string> Service::do_batch(
+    const JsonValue& body, std::int64_t arrival_ms,
+    std::optional<std::int64_t> deadline_at_ms, bool* deadline_in_batch) {
+  LRT_ASSIGN_OR_RETURN(const JsonValue* items,
+                       json_member(body, "items", "request"));
+  if (!items->is_array()) {
+    return InvalidArgumentError("request.items must be an array");
+  }
+  JsonWriter json;
+  json.begin_object();
+  json.key("items");
+  json.begin_array();
+  for (std::size_t i = 0; i < items->array.size(); ++i) {
+    const JsonValue& item = items->array[i];
+    const std::string where = "request.items[" + std::to_string(i) + "]";
+    std::optional<std::string> item_id;
+    if (const JsonValue* id = item.find("id");
+        id != nullptr && id->is_string()) {
+      item_id = id->string;
+    }
+    std::string item_frame;
+    if (deadline_at_ms.has_value() && now_ms() > *deadline_at_ms) {
+      // Partial-result degradation: finished items stand; the rest get
+      // typed timeout entries.
+      *deadline_in_batch = true;
+      item_frame = make_error_frame(
+          item_id,
+          DeadlineExceededError("batch deadline expired before item " +
+                                std::to_string(i) + " ran"));
+    } else {
+      Result<Request> parsed = parse_request(item, where);
+      if (!parsed.ok()) {
+        item_frame = make_error_frame(item_id, parsed.status());
+      } else if (parsed->verb == Verb::kBatch ||
+                 parsed->verb == Verb::kShutdown) {
+        item_frame = make_error_frame(
+            parsed->id,
+            InvalidArgumentError(where + ": verb '" +
+                                 verb_name(parsed->verb) +
+                                 "' is not allowed inside a batch"));
+      } else {
+        std::optional<std::int64_t> effective = deadline_at_ms;
+        if (parsed->deadline_ms.has_value()) {
+          const std::int64_t item_deadline =
+              arrival_ms + *parsed->deadline_ms;
+          effective = effective.has_value()
+                          ? std::min(*effective, item_deadline)
+                          : item_deadline;
+        }
+        bool item_shutdown = false;
+        Result<std::string> result = run_verb(
+            *parsed, arrival_ms, effective, &item_shutdown,
+            deadline_in_batch);
+        if (result.ok()) {
+          item_frame = make_ok_frame(parsed->id, *result);
+        } else {
+          if (result.status().code() == StatusCode::kDeadlineExceeded) {
+            *deadline_in_batch = true;
+          }
+          item_frame = make_error_frame(parsed->id, result.status());
+        }
+      }
+    }
+    json.raw(item_frame);
+  }
+  json.end_array();
+  json.end_object();
+  return std::move(json).str();
+}
+
+Result<std::string> Service::run_verb(
+    const Request& request, std::int64_t arrival_ms,
+    std::optional<std::int64_t> deadline_at_ms, bool* shutdown,
+    bool* deadline_in_batch) {
+  if (deadline_at_ms.has_value() && now_ms() > *deadline_at_ms) {
+    return DeadlineExceededError(
+        "deadline of request '" + request.id + "' expired before the " +
+        std::string(verb_name(request.verb)) + " verb ran");
+  }
+  switch (request.verb) {
+    case Verb::kPing: {
+      JsonWriter json;
+      json.begin_object();
+      json.key("pong");
+      json.value(true);
+      json.end_object();
+      return std::move(json).str();
+    }
+    case Verb::kShutdown: {
+      *shutdown = true;
+      JsonWriter json;
+      json.begin_object();
+      json.key("stopping");
+      json.value(true);
+      json.end_object();
+      return std::move(json).str();
+    }
+    case Verb::kAnalyze:
+      return do_analyze(*request.body);
+    case Verb::kSynthesize:
+      return do_synthesize(*request.body);
+    case Verb::kValidate:
+      return do_validate(*request.body);
+    case Verb::kLint:
+      return do_lint(*request.body);
+    case Verb::kUpdateCheck:
+      return do_update_check(*request.body);
+    case Verb::kBatch:
+      return do_batch(*request.body, arrival_ms, deadline_at_ms,
+                      deadline_in_batch);
+  }
+  return InternalError("unhandled verb");
+}
+
+ServiceReply Service::handle(std::string_view request_frame) {
+  obs::Sink* s = sink();
+  const auto started = std::chrono::steady_clock::now();
+  const auto record_latency = [&] {
+    if (s == nullptr) return;
+    const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+        std::chrono::steady_clock::now() - started);
+    s->histogram_record("service.request_us",
+                        static_cast<double>(elapsed.count()));
+  };
+  if (s != nullptr) s->counter_add("service.requests");
+  const std::int64_t arrival_ms = now_ms();
+
+  ServiceReply reply;
+  const Result<JsonValue> document = parse_json(request_frame);
+  if (!document.ok()) {
+    reply.frame = make_error_frame(std::nullopt, document.status());
+    if (s != nullptr) s->counter_add("service.errors");
+    record_latency();
+    return reply;
+  }
+  const Result<Request> request = parse_request(*document, "request");
+  if (!request.ok()) {
+    std::optional<std::string> id;
+    if (const JsonValue* id_doc = document->find("id");
+        id_doc != nullptr && id_doc->is_string()) {
+      id = id_doc->string;
+    }
+    reply.frame = make_error_frame(id, request.status());
+    if (s != nullptr) s->counter_add("service.errors");
+    record_latency();
+    return reply;
+  }
+
+  {
+    const std::lock_guard<std::mutex> lock(idempotency_mutex_);
+    const auto it = replays_.find(request->id);
+    if (it != replays_.end()) {
+      if (s != nullptr) s->counter_add("service.idempotent_replays");
+      reply.frame = it->second;
+      record_latency();
+      return reply;
+    }
+  }
+
+  const obs::SpanGuard span(s, "service", verb_name(request->verb));
+  std::optional<std::int64_t> deadline_at_ms;
+  if (request->deadline_ms.has_value()) {
+    deadline_at_ms = arrival_ms + *request->deadline_ms;
+  }
+  bool shutdown = false;
+  bool deadline_in_batch = false;
+  const Result<std::string> result = run_verb(
+      *request, arrival_ms, deadline_at_ms, &shutdown, &deadline_in_batch);
+
+  bool cacheable = true;
+  if (result.ok()) {
+    reply.frame = make_ok_frame(request->id, *result);
+    if (s != nullptr) s->counter_add("service.ok");
+  } else {
+    reply.frame = make_error_frame(request->id, result.status());
+    if (s != nullptr) s->counter_add("service.errors");
+    const StatusCode code = result.status().code();
+    if (code == StatusCode::kUnavailable ||
+        code == StatusCode::kDeadlineExceeded) {
+      cacheable = false;
+    }
+  }
+  if (deadline_in_batch) cacheable = false;
+  if (!result.ok() &&
+      result.status().code() == StatusCode::kDeadlineExceeded) {
+    if (s != nullptr) s->counter_add("service.deadline_expired");
+  }
+  if (deadline_in_batch && s != nullptr) {
+    s->counter_add("service.deadline_expired");
+  }
+  reply.shutdown = shutdown;
+
+  // Retryable outcomes (kUnavailable, kDeadlineExceeded, partial
+  // batches) are never remembered: a retry of the same id must get a
+  // fresh attempt, not the failure replayed.
+  if (cacheable) {
+    const std::lock_guard<std::mutex> lock(idempotency_mutex_);
+    if (replays_.emplace(request->id, reply.frame).second) {
+      replay_order_.push_back(request->id);
+      while (replays_.size() > options_.max_idempotency_entries &&
+             !replay_order_.empty()) {
+        replays_.erase(replay_order_.front());
+        replay_order_.pop_front();
+      }
+    }
+  }
+  record_latency();
+  return reply;
+}
+
+}  // namespace lrt::service

@@ -1,0 +1,133 @@
+// The lrtd request handler: batched multi-tenant analysis over the wire
+// vocabulary (DESIGN.md §5k), independent of any transport.
+//
+// One Service instance serves many workloads concurrently. Workloads are
+// keyed by lrt::fingerprint() of their canonical spec+arch serialization;
+// a hot workload stays *resident* — its built models plus a live
+// reliability::SrgEvaluator primed with the last analyzed implementation —
+// so an analyze request that mutates one task's host set costs a single
+// dirty-cone re-propagation instead of a full build-and-analyze. Delta
+// analyzes answer with a compact verdict ({reliable, unsatisfied_comms})
+// so the response cost matches the work; "full_report": true opts into
+// the full per-communicator report, byte-identical to the cold path's.
+// The resident set is LRU-bounded (ServiceOptions::max_resident_workloads);
+// an evicted workload is simply rebuilt on its next full request.
+//
+// Guarantees:
+//  * Responses are byte-identical to the one-shot facade calls they wrap
+//    (the SrgEvaluator bit-identity contract carries the hit path), and
+//    depend only on the request sequence observed — never on worker
+//    count, cache temperature, or wall-clock time. Thread-variant fields
+//    (campaign timing, search-effort counters) are excluded from the
+//    wire.
+//  * A failed request never poisons resident state: validation runs
+//    before any mutation, and an evaluator is (re)primed only after a
+//    fully successful cold analysis.
+//  * Requests are idempotent by id: a replayed id returns the cached
+//    response bytes without re-executing. Responses that advise retry
+//    (kUnavailable, kDeadlineExceeded) are never cached.
+//  * `deadline_ms` is enforced at verb boundaries: before a verb runs
+//    and between batch items, where an expired deadline degrades the
+//    remaining items to typed kDeadlineExceeded entries (partial
+//    results) instead of discarding the finished ones.
+#ifndef LRT_SERVICE_SERVICE_H_
+#define LRT_SERVICE_SERVICE_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "obs/sink.h"
+#include "service/protocol.h"
+#include "support/status.h"
+
+namespace lrt::service {
+
+struct ServiceOptions {
+  /// Workloads kept resident (built models + primed evaluator); least
+  /// recently used is evicted beyond this. Minimum 1.
+  std::size_t max_resident_workloads = 8;
+  /// Request ids remembered for idempotent replay (FIFO eviction).
+  std::size_t max_idempotency_entries = 1024;
+  /// Monotonic milliseconds for deadline accounting; null uses
+  /// std::chrono::steady_clock. Injectable for deterministic tests.
+  std::function<std::int64_t()> clock_ms;
+  /// Observability: service.* counters, per-request "service" spans, and
+  /// the service.request_us latency histogram. Null falls back to the
+  /// process-global sink.
+  obs::Sink* sink = nullptr;
+};
+
+struct ServiceReply {
+  /// The response frame payload (JSON, no length prefix).
+  std::string frame;
+  /// True once a shutdown request was accepted; the transport should
+  /// stop accepting work after delivering this reply.
+  bool shutdown = false;
+};
+
+class Service {
+ public:
+  explicit Service(ServiceOptions options = {});
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Handles one request frame end to end. Thread-safe across frames;
+  /// the transport must deliver each connection's frames in submission
+  /// order (per-connection FIFO) for the determinism guarantee to apply
+  /// to that connection's response sequence.
+  [[nodiscard]] ServiceReply handle(std::string_view request_frame);
+
+  /// Workloads currently resident (for tests and the bench).
+  [[nodiscard]] std::size_t resident_count() const;
+
+ private:
+  struct Resident;
+
+  [[nodiscard]] std::int64_t now_ms() const;
+  [[nodiscard]] obs::Sink* sink() const;
+
+  [[nodiscard]] Result<std::shared_ptr<Resident>> resolve_workload(
+      const JsonValue& body, std::string_view where);
+  void touch_locked(std::uint64_t fingerprint);
+
+  [[nodiscard]] Result<std::string> run_verb(
+      const Request& request, std::int64_t arrival_ms,
+      std::optional<std::int64_t> deadline_at_ms, bool* shutdown,
+      bool* deadline_in_batch);
+  [[nodiscard]] Result<std::string> do_analyze(const JsonValue& body);
+  [[nodiscard]] Result<std::string> do_synthesize(const JsonValue& body);
+  [[nodiscard]] Result<std::string> do_validate(const JsonValue& body);
+  [[nodiscard]] Result<std::string> do_lint(const JsonValue& body);
+  [[nodiscard]] Result<std::string> do_update_check(const JsonValue& body);
+  [[nodiscard]] Result<std::string> do_batch(
+      const JsonValue& body, std::int64_t arrival_ms,
+      std::optional<std::int64_t> deadline_at_ms, bool* deadline_in_batch);
+
+  ServiceOptions options_;
+
+  mutable std::mutex cache_mutex_;
+  /// Most recently used first.
+  std::list<std::uint64_t> lru_;
+  struct CacheEntry {
+    std::shared_ptr<Resident> resident;
+    std::list<std::uint64_t>::iterator lru_pos;
+  };
+  std::unordered_map<std::uint64_t, CacheEntry> residents_;
+
+  std::mutex idempotency_mutex_;
+  std::unordered_map<std::string, std::string> replays_;
+  std::list<std::string> replay_order_;  ///< oldest first
+};
+
+}  // namespace lrt::service
+
+#endif  // LRT_SERVICE_SERVICE_H_

@@ -243,4 +243,28 @@ std::optional<TaskId> Specification::writer_of(CommId id) const {
   return writers_[static_cast<std::size_t>(id)];
 }
 
+SpecificationConfig Specification::to_config() const {
+  SpecificationConfig config;
+  config.name = name_;
+  config.communicators = communicators_;
+  config.tasks.reserve(tasks_.size());
+  for (const Task& task : tasks_) {
+    SpecificationConfig::TaskConfig task_config;
+    task_config.name = task.name;
+    for (const PortRef& port : task.inputs) {
+      task_config.inputs.emplace_back(communicator(port.comm).name,
+                                      port.instance);
+    }
+    for (const PortRef& port : task.outputs) {
+      task_config.outputs.emplace_back(communicator(port.comm).name,
+                                       port.instance);
+    }
+    task_config.function = task.function;
+    task_config.model = task.model;
+    task_config.defaults = task.defaults;
+    config.tasks.push_back(std::move(task_config));
+  }
+  return config;
+}
+
 }  // namespace lrt::spec

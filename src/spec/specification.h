@@ -124,6 +124,12 @@ class Specification {
     return hyperperiod_ / communicator(id).period;
   }
 
+  /// Reconstructs a by-name config equivalent to this specification, with
+  /// the Build-time materialized defaults and the task functions carried
+  /// over. Build(to_config()) round-trips; spec::to_json(to_config())
+  /// is the canonical wire document of this specification.
+  [[nodiscard]] SpecificationConfig to_config() const;
+
  private:
   Specification() = default;
 

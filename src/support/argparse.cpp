@@ -48,6 +48,29 @@ void ArgParser::set_positional_usage(std::string usage) {
   positional_usage_ = std::move(usage);
 }
 
+ArgParser& ArgParser::add_subcommand(std::string name,
+                                     std::string description) {
+  subcommands_.push_back(
+      {name, std::make_unique<ArgParser>(program_ + " " + name,
+                                         std::move(description))});
+  return *subcommands_.back().parser;
+}
+
+ArgParser* ArgParser::subcommand_parser() {
+  for (Subcommand& sub : subcommands_)
+    if (sub.name == selected_subcommand_) return sub.parser.get();
+  return nullptr;
+}
+
+bool ArgParser::help_requested() const {
+  if (help_requested_) return true;
+  for (const Subcommand& sub : subcommands_)
+    if (sub.name == selected_subcommand_ &&
+        sub.parser->help_requested())
+      return true;
+  return false;
+}
+
 ArgParser::Option* ArgParser::find(std::string_view name) {
   for (Option& option : options_)
     if (option.name == name) return &option;
@@ -101,6 +124,7 @@ Status ArgParser::store(const Option& option, std::string_view text) {
 
 Status ArgParser::run(int& argc, char** argv, bool strict) {
   positionals_.clear();
+  selected_subcommand_.clear();
   help_requested_ = false;
   int write = 1;
   Status failure = Status::Ok();
@@ -112,6 +136,22 @@ Status ArgParser::run(int& argc, char** argv, bool strict) {
     }
     if (arg == "--help" || arg == "-h") {
       help_requested_ = true;
+      continue;
+    }
+    if (strict && !subcommands_.empty() && !arg.empty() &&
+        arg[0] != '-') {
+      // First bare word selects the command; everything after it
+      // belongs to the nested parser (argv[i] fills its program slot).
+      for (Subcommand& sub : subcommands_) {
+        if (sub.name == arg) {
+          selected_subcommand_ = sub.name;
+          const int remaining = argc - i;
+          argc = write;
+          return sub.parser->parse(remaining, argv + i);
+        }
+      }
+      failure = InvalidArgumentError("unknown command '" +
+                                     std::string(arg) + "'");
       continue;
     }
     std::string_view name = arg;
@@ -157,6 +197,10 @@ Status ArgParser::run(int& argc, char** argv, bool strict) {
     if (!stored.ok()) failure = stored;
   }
   argc = write;
+  if (strict && !subcommands_.empty() && failure.ok() &&
+      !help_requested_) {
+    return InvalidArgumentError(program_ + " expects a command");
+  }
   return failure;
 }
 
@@ -172,6 +216,7 @@ Status ArgParser::parse_known(int& argc, char** argv) {
 
 std::string ArgParser::usage() const {
   std::string out = "usage: " + program_;
+  if (!subcommands_.empty()) out += " COMMAND";
   for (const Option& option : options_) {
     out += " [" + option.name;
     if (option.kind != Kind::kFlag) out += " VALUE";
@@ -190,6 +235,17 @@ std::string ArgParser::usage() const {
       out += "      " + option.help + "\n";
     } else {
       out += "\n";
+    }
+  }
+  if (!subcommands_.empty()) {
+    out += "\ncommands:\n";
+    for (const Subcommand& sub : subcommands_) {
+      out += "  " + sub.name;
+      if (!sub.parser->description_.empty()) {
+        out += "\n      " + sub.parser->description_ + "\n";
+      } else {
+        out += "\n";
+      }
     }
   }
   return out;

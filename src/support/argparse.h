@@ -14,6 +14,7 @@
 #define LRT_SUPPORT_ARGPARSE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -38,14 +39,30 @@ class ArgParser {
   /// usage() only (e.g. "<file.htl>...").
   void set_positional_usage(std::string usage);
 
+  /// Registers a subcommand and returns its nested parser (owned by this
+  /// parser; the reference stays valid for this parser's lifetime). With
+  /// subcommands registered, strict parse() treats the first
+  /// non-flag argument as the command name and hands every later
+  /// argument to the nested parser; parent flags may precede it. A
+  /// missing or unknown command is a kInvalidArgument error.
+  /// parse_known() ignores subcommands, so flat CLIs are unaffected.
+  ArgParser& add_subcommand(std::string name, std::string description);
+
   [[nodiscard]] Status parse(int argc, char** argv);
   [[nodiscard]] Status parse_known(int& argc, char** argv);
 
   [[nodiscard]] const std::vector<std::string>& positionals() const {
     return positionals_;
   }
-  /// True when --help was seen; the caller should print usage() and exit.
-  [[nodiscard]] bool help_requested() const { return help_requested_; }
+  /// Name of the subcommand selected by the last parse() ("" if none).
+  [[nodiscard]] const std::string& selected_subcommand() const {
+    return selected_subcommand_;
+  }
+  /// Nested parser for the selected subcommand, or nullptr.
+  [[nodiscard]] ArgParser* subcommand_parser();
+  /// True when --help was seen (here or in the selected subcommand);
+  /// the caller should print usage() and exit.
+  [[nodiscard]] bool help_requested() const;
   [[nodiscard]] std::string usage() const;
 
  private:
@@ -57,6 +74,11 @@ class ArgParser {
     std::string help;
   };
 
+  struct Subcommand {
+    std::string name;
+    std::unique_ptr<ArgParser> parser;
+  };
+
   [[nodiscard]] Status run(int& argc, char** argv, bool strict);
   [[nodiscard]] Option* find(std::string_view name);
   [[nodiscard]] Status store(const Option& option, std::string_view text);
@@ -65,7 +87,9 @@ class ArgParser {
   std::string description_;
   std::string positional_usage_;
   std::vector<Option> options_;
+  std::vector<Subcommand> subcommands_;
   std::vector<std::string> positionals_;
+  std::string selected_subcommand_;
   bool help_requested_ = false;
 };
 

@@ -6,6 +6,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <string_view>
 
 namespace lrt {
 
@@ -23,6 +24,20 @@ inline std::uint64_t hash_words(std::span<const std::uint64_t> words,
                                 std::uint64_t seed = 0) {
   for (const std::uint64_t w : words) seed = hash_combine(seed, w);
   return seed;
+}
+
+/// FNV-1a over a byte string, finished through hash_combine so short
+/// inputs still diffuse into all 64 bits. Deterministic across
+/// processes and platforms — safe for persistent fingerprints
+/// (lrt::Workload::fingerprint keys the lrtd evaluator cache on it).
+inline std::uint64_t hash_bytes(std::string_view bytes,
+                                std::uint64_t seed = 0) {
+  std::uint64_t h = 0xCBF29CE484222325ull;  // FNV offset basis
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ull;  // FNV prime
+  }
+  return hash_combine(seed, h);
 }
 
 }  // namespace lrt

@@ -87,6 +87,11 @@ void JsonWriter::null() {
   out_ += "null";
 }
 
+void JsonWriter::raw(std::string_view json) {
+  comma_if_needed();
+  out_ += json;
+}
+
 std::string JsonWriter::str() && {
   assert(has_elements_.empty() && "unclosed container");
   assert(!after_key_ && "dangling key");
@@ -326,6 +331,100 @@ class JsonParser {
 
 Result<JsonValue> parse_json(std::string_view text) {
   return JsonParser(text).run();
+}
+
+namespace {
+
+std::string member_path(std::string_view where, std::string_view key) {
+  std::string path(where);
+  if (!path.empty()) path += '.';
+  path += key;
+  return path;
+}
+
+}  // namespace
+
+Result<const JsonValue*> json_member(const JsonValue& object,
+                                     std::string_view key,
+                                     std::string_view where) {
+  if (!object.is_object()) {
+    return InvalidArgumentError(std::string(where) + " must be an object");
+  }
+  const JsonValue* member = object.find(key);
+  if (member == nullptr) {
+    return InvalidArgumentError(member_path(where, key) + " is missing");
+  }
+  return member;
+}
+
+Result<std::string> json_member_string(const JsonValue& object,
+                                       std::string_view key,
+                                       std::string_view where) {
+  LRT_ASSIGN_OR_RETURN(const JsonValue* member,
+                       json_member(object, key, where));
+  if (!member->is_string()) {
+    return InvalidArgumentError(member_path(where, key) +
+                                " must be a string");
+  }
+  return member->string;
+}
+
+Result<std::int64_t> json_member_int(const JsonValue& object,
+                                     std::string_view key,
+                                     std::string_view where) {
+  LRT_ASSIGN_OR_RETURN(const JsonValue* member,
+                       json_member(object, key, where));
+  return json_to_int(*member, member_path(where, key));
+}
+
+Result<double> json_member_double(const JsonValue& object,
+                                  std::string_view key,
+                                  std::string_view where) {
+  LRT_ASSIGN_OR_RETURN(const JsonValue* member,
+                       json_member(object, key, where));
+  if (!member->is_number()) {
+    return InvalidArgumentError(member_path(where, key) +
+                                " must be a number");
+  }
+  return member->number;
+}
+
+Result<bool> json_member_bool(const JsonValue& object, std::string_view key,
+                              std::string_view where) {
+  LRT_ASSIGN_OR_RETURN(const JsonValue* member,
+                       json_member(object, key, where));
+  if (member->kind != JsonValue::Kind::kBool) {
+    return InvalidArgumentError(member_path(where, key) +
+                                " must be a boolean");
+  }
+  return member->boolean;
+}
+
+Result<std::int64_t> json_to_int(const JsonValue& value,
+                                 std::string_view where) {
+  if (!value.is_number()) {
+    return InvalidArgumentError(std::string(where) + " must be a number");
+  }
+  const double number = value.number;
+  // Exactly representable int64 doubles only; 2^63 itself overflows.
+  if (number != std::floor(number) || number < -9.2233720368547758e18 ||
+      number >= 9.2233720368547758e18) {
+    return InvalidArgumentError(std::string(where) +
+                                " must be an integer");
+  }
+  return static_cast<std::int64_t>(number);
+}
+
+Status json_check_schema(const JsonValue& object, std::int64_t version,
+                         std::string_view where) {
+  LRT_ASSIGN_OR_RETURN(const std::int64_t seen,
+                       json_member_int(object, "schema", where));
+  if (seen != version) {
+    return InvalidArgumentError(
+        std::string(where) + ".schema " + std::to_string(seen) +
+        " is not supported (expected " + std::to_string(version) + ")");
+  }
+  return Status::Ok();
 }
 
 void JsonWriter::write_escaped(std::string_view text) {

@@ -44,6 +44,10 @@ class JsonWriter {
   }
   void value(bool flag);
   void null();
+  /// Embeds `json` — one pre-serialized JSON value — verbatim where a
+  /// value is expected (nesting a codec's document inside an envelope).
+  /// The caller vouches for its well-formedness.
+  void raw(std::string_view json);
 
   /// The document; the writer is spent afterwards.
   [[nodiscard]] std::string str() &&;
@@ -85,6 +89,35 @@ struct JsonValue {
 /// rejected). Returns kParse errors with a byte offset on malformed
 /// input.
 [[nodiscard]] Result<JsonValue> parse_json(std::string_view text);
+
+// Typed member accessors for decoding wire documents (the canonical
+// config codecs and the lrtd frame protocol). parse_json already
+// rejected malformed text, so every failure here is a *schema*
+// violation and reports kInvalidArgument naming the `where` path.
+
+/// Required member lookup; `where` prefixes the error ("request.spec").
+[[nodiscard]] Result<const JsonValue*> json_member(const JsonValue& object,
+                                                   std::string_view key,
+                                                   std::string_view where);
+[[nodiscard]] Result<std::string> json_member_string(
+    const JsonValue& object, std::string_view key, std::string_view where);
+[[nodiscard]] Result<std::int64_t> json_member_int(const JsonValue& object,
+                                                   std::string_view key,
+                                                   std::string_view where);
+[[nodiscard]] Result<double> json_member_double(const JsonValue& object,
+                                                std::string_view key,
+                                                std::string_view where);
+[[nodiscard]] Result<bool> json_member_bool(const JsonValue& object,
+                                            std::string_view key,
+                                            std::string_view where);
+/// A number that must be integral (JsonValue stores doubles; exact for
+/// the int64 range this library emits).
+[[nodiscard]] Result<std::int64_t> json_to_int(const JsonValue& value,
+                                               std::string_view where);
+/// Verifies `object` carries `"schema": version`.
+[[nodiscard]] Status json_check_schema(const JsonValue& object,
+                                       std::int64_t version,
+                                       std::string_view where);
 
 }  // namespace lrt
 

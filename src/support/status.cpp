@@ -13,8 +13,47 @@ std::string_view to_string(StatusCode code) {
     case StatusCode::kUnsatisfiable: return "UNSATISFIABLE";
     case StatusCode::kParseError: return "PARSE_ERROR";
     case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
+}
+
+std::string_view status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "kOk";
+    case StatusCode::kInvalidArgument: return "kInvalidArgument";
+    case StatusCode::kNotFound: return "kNotFound";
+    case StatusCode::kAlreadyExists: return "kAlreadyExists";
+    case StatusCode::kFailedPrecondition: return "kFailedPrecondition";
+    case StatusCode::kOutOfRange: return "kOutOfRange";
+    case StatusCode::kUnsatisfiable: return "kUnsatisfiable";
+    case StatusCode::kParseError: return "kParseError";
+    case StatusCode::kInternal: return "kInternal";
+    case StatusCode::kUnavailable: return "kUnavailable";
+    case StatusCode::kDeadlineExceeded: return "kDeadlineExceeded";
+  }
+  return "kInternal";
+}
+
+std::optional<StatusCode> status_code_from_name(std::string_view name) {
+  static constexpr StatusCode kAll[] = {
+      StatusCode::kOk,
+      StatusCode::kInvalidArgument,
+      StatusCode::kNotFound,
+      StatusCode::kAlreadyExists,
+      StatusCode::kFailedPrecondition,
+      StatusCode::kOutOfRange,
+      StatusCode::kUnsatisfiable,
+      StatusCode::kParseError,
+      StatusCode::kInternal,
+      StatusCode::kUnavailable,
+      StatusCode::kDeadlineExceeded,
+  };
+  for (const StatusCode code : kAll) {
+    if (status_code_name(code) == name) return code;
+  }
+  return std::nullopt;
 }
 
 std::string Status::to_string() const {
@@ -52,6 +91,12 @@ Status ParseError(std::string message) {
 }
 Status InternalError(std::string message) {
   return {StatusCode::kInternal, std::move(message)};
+}
+Status UnavailableError(std::string message) {
+  return {StatusCode::kUnavailable, std::move(message)};
+}
+Status DeadlineExceededError(std::string message) {
+  return {StatusCode::kDeadlineExceeded, std::move(message)};
 }
 
 }  // namespace lrt

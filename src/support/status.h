@@ -28,10 +28,21 @@ enum class StatusCode {
   kUnsatisfiable,       ///< an analysis proved the requirement cannot be met
   kParseError,          ///< HTL frontend: malformed source text
   kInternal,            ///< invariant violation inside lrt itself
+  kUnavailable,         ///< transient overload: retry later (load-shed)
+  kDeadlineExceeded,    ///< the caller's deadline expired mid-operation
 };
 
 /// Human-readable name of a StatusCode ("kOk" -> "OK", ...).
 std::string_view to_string(StatusCode code);
+
+/// Wire-stable enumerator name ("kInvalidArgument", ...). Unlike
+/// to_string(), these spellings are part of the lrtd frame schema and
+/// must never change once published.
+std::string_view status_code_name(StatusCode code);
+
+/// Inverse of status_code_name(). Returns std::nullopt for unknown names
+/// (including the legacy "INVALID_ARGUMENT" spellings).
+std::optional<StatusCode> status_code_from_name(std::string_view name);
 
 /// Outcome of a fallible operation: a code plus a human-readable message.
 ///
@@ -77,6 +88,8 @@ Status OutOfRangeError(std::string message);
 Status UnsatisfiableError(std::string message);
 Status ParseError(std::string message);
 Status InternalError(std::string message);
+Status UnavailableError(std::string message);
+Status DeadlineExceededError(std::string message);
 
 /// Either a value of type T or an error Status. Analogous to
 /// std::expected<T, Status> (which libstdc++ 12 does not yet ship).

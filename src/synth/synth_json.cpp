@@ -1,0 +1,40 @@
+#include "synth/synth_json.h"
+
+#include <utility>
+
+#include "impl/impl_json.h"
+
+namespace lrt::synth {
+
+void write_json(const SynthesisResult& result, JsonWriter& json) {
+  json.begin_object();
+  json.key("implementation");
+  impl::write_json(result.config, json);
+  json.key("replication_count");
+  json.value(result.replication_count);
+  json.end_object();
+}
+
+std::string to_json(const SynthesisResult& result) {
+  JsonWriter json;
+  write_json(result, json);
+  return std::move(json).str();
+}
+
+Result<SynthesisResult> synthesis_result_from_json(
+    const JsonValue& document) {
+  SynthesisResult result;
+  LRT_ASSIGN_OR_RETURN(
+      const JsonValue* implementation,
+      json_member(document, "implementation", "synthesis"));
+  LRT_ASSIGN_OR_RETURN(result.config,
+                       impl::implementation_config_from_json(*implementation));
+  LRT_ASSIGN_OR_RETURN(
+      const std::int64_t replication_count,
+      json_member_int(document, "replication_count", "synthesis"));
+  result.replication_count =
+      static_cast<std::size_t>(replication_count);
+  return result;
+}
+
+}  // namespace lrt::synth

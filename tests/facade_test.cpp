@@ -205,10 +205,11 @@ TEST(Facade, MembershipCheckRejectsForeignImplementation) {
   const Workload workload_b =
       borrow_workload(*system_b->specification, *system_b->architecture);
 
-  // system_a's implementation was built against system_a's models.
+  // system_a's implementation was built against system_a's models — a
+  // state/lifetime violation, not a malformed argument.
   const auto analysis = analyze(workload_b, *system_a->implementation);
   ASSERT_FALSE(analysis.ok());
-  EXPECT_EQ(analysis.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(analysis.status().code(), StatusCode::kFailedPrecondition);
 
   const auto simulation = simulate(workload_b, *system_a->implementation);
   EXPECT_FALSE(simulation.ok());

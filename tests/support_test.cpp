@@ -1,11 +1,15 @@
 // Unit tests for src/support: Status/Result, Rational, RNG, math helpers,
-// string helpers.
+// string helpers, hashing, and the argument parser.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <set>
+#include <string>
 #include <vector>
 
+#include "support/argparse.h"
+#include "support/hash.h"
 #include "support/math_util.h"
 #include "support/rational.h"
 #include "support/rng.h"
@@ -273,6 +277,89 @@ TEST(Strings, IsIdentifier) {
 TEST(Strings, FormatDouble) {
   EXPECT_EQ(format_double(0.5), "0.5");
   EXPECT_EQ(format_double(0.970299), "0.970299");
+}
+
+// --- Wire-stable status code names ---
+
+TEST(Status, CodeNamesRoundTrip) {
+  const StatusCode codes[] = {
+      StatusCode::kOk,           StatusCode::kInvalidArgument,
+      StatusCode::kNotFound,     StatusCode::kAlreadyExists,
+      StatusCode::kFailedPrecondition, StatusCode::kOutOfRange,
+      StatusCode::kUnsatisfiable, StatusCode::kParseError,
+      StatusCode::kInternal,     StatusCode::kUnavailable,
+      StatusCode::kDeadlineExceeded};
+  for (const StatusCode code : codes) {
+    const std::string_view name = status_code_name(code);
+    EXPECT_EQ(status_code_from_name(name), code) << name;
+  }
+  EXPECT_EQ(status_code_name(StatusCode::kInvalidArgument),
+            "kInvalidArgument");
+  EXPECT_FALSE(status_code_from_name("INVALID_ARGUMENT").has_value());
+  EXPECT_FALSE(status_code_from_name("").has_value());
+}
+
+// --- Hashing ---
+
+TEST(Hash, BytesAreStableAndSeedChained) {
+  const std::uint64_t first = hash_bytes("abc");
+  EXPECT_EQ(first, hash_bytes("abc"));  // deterministic across calls
+  EXPECT_NE(first, hash_bytes("abd"));
+  EXPECT_NE(first, hash_bytes("abc", first));  // seed chains
+  EXPECT_NE(hash_bytes(""), hash_bytes("", 1));
+}
+
+// --- ArgParser subcommands ---
+
+TEST(ArgParser, SubcommandReceivesItsFlagValues) {
+  // Regression: the nested parser used to be handed an argc computed
+  // AFTER the parent's argc was overwritten with its compacted count,
+  // so `lrtd serve --socket /x` silently kept every default.
+  ArgParser parser("tool", "test tool");
+  ArgParser& serve = parser.add_subcommand("serve", "run the server");
+  std::string socket = "/tmp/default.sock";
+  std::int64_t threads = 0;
+  serve.add_string("--socket", &socket, "socket path");
+  serve.add_int("--threads", &threads, "worker count");
+
+  const char* argv[] = {"tool", "serve", "--socket", "/tmp/custom.sock",
+                        "--threads", "7"};
+  const Status status =
+      parser.parse(6, const_cast<char**>(argv));
+  ASSERT_TRUE(status.ok()) << status.to_string();
+  EXPECT_EQ(parser.selected_subcommand(), "serve");
+  EXPECT_EQ(parser.subcommand_parser(), &serve);
+  EXPECT_EQ(socket, "/tmp/custom.sock");
+  EXPECT_EQ(threads, 7);
+}
+
+TEST(ArgParser, ParentFlagsMayPrecedeTheSubcommand) {
+  ArgParser parser("tool", "test tool");
+  bool verbose = false;
+  parser.add_flag("--verbose", &verbose, "chatty output");
+  ArgParser& ping = parser.add_subcommand("ping", "ping the server");
+  std::string socket;
+  ping.add_string("--socket", &socket, "socket path");
+
+  const char* argv[] = {"tool", "--verbose", "ping", "--socket", "/s"};
+  const Status status = parser.parse(5, const_cast<char**>(argv));
+  ASSERT_TRUE(status.ok()) << status.to_string();
+  EXPECT_TRUE(verbose);
+  EXPECT_EQ(parser.selected_subcommand(), "ping");
+  EXPECT_EQ(socket, "/s");
+}
+
+TEST(ArgParser, MissingOrUnknownSubcommandIsAnError) {
+  ArgParser parser("tool", "test tool");
+  (void)parser.add_subcommand("serve", "run the server");
+
+  const char* missing[] = {"tool"};
+  EXPECT_FALSE(parser.parse(1, const_cast<char**>(missing)).ok());
+
+  ArgParser again("tool", "test tool");
+  (void)again.add_subcommand("serve", "run the server");
+  const char* unknown[] = {"tool", "fly"};
+  EXPECT_FALSE(again.parse(2, const_cast<char**>(unknown)).ok());
 }
 
 }  // namespace

@@ -1,0 +1,195 @@
+// The canonical wire codecs behind lrtd (DESIGN.md §5k): every config
+// document must round-trip exactly (to_json -> from_json -> to_json is
+// byte-identical), reject foreign schema versions, and hash to a stable,
+// canonical-order-insensitive workload fingerprint.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "arch/arch_json.h"
+#include "arch/architecture.h"
+#include "impl/impl_json.h"
+#include "impl/implementation.h"
+#include "lrt/lrt.h"
+#include "reliability/analysis.h"
+#include "spec/spec_json.h"
+#include "spec/specification.h"
+#include "support/json.h"
+#include "support/status.h"
+
+namespace lrt {
+namespace {
+
+spec::SpecificationConfig make_spec_config() {
+  spec::SpecificationConfig config;
+  config.name = "wire_spec";
+  config.communicators = {
+      {"s", spec::ValueType::kReal, spec::Value::real(0.5), 10, 0.95},
+      {"level", spec::ValueType::kReal, spec::Value::real(0.0), 10, 0.90},
+      {"alarm", spec::ValueType::kBool, spec::Value::boolean(false), 20,
+       0.80},
+  };
+  spec::SpecificationConfig::TaskConfig filter;
+  filter.name = "filter";
+  filter.inputs = {{"s", 0}};
+  filter.outputs = {{"level", 1}};
+  filter.model = spec::FailureModel::kSeries;
+  config.tasks.push_back(std::move(filter));
+  spec::SpecificationConfig::TaskConfig monitor;
+  monitor.name = "monitor";
+  monitor.inputs = {{"level", 1}};
+  monitor.outputs = {{"alarm", 1}};
+  monitor.model = spec::FailureModel::kIndependent;
+  monitor.defaults = {spec::Value::real(0.0)};
+  config.tasks.push_back(std::move(monitor));
+  return config;
+}
+
+arch::ArchitectureConfig make_arch_config() {
+  arch::ArchitectureConfig config;
+  config.name = "wire_arch";
+  config.hosts = {{"h1", 0.99}, {"h2", 0.97}};
+  config.sensors = {{"gauge", 0.98}};
+  config.metrics = {{"filter", "h1", 3, 1}, {"filter", "h2", 4, 2}};
+  config.default_wcet = 4;
+  config.default_wctt = 1;
+  return config;
+}
+
+impl::ImplementationConfig make_impl_config() {
+  impl::ImplementationConfig config;
+  config.name = "wire_impl";
+  config.task_mappings = {{"filter", {"h1", "h2"}, 1, 0, 0},
+                          {"monitor", {"h2"}, 0, 0, 0}};
+  config.sensor_bindings = {{"s", "gauge"}};
+  return config;
+}
+
+TEST(WireJson, SpecificationConfigRoundTripsExactly) {
+  const std::string first = spec::to_json(make_spec_config());
+  const auto decoded = spec::specification_config_from_json(first);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().to_string();
+  EXPECT_EQ(spec::to_json(*decoded), first);
+}
+
+TEST(WireJson, ArchitectureConfigRoundTripsExactly) {
+  const std::string first = arch::to_json(make_arch_config());
+  const auto decoded = arch::architecture_config_from_json(first);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().to_string();
+  EXPECT_EQ(arch::to_json(*decoded), first);
+}
+
+TEST(WireJson, ImplementationConfigRoundTripsExactly) {
+  const std::string first = impl::to_json(make_impl_config());
+  const auto decoded = impl::implementation_config_from_json(first);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().to_string();
+  EXPECT_EQ(impl::to_json(*decoded), first);
+}
+
+TEST(WireJson, BuiltModelsRoundTripThroughConfigs) {
+  // Build -> to_config -> to_json -> from_json -> Build -> to_json must
+  // close the loop: the canonical document of a built model re-parses to
+  // the same canonical document.
+  auto workload = build_workload(make_spec_config(), make_arch_config());
+  ASSERT_TRUE(workload.ok()) << workload.status().to_string();
+  const std::string spec_json = spec::to_json(workload->spec->to_config());
+  const std::string arch_json = arch::to_json(workload->arch->to_config());
+
+  const auto spec_config = spec::specification_config_from_json(spec_json);
+  ASSERT_TRUE(spec_config.ok());
+  const auto arch_config = arch::architecture_config_from_json(arch_json);
+  ASSERT_TRUE(arch_config.ok());
+  auto rebuilt = build_workload(*spec_config, *arch_config);
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_EQ(spec::to_json(rebuilt->spec->to_config()), spec_json);
+  EXPECT_EQ(arch::to_json(rebuilt->arch->to_config()), arch_json);
+}
+
+TEST(WireJson, ReliabilityReportRoundTripsExactly) {
+  auto workload = build_workload(make_spec_config(), make_arch_config());
+  ASSERT_TRUE(workload.ok());
+  auto impl = build_implementation(*workload, make_impl_config());
+  ASSERT_TRUE(impl.ok());
+  auto report = analyze(*workload, *impl);
+  ASSERT_TRUE(report.ok());
+
+  const std::string first = reliability::to_json(*report);
+  const auto document = parse_json(first);
+  ASSERT_TRUE(document.ok()) << first;
+  const auto decoded = reliability::report_from_json(*document);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().to_string();
+  EXPECT_EQ(reliability::to_json(*decoded), first);
+}
+
+TEST(WireJson, ForeignSchemaVersionIsRejected) {
+  for (const std::string& document :
+       {spec::to_json(make_spec_config()), arch::to_json(make_arch_config()),
+        impl::to_json(make_impl_config())}) {
+    std::string foreign = document;
+    const std::size_t at = foreign.find("\"schema\":1");
+    ASSERT_NE(at, std::string::npos) << document;
+    foreign.replace(at, 10, "\"schema\":2");
+
+    const auto spec_result = spec::specification_config_from_json(foreign);
+    const auto arch_result = arch::architecture_config_from_json(foreign);
+    const auto impl_result = impl::implementation_config_from_json(foreign);
+    EXPECT_FALSE(spec_result.ok());
+    EXPECT_FALSE(arch_result.ok());
+    EXPECT_FALSE(impl_result.ok());
+  }
+}
+
+TEST(WireJson, ValueCodecRoundTrips) {
+  const std::vector<spec::Value> values = {
+      spec::Value::real(3.25), spec::Value::real(-0.0),
+      spec::Value::boolean(true), spec::Value::boolean(false)};
+  for (const spec::Value& value : values) {
+    JsonWriter json;
+    spec::write_json(value, json);
+    const std::string text = std::move(json).str();
+    const auto document = parse_json(text);
+    ASSERT_TRUE(document.ok()) << text;
+    const auto decoded = spec::value_from_json(*document, "value");
+    ASSERT_TRUE(decoded.ok()) << decoded.status().to_string();
+    JsonWriter again;
+    spec::write_json(*decoded, again);
+    EXPECT_EQ(std::move(again).str(), text);
+  }
+}
+
+TEST(WireJson, FingerprintIsStable) {
+  auto first = build_workload(make_spec_config(), make_arch_config());
+  auto second = build_workload(make_spec_config(), make_arch_config());
+  ASSERT_TRUE(first.ok()) << first.status().to_string();
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->fingerprint(), second->fingerprint());
+  EXPECT_EQ(first->fingerprint(),
+            fingerprint(first->spec->to_config(), first->arch->to_config()));
+}
+
+TEST(WireJson, FingerprintIgnoresMetricDeclarationOrder) {
+  arch::ArchitectureConfig shuffled = make_arch_config();
+  std::swap(shuffled.metrics[0], shuffled.metrics[1]);
+  auto canonical = build_workload(make_spec_config(), make_arch_config());
+  auto permuted = build_workload(make_spec_config(), std::move(shuffled));
+  ASSERT_TRUE(canonical.ok());
+  ASSERT_TRUE(permuted.ok());
+  // Architecture::to_config sorts metric entries, so the fingerprint of
+  // the built workload is declaration-order-insensitive.
+  EXPECT_EQ(canonical->fingerprint(), permuted->fingerprint());
+}
+
+TEST(WireJson, FingerprintSeparatesDifferentWorkloads) {
+  arch::ArchitectureConfig changed = make_arch_config();
+  changed.hosts[0].reliability = 0.991;
+  auto base = build_workload(make_spec_config(), make_arch_config());
+  auto other = build_workload(make_spec_config(), std::move(changed));
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(other.ok());
+  EXPECT_NE(base->fingerprint(), other->fingerprint());
+}
+
+}  // namespace
+}  // namespace lrt
